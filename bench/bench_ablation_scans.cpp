@@ -1,0 +1,144 @@
+// Ablation B: scanner building blocks.
+//
+//   * raw MFT parse vs Win32 recursive enumeration throughput;
+//   * raw hive parse vs API ASEP walk;
+//   * hook-chain overhead: enumeration cost as rootkit detour chains
+//     stack up (why interception is cheap enough that ghostware uses it);
+//   * mechanism (hook) detector vs behaviour (cross-view) detector
+//     coverage of the full malware collection.
+#include "bench/bench_util.h"
+#include "core/file_scans.h"
+#include "core/ghostbuster.h"
+#include "core/hook_detector.h"
+#include "core/registry_scans.h"
+#include "malware/collection.h"
+#include "malware/indexghost.h"
+
+namespace {
+
+using namespace gb;
+
+machine::MachineConfig sized(std::size_t files, std::size_t keys = 100) {
+  machine::MachineConfig cfg;
+  cfg.synthetic_files = files;
+  cfg.synthetic_registry_keys = keys;
+  return cfg;
+}
+
+void BM_HighLevelFileWalk(benchmark::State& state) {
+  machine::Machine m(sized(static_cast<std::size_t>(state.range(0))));
+  const auto ctx = m.context_for(
+      m.ensure_process("C:\\windows\\system32\\ghostbuster.exe"));
+  for (auto _ : state) {
+    auto scan = core::high_level_file_scan(m, ctx);
+    benchmark::DoNotOptimize(scan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HighLevelFileWalk)->Arg(200)->Arg(800)->Arg(3200);
+
+void BM_RawMftParse(benchmark::State& state) {
+  machine::Machine m(sized(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto scan = core::low_level_file_scan(m);
+    benchmark::DoNotOptimize(scan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RawMftParse)->Arg(200)->Arg(800)->Arg(3200);
+
+void BM_HighLevelAsepWalk(benchmark::State& state) {
+  machine::Machine m(sized(100, static_cast<std::size_t>(state.range(0))));
+  const auto ctx = m.context_for(
+      m.ensure_process("C:\\windows\\system32\\ghostbuster.exe"));
+  for (auto _ : state) {
+    auto scan = core::high_level_registry_scan(m, ctx);
+    benchmark::DoNotOptimize(scan);
+  }
+}
+BENCHMARK(BM_HighLevelAsepWalk)->Arg(200)->Arg(2000);
+
+void BM_RawHiveParse(benchmark::State& state) {
+  machine::Machine m(sized(100, static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto scan = core::low_level_registry_scan(m);
+    benchmark::DoNotOptimize(scan);
+  }
+}
+BENCHMARK(BM_RawHiveParse)->Arg(200)->Arg(2000);
+
+void BM_EnumerationUnderHookChains(benchmark::State& state) {
+  // Cost of one directory enumeration as detour chains stack up.
+  machine::Machine m(sized(200));
+  const auto pid = m.ensure_process("C:\\windows\\system32\\ghostbuster.exe");
+  const auto ctx = m.context_for(pid);
+  auto* env = m.win32().env(pid);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    env->ntdll_query_directory_file.install(
+        {"layer" + std::to_string(i), HookType::kDetour, "NtQueryDirectoryFile"},
+        [](const auto& next, const winapi::Ctx& c, const std::string& d) {
+          return next(c, d);  // pass-through detour
+        });
+  }
+  for (auto _ : state) {
+    bool ok = false;
+    auto entries = env->find_files(ctx, "C:\\windows\\system32", &ok);
+    benchmark::DoNotOptimize(entries);
+  }
+}
+BENCHMARK(BM_EnumerationUnderHookChains)->Arg(0)->Arg(4)->Arg(16);
+
+void print_table() {
+  bench::heading(
+      "Ablation B - mechanism detection vs behaviour detection coverage");
+  std::printf("%-24s %-28s %-12s %-12s\n", "ghostware", "technique",
+              "hook-detect", "cross-view");
+
+  std::size_t hook_caught = 0, diff_caught = 0, total = 0;
+  auto run_case = [&](const std::string& label, const std::string& owner,
+                      machine::Machine& m, bool expect_hooks) {
+    const auto hooks = core::suspicious_hooks(m, {});
+    bool hooked = false;
+    for (const auto& h : hooks) {
+      if (h.info.owner == owner) hooked = true;
+    }
+    core::Options o;
+    o.advanced_mode = true;
+    const auto report = core::GhostBuster(m).inside_scan(o);
+    const bool diffed = report.infection_detected();
+    ++total;
+    hook_caught += hooked;
+    diff_caught += diffed;
+    std::printf("%-24s %-28s %-12s %-12s\n", label.c_str(),
+                expect_hooks ? "API/SSDT/filter hooks" : "data-only hiding",
+                hooked ? "flagged" : "silent", diffed ? "detected" : "missed");
+  };
+
+  for (const auto& entry : malware::file_hiding_collection()) {
+    machine::Machine m(sized(60, 30));
+    const auto g = entry.install(m);
+    run_case(entry.display_name, g->name(), m, true);
+  }
+  {  // FU: DKOM — no hooks at all.
+    machine::Machine m(sized(60, 30));
+    auto fu = malware::install_ghostware<malware::FuRootkit>(m);
+    const auto victim =
+        m.spawn_process("C:\\windows\\system32\\notepad.exe").pid();
+    fu->hide_process(m, victim);
+    run_case("FU (DKOM)", "fu", m, false);
+  }
+  {  // IndexGhost: directory-index unlinking — also data-only.
+    machine::Machine m(sized(60, 30));
+    auto g = malware::install_ghostware<malware::IndexGhost>(m);
+    run_case("IndexGhost (index unlink)", g->name(), m, false);
+  }
+
+  std::printf(
+      "\ncoverage: hook detector %zu/%zu, cross-view diff %zu/%zu "
+      "(the two data-only cases are why behaviour beats mechanism)\n",
+      hook_caught, total, diff_caught, total);
+}
+
+}  // namespace
+
+GB_BENCH_MAIN(print_table)

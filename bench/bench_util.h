@@ -1,0 +1,35 @@
+// Shared helpers for the reproduction benches.
+//
+// Each bench binary reproduces one table/figure of the paper: it prints
+// the reproduction table (paper-expected vs measured) before handing the
+// command line to google-benchmark for the wall-clock measurements.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace gb::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline const char* mark(bool ok) { return ok ? "OK " : "FAIL"; }
+
+/// Standard main body: print table via `print_table()`, then run any
+/// registered google-benchmark cases.
+#define GB_BENCH_MAIN(print_table)                       \
+  int main(int argc, char** argv) {                      \
+    print_table();                                       \
+    ::benchmark::Initialize(&argc, argv);                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();               \
+    ::benchmark::Shutdown();                             \
+    return 0;                                            \
+  }
+
+}  // namespace gb::bench

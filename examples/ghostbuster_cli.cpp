@@ -1,0 +1,190 @@
+// ghostbuster_cli — command-line front end over the library.
+//
+// Because the substrate is simulated, the CLI builds the machine it
+// scans: pick infections, pick scan modes, optionally round-trip the
+// disk image through a host file (the Section 5 VM workflow: power the
+// VM down, scan the .img from the host).
+//
+//   ghostbuster_cli [--infect name[,name...]] [--mode inside|injected|outside]
+//                   [--advanced] [--ads] [--attribute] [--remove] [--json]
+//                   [--save-image FILE | --scan-image FILE] [--seed N]
+//
+//   names: urbin mersting vanquish aphex hackerdefender probotse
+//          hidefiles berbew fu adsstasher indexghost
+//
+// Examples:
+//   ghostbuster_cli --infect hackerdefender,fu --advanced --attribute
+//   ghostbuster_cli --infect hackerdefender --mode outside
+//   ghostbuster_cli --infect adsstasher --ads
+//   ghostbuster_cli --infect vanquish --save-image /tmp/infected.img
+//   ghostbuster_cli --scan-image /tmp/infected.img
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/ads_scan.h"
+#include "core/attribution.h"
+#include "core/ghostbuster.h"
+#include "core/removal.h"
+#include "malware/ads_stasher.h"
+#include "malware/indexghost.h"
+#include "malware/collection.h"
+
+namespace {
+
+using namespace gb;
+
+std::shared_ptr<malware::Ghostware> infect(machine::Machine& m,
+                                           const std::string& name) {
+  using namespace malware;
+  if (name == "urbin") return install_ghostware<Urbin>(m);
+  if (name == "mersting") return install_ghostware<Mersting>(m);
+  if (name == "vanquish") return install_ghostware<Vanquish>(m);
+  if (name == "aphex") return install_ghostware<Aphex>(m);
+  if (name == "hackerdefender") return install_ghostware<HackerDefender>(m);
+  if (name == "probotse") return install_ghostware<ProBotSe>(m);
+  if (name == "berbew") return install_ghostware<Berbew>(m);
+  if (name == "adsstasher") return install_ghostware<AdsStasher>(m);
+  if (name == "indexghost") return install_ghostware<IndexGhost>(m);
+  if (name == "hidefiles") {
+    auto h = make_hide_files({"C:\\documents\\user\\private"});
+    h->install(m);
+    return h;
+  }
+  if (name == "fu") {
+    auto fu = install_ghostware<FuRootkit>(m);
+    const auto victim =
+        m.spawn_process("C:\\windows\\system32\\svch0st.exe").pid();
+    fu->hide_process(m, victim);
+    return fu;
+  }
+  std::fprintf(stderr, "unknown ghostware: %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> infections;
+  std::string mode = "inside";
+  std::string save_image, scan_image;
+  bool advanced = false, ads = false, attribute = false, remove = false;
+  bool json = false;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--infect") infections = split_csv(need_value());
+    else if (arg == "--mode") mode = need_value();
+    else if (arg == "--advanced") advanced = true;
+    else if (arg == "--ads") ads = true;
+    else if (arg == "--attribute") attribute = true;
+    else if (arg == "--remove") remove = true;
+    else if (arg == "--json") json = true;
+    else if (arg == "--save-image") save_image = need_value();
+    else if (arg == "--scan-image") scan_image = need_value();
+    else if (arg == "--seed") seed = std::stoull(need_value());
+    else {
+      std::fprintf(stderr, "unknown argument: %s (see header comment)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  // Offline mode: scan a saved disk image file from "the host".
+  if (!scan_image.empty()) {
+    auto disk = disk::MemDisk::load_image(scan_image);
+    const auto files = core::outside_file_scan(disk);
+    const auto aseps = core::outside_registry_scan(disk);
+    std::printf("offline image scan of %s:\n  %zu files, %zu ASEP hooks "
+                "(clean-boot truth view)\n",
+                scan_image.c_str(), files.resources.size(),
+                aseps.resources.size());
+    const auto ads_report = core::ads_scan(disk);
+    std::printf("  %zu suspicious alternate data stream(s)\n",
+                ads_report.hidden.size());
+    for (const auto& f : ads_report.hidden) {
+      std::printf("    ADS %s\n", f.resource.display.c_str());
+    }
+    std::printf("(diff this against an inside capture to expose hiding)\n");
+    return 0;
+  }
+
+  machine::MachineConfig cfg;
+  cfg.seed = seed;
+  machine::Machine m(cfg);
+  std::vector<std::shared_ptr<malware::Ghostware>> installed;
+  for (const auto& name : infections) installed.push_back(infect(m, name));
+
+  core::GhostBuster gb(m);
+  core::Options o;
+  o.advanced_mode = advanced;
+
+  core::Report report;
+  if (mode == "inside") {
+    report = gb.inside_scan(o);
+  } else if (mode == "injected") {
+    report = gb.injected_scan(o);
+  } else if (mode == "outside") {
+    report = gb.outside_scan(o);
+  } else {
+    std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+    return 2;
+  }
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("%s", report.to_string().c_str());
+    std::printf("simulated scan time: %.1f s\n",
+                report.total_simulated_seconds);
+  }
+  bool anything_found = report.infection_detected();
+
+  if (ads && m.running()) {
+    const auto ads_report = core::ads_scan(m);
+    std::printf("\nADS hunt: %zu finding(s)\n", ads_report.hidden.size());
+    for (const auto& f : ads_report.hidden) {
+      std::printf("  ADS %s\n", f.resource.display.c_str());
+    }
+    anything_found = anything_found || !ads_report.hidden.empty();
+  }
+  if (attribute && m.running()) {
+    std::printf("\n%s", core::attribute_findings(m, report).to_string().c_str());
+  }
+  if (remove && m.running()) {
+    const auto outcome = core::remove_ghostware(m, report, o);
+    std::printf("\nremoval: %zu hooks deleted, %zu files deleted, %s\n",
+                outcome.hooks_removed, outcome.files_deleted,
+                outcome.clean() ? "machine clean" : "STILL INFECTED");
+  }
+  if (!save_image.empty()) {
+    if (m.running()) m.shutdown();
+    m.disk().save_image(save_image);
+    std::printf("\ndisk image saved to %s (scan it with --scan-image)\n",
+                save_image.c_str());
+  }
+  return anything_found || infections.empty() ? 0 : 1;
+}

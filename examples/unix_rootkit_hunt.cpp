@@ -1,0 +1,52 @@
+// Section 5's Linux/Unix experiments: LKM rootkits (Darkside, Superkit,
+// Synapsis) and the T0rnkit trojaned-ls kit, detected by diffing the
+// infected "ls -laR" against the same command run from a clean boot CD.
+//
+//   $ ./examples/unix_rootkit_hunt
+#include <cstdio>
+
+#include "unixland/rootkits.h"
+
+int main() {
+  using namespace gb::unixland;
+
+  struct Case {
+    const char* label;
+    std::unique_ptr<UnixRootkit> (*make)();
+  };
+  const Case cases[] = {
+      {"Darkside 0.2.3 (FreeBSD)", &make_darkside},
+      {"Superkit (Linux)", &make_superkit},
+      {"Synapsis (Linux)", &make_synapsis},
+      {"T0rnkit (trojaned ls)", &make_t0rnkit},
+  };
+
+  bool all_detected = true;
+  for (const auto& c : cases) {
+    UnixMachine box;
+    auto kit = c.make();
+    kit->install(box);
+
+    // The window between the infected scan and the CD boot: an FTP
+    // daemon writes a couple of temp/log files.
+    const auto infected_view = box.scan_all_infected();
+    box.daemon_activity(2);
+    const auto clean_view = box.scan_all_clean();
+    const auto diff = unix_diff(infected_view, clean_view);
+
+    std::size_t kit_hits = 0, fps = 0;
+    for (const auto& h : diff.hidden) {
+      bool is_kit = false;
+      for (const auto& k : kit->hidden_paths()) {
+        if (h == k) is_kit = true;
+      }
+      is_kit ? ++kit_hits : ++fps;
+    }
+    const bool detected = kit_hits == kit->hidden_paths().size();
+    all_detected = all_detected && detected;
+    std::printf("%-26s %s  hidden=%zu  false-positives=%zu (daemon files)\n",
+                c.label, detected ? "DETECTED" : "MISSED", kit_hits, fps);
+    for (const auto& h : diff.hidden) std::printf("    %s\n", h.c_str());
+  }
+  return all_detected ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+#include "core/ads_scan.h"
+
+#include "ntfs/mft_scanner.h"
+#include "support/strings.h"
+
+namespace gb::core {
+
+DiffReport ads_scan(disk::SectorDevice& dev,
+                    const std::vector<std::string>& allowlist) {
+  DiffReport report;
+  report.type = ResourceType::kFile;
+  report.high_view = "Win32 API (no stream enumeration exists)";
+  report.low_view = "raw MFT named-$DATA walk";
+  report.low_trust = TrustLevel::kTruthApproximation;
+  report.high_count = 0;
+
+  ntfs::MftScanner scanner(dev);
+  for (const auto& f : scanner.scan()) {
+    if (f.is_system) continue;
+    for (const auto& stream : f.stream_names) {
+      ++report.low_count;
+      const bool allowed = [&] {
+        for (const auto& ok : allowlist) {
+          if (iequals(stream, ok)) return true;
+        }
+        return false;
+      }();
+      if (allowed) continue;
+      const std::string full = "C:\\" + f.path + ":" + stream;
+      Finding finding;
+      finding.resource = Resource{file_key(full), printable(full)};
+      finding.type = ResourceType::kFile;
+      finding.found_in = report.low_view;
+      finding.missing_from = report.high_view;
+      report.hidden.push_back(std::move(finding));
+    }
+  }
+  return report;
+}
+
+DiffReport ads_scan(machine::Machine& m,
+                    const std::vector<std::string>& allowlist) {
+  return ads_scan(m.disk(), allowlist);
+}
+
+}  // namespace gb::core

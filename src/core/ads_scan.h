@@ -1,0 +1,29 @@
+// Alternate Data Stream hunting — the paper's named future-work item.
+//
+// "Stealth software may hide their persistent state in a form for which
+// current OS does not provide query/enumeration APIs ... Alternate Data
+// Streams (ADS)." There is no high-level view to diff against: the Win32
+// surface simply cannot enumerate streams. The cross-view framework
+// still applies — the "API view" of the stream namespace is the empty
+// set, so every stream the raw MFT shows is a finding (minus a small
+// allowlist of streams legitimate software writes, like the IE
+// Zone.Identifier tag).
+#pragma once
+
+#include "core/differ.h"
+#include "disk/disk.h"
+#include "machine/machine.h"
+
+namespace gb::core {
+
+/// Scans the raw MFT for alternate data streams. Works on a live machine
+/// or (overload) a powered-off disk, exactly like the low-level file
+/// scan.
+DiffReport ads_scan(machine::Machine& m,
+                    const std::vector<std::string>& allowlist = {
+                        "Zone.Identifier"});
+DiffReport ads_scan(disk::SectorDevice& dev,
+                    const std::vector<std::string>& allowlist = {
+                        "Zone.Identifier"});
+
+}  // namespace gb::core

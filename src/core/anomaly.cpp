@@ -1,0 +1,36 @@
+#include "core/anomaly.h"
+
+#include <sstream>
+
+namespace gb::core {
+
+AnomalyAssessment assess_anomaly(const std::vector<DiffReport>& diffs,
+                                 std::size_t mass_threshold) {
+  AnomalyAssessment a;
+  for (const auto& d : diffs) {
+    switch (d.type) {
+      case ResourceType::kFile: a.hidden_files += d.hidden.size(); break;
+      case ResourceType::kAsepHook: a.hidden_hooks += d.hidden.size(); break;
+      case ResourceType::kProcess:
+        a.hidden_processes += d.hidden.size();
+        break;
+      case ResourceType::kModule: break;
+    }
+  }
+  a.mass_hiding = a.hidden_files >= mass_threshold;
+  std::ostringstream os;
+  if (a.mass_hiding) {
+    os << "SERIOUS ANOMALY: " << a.hidden_files
+       << " hidden files — mass hiding cannot make a machine look clean";
+  } else if (a.hidden_files + a.hidden_hooks + a.hidden_processes > 0) {
+    os << "hidden resources present (files=" << a.hidden_files
+       << " hooks=" << a.hidden_hooks << " processes=" << a.hidden_processes
+       << ")";
+  } else {
+    os << "no hiding detected";
+  }
+  a.summary = os.str();
+  return a;
+}
+
+}  // namespace gb::core

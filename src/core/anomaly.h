@@ -1,0 +1,27 @@
+// Mass-hiding anomaly detection (Section 5, "Ghostware Targeting
+// Issues").
+//
+// An attacker could hide a large number of innocent files alongside the
+// ghostware to bury the needle in noise. The count itself gives the game
+// away: "the existence of a large number of hidden files is a serious
+// anomaly."
+#pragma once
+
+#include "core/differ.h"
+
+namespace gb::core {
+
+struct AnomalyAssessment {
+  std::size_t hidden_files = 0;
+  std::size_t hidden_hooks = 0;
+  std::size_t hidden_processes = 0;
+  bool mass_hiding = false;  // hidden_files >= threshold
+  std::string summary;
+};
+
+/// Assesses a report for mass hiding. `mass_threshold` is the hidden-file
+/// count above which the report is escalated.
+AnomalyAssessment assess_anomaly(const std::vector<DiffReport>& diffs,
+                                 std::size_t mass_threshold = 50);
+
+}  // namespace gb::core

@@ -1,0 +1,82 @@
+#include "core/attribution.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.h"
+#include "winapi/api_env.h"
+
+namespace gb::core {
+
+namespace {
+
+/// Does an interception at `api` sit on the query path for `type`?
+bool api_matches_type(const std::string& api, ResourceType type) {
+  switch (type) {
+    case ResourceType::kFile:
+      return icontains(api, "FindFirst") || icontains(api, "DirectoryFile") ||
+             icontains(api, "IRP_MJ_DIRECTORY");
+    case ResourceType::kAsepHook:
+      return icontains(api, "RegEnum") || icontains(api, "EnumerateKey") ||
+             icontains(api, "EnumerateValue");
+    case ResourceType::kProcess:
+      return icontains(api, "QuerySystemInformation") ||
+             icontains(api, "Process32");
+    case ResourceType::kModule:
+      return icontains(api, "QueryInformationProcess") ||
+             icontains(api, "Module32");
+  }
+  return false;
+}
+
+void push_unique(std::vector<std::string>& v, const std::string& s) {
+  if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+}
+
+void push_unique(std::vector<HookType>& v, HookType t) {
+  if (std::find(v.begin(), v.end(), t) == v.end()) v.push_back(t);
+}
+
+}  // namespace
+
+AttributionReport attribute_findings(
+    machine::Machine& m, const Report& report,
+    const std::vector<std::string>& allowlist) {
+  AttributionReport out;
+  out.interceptions = suspicious_hooks(m, allowlist);
+
+  for (const auto& f : report.all_hidden()) {
+    AttributedFinding af;
+    af.finding = f;
+    for (const auto& hook : out.interceptions) {
+      if (!api_matches_type(hook.info.api, f.type)) continue;
+      push_unique(af.suspected_owners, hook.info.owner);
+      push_unique(af.techniques, hook.info.type);
+    }
+    out.findings.push_back(std::move(af));
+  }
+  return out;
+}
+
+std::string AttributionReport::to_string() const {
+  std::ostringstream os;
+  os << "=== attribution ===\n";
+  for (const auto& af : findings) {
+    os << resource_type_name(af.finding.type) << " "
+       << af.finding.resource.display << "\n";
+    if (af.suspected_owners.empty()) {
+      os << "    no interception on this query path — data-structure "
+            "manipulation (DKOM/PEB) or artifact visible only to the "
+            "trusted view\n";
+      continue;
+    }
+    os << "    suspects:";
+    for (const auto& owner : af.suspected_owners) os << " " << owner;
+    os << "  via";
+    for (const auto t : af.techniques) os << " " << hook_type_name(t);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gb::core

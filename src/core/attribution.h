@@ -1,0 +1,40 @@
+// Technique attribution: connect *what* is hidden to *how*.
+//
+// The cross-view diff proves something is hidden without knowing the
+// mechanism; the hook inventory knows the mechanisms without knowing
+// what they hide. Joining the two gives the analyst a useful report:
+// each finding is annotated with the interception points whose owner
+// name relates to the hidden artifact, plus the full list of suspicious
+// interceptions present on the machine. DKOM-style data-only hiding
+// correctly yields "no interception found — data-structure manipulation
+// or clean-view-only artifact".
+#pragma once
+
+#include "core/ghostbuster.h"
+#include "core/hook_detector.h"
+
+namespace gb::core {
+
+struct AttributedFinding {
+  Finding finding;
+  /// Hook owners whose installed interceptions could produce this
+  /// finding (matched on the API family for the resource type).
+  std::vector<std::string> suspected_owners;
+  /// Interception styles seen among the suspects (IAT, detour, SSDT...).
+  std::vector<HookType> techniques;
+};
+
+struct AttributionReport {
+  std::vector<AttributedFinding> findings;
+  /// All suspicious interceptions (input to the analysis).
+  std::vector<DetectedHook> interceptions;
+  std::string to_string() const;
+};
+
+/// Joins a GhostBuster report with the machine's interception inventory.
+/// `allowlist` names known-legitimate hook owners to ignore.
+AttributionReport attribute_findings(
+    machine::Machine& m, const Report& report,
+    const std::vector<std::string>& allowlist = {});
+
+}  // namespace gb::core

@@ -1,0 +1,41 @@
+#include "core/differ.h"
+
+#include <stdexcept>
+
+namespace gb::core {
+
+DiffReport cross_view_diff(const ScanResult& high, const ScanResult& low) {
+  if (high.type != low.type) {
+    throw std::invalid_argument("cross_view_diff: resource type mismatch");
+  }
+  DiffReport report;
+  report.type = high.type;
+  report.high_view = high.view_name;
+  report.low_view = low.view_name;
+  report.low_trust = low.trust;
+  report.high_count = high.resources.size();
+  report.low_count = low.resources.size();
+
+  // Single linear merge over the two sorted snapshots.
+  std::size_t i = 0, j = 0;
+  while (i < high.resources.size() || j < low.resources.size()) {
+    if (j == low.resources.size() ||
+        (i < high.resources.size() &&
+         high.resources[i].key < low.resources[j].key)) {
+      report.extra.push_back(Finding{high.resources[i], high.type,
+                                     high.view_name, low.view_name});
+      ++i;
+    } else if (i == high.resources.size() ||
+               low.resources[j].key < high.resources[i].key) {
+      report.hidden.push_back(Finding{low.resources[j], low.type,
+                                      low.view_name, high.view_name});
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return report;
+}
+
+}  // namespace gb::core

@@ -1,0 +1,48 @@
+// The cross-view differ — the paper's central mechanism.
+//
+// Given two snapshots of the same state taken at the same time from two
+// points of view, anything present in the more-trusted view but absent
+// from the less-trusted one is being hidden. (Contrast with Tripwire's
+// cross-*time* diff, which compares different points in time and suffers
+// legitimate-change false positives; cross-view diffs are nearly FP-free
+// because "legitimate programs rarely hide".)
+#pragma once
+
+#include "core/scan_result.h"
+
+namespace gb::core {
+
+/// One hidden (or anomalous extra) resource.
+struct Finding {
+  Resource resource;
+  ResourceType type = ResourceType::kFile;
+  std::string found_in;      // trusted view name
+  std::string missing_from;  // untrusted view name
+};
+
+/// Result of diffing one resource type across two views.
+struct DiffReport {
+  ResourceType type = ResourceType::kFile;
+  std::string high_view;
+  std::string low_view;
+  TrustLevel low_trust = TrustLevel::kTruthApproximation;
+
+  /// In the trusted (low/outside) view but not the API view: hidden.
+  std::vector<Finding> hidden;
+  /// In the API view but not the trusted view. Normally empty; nonempty
+  /// means the "truth" source itself was subverted (e.g. FU vs. the basic
+  /// low-level scan) or state changed between snapshots.
+  std::vector<Finding> extra;
+
+  std::size_t high_count = 0;
+  std::size_t low_count = 0;
+  double simulated_seconds = 0;  // filled by the orchestrator
+
+  bool clean() const { return hidden.empty() && extra.empty(); }
+};
+
+/// Diffs a high (API) snapshot against a low (trusted) snapshot of the
+/// same resource type. Both inputs must be normalized.
+DiffReport cross_view_diff(const ScanResult& high, const ScanResult& low);
+
+}  // namespace gb::core

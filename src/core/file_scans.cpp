@@ -1,0 +1,79 @@
+#include "core/file_scans.h"
+
+#include <functional>
+
+#include "ntfs/mft_scanner.h"
+#include "support/strings.h"
+
+namespace gb::core {
+
+ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx) {
+  ScanResult out;
+  out.view_name = "Win32 FindFile walk (" + ctx.image_name + ")";
+  out.type = ResourceType::kFile;
+  out.trust = TrustLevel::kApiView;
+
+  winapi::ApiEnv* env = m.win32().env(ctx.pid);
+  if (!env) throw std::invalid_argument("no API environment for context pid");
+
+  std::function<void(const std::string&)> walk = [&](const std::string& dir) {
+    bool ok = false;
+    const auto entries = env->find_files(ctx, dir, &ok);
+    if (!ok) return;  // path beyond Win32: contents invisible to this view
+    for (const auto& e : entries) {
+      const std::string full = join_path(dir, e.name);
+      out.resources.push_back(Resource{file_key(full), printable(full)});
+      ++out.work.records_visited;
+      if (e.is_directory) walk(full);
+    }
+  };
+  walk("C:");
+  out.normalize();
+  return out;
+}
+
+ScanResult low_level_file_scan(machine::Machine& m) {
+  ScanResult out;
+  out.view_name = "raw MFT scan";
+  out.type = ResourceType::kFile;
+  out.trust = TrustLevel::kTruthApproximation;
+
+  auto& stats = m.disk().stats();
+  stats.reset();
+  ntfs::MftScanner scanner(m.disk());
+  for (const auto& f : scanner.scan()) {
+    ++out.work.records_visited;
+    if (f.is_system) continue;
+    const std::string full = "C:\\" + f.path;
+    out.resources.push_back(Resource{file_key(full), printable(full)});
+  }
+  // The scanner also walks every unused MFT record slot; charge them.
+  out.work.records_visited = scanner.record_capacity();
+  out.work.bytes_read = stats.bytes_read();
+  out.work.seeks = stats.seeks;
+  stats.reset();
+  out.normalize();
+  return out;
+}
+
+ScanResult outside_file_scan(disk::SectorDevice& dev) {
+  ScanResult out;
+  out.view_name = "WinPE clean-boot scan";
+  out.type = ResourceType::kFile;
+  out.trust = TrustLevel::kTruth;
+
+  ntfs::NtfsVolume vol(dev);  // fresh mount: no hooks, no filters
+  std::function<void(const std::string&)> walk = [&](const std::string& dir) {
+    for (const auto& e : vol.list_directory(dir)) {
+      const std::string full = join_path(dir, e.name);
+      out.resources.push_back(Resource{file_key(full), printable(full)});
+      ++out.work.records_visited;
+      if (e.is_directory) walk(full);
+    }
+  };
+  walk("C:");
+  out.normalize();
+  return out;
+}
+
+}  // namespace gb::core

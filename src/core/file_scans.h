@@ -1,0 +1,29 @@
+// File scanners: the three views of Section 2.
+//
+//   high  — recursive FindFirstFile/FindNextFile walk from a chosen
+//           process context ("dir /s /b" equivalent) — may contain the lie
+//   low   — raw MFT parse of the live disk — truth approximation
+//   outside — clean mount of the powered-off disk (WinPE boot) — truth
+#pragma once
+
+#include "core/scan_result.h"
+#include "disk/disk.h"
+#include "machine/machine.h"
+
+namespace gb::core {
+
+/// Recursive Win32 enumeration from `ctx`'s process. Directories whose
+/// paths are not Win32-expressible cannot be descended into — their
+/// contents are simply absent from this view, as on real Windows.
+ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx);
+
+/// Raw MFT scan of the running machine's disk. Bypasses the entire API
+/// stack, filter drivers included. NTFS metadata files are excluded, as
+/// the real tool must exclude $-files.
+ScanResult low_level_file_scan(machine::Machine& m);
+
+/// Clean-boot scan of a (typically powered-off) disk: fresh volume mount,
+/// full native enumeration — no ghostware code is running.
+ScanResult outside_file_scan(disk::SectorDevice& dev);
+
+}  // namespace gb::core

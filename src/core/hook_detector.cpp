@@ -1,0 +1,39 @@
+#include "core/hook_detector.h"
+
+#include "support/strings.h"
+
+namespace gb::core {
+
+std::vector<DetectedHook> detect_hooks(machine::Machine& m) {
+  std::vector<DetectedHook> out;
+  // Per-process API environments.
+  for (const auto& [pid, env] : m.win32().envs()) {
+    const auto ctx = m.context_for(pid);
+    for (const auto& info : env->all_hooks()) {
+      out.push_back(DetectedHook{pid, ctx.image_name, info});
+    }
+  }
+  // Kernel-global surfaces.
+  for (const auto& info : m.kernel().ssdt().all_hooks()) {
+    out.push_back(DetectedHook{0, "", info});
+  }
+  for (const auto& name : m.kernel().filter_chain().names()) {
+    out.push_back(DetectedHook{
+        0, "", HookInfo{name, HookType::kFilterDriver, "IRP_MJ_DIRECTORY_CONTROL"}});
+  }
+  return out;
+}
+
+std::vector<DetectedHook> suspicious_hooks(
+    machine::Machine& m, const std::vector<std::string>& allowlist) {
+  auto hooks = detect_hooks(m);
+  std::erase_if(hooks, [&](const DetectedHook& h) {
+    for (const auto& ok : allowlist) {
+      if (iequals(h.info.owner, ok)) return true;
+    }
+    return false;
+  });
+  return hooks;
+}
+
+}  // namespace gb::core

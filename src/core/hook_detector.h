@@ -1,0 +1,37 @@
+// Mechanism-based hook detector (the paper's contrasted first approach).
+//
+// Tools like VICE and ApiHookCheck detect the *mechanism* — API
+// interceptions — rather than the *behaviour*. The paper points out two
+// weaknesses, both reproducible here: (1) ghostware that manipulates data
+// instead of code (FU's DKOM, Vanquish's PEB blanking, native-only file
+// names, embedded-NUL registry names) installs no hook and is missed;
+// (2) legitimate interception users (AV filter drivers, in-memory
+// patchers, fault-tolerance wrappers) are flagged as false positives.
+// bench_ablation compares this detector against the cross-view diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "support/hookable.h"
+
+namespace gb::core {
+
+struct DetectedHook {
+  kernel::Pid pid = 0;          // 0 for kernel-global hooks
+  std::string process_image;    // empty for kernel-global hooks
+  HookInfo info;
+};
+
+/// Enumerates every interception installed anywhere: per-process IAT /
+/// inline / detour hooks, SSDT entries, filter drivers, registry
+/// callbacks.
+std::vector<DetectedHook> detect_hooks(machine::Machine& m);
+
+/// Hook owners considered suspicious (everything except an allowlist of
+/// known-legitimate intercepting software).
+std::vector<DetectedHook> suspicious_hooks(
+    machine::Machine& m, const std::vector<std::string>& allowlist);
+
+}  // namespace gb::core

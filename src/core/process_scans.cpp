@@ -1,0 +1,125 @@
+#include "core/process_scans.h"
+
+#include "support/strings.h"
+
+namespace gb::core {
+
+namespace {
+
+Resource process_resource(const kernel::ProcessInfo& p) {
+  return Resource{process_key(p.pid, p.image_name),
+                  "pid " + std::to_string(p.pid) + " " +
+                      printable(p.image_name)};
+}
+
+Resource module_resource(kernel::Pid pid, std::string_view path,
+                         std::string_view name) {
+  return Resource{module_key(pid, path),
+                  "pid " + std::to_string(pid) + " " +
+                      (path.empty() ? "(blanked pathname: " +
+                                          printable(name) + ")"
+                                    : printable(path))};
+}
+
+void from_infos(const std::vector<kernel::ProcessInfo>& infos,
+                ScanResult& out) {
+  for (const auto& p : infos) {
+    out.resources.push_back(process_resource(p));
+    ++out.work.records_visited;
+  }
+  out.normalize();
+}
+
+}  // namespace
+
+ScanResult high_level_process_scan(machine::Machine& m,
+                                   const winapi::Ctx& ctx) {
+  ScanResult out;
+  out.view_name = "NtQuerySystemInformation (" + ctx.image_name + ")";
+  out.type = ResourceType::kProcess;
+  out.trust = TrustLevel::kApiView;
+  winapi::ApiEnv* env = m.win32().env(ctx.pid);
+  if (!env) throw std::invalid_argument("no API environment for context pid");
+  from_infos(env->nt_query_system_information(ctx), out);
+  return out;
+}
+
+ScanResult low_level_process_scan(machine::Machine& m) {
+  ScanResult out;
+  out.view_name = "driver: Active Process List walk";
+  out.type = ResourceType::kProcess;
+  out.trust = TrustLevel::kTruthApproximation;
+  from_infos(m.kernel().low_level_process_scan(), out);
+  return out;
+}
+
+ScanResult advanced_process_scan(machine::Machine& m) {
+  ScanResult out;
+  out.view_name = "driver: scheduler thread table walk (advanced mode)";
+  out.type = ResourceType::kProcess;
+  out.trust = TrustLevel::kTruthApproximation;
+  from_infos(m.kernel().advanced_process_scan(), out);
+  return out;
+}
+
+ScanResult dump_process_scan(const kernel::KernelDump& dump) {
+  ScanResult out;
+  out.view_name = "kernel dump: thread-table traversal";
+  out.type = ResourceType::kProcess;
+  out.trust = TrustLevel::kTruth;
+  from_infos(dump.thread_view(), out);
+  return out;
+}
+
+ScanResult high_level_module_scan(machine::Machine& m,
+                                  const winapi::Ctx& ctx) {
+  ScanResult out;
+  out.view_name = "toolhelp Module32 walk (" + ctx.image_name + ")";
+  out.type = ResourceType::kModule;
+  out.trust = TrustLevel::kApiView;
+  winapi::ApiEnv* env = m.win32().env(ctx.pid);
+  if (!env) throw std::invalid_argument("no API environment for context pid");
+
+  // Module enumeration is per process: only processes visible to the
+  // toolhelp view can be asked for their modules at all.
+  for (const auto& p : env->toolhelp_processes(ctx)) {
+    for (const auto& mod : env->toolhelp_modules(ctx, p.pid)) {
+      out.resources.push_back(module_resource(p.pid, mod.path, mod.name));
+      ++out.work.records_visited;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+ScanResult low_level_module_scan(machine::Machine& m) {
+  ScanResult out;
+  out.view_name = "driver: kernel module-truth walk";
+  out.type = ResourceType::kModule;
+  out.trust = TrustLevel::kTruthApproximation;
+  for (const auto& [pid, proc] : m.kernel().id_table()) {
+    for (const auto& mod : proc->kernel_modules()) {
+      out.resources.push_back(module_resource(pid, mod.path, mod.name));
+      ++out.work.records_visited;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+ScanResult dump_module_scan(const kernel::KernelDump& dump) {
+  ScanResult out;
+  out.view_name = "kernel dump: module traversal";
+  out.type = ResourceType::kModule;
+  out.trust = TrustLevel::kTruth;
+  for (const auto& p : dump.processes) {
+    for (const auto& mod : p.kernel_modules) {
+      out.resources.push_back(module_resource(p.pid, mod.path, mod.name));
+      ++out.work.records_visited;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace gb::core

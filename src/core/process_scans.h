@@ -1,0 +1,32 @@
+// Process and module scanners: Section 4's views.
+//
+// Processes:
+//   high      — NtQuerySystemInformation from a process context
+//   low       — driver walking the Active Process List (defeated by DKOM)
+//   advanced  — driver walking the scheduler thread table (finds FU)
+//   outside   — traversal of a blue-screen kernel dump
+//
+// Modules:
+//   high      — Process32/Module32 toolhelp walk (reads each target's PEB
+//               loader list; Vanquish blanks paths there)
+//   low       — kernel-side per-process module truth
+//   outside   — module lists from the kernel dump
+#pragma once
+
+#include "core/scan_result.h"
+#include "kernel/dump.h"
+#include "machine/machine.h"
+
+namespace gb::core {
+
+ScanResult high_level_process_scan(machine::Machine& m,
+                                   const winapi::Ctx& ctx);
+ScanResult low_level_process_scan(machine::Machine& m);
+ScanResult advanced_process_scan(machine::Machine& m);
+ScanResult dump_process_scan(const kernel::KernelDump& dump);
+
+ScanResult high_level_module_scan(machine::Machine& m, const winapi::Ctx& ctx);
+ScanResult low_level_module_scan(machine::Machine& m);
+ScanResult dump_module_scan(const kernel::KernelDump& dump);
+
+}  // namespace gb::core

@@ -1,0 +1,165 @@
+#include "core/registry_scans.h"
+
+#include <functional>
+
+#include "hive/hive.h"
+#include "ntfs/mft_scanner.h"
+#include "registry/aseps.h"
+#include "support/strings.h"
+
+namespace gb::core {
+
+namespace {
+
+/// View-independent ASEP walk: callers supply how to enumerate subkeys
+/// and values of a key, and the walk converts the catalogue's hooks to
+/// canonical resources. Using the same extraction for every view
+/// guarantees key-for-key comparability.
+struct AsepFetchers {
+  std::function<std::vector<std::string>(const std::string& key)> subkeys;
+  // (counted name, data-as-string) pairs
+  std::function<std::vector<std::pair<std::string, std::string>>(
+      const std::string& key)>
+      values;
+};
+
+std::string find_value_data(const AsepFetchers& f, const std::string& key,
+                            std::string_view name) {
+  for (const auto& [n, data] : f.values(key)) {
+    if (iequals(n, name)) return data;
+  }
+  return {};
+}
+
+void extract_asep_hooks(const AsepFetchers& f, ScanResult& out) {
+  for (const auto& asep : registry::standard_aseps()) {
+    switch (asep.kind) {
+      case registry::AsepKind::kValues:
+        for (const auto& [name, data] : f.values(asep.key_path)) {
+          out.resources.push_back(
+              Resource{asep_key(asep.key_path, name, ""),
+                       asep.id + ": " + printable(name) + " -> " +
+                           printable(data)});
+          ++out.work.records_visited;
+        }
+        break;
+      case registry::AsepKind::kSubkeys:
+        for (const auto& sub : f.subkeys(asep.key_path)) {
+          const std::string key = asep.key_path + "\\" + sub;
+          const std::string target = find_value_data(f, key, "ImagePath");
+          out.resources.push_back(
+              Resource{asep_key(key, "", ""),
+                       asep.id + ": " + printable(sub) + " -> " +
+                           printable(target)});
+          ++out.work.records_visited;
+        }
+        break;
+      case registry::AsepKind::kNamedValue: {
+        const std::string data =
+            find_value_data(f, asep.key_path, asep.value_name);
+        for (const auto& item : split(data, ' ')) {
+          if (item.empty()) continue;
+          out.resources.push_back(
+              Resource{asep_key(asep.key_path, asep.value_name, item),
+                       asep.id + ": " + printable(item)});
+          ++out.work.records_visited;
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Loads the standard hives from raw disk bytes into an offline registry.
+registry::ConfigurationManager load_offline_registry(
+    ntfs::MftScanner& scanner, machine::ScanWork& work) {
+  registry::ConfigurationManager offline;
+  for (const auto& mount : registry::standard_hive_mounts()) {
+    const auto rec = scanner.find(mount.backing_file);
+    if (!rec) continue;
+    const auto bytes = scanner.read_file_data(*rec);
+    work.bytes_read += bytes.size();
+    offline.create_hive(mount.mount, mount.backing_file);
+    offline.load_hive(mount.mount, hive::parse_hive(bytes));
+  }
+  return offline;
+}
+
+AsepFetchers offline_fetchers(const registry::ConfigurationManager& reg) {
+  AsepFetchers f;
+  f.subkeys = [&reg](const std::string& key) {
+    return reg.enum_subkeys_raw(key);
+  };
+  f.values = [&reg](const std::string& key) {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& v : reg.enum_values_raw(key)) {
+      out.emplace_back(v.name, v.as_string());
+    }
+    return out;
+  };
+  return f;
+}
+
+}  // namespace
+
+ScanResult high_level_registry_scan(machine::Machine& m,
+                                    const winapi::Ctx& ctx) {
+  ScanResult out;
+  out.view_name = "Win32 Reg API scan (" + ctx.image_name + ")";
+  out.type = ResourceType::kAsepHook;
+  out.trust = TrustLevel::kApiView;
+
+  winapi::ApiEnv* env = m.win32().env(ctx.pid);
+  if (!env) throw std::invalid_argument("no API environment for context pid");
+
+  AsepFetchers f;
+  f.subkeys = [env, &ctx](const std::string& key) {
+    return env->reg_enum_keys(ctx, key);
+  };
+  f.values = [env, &ctx](const std::string& key) {
+    std::vector<std::pair<std::string, std::string>> out_vals;
+    for (const auto& v : env->reg_enum_values(ctx, key)) {
+      out_vals.emplace_back(v.name, v.value.as_string());
+    }
+    return out_vals;
+  };
+  extract_asep_hooks(f, out);
+  out.normalize();
+  return out;
+}
+
+ScanResult low_level_registry_scan(machine::Machine& m) {
+  ScanResult out;
+  out.view_name = "raw hive parse";
+  out.type = ResourceType::kAsepHook;
+  out.trust = TrustLevel::kTruthApproximation;
+
+  // Make the backing files current, then read them below the API stack.
+  // (The flush itself is why this is a truth *approximation*: privileged
+  // ghostware could in principle tamper with the copy path.)
+  m.flush_registry();
+  auto& stats = m.disk().stats();
+  stats.reset();
+  ntfs::MftScanner scanner(m.disk());
+  auto offline = load_offline_registry(scanner, out.work);
+  extract_asep_hooks(offline_fetchers(offline), out);
+  out.work.seeks += stats.seeks;
+  stats.reset();
+  out.normalize();
+  return out;
+}
+
+ScanResult outside_registry_scan(disk::SectorDevice& dev) {
+  ScanResult out;
+  out.view_name = "WinPE mounted-hive scan";
+  out.type = ResourceType::kAsepHook;
+  out.trust = TrustLevel::kTruth;
+
+  ntfs::MftScanner scanner(dev);
+  auto offline = load_offline_registry(scanner, out.work);
+  extract_asep_hooks(offline_fetchers(offline), out);
+  out.normalize();
+  return out;
+}
+
+}  // namespace gb::core

@@ -1,0 +1,24 @@
+// Registry (ASEP hook) scanners: Section 3's three views.
+//
+//   high   — Win32 RegEnumKey/RegEnumValue walk of the ASEP catalogue
+//            from a chosen process context (RegEdit equivalent)
+//   low    — flush + raw parse of the hive backing files, read straight
+//            from the MFT below every API layer — truth approximation
+//   outside — hive files parsed from the powered-off disk (the paper
+//            mounts them under the WinPE registry) — truth
+#pragma once
+
+#include "core/scan_result.h"
+#include "disk/disk.h"
+#include "machine/machine.h"
+
+namespace gb::core {
+
+ScanResult high_level_registry_scan(machine::Machine& m,
+                                    const winapi::Ctx& ctx);
+
+ScanResult low_level_registry_scan(machine::Machine& m);
+
+ScanResult outside_registry_scan(disk::SectorDevice& dev);
+
+}  // namespace gb::core

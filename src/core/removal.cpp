@@ -1,0 +1,88 @@
+#include "core/removal.h"
+
+#include "ntfs/mft_scanner.h"
+#include "support/strings.h"
+
+namespace gb::core {
+
+namespace {
+
+/// Splits a canonical ASEP key "key|value|data-item" back into parts.
+/// Safe because registry paths cannot contain '|'.
+std::vector<std::string> split_asep_key(const std::string& key) {
+  return split(key, '|');
+}
+
+}  // namespace
+
+RemovalOutcome remove_ghostware(machine::Machine& m, const Report& report,
+                                const Options& opts) {
+  RemovalOutcome outcome;
+  auto& reg = m.registry();
+
+  // 1. Delete every hidden ASEP hook. Writes go straight to the live
+  // configuration manager: ghostware intercepts queries, not writes.
+  for (const auto& f : report.all_hidden()) {
+    if (f.type != ResourceType::kAsepHook) continue;
+    const auto parts = split_asep_key(f.resource.key);
+    if (parts.size() != 3) continue;
+    const std::string& key_path = parts[0];
+    const std::string& value_name = parts[1];
+    const std::string& data_item = parts[2];
+    bool removed = false;
+    if (value_name.empty()) {
+      removed = reg.delete_key(key_path);
+    } else if (data_item.empty()) {
+      removed = reg.delete_value(key_path, value_name);
+    } else {
+      // AppInit_DLLs-style: strip the item out of the value data.
+      if (const hive::Value* v = reg.get_value(key_path, value_name)) {
+        std::string rebuilt;
+        for (const auto& tok : split(v->as_string(), ' ')) {
+          if (tok.empty() || iequals(tok, data_item)) continue;
+          if (!rebuilt.empty()) rebuilt.push_back(' ');
+          rebuilt += tok;
+        }
+        reg.set_value(key_path, hive::Value::string(v->name, rebuilt));
+        removed = true;
+      }
+    }
+    if (removed) ++outcome.hooks_removed;
+  }
+
+  // 2. Reboot: auto-start guards fail, hooks are gone, files visible.
+  m.reboot();
+  outcome.rebooted = true;
+
+  // 3. Delete the previously hidden files.
+  for (const auto& f : report.all_hidden()) {
+    if (f.type != ResourceType::kFile) continue;
+    // The finding's display is the printable path; the canonical key is
+    // already the folded full path, which the volume accepts directly.
+    const std::string& path = f.resource.key;
+    if (!m.volume().exists(path)) {
+      // Index-orphaned (data-only hiding): the path does not resolve even
+      // though the record exists. Locate it in the raw MFT, re-link it
+      // into its directory, then delete normally.
+      ntfs::MftScanner scanner(m.disk());
+      if (const auto rec = scanner.find(path)) {
+        m.volume().index_relink(*rec);
+      }
+    }
+    if (!m.volume().exists(path)) continue;
+    const auto info = m.volume().stat(path);
+    if (info && info->is_directory) {
+      m.volume().remove_recursive(path);
+    } else {
+      m.volume().remove(path);
+    }
+    ++outcome.files_deleted;
+  }
+
+  // 4. Verify.
+  GhostBuster gb(m);
+  outcome.verification = gb.inside_scan(opts);
+  return outcome;
+}
+
+}  // namespace gb::core

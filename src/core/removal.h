@@ -1,0 +1,31 @@
+// Ghostware removal workflow (Section 3 / Section 6).
+//
+// "Detection of hidden ASEP hooks is particularly useful for ghostware
+// removal: it locates the Registry keys that can be deleted to disable
+// the ghostware after a reboot ... the user can locate and remove those
+// files once the machine is rebooted and those files are no longer
+// hidden." The Hacker Defender walkthrough in Section 6 is exactly:
+// detect (seconds) -> delete hooks -> reboot -> delete now-visible files.
+#pragma once
+
+#include "core/ghostbuster.h"
+
+namespace gb::core {
+
+struct RemovalOutcome {
+  std::size_t hooks_removed = 0;
+  std::size_t files_deleted = 0;
+  bool rebooted = false;
+  /// Post-removal verification scan.
+  Report verification;
+  bool clean() const { return !verification.infection_detected(); }
+};
+
+/// Deletes the hidden ASEP hooks named in `report`, reboots (disabling
+/// the ghostware, whose auto-start guard no longer holds), deletes the
+/// previously hidden files (now visible), and re-runs an inside scan to
+/// verify. `opts` controls the verification scan.
+RemovalOutcome remove_ghostware(machine::Machine& m, const Report& report,
+                                const Options& opts = {});
+
+}  // namespace gb::core

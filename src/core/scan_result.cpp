@@ -1,0 +1,61 @@
+#include "core/scan_result.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace gb::core {
+
+const char* trust_level_name(TrustLevel t) {
+  switch (t) {
+    case TrustLevel::kApiView: return "API view";
+    case TrustLevel::kTruthApproximation: return "truth approximation";
+    case TrustLevel::kTruth: return "truth";
+  }
+  return "unknown";
+}
+
+const char* resource_type_name(ResourceType t) {
+  switch (t) {
+    case ResourceType::kFile: return "file";
+    case ResourceType::kAsepHook: return "ASEP hook";
+    case ResourceType::kProcess: return "process";
+    case ResourceType::kModule: return "module";
+  }
+  return "unknown";
+}
+
+void ScanResult::normalize() {
+  std::sort(resources.begin(), resources.end());
+  resources.erase(std::unique(resources.begin(), resources.end()),
+                  resources.end());
+}
+
+bool ScanResult::contains(std::string_view key) const {
+  const auto it = std::lower_bound(
+      resources.begin(), resources.end(), key,
+      [](const Resource& r, std::string_view k) {
+        return std::string_view(r.key) < k;
+      });
+  return it != resources.end() && it->key == key;
+}
+
+std::string file_key(std::string_view full_path) {
+  return fold_case(full_path);
+}
+
+std::string asep_key(std::string_view key_path, std::string_view value_name,
+                     std::string_view data_item) {
+  return fold_case(key_path) + "|" + fold_case(value_name) + "|" +
+         fold_case(data_item);
+}
+
+std::string process_key(std::uint32_t pid, std::string_view image_name) {
+  return std::to_string(pid) + "|" + fold_case(image_name);
+}
+
+std::string module_key(std::uint32_t pid, std::string_view module_path) {
+  return std::to_string(pid) + "|" + fold_case(module_path);
+}
+
+}  // namespace gb::core

@@ -1,0 +1,81 @@
+// Sector-addressed block device abstraction.
+//
+// The NTFS driver writes real on-disk structures through this interface,
+// and the low-level MFT scanner reads them back independently — the same
+// bytes a raw-disk read would see on the paper's machines. I/O statistics
+// feed the machine timing model that reproduces the paper's scan-time
+// tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gb::disk {
+
+inline constexpr std::size_t kSectorSize = 512;
+
+/// Cumulative I/O counters; reset-able between measured phases.
+struct IoStats {
+  std::uint64_t sectors_read = 0;
+  std::uint64_t sectors_written = 0;
+  std::uint64_t seeks = 0;  // non-contiguous accesses
+
+  std::uint64_t bytes_read() const { return sectors_read * kSectorSize; }
+  std::uint64_t bytes_written() const { return sectors_written * kSectorSize; }
+  void reset() { *this = IoStats{}; }
+};
+
+/// Abstract block device.
+class SectorDevice {
+ public:
+  virtual ~SectorDevice() = default;
+
+  virtual std::uint64_t sector_count() const = 0;
+  virtual void read(std::uint64_t lba, std::span<std::byte> out) = 0;
+  virtual void write(std::uint64_t lba, std::span<const std::byte> data) = 0;
+
+  std::uint64_t size_bytes() const { return sector_count() * kSectorSize; }
+};
+
+/// In-memory disk image with seek tracking.
+///
+/// This object doubles as the "physical drive": the outside-the-box WinPE
+/// scan and the VM host-side scan both operate on the same image after
+/// the machine that owned it has shut down.
+class MemDisk final : public SectorDevice {
+ public:
+  explicit MemDisk(std::uint64_t sector_count);
+
+  std::uint64_t sector_count() const override { return sector_count_; }
+  void read(std::uint64_t lba, std::span<std::byte> out) override;
+  void write(std::uint64_t lba, std::span<const std::byte> data) override;
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  /// Full raw image view (for the byte-level scanners).
+  std::span<const std::byte> image() const { return image_; }
+
+  /// Writes the raw image to a host file (a ".img" a VM product would
+  /// expose — Section 5 scans a powered-down VM's virtual disk from the
+  /// host through exactly such a file).
+  void save_image(const std::string& host_path) const;
+  /// Loads a previously saved image; the file size must be a whole number
+  /// of sectors.
+  static MemDisk load_image(const std::string& host_path);
+
+ private:
+  void check_range(std::uint64_t lba, std::size_t sectors) const;
+  void note_access(std::uint64_t lba, std::size_t sectors, bool write);
+
+  std::uint64_t sector_count_;
+  std::vector<std::byte> image_;
+  IoStats stats_;
+  std::uint64_t last_lba_ = ~0ull;  // for seek detection
+};
+
+}  // namespace gb::disk

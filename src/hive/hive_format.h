@@ -1,0 +1,61 @@
+// Windows registry hive ("regf") binary format, miniature edition.
+//
+// A hive file is a 4 KiB base block followed by "hbin" allocation bins
+// containing cells. Cell kinds reproduced here: key nodes ("nk"), value
+// records ("vk"), subkey lists ("lh"), value lists (bare offset arrays)
+// and raw data cells. Names are *counted* — they may legally contain
+// embedded NUL characters, which is exactly the Native-API registry
+// hiding trick of Section 3 of the paper. Small value data (<= 4 bytes)
+// is stored inline in the offset field with the 0x80000000 length bit
+// set, as in the real format.
+//
+// Deviations (DESIGN.md §6): no 'lf' list variant, no 'db' big data
+// cells, no security descriptors, single-file hives.
+#pragma once
+
+#include <cstdint>
+
+namespace gb::hive {
+
+inline constexpr std::uint32_t kRegfMagic = 0x66676572;  // "regf"
+inline constexpr std::uint32_t kHbinMagic = 0x6e696268;  // "hbin"
+inline constexpr std::uint16_t kNkMagic = 0x6b6e;        // "nk"
+inline constexpr std::uint16_t kVkMagic = 0x6b76;        // "vk"
+inline constexpr std::uint16_t kLhMagic = 0x686c;        // "lh"
+inline constexpr std::uint16_t kRiMagic = 0x6972;        // "ri" (indirect)
+
+/// Subkey-list split threshold: an 'lh' cell holds at most this many
+/// entries; larger key sets go through an 'ri' indirection cell pointing
+/// at multiple 'lh' cells, as in real hives.
+inline constexpr std::size_t kMaxLhEntries = 511;
+
+inline constexpr std::size_t kBaseBlockSize = 4096;
+inline constexpr std::size_t kHbinSize = 4096;
+
+/// Inline-data marker on the vk data length field.
+inline constexpr std::uint32_t kDataInline = 0x80000000u;
+
+/// nk flags.
+inline constexpr std::uint16_t kNkRoot = 0x0004;
+
+/// Registry value types (REG_*; real Win32 values).
+enum class ValueType : std::uint32_t {
+  kNone = 0,
+  kString = 1,       // REG_SZ
+  kExpandString = 2, // REG_EXPAND_SZ
+  kBinary = 3,       // REG_BINARY
+  kDword = 4,        // REG_DWORD
+  kMultiString = 7,  // REG_MULTI_SZ
+};
+
+/// Base block field offsets.
+struct BaseBlockLayout {
+  static constexpr std::size_t kMagic = 0;        // u32 "regf"
+  static constexpr std::size_t kSeq1 = 4;         // u32
+  static constexpr std::size_t kSeq2 = 8;         // u32
+  static constexpr std::size_t kRootCell = 36;    // u32, offset from hbin area
+  static constexpr std::size_t kDataLength = 40;  // u32, hbin area bytes
+  static constexpr std::size_t kName = 48;        // 64 bytes, hive name
+};
+
+}  // namespace gb::hive

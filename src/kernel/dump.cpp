@@ -1,0 +1,165 @@
+#include "kernel/dump.h"
+
+#include <algorithm>
+
+namespace gb::kernel {
+
+namespace {
+
+constexpr std::uint64_t kDumpMagic = 0x31304d5044424747ull;  // "GGBDPM01"
+
+void write_str(ByteWriter& w, std::string_view s) {
+  w.u16(static_cast<std::uint16_t>(s.size()));
+  w.str(s);
+}
+
+std::string read_str(ByteReader& r) {
+  const std::uint16_t len = r.u16();
+  return r.str(len);
+}
+
+}  // namespace
+
+std::vector<ProcessInfo> KernelDump::active_view() const {
+  std::vector<ProcessInfo> out;
+  for (const Pid pid : active_list) {
+    if (const ProcessImage* p = find(pid)) {
+      out.push_back(ProcessInfo{p->pid, p->parent_pid, p->image_name});
+    }
+  }
+  return out;
+}
+
+std::vector<ProcessInfo> KernelDump::thread_view() const {
+  std::vector<ProcessInfo> out;
+  std::vector<Pid> seen;
+  for (const Thread& t : threads) {
+    if (std::find(seen.begin(), seen.end(), t.owner_pid) != seen.end()) {
+      continue;
+    }
+    seen.push_back(t.owner_pid);
+    if (const ProcessImage* p = find(t.owner_pid)) {
+      out.push_back(ProcessInfo{p->pid, p->parent_pid, p->image_name});
+    }
+  }
+  return out;
+}
+
+const KernelDump::ProcessImage* KernelDump::find(Pid pid) const {
+  for (const auto& p : processes) {
+    if (p.pid == pid) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<std::byte> serialize_dump(const KernelDump& dump) {
+  ByteWriter w;
+  w.u64(kDumpMagic);
+
+  w.u32(static_cast<std::uint32_t>(dump.processes.size()));
+  for (const auto& p : dump.processes) {
+    w.u32(p.pid);
+    w.u32(p.parent_pid);
+    write_str(w, p.image_name);
+    write_str(w, p.image_path);
+    w.u32(static_cast<std::uint32_t>(p.peb_modules.size()));
+    for (const auto& m : p.peb_modules) {
+      write_str(w, m.path);
+      write_str(w, m.name);
+    }
+    w.u32(static_cast<std::uint32_t>(p.kernel_modules.size()));
+    for (const auto& m : p.kernel_modules) {
+      write_str(w, m.path);
+      write_str(w, m.name);
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(dump.active_list.size()));
+  for (const Pid pid : dump.active_list) w.u32(pid);
+
+  w.u32(static_cast<std::uint32_t>(dump.threads.size()));
+  for (const Thread& t : dump.threads) {
+    w.u32(t.tid);
+    w.u32(t.owner_pid);
+  }
+
+  w.u32(static_cast<std::uint32_t>(dump.drivers.size()));
+  for (const Driver& d : dump.drivers) {
+    write_str(w, d.name);
+    write_str(w, d.image_path);
+  }
+  return std::move(w).take();
+}
+
+std::vector<std::byte> write_dump(const Kernel& kernel) {
+  KernelDump dump;
+  for (const auto& [pid, proc] : kernel.id_table()) {
+    KernelDump::ProcessImage p;
+    p.pid = pid;
+    p.parent_pid = proc->parent_pid();
+    p.image_name = proc->image_name();
+    p.image_path = proc->image_path();
+    p.peb_modules = proc->peb_modules();
+    p.kernel_modules = proc->kernel_modules();
+    dump.processes.push_back(std::move(p));
+  }
+  dump.active_list.assign(kernel.active_process_list().begin(),
+                          kernel.active_process_list().end());
+  dump.threads = kernel.scheduler_threads();
+  dump.drivers = kernel.drivers();
+  return serialize_dump(dump);
+}
+
+KernelDump parse_dump(std::span<const std::byte> image) {
+  ByteReader r(image);
+  if (r.u64() != kDumpMagic) throw ParseError("bad dump magic");
+
+  KernelDump dump;
+  const std::uint32_t n_proc = r.u32();
+  dump.processes.reserve(n_proc);
+  for (std::uint32_t i = 0; i < n_proc; ++i) {
+    KernelDump::ProcessImage p;
+    p.pid = r.u32();
+    p.parent_pid = r.u32();
+    p.image_name = read_str(r);
+    p.image_path = read_str(r);
+    const std::uint32_t n_peb = r.u32();
+    for (std::uint32_t j = 0; j < n_peb; ++j) {
+      PebModuleEntry m;
+      m.path = read_str(r);
+      m.name = read_str(r);
+      p.peb_modules.push_back(std::move(m));
+    }
+    const std::uint32_t n_kmod = r.u32();
+    for (std::uint32_t j = 0; j < n_kmod; ++j) {
+      KernelModule m;
+      m.path = read_str(r);
+      m.name = read_str(r);
+      p.kernel_modules.push_back(std::move(m));
+    }
+    dump.processes.push_back(std::move(p));
+  }
+
+  const std::uint32_t n_active = r.u32();
+  for (std::uint32_t i = 0; i < n_active; ++i) dump.active_list.push_back(r.u32());
+
+  const std::uint32_t n_threads = r.u32();
+  for (std::uint32_t i = 0; i < n_threads; ++i) {
+    Thread t;
+    t.tid = r.u32();
+    t.owner_pid = r.u32();
+    dump.threads.push_back(t);
+  }
+
+  const std::uint32_t n_drivers = r.u32();
+  for (std::uint32_t i = 0; i < n_drivers; ++i) {
+    Driver d;
+    d.name = read_str(r);
+    d.image_path = read_str(r);
+    dump.drivers.push_back(std::move(d));
+  }
+  if (!r.at_end()) throw ParseError("trailing bytes in dump");
+  return dump;
+}
+
+}  // namespace gb::kernel

@@ -1,0 +1,60 @@
+// Kernel crash-dump export and offline parsing.
+//
+// Section 4's outside-the-box scan of volatile state: the paper induces a
+// blue screen to write kernel memory to a dump file, then traverses the
+// process structures in the dump from the clean WinPE boot. Here the
+// "dump" is a byte-serialization of the kernel's object tables; the
+// parser below is independent byte-level code, mirroring how the paper's
+// traversal code runs against a file rather than live memory.
+//
+// As the paper notes, this is a truth *approximation*: ghostware that
+// traps the blue-screen path could scrub itself from the dump. The
+// simulation models that too — see Machine::bluescreen()'s scrubber hook.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "support/bytes.h"
+
+namespace gb::kernel {
+
+/// Parsed dump contents.
+struct KernelDump {
+  struct ProcessImage {
+    Pid pid = 0;
+    Pid parent_pid = 0;
+    std::string image_name;
+    std::string image_path;
+    std::vector<PebModuleEntry> peb_modules;
+    std::vector<KernelModule> kernel_modules;
+  };
+
+  std::vector<ProcessImage> processes;  // every object in the id table
+  std::vector<Pid> active_list;         // linkage at dump time
+  std::vector<Thread> threads;          // scheduler table at dump time
+  std::vector<Driver> drivers;
+
+  /// Processes as seen by walking the dumped Active Process List.
+  std::vector<ProcessInfo> active_view() const;
+  /// Processes reconstructed from the dumped thread table (finds
+  /// DKOM-unlinked processes).
+  std::vector<ProcessInfo> thread_view() const;
+  const ProcessImage* find(Pid pid) const;
+};
+
+/// Serializes the kernel's current state ("MEMORY.DMP").
+std::vector<std::byte> write_dump(const Kernel& kernel);
+
+/// Parses dump bytes. Throws gb::ParseError on malformed input.
+KernelDump parse_dump(std::span<const std::byte> image);
+
+/// Re-serializes a (possibly edited) parsed dump. parse_dump and
+/// serialize_dump are exact inverses; this is what a dump-scrubbing
+/// attack (the paper's anticipated countermeasure) needs.
+std::vector<std::byte> serialize_dump(const KernelDump& dump);
+
+}  // namespace gb::kernel

@@ -1,0 +1,34 @@
+#include "kernel/filter_chain.h"
+
+namespace gb::kernel {
+
+std::size_t FileFilterChain::detach(std::string_view name) {
+  const auto before = drivers_.size();
+  std::erase_if(drivers_,
+                [&](const FilterDriver& d) { return d.name == name; });
+  return before - drivers_.size();
+}
+
+std::vector<std::string> FileFilterChain::names() const {
+  std::vector<std::string> out;
+  out.reserve(drivers_.size());
+  for (const auto& d : drivers_) out.push_back(d.name);
+  return out;
+}
+
+std::vector<FindData> FileFilterChain::query_directory(
+    const Irp& irp,
+    const std::function<std::vector<FindData>(const Irp&)>& fs_base) const {
+  // Build the downward call chain recursively from the top of the stack.
+  std::function<std::vector<FindData>(std::size_t, const Irp&)> run =
+      [&](std::size_t depth, const Irp& cur) -> std::vector<FindData> {
+    if (depth == 0) return fs_base(cur);
+    const FilterDriver& d = drivers_[depth - 1];
+    if (!d.on_query_directory) return run(depth - 1, cur);
+    return d.on_query_directory(
+        cur, [&run, depth](const Irp& inner) { return run(depth - 1, inner); });
+  };
+  return run(drivers_.size(), irp);
+}
+
+}  // namespace gb::kernel

@@ -1,0 +1,48 @@
+// File-system filter driver chain.
+//
+// The four commercial file hiders in Figure 2 sit here: a filter driver
+// inserted into the file system stack sees every directory-enumeration
+// IRP (with the originating process) before NTFS's answer is returned
+// upward, and may remove entries. Attach order matters: the most recently
+// attached filter sits highest in the stack, exactly as on Windows.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+
+namespace gb::kernel {
+
+/// A filter driver's directory-query interception. `next` invokes the
+/// rest of the stack (ultimately the NTFS driver).
+using QueryDirectoryFilter = std::function<std::vector<FindData>(
+    const Irp& irp,
+    const std::function<std::vector<FindData>(const Irp&)>& next)>;
+
+struct FilterDriver {
+  std::string name;
+  QueryDirectoryFilter on_query_directory;  // may be null (pass-through)
+};
+
+class FileFilterChain {
+ public:
+  void attach(FilterDriver driver) { drivers_.push_back(std::move(driver)); }
+
+  /// Detaches all filters with the given name; returns how many.
+  std::size_t detach(std::string_view name);
+
+  std::size_t size() const { return drivers_.size(); }
+  std::vector<std::string> names() const;
+
+  /// Runs the IRP down the stack; `fs_base` is the NTFS driver's answer.
+  std::vector<FindData> query_directory(
+      const Irp& irp,
+      const std::function<std::vector<FindData>(const Irp&)>& fs_base) const;
+
+ private:
+  std::vector<FilterDriver> drivers_;  // back = top of stack
+};
+
+}  // namespace gb::kernel

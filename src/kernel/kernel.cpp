@@ -1,0 +1,117 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace gb::kernel {
+
+Kernel::Kernel() {
+  // Bind the SSDT entries whose truth lives inside the kernel itself.
+  // (File and registry services are bound by the machine assembly, which
+  // owns the NTFS volume and configuration manager.)
+  ssdt_.nt_query_system_information.set_base(
+      [this](const SyscallContext&) { return walk_active_list(); });
+  ssdt_.nt_query_information_process.set_base(
+      [this](const SyscallContext&, Pid target) -> std::vector<PebModuleEntry> {
+        const Process* p = find_process(target);
+        if (!p) return {};
+        return p->peb_modules();
+      });
+}
+
+Process& Kernel::create_process(std::string_view image_path, Pid parent,
+                                int thread_count) {
+  const Pid pid = next_pid_;
+  next_pid_ += 4;
+  auto proc = std::make_unique<Process>(pid, parent, std::string(image_path),
+                                        std::string(base_name(image_path)));
+  proc->load_module(image_path);
+  Process& ref = *proc;
+  id_table_.emplace(pid, std::move(proc));
+  active_list_.push_back(pid);
+  for (int i = 0; i < thread_count; ++i) {
+    threads_.push_back(Thread{next_tid_, pid});
+    next_tid_ += 4;
+  }
+  return ref;
+}
+
+void Kernel::terminate_process(Pid pid) {
+  const auto it = id_table_.find(pid);
+  if (it == id_table_.end()) throw KernelError("no such process");
+  active_list_.remove(pid);
+  std::erase_if(threads_, [pid](const Thread& t) { return t.owner_pid == pid; });
+  id_table_.erase(it);
+}
+
+Process* Kernel::find_process(Pid pid) {
+  const auto it = id_table_.find(pid);
+  return it == id_table_.end() ? nullptr : it->second.get();
+}
+
+const Process* Kernel::find_process(Pid pid) const {
+  const auto it = id_table_.find(pid);
+  return it == id_table_.end() ? nullptr : it->second.get();
+}
+
+Process* Kernel::find_process_by_name(std::string_view image_name) {
+  for (auto& [pid, proc] : id_table_) {
+    if (iequals(proc->image_name(), image_name)) return proc.get();
+  }
+  return nullptr;
+}
+
+bool Kernel::dkom_unlink(Pid pid) {
+  const auto it = std::find(active_list_.begin(), active_list_.end(), pid);
+  if (it == active_list_.end()) return false;
+  active_list_.erase(it);
+  return true;
+}
+
+bool Kernel::dkom_relink(Pid pid) {
+  if (!id_table_.contains(pid)) return false;
+  if (std::find(active_list_.begin(), active_list_.end(), pid) !=
+      active_list_.end()) {
+    return false;
+  }
+  active_list_.push_back(pid);
+  return true;
+}
+
+std::vector<ProcessInfo> Kernel::walk_active_list() const {
+  std::vector<ProcessInfo> out;
+  out.reserve(active_list_.size());
+  for (const Pid pid : active_list_) {
+    const Process* p = find_process(pid);
+    if (p) out.push_back(p->info());
+  }
+  return out;
+}
+
+std::vector<ProcessInfo> Kernel::advanced_process_scan() const {
+  std::vector<ProcessInfo> out;
+  std::vector<Pid> seen;
+  for (const Thread& t : threads_) {
+    if (std::find(seen.begin(), seen.end(), t.owner_pid) != seen.end()) {
+      continue;
+    }
+    seen.push_back(t.owner_pid);
+    const Process* p = find_process(t.owner_pid);
+    if (p) out.push_back(p->info());
+  }
+  return out;
+}
+
+void Kernel::load_driver(std::string_view name, std::string_view image_path) {
+  drivers_.push_back(Driver{std::string(name), std::string(image_path)});
+}
+
+bool Kernel::unload_driver(std::string_view name) {
+  const auto before = drivers_.size();
+  std::erase_if(drivers_,
+                [&](const Driver& d) { return iequals(d.name, name); });
+  return drivers_.size() != before;
+}
+
+}  // namespace gb::kernel

@@ -1,0 +1,99 @@
+// The kernel: process/thread bookkeeping, Active Process List, SSDT,
+// loaded-driver list and file-system filter chain.
+//
+// Three views of "which processes exist" coexist, deliberately:
+//   1. the Active Process List — a doubly-linked list that FU-style DKOM
+//      can unlink entries from; this is what NtQuerySystemInformation
+//      walks and what the paper's *low-level inside scan* traverses;
+//   2. the scheduler thread table — every schedulable thread, regardless
+//      of process-list linkage; the paper's *advanced mode* truth;
+//   3. the id table (PspCidTable analogue) — owning storage for process
+//      objects, used to resolve thread owners.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/filter_chain.h"
+#include "kernel/process.h"
+#include "kernel/ssdt.h"
+#include "kernel/types.h"
+
+namespace gb::kernel {
+
+class KernelError : public std::runtime_error {
+ public:
+  explicit KernelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Kernel {
+ public:
+  Kernel();
+
+  // --- process lifecycle -------------------------------------------------
+  /// Creates a process with `thread_count` schedulable threads, links it
+  /// into the Active Process List and loads its main image module.
+  Process& create_process(std::string_view image_path, Pid parent = 4,
+                          int thread_count = 2);
+  /// Terminates: unlinks everywhere, removes threads, frees the object.
+  void terminate_process(Pid pid);
+
+  /// Resolves via the id table — finds processes even after DKOM unlink.
+  Process* find_process(Pid pid);
+  const Process* find_process(Pid pid) const;
+  Process* find_process_by_name(std::string_view image_name);
+
+  // --- the three process views -------------------------------------------
+  /// View 1: Active Process List (order = creation order, minus unlinks).
+  const std::list<Pid>& active_process_list() const { return active_list_; }
+  /// DKOM: unlink an entry while leaving the object and threads alive.
+  /// Returns false if the pid is not currently linked.
+  bool dkom_unlink(Pid pid);
+  /// Re-links a previously unlinked process (e.g. "fu -pl" restore).
+  bool dkom_relink(Pid pid);
+
+  /// View 2: scheduler thread table.
+  const std::vector<Thread>& scheduler_threads() const { return threads_; }
+
+  /// View 3: the owning id table.
+  const std::map<Pid, std::unique_ptr<Process>>& id_table() const {
+    return id_table_;
+  }
+
+  // --- kernel-mode enumeration (the SSDT base implementations) -----------
+  /// What NtQuerySystemInformation's unhooked handler returns: a walk of
+  /// the Active Process List.
+  std::vector<ProcessInfo> walk_active_list() const;
+  /// What the inside-the-box low-level *driver* scan returns: the same
+  /// list, but read directly, below any SSDT/API hooks.
+  std::vector<ProcessInfo> low_level_process_scan() const {
+    return walk_active_list();
+  }
+  /// Advanced mode: processes reconstructed from the scheduler table.
+  std::vector<ProcessInfo> advanced_process_scan() const;
+
+  // --- drivers and filters -------------------------------------------------
+  void load_driver(std::string_view name, std::string_view image_path);
+  bool unload_driver(std::string_view name);
+  const std::vector<Driver>& drivers() const { return drivers_; }
+
+  Ssdt& ssdt() { return ssdt_; }
+  const Ssdt& ssdt() const { return ssdt_; }
+  FileFilterChain& filter_chain() { return filters_; }
+  const FileFilterChain& filter_chain() const { return filters_; }
+
+ private:
+  std::map<Pid, std::unique_ptr<Process>> id_table_;
+  std::list<Pid> active_list_;
+  std::vector<Thread> threads_;
+  std::vector<Driver> drivers_;
+  Ssdt ssdt_;
+  FileFilterChain filters_;
+  Pid next_pid_ = 4;   // Windows-style: System is 4, then multiples
+  Tid next_tid_ = 8;
+};
+
+}  // namespace gb::kernel

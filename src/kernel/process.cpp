@@ -1,0 +1,13 @@
+#include "kernel/process.h"
+
+#include "support/strings.h"
+
+namespace gb::kernel {
+
+void Process::load_module(std::string_view path) {
+  const std::string name(base_name(path));
+  peb_modules_.push_back(PebModuleEntry{std::string(path), name});
+  kernel_modules_.push_back(KernelModule{std::string(path), name});
+}
+
+}  // namespace gb::kernel

@@ -1,0 +1,65 @@
+// Process and thread objects (EPROCESS / ETHREAD analogues).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+
+namespace gb::kernel {
+
+struct Thread {
+  Tid tid = 0;
+  Pid owner_pid = 0;
+};
+
+/// An EPROCESS analogue plus the user-mode state the scans consult.
+///
+/// Ownership: processes live in the kernel's id table (the PspCidTable
+/// analogue). The Active Process List holds non-owning links that DKOM
+/// ghostware (FU) unlinks; the object — and its schedulable threads —
+/// remain alive, which is precisely why the paper's "advanced mode" can
+/// still find it.
+class Process {
+ public:
+  Process(Pid pid, Pid parent, std::string image_path, std::string image_name)
+      : pid_(pid),
+        parent_pid_(parent),
+        image_path_(std::move(image_path)),
+        image_name_(std::move(image_name)) {}
+
+  Pid pid() const { return pid_; }
+  Pid parent_pid() const { return parent_pid_; }
+  const std::string& image_path() const { return image_path_; }
+  const std::string& image_name() const { return image_name_; }
+
+  /// User-mode PEB loader list — what NtQueryInformationProcess-based
+  /// tools read. Writable: Vanquish blanks entries here.
+  std::vector<PebModuleEntry>& peb_modules() { return peb_modules_; }
+  const std::vector<PebModuleEntry>& peb_modules() const {
+    return peb_modules_;
+  }
+
+  /// Kernel-side module truth; GhostBuster's low-level module scan reads
+  /// this, user-mode ghostware cannot rewrite it.
+  const std::vector<KernelModule>& kernel_modules() const {
+    return kernel_modules_;
+  }
+
+  /// Maps a module into the process: updates both the kernel truth and
+  /// the PEB view (they start out consistent, as in a clean system).
+  void load_module(std::string_view path);
+
+  ProcessInfo info() const { return {pid_, parent_pid_, image_name_}; }
+
+ private:
+  Pid pid_;
+  Pid parent_pid_;
+  std::string image_path_;
+  std::string image_name_;
+  std::vector<PebModuleEntry> peb_modules_;
+  std::vector<KernelModule> kernel_modules_;
+};
+
+}  // namespace gb::kernel

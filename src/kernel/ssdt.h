@@ -1,0 +1,70 @@
+// Service Dispatch Table (SSDT).
+//
+// The kernel-mode system call table. ProBot SE's technique in Figure 2 —
+// "hijacks kernel-mode file-query APIs by modifying their dispatch
+// entries in the Service Dispatch Table" — installs hooks here; they are
+// system-wide (every process's NtDll traps into the same table). Each
+// entry is a Hookable so tools can also enumerate installed SSDT hooks
+// (the mechanism-detection approach the paper contrasts with).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hive/hive.h"
+#include "kernel/types.h"
+#include "support/hookable.h"
+
+namespace gb::kernel {
+
+/// Caller identity forwarded into kernel services, so hooks can scope
+/// behaviour per process (and so GhostBuster's DLL-injection mode can
+/// scan "as" an arbitrary process).
+struct SyscallContext {
+  Pid pid = 0;
+  std::string image_name;
+};
+
+struct Ssdt {
+  /// Directory enumeration (feeds the filter chain, then NTFS).
+  Hookable<std::vector<FindData>(const SyscallContext&, const std::string&)>
+      nt_query_directory_file;
+
+  /// Registry enumeration (feeds the configuration manager).
+  Hookable<std::vector<std::string>(const SyscallContext&, const std::string&)>
+      nt_enumerate_key;
+  Hookable<std::vector<hive::Value>(const SyscallContext&, const std::string&)>
+      nt_enumerate_value_key;
+
+  /// Process enumeration (walks the Active Process List).
+  Hookable<std::vector<ProcessInfo>(const SyscallContext&)>
+      nt_query_system_information;
+
+  /// Module query for a target process (reads the target's PEB list).
+  Hookable<std::vector<PebModuleEntry>(const SyscallContext&, Pid)>
+      nt_query_information_process;
+
+  /// Removes every hook installed by `owner` across all entries.
+  std::size_t remove_owner(std::string_view owner) {
+    return nt_query_directory_file.remove_owner(owner) +
+           nt_enumerate_key.remove_owner(owner) +
+           nt_enumerate_value_key.remove_owner(owner) +
+           nt_query_system_information.remove_owner(owner) +
+           nt_query_information_process.remove_owner(owner);
+  }
+
+  /// All installed SSDT hooks (for hook-detection tooling).
+  std::vector<HookInfo> all_hooks() const {
+    std::vector<HookInfo> out;
+    for (const auto& h :
+         {nt_query_directory_file.hooks(), nt_enumerate_key.hooks(),
+          nt_enumerate_value_key.hooks(),
+          nt_query_system_information.hooks(),
+          nt_query_information_process.hooks()}) {
+      out.insert(out.end(), h.begin(), h.end());
+    }
+    return out;
+  }
+};
+
+}  // namespace gb::kernel

@@ -1,0 +1,68 @@
+// Shared kernel-boundary data types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gb::kernel {
+
+using Pid = std::uint32_t;
+using Tid = std::uint32_t;
+
+/// One directory entry as returned by file enumeration (WIN32_FIND_DATA
+/// analogue).
+struct FindData {
+  std::string name;
+  bool is_directory = false;
+  std::uint64_t size = 0;
+  std::uint32_t attributes = 0;
+
+  bool operator==(const FindData&) const = default;
+};
+
+/// One process as returned by process enumeration
+/// (SYSTEM_PROCESS_INFORMATION analogue).
+struct ProcessInfo {
+  Pid pid = 0;
+  Pid parent_pid = 0;
+  std::string image_name;
+
+  bool operator==(const ProcessInfo&) const = default;
+};
+
+/// One loaded module as seen from user mode (PEB loader list entry).
+/// Vanquish's module hiding blanks `path` while leaving the entry linked.
+struct PebModuleEntry {
+  std::string path;
+  std::string name;
+
+  bool operator==(const PebModuleEntry&) const = default;
+};
+
+/// Kernel-side module truth (VAD-backed mapping record).
+struct KernelModule {
+  std::string path;
+  std::string name;
+
+  bool operator==(const KernelModule&) const = default;
+};
+
+/// I/O request packet passed down the filter-driver chain. Filter drivers
+/// use `requester_pid` / `requester_image` to scope hiding to specific
+/// processes (Section 2: "examining the IRP ... to determine the
+/// originating process").
+struct Irp {
+  Pid requester_pid = 0;
+  std::string requester_image;
+  std::string path;  // directory being enumerated
+};
+
+/// A loaded kernel driver.
+struct Driver {
+  std::string name;
+  std::string image_path;
+
+  bool operator==(const Driver&) const = default;
+};
+
+}  // namespace gb::kernel

@@ -1,0 +1,301 @@
+#include "machine/machine.h"
+
+#include "registry/aseps.h"
+#include "support/strings.h"
+
+namespace gb::machine {
+
+namespace {
+
+constexpr const char* kSystemDlls[] = {
+    "C:\\windows\\system32\\ntdll.dll",
+    "C:\\windows\\system32\\kernel32.dll",
+    "C:\\windows\\system32\\advapi32.dll",
+    "C:\\windows\\system32\\user32.dll",
+};
+
+constexpr VirtualClock::Micros kServiceTickPeriod =
+    VirtualClock::seconds(30.0);
+
+}  // namespace
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      disk_(std::make_unique<disk::MemDisk>(cfg.disk_sectors)) {
+  ntfs::NtfsVolume::format(*disk_, cfg.mft_records, /*serial=*/cfg.seed);
+  volume_ = std::make_unique<ntfs::NtfsVolume>(*disk_);
+  volume_->set_clock(&clock_);
+  services_.set_enabled(Services::kCcm, cfg.ccm_service);
+  create_os_baseline();
+  populate_synthetic();
+  boot();
+}
+
+void Machine::create_os_baseline() {
+  auto& vol = *volume_;
+  for (const char* dir :
+       {"C:\\windows", "C:\\windows\\system32",
+        "C:\\windows\\system32\\config", "C:\\windows\\system32\\drivers",
+        "C:\\windows\\prefetch", "C:\\windows\\temp", "C:\\windows\\restore",
+        "C:\\program files", "C:\\program files\\etrust",
+        "C:\\program files\\internet explorer", "C:\\documents",
+        "C:\\documents\\user", "C:\\documents\\user\\local settings",
+        "C:\\documents\\user\\local settings\\temporary internet files",
+        "C:\\temp"}) {
+    vol.create_directories(dir);
+  }
+  for (const char* dll : kSystemDlls) vol.write_file(dll, "MZ\x90.system-dll");
+  for (const char* exe :
+       {"C:\\windows\\explorer.exe", "C:\\windows\\system32\\smss.exe",
+        "C:\\windows\\system32\\csrss.exe",
+        "C:\\windows\\system32\\winlogon.exe",
+        "C:\\windows\\system32\\services.exe",
+        "C:\\windows\\system32\\lsass.exe",
+        "C:\\windows\\system32\\svchost.exe",
+        "C:\\windows\\system32\\taskmgr.exe",
+        "C:\\windows\\system32\\cmd.exe",
+        "C:\\windows\\system32\\notepad.exe",
+        "C:\\windows\\system32\\ghostbuster.exe",
+        "C:\\program files\\etrust\\inocit.exe"}) {
+    vol.write_file(exe, "MZ\x90.exe-image");
+  }
+  vol.write_file("C:\\windows\\system32\\drivers\\tcpip.sys", "MZ\x90.driver");
+  vol.write_file("C:\\windows\\system32\\drivers\\disk.sys", "MZ\x90.driver");
+  vol.write_file("C:\\program files\\etrust\\realtime.log", "av started\n");
+
+  // Registry hives and baseline contents (same mount table the raw
+  // scanners use to find the backing files).
+  for (const auto& mount : registry::standard_hive_mounts()) {
+    registry_.create_hive(mount.mount, mount.backing_file);
+  }
+
+  using hive::Value;
+  const struct {
+    const char* name;
+    const char* image;
+  } kBaseServices[] = {
+      {"Tcpip", "System32\\drivers\\tcpip.sys"},
+      {"Dhcp", "System32\\svchost.exe -k netsvcs"},
+      {"EventLog", "System32\\services.exe"},
+      {"lanmanserver", "System32\\svchost.exe -k netsvcs"},
+      {"W32Time", "System32\\svchost.exe -k netsvcs"},
+      {"PlugPlay", "System32\\services.exe"},
+  };
+  for (const auto& svc : kBaseServices) {
+    const std::string key =
+        std::string(registry::kServicesKey) + "\\" + svc.name;
+    registry_.set_value(key, Value::string("ImagePath", svc.image));
+    registry_.set_value(key, Value::dword("Start", 2));
+  }
+  registry_.set_value(registry::kRunKey,
+                      Value::string("ctfmon", "C:\\windows\\system32\\ctfmon.exe"));
+  registry_.set_value(registry::kWindowsNtWindowsKey,
+                      Value::string(registry::kAppInitDllsValue, ""));
+  registry_.set_value(registry::kWinlogonKey,
+                      Value::string("Shell", "explorer.exe"));
+  registry_.set_value(registry::kWinlogonKey,
+                      Value::string("Userinit", "C:\\windows\\system32\\userinit.exe"));
+  registry_.create_key(std::string(registry::kBhoKey) +
+                       "\\{A1B2C3D4-0000-1111-2222-333344445555}");
+  registry_.set_value("HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+                      Value::string("ProductName", "Windows XP Simulated"));
+  registry_.set_value("HKU\\S-1-5-21-1000\\Software\\Microsoft\\Notepad",
+                      Value::dword("WordWrap", 1));
+  flush_registry();
+}
+
+void Machine::populate_synthetic() {
+  static constexpr const char* kVendors[] = {"Contoso", "Fabrikam", "Litware",
+                                             "Northwind", "AdventureWorks"};
+  static constexpr const char* kExtensions[] = {".dll", ".exe", ".dat",
+                                                ".txt", ".ini", ".log"};
+  auto& vol = *volume_;
+  for (std::size_t i = 0; i < cfg_.synthetic_files; ++i) {
+    const char* vendor = kVendors[rng_.below(std::size(kVendors))];
+    std::string dir;
+    switch (rng_.below(4)) {
+      case 0: dir = std::string("C:\\program files\\") + vendor; break;
+      case 1: dir = "C:\\windows\\system32"; break;
+      case 2: dir = "C:\\documents\\user"; break;
+      default: dir = std::string("C:\\documents\\user\\") + vendor; break;
+    }
+    vol.create_directories(dir);
+    const std::string name =
+        rng_.identifier(4 + rng_.below(10)) +
+        kExtensions[rng_.below(std::size(kExtensions))];
+    vol.write_file(join_path(dir, name),
+                   rng_.identifier(rng_.below(600)));
+  }
+  for (std::size_t i = 0; i < cfg_.synthetic_registry_keys; ++i) {
+    const char* vendor = kVendors[rng_.below(std::size(kVendors))];
+    const std::string key = std::string("HKLM\\SOFTWARE\\") + vendor + "\\" +
+                            rng_.identifier(6 + rng_.below(8));
+    registry_.set_value(key, hive::Value::string(rng_.identifier(5),
+                                                 rng_.identifier(12)));
+  }
+  flush_registry();
+}
+
+void Machine::bind_ssdt_bases() {
+  auto& ssdt = kernel_->ssdt();
+  ssdt.nt_query_directory_file.set_base(
+      [this](const kernel::SyscallContext& ctx, const std::string& dir) {
+        kernel::Irp irp{ctx.pid, ctx.image_name, dir};
+        return kernel_->filter_chain().query_directory(
+            irp, [this](const kernel::Irp& i) { return fs_query_directory(i); });
+      });
+  ssdt.nt_enumerate_key.set_base(
+      [this](const kernel::SyscallContext&, const std::string& key) {
+        return registry_.enum_subkeys(key);
+      });
+  ssdt.nt_enumerate_value_key.set_base(
+      [this](const kernel::SyscallContext&, const std::string& key) {
+        return registry_.enum_values(key);
+      });
+}
+
+std::vector<kernel::FindData> Machine::fs_query_directory(
+    const kernel::Irp& irp) {
+  if (!volume_->exists(irp.path)) return {};
+  const auto info = volume_->stat(irp.path);
+  if (!info || !info->is_directory) return {};
+  std::vector<kernel::FindData> out;
+  for (const auto& e : volume_->list_directory(irp.path)) {
+    out.push_back(kernel::FindData{e.name, e.is_directory, e.size,
+                                   e.attributes});
+  }
+  return out;
+}
+
+void Machine::start_base_processes() {
+  spawn_process("System", 0);  // pid 4, no disk image
+  spawn_process("C:\\windows\\system32\\smss.exe");
+  spawn_process("C:\\windows\\system32\\csrss.exe");
+  spawn_process("C:\\windows\\system32\\winlogon.exe");
+  const auto services_pid =
+      spawn_process("C:\\windows\\system32\\services.exe").pid();
+  spawn_process("C:\\windows\\system32\\lsass.exe", services_pid);
+  for (int i = 0; i < cfg_.svchost_count; ++i) {
+    spawn_process("C:\\windows\\system32\\svchost.exe", services_pid);
+  }
+  spawn_process("C:\\windows\\explorer.exe");
+  spawn_process("C:\\windows\\system32\\taskmgr.exe");
+  spawn_process("C:\\program files\\etrust\\inocit.exe", services_pid);
+}
+
+kernel::Process& Machine::spawn_process(std::string_view image_path,
+                                        kernel::Pid parent) {
+  if (!running_ && !kernel_) {
+    throw kernel::KernelError("machine is powered off");
+  }
+  kernel::Process& p = kernel_->create_process(image_path, parent);
+  if (image_path != "System") {
+    for (const char* dll : kSystemDlls) p.load_module(dll);
+  }
+  win32_->create_env(p.pid());
+  return p;
+}
+
+void Machine::kill_process(kernel::Pid pid) {
+  if (!kernel_) throw kernel::KernelError("machine is powered off");
+  kernel_->terminate_process(pid);
+  win32_->destroy_env(pid);
+}
+
+kernel::Pid Machine::find_pid(std::string_view image_name) const {
+  if (!kernel_) return 0;
+  for (const auto& [pid, proc] : kernel_->id_table()) {
+    if (iequals(proc->image_name(), image_name)) return pid;
+  }
+  return 0;
+}
+
+kernel::Pid Machine::ensure_process(std::string_view image_path) {
+  const auto existing = find_pid(base_name(image_path));
+  if (existing != 0) return existing;
+  return spawn_process(image_path).pid();
+}
+
+winapi::Ctx Machine::context_for(kernel::Pid pid) const {
+  const kernel::Process* p = kernel_ ? kernel_->find_process(pid) : nullptr;
+  return winapi::Ctx{pid, p ? p->image_name() : std::string{}};
+}
+
+void Machine::register_autostart(AutoStart a) {
+  autostarts_.push_back(std::move(a));
+}
+
+void Machine::remove_autostart(std::string_view name) {
+  std::erase_if(autostarts_,
+                [&](const AutoStart& a) { return a.name == name; });
+}
+
+void Machine::shutdown() {
+  if (!running_) return;
+  services_.on_shutdown(*this);
+  flush_registry();
+  win32_.reset();
+  kernel_.reset();
+  running_ = false;
+}
+
+void Machine::boot() {
+  if (running_) return;
+  kernel_ = std::make_unique<kernel::Kernel>();
+  win32_ = std::make_unique<winapi::Win32Subsystem>(*kernel_);
+  bind_ssdt_bases();
+  running_ = true;
+  clock_.advance(VirtualClock::seconds(35.0));  // boot takes a while
+  start_base_processes();
+  services_.on_boot(*this);
+  // Auto-start programs whose guard (typically an ASEP hook) still holds.
+  // Snapshot first: a starting program may register further auto-starts.
+  const auto snapshot = autostarts_;
+  for (const auto& a : snapshot) {
+    if (!a.should_start || a.should_start(*this)) a.start(*this);
+  }
+}
+
+std::vector<std::byte> Machine::bluescreen() {
+  if (!running_) throw kernel::KernelError("machine is not running");
+  auto dump = kernel::write_dump(*kernel_);
+  for (const auto& scrub : scrubbers_) scrub(dump);
+  clock_.advance(VirtualClock::seconds(30.0));  // dump write time
+  win32_.reset();
+  kernel_.reset();
+  running_ = false;
+  return dump;
+}
+
+void Machine::register_bluescreen_scrubber(
+    std::function<void(std::vector<std::byte>&)> scrubber) {
+  scrubbers_.push_back(std::move(scrubber));
+}
+
+void Machine::run_for(VirtualClock::Micros us) {
+  const auto end = clock_.now() + us;
+  while (clock_.now() < end) {
+    const auto step = std::min(kServiceTickPeriod, end - clock_.now());
+    clock_.advance(step);
+    if (clock_.now() >= next_service_tick_) {
+      if (running_) services_.tick(*this);
+      next_service_tick_ = clock_.now() + kServiceTickPeriod;
+    }
+  }
+}
+
+std::size_t Machine::remove_interceptions(std::string_view owner) {
+  std::size_t removed = 0;
+  if (kernel_) {
+    removed += kernel_->ssdt().remove_owner(owner);
+    removed += kernel_->filter_chain().detach(owner);
+    kernel_->unload_driver(owner);
+  }
+  if (win32_) removed += win32_->remove_owner(owner);
+  registry_.unregister_callbacks(owner);
+  remove_autostart(owner);
+  return removed;
+}
+
+}  // namespace gb::machine

@@ -1,0 +1,137 @@
+// Machine: one simulated Windows box.
+//
+// Assembles the full substrate stack — disk, NTFS volume, registry,
+// kernel, Win32 subsystem, background services — and provides the
+// lifecycle the paper's scans revolve around: run, shutdown (for the
+// WinPE outside-the-box scan of the disk image), blue-screen (for the
+// kernel dump scan), and boot (which re-runs auto-start programs whose
+// ASEP hooks are still present — the property GhostBuster's removal
+// workflow exploits).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/disk.h"
+#include "kernel/dump.h"
+#include "kernel/kernel.h"
+#include "machine/profile.h"
+#include "machine/services.h"
+#include "ntfs/volume.h"
+#include "registry/registry.h"
+#include "support/clock.h"
+#include "support/rng.h"
+#include "winapi/subsystem.h"
+
+namespace gb::machine {
+
+struct MachineConfig {
+  MachineProfile profile = small_test_profile();
+  std::uint64_t seed = 1;
+  std::uint64_t disk_sectors = 256 * 1024;  // 128 MiB image
+  std::uint32_t mft_records = 16384;
+  /// Synthetic user/application content on top of the OS baseline.
+  std::size_t synthetic_files = 300;
+  std::size_t synthetic_registry_keys = 200;
+  int svchost_count = 4;
+  bool ccm_service = false;  // the paper's 7-FP machine has this on
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {});
+
+  // --- subsystems ---------------------------------------------------------
+  disk::MemDisk& disk() { return *disk_; }
+  ntfs::NtfsVolume& volume() { return *volume_; }
+  registry::ConfigurationManager& registry() { return registry_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+  winapi::Win32Subsystem& win32() { return *win32_; }
+  VirtualClock& clock() { return clock_; }
+  Rng& rng() { return rng_; }
+  Services& services() { return services_; }
+  const MachineConfig& config() const { return cfg_; }
+  bool running() const { return running_; }
+
+  // --- processes ------------------------------------------------------------
+  /// Spawns a process (kernel object + Win32 environment + standard DLLs).
+  kernel::Process& spawn_process(std::string_view image_path,
+                                 kernel::Pid parent = 4);
+  void kill_process(kernel::Pid pid);
+  /// Pid of the first process with this image name, or 0.
+  kernel::Pid find_pid(std::string_view image_name) const;
+  /// Spawns the image unless one is already running; returns its pid.
+  kernel::Pid ensure_process(std::string_view image_path);
+  winapi::Ctx context_for(kernel::Pid pid) const;
+
+  // --- auto-start programs -------------------------------------------------
+  /// A program started at boot when its guard (typically "is my ASEP hook
+  /// still present?") holds. Ghostware registers itself here; deleting
+  /// its registry hook therefore disables it across reboot, which is the
+  /// removal path Section 3 describes.
+  struct AutoStart {
+    std::string name;
+    std::function<bool(Machine&)> should_start;
+    std::function<void(Machine&)> start;
+  };
+  void register_autostart(AutoStart a);
+  void remove_autostart(std::string_view name);
+
+  // --- lifecycle -------------------------------------------------------------
+  /// Flushes the registry, runs shutdown-window service writes, tears
+  /// down all volatile state (processes, hooks, filter drivers, SSDT).
+  /// The disk image then holds everything an outside scan may trust.
+  void shutdown();
+  /// Recreates the kernel and base processes, runs boot-window service
+  /// writes, then starts auto-start programs whose guards hold.
+  void boot();
+  void reboot() {
+    shutdown();
+    boot();
+  }
+
+  /// Induces a kernel crash: serializes kernel memory to a dump (running
+  /// registered scrubbers over it — the future-ghostware attack the paper
+  /// anticipates) and halts the machine.
+  std::vector<std::byte> bluescreen();
+  void register_bluescreen_scrubber(
+      std::function<void(std::vector<std::byte>&)> scrubber);
+
+  // --- time ------------------------------------------------------------------
+  /// Advances the virtual clock, ticking services once per simulated
+  /// 30 seconds.
+  void run_for(VirtualClock::Micros us);
+
+  void flush_registry() { registry_.flush(*volume_); }
+
+  /// Rips out everything `owner` installed: hooks at every level, filter
+  /// drivers, registry callbacks, injectors and auto-starts. (Models
+  /// uninstalling a driver/service; does not touch files or registry
+  /// *data*, only code interception points.)
+  std::size_t remove_interceptions(std::string_view owner);
+
+ private:
+  void bind_ssdt_bases();
+  void create_os_baseline();
+  void populate_synthetic();
+  void start_base_processes();
+  std::vector<kernel::FindData> fs_query_directory(const kernel::Irp& irp);
+
+  MachineConfig cfg_;
+  VirtualClock clock_;
+  Rng rng_;
+  std::unique_ptr<disk::MemDisk> disk_;
+  std::unique_ptr<ntfs::NtfsVolume> volume_;
+  registry::ConfigurationManager registry_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<winapi::Win32Subsystem> win32_;
+  Services services_;
+  std::vector<AutoStart> autostarts_;
+  std::vector<std::function<void(std::vector<std::byte>&)>> scrubbers_;
+  bool running_ = false;
+  VirtualClock::Micros next_service_tick_ = 0;
+};
+
+}  // namespace gb::machine

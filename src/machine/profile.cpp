@@ -1,0 +1,37 @@
+#include "machine/profile.h"
+
+namespace gb::machine {
+
+double estimate_seconds(const MachineProfile& profile, const ScanWork& work,
+                        double cpu_us_per_record) {
+  const double cpu_scale =
+      (profile.cpu_mhz / 1000.0) * (profile.dual_proc ? 1.6 : 1.0);
+  const double cpu_s = (static_cast<double>(work.records_visited) *
+                        cpu_us_per_record / 1e6) /
+                       cpu_scale;
+  const double xfer_s = static_cast<double>(work.bytes_read) /
+                        (profile.disk_mb_per_s * 1024.0 * 1024.0);
+  const double seek_s = static_cast<double>(work.seeks) * profile.seek_ms / 1e3;
+  return cpu_s + xfer_s + seek_s;
+}
+
+const std::vector<MachineProfile>& paper_machines() {
+  static const std::vector<MachineProfile> kMachines = {
+      // name                MHz  MB/s seek  GB   dual  seeks/rec
+      {"corp-desktop-1", 2200, 35, 8.5, 18, false, 0.10},
+      {"corp-desktop-2", 1800, 30, 8.5, 24, false, 0.10},
+      {"corp-desktop-3", 1500, 28, 9.0, 34, false, 0.10},
+      {"corp-desktop-4", 2000, 32, 8.5, 12, false, 0.04},
+      {"home-machine-1", 550, 12, 12.0, 5, false, 0.10},
+      {"home-machine-2", 800, 16, 11.0, 8, false, 0.06},
+      {"home-machine-3", 1200, 22, 10.0, 15, false, 0.10},
+      {"workstation-3ghz", 3000, 40, 8.0, 95, true, 0.25},
+  };
+  return kMachines;
+}
+
+MachineProfile small_test_profile() {
+  return MachineProfile{"test-vm", 1000, 20, 9.0, 0.02, false};
+}
+
+}  // namespace gb::machine

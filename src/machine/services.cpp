@@ -1,0 +1,103 @@
+#include "machine/services.h"
+
+#include "machine/machine.h"
+#include "support/strings.h"
+
+namespace gb::machine {
+
+void Services::set_enabled(std::string_view name, bool on) {
+  if (name == kAvRealtime) av_ = on;
+  else if (name == kCcm) ccm_ = on;
+  else if (name == kSystemRestore) restore_ = on;
+  else if (name == kPrefetch) prefetch_ = on;
+  else if (name == kBrowserCache) browser_ = on;
+}
+
+bool Services::enabled(std::string_view name) const {
+  if (name == kAvRealtime) return av_;
+  if (name == kCcm) return ccm_;
+  if (name == kSystemRestore) return restore_;
+  if (name == kPrefetch) return prefetch_;
+  if (name == kBrowserCache) return browser_;
+  return false;
+}
+
+std::vector<std::string> Services::enabled_services() const {
+  std::vector<std::string> out;
+  for (const char* n :
+       {kAvRealtime, kCcm, kSystemRestore, kPrefetch, kBrowserCache}) {
+    if (enabled(n)) out.emplace_back(n);
+  }
+  return out;
+}
+
+void Services::tick(Machine& m) {
+  auto& vol = m.volume();
+  // Appends only: content churn, not presence churn. The inside-the-box
+  // back-to-back scans therefore stay FP-free even on a busy machine.
+  if (av_) {
+    vol.append_file("C:\\program files\\etrust\\realtime.log", "scan ok\n");
+  }
+  if (ccm_) {
+    if (!vol.exists("C:\\windows\\system32\\ccm")) {
+      vol.create_directories("C:\\windows\\system32\\ccm\\inventory");
+      vol.write_file("C:\\windows\\system32\\ccm\\ccmexec.log", "");
+    }
+    vol.append_file("C:\\windows\\system32\\ccm\\ccmexec.log", "heartbeat\n");
+  }
+}
+
+void Services::on_shutdown(Machine& m) {
+  auto& vol = m.volume();
+  // Log rotation: the AV scanner rolls its realtime log into a new
+  // sequence-numbered file — one new file per shutdown (1 FP).
+  if (av_) {
+    vol.write_file("C:\\program files\\etrust\\avlog-" +
+                       std::to_string(av_log_seq_++) + ".log",
+                   "rotated\n");
+  }
+  // System Restore flushes a file-change log entry for the session —
+  // one new file per shutdown window (the paper's second common FP).
+  if (restore_) {
+    vol.write_file("C:\\windows\\restore\\change" +
+                       std::to_string(restore_point_++) + ".log",
+                   "session changes\n");
+  }
+  // CCM writes a fresh inventory batch — five new files (the paper's
+  // 7-FP machine, reduced to 2 once CCM is disabled).
+  if (ccm_) {
+    vol.create_directories("C:\\windows\\system32\\ccm\\inventory");
+    for (int i = 0; i < 5; ++i) {
+      vol.write_file("C:\\windows\\system32\\ccm\\inventory\\inv-" +
+                         std::to_string(ccm_seq_) + "-" + std::to_string(i) +
+                         ".xml",
+                     "<inventory/>");
+    }
+    ++ccm_seq_;
+  }
+}
+
+void Services::on_boot(Machine& m) {
+  auto& vol = m.volume();
+  ++boot_count_;
+  // Prefetch files are keyed by image name: after the first boot they are
+  // overwritten in place, so a warm machine contributes no new files.
+  if (prefetch_) {
+    for (const char* image :
+         {"SMSS.EXE", "CSRSS.EXE", "WINLOGON.EXE", "SERVICES.EXE",
+          "EXPLORER.EXE", "TASKMGR.EXE"}) {
+      vol.write_file(std::string("C:\\windows\\prefetch\\") + image +
+                         "-00000001.pf",
+                     "prefetch");
+    }
+  }
+  // Browser cache validation stamp: fixed name, overwritten.
+  if (browser_) {
+    vol.write_file(
+        "C:\\documents\\user\\local settings\\temporary internet "
+        "files\\index.dat",
+        "cache-index");
+  }
+}
+
+}  // namespace gb::machine

@@ -1,0 +1,31 @@
+// Directory index entry blob codec ($INDEX_ROOT payload).
+//
+// Each directory's enumerable children are recorded on disk as a list of
+// (MFT record, name) entries. The driver's enumeration reads this index;
+// the raw scanner reconstructs membership from FILE_NAME parent
+// references instead — so an entry deleted from the index (data-only
+// hiding) diverges the two views, exactly the cross-view signal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+
+namespace gb::ntfs {
+
+struct IndexEntry {
+  std::uint64_t record = 0;
+  std::string name;  // original case
+
+  bool operator==(const IndexEntry&) const = default;
+};
+
+std::vector<std::byte> encode_index_entries(
+    const std::vector<IndexEntry>& entries);
+
+/// Throws gb::ParseError on malformed input.
+std::vector<IndexEntry> decode_index_entries(std::span<const std::byte> blob);
+
+}  // namespace gb::ntfs

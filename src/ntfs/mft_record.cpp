@@ -1,0 +1,246 @@
+#include "ntfs/mft_record.h"
+
+#include <stdexcept>
+
+namespace gb::ntfs {
+
+namespace {
+
+// Record header layout (offsets within the 1024-byte record):
+//   0  u32 magic 'FILE'
+//   4  u16 sequence
+//   6  u16 flags
+//   8  u64 record number
+//   16 u32 used size (bytes actually occupied, for diagnostics)
+//   20 u16 first attribute offset
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kUsedSizeOffset = 16;
+
+// Attribute header: type u32, total length u32 (patched), resident u8,
+// name length u8, 2 reserved bytes, then the UTF-16LE attribute name.
+// Named $DATA attributes are Alternate Data Streams.
+void write_attr_header(ByteWriter& w, AttrType type, bool resident,
+                       std::string_view name) {
+  w.u32(static_cast<std::uint32_t>(type));
+  w.u32(0);  // total length, patched after the body is written
+  w.u8(resident ? 0 : 1);
+  w.u8(static_cast<std::uint8_t>(name.size()));
+  w.zeros(2);  // reserved / alignment
+  for (char c : name) {
+    w.u8(static_cast<std::uint8_t>(c));
+    w.u8(0);
+  }
+}
+
+}  // namespace
+
+std::size_t MftRecord::serialized_size() const {
+  // Conservative but exact: serialize into a scratch writer.
+  auto attr_size = [](std::size_t body, std::size_t name_len = 0) {
+    return 12 + name_len * 2 + body;
+  };
+  auto data_body = [](const DataAttr& da) {
+    if (da.resident) return 8 + 4 + da.resident_data.size();
+    ByteWriter rl;
+    encode_runlist(da.runs, rl);
+    return 8 + rl.size();
+  };
+  std::size_t total = kHeaderSize + 4;  // header + end marker
+  if (std_info) total += attr_size(28);
+  if (file_name) total += attr_size(8 + 2 + file_name->name.size() * 2);
+  if (data) total += attr_size(data_body(*data));
+  for (const auto& stream : named_streams) {
+    total += attr_size(data_body(stream.data), stream.name.size());
+  }
+  if (index) total += attr_size(data_body(*index));
+  return total;
+}
+
+std::vector<std::byte> MftRecord::serialize() const {
+  ByteWriter w;
+  w.u32(kFileRecordMagic);
+  w.u16(sequence);
+  w.u16(flags);
+  w.u64(record_number);
+  w.u32(0);  // used size, patched below
+  w.u16(kHeaderSize);
+  w.u16(0);  // padding to kHeaderSize
+  if (w.size() != kHeaderSize) throw std::logic_error("bad header layout");
+
+  auto begin_attr = [&w](AttrType type, bool resident,
+                         std::string_view name = {}) {
+    const std::size_t header_at = w.size();
+    write_attr_header(w, type, resident, name);
+    return header_at;
+  };
+  auto end_attr = [&w](std::size_t header_at) {
+    w.patch_u32(header_at + 4, static_cast<std::uint32_t>(w.size() - header_at));
+  };
+
+  if (std_info) {
+    const auto at = begin_attr(AttrType::kStandardInformation, true);
+    w.u64(std_info->created_us);
+    w.u64(std_info->modified_us);
+    w.u64(std_info->accessed_us);
+    w.u32(std_info->file_attributes);
+    end_attr(at);
+  }
+  if (file_name) {
+    if (file_name->name.size() > 255) {
+      throw std::length_error("file name exceeds 255 characters");
+    }
+    const auto at = begin_attr(AttrType::kFileName, true);
+    w.u64(file_name->parent_ref);
+    w.u16(static_cast<std::uint16_t>(file_name->name.size()));
+    for (char c : file_name->name) {  // UTF-16LE with 8-bit repertoire
+      w.u8(static_cast<std::uint8_t>(c));
+      w.u8(0);
+    }
+    end_attr(at);
+  }
+  auto write_data_body = [&w](const DataAttr& da) {
+    w.u64(da.real_size);
+    if (da.resident) {
+      w.u32(static_cast<std::uint32_t>(da.resident_data.size()));
+      w.bytes(da.resident_data);
+    } else {
+      encode_runlist(da.runs, w);
+    }
+  };
+  if (data) {
+    const auto at = begin_attr(AttrType::kData, data->resident);
+    write_data_body(*data);
+    end_attr(at);
+  }
+  for (const auto& stream : named_streams) {
+    if (stream.name.empty() || stream.name.size() > 255) {
+      throw std::length_error("invalid stream name");
+    }
+    const auto at =
+        begin_attr(AttrType::kData, stream.data.resident, stream.name);
+    write_data_body(stream.data);
+    end_attr(at);
+  }
+  if (index) {
+    const auto at = begin_attr(AttrType::kIndexRoot, index->resident);
+    write_data_body(*index);
+    end_attr(at);
+  }
+
+  w.u32(static_cast<std::uint32_t>(AttrType::kEnd));
+  if (w.size() > kMftRecordSize) {
+    throw std::length_error("MFT record overflow: " + std::to_string(w.size()));
+  }
+  w.patch_u32(kUsedSizeOffset, static_cast<std::uint32_t>(w.size()));
+  w.zeros(kMftRecordSize - w.size());
+  return std::move(w).take();
+}
+
+bool MftRecord::looks_live(std::span<const std::byte> image) {
+  if (image.size() < kHeaderSize) return false;
+  ByteReader r(image);
+  if (r.u32() != kFileRecordMagic) return false;
+  r.skip(2);  // sequence
+  const std::uint16_t fl = r.u16();
+  return (fl & kRecordInUse) != 0;
+}
+
+MftRecord MftRecord::parse(std::span<const std::byte> image) {
+  if (image.size() != kMftRecordSize) {
+    throw ParseError("MFT record image must be exactly 1024 bytes");
+  }
+  ByteReader r(image);
+  if (r.u32() != kFileRecordMagic) throw ParseError("bad FILE magic");
+
+  MftRecord rec;
+  rec.sequence = r.u16();
+  rec.flags = r.u16();
+  rec.record_number = r.u64();
+  const std::uint32_t used = r.u32();
+  const std::uint16_t first_attr = r.u16();
+  if (used > kMftRecordSize || first_attr < kHeaderSize ||
+      first_attr > kMftRecordSize) {
+    throw ParseError("corrupt record header");
+  }
+  r.seek(first_attr);
+
+  for (;;) {
+    const std::uint32_t type_raw = r.u32();
+    if (type_raw == static_cast<std::uint32_t>(AttrType::kEnd)) break;
+    const std::size_t attr_start = r.pos() - 4;
+    const std::uint32_t total_len = r.u32();
+    if (total_len < 12 || attr_start + total_len > kMftRecordSize) {
+      throw ParseError("corrupt attribute length");
+    }
+    const bool nonresident = r.u8() != 0;
+    const std::uint8_t name_len = r.u8();
+    r.skip(2);
+    std::string attr_name;
+    attr_name.reserve(name_len);
+    for (std::uint8_t i = 0; i < name_len; ++i) {
+      attr_name.push_back(static_cast<char>(r.u8()));
+      r.skip(1);
+    }
+
+    switch (static_cast<AttrType>(type_raw)) {
+      case AttrType::kStandardInformation: {
+        StandardInfo si;
+        si.created_us = r.u64();
+        si.modified_us = r.u64();
+        si.accessed_us = r.u64();
+        si.file_attributes = r.u32();
+        rec.std_info = si;
+        break;
+      }
+      case AttrType::kFileName: {
+        FileNameAttr fn;
+        fn.parent_ref = r.u64();
+        const std::uint16_t len = r.u16();
+        fn.name.reserve(len);
+        for (std::uint16_t i = 0; i < len; ++i) {
+          fn.name.push_back(static_cast<char>(r.u8()));
+          r.skip(1);  // high byte of UTF-16LE code unit
+        }
+        rec.file_name = std::move(fn);
+        break;
+      }
+      case AttrType::kIndexRoot: {
+        DataAttr da;
+        da.resident = !nonresident;
+        da.real_size = r.u64();
+        if (da.resident) {
+          const std::uint32_t len = r.u32();
+          da.resident_data = r.bytes(len);
+        } else {
+          da.runs = decode_runlist(r);
+        }
+        rec.index = std::move(da);
+        break;
+      }
+      case AttrType::kData: {
+        DataAttr da;
+        da.resident = !nonresident;
+        da.real_size = r.u64();
+        if (da.resident) {
+          const std::uint32_t len = r.u32();
+          da.resident_data = r.bytes(len);
+        } else {
+          da.runs = decode_runlist(r);
+        }
+        if (attr_name.empty()) {
+          rec.data = std::move(da);
+        } else {
+          rec.named_streams.push_back(StreamAttr{attr_name, std::move(da)});
+        }
+        break;
+      }
+      default:
+        // Unknown attribute: skip by declared length (forward compat).
+        break;
+    }
+    r.seek(attr_start + total_len);
+  }
+  return rec;
+}
+
+}  // namespace gb::ntfs

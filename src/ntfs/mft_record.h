@@ -1,0 +1,96 @@
+// MFT FILE record build/parse.
+//
+// Each record serializes to exactly kMftRecordSize bytes: a header
+// followed by a chain of typed attributes ending with an 0xFFFFFFFF type
+// marker. The parser is strict: it validates magic, offsets and attribute
+// lengths so the raw scanner can distinguish live records from garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ntfs/ntfs_format.h"
+#include "ntfs/runlist.h"
+#include "support/bytes.h"
+
+namespace gb::ntfs {
+
+/// $STANDARD_INFORMATION: timestamps and DOS attribute flags.
+struct StandardInfo {
+  std::uint64_t created_us = 0;
+  std::uint64_t modified_us = 0;
+  std::uint64_t accessed_us = 0;
+  std::uint32_t file_attributes = 0;
+
+  bool operator==(const StandardInfo&) const = default;
+};
+
+/// $FILE_NAME: parent directory reference plus the (counted) name.
+/// Names are stored as UTF-16LE on disk; this simulation restricts names
+/// to 8-bit characters but keeps the two-byte encoding for format realism.
+struct FileNameAttr {
+  std::uint64_t parent_ref = 0;  // MFT record number of parent directory
+  std::string name;              // counted; up to 255 chars
+
+  bool operator==(const FileNameAttr&) const = default;
+};
+
+/// $DATA: resident payload or non-resident run list.
+struct DataAttr {
+  bool resident = true;
+  std::vector<std::byte> resident_data;  // valid when resident
+  RunList runs;                          // valid when non-resident
+  std::uint64_t real_size = 0;           // byte size (both forms)
+
+  bool operator==(const DataAttr&) const = default;
+};
+
+/// A named $DATA attribute — an Alternate Data Stream. The paper's
+/// future-work list names ADS as a hiding place with *no* Win32
+/// query/enumeration API at all; only the raw MFT shows them.
+struct StreamAttr {
+  std::string name;  // e.g. "payload" in "file.txt:payload"
+  DataAttr data;
+
+  bool operator==(const StreamAttr&) const = default;
+};
+
+/// A parsed or to-be-written MFT FILE record.
+struct MftRecord {
+  std::uint64_t record_number = 0;
+  std::uint16_t sequence = 1;
+  std::uint16_t flags = 0;  // kRecordInUse | kRecordIsDirectory
+
+  std::optional<StandardInfo> std_info;
+  std::optional<FileNameAttr> file_name;
+  std::optional<DataAttr> data;          // the unnamed (main) $DATA
+  std::vector<StreamAttr> named_streams; // alternate data streams
+  /// Directory index payload ($INDEX_ROOT): the authoritative entry list
+  /// enumeration reads. A record can exist in the MFT while *absent*
+  /// from its parent's index — unreachable by name, invisible to every
+  /// enumeration, yet fully present: data-only persistent file hiding,
+  /// the file-system analogue of FU's process unlinking.
+  std::optional<DataAttr> index;
+
+  bool in_use() const { return flags & kRecordInUse; }
+  bool is_directory() const { return flags & kRecordIsDirectory; }
+
+  /// Serializes to exactly kMftRecordSize bytes.
+  /// Throws std::length_error if the attributes do not fit (callers are
+  /// expected to convert DATA to non-resident form and retry).
+  std::vector<std::byte> serialize() const;
+
+  /// Byte size the record would occupy if serialized; used to decide
+  /// resident vs non-resident data placement.
+  std::size_t serialized_size() const;
+
+  /// Parses one record image. Throws gb::ParseError on malformed input.
+  static MftRecord parse(std::span<const std::byte> image);
+
+  /// Cheap check whether an image looks like a live FILE record.
+  static bool looks_live(std::span<const std::byte> image);
+};
+
+}  // namespace gb::ntfs

@@ -1,0 +1,222 @@
+#include "ntfs/mft_scanner.h"
+
+#include <map>
+#include <set>
+
+#include "ntfs/dir_index.h"
+#include "ntfs/ntfs_format.h"
+#include "support/strings.h"
+
+namespace gb::ntfs {
+
+MftScanner::MftScanner(disk::SectorDevice& dev) : dev_(dev) {
+  std::vector<std::byte> bs(kSectorSize);
+  dev_.read(0, bs);
+  ByteReader r(bs);
+  r.seek(BootSectorLayout::kOemOffset);
+  if (r.str(8) != std::string(kOemId, sizeof kOemId)) {
+    throw ParseError("not an NTFS volume (bad OEM id)");
+  }
+  r.seek(BootSectorLayout::kMftStartCluster);
+  mft_start_cluster_ = r.u64();
+  mft_record_count_ = r.u32();
+}
+
+MftRecord MftScanner::load_record(std::uint64_t number) {
+  std::vector<std::byte> image(kMftRecordSize);
+  dev_.read(mft_start_cluster_ * kSectorsPerCluster +
+                number * (kMftRecordSize / kSectorSize),
+            image);
+  return MftRecord::parse(image);
+}
+
+bool MftScanner::record_live(std::uint64_t number) {
+  std::vector<std::byte> image(kMftRecordSize);
+  dev_.read(mft_start_cluster_ * kSectorsPerCluster +
+                number * (kMftRecordSize / kSectorSize),
+            image);
+  return MftRecord::looks_live(image);
+}
+
+std::vector<RawFile> MftScanner::scan() {
+  struct Node {
+    std::string name;
+    std::uint64_t parent = 0;
+    bool is_directory = false;
+    std::uint64_t size = 0;
+    std::uint32_t attributes = 0;
+    std::vector<std::string> stream_names;
+  };
+  std::map<std::uint64_t, Node> nodes;
+
+  corrupt_records_ = 0;
+  for (std::uint64_t i = 0; i < mft_record_count_; ++i) {
+    if (!record_live(i)) continue;
+    MftRecord rec;
+    try {
+      rec = load_record(i);
+    } catch (const ParseError&) {
+      ++corrupt_records_;  // torn write / corruption: skip, keep scanning
+      continue;
+    }
+    if (!rec.file_name) continue;
+    Node n;
+    n.name = rec.file_name->name;
+    n.parent = rec.file_name->parent_ref;
+    n.is_directory = rec.is_directory();
+    n.size = rec.data ? rec.data->real_size : 0;
+    n.attributes = rec.std_info ? rec.std_info->file_attributes : 0;
+    for (const auto& stream : rec.named_streams) {
+      n.stream_names.push_back(stream.name);
+    }
+    nodes.emplace(i, std::move(n));
+  }
+
+  // Resolve full paths with memoization; cycles/broken chains -> orphan.
+  std::map<std::uint64_t, std::string> paths;
+  paths[kMftRecordRoot] = "";
+
+  auto resolve_path = [&](std::uint64_t rec) -> const std::string& {
+    std::vector<std::uint64_t> chain;
+    std::uint64_t cur = rec;
+    while (!paths.contains(cur)) {
+      auto it = nodes.find(cur);
+      if (it == nodes.end() || chain.size() > nodes.size()) {
+        paths[cur] = "<orphan>";
+        break;
+      }
+      chain.push_back(cur);
+      cur = it->second.parent;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      paths[*it] = join_path(paths[nodes.at(*it).parent], nodes.at(*it).name);
+    }
+    return paths.at(rec);
+  };
+
+  std::vector<RawFile> out;
+  out.reserve(nodes.size());
+  for (const auto& [rec_no, node] : nodes) {
+    if (rec_no == kMftRecordRoot) continue;
+    RawFile f;
+    f.record = rec_no;
+    f.path = resolve_path(rec_no);
+    f.is_directory = node.is_directory;
+    f.is_system = rec_no < kFirstUserRecord;
+    f.size = node.size;
+    f.attributes = node.attributes;
+    f.stream_names = node.stream_names;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<RawFile> MftScanner::scan_deleted() {
+  std::vector<RawFile> out;
+  std::vector<std::byte> image(kMftRecordSize);
+  for (std::uint64_t i = kFirstUserRecord; i < mft_record_count_; ++i) {
+    dev_.read(mft_start_cluster_ * kSectorsPerCluster +
+                  i * (kMftRecordSize / kSectorSize),
+              image);
+    ByteReader r(image);
+    if (r.u32() != kFileRecordMagic) continue;  // never used
+    r.skip(2);
+    if (r.u16() & kRecordInUse) continue;  // live, not deleted
+    MftRecord rec;
+    try {
+      rec = MftRecord::parse(image);
+    } catch (const ParseError&) {
+      continue;  // tombstone too damaged to recover
+    }
+    if (!rec.file_name) continue;
+    RawFile f;
+    f.record = i;
+    f.path = "<deleted>\\" + rec.file_name->name;
+    f.is_directory = (rec.flags & kRecordIsDirectory) != 0;
+    f.size = rec.data ? rec.data->real_size : 0;
+    f.attributes = rec.std_info ? rec.std_info->file_attributes : 0;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::byte> read_attr_payload(disk::SectorDevice& dev,
+                                         const DataAttr& attr) {
+  if (attr.resident) return attr.resident_data;
+  std::vector<std::byte> out;
+  out.reserve(attr.real_size);
+  std::vector<std::byte> cluster(kClusterSize);
+  for (const Run& run : attr.runs) {
+    for (std::uint64_t c = run.lcn; c < run.lcn + run.length; ++c) {
+      dev.read(c * kSectorsPerCluster, cluster);
+      const std::size_t n =
+          std::min<std::uint64_t>(kClusterSize, attr.real_size - out.size());
+      out.insert(out.end(), cluster.begin(),
+                 cluster.begin() + static_cast<std::ptrdiff_t>(n));
+      if (out.size() == attr.real_size) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> MftScanner::read_file_data(std::uint64_t record) {
+  const MftRecord rec = load_record(record);
+  if (!rec.data) return {};
+  return read_attr_payload(dev_, *rec.data);
+}
+
+std::vector<RawFile> MftScanner::index_orphans() {
+  // Pass 1: collect each directory's indexed child-record set.
+  std::map<std::uint64_t, std::set<std::uint64_t>> indexed;
+  std::set<std::uint64_t> has_index;
+  for (std::uint64_t i = 0; i < mft_record_count_; ++i) {
+    if (!record_live(i)) continue;
+    MftRecord rec;
+    try {
+      rec = load_record(i);
+    } catch (const ParseError&) {
+      continue;
+    }
+    if (!rec.is_directory() || !rec.index) continue;
+    has_index.insert(i);
+    const auto blob = read_attr_payload(dev_, *rec.index);
+    for (const auto& e : decode_index_entries(blob)) {
+      indexed[i].insert(e.record);
+    }
+  }
+  // Pass 2: live records absent from their (indexed) parent.
+  std::vector<RawFile> out;
+  for (const auto& f : scan()) {
+    if (f.is_system) continue;
+    MftRecord rec;
+    try {
+      rec = load_record(f.record);
+    } catch (const ParseError&) {
+      continue;
+    }
+    if (!rec.file_name) continue;
+    const auto parent = rec.file_name->parent_ref;
+    if (!has_index.contains(parent)) continue;  // legacy/unindexed parent
+    if (!indexed[parent].contains(f.record)) out.push_back(f);
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> MftScanner::find(std::string_view path) {
+  const auto files = scan();
+  std::string_view stripped = path;
+  if (stripped.size() >= 2 && stripped[1] == ':') stripped.remove_prefix(2);
+  while (!stripped.empty() && stripped.front() == '\\') {
+    stripped.remove_prefix(1);
+  }
+  for (const auto& f : files) {
+    if (iequals(f.path, stripped)) return f.record;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gb::ntfs

@@ -1,0 +1,80 @@
+// Raw MFT scanner — the paper's low-level file scan.
+//
+// This code is deliberately independent of NtfsVolume: it consumes only
+// raw device bytes (boot sector, MFT records, run lists) and reconstructs
+// full paths from FILE_NAME parent references. Nothing a ghostware
+// program does to the API stack, the filter-driver chain, or the SSDT can
+// affect what this scanner sees, which is exactly the trust argument of
+// Section 2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "disk/disk.h"
+#include "ntfs/mft_record.h"
+
+namespace gb::ntfs {
+
+/// One file or directory as seen in the raw MFT.
+struct RawFile {
+  std::uint64_t record = 0;
+  std::string path;  // full path from volume root, '\\'-separated
+  bool is_directory = false;
+  /// NTFS metadata records ($MFT, $Bitmap, record numbers < 16). The
+  /// GhostBuster file diff excludes these, as the real tool must.
+  bool is_system = false;
+  std::uint64_t size = 0;
+  std::uint32_t attributes = 0;
+  /// Names of alternate data streams found on this record. The Win32 API
+  /// surface has no way to enumerate these; the raw scan is the only
+  /// view that shows them.
+  std::vector<std::string> stream_names;
+};
+
+class MftScanner {
+ public:
+  /// Parses the boot sector; throws gb::ParseError if not NTFS.
+  explicit MftScanner(disk::SectorDevice& dev);
+
+  /// Walks every MFT record and reconstructs paths. Orphaned records
+  /// (broken or cyclic parent chains) are reported under "<orphan>\".
+  /// Records that fail to parse (disk corruption, torn writes) are
+  /// skipped and counted — a forensic scanner must survive them.
+  std::vector<RawFile> scan();
+
+  /// Live-looking records that failed to parse during the last scan().
+  std::size_t corrupt_records() const { return corrupt_records_; }
+
+  /// Forensic recovery: tombstoned records (valid FILE magic, in-use flag
+  /// cleared) whose metadata is still intact — recently deleted files.
+  /// Names are best-effort; parent paths may themselves be gone.
+  std::vector<RawFile> scan_deleted();
+
+  /// chkdsk-style consistency check: live records whose parent directory
+  /// carries an index that does NOT list them. A benign volume has none;
+  /// an entry deleted from the index (data-only hiding) shows up here —
+  /// and in the cross-view diff, since enumeration cannot see it either.
+  std::vector<RawFile> index_orphans();
+
+  /// Reads the full data payload of a record (resident or via run list).
+  std::vector<std::byte> read_file_data(std::uint64_t record);
+
+  /// Case-insensitive path lookup over the raw structures.
+  std::optional<std::uint64_t> find(std::string_view path);
+
+  std::uint32_t record_capacity() const { return mft_record_count_; }
+
+ private:
+  MftRecord load_record(std::uint64_t number);
+  bool record_live(std::uint64_t number);
+
+  disk::SectorDevice& dev_;
+  std::uint64_t mft_start_cluster_ = 0;
+  std::uint32_t mft_record_count_ = 0;
+  std::size_t corrupt_records_ = 0;
+};
+
+}  // namespace gb::ntfs

@@ -1,0 +1,36 @@
+// NTFS data run list encoding.
+//
+// Non-resident attribute data is described by a sequence of "runs", each
+// a (cluster count, cluster offset) pair encoded with a variable-length
+// header byte exactly as NTFS does: low nibble = byte length of the run
+// length field, high nibble = byte length of the signed LCN delta field,
+// terminated by a zero header byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.h"
+
+namespace gb::ntfs {
+
+struct Run {
+  std::uint64_t lcn = 0;     // starting logical cluster number
+  std::uint64_t length = 0;  // cluster count
+
+  bool operator==(const Run&) const = default;
+};
+
+using RunList = std::vector<Run>;
+
+/// Encodes a run list in NTFS mapping-pairs format (deltas are signed,
+/// relative to the previous run's start).
+void encode_runlist(const RunList& runs, ByteWriter& out);
+
+/// Decodes until the terminating zero header byte.
+RunList decode_runlist(ByteReader& in);
+
+/// Total clusters covered.
+std::uint64_t runlist_clusters(const RunList& runs);
+
+}  // namespace gb::ntfs

@@ -1,0 +1,28 @@
+#include "registry/aseps.h"
+
+namespace gb::registry {
+
+const std::vector<AsepLocation>& standard_aseps() {
+  static const std::vector<AsepLocation> kAseps = {
+      {"Services", kServicesKey, AsepKind::kSubkeys, ""},
+      {"Run", kRunKey, AsepKind::kValues, ""},
+      {"RunOnce", kRunOnceKey, AsepKind::kValues, ""},
+      {"AppInit_DLLs", kWindowsNtWindowsKey, AsepKind::kNamedValue,
+       kAppInitDllsValue},
+      {"BHO", kBhoKey, AsepKind::kSubkeys, ""},
+      {"Winlogon-Shell", kWinlogonKey, AsepKind::kNamedValue, "Shell"},
+      {"Winlogon-Userinit", kWinlogonKey, AsepKind::kNamedValue, "Userinit"},
+  };
+  return kAseps;
+}
+
+const std::vector<HiveMount>& standard_hive_mounts() {
+  static const std::vector<HiveMount> kMounts = {
+      {"HKLM\\SYSTEM", "C:\\windows\\system32\\config\\system"},
+      {"HKLM\\SOFTWARE", "C:\\windows\\system32\\config\\software"},
+      {"HKU\\S-1-5-21-1000", "C:\\documents\\user\\ntuser.dat"},
+  };
+  return kMounts;
+}
+
+}  // namespace gb::registry

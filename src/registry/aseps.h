@@ -1,0 +1,58 @@
+// Auto-Start Extensibility Point (ASEP) catalogue.
+//
+// Section 3 of the paper (and the companion Gatekeeper work [WRV+04])
+// scans the registry locations that programs hook to get auto-started.
+// GhostBuster's registry scans walk exactly this catalogue in both the
+// high-level (API) and low-level (raw hive) views.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gb::registry {
+
+/// How hooks manifest at one ASEP location.
+enum class AsepKind {
+  kValues,      // every value under the key is a hook (Run, RunOnce)
+  kSubkeys,     // every subkey is a hook (Services, Browser Helper Objects)
+  kNamedValue,  // one specific value's data is the hook (AppInit_DLLs)
+};
+
+struct AsepLocation {
+  std::string id;        // short label used in reports, e.g. "Run"
+  std::string key_path;  // full registry path
+  AsepKind kind;
+  std::string value_name;  // only for kNamedValue
+};
+
+/// The standard catalogue: Services, Run, RunOnce, AppInit_DLLs, Browser
+/// Helper Objects, Winlogon Shell/Userinit — the ASEPs named in Sections
+/// 3 and the paper's malware analysis.
+const std::vector<AsepLocation>& standard_aseps();
+
+/// The standard hive-to-file mount table. The machine assembles its
+/// registry from this, and GhostBuster's low-level/outside scans use the
+/// same table to locate and parse the raw backing files.
+struct HiveMount {
+  const char* mount;
+  const char* backing_file;
+};
+const std::vector<HiveMount>& standard_hive_mounts();
+
+/// Well-known paths (shared by machine population and malware installs).
+inline constexpr const char* kServicesKey =
+    "HKLM\\SYSTEM\\CurrentControlSet\\Services";
+inline constexpr const char* kRunKey =
+    "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run";
+inline constexpr const char* kRunOnceKey =
+    "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\RunOnce";
+inline constexpr const char* kWindowsNtWindowsKey =
+    "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows";
+inline constexpr const char* kAppInitDllsValue = "AppInit_DLLs";
+inline constexpr const char* kBhoKey =
+    "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Explorer\\Browser "
+    "Helper Objects";
+inline constexpr const char* kWinlogonKey =
+    "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Winlogon";
+
+}  // namespace gb::registry

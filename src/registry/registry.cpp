@@ -1,0 +1,170 @@
+#include "registry/registry.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace gb::registry {
+
+namespace {
+
+/// Walks key components below a hive root; returns nullptr when absent.
+/// Components are split on '\\'; embedded NULs inside a component are
+/// preserved (path strings with NULs are legal here).
+const hive::Key* walk(const hive::Key* key, std::string_view rest) {
+  for (const auto& comp : split(rest, '\\')) {
+    if (comp.empty()) continue;
+    key = key->find_subkey(comp);
+    if (!key) return nullptr;
+  }
+  return key;
+}
+
+}  // namespace
+
+void ConfigurationManager::create_hive(std::string_view mount,
+                                       std::string_view backing_file) {
+  auto h = std::make_unique<MountedHive>();
+  h->mount = std::string(mount);
+  h->backing_file = std::string(backing_file);
+  h->root.name = std::string(base_name(mount));
+  hives_.push_back(std::move(h));
+}
+
+void ConfigurationManager::load_hive(std::string_view mount, hive::Key tree) {
+  MountedHive* h = find_hive(mount);
+  if (!h) throw RegError("no hive mounted at " + std::string(mount));
+  h->root = std::move(tree);
+}
+
+MountedHive* ConfigurationManager::find_hive(std::string_view mount) {
+  for (auto& h : hives_) {
+    if (iequals(h->mount, mount)) return h.get();
+  }
+  return nullptr;
+}
+
+const MountedHive* ConfigurationManager::resolve_mount(
+    std::string_view path, std::string_view& rest) const {
+  const MountedHive* best = nullptr;
+  for (const auto& h : hives_) {
+    if (!istarts_with(path, h->mount)) continue;
+    if (path.size() > h->mount.size() && path[h->mount.size()] != '\\') {
+      continue;
+    }
+    if (!best || h->mount.size() > best->mount.size()) best = h.get();
+  }
+  if (best) {
+    rest = path.substr(std::min(path.size(), best->mount.size() + 1));
+  }
+  return best;
+}
+
+hive::Key& ConfigurationManager::create_key(std::string_view path) {
+  std::string_view rest;
+  const MountedHive* hive_c = resolve_mount(path, rest);
+  if (!hive_c) throw RegError("no hive for path: " + printable(path));
+  auto* hive = const_cast<MountedHive*>(hive_c);
+  hive::Key* key = &hive->root;
+  for (const auto& comp : split(rest, '\\')) {
+    if (comp.empty()) continue;
+    key = &key->ensure_subkey(comp);
+  }
+  return *key;
+}
+
+const hive::Key* ConfigurationManager::find_key(std::string_view path) const {
+  std::string_view rest;
+  const MountedHive* hive = resolve_mount(path, rest);
+  if (!hive) return nullptr;
+  return walk(&hive->root, rest);
+}
+
+hive::Key* ConfigurationManager::find_key(std::string_view path) {
+  return const_cast<hive::Key*>(
+      static_cast<const ConfigurationManager*>(this)->find_key(path));
+}
+
+bool ConfigurationManager::delete_key(std::string_view path) {
+  const auto dir = dir_name(path);
+  const auto leaf = base_name(path);
+  hive::Key* parent = find_key(dir);
+  if (!parent) return false;
+  return parent->remove_subkey(leaf);
+}
+
+void ConfigurationManager::set_value(std::string_view key_path, hive::Value v) {
+  create_key(key_path).set_value(std::move(v));
+}
+
+const hive::Value* ConfigurationManager::get_value(std::string_view key_path,
+                                                   std::string_view name) const {
+  const hive::Key* key = find_key(key_path);
+  return key ? key->find_value(name) : nullptr;
+}
+
+bool ConfigurationManager::delete_value(std::string_view key_path,
+                                        std::string_view name) {
+  hive::Key* key = find_key(key_path);
+  return key && key->remove_value(name);
+}
+
+std::vector<std::string> ConfigurationManager::enum_subkeys_raw(
+    std::string_view path) const {
+  const hive::Key* key = find_key(path);
+  std::vector<std::string> out;
+  if (!key) return out;
+  out.reserve(key->subkeys.size());
+  for (const auto& k : key->subkeys) out.push_back(k.name);
+  return out;
+}
+
+std::vector<hive::Value> ConfigurationManager::enum_values_raw(
+    std::string_view path) const {
+  const hive::Key* key = find_key(path);
+  return key ? key->values : std::vector<hive::Value>{};
+}
+
+std::vector<std::string> ConfigurationManager::enum_subkeys(
+    std::string_view path) const {
+  auto out = enum_subkeys_raw(path);
+  for (const auto& cb : callbacks_) {
+    if (cb.filter_subkeys) cb.filter_subkeys(path, out);
+  }
+  return out;
+}
+
+std::vector<hive::Value> ConfigurationManager::enum_values(
+    std::string_view path) const {
+  auto out = enum_values_raw(path);
+  for (const auto& cb : callbacks_) {
+    if (cb.filter_values) cb.filter_values(path, out);
+  }
+  return out;
+}
+
+void ConfigurationManager::register_callback(RegistryCallback cb) {
+  callbacks_.push_back(std::move(cb));
+}
+
+void ConfigurationManager::unregister_callbacks(std::string_view owner) {
+  std::erase_if(callbacks_, [&](const RegistryCallback& cb) {
+    return iequals(cb.owner, owner);
+  });
+}
+
+void ConfigurationManager::flush(ntfs::NtfsVolume& vol) const {
+  for (const auto& h : hives_) {
+    const auto image = hive::serialize_hive(h->root, h->mount);
+    vol.write_file(h->backing_file, image,
+                   ntfs::kAttrSystem | ntfs::kAttrHidden);
+  }
+}
+
+std::size_t ConfigurationManager::total_keys() const {
+  std::size_t n = 0;
+  for (const auto& h : hives_) n += h->root.tree_size();
+  return n;
+}
+
+}  // namespace gb::registry

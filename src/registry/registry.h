@@ -1,0 +1,113 @@
+// Configuration manager: the live registry.
+//
+// Mirrors the Windows design the paper relies on: the registry is a
+// forest of hives, each an in-memory tree backed by a file
+// ("C:\windows\system32\config\system" for HKLM\SYSTEM, "ntuser.dat" for
+// the per-user HKU sub-hive). High-level enumeration reaches this object
+// through Advapi32 -> NtDll -> SSDT, every step of which ghostware can
+// intercept; the low-level GhostBuster scan instead re-parses the flushed
+// backing files (Section 3's raw-hive "truth approximation").
+//
+// Kernel-level registry callbacks (CmRegisterCallback-style) are modelled
+// as enumeration filters registered on this object — the "alternative"
+// interception point Section 3 mentions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hive/hive.h"
+#include "ntfs/volume.h"
+
+namespace gb::registry {
+
+/// Thrown for semantic registry errors (missing key on a strict op).
+class RegError : public std::runtime_error {
+ public:
+  explicit RegError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One mounted hive.
+struct MountedHive {
+  std::string mount;         // e.g. "HKLM\\SYSTEM"
+  std::string backing_file;  // e.g. "C:\\windows\\system32\\config\\system"
+  hive::Key root;            // live tree
+};
+
+/// Kernel registry callback: may erase entries from enumeration results
+/// (filtering) before they are returned to NtEnumerate*. `key_path` is the
+/// full path being enumerated.
+struct RegistryCallback {
+  std::string owner;  // diagnostic tag (driver name)
+  std::function<void(std::string_view key_path,
+                     std::vector<std::string>& subkey_names)>
+      filter_subkeys;
+  std::function<void(std::string_view key_path,
+                     std::vector<hive::Value>& values)>
+      filter_values;
+};
+
+class ConfigurationManager {
+ public:
+  /// Creates an empty hive mounted at `mount`, backed by `backing_file`.
+  void create_hive(std::string_view mount, std::string_view backing_file);
+
+  /// Replaces a mounted hive's tree (used when loading from a parsed
+  /// backing file, e.g. by the WinPE outside scan).
+  void load_hive(std::string_view mount, hive::Key tree);
+
+  const std::vector<std::unique_ptr<MountedHive>>& hives() const {
+    return hives_;
+  }
+  MountedHive* find_hive(std::string_view mount);
+
+  // --- key/value operations on full paths like "HKLM\\SYSTEM\\...".
+  // Returned Key pointers/references are invalidated by subsequent
+  // structural mutations; use them immediately.
+  /// Creates the key (and intermediates) if absent.
+  hive::Key& create_key(std::string_view path);
+  hive::Key* find_key(std::string_view path);
+  const hive::Key* find_key(std::string_view path) const;
+  bool delete_key(std::string_view path);
+
+  void set_value(std::string_view key_path, hive::Value v);
+  /// Returns nullptr if the key or value is absent.
+  const hive::Value* get_value(std::string_view key_path,
+                               std::string_view name) const;
+  bool delete_value(std::string_view key_path, std::string_view name);
+
+  /// Raw (unfiltered) enumeration — the kernel's own view. Missing key
+  /// yields an empty result.
+  std::vector<std::string> enum_subkeys_raw(std::string_view path) const;
+  std::vector<hive::Value> enum_values_raw(std::string_view path) const;
+
+  /// Enumeration after registry callbacks — what NtEnumerate* returns.
+  std::vector<std::string> enum_subkeys(std::string_view path) const;
+  std::vector<hive::Value> enum_values(std::string_view path) const;
+
+  // --- kernel registry callback interception point.
+  void register_callback(RegistryCallback cb);
+  void unregister_callbacks(std::string_view owner);
+  std::size_t callback_count() const { return callbacks_.size(); }
+
+  /// Serializes every hive to its backing file on the volume.
+  void flush(ntfs::NtfsVolume& vol) const;
+
+  /// Total key count across hives (for the timing model).
+  std::size_t total_keys() const;
+
+ private:
+  /// Splits a full path into (hive, hive-relative remainder); the mounted
+  /// hive with the longest matching prefix wins.
+  const MountedHive* resolve_mount(std::string_view path,
+                                   std::string_view& rest) const;
+
+  std::vector<std::unique_ptr<MountedHive>> hives_;
+  std::vector<RegistryCallback> callbacks_;
+};
+
+}  // namespace gb::registry

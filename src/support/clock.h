@@ -1,0 +1,33 @@
+// Virtual clock driving the simulation.
+//
+// The paper reports wall-clock scan times on eight physical machines.
+// Our substrate is a simulator, so absolute times are reproduced through
+// a cost model (see machine/profile.h) that advances this virtual clock
+// as simulated I/O and CPU work is performed. Tests and benches read the
+// clock to obtain deterministic "measured" durations.
+#pragma once
+
+#include <cstdint>
+
+namespace gb {
+
+/// Microsecond-resolution virtual time.
+class VirtualClock {
+ public:
+  using Micros = std::uint64_t;
+
+  Micros now() const { return now_us_; }
+  void advance(Micros us) { now_us_ += us; }
+
+  static constexpr Micros seconds(double s) {
+    return static_cast<Micros>(s * 1'000'000.0);
+  }
+  static double to_seconds(Micros us) {
+    return static_cast<double>(us) / 1'000'000.0;
+  }
+
+ private:
+  Micros now_us_ = 0;
+};
+
+}  // namespace gb

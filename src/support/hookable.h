@@ -1,0 +1,121 @@
+// Uniform interception-chain model.
+//
+// Figures 2 and 5 of the paper enumerate six distinct places ghostware
+// intercepts queries: per-process IAT entries, in-memory API code
+// modification, detour patches, the kernel Service Dispatch Table, file
+// system filter drivers, and (on Unix) syscall-table hooks. All of these
+// share one shape — "run my code, with the ability to call the next
+// implementation and tamper with its result" — which this template
+// expresses directly. Each installed hook carries typed metadata so
+// reports can attribute the hiding technique and so a VICE-style hook
+// detector (the paper's contrasted first approach) can enumerate them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gb {
+
+/// Where/how an interception was installed (Figure 2 / Figure 5 taxonomy).
+enum class HookType {
+  kIat,               // Import Address Table entry modification (Urbin, Mersting)
+  kInlinePatch,       // in-memory API code overwrite calling next (Vanquish)
+  kDetour,            // jmp-detour with return-path tampering (Aphex, HxDef)
+  kSsdt,              // Service Dispatch Table entry (ProBot SE)
+  kFilterDriver,      // file-system filter driver (commercial file hiders)
+  kRegistryCallback,  // kernel registry callback
+  kLkm,               // Unix loadable-kernel-module syscall hook
+};
+
+const char* hook_type_name(HookType t);
+
+struct HookInfo {
+  std::string owner;  // installing program, e.g. "hackerdefender"
+  HookType type = HookType::kInlinePatch;
+  std::string api;  // e.g. "NtDll!NtQueryDirectoryFile"
+};
+
+template <typename Sig>
+class Hookable;
+
+/// An interceptable function. Hooks stack LIFO (the most recently
+/// installed hook runs first), receive a `next` continuation, and may
+/// filter or replace its result — exactly how stacked detours behave.
+template <typename R, typename... Args>
+class Hookable<R(Args...)> {
+ public:
+  using Base = std::function<R(Args...)>;
+  using Next = std::function<R(Args...)>;
+  using Hook = std::function<R(const Next& next, Args...)>;
+
+  Hookable() = default;
+  explicit Hookable(Base base) : base_(std::move(base)) {}
+
+  void set_base(Base base) { base_ = std::move(base); }
+  bool has_base() const { return static_cast<bool>(base_); }
+
+  void install(HookInfo info, Hook hook) {
+    hooks_.push_back({std::move(info), std::move(hook)});
+  }
+
+  /// Removes all hooks installed by `owner`; returns how many.
+  std::size_t remove_owner(std::string_view owner) {
+    const auto before = hooks_.size();
+    std::erase_if(hooks_, [&](const Entry& e) { return e.info.owner == owner; });
+    return before - hooks_.size();
+  }
+
+  void clear_hooks() { hooks_.clear(); }
+  std::size_t hook_count() const { return hooks_.size(); }
+
+  /// Installed-hook metadata, outermost (most recently installed) first.
+  std::vector<HookInfo> hooks() const {
+    std::vector<HookInfo> out;
+    out.reserve(hooks_.size());
+    for (auto it = hooks_.rbegin(); it != hooks_.rend(); ++it) {
+      out.push_back(it->info);
+    }
+    return out;
+  }
+
+  R operator()(Args... args) const { return invoke(hooks_.size(), args...); }
+
+  /// Calls the unhooked base implementation directly (what a tool that
+  /// "restores the SDT" would observe; also used by trusted scans).
+  R call_base(Args... args) const { return base_(args...); }
+
+ private:
+  struct Entry {
+    HookInfo info;
+    Hook hook;
+  };
+
+  R invoke(std::size_t depth, Args... args) const {
+    if (depth == 0) return base_(args...);
+    const Entry& e = hooks_[depth - 1];
+    Next next = [this, depth](Args... inner) {
+      return invoke(depth - 1, inner...);
+    };
+    return e.hook(next, args...);
+  }
+
+  Base base_;
+  std::vector<Entry> hooks_;
+};
+
+inline const char* hook_type_name(HookType t) {
+  switch (t) {
+    case HookType::kIat: return "IAT";
+    case HookType::kInlinePatch: return "inline-patch";
+    case HookType::kDetour: return "detour";
+    case HookType::kSsdt: return "SSDT";
+    case HookType::kFilterDriver: return "filter-driver";
+    case HookType::kRegistryCallback: return "registry-callback";
+    case HookType::kLkm: return "LKM";
+  }
+  return "unknown";
+}
+
+}  // namespace gb

@@ -1,0 +1,36 @@
+#include "support/rng.h"
+
+namespace gb {
+
+std::uint64_t Rng::next() {
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Modulo bias is irrelevant for workload synthesis.
+  return next() % bound;
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
+  return lo + below(hi - lo + 1);
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) {
+  return below(den) < num;
+}
+
+std::string Rng::identifier(std::size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[below(26)]);
+  }
+  return out;
+}
+
+}  // namespace gb

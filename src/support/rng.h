@@ -1,0 +1,38 @@
+// Deterministic pseudo-random generator used everywhere randomness is
+// needed (random malware file names, synthetic workload population).
+// The whole reproduction is seeded, so every run of every bench and test
+// produces identical machines and identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gb {
+
+/// SplitMix64-based deterministic RNG. Not cryptographic; stable across
+/// platforms (unlike std::mt19937 distributions, whose outputs are
+/// implementation-defined for some distribution types).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Random lowercase ASCII identifier of the given length, e.g. for
+  /// ProBot SE's <random name>.exe artifacts.
+  std::string identifier(std::size_t length);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gb

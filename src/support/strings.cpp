@@ -1,0 +1,124 @@
+#include "support/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gb {
+
+namespace {
+char fold(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+std::string fold_case(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), fold);
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(),
+                    [](char x, char y) { return fold(x) == fold(y); });
+}
+
+bool istarts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && iequals(s.substr(0, prefix.size()), prefix);
+}
+
+bool iends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         iequals(s.substr(s.size() - suffix.size()), suffix);
+}
+
+bool icontains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (iequals(haystack.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join_path(std::string_view dir, std::string_view name) {
+  if (dir.empty()) return std::string(name);
+  std::string out(dir);
+  while (!out.empty() && out.back() == '\\') out.pop_back();
+  out.push_back('\\');
+  std::size_t skip = 0;
+  while (skip < name.size() && name[skip] == '\\') ++skip;
+  out.append(name.substr(skip));
+  return out;
+}
+
+std::string_view base_name(std::string_view path) {
+  const auto pos = path.find_last_of('\\');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+std::string_view dir_name(std::string_view path) {
+  const auto pos = path.find_last_of('\\');
+  return pos == std::string_view::npos ? std::string_view{} : path.substr(0, pos);
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer glob with backtracking over the last '*'.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, match = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || fold(pattern[p]) == fold(text[t]))) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      match = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++match;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::string printable(std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (uc == 0) {
+      out += "\\0";
+    } else if (uc < 0x20 || uc >= 0x7f) {
+      out += "\\x";
+      out.push_back(kHex[uc >> 4]);
+      out.push_back(kHex[uc & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string_view truncate_at_nul(std::string_view s) {
+  const auto pos = s.find('\0');
+  return pos == std::string_view::npos ? s : s.substr(0, pos);
+}
+
+}  // namespace gb

@@ -1,0 +1,53 @@
+// String and path utilities shared across the simulation.
+//
+// Windows paths are case-insensitive-preserving; canonical resource keys
+// used by the cross-view differ are ASCII-case-folded. Names may contain
+// embedded NUL characters (the registry's counted-string hiding trick
+// depends on this), so everything here is std::string-based and never
+// assumes NUL termination.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gb {
+
+/// ASCII lowercase fold (Windows name comparison approximation).
+std::string fold_case(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// True if `s` starts with / ends with the given prefix/suffix,
+/// case-insensitively.
+bool istarts_with(std::string_view s, std::string_view prefix);
+bool iends_with(std::string_view s, std::string_view suffix);
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Splits on a delimiter; empty components preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins path components with backslashes, collapsing duplicate
+/// separators: join_path("C:\\windows", "system32") == "C:\\windows\\system32".
+std::string join_path(std::string_view dir, std::string_view name);
+
+/// Returns the final path component ("C:\\a\\b.txt" -> "b.txt").
+std::string_view base_name(std::string_view path);
+
+/// Returns everything before the final component ("C:\\a\\b.txt" -> "C:\\a").
+std::string_view dir_name(std::string_view path);
+
+/// Simple glob match supporting '*' and '?', case-insensitive.
+/// Used by Hacker Defender-style hxdef100.ini hide patterns.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Renders a string for reports, escaping embedded NULs as "\0" and other
+/// non-printable bytes as "\xNN" so hidden-name tricks are visible.
+std::string printable(std::string_view s);
+
+/// Truncates a counted string at its first NUL, mimicking Win32
+/// NUL-terminated string semantics (vs. the Native API's counted strings).
+std::string_view truncate_at_nul(std::string_view s);
+
+}  // namespace gb

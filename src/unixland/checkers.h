@@ -1,0 +1,37 @@
+// Mechanism-based Unix checkers, after chkrootkit [YC] and KSTAT [YKS] —
+// the contemporaneous Unix tools the paper's reference list points at.
+//
+// Two orthogonal mechanisms:
+//   * syscall-table inspection (KSTAT-style): reports getdents hooks
+//     installed by LKM rootkits — misses T0rnkit, which never touches
+//     the kernel;
+//   * known-good binary hashing (chkrootkit/Tripwire-style): reports
+//     trojaned utility binaries — misses LKM kits, whose binaries are
+//     untouched.
+// The cross-view ls diff (rootkits.h) catches both; these checkers exist
+// for the same mechanism-vs-behaviour comparison as the Windows side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/hookable.h"
+#include "unixland/unix_machine.h"
+
+namespace gb::unixland {
+
+/// KSTAT-style: what is hooked in the syscall table right now?
+std::vector<HookInfo> check_syscall_table(const UnixMachine& m);
+
+/// A known-good hash database of system binaries (built on a clean box).
+using BinaryHashDb = std::map<std::string, std::uint64_t>;
+BinaryHashDb build_hash_db(const UnixMachine& clean_box);
+
+/// chkrootkit-style: binaries whose content no longer matches the db
+/// (returns paths; missing binaries are reported too).
+std::vector<std::string> check_binaries(const UnixMachine& m,
+                                        const BinaryHashDb& db);
+
+}  // namespace gb::unixland

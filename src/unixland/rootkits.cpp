@@ -1,0 +1,107 @@
+#include "unixland/rootkits.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.h"
+
+namespace gb::unixland {
+
+LkmRootkit::LkmRootkit(std::string kit_name, std::string module_name,
+                       std::vector<std::string> hide_substrings,
+                       bool hide_module)
+    : kit_name_(std::move(kit_name)),
+      module_name_(std::move(module_name)),
+      substrings_(std::move(hide_substrings)),
+      hide_module_(hide_module) {}
+
+void LkmRootkit::install(UnixMachine& m) {
+  // Drop the kit's files.
+  const std::string kit_dir = "/usr/lib/." + kit_name_;
+  m.fs().mkdirs(kit_dir);
+  m.fs().write(kit_dir + "/" + module_name_ + ".o", "\x7f" "ELF-lkm");
+  m.fs().write(kit_dir + "/sniff.log", "captured packets\n");
+  m.fs().write("/lib/modules/" + module_name_ + ".o", "\x7f" "ELF-lkm");
+  hidden_ = {kit_dir, kit_dir + "/" + module_name_ + ".o",
+             kit_dir + "/sniff.log", "/lib/modules/" + module_name_ + ".o"};
+
+  m.load_lkm(module_name_, /*visible=*/!hide_module_);
+
+  const auto substrings = substrings_;
+  m.sys_getdents().install(
+      HookInfo{kit_name_, HookType::kLkm, "sys_getdents"},
+      [substrings](const auto& next, const std::string& path) {
+        auto entries = next(path);
+        std::erase_if(entries, [&](const UnixDirEnt& e) {
+          for (const auto& s : substrings) {
+            if (icontains(e.name, s)) return true;
+          }
+          return false;
+        });
+        return entries;
+      });
+}
+
+void T0rnkit::install(UnixMachine& m) {
+  // Plant the kit directory and trojaned binaries.
+  m.fs().mkdirs("/usr/src/.puta");
+  m.fs().write("/usr/src/.puta/t0rns", "sniffed passwords\n");
+  m.fs().write("/usr/src/.puta/t0rnsb", "log cleaner");
+  m.fs().write("/usr/src/.puta/t0rnp", "parser");
+  m.fs().write("/bin/ls", "\x7f" "ELF-trojan-ls");  // replaced utility
+  hidden_ = {"/usr/src/.puta", "/usr/src/.puta/t0rns",
+             "/usr/src/.puta/t0rnsb", "/usr/src/.puta/t0rnp"};
+
+  m.trojan_ls([](std::vector<UnixDirEnt>& entries) {
+    std::erase_if(entries, [](const UnixDirEnt& e) {
+      return icontains(e.name, ".puta") || icontains(e.name, "t0rn");
+    });
+  });
+}
+
+std::unique_ptr<UnixRootkit> make_darkside() {
+  return std::make_unique<LkmRootkit>("darkside", "ds023",
+                                      std::vector<std::string>{".darkside",
+                                                               "ds023"});
+}
+
+std::unique_ptr<UnixRootkit> make_superkit() {
+  return std::make_unique<LkmRootkit>("superkit", "skit",
+                                      std::vector<std::string>{".superkit",
+                                                               "skit"});
+}
+
+std::unique_ptr<UnixRootkit> make_synapsis() {
+  return std::make_unique<LkmRootkit>(
+      "synapsis", "synmod", std::vector<std::string>{".synapsis", "synmod"},
+      /*hide_module=*/false);
+}
+
+std::unique_ptr<UnixRootkit> make_t0rnkit() {
+  return std::make_unique<T0rnkit>();
+}
+
+std::unique_ptr<UnixRootkit> make_knark() {
+  return std::make_unique<LkmRootkit>("knark", "knark",
+                                      std::vector<std::string>{".knark",
+                                                               "knark"});
+}
+
+UnixDiff unix_diff(const std::vector<std::string>& infected_view,
+                   const std::vector<std::string>& clean_view) {
+  const std::set<std::string> infected(infected_view.begin(),
+                                       infected_view.end());
+  const std::set<std::string> clean(clean_view.begin(), clean_view.end());
+  UnixDiff diff;
+  std::set_difference(clean.begin(), clean.end(), infected.begin(),
+                      infected.end(), std::back_inserter(diff.hidden));
+  std::set_difference(infected.begin(), infected.end(), clean.begin(),
+                      clean.end(), std::back_inserter(diff.extra));
+  return diff;
+}
+
+UnixDiff unix_cross_view_diff(const UnixMachine& m) {
+  return unix_diff(m.scan_all_infected(), m.scan_all_clean());
+}
+
+}  // namespace gb::unixland

@@ -1,0 +1,84 @@
+// The Unix rootkits of Section 5.
+//
+//   Darkside 0.2.3 (FreeBSD), Superkit and Synapsis (Linux) — LKM
+//   rootkits hooking getdents-style syscalls to hide files;
+//   T0rnkit — replaces OS utility programs (ls et al.) with trojanized
+//   versions instead of touching the kernel.
+//
+// Each install() plants files and the hiding mechanism; `manifest()`
+// records ground truth for the Figure-style bench and tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "unixland/unix_machine.h"
+
+namespace gb::unixland {
+
+class UnixRootkit {
+ public:
+  virtual ~UnixRootkit() = default;
+  virtual std::string name() const = 0;
+  virtual std::string technique() const = 0;
+  virtual void install(UnixMachine& m) = 0;
+  const std::vector<std::string>& hidden_paths() const { return hidden_; }
+
+ protected:
+  std::vector<std::string> hidden_;
+};
+
+/// LKM rootkit: hooks getdents and filters any name containing one of its
+/// patterns. Parameterized to cover Darkside/Superkit/Synapsis (and
+/// Knark-alikes).
+class LkmRootkit : public UnixRootkit {
+ public:
+  LkmRootkit(std::string kit_name, std::string module_name,
+             std::vector<std::string> hide_substrings,
+             bool hide_module = true);
+
+  std::string name() const override { return kit_name_; }
+  std::string technique() const override {
+    return "LKM getdents syscall hook";
+  }
+  void install(UnixMachine& m) override;
+
+ private:
+  std::string kit_name_;
+  std::string module_name_;
+  std::vector<std::string> substrings_;
+  bool hide_module_;
+};
+
+/// T0rnkit: replaces /bin/ls (and friends) with trojans; no kernel hook.
+class T0rnkit : public UnixRootkit {
+ public:
+  std::string name() const override { return "t0rnkit"; }
+  std::string technique() const override {
+    return "trojanized OS utility binaries";
+  }
+  void install(UnixMachine& m) override;
+};
+
+/// Factories matching the paper's experiment set.
+std::unique_ptr<UnixRootkit> make_darkside();
+std::unique_ptr<UnixRootkit> make_superkit();
+std::unique_ptr<UnixRootkit> make_synapsis();
+std::unique_ptr<UnixRootkit> make_t0rnkit();
+/// Knark [ZK in the paper's references]: the classic Linux LKM rootkit.
+std::unique_ptr<UnixRootkit> make_knark();
+
+/// Cross-view diff on the Unix box: clean-CD view minus infected view.
+struct UnixDiff {
+  std::vector<std::string> hidden;  // in clean view, not infected view
+  std::vector<std::string> extra;   // in infected view only (unexpected)
+};
+UnixDiff unix_cross_view_diff(const UnixMachine& m);
+
+/// Diff of two explicit listings (used when daemon activity happens in
+/// the window between the infected scan and the CD-boot scan).
+UnixDiff unix_diff(const std::vector<std::string>& infected_view,
+                   const std::vector<std::string>& clean_view);
+
+}  // namespace gb::unixland

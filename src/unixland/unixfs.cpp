@@ -1,0 +1,161 @@
+#include "unixland/unixfs.h"
+
+namespace gb::unixland {
+
+namespace {
+
+std::vector<std::string> components(std::string_view path) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+UnixFs::UnixFs() {
+  Node root;
+  root.ino = 2;
+  root.is_dir = true;
+  nodes_.emplace(2u, std::move(root));
+  next_ino_ = 3;
+}
+
+std::optional<std::uint32_t> UnixFs::try_resolve(std::string_view path) const {
+  std::uint32_t cur = 2;
+  for (const auto& comp : components(path)) {
+    const Node& n = node(cur);
+    if (!n.is_dir) return std::nullopt;
+    const auto it = n.children.find(comp);
+    if (it == n.children.end()) return std::nullopt;
+    cur = it->second;
+  }
+  return cur;
+}
+
+std::uint32_t UnixFs::resolve(std::string_view path) const {
+  const auto ino = try_resolve(path);
+  if (!ino) throw UnixFsError("no such path: " + std::string(path));
+  return *ino;
+}
+
+void UnixFs::mkdirs(std::string_view path) {
+  std::uint32_t cur = 2;
+  for (const auto& comp : components(path)) {
+    Node& n = node(cur);
+    const auto it = n.children.find(comp);
+    if (it != n.children.end()) {
+      if (!node(it->second).is_dir) {
+        throw UnixFsError("path component is a file: " + comp);
+      }
+      cur = it->second;
+      continue;
+    }
+    Node child;
+    child.ino = next_ino_++;
+    child.is_dir = true;
+    const auto ino = child.ino;
+    nodes_.emplace(ino, std::move(child));
+    node(cur).children.emplace(comp, ino);
+    cur = ino;
+  }
+}
+
+void UnixFs::write(std::string_view path, std::string_view content) {
+  auto comps = components(path);
+  if (comps.empty()) throw UnixFsError("empty path");
+  const std::string leaf = comps.back();
+  std::uint32_t dir = 2;
+  for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+    const Node& n = node(dir);
+    const auto it = n.children.find(comps[i]);
+    if (it == n.children.end() || !node(it->second).is_dir) {
+      throw UnixFsError("parent missing: " + std::string(path));
+    }
+    dir = it->second;
+  }
+  Node& parent = node(dir);
+  const auto it = parent.children.find(leaf);
+  if (it != parent.children.end()) {
+    Node& existing = node(it->second);
+    if (existing.is_dir) throw UnixFsError("is a directory: " + leaf);
+    existing.content = std::string(content);
+    return;
+  }
+  Node file;
+  file.ino = next_ino_++;
+  file.is_dir = false;
+  file.content = std::string(content);
+  const auto ino = file.ino;
+  nodes_.emplace(ino, std::move(file));
+  parent.children.emplace(leaf, ino);
+}
+
+void UnixFs::append(std::string_view path, std::string_view content) {
+  if (!exists(path)) {
+    write(path, content);
+    return;
+  }
+  node(resolve(path)).content += std::string(content);
+}
+
+std::string UnixFs::read(std::string_view path) const {
+  const Node& n = node(resolve(path));
+  if (n.is_dir) throw UnixFsError("is a directory: " + std::string(path));
+  return n.content;
+}
+
+bool UnixFs::exists(std::string_view path) const {
+  return try_resolve(path).has_value();
+}
+
+void UnixFs::unlink(std::string_view path) {
+  auto comps = components(path);
+  if (comps.empty()) throw UnixFsError("cannot unlink root");
+  const std::string leaf = comps.back();
+  comps.pop_back();
+  std::string parent_path;
+  for (const auto& c : comps) parent_path += "/" + c;
+  Node& parent = node(resolve(parent_path));
+  const auto it = parent.children.find(leaf);
+  if (it == parent.children.end()) throw UnixFsError("no such entry: " + leaf);
+  const Node& victim = node(it->second);
+  if (victim.is_dir && !victim.children.empty()) {
+    throw UnixFsError("directory not empty: " + leaf);
+  }
+  nodes_.erase(it->second);
+  parent.children.erase(it);
+}
+
+void UnixFs::unlink_recursive(std::string_view path) {
+  const auto ino = resolve(path);
+  if (node(ino).is_dir) {
+    std::vector<std::string> names;
+    for (const auto& [name, child] : node(ino).children) names.push_back(name);
+    for (const auto& name : names) {
+      unlink_recursive(std::string(path) + "/" + name);
+    }
+  }
+  unlink(path);
+}
+
+std::vector<UnixDirEnt> UnixFs::readdir(std::string_view path) const {
+  const Node& n = node(resolve(path));
+  if (!n.is_dir) throw UnixFsError("not a directory: " + std::string(path));
+  std::vector<UnixDirEnt> out;
+  out.reserve(n.children.size());
+  for (const auto& [name, ino] : n.children) {
+    out.push_back(UnixDirEnt{name, ino, node(ino).is_dir});
+  }
+  return out;
+}
+
+}  // namespace gb::unixland

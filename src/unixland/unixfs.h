@@ -1,0 +1,68 @@
+// Compact inode file system for the Unix-side experiments (Section 5,
+// "Detecting Linux/Unix Ghostware").
+//
+// Just enough VFS to host rootkits: inodes, directories, getdents-style
+// enumeration. The cross-view trust argument on Unix in the paper is
+// between the *infected* runtime (LKM syscall hooks, trojaned ls) and a
+// *clean* runtime booted from CD over the same disk state — so the
+// on-disk state here is this object, and "booting clean" means walking it
+// through an unhooked syscall table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gb::unixland {
+
+struct UnixDirEnt {
+  std::string name;
+  std::uint32_t ino = 0;
+  bool is_dir = false;
+};
+
+class UnixFsError : public std::runtime_error {
+ public:
+  explicit UnixFsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class UnixFs {
+ public:
+  UnixFs();
+
+  /// mkdir -p; '/'-separated absolute paths.
+  void mkdirs(std::string_view path);
+  void write(std::string_view path, std::string_view content);
+  void append(std::string_view path, std::string_view content);
+  std::string read(std::string_view path) const;
+  bool exists(std::string_view path) const;
+  void unlink(std::string_view path);  // file or empty dir
+  void unlink_recursive(std::string_view path);
+
+  /// Raw directory enumeration (what the unhooked getdents returns).
+  std::vector<UnixDirEnt> readdir(std::string_view path) const;
+
+  std::size_t inode_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t ino = 0;
+    bool is_dir = false;
+    std::string content;                       // files
+    std::map<std::string, std::uint32_t> children;  // dirs (sorted)
+  };
+
+  std::uint32_t resolve(std::string_view path) const;  // throws
+  std::optional<std::uint32_t> try_resolve(std::string_view path) const;
+  Node& node(std::uint32_t ino) { return nodes_.at(ino); }
+  const Node& node(std::uint32_t ino) const { return nodes_.at(ino); }
+
+  std::map<std::uint32_t, Node> nodes_;
+  std::uint32_t next_ino_ = 2;  // 2 is the root, as in ext2
+};
+
+}  // namespace gb::unixland

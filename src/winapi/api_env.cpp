@@ -1,0 +1,168 @@
+#include "winapi/api_env.h"
+
+#include "support/strings.h"
+#include "winapi/win32_names.h"
+
+namespace gb::winapi {
+
+namespace {
+
+/// Advapi32's counted-to-NUL-terminated conversion, plus the long-name
+/// handling bug the paper describes in real registry editors: names the
+/// editor's fixed buffer cannot hold are silently skipped.
+constexpr std::size_t kRegEditNameBuffer = 255;
+
+}  // namespace
+
+ApiEnv::ApiEnv(kernel::Kernel& kernel) : kernel_(kernel) {
+  // ---- NtDll bases trap into the SSDT (running its hook chain). ----------
+  ntdll_query_directory_file.set_base(
+      [this](const Ctx& ctx, const std::string& dir) {
+        return kernel_.ssdt().nt_query_directory_file(ctx, dir);
+      });
+  ntdll_enumerate_key.set_base([this](const Ctx& ctx, const std::string& key) {
+    return kernel_.ssdt().nt_enumerate_key(ctx, key);
+  });
+  ntdll_enumerate_value_key.set_base(
+      [this](const Ctx& ctx, const std::string& key) {
+        return kernel_.ssdt().nt_enumerate_value_key(ctx, key);
+      });
+  ntdll_query_system_information.set_base([this](const Ctx& ctx) {
+    return kernel_.ssdt().nt_query_system_information(ctx);
+  });
+  ntdll_query_information_process.set_base(
+      [this](const Ctx& ctx, kernel::Pid target) {
+        return kernel_.ssdt().nt_query_information_process(ctx, target);
+      });
+
+  // ---- Kernel32/Advapi32 bases call this process's NtDll code and apply
+  // Win32 semantics. -------------------------------------------------------
+  k32_find_file.set_base([this](const Ctx& ctx, const std::string& dir) {
+    if (!valid_win32_path(dir)) {
+      throw Win32Error("path not expressible through Win32: " +
+                       printable(dir));
+    }
+    auto entries = ntdll_query_directory_file(ctx, dir);
+    std::erase_if(entries, [](const kernel::FindData& e) {
+      return !valid_win32_component(e.name);
+    });
+    return entries;
+  });
+
+  advapi_reg_enum_key.set_base([this](const Ctx& ctx, const std::string& key) {
+    auto names = ntdll_enumerate_key(ctx, key);
+    std::vector<std::string> out;
+    out.reserve(names.size());
+    for (auto& n : names) {
+      if (n.size() > kRegEditNameBuffer) continue;  // editor-buffer bug
+      out.emplace_back(truncate_at_nul(n));
+    }
+    return out;
+  });
+
+  advapi_reg_enum_value.set_base(
+      [this](const Ctx& ctx, const std::string& key) {
+        auto values = ntdll_enumerate_value_key(ctx, key);
+        std::vector<Win32RegValue> out;
+        out.reserve(values.size());
+        for (auto& v : values) {
+          if (v.name.size() > kRegEditNameBuffer) continue;
+          Win32RegValue w;
+          w.name = std::string(truncate_at_nul(v.name));
+          w.value = std::move(v);
+          out.push_back(std::move(w));
+        }
+        return out;
+      });
+
+  k32_process32.set_base(
+      [this](const Ctx& ctx) { return ntdll_query_system_information(ctx); });
+  k32_module32.set_base([this](const Ctx& ctx, kernel::Pid target) {
+    return ntdll_query_information_process(ctx, target);
+  });
+
+  // ---- IAT entries point at the in-process DLL code. ---------------------
+  iat_find_file.set_base([this](const Ctx& ctx, const std::string& dir) {
+    return k32_find_file(ctx, dir);
+  });
+  iat_reg_enum_key.set_base([this](const Ctx& ctx, const std::string& key) {
+    return advapi_reg_enum_key(ctx, key);
+  });
+  iat_reg_enum_value.set_base([this](const Ctx& ctx, const std::string& key) {
+    return advapi_reg_enum_value(ctx, key);
+  });
+  iat_nt_query_system_information.set_base(
+      [this](const Ctx& ctx) { return ntdll_query_system_information(ctx); });
+}
+
+std::vector<kernel::FindData> ApiEnv::find_files(const Ctx& ctx,
+                                                 const std::string& dir,
+                                                 bool* ok) {
+  try {
+    auto out = iat_find_file(ctx, dir);
+    if (ok) *ok = true;
+    return out;
+  } catch (const Win32Error&) {
+    if (ok) *ok = false;
+    return {};
+  }
+}
+
+std::vector<std::string> ApiEnv::reg_enum_keys(const Ctx& ctx,
+                                               const std::string& key_path) {
+  return iat_reg_enum_key(ctx, key_path);
+}
+
+std::vector<Win32RegValue> ApiEnv::reg_enum_values(
+    const Ctx& ctx, const std::string& key_path) {
+  return iat_reg_enum_value(ctx, key_path);
+}
+
+std::vector<kernel::ProcessInfo> ApiEnv::toolhelp_processes(const Ctx& ctx) {
+  return k32_process32(ctx);
+}
+
+std::vector<kernel::PebModuleEntry> ApiEnv::toolhelp_modules(
+    const Ctx& ctx, kernel::Pid target) {
+  return k32_module32(ctx, target);
+}
+
+std::vector<kernel::ProcessInfo> ApiEnv::nt_query_system_information(
+    const Ctx& ctx) {
+  return iat_nt_query_system_information(ctx);
+}
+
+std::size_t ApiEnv::remove_owner(std::string_view owner) {
+  return iat_find_file.remove_owner(owner) +
+         iat_reg_enum_key.remove_owner(owner) +
+         iat_reg_enum_value.remove_owner(owner) +
+         iat_nt_query_system_information.remove_owner(owner) +
+         k32_find_file.remove_owner(owner) +
+         advapi_reg_enum_key.remove_owner(owner) +
+         advapi_reg_enum_value.remove_owner(owner) +
+         k32_process32.remove_owner(owner) +
+         k32_module32.remove_owner(owner) +
+         ntdll_query_directory_file.remove_owner(owner) +
+         ntdll_enumerate_key.remove_owner(owner) +
+         ntdll_enumerate_value_key.remove_owner(owner) +
+         ntdll_query_system_information.remove_owner(owner) +
+         ntdll_query_information_process.remove_owner(owner);
+}
+
+std::vector<HookInfo> ApiEnv::all_hooks() const {
+  std::vector<HookInfo> out;
+  for (const auto& hooks :
+       {iat_find_file.hooks(), iat_reg_enum_key.hooks(),
+        iat_reg_enum_value.hooks(), iat_nt_query_system_information.hooks(),
+        k32_find_file.hooks(), advapi_reg_enum_key.hooks(),
+        advapi_reg_enum_value.hooks(), k32_process32.hooks(),
+        k32_module32.hooks(), ntdll_query_directory_file.hooks(),
+        ntdll_enumerate_key.hooks(), ntdll_enumerate_value_key.hooks(),
+        ntdll_query_system_information.hooks(),
+        ntdll_query_information_process.hooks()}) {
+    out.insert(out.end(), hooks.begin(), hooks.end());
+  }
+  return out;
+}
+
+}  // namespace gb::winapi

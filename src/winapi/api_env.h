@@ -1,0 +1,129 @@
+// Per-process API environment: the interception surface of Figure 2/5.
+//
+// Each process owns private copies of its import address table and of the
+// loaded DLLs' in-memory API code (on Windows, code pages become private
+// the moment a rootkit writes to them). Every level is a Hookable chain:
+//
+//   user call
+//     -> IAT entry                 (Urbin/Mersting hook here, per process)
+//     -> Kernel32/Advapi32 code    (Vanquish inline, Aphex detour)
+//     -> NtDll code                (Hacker Defender detour, Berbew jmp)
+//     -> SSDT                      (ProBot SE; system-wide, in the kernel)
+//     -> filter drivers / config manager / process lists
+//
+// GhostBuster's *high-level* scans enter at the top of this stack from a
+// chosen process context; its *low-level* scans never touch it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hive/hive.h"
+#include "kernel/kernel.h"
+#include "support/hookable.h"
+
+namespace gb::winapi {
+
+using Ctx = kernel::SyscallContext;
+
+/// Thrown by Win32-layer calls for conditions Win32 reports as errors
+/// (e.g. a path it cannot express). Native-layer calls never throw this.
+class Win32Error : public std::runtime_error {
+ public:
+  explicit Win32Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// API identities used in hook metadata strings.
+namespace api_names {
+inline constexpr const char* kFindFile = "Kernel32!FindFirst(Next)File";
+inline constexpr const char* kNtQueryDirectoryFile =
+    "NtDll!NtQueryDirectoryFile";
+inline constexpr const char* kRegEnumValue = "Advapi32!RegEnumValue";
+inline constexpr const char* kRegEnumKey = "Advapi32!RegEnumKey";
+inline constexpr const char* kNtEnumerateKey = "NtDll!NtEnumerateKey";
+inline constexpr const char* kNtEnumerateValueKey =
+    "NtDll!NtEnumerateValueKey";
+inline constexpr const char* kNtQuerySystemInformation =
+    "NtDll!NtQuerySystemInformation";
+inline constexpr const char* kNtQueryInformationProcess =
+    "NtDll!NtQueryInformationProcess";
+inline constexpr const char* kProcess32 = "Kernel32!Process32First(Next)";
+inline constexpr const char* kModule32 = "Kernel32!Module32First(Next)";
+}  // namespace api_names
+
+/// Registry value as returned by the Win32 (Advapi32) layer: the name has
+/// been squeezed through NUL-terminated string handling.
+struct Win32RegValue {
+  std::string name;  // truncated at the first NUL
+  hive::Value value;
+
+  bool operator==(const Win32RegValue&) const = default;
+};
+
+class ApiEnv {
+ public:
+  /// Binds all base implementations down to the kernel's SSDT.
+  explicit ApiEnv(kernel::Kernel& kernel);
+
+  // --- user-facing entry points (dispatch through the IAT chains) --------
+  /// FindFirstFile/FindNextFile enumeration of one directory, with Win32
+  /// name semantics. Returns nullopt-like empty + sets ok=false when the
+  /// path itself is not Win32-expressible (caller cannot descend).
+  std::vector<kernel::FindData> find_files(const Ctx& ctx,
+                                           const std::string& dir,
+                                           bool* ok = nullptr);
+  std::vector<std::string> reg_enum_keys(const Ctx& ctx,
+                                         const std::string& key_path);
+  std::vector<Win32RegValue> reg_enum_values(const Ctx& ctx,
+                                             const std::string& key_path);
+  std::vector<kernel::ProcessInfo> toolhelp_processes(const Ctx& ctx);
+  std::vector<kernel::PebModuleEntry> toolhelp_modules(const Ctx& ctx,
+                                                       kernel::Pid target);
+  /// Direct NtDll import — what tlist-style tools and Task Manager use.
+  std::vector<kernel::ProcessInfo> nt_query_system_information(const Ctx& ctx);
+
+  // --- hook surfaces ------------------------------------------------------
+  // IAT entries (HookType::kIat belongs here).
+  Hookable<std::vector<kernel::FindData>(const Ctx&, const std::string&)>
+      iat_find_file;
+  Hookable<std::vector<std::string>(const Ctx&, const std::string&)>
+      iat_reg_enum_key;
+  Hookable<std::vector<Win32RegValue>(const Ctx&, const std::string&)>
+      iat_reg_enum_value;
+  Hookable<std::vector<kernel::ProcessInfo>(const Ctx&)>
+      iat_nt_query_system_information;
+
+  // Kernel32 / Advapi32 in-memory code (inline patches & detours).
+  Hookable<std::vector<kernel::FindData>(const Ctx&, const std::string&)>
+      k32_find_file;
+  Hookable<std::vector<std::string>(const Ctx&, const std::string&)>
+      advapi_reg_enum_key;
+  Hookable<std::vector<Win32RegValue>(const Ctx&, const std::string&)>
+      advapi_reg_enum_value;
+  Hookable<std::vector<kernel::ProcessInfo>(const Ctx&)> k32_process32;
+  Hookable<std::vector<kernel::PebModuleEntry>(const Ctx&, kernel::Pid)>
+      k32_module32;
+
+  // NtDll in-memory code.
+  Hookable<std::vector<kernel::FindData>(const Ctx&, const std::string&)>
+      ntdll_query_directory_file;
+  Hookable<std::vector<std::string>(const Ctx&, const std::string&)>
+      ntdll_enumerate_key;
+  Hookable<std::vector<hive::Value>(const Ctx&, const std::string&)>
+      ntdll_enumerate_value_key;
+  Hookable<std::vector<kernel::ProcessInfo>(const Ctx&)>
+      ntdll_query_system_information;
+  Hookable<std::vector<kernel::PebModuleEntry>(const Ctx&, kernel::Pid)>
+      ntdll_query_information_process;
+
+  /// Removes every hook `owner` installed anywhere in this environment.
+  std::size_t remove_owner(std::string_view owner);
+  /// All hooks installed in this environment (hook-detector view).
+  std::vector<HookInfo> all_hooks() const;
+
+ private:
+  kernel::Kernel& kernel_;
+};
+
+}  // namespace gb::winapi

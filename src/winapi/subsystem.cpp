@@ -1,0 +1,32 @@
+#include "winapi/subsystem.h"
+
+namespace gb::winapi {
+
+ApiEnv& Win32Subsystem::create_env(kernel::Pid pid) {
+  auto env = std::make_unique<ApiEnv>(kernel_);
+  ApiEnv& ref = *env;
+  envs_[pid] = std::move(env);
+  for (const auto& [owner, fn] : injectors_) fn(pid, ref);
+  return ref;
+}
+
+ApiEnv* Win32Subsystem::env(kernel::Pid pid) {
+  const auto it = envs_.find(pid);
+  return it == envs_.end() ? nullptr : it->second.get();
+}
+
+void Win32Subsystem::inject_all(std::string owner, Injector fn) {
+  for (auto& [pid, env] : envs_) fn(pid, *env);
+  injectors_.emplace_back(std::move(owner), std::move(fn));
+}
+
+std::size_t Win32Subsystem::remove_owner(std::string_view owner) {
+  std::erase_if(injectors_, [&](const auto& entry) {
+    return entry.first == owner;
+  });
+  std::size_t removed = 0;
+  for (auto& [pid, env] : envs_) removed += env->remove_owner(owner);
+  return removed;
+}
+
+}  // namespace gb::winapi

@@ -1,0 +1,49 @@
+// Win32 subsystem: owns one ApiEnv per process and supports system-wide
+// DLL injection.
+//
+// "Injection" here is the mechanism behind three behaviours in the paper:
+// ghostware like Hacker Defender patching the API code of *every* running
+// process, AppInit_DLLs-style auto-loading into new processes, and the
+// GhostBuster extension of Section 5 that injects the scanner DLL into
+// every process (turning each one into a GhostBuster).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "winapi/api_env.h"
+
+namespace gb::winapi {
+
+class Win32Subsystem {
+ public:
+  explicit Win32Subsystem(kernel::Kernel& kernel) : kernel_(kernel) {}
+
+  /// Creates the environment for a new process and runs all registered
+  /// injectors over it.
+  ApiEnv& create_env(kernel::Pid pid);
+  void destroy_env(kernel::Pid pid) { envs_.erase(pid); }
+
+  ApiEnv* env(kernel::Pid pid);
+  const std::map<kernel::Pid, std::unique_ptr<ApiEnv>>& envs() const {
+    return envs_;
+  }
+
+  /// Applies `fn` to every existing environment and every future one.
+  using Injector = std::function<void(kernel::Pid, ApiEnv&)>;
+  void inject_all(std::string owner, Injector fn);
+
+  /// Removes injectors registered under `owner` (future processes no
+  /// longer receive them) and rips `owner`'s hooks out of every existing
+  /// environment. Returns the number of hooks removed.
+  std::size_t remove_owner(std::string_view owner);
+
+ private:
+  kernel::Kernel& kernel_;
+  std::map<kernel::Pid, std::unique_ptr<ApiEnv>> envs_;
+  std::vector<std::pair<std::string, Injector>> injectors_;
+};
+
+}  // namespace gb::winapi

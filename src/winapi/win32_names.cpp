@@ -1,0 +1,63 @@
+#include "winapi/win32_names.h"
+
+#include <array>
+
+#include "support/strings.h"
+
+namespace gb::winapi {
+
+bool is_reserved_device_name(std::string_view name) {
+  // Strip extension: "CON.txt" is also reserved.
+  const auto dot = name.find('.');
+  const std::string_view stem =
+      dot == std::string_view::npos ? name : name.substr(0, dot);
+  static constexpr std::array<std::string_view, 4> kPlain = {"con", "prn",
+                                                             "aux", "nul"};
+  for (const auto r : kPlain) {
+    if (iequals(stem, r)) return true;
+  }
+  if (stem.size() == 4 &&
+      (istarts_with(stem, "com") || istarts_with(stem, "lpt")) &&
+      stem[3] >= '1' && stem[3] <= '9') {
+    return true;
+  }
+  return false;
+}
+
+bool valid_win32_component(std::string_view name) {
+  if (name.empty()) return false;
+  if (name.back() == '.' || name.back() == ' ') return false;
+  if (is_reserved_device_name(name)) return false;
+  for (const char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (uc < 0x20) return false;
+    switch (c) {
+      case '<':
+      case '>':
+      case ':':
+      case '"':
+      case '/':
+      case '\\':
+      case '|':
+      case '?':
+      case '*':
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+bool valid_win32_path(std::string_view path) {
+  if (path.size() >= kMaxPath) return false;
+  std::string_view rest = path;
+  if (rest.size() >= 2 && rest[1] == ':') rest.remove_prefix(2);
+  for (const auto& comp : split(rest, '\\')) {
+    if (comp.empty()) continue;
+    if (!valid_win32_component(comp)) return false;
+  }
+  return true;
+}
+
+}  // namespace gb::winapi

@@ -1,0 +1,28 @@
+// Win32 filename restrictions.
+//
+// NTFS (and this project's native volume API) accepts names that the
+// Win32 layer cannot express: trailing dots or spaces, reserved device
+// names (CON, AUX, NUL, COM1…), special characters, and full paths beyond
+// MAX_PATH. Section 2 of the paper lists creating such files through
+// low-level APIs as a file-hiding technique — the Win32 view simply
+// cannot see them, while the raw MFT scan can. These rules are enforced
+// in the Kernel32 layer (winapi/api_env.cpp), never in the volume.
+#pragma once
+
+#include <string_view>
+
+namespace gb::winapi {
+
+inline constexpr std::size_t kMaxPath = 260;
+
+/// True if a single path component is expressible through Win32.
+bool valid_win32_component(std::string_view name);
+
+/// True if a full path is expressible: every component valid and the
+/// total length within MAX_PATH.
+bool valid_win32_path(std::string_view path);
+
+/// True if `name` (without extension) is a reserved DOS device name.
+bool is_reserved_device_name(std::string_view name);
+
+}  // namespace gb::winapi

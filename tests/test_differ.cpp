@@ -1,0 +1,117 @@
+#include "core/differ.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace gb::core {
+namespace {
+
+ScanResult snapshot(ResourceType type, std::vector<std::string> keys,
+                    std::string view = "v") {
+  ScanResult s;
+  s.type = type;
+  s.view_name = std::move(view);
+  for (auto& k : keys) s.resources.push_back(Resource{k, k});
+  s.normalize();
+  return s;
+}
+
+TEST(ScanResultTest, NormalizeSortsAndDedupes) {
+  auto s = snapshot(ResourceType::kFile, {"c", "a", "b", "a"});
+  ASSERT_EQ(s.resources.size(), 3u);
+  EXPECT_EQ(s.resources[0].key, "a");
+  EXPECT_EQ(s.resources[2].key, "c");
+}
+
+TEST(ScanResultTest, ContainsBinarySearch) {
+  auto s = snapshot(ResourceType::kFile, {"alpha", "beta", "gamma"});
+  EXPECT_TRUE(s.contains("beta"));
+  EXPECT_FALSE(s.contains("delta"));
+  EXPECT_FALSE(s.contains(""));
+}
+
+TEST(CanonicalKeys, Stability) {
+  EXPECT_EQ(file_key("C:\\Windows\\FILE.TXT"), "c:\\windows\\file.txt");
+  EXPECT_EQ(asep_key("HKLM\\Sys", "Val", "Item"), "hklm\\sys|val|item");
+  EXPECT_EQ(process_key(136, "HXDEF100.EXE"), "136|hxdef100.exe");
+  EXPECT_EQ(module_key(8, "C:\\a.DLL"), "8|c:\\a.dll");
+  // Embedded NULs survive canonicalization.
+  const std::string nul_name("A\0B", 3);
+  EXPECT_EQ(asep_key("k", nul_name, "").size(), 1 + 1 + 3 + 1);
+}
+
+TEST(Differ, IdenticalViewsAreClean) {
+  const auto a = snapshot(ResourceType::kFile, {"x", "y"});
+  const auto b = snapshot(ResourceType::kFile, {"y", "x"});
+  const auto d = cross_view_diff(a, b);
+  EXPECT_TRUE(d.clean());
+  EXPECT_EQ(d.high_count, 2u);
+  EXPECT_EQ(d.low_count, 2u);
+}
+
+TEST(Differ, HiddenIsLowMinusHigh) {
+  const auto high = snapshot(ResourceType::kFile, {"a", "c"}, "api");
+  const auto low = snapshot(ResourceType::kFile, {"a", "b", "c", "d"}, "raw");
+  const auto d = cross_view_diff(high, low);
+  ASSERT_EQ(d.hidden.size(), 2u);
+  EXPECT_EQ(d.hidden[0].resource.key, "b");
+  EXPECT_EQ(d.hidden[1].resource.key, "d");
+  EXPECT_EQ(d.hidden[0].found_in, "raw");
+  EXPECT_EQ(d.hidden[0].missing_from, "api");
+  EXPECT_TRUE(d.extra.empty());
+}
+
+TEST(Differ, ExtraIsHighMinusLow) {
+  const auto high = snapshot(ResourceType::kProcess, {"a", "z"});
+  const auto low = snapshot(ResourceType::kProcess, {"a"});
+  const auto d = cross_view_diff(high, low);
+  ASSERT_EQ(d.extra.size(), 1u);
+  EXPECT_EQ(d.extra[0].resource.key, "z");
+}
+
+TEST(Differ, EmptyViews) {
+  const auto empty = snapshot(ResourceType::kFile, {});
+  const auto full = snapshot(ResourceType::kFile, {"a", "b"});
+  EXPECT_EQ(cross_view_diff(empty, full).hidden.size(), 2u);
+  EXPECT_EQ(cross_view_diff(full, empty).extra.size(), 2u);
+  EXPECT_TRUE(cross_view_diff(empty, empty).clean());
+}
+
+TEST(Differ, TypeMismatchThrows) {
+  const auto files = snapshot(ResourceType::kFile, {"a"});
+  const auto procs = snapshot(ResourceType::kProcess, {"a"});
+  EXPECT_THROW(cross_view_diff(files, procs), std::invalid_argument);
+}
+
+class DifferPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferPropertyTest, DiffPartitionInvariant) {
+  // Invariant: |high ∩ low| + |hidden| = |low| and
+  //            |high ∩ low| + |extra| = |high|.
+  Rng rng(GetParam() * 31337);
+  std::vector<std::string> high_keys, low_keys;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(rng.below(150));
+    if (rng.chance(1, 2)) high_keys.push_back(key);
+    if (rng.chance(1, 2)) low_keys.push_back(key);
+  }
+  const auto high = snapshot(ResourceType::kFile, high_keys);
+  const auto low = snapshot(ResourceType::kFile, low_keys);
+  const auto d = cross_view_diff(high, low);
+  EXPECT_EQ(d.hidden.size() + (high.resources.size() - d.extra.size()),
+            low.resources.size());
+  EXPECT_EQ(d.extra.size() + (low.resources.size() - d.hidden.size()),
+            high.resources.size());
+  // Every hidden key is genuinely absent from high and present in low.
+  for (const auto& f : d.hidden) {
+    EXPECT_FALSE(high.contains(f.resource.key));
+    EXPECT_TRUE(low.contains(f.resource.key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace gb::core

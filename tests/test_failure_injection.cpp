@@ -1,0 +1,151 @@
+// Failure injection: torn writes, corruption, and adversarial edge cases
+// the scanners must survive (a forensic tool meets damaged state).
+#include <gtest/gtest.h>
+
+#include "core/ghostbuster.h"
+#include "hive/hive.h"
+#include "malware/hackerdefender.h"
+#include "ntfs/mft_scanner.h"
+#include "support/strings.h"
+
+namespace gb {
+namespace {
+
+machine::MachineConfig small_config() {
+  machine::MachineConfig cfg;
+  cfg.synthetic_files = 20;
+  cfg.synthetic_registry_keys = 10;
+  return cfg;
+}
+
+/// Overwrites one MFT record image with garbage that still looks live.
+void corrupt_mft_record(machine::Machine& m, std::string_view path) {
+  ntfs::MftScanner scanner(m.disk());
+  const auto rec = scanner.find(path);
+  ASSERT_TRUE(rec.has_value());
+  // Locate the MFT start exactly as the scanner does.
+  std::vector<std::byte> bs(ntfs::kSectorSize);
+  m.disk().read(0, bs);
+  ByteReader r(bs);
+  r.seek(ntfs::BootSectorLayout::kMftStartCluster);
+  const auto mft_start = r.u64();
+  // Keep the FILE magic + in-use flag, trash the attribute area.
+  std::vector<std::byte> image(ntfs::kMftRecordSize);
+  const auto lba = mft_start * ntfs::kSectorsPerCluster + *rec * 2;
+  m.disk().read(lba, image);
+  for (std::size_t i = 24; i < image.size(); ++i) {
+    image[i] = std::byte{0x80};  // bogus attr type + impossible length
+  }
+  m.disk().write(lba, image);
+}
+
+TEST(FailureInjection, MftScannerSkipsCorruptRecordsAndContinues) {
+  machine::Machine m(small_config());
+  m.volume().write_file("C:\\victim.txt", "soon to be corrupted");
+  m.volume().write_file("C:\\survivor.txt", "fine");
+  corrupt_mft_record(m, "C:\\victim.txt");
+
+  ntfs::MftScanner scanner(m.disk());
+  const auto files = scanner.scan();
+  EXPECT_EQ(scanner.corrupt_records(), 1u);
+  bool saw_survivor = false;
+  for (const auto& f : files) {
+    if (iequals(f.path, "survivor.txt")) saw_survivor = true;
+    EXPECT_FALSE(iequals(f.path, "victim.txt"));
+  }
+  EXPECT_TRUE(saw_survivor);
+}
+
+TEST(FailureInjection, DetectionUnaffectedByUnrelatedCorruption) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  m.volume().write_file("C:\\collateral.bin", "xx");
+  corrupt_mft_record(m, "C:\\collateral.bin");
+
+  core::Options o;
+  o.scan_registry = o.scan_processes = o.scan_modules = false;
+  const auto report = core::GhostBuster(m).inside_scan(o);
+  EXPECT_GE(report.hidden_count(core::ResourceType::kFile), 4u);
+}
+
+TEST(FailureInjection, TornHiveWriteRejectedByParser) {
+  // A hive whose sequence numbers disagree (torn write) must be refused
+  // rather than silently half-parsed.
+  machine::Machine m(small_config());
+  m.flush_registry();
+  auto image = m.volume().read_file(
+      "C:\\windows\\system32\\config\\software");
+  image[4] = std::byte{0x77};  // bump seq1
+  m.volume().write_file("C:\\windows\\system32\\config\\software", image);
+  EXPECT_THROW(hive::parse_hive(image), ParseError);
+  // The low-level registry scan re-flushes the live hive first, so the
+  // scan itself recovers (the flush overwrites the torn file).
+  const auto scan = core::low_level_registry_scan(m);
+  EXPECT_GT(scan.resources.size(), 5u);
+}
+
+TEST(FailureInjection, OutsideRegistryScanThrowsOnTornHive) {
+  // Outside the box there is no flush: a torn hive is a hard error the
+  // operator must see (restore from the .sav copy, as on real Windows).
+  machine::Machine m(small_config());
+  m.shutdown();
+  ntfs::MftScanner scanner(m.disk());
+  const auto rec =
+      scanner.find("C:\\windows\\system32\\config\\software");
+  ASSERT_TRUE(rec.has_value());
+  // Corrupt the hive base block magic on the raw disk via a new volume.
+  ntfs::NtfsVolume vol(m.disk());
+  auto image =
+      vol.read_file("C:\\windows\\system32\\config\\software");
+  image[0] = std::byte{0x00};
+  vol.write_file("C:\\windows\\system32\\config\\software", image);
+  EXPECT_THROW(core::outside_registry_scan(m.disk()), ParseError);
+}
+
+TEST(FailureInjection, DumpTruncationDetected) {
+  machine::Machine m(small_config());
+  auto dump = m.bluescreen();
+  dump.resize(dump.size() / 2);
+  EXPECT_THROW(kernel::parse_dump(dump), ParseError);
+}
+
+TEST(FailureInjection, ScanWithDeadScannerContextThrows) {
+  machine::Machine m(small_config());
+  const auto pid = m.ensure_process("C:\\windows\\system32\\ghostbuster.exe");
+  m.kill_process(pid);
+  const auto ctx = winapi::Ctx{pid, "ghostbuster.exe"};
+  EXPECT_THROW(core::high_level_file_scan(m, ctx), std::invalid_argument);
+}
+
+TEST(FailureInjection, HookThrowingDoesNotCorruptChain) {
+  // A buggy rootkit hook that throws: the call fails, but removing the
+  // hook restores service.
+  machine::Machine m(small_config());
+  const auto pid = m.ensure_process("C:\\windows\\system32\\ghostbuster.exe");
+  auto* env = m.win32().env(pid);
+  const auto ctx = m.context_for(pid);
+  env->ntdll_query_directory_file.install(
+      {"buggy", HookType::kDetour, "NtQueryDirectoryFile"},
+      [](const auto&, const winapi::Ctx&,
+         const std::string&) -> std::vector<kernel::FindData> {
+        throw std::runtime_error("rootkit bug");
+      });
+  bool ok = true;
+  EXPECT_THROW(env->find_files(ctx, "C:\\windows", &ok),
+               std::runtime_error);
+  env->remove_owner("buggy");
+  const auto entries = env->find_files(ctx, "C:\\windows", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(entries.empty());
+}
+
+TEST(FailureInjection, MachineSpawnWhilePoweredOffThrows) {
+  machine::Machine m(small_config());
+  m.shutdown();
+  EXPECT_THROW(m.spawn_process("C:\\x.exe"), kernel::KernelError);
+  m.boot();
+  EXPECT_NO_THROW(m.spawn_process("C:\\windows\\system32\\notepad.exe"));
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,150 @@
+// Forensic extras: deleted-record recovery, large-registry 'ri' lists,
+// and a long soak across infect/scan/remove cycles.
+#include <gtest/gtest.h>
+
+#include "core/ghostbuster.h"
+#include "core/removal.h"
+#include "hive/hive.h"
+#include "malware/collection.h"
+#include "registry/aseps.h"
+#include "ntfs/mft_scanner.h"
+#include "support/strings.h"
+
+namespace gb {
+namespace {
+
+machine::MachineConfig small_config() {
+  machine::MachineConfig cfg;
+  cfg.synthetic_files = 15;
+  cfg.synthetic_registry_keys = 8;
+  return cfg;
+}
+
+TEST(DeletedRecovery, TombstonesAreRecoverable) {
+  machine::Machine m(small_config());
+  m.volume().write_file("C:\\evidence.doc", "incriminating");
+  m.volume().remove("C:\\evidence.doc");
+
+  ntfs::MftScanner scanner(m.disk());
+  const auto deleted = scanner.scan_deleted();
+  bool found = false;
+  for (const auto& f : deleted) {
+    if (iequals(f.path, "<deleted>\\evidence.doc")) {
+      found = true;
+      EXPECT_EQ(f.size, 13u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // A live file never appears in the deleted view.
+  for (const auto& f : deleted) {
+    EXPECT_FALSE(icontains(f.path, "ntdll.dll"));
+  }
+}
+
+TEST(DeletedRecovery, ReusedRecordNoLongerDeleted) {
+  machine::Machine m(small_config());
+  m.volume().write_file("C:\\a.tmp", "x");
+  m.volume().remove("C:\\a.tmp");
+  // Reuse the same record slot.
+  m.volume().write_file("C:\\b.tmp", "y");
+  ntfs::MftScanner scanner(m.disk());
+  for (const auto& f : scanner.scan_deleted()) {
+    EXPECT_FALSE(icontains(f.path, "a.tmp"));
+  }
+}
+
+TEST(DeletedRecovery, MalwareRemovalLeavesAuditTrail) {
+  // After the removal workflow, the rootkit's files are deleted but
+  // their tombstones still witness what was there — useful for incident
+  // response.
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  const auto report = core::GhostBuster(m).inside_scan();
+  core::remove_ghostware(m, report);
+
+  ntfs::MftScanner scanner(m.disk());
+  bool hxdef_tombstone = false;
+  for (const auto& f : scanner.scan_deleted()) {
+    if (icontains(f.path, "hxdef100.exe")) hxdef_tombstone = true;
+  }
+  EXPECT_TRUE(hxdef_tombstone);
+}
+
+TEST(HiveRi, LargeSubkeyCountsRoundTripThroughRiLists) {
+  hive::Key root;
+  root.name = "SOFTWARE";
+  hive::Key& parent = root.ensure_subkey("ManyKeys");
+  for (int i = 0; i < 1500; ++i) {  // > 2 lh chunks
+    parent.ensure_subkey("sub" + std::to_string(i))
+        .set_value(hive::Value::dword("i", static_cast<std::uint32_t>(i)));
+  }
+  const auto image = hive::serialize_hive(root, "BIG");
+  const auto parsed = hive::parse_hive(image);
+  const auto* many = parsed.find_subkey("ManyKeys");
+  ASSERT_NE(many, nullptr);
+  ASSERT_EQ(many->subkeys.size(), 1500u);
+  EXPECT_EQ(many->find_subkey("sub1234")->find_value("i")->as_dword(), 1234u);
+}
+
+TEST(HiveRi, ExactlyAtChunkBoundary) {
+  for (const std::size_t n : {hive::kMaxLhEntries, hive::kMaxLhEntries + 1}) {
+    hive::Key root;
+    root.name = "X";
+    for (std::size_t i = 0; i < n; ++i) {
+      root.ensure_subkey("k" + std::to_string(i));
+    }
+    const auto parsed = hive::parse_hive(hive::serialize_hive(root, "X"));
+    EXPECT_EQ(parsed.subkeys.size(), n);
+  }
+}
+
+TEST(HiveRi, RegistryScanHandlesHugeServicesKey) {
+  // A machine with a very large Services key (real enterprise boxes have
+  // hundreds): the raw-hive ASEP scan must still agree with the API view.
+  machine::Machine m(small_config());
+  for (int i = 0; i < 600; ++i) {
+    m.registry().set_value(
+        std::string(registry::kServicesKey) + "\\svc" + std::to_string(i),
+        hive::Value::string("ImagePath", "System32\\svc.exe"));
+  }
+  const auto report = core::GhostBuster(m).inside_scan([] {
+    core::Options o;
+    o.scan_files = o.scan_processes = o.scan_modules = false;
+    return o;
+  }());
+  EXPECT_FALSE(report.infection_detected()) << report.to_string();
+  const auto* diff = report.diff_for(core::ResourceType::kAsepHook);
+  EXPECT_GT(diff->high_count, 600u);
+  EXPECT_EQ(diff->high_count, diff->low_count);
+}
+
+TEST(Soak, RepeatedInfectScanRemoveCyclesStayConsistent) {
+  machine::MachineConfig cfg = small_config();
+  cfg.mft_records = 32768;
+  machine::Machine m(cfg);
+  core::Options o;
+  o.advanced_mode = true;
+
+  for (int round = 0; round < 3; ++round) {
+    // Infect with two programs.
+    malware::install_ghostware<malware::HackerDefender>(m);
+    malware::install_ghostware<malware::Vanquish>(m);
+    m.run_for(VirtualClock::seconds(120));
+
+    core::GhostBuster gb(m);
+    const auto report = gb.inside_scan(o);
+    EXPECT_TRUE(report.infection_detected()) << "round " << round;
+    EXPECT_GE(report.hidden_count(core::ResourceType::kFile), 8u);
+
+    const auto outcome = core::remove_ghostware(m, report, o);
+    EXPECT_TRUE(outcome.clean())
+        << "round " << round << "\n"
+        << outcome.verification.to_string();
+    m.reboot();
+    EXPECT_FALSE(core::GhostBuster(m).inside_scan(o).infection_detected())
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,198 @@
+// GhostBuster orchestrator API behaviour: options, report accessors,
+// attribution, timing accumulation, error handling.
+#include <gtest/gtest.h>
+
+#include "core/attribution.h"
+#include "core/ghostbuster.h"
+#include "malware/collection.h"
+#include "registry/aseps.h"
+#include "support/strings.h"
+
+namespace gb::core {
+namespace {
+
+machine::MachineConfig small_config() {
+  machine::MachineConfig cfg;
+  cfg.synthetic_files = 20;
+  cfg.synthetic_registry_keys = 10;
+  return cfg;
+}
+
+TEST(Report, AccessorsAndRendering) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  const auto report = GhostBuster(m).inside_scan();
+
+  EXPECT_TRUE(report.infection_detected());
+  EXPECT_EQ(report.diffs.size(), 4u);  // one per resource type
+  EXPECT_EQ(report.hidden_count(ResourceType::kFile), 4u);
+  EXPECT_EQ(report.hidden_count(ResourceType::kAsepHook), 2u);
+  EXPECT_EQ(report.hidden_count(ResourceType::kProcess), 1u);
+  EXPECT_NE(report.diff_for(ResourceType::kModule), nullptr);
+  EXPECT_EQ(report.all_hidden().size(),
+            report.hidden_count(ResourceType::kFile) +
+                report.hidden_count(ResourceType::kAsepHook) +
+                report.hidden_count(ResourceType::kProcess) +
+                report.hidden_count(ResourceType::kModule));
+
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("hxdef100.exe"), std::string::npos);
+  EXPECT_NE(text.find("truth approximation"), std::string::npos);
+  EXPECT_NE(text.find(">>> hidden resources detected"), std::string::npos);
+}
+
+TEST(Report, CleanRendering) {
+  machine::Machine m(small_config());
+  const auto report = GhostBuster(m).inside_scan();
+  EXPECT_NE(report.to_string().find("machine appears clean"),
+            std::string::npos);
+  EXPECT_EQ(report.diff_for(ResourceType::kFile)->simulated_seconds > 0,
+            true);
+}
+
+TEST(Report, JsonOutputIsWellFormedAndEscaped) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  // A finding whose name needs escaping: embedded NUL in a Run value.
+  const std::string sneaky(std::string("Upd") + '\0' + "Svc");
+  m.registry().set_value(registry::kRunKey,
+                         hive::Value::string(sneaky, "C:\\evil.exe"));
+  const auto report = GhostBuster(m).inside_scan();
+  const auto json = report.to_json();
+  EXPECT_NE(json.find("\"infected\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"file\""), std::string::npos);
+  EXPECT_NE(json.find("hxdef100.exe"), std::string::npos);
+  EXPECT_NE(json.find("\\u0000"), std::string::npos);  // NUL escaped
+  EXPECT_EQ(json.find('\0'), std::string::npos);  // no raw NULs
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Options, SelectiveScansProduceSelectiveDiffs) {
+  machine::Machine m(small_config());
+  GhostBuster gb(m);
+  Options o;
+  o.scan_files = false;
+  o.scan_modules = false;
+  const auto report = gb.inside_scan(o);
+  EXPECT_EQ(report.diffs.size(), 2u);
+  EXPECT_EQ(report.diff_for(ResourceType::kFile), nullptr);
+  EXPECT_NE(report.diff_for(ResourceType::kAsepHook), nullptr);
+}
+
+TEST(Options, ScannerImageSpawnsProcess) {
+  machine::Machine m(small_config());
+  EXPECT_EQ(m.find_pid("gbscan.exe"), 0u);
+  Options o;
+  o.scanner_image = "gbscan.exe";
+  o.scan_registry = o.scan_processes = o.scan_modules = false;
+  GhostBuster(m).inside_scan(o);
+  EXPECT_NE(m.find_pid("gbscan.exe"), 0u);
+}
+
+TEST(Timing, ClockAdvancesBySimulatedScanTime) {
+  machine::Machine m(small_config());
+  const auto t0 = m.clock().now();
+  const auto report = GhostBuster(m).inside_scan();
+  EXPECT_GT(report.total_simulated_seconds, 0.0);
+  const double elapsed = VirtualClock::to_seconds(m.clock().now() - t0);
+  EXPECT_NEAR(elapsed, report.total_simulated_seconds, 1e-6);
+}
+
+TEST(OutsideDiff, RequiresPoweredOffMachine) {
+  machine::Machine m(small_config());
+  GhostBuster gb(m);
+  Options o;
+  o.scan_processes = o.scan_modules = false;
+  const auto cap = gb.capture_inside_high(o);
+  EXPECT_TRUE(m.running());  // no dump requested: machine still up
+  EXPECT_THROW(gb.outside_diff(cap, o), std::logic_error);
+  m.shutdown();
+  EXPECT_NO_THROW(gb.outside_diff(cap, o));
+}
+
+TEST(Attribution, MapsFindingsToHookOwners) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  const auto report = GhostBuster(m).inside_scan();
+  const auto attr = attribute_findings(m, report);
+
+  ASSERT_FALSE(attr.findings.empty());
+  bool hxdef_file_attributed = false;
+  for (const auto& af : attr.findings) {
+    if (af.finding.type == ResourceType::kFile &&
+        icontains(af.finding.resource.key, "hxdef100.exe")) {
+      for (const auto& owner : af.suspected_owners) {
+        if (owner == "hackerdefender") hxdef_file_attributed = true;
+      }
+      ASSERT_FALSE(af.techniques.empty());
+      EXPECT_EQ(af.techniques[0], HookType::kDetour);
+    }
+  }
+  EXPECT_TRUE(hxdef_file_attributed);
+  EXPECT_NE(attr.to_string().find("suspects: hackerdefender"),
+            std::string::npos);
+}
+
+TEST(Attribution, DkomFindingHasNoSuspects) {
+  machine::Machine m(small_config());
+  auto fu = malware::install_ghostware<malware::FuRootkit>(m);
+  const auto victim =
+      m.spawn_process("C:\\windows\\system32\\notepad.exe").pid();
+  fu->hide_process(m, victim);
+  Options o;
+  o.scan_files = o.scan_registry = o.scan_modules = false;
+  o.advanced_mode = true;
+  const auto report = GhostBuster(m).inside_scan(o);
+  const auto attr = attribute_findings(m, report);
+  ASSERT_EQ(attr.findings.size(), 1u);
+  EXPECT_TRUE(attr.findings[0].suspected_owners.empty());
+  EXPECT_NE(attr.to_string().find("data-structure manipulation"),
+            std::string::npos);
+}
+
+TEST(Attribution, AllowlistSuppressesBenignOwners) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::Vanquish>(m);
+  kernel::FilterDriver benign;
+  benign.name = "av-onaccess";
+  m.kernel().filter_chain().attach(std::move(benign));
+
+  const auto report = GhostBuster(m).inside_scan();
+  const auto attr = attribute_findings(m, report, {"av-onaccess"});
+  for (const auto& h : attr.interceptions) {
+    EXPECT_NE(h.info.owner, "av-onaccess");
+  }
+}
+
+TEST(InjectedScan, UnionsFindingsAcrossContexts) {
+  machine::Machine m(small_config());
+  // Two programs targeting *different* utilities; no single context sees
+  // both lies, but the union does.
+  malware::install_ghostware<malware::Aphex>(
+      m, "~", malware::TargetPolicy::only({"taskmgr.exe"}));
+  malware::install_ghostware<malware::Vanquish>(
+      m, malware::TargetPolicy::only({"explorer.exe"}));
+
+  GhostBuster gb(m);
+  Options o;
+  o.scan_registry = o.scan_processes = o.scan_modules = false;
+  const auto plain = gb.inside_scan(o);
+  EXPECT_FALSE(plain.infection_detected());
+
+  const auto injected = gb.injected_scan(o);
+  const auto* diff = injected.diff_for(ResourceType::kFile);
+  bool saw_aphex = false, saw_vanquish = false;
+  for (const auto& f : diff->hidden) {
+    if (icontains(f.resource.key, "~aphex")) saw_aphex = true;
+    if (icontains(f.resource.key, "vanquish")) saw_vanquish = true;
+  }
+  EXPECT_TRUE(saw_aphex);
+  EXPECT_TRUE(saw_vanquish);
+}
+
+}  // namespace
+}  // namespace gb::core

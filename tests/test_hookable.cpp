@@ -1,0 +1,81 @@
+#include "support/hookable.h"
+
+#include <gtest/gtest.h>
+
+namespace gb {
+namespace {
+
+TEST(Hookable, BaseRunsWithoutHooks) {
+  Hookable<int(int)> h([](int x) { return x * 2; });
+  EXPECT_EQ(h(21), 42);
+  EXPECT_TRUE(h.has_base());
+  EXPECT_EQ(h.hook_count(), 0u);
+}
+
+TEST(Hookable, HookWrapsBase) {
+  Hookable<int(int)> h([](int x) { return x * 2; });
+  h.install({"test", HookType::kDetour, "api"},
+            [](const auto& next, int x) { return next(x) + 1; });
+  EXPECT_EQ(h(21), 43);
+}
+
+TEST(Hookable, HooksStackLifo) {
+  Hookable<std::string()> h([] { return std::string("base"); });
+  h.install({"first", HookType::kInlinePatch, "api"},
+            [](const auto& next) { return "f(" + next() + ")"; });
+  h.install({"second", HookType::kIat, "api"},
+            [](const auto& next) { return "s(" + next() + ")"; });
+  // Most recently installed runs first (outermost).
+  EXPECT_EQ(h(), "s(f(base))");
+}
+
+TEST(Hookable, HookCanSuppressResult) {
+  Hookable<int(int)> h([](int x) { return x; });
+  h.install({"mask", HookType::kSsdt, "api"},
+            [](const auto&, int) { return -1; });
+  EXPECT_EQ(h(7), -1);
+  // call_base bypasses hooks entirely (SDT-restoration style).
+  EXPECT_EQ(h.call_base(7), 7);
+}
+
+TEST(Hookable, RemoveOwnerTargetsOnlyThatOwner) {
+  Hookable<int()> h([] { return 0; });
+  h.install({"evil", HookType::kDetour, "a"},
+            [](const auto& next) { return next() + 1; });
+  h.install({"good", HookType::kDetour, "b"},
+            [](const auto& next) { return next() + 10; });
+  h.install({"evil", HookType::kDetour, "c"},
+            [](const auto& next) { return next() + 100; });
+  EXPECT_EQ(h(), 111);
+  EXPECT_EQ(h.remove_owner("evil"), 2u);
+  EXPECT_EQ(h(), 10);
+  EXPECT_EQ(h.remove_owner("evil"), 0u);
+}
+
+TEST(Hookable, HooksMetadataOutermostFirst) {
+  Hookable<int()> h([] { return 0; });
+  h.install({"a", HookType::kIat, "x"}, [](const auto& n) { return n(); });
+  h.install({"b", HookType::kSsdt, "y"}, [](const auto& n) { return n(); });
+  const auto hooks = h.hooks();
+  ASSERT_EQ(hooks.size(), 2u);
+  EXPECT_EQ(hooks[0].owner, "b");
+  EXPECT_EQ(hooks[0].type, HookType::kSsdt);
+  EXPECT_EQ(hooks[1].owner, "a");
+}
+
+TEST(Hookable, ClearHooks) {
+  Hookable<int()> h([] { return 5; });
+  h.install({"x", HookType::kLkm, "z"}, [](const auto&) { return 9; });
+  h.clear_hooks();
+  EXPECT_EQ(h(), 5);
+}
+
+TEST(Hookable, HookTypeNames) {
+  EXPECT_STREQ(hook_type_name(HookType::kIat), "IAT");
+  EXPECT_STREQ(hook_type_name(HookType::kSsdt), "SSDT");
+  EXPECT_STREQ(hook_type_name(HookType::kFilterDriver), "filter-driver");
+  EXPECT_STREQ(hook_type_name(HookType::kLkm), "LKM");
+}
+
+}  // namespace
+}  // namespace gb

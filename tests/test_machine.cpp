@@ -1,0 +1,178 @@
+#include "machine/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/dump.h"
+#include "registry/aseps.h"
+
+namespace gb::machine {
+namespace {
+
+MachineConfig small_config() {
+  MachineConfig cfg;
+  cfg.synthetic_files = 20;
+  cfg.synthetic_registry_keys = 10;
+  return cfg;
+}
+
+TEST(Machine, BaselineOsPresent) {
+  Machine m(small_config());
+  EXPECT_TRUE(m.running());
+  EXPECT_TRUE(m.volume().exists("C:\\windows\\system32\\ntdll.dll"));
+  EXPECT_TRUE(m.volume().exists("C:\\windows\\system32\\config\\software"));
+  EXPECT_NE(m.registry().find_key(registry::kRunKey), nullptr);
+  EXPECT_NE(m.find_pid("explorer.exe"), 0u);
+  EXPECT_NE(m.find_pid("taskmgr.exe"), 0u);
+  EXPECT_GE(m.kernel().active_process_list().size(), 8u);
+}
+
+TEST(Machine, DeterministicAcrossSeeds) {
+  Machine a(small_config()), b(small_config());
+  EXPECT_EQ(a.volume().live_record_count(), b.volume().live_record_count());
+  EXPECT_EQ(a.registry().total_keys(), b.registry().total_keys());
+}
+
+TEST(Machine, SpawnAndKillProcess) {
+  Machine m(small_config());
+  const auto& p = m.spawn_process("C:\\windows\\system32\\notepad.exe");
+  EXPECT_NE(m.win32().env(p.pid()), nullptr);
+  EXPECT_GE(p.peb_modules().size(), 5u);
+  const auto pid = p.pid();
+  m.kill_process(pid);
+  EXPECT_EQ(m.kernel().find_process(pid), nullptr);
+  EXPECT_EQ(m.win32().env(pid), nullptr);
+}
+
+TEST(Machine, EnsureProcessReusesExisting) {
+  Machine m(small_config());
+  const auto a = m.ensure_process("C:\\windows\\system32\\notepad.exe");
+  const auto b = m.ensure_process("C:\\windows\\system32\\notepad.exe");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Machine, ShutdownAndBootCycle) {
+  Machine m(small_config());
+  const auto keys_before = m.registry().total_keys();
+  m.shutdown();
+  EXPECT_FALSE(m.running());
+  EXPECT_THROW(m.bluescreen(), kernel::KernelError);
+  m.boot();
+  EXPECT_TRUE(m.running());
+  EXPECT_NE(m.find_pid("explorer.exe"), 0u);
+  EXPECT_EQ(m.registry().total_keys(), keys_before);
+}
+
+TEST(Machine, AutostartGuardControlsRestart) {
+  Machine m(small_config());
+  int started = 0;
+  bool allow = true;
+  m.register_autostart({"probe",
+                        [&allow](Machine&) { return allow; },
+                        [&started](Machine&) { ++started; }});
+  m.reboot();
+  EXPECT_EQ(started, 1);
+  allow = false;
+  m.reboot();
+  EXPECT_EQ(started, 1);
+  allow = true;
+  m.reboot();
+  EXPECT_EQ(started, 2);
+  m.remove_autostart("probe");
+  m.reboot();
+  EXPECT_EQ(started, 2);
+}
+
+TEST(Machine, BluescreenProducesParsableDumpAndHalts) {
+  Machine m(small_config());
+  const auto before = m.kernel().active_process_list().size();
+  const auto bytes = m.bluescreen();
+  EXPECT_FALSE(m.running());
+  const auto dump = kernel::parse_dump(bytes);
+  EXPECT_EQ(dump.active_list.size(), before);
+  m.boot();
+  EXPECT_TRUE(m.running());
+}
+
+TEST(Machine, BluescreenScrubberRuns) {
+  Machine m(small_config());
+  bool scrubbed = false;
+  m.register_bluescreen_scrubber(
+      [&scrubbed](std::vector<std::byte>& bytes) {
+        scrubbed = true;
+        bytes.clear();  // future ghostware: wipe the whole dump
+      });
+  const auto bytes = m.bluescreen();
+  EXPECT_TRUE(scrubbed);
+  EXPECT_TRUE(bytes.empty());
+}
+
+TEST(Machine, ServiceTicksAppendNotCreate) {
+  Machine m(small_config());
+  const auto count_before = m.volume().live_record_count();
+  const auto log_before =
+      m.volume().stat("C:\\program files\\etrust\\realtime.log")->size;
+  m.run_for(VirtualClock::seconds(300));
+  EXPECT_EQ(m.volume().live_record_count(), count_before);
+  EXPECT_GT(m.volume().stat("C:\\program files\\etrust\\realtime.log")->size,
+            log_before);
+}
+
+TEST(Machine, ShutdownWindowCreatesFpFiles) {
+  MachineConfig cfg = small_config();
+  cfg.ccm_service = true;
+  Machine m(cfg);
+  m.run_for(VirtualClock::seconds(60));  // let CCM create its log dir
+  const auto before = m.volume().live_record_count();
+  m.shutdown();
+  // AV rotation (1) + restore change log (1) + CCM inventory dir+5 files.
+  const auto after = m.volume().live_record_count();
+  EXPECT_GE(after - before, 7u);
+}
+
+TEST(Machine, RemoveInterceptionsStripsOwner) {
+  Machine m(small_config());
+  m.kernel().ssdt().nt_enumerate_key.install(
+      {"evil", HookType::kSsdt, "NtEnumerateKey"},
+      [](const auto& next, const kernel::SyscallContext& c,
+         const std::string& k) { return next(c, k); });
+  m.kernel().filter_chain().attach(kernel::FilterDriver{"evil", nullptr});
+  EXPECT_GE(m.remove_interceptions("evil"), 2u);
+  EXPECT_EQ(m.kernel().ssdt().all_hooks().size(), 0u);
+  EXPECT_EQ(m.kernel().filter_chain().size(), 0u);
+}
+
+TEST(Machine, PoweredOffAccessorsAreSafe) {
+  Machine m(small_config());
+  const auto pid = m.find_pid("explorer.exe");
+  m.shutdown();
+  EXPECT_EQ(m.find_pid("explorer.exe"), 0u);
+  EXPECT_THROW(m.kill_process(pid), kernel::KernelError);
+  const auto ctx = m.context_for(pid);
+  EXPECT_TRUE(ctx.image_name.empty());
+  m.boot();
+}
+
+TEST(Machine, ClockAdvancesThroughLifecycle) {
+  Machine m(small_config());
+  const auto t0 = m.clock().now();
+  m.reboot();
+  EXPECT_GT(m.clock().now(), t0);  // boot costs time
+}
+
+TEST(MachineProfile, PaperMachinesAndCostModel) {
+  const auto& machines = paper_machines();
+  ASSERT_EQ(machines.size(), 8u);
+  // Cost model ordering: the slow small home machine must scan its (small)
+  // disk faster than the big workstation scans its 95 GB in total, and a
+  // fixed workload must take longer on the slow machine.
+  ScanWork fixed{100000, 500 * 1024 * 1024, 1000};
+  const double slow = estimate_seconds(machines[4], fixed);
+  const double fast = estimate_seconds(machines[7], fixed);
+  EXPECT_GT(slow, fast);
+  // Workload scaling with expected file count.
+  EXPECT_GT(machines[7].expected_file_count(),
+            machines[4].expected_file_count() * 10);
+}
+
+}  // namespace
+}  // namespace gb::machine

@@ -1,0 +1,140 @@
+// Parser robustness fuzzing: random and mutated inputs must produce
+// ParseError (or a valid parse), never crashes or hangs. The byte-level
+// parsers are the trusted foundation of every low-level scan, so they
+// face adversarial inputs by design.
+#include <gtest/gtest.h>
+
+#include "hive/hive.h"
+#include "kernel/dump.h"
+#include "ntfs/mft_record.h"
+#include "ntfs/runlist.h"
+#include "support/rng.h"
+
+namespace gb {
+namespace {
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.below(256));
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng_{GetParam() * 2654435761ull};
+};
+
+TEST_P(ParserFuzz, RandomMftRecordsNeverCrash) {
+  auto bytes = random_bytes(rng_, ntfs::kMftRecordSize);
+  try {
+    const auto rec = ntfs::MftRecord::parse(bytes);
+    (void)rec;  // random bytes that happen to parse are fine
+  } catch (const ParseError&) {
+  }
+}
+
+TEST_P(ParserFuzz, MutatedMftRecordsNeverCrash) {
+  // Start from a valid record, flip a burst of bytes.
+  ntfs::MftRecord rec;
+  rec.record_number = 42;
+  rec.flags = ntfs::kRecordInUse;
+  rec.std_info = ntfs::StandardInfo{1, 2, 3, 0x20};
+  rec.file_name = ntfs::FileNameAttr{5, "victim-of-fuzzing.bin"};
+  ntfs::DataAttr da;
+  da.resident = true;
+  da.resident_data = random_bytes(rng_, 100);
+  da.real_size = 100;
+  rec.data = da;
+  auto image = rec.serialize();
+
+  const std::size_t start = rng_.below(image.size());
+  const std::size_t len = 1 + rng_.below(32);
+  for (std::size_t i = start; i < std::min(image.size(), start + len); ++i) {
+    image[i] = static_cast<std::byte>(rng_.below(256));
+  }
+  try {
+    const auto parsed = ntfs::MftRecord::parse(image);
+    (void)parsed;
+  } catch (const ParseError&) {
+  }
+}
+
+TEST_P(ParserFuzz, RandomHivesNeverCrash) {
+  auto bytes =
+      random_bytes(rng_, hive::kBaseBlockSize + rng_.below(8192));
+  try {
+    const auto key = hive::parse_hive(bytes);
+    (void)key;
+  } catch (const ParseError&) {
+  }
+}
+
+TEST_P(ParserFuzz, MutatedHivesNeverCrash) {
+  hive::Key root;
+  root.name = "FUZZ";
+  for (int i = 0; i < 5; ++i) {
+    hive::Key& k = root.ensure_subkey("key" + std::to_string(i));
+    k.set_value(hive::Value::string("v" + std::to_string(i),
+                                    std::string(50, 'x')));
+  }
+  auto image = hive::serialize_hive(root, "FUZZ");
+  // Mutate inside the hbin area (past the base block) so the root cell
+  // reference and cell graph get damaged.
+  for (int hit = 0; hit < 8; ++hit) {
+    const std::size_t at =
+        hive::kBaseBlockSize + rng_.below(image.size() - hive::kBaseBlockSize);
+    image[at] = static_cast<std::byte>(rng_.below(256));
+  }
+  try {
+    const auto key = hive::parse_hive(image);
+    (void)key;
+  } catch (const ParseError&) {
+  }
+}
+
+TEST_P(ParserFuzz, RandomDumpsNeverCrash) {
+  auto bytes = random_bytes(rng_, 16 + rng_.below(4096));
+  try {
+    const auto dump = kernel::parse_dump(bytes);
+    (void)dump;
+  } catch (const ParseError&) {
+  }
+}
+
+TEST_P(ParserFuzz, MutatedDumpsNeverCrash) {
+  kernel::Kernel k;
+  k.create_process("C:\\a.exe", 4, 2);
+  k.create_process("C:\\b.exe", 4, 1);
+  auto bytes = kernel::write_dump(k);
+  const std::size_t at = rng_.below(bytes.size());
+  bytes[at] = static_cast<std::byte>(rng_.below(256));
+  try {
+    const auto dump = kernel::parse_dump(bytes);
+    (void)dump;
+  } catch (const ParseError&) {
+  }
+}
+
+TEST_P(ParserFuzz, TruncatedRunListsNeverCrash) {
+  ntfs::RunList runs;
+  const std::size_t n = 1 + rng_.below(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    runs.push_back({rng_.below(1 << 20), 1 + rng_.below(100)});
+  }
+  ByteWriter w;
+  ntfs::encode_runlist(runs, w);
+  auto bytes = std::move(w).take();
+  bytes.resize(rng_.below(bytes.size() + 1));  // truncate anywhere
+  ByteReader r(bytes);
+  try {
+    const auto decoded = ntfs::decode_runlist(r);
+    (void)decoded;
+  } catch (const ParseError&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,175 @@
+#include "registry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "registry/aseps.h"
+#include "support/strings.h"
+
+namespace gb::registry {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() {
+    cm_.create_hive("HKLM\\SYSTEM", "C:\\windows\\system32\\config\\system");
+    cm_.create_hive("HKLM\\SOFTWARE", "C:\\windows\\system32\\config\\software");
+    cm_.create_hive("HKU\\S-1-5-21-1000", "C:\\documents\\user\\ntuser.dat");
+  }
+  ConfigurationManager cm_;
+};
+
+TEST_F(RegistryTest, CreateAndFindKey) {
+  cm_.create_key("HKLM\\SYSTEM\\CurrentControlSet\\Services\\Tcpip");
+  EXPECT_NE(cm_.find_key("hklm\\system\\currentcontrolset\\services\\tcpip"),
+            nullptr);
+  EXPECT_EQ(cm_.find_key("HKLM\\SYSTEM\\NoSuchKey"), nullptr);
+  EXPECT_EQ(cm_.find_key("HKCC\\Whatever"), nullptr);
+}
+
+TEST_F(RegistryTest, LongestMountPrefixWins) {
+  // HKLM\SYSTEM vs a hypothetical shorter overlap: both hives exist, path
+  // must land in the right tree.
+  cm_.create_key("HKLM\\SOFTWARE\\Microsoft");
+  cm_.create_key("HKLM\\SYSTEM\\Setup");
+  EXPECT_EQ(cm_.find_hive("HKLM\\SOFTWARE")->root.tree_size(), 2u);
+  EXPECT_EQ(cm_.find_hive("HKLM\\SYSTEM")->root.tree_size(), 2u);
+}
+
+TEST_F(RegistryTest, SetGetDeleteValue) {
+  cm_.set_value(kRunKey, hive::Value::string("updater", "C:\\u.exe"));
+  const auto* v = cm_.get_value(kRunKey, "UPDATER");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->as_string(), "C:\\u.exe");
+  EXPECT_TRUE(cm_.delete_value(kRunKey, "updater"));
+  EXPECT_EQ(cm_.get_value(kRunKey, "updater"), nullptr);
+  EXPECT_FALSE(cm_.delete_value(kRunKey, "updater"));
+}
+
+TEST_F(RegistryTest, DeleteKey) {
+  cm_.create_key("HKLM\\SYSTEM\\CurrentControlSet\\Services\\Vanquish");
+  EXPECT_TRUE(
+      cm_.delete_key("HKLM\\SYSTEM\\CurrentControlSet\\Services\\Vanquish"));
+  EXPECT_EQ(cm_.find_key("HKLM\\SYSTEM\\CurrentControlSet\\Services\\Vanquish"),
+            nullptr);
+  EXPECT_FALSE(
+      cm_.delete_key("HKLM\\SYSTEM\\CurrentControlSet\\Services\\Vanquish"));
+}
+
+TEST_F(RegistryTest, EnumRawLists) {
+  cm_.create_key(std::string(kServicesKey) + "\\Alpha");
+  cm_.create_key(std::string(kServicesKey) + "\\Beta");
+  cm_.set_value(kRunKey, hive::Value::string("one", "1.exe"));
+  cm_.set_value(kRunKey, hive::Value::string("two", "2.exe"));
+
+  const auto subkeys = cm_.enum_subkeys_raw(kServicesKey);
+  ASSERT_EQ(subkeys.size(), 2u);
+  const auto values = cm_.enum_values_raw(kRunKey);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_TRUE(cm_.enum_subkeys_raw("HKLM\\SYSTEM\\Missing").empty());
+}
+
+TEST_F(RegistryTest, RegistryCallbackFiltersEnumeration) {
+  cm_.create_key(std::string(kServicesKey) + "\\GoodSvc");
+  cm_.create_key(std::string(kServicesKey) + "\\EvilSvc");
+  cm_.set_value(kRunKey, hive::Value::string("evil", "e.exe"));
+  cm_.set_value(kRunKey, hive::Value::string("good", "g.exe"));
+
+  RegistryCallback cb;
+  cb.owner = "evildrv";
+  cb.filter_subkeys = [](std::string_view, std::vector<std::string>& names) {
+    std::erase_if(names,
+                  [](const std::string& n) { return icontains(n, "evil"); });
+  };
+  cb.filter_values = [](std::string_view, std::vector<hive::Value>& vals) {
+    std::erase_if(vals, [](const hive::Value& v) {
+      return icontains(v.name, "evil");
+    });
+  };
+  cm_.register_callback(std::move(cb));
+
+  // Filtered view hides the evil entries; the raw view still has them.
+  EXPECT_EQ(cm_.enum_subkeys(kServicesKey).size(), 1u);
+  EXPECT_EQ(cm_.enum_subkeys_raw(kServicesKey).size(), 2u);
+  EXPECT_EQ(cm_.enum_values(kRunKey).size(), 1u);
+  EXPECT_EQ(cm_.enum_values_raw(kRunKey).size(), 2u);
+
+  cm_.unregister_callbacks("evildrv");
+  EXPECT_EQ(cm_.enum_subkeys(kServicesKey).size(), 2u);
+  EXPECT_EQ(cm_.callback_count(), 0u);
+}
+
+TEST_F(RegistryTest, FlushAndReloadThroughNtfs) {
+  disk::MemDisk disk(32 * 1024);
+  ntfs::NtfsVolume::format(disk, 512);
+  ntfs::NtfsVolume vol(disk);
+  vol.create_directories("\\windows\\system32\\config");
+  vol.create_directories("\\documents\\user");
+
+  cm_.set_value(kRunKey, hive::Value::string("persist", "C:\\p.exe"));
+  cm_.create_key("HKLM\\SYSTEM\\CurrentControlSet\\Services\\W32Time");
+  cm_.flush(vol);
+
+  // Parse the flushed software hive from raw file bytes.
+  const auto image = vol.read_file("C:\\windows\\system32\\config\\software");
+  const hive::Key parsed = hive::parse_hive(image);
+  const hive::Key* run = &parsed;
+  for (const char* comp : {"Microsoft", "Windows", "CurrentVersion", "Run"}) {
+    run = run->find_subkey(comp);
+    ASSERT_NE(run, nullptr) << comp;
+  }
+  ASSERT_NE(run->find_value("persist"), nullptr);
+  EXPECT_EQ(run->find_value("persist")->as_string(), "C:\\p.exe");
+}
+
+TEST_F(RegistryTest, LoadHiveReplacesTree) {
+  hive::Key fresh;
+  fresh.name = "SYSTEM";
+  fresh.ensure_subkey("Imported");
+  cm_.load_hive("HKLM\\SYSTEM", std::move(fresh));
+  EXPECT_NE(cm_.find_key("HKLM\\SYSTEM\\Imported"), nullptr);
+  EXPECT_THROW(cm_.load_hive("HKLM\\BOGUS", hive::Key{}), RegError);
+}
+
+TEST_F(RegistryTest, TotalKeysCountsAllHives) {
+  const auto base = cm_.total_keys();  // 3 hive roots
+  EXPECT_EQ(base, 3u);
+  cm_.create_key("HKLM\\SYSTEM\\a\\b");
+  cm_.create_key("HKU\\S-1-5-21-1000\\Software");
+  EXPECT_EQ(cm_.total_keys(), base + 3);
+}
+
+TEST_F(RegistryTest, EmbeddedNulPathsWork) {
+  // A key whose *component* has an embedded NUL can still be created and
+  // found via the counted-string interfaces.
+  const std::string sneaky("Svc\0X", 5);
+  hive::Key& parent = cm_.create_key(kServicesKey);
+  parent.ensure_subkey(sneaky);
+  const auto subkeys = cm_.enum_subkeys_raw(kServicesKey);
+  ASSERT_EQ(subkeys.size(), 1u);
+  EXPECT_EQ(subkeys[0], sneaky);
+}
+
+TEST(AsepCatalogue, ContainsThePapersLocations) {
+  const auto& aseps = standard_aseps();
+  ASSERT_GE(aseps.size(), 5u);
+  bool has_services = false, has_run = false, has_appinit = false;
+  for (const auto& a : aseps) {
+    if (a.id == "Services") {
+      has_services = true;
+      EXPECT_EQ(a.kind, AsepKind::kSubkeys);
+    }
+    if (a.id == "Run") {
+      has_run = true;
+      EXPECT_EQ(a.kind, AsepKind::kValues);
+    }
+    if (a.id == "AppInit_DLLs") {
+      has_appinit = true;
+      EXPECT_EQ(a.kind, AsepKind::kNamedValue);
+      EXPECT_EQ(a.value_name, "AppInit_DLLs");
+    }
+  }
+  EXPECT_TRUE(has_services && has_run && has_appinit);
+}
+
+}  // namespace
+}  // namespace gb::registry

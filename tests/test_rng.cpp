@@ -1,0 +1,56 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gb {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all values hit
+}
+
+TEST(Rng, IdentifierShapeAndDeterminism) {
+  Rng r(1234);
+  const auto id = r.identifier(8);
+  EXPECT_EQ(id.size(), 8u);
+  for (char c : id) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  Rng r2(1234);
+  EXPECT_EQ(r2.identifier(8), id);
+}
+
+}  // namespace
+}  // namespace gb

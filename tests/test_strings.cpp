@@ -1,0 +1,85 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace gb {
+namespace {
+
+TEST(FoldCase, AsciiOnly) {
+  EXPECT_EQ(fold_case("WiNdOwS\\System32"), "windows\\system32");
+  EXPECT_EQ(fold_case("123!@#"), "123!@#");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("HXDEF100.EXE", "hxdef100.exe"));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(IEquals, EmbeddedNulsCompared) {
+  const std::string a("Run\0X", 5);
+  const std::string b("run\0x", 5);
+  const std::string c("run", 3);
+  EXPECT_TRUE(iequals(a, b));
+  EXPECT_FALSE(iequals(a, c));
+}
+
+TEST(PrefixSuffix, Matching) {
+  EXPECT_TRUE(istarts_with("C:\\Windows\\foo", "c:\\windows"));
+  EXPECT_TRUE(iends_with("vanquish.DLL", ".dll"));
+  EXPECT_FALSE(iends_with("dll", "vanquish.dll"));
+  EXPECT_TRUE(icontains("C:\\vanquish.log", "VANQUISH"));
+  EXPECT_FALSE(icontains("abc", "abcd"));
+  EXPECT_TRUE(icontains("anything", ""));
+}
+
+TEST(Split, PreservesEmptyComponents) {
+  const auto parts = split("a\\\\b", '\\');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(JoinPath, CollapsesSeparators) {
+  EXPECT_EQ(join_path("C:\\windows\\", "\\system32"), "C:\\windows\\system32");
+  EXPECT_EQ(join_path("", "file.txt"), "file.txt");
+  EXPECT_EQ(join_path("C:", "boot.ini"), "C:\\boot.ini");
+}
+
+TEST(BaseDirName, Decomposition) {
+  EXPECT_EQ(base_name("C:\\a\\b.txt"), "b.txt");
+  EXPECT_EQ(base_name("b.txt"), "b.txt");
+  EXPECT_EQ(dir_name("C:\\a\\b.txt"), "C:\\a");
+  EXPECT_EQ(dir_name("b.txt"), "");
+}
+
+TEST(GlobMatch, HackerDefenderPatterns) {
+  // hxdef100.ini uses patterns like "hxdef*".
+  EXPECT_TRUE(glob_match("hxdef*", "hxdef100.exe"));
+  EXPECT_TRUE(glob_match("hxdef*", "HXDEFDRV.SYS"));
+  EXPECT_FALSE(glob_match("hxdef*", "notepad.exe"));
+  EXPECT_TRUE(glob_match("*vanquish*", "c:\\vanquish.log"));
+  EXPECT_TRUE(glob_match("~*", "~hidden.exe"));
+  EXPECT_FALSE(glob_match("~*", "visible~.exe"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("**a*", "bbba"));
+}
+
+TEST(Printable, EscapesHiddenCharacters) {
+  const std::string nul_name("Run\0Hidden", 10);
+  EXPECT_EQ(printable(nul_name), "Run\\0Hidden");
+  EXPECT_EQ(printable("tab\there"), "tab\\x09here");
+  EXPECT_EQ(printable("plain"), "plain");
+}
+
+TEST(TruncateAtNul, Win32Semantics) {
+  const std::string counted("svc\0hidden", 10);
+  EXPECT_EQ(truncate_at_nul(counted), "svc");
+  EXPECT_EQ(truncate_at_nul("no-nul"), "no-nul");
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,81 @@
+// KSTAT/chkrootkit-style Unix checkers: each mechanism detector covers
+// exactly one hiding style, while the cross-view ls diff covers both.
+#include <gtest/gtest.h>
+
+#include "unixland/checkers.h"
+#include "unixland/rootkits.h"
+
+namespace gb::unixland {
+namespace {
+
+TEST(UnixCheckers, CleanBoxIsQuiet) {
+  UnixMachine m;
+  EXPECT_TRUE(check_syscall_table(m).empty());
+  const auto db = build_hash_db(m);
+  EXPECT_GE(db.size(), 8u);
+  EXPECT_TRUE(check_binaries(m, db).empty());
+}
+
+TEST(UnixCheckers, KstatSeesLkmHookButNotTrojanedLs) {
+  UnixMachine lkm_box;
+  make_superkit()->install(lkm_box);
+  const auto hooks = check_syscall_table(lkm_box);
+  ASSERT_EQ(hooks.size(), 1u);
+  EXPECT_EQ(hooks[0].owner, "superkit");
+  EXPECT_EQ(hooks[0].type, HookType::kLkm);
+  EXPECT_EQ(hooks[0].api, "sys_getdents");
+
+  UnixMachine t0rn_box;
+  make_t0rnkit()->install(t0rn_box);
+  EXPECT_TRUE(check_syscall_table(t0rn_box).empty());  // blind spot
+}
+
+TEST(UnixCheckers, ChkrootkitSeesTrojanedLsButNotLkm) {
+  UnixMachine clean;
+  const auto db = build_hash_db(clean);
+
+  UnixMachine t0rn_box;
+  make_t0rnkit()->install(t0rn_box);
+  const auto bad = check_binaries(t0rn_box, db);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "/bin/ls");
+
+  UnixMachine lkm_box;
+  make_darkside()->install(lkm_box);
+  EXPECT_TRUE(check_binaries(lkm_box, db).empty());  // blind spot
+}
+
+TEST(UnixCheckers, MissingBinaryReported) {
+  UnixMachine clean;
+  const auto db = build_hash_db(clean);
+  UnixMachine m;
+  m.fs().unlink("/bin/netstat");
+  const auto bad = check_binaries(m, db);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "/bin/netstat (missing)");
+}
+
+TEST(UnixCheckers, CrossViewDiffCoversBothBlindSpots) {
+  for (auto* make : {&make_superkit, &make_t0rnkit}) {
+    UnixMachine m;
+    auto kit = (*make)();
+    kit->install(m);
+    const auto diff = unix_cross_view_diff(m);
+    EXPECT_EQ(diff.hidden.size(), kit->hidden_paths().size()) << kit->name();
+  }
+}
+
+TEST(UnixCheckers, SynapsisVisibleModuleIsACorroboratingSignal) {
+  // Synapsis leaves its module in lsmod: the module list plus the
+  // syscall-table check agree on the owner.
+  UnixMachine m;
+  make_synapsis()->install(m);
+  const auto mods = m.lsmod();
+  EXPECT_NE(std::find(mods.begin(), mods.end(), "synmod"), mods.end());
+  const auto hooks = check_syscall_table(m);
+  ASSERT_EQ(hooks.size(), 1u);
+  EXPECT_EQ(hooks[0].owner, "synapsis");
+}
+
+}  // namespace
+}  // namespace gb::unixland

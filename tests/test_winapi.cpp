@@ -1,0 +1,209 @@
+#include "winapi/api_env.h"
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "registry/aseps.h"
+#include "winapi/win32_names.h"
+
+namespace gb::winapi {
+namespace {
+
+TEST(Win32Names, ComponentRules) {
+  EXPECT_TRUE(valid_win32_component("normal.txt"));
+  EXPECT_TRUE(valid_win32_component("spaces inside ok.txt"));
+  EXPECT_FALSE(valid_win32_component("trailing."));
+  EXPECT_FALSE(valid_win32_component("trailing "));
+  EXPECT_FALSE(valid_win32_component(""));
+  EXPECT_FALSE(valid_win32_component("bad<char"));
+  EXPECT_FALSE(valid_win32_component("bad|pipe"));
+  EXPECT_FALSE(valid_win32_component(std::string("ctl\x01chr")));
+}
+
+TEST(Win32Names, ReservedDeviceNames) {
+  for (const char* r : {"con", "CON", "aux", "NUL", "prn", "com1", "LPT9",
+                        "con.txt", "AUX.log"}) {
+    EXPECT_TRUE(is_reserved_device_name(r)) << r;
+    EXPECT_FALSE(valid_win32_component(r)) << r;
+  }
+  for (const char* ok : {"console", "com0", "com10", "lpt", "auxiliary"}) {
+    EXPECT_FALSE(is_reserved_device_name(ok)) << ok;
+  }
+}
+
+TEST(Win32Names, PathRules) {
+  EXPECT_TRUE(valid_win32_path("C:\\windows\\system32\\ntdll.dll"));
+  EXPECT_FALSE(valid_win32_path("C:\\windows\\bad.\\x"));
+  std::string deep = "C:";
+  while (deep.size() < kMaxPath + 10) deep += "\\dir";
+  EXPECT_FALSE(valid_win32_path(deep));
+}
+
+class ApiEnvTest : public ::testing::Test {
+ protected:
+  ApiEnvTest() : m_(machine::MachineConfig{.synthetic_files = 10,
+                                           .synthetic_registry_keys = 5}) {
+    pid_ = m_.ensure_process("C:\\windows\\system32\\ghostbuster.exe");
+    ctx_ = m_.context_for(pid_);
+    env_ = m_.win32().env(pid_);
+  }
+
+  machine::Machine m_;
+  kernel::Pid pid_ = 0;
+  Ctx ctx_;
+  ApiEnv* env_ = nullptr;
+};
+
+TEST_F(ApiEnvTest, FindFilesListsDirectory) {
+  bool ok = false;
+  const auto entries = env_->find_files(ctx_, "C:\\windows\\system32\\config", &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_GE(entries.size(), 2u);  // system + software hives
+}
+
+TEST_F(ApiEnvTest, FindFilesFailsOnWin32InvalidPath) {
+  bool ok = true;
+  const auto entries = env_->find_files(ctx_, "C:\\windows\\trap.", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(ApiEnvTest, FindFilesHidesNativeOnlyNames) {
+  m_.volume().write_file("C:\\temp\\evil.", "native name");
+  m_.volume().write_file("C:\\temp\\fine.txt", "ok");
+  bool ok = false;
+  const auto entries = env_->find_files(ctx_, "C:\\temp", &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "fine.txt");
+}
+
+TEST_F(ApiEnvTest, RegEnumTruncatesEmbeddedNulNames) {
+  const std::string sneaky("Safe\0Hidden", 11);
+  m_.registry().set_value(registry::kRunKey,
+                          hive::Value::string(sneaky, "evil.exe"));
+  const auto values = env_->reg_enum_values(ctx_, registry::kRunKey);
+  bool found_truncated = false;
+  for (const auto& v : values) {
+    if (v.name == "Safe") found_truncated = true;
+    EXPECT_EQ(v.name.find('\0'), std::string::npos);
+  }
+  EXPECT_TRUE(found_truncated);
+}
+
+TEST_F(ApiEnvTest, RegEnumKeysTruncatesEmbeddedNulKeyNames) {
+  // Key (not just value) names squeeze through NUL-terminated handling.
+  const std::string sneaky_key("Good\0Evil", 9);
+  m_.registry().create_key(std::string(registry::kServicesKey) + "\\x")
+      ;  // ensure Services exists with a sibling
+  m_.registry()
+      .find_key(registry::kServicesKey)
+      ->ensure_subkey(sneaky_key);
+  bool truncated_seen = false;
+  for (const auto& name : env_->reg_enum_keys(ctx_, registry::kServicesKey)) {
+    EXPECT_EQ(name.find('\0'), std::string::npos);
+    if (name == "Good") truncated_seen = true;
+  }
+  EXPECT_TRUE(truncated_seen);
+  // The native view returns the full counted name.
+  bool counted_seen = false;
+  for (const auto& name :
+       env_->ntdll_enumerate_key(ctx_, std::string(registry::kServicesKey))) {
+    if (name == sneaky_key) counted_seen = true;
+  }
+  EXPECT_TRUE(counted_seen);
+}
+
+TEST_F(ApiEnvTest, RegEnumSkipsOverlongNames) {
+  m_.registry().set_value(registry::kRunKey,
+                          hive::Value::string(std::string(300, 'n'), "x.exe"));
+  for (const auto& v : env_->reg_enum_values(ctx_, registry::kRunKey)) {
+    EXPECT_LT(v.name.size(), 300u);
+  }
+}
+
+TEST_F(ApiEnvTest, ProcessAndModuleEnumeration) {
+  const auto procs = env_->nt_query_system_information(ctx_);
+  ASSERT_GE(procs.size(), 8u);  // OS baseline
+  bool found_explorer = false;
+  for (const auto& p : procs) {
+    if (p.image_name == "explorer.exe") {
+      found_explorer = true;
+      const auto mods = env_->toolhelp_modules(ctx_, p.pid);
+      ASSERT_GE(mods.size(), 5u);  // image + 4 system DLLs
+      EXPECT_EQ(mods[0].name, "explorer.exe");
+    }
+  }
+  EXPECT_TRUE(found_explorer);
+  EXPECT_EQ(env_->toolhelp_processes(ctx_).size(), procs.size());
+}
+
+TEST_F(ApiEnvTest, IatHookAffectsOnlyThatProcess) {
+  // Hook ghostbuster.exe's IAT; taskmgr's view must be unaffected.
+  env_->iat_find_file.install(
+      {"testhook", HookType::kIat, api_names::kFindFile},
+      [](const auto& next, const Ctx& c, const std::string& d) {
+        auto entries = next(c, d);
+        entries.clear();
+        return entries;
+      });
+  bool ok = false;
+  EXPECT_TRUE(env_->find_files(ctx_, "C:\\windows", &ok).empty());
+
+  const auto task_pid = m_.find_pid("taskmgr.exe");
+  ASSERT_NE(task_pid, 0u);
+  ApiEnv* task_env = m_.win32().env(task_pid);
+  const auto task_ctx = m_.context_for(task_pid);
+  EXPECT_FALSE(task_env->find_files(task_ctx, "C:\\windows", &ok).empty());
+}
+
+TEST_F(ApiEnvTest, SsdtHookAffectsEveryProcess) {
+  m_.kernel().ssdt().nt_query_directory_file.install(
+      {"globalhook", HookType::kSsdt, api_names::kNtQueryDirectoryFile},
+      [](const auto& next, const kernel::SyscallContext& c,
+         const std::string& d) {
+        auto entries = next(c, d);
+        std::erase_if(entries, [](const kernel::FindData& e) {
+          return e.name == "notepad.exe";
+        });
+        return entries;
+      });
+  for (const char* image : {"ghostbuster.exe", "taskmgr.exe"}) {
+    const auto pid = m_.find_pid(image);
+    const auto ctx = m_.context_for(pid);
+    bool ok = false;
+    const auto entries =
+        m_.win32().env(pid)->find_files(ctx, "C:\\windows\\system32", &ok);
+    for (const auto& e : entries) EXPECT_NE(e.name, "notepad.exe");
+  }
+}
+
+TEST_F(ApiEnvTest, RemoveOwnerStripsAllHooks) {
+  env_->iat_find_file.install(
+      {"h1", HookType::kIat, api_names::kFindFile},
+      [](const auto& next, const Ctx& c, const std::string& d) {
+        return next(c, d);
+      });
+  env_->ntdll_enumerate_key.install(
+      {"h1", HookType::kDetour, api_names::kNtEnumerateKey},
+      [](const auto& next, const Ctx& c, const std::string& k) {
+        return next(c, k);
+      });
+  EXPECT_EQ(env_->all_hooks().size(), 2u);
+  EXPECT_EQ(env_->remove_owner("h1"), 2u);
+  EXPECT_TRUE(env_->all_hooks().empty());
+}
+
+TEST_F(ApiEnvTest, InjectorAppliesToFutureProcesses) {
+  int injected = 0;
+  m_.win32().inject_all("counter", [&injected](kernel::Pid, ApiEnv&) {
+    ++injected;
+  });
+  const int existing = injected;
+  EXPECT_GT(existing, 5);
+  m_.spawn_process("C:\\windows\\system32\\notepad.exe");
+  EXPECT_EQ(injected, existing + 1);
+}
+
+}  // namespace
+}  // namespace gb::winapi
