@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_diff.dir/bench_ablation_diff.cpp.o"
+  "CMakeFiles/bench_ablation_diff.dir/bench_ablation_diff.cpp.o.d"
+  "bench_ablation_diff"
+  "bench_ablation_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

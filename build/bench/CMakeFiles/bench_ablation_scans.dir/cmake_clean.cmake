@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scans.dir/bench_ablation_scans.cpp.o"
+  "CMakeFiles/bench_ablation_scans.dir/bench_ablation_scans.cpp.o.d"
+  "bench_ablation_scans"
+  "bench_ablation_scans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

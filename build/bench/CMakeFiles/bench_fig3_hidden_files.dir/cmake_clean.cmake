@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hidden_files.dir/bench_fig3_hidden_files.cpp.o"
+  "CMakeFiles/bench_fig3_hidden_files.dir/bench_fig3_hidden_files.cpp.o.d"
+  "bench_fig3_hidden_files"
+  "bench_fig3_hidden_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hidden_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_hidden_aseps.cpp" "bench/CMakeFiles/bench_fig4_hidden_aseps.dir/bench_fig4_hidden_aseps.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_hidden_aseps.dir/bench_fig4_hidden_aseps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/gb_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/winapi/CMakeFiles/gb_winapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gb_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/gb_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hive/CMakeFiles/gb_hive.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntfs/CMakeFiles/gb_ntfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/gb_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hidden_aseps.dir/bench_fig4_hidden_aseps.cpp.o"
+  "CMakeFiles/bench_fig4_hidden_aseps.dir/bench_fig4_hidden_aseps.cpp.o.d"
+  "bench_fig4_hidden_aseps"
+  "bench_fig4_hidden_aseps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hidden_aseps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hidden_processes.dir/bench_fig6_hidden_processes.cpp.o"
+  "CMakeFiles/bench_fig6_hidden_processes.dir/bench_fig6_hidden_processes.cpp.o.d"
+  "bench_fig6_hidden_processes"
+  "bench_fig6_hidden_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hidden_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_outside.dir/bench_fp_outside.cpp.o"
+  "CMakeFiles/bench_fp_outside.dir/bench_fp_outside.cpp.o.d"
+  "bench_fp_outside"
+  "bench_fp_outside.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_outside.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

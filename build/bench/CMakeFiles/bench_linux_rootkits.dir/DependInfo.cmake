@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_linux_rootkits.cpp" "bench/CMakeFiles/bench_linux_rootkits.dir/bench_linux_rootkits.cpp.o" "gcc" "bench/CMakeFiles/bench_linux_rootkits.dir/bench_linux_rootkits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unixland/CMakeFiles/gb_unix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

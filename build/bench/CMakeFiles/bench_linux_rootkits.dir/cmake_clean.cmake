@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linux_rootkits.dir/bench_linux_rootkits.cpp.o"
+  "CMakeFiles/bench_linux_rootkits.dir/bench_linux_rootkits.cpp.o.d"
+  "bench_linux_rootkits"
+  "bench_linux_rootkits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linux_rootkits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_linux_rootkits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_linux_rootkits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_machines.dir/bench_timing_machines.cpp.o"
+  "CMakeFiles/bench_timing_machines.dir/bench_timing_machines.cpp.o.d"
+  "bench_timing_machines"
+  "bench_timing_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_integration.dir/av_integration.cpp.o"
+  "CMakeFiles/av_integration.dir/av_integration.cpp.o.d"
+  "av_integration"
+  "av_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_sweep.dir/enterprise_sweep.cpp.o"
+  "CMakeFiles/enterprise_sweep.dir/enterprise_sweep.cpp.o.d"
+  "enterprise_sweep"
+  "enterprise_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

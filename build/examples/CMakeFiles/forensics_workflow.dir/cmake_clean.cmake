@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensics_workflow.dir/forensics_workflow.cpp.o"
+  "CMakeFiles/forensics_workflow.dir/forensics_workflow.cpp.o.d"
+  "forensics_workflow"
+  "forensics_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensics_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

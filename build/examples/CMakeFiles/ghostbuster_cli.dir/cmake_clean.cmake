@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghostbuster_cli.dir/ghostbuster_cli.cpp.o"
+  "CMakeFiles/ghostbuster_cli.dir/ghostbuster_cli.cpp.o.d"
+  "ghostbuster_cli"
+  "ghostbuster_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghostbuster_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

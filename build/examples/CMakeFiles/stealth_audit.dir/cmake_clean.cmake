@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stealth_audit.dir/stealth_audit.cpp.o"
+  "CMakeFiles/stealth_audit.dir/stealth_audit.cpp.o.d"
+  "stealth_audit"
+  "stealth_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stealth_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

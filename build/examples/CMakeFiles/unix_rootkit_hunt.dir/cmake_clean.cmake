@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unix_rootkit_hunt.dir/unix_rootkit_hunt.cpp.o"
+  "CMakeFiles/unix_rootkit_hunt.dir/unix_rootkit_hunt.cpp.o.d"
+  "unix_rootkit_hunt"
+  "unix_rootkit_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unix_rootkit_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

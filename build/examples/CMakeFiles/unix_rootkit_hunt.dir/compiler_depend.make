@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unix_rootkit_hunt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_forensics_workflow "/root/repo/build/examples/forensics_workflow")
+set_tests_properties(example_forensics_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_enterprise_sweep "/root/repo/build/examples/enterprise_sweep")
+set_tests_properties(example_enterprise_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_av_integration "/root/repo/build/examples/av_integration")
+set_tests_properties(example_av_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_unix_rootkit_hunt "/root/repo/build/examples/unix_rootkit_hunt")
+set_tests_properties(example_unix_rootkit_hunt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stealth_audit "/root/repo/build/examples/stealth_audit")
+set_tests_properties(example_stealth_audit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_inside "/root/repo/build/examples/ghostbuster_cli" "--infect" "hackerdefender,fu" "--advanced")
+set_tests_properties(example_cli_inside PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_ads "/root/repo/build/examples/ghostbuster_cli" "--infect" "adsstasher" "--ads")
+set_tests_properties(example_cli_ads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_remove "/root/repo/build/examples/ghostbuster_cli" "--infect" "probotse" "--remove")
+set_tests_properties(example_cli_remove PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("disk")
+subdirs("ntfs")
+subdirs("hive")
+subdirs("registry")
+subdirs("kernel")
+subdirs("winapi")
+subdirs("machine")
+subdirs("malware")
+subdirs("core")
+subdirs("unixland")

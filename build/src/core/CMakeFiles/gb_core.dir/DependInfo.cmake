@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ads_scan.cpp" "src/core/CMakeFiles/gb_core.dir/ads_scan.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/ads_scan.cpp.o.d"
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/gb_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/attribution.cpp" "src/core/CMakeFiles/gb_core.dir/attribution.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/attribution.cpp.o.d"
+  "/root/repo/src/core/cross_time.cpp" "src/core/CMakeFiles/gb_core.dir/cross_time.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/cross_time.cpp.o.d"
+  "/root/repo/src/core/differ.cpp" "src/core/CMakeFiles/gb_core.dir/differ.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/differ.cpp.o.d"
+  "/root/repo/src/core/file_scans.cpp" "src/core/CMakeFiles/gb_core.dir/file_scans.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/file_scans.cpp.o.d"
+  "/root/repo/src/core/ghostbuster.cpp" "src/core/CMakeFiles/gb_core.dir/ghostbuster.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/ghostbuster.cpp.o.d"
+  "/root/repo/src/core/hook_detector.cpp" "src/core/CMakeFiles/gb_core.dir/hook_detector.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/hook_detector.cpp.o.d"
+  "/root/repo/src/core/process_scans.cpp" "src/core/CMakeFiles/gb_core.dir/process_scans.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/process_scans.cpp.o.d"
+  "/root/repo/src/core/registry_scans.cpp" "src/core/CMakeFiles/gb_core.dir/registry_scans.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/registry_scans.cpp.o.d"
+  "/root/repo/src/core/removal.cpp" "src/core/CMakeFiles/gb_core.dir/removal.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/removal.cpp.o.d"
+  "/root/repo/src/core/scan_result.cpp" "src/core/CMakeFiles/gb_core.dir/scan_result.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/scan_result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/gb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/winapi/CMakeFiles/gb_winapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gb_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/gb_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hive/CMakeFiles/gb_hive.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntfs/CMakeFiles/gb_ntfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/gb_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

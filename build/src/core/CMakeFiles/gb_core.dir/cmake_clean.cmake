@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_core.dir/ads_scan.cpp.o"
+  "CMakeFiles/gb_core.dir/ads_scan.cpp.o.d"
+  "CMakeFiles/gb_core.dir/anomaly.cpp.o"
+  "CMakeFiles/gb_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/gb_core.dir/attribution.cpp.o"
+  "CMakeFiles/gb_core.dir/attribution.cpp.o.d"
+  "CMakeFiles/gb_core.dir/cross_time.cpp.o"
+  "CMakeFiles/gb_core.dir/cross_time.cpp.o.d"
+  "CMakeFiles/gb_core.dir/differ.cpp.o"
+  "CMakeFiles/gb_core.dir/differ.cpp.o.d"
+  "CMakeFiles/gb_core.dir/file_scans.cpp.o"
+  "CMakeFiles/gb_core.dir/file_scans.cpp.o.d"
+  "CMakeFiles/gb_core.dir/ghostbuster.cpp.o"
+  "CMakeFiles/gb_core.dir/ghostbuster.cpp.o.d"
+  "CMakeFiles/gb_core.dir/hook_detector.cpp.o"
+  "CMakeFiles/gb_core.dir/hook_detector.cpp.o.d"
+  "CMakeFiles/gb_core.dir/process_scans.cpp.o"
+  "CMakeFiles/gb_core.dir/process_scans.cpp.o.d"
+  "CMakeFiles/gb_core.dir/registry_scans.cpp.o"
+  "CMakeFiles/gb_core.dir/registry_scans.cpp.o.d"
+  "CMakeFiles/gb_core.dir/removal.cpp.o"
+  "CMakeFiles/gb_core.dir/removal.cpp.o.d"
+  "CMakeFiles/gb_core.dir/scan_result.cpp.o"
+  "CMakeFiles/gb_core.dir/scan_result.cpp.o.d"
+  "libgb_core.a"
+  "libgb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

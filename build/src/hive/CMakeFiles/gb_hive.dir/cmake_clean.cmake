@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_hive.dir/hive.cpp.o"
+  "CMakeFiles/gb_hive.dir/hive.cpp.o.d"
+  "libgb_hive.a"
+  "libgb_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/dump.cpp" "src/kernel/CMakeFiles/gb_kernel.dir/dump.cpp.o" "gcc" "src/kernel/CMakeFiles/gb_kernel.dir/dump.cpp.o.d"
+  "/root/repo/src/kernel/filter_chain.cpp" "src/kernel/CMakeFiles/gb_kernel.dir/filter_chain.cpp.o" "gcc" "src/kernel/CMakeFiles/gb_kernel.dir/filter_chain.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/gb_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/gb_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "src/kernel/CMakeFiles/gb_kernel.dir/process.cpp.o" "gcc" "src/kernel/CMakeFiles/gb_kernel.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hive/CMakeFiles/gb_hive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_kernel.dir/dump.cpp.o"
+  "CMakeFiles/gb_kernel.dir/dump.cpp.o.d"
+  "CMakeFiles/gb_kernel.dir/filter_chain.cpp.o"
+  "CMakeFiles/gb_kernel.dir/filter_chain.cpp.o.d"
+  "CMakeFiles/gb_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/gb_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/gb_kernel.dir/process.cpp.o"
+  "CMakeFiles/gb_kernel.dir/process.cpp.o.d"
+  "libgb_kernel.a"
+  "libgb_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_machine.dir/machine.cpp.o"
+  "CMakeFiles/gb_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/gb_machine.dir/profile.cpp.o"
+  "CMakeFiles/gb_machine.dir/profile.cpp.o.d"
+  "CMakeFiles/gb_machine.dir/services.cpp.o"
+  "CMakeFiles/gb_machine.dir/services.cpp.o.d"
+  "libgb_machine.a"
+  "libgb_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

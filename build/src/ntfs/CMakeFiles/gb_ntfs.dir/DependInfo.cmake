@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntfs/dir_index.cpp" "src/ntfs/CMakeFiles/gb_ntfs.dir/dir_index.cpp.o" "gcc" "src/ntfs/CMakeFiles/gb_ntfs.dir/dir_index.cpp.o.d"
+  "/root/repo/src/ntfs/mft_record.cpp" "src/ntfs/CMakeFiles/gb_ntfs.dir/mft_record.cpp.o" "gcc" "src/ntfs/CMakeFiles/gb_ntfs.dir/mft_record.cpp.o.d"
+  "/root/repo/src/ntfs/mft_scanner.cpp" "src/ntfs/CMakeFiles/gb_ntfs.dir/mft_scanner.cpp.o" "gcc" "src/ntfs/CMakeFiles/gb_ntfs.dir/mft_scanner.cpp.o.d"
+  "/root/repo/src/ntfs/runlist.cpp" "src/ntfs/CMakeFiles/gb_ntfs.dir/runlist.cpp.o" "gcc" "src/ntfs/CMakeFiles/gb_ntfs.dir/runlist.cpp.o.d"
+  "/root/repo/src/ntfs/volume.cpp" "src/ntfs/CMakeFiles/gb_ntfs.dir/volume.cpp.o" "gcc" "src/ntfs/CMakeFiles/gb_ntfs.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/gb_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

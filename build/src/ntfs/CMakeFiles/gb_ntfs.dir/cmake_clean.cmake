@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_ntfs.dir/dir_index.cpp.o"
+  "CMakeFiles/gb_ntfs.dir/dir_index.cpp.o.d"
+  "CMakeFiles/gb_ntfs.dir/mft_record.cpp.o"
+  "CMakeFiles/gb_ntfs.dir/mft_record.cpp.o.d"
+  "CMakeFiles/gb_ntfs.dir/mft_scanner.cpp.o"
+  "CMakeFiles/gb_ntfs.dir/mft_scanner.cpp.o.d"
+  "CMakeFiles/gb_ntfs.dir/runlist.cpp.o"
+  "CMakeFiles/gb_ntfs.dir/runlist.cpp.o.d"
+  "CMakeFiles/gb_ntfs.dir/volume.cpp.o"
+  "CMakeFiles/gb_ntfs.dir/volume.cpp.o.d"
+  "libgb_ntfs.a"
+  "libgb_ntfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_ntfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

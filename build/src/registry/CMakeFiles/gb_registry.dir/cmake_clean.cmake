@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_registry.dir/aseps.cpp.o"
+  "CMakeFiles/gb_registry.dir/aseps.cpp.o.d"
+  "CMakeFiles/gb_registry.dir/registry.cpp.o"
+  "CMakeFiles/gb_registry.dir/registry.cpp.o.d"
+  "libgb_registry.a"
+  "libgb_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_support.dir/bytes.cpp.o"
+  "CMakeFiles/gb_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/gb_support.dir/rng.cpp.o"
+  "CMakeFiles/gb_support.dir/rng.cpp.o.d"
+  "CMakeFiles/gb_support.dir/strings.cpp.o"
+  "CMakeFiles/gb_support.dir/strings.cpp.o.d"
+  "libgb_support.a"
+  "libgb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unixland/checkers.cpp" "src/unixland/CMakeFiles/gb_unix.dir/checkers.cpp.o" "gcc" "src/unixland/CMakeFiles/gb_unix.dir/checkers.cpp.o.d"
+  "/root/repo/src/unixland/rootkits.cpp" "src/unixland/CMakeFiles/gb_unix.dir/rootkits.cpp.o" "gcc" "src/unixland/CMakeFiles/gb_unix.dir/rootkits.cpp.o.d"
+  "/root/repo/src/unixland/unix_machine.cpp" "src/unixland/CMakeFiles/gb_unix.dir/unix_machine.cpp.o" "gcc" "src/unixland/CMakeFiles/gb_unix.dir/unix_machine.cpp.o.d"
+  "/root/repo/src/unixland/unixfs.cpp" "src/unixland/CMakeFiles/gb_unix.dir/unixfs.cpp.o" "gcc" "src/unixland/CMakeFiles/gb_unix.dir/unixfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

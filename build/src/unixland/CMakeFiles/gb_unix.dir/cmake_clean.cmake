@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_unix.dir/checkers.cpp.o"
+  "CMakeFiles/gb_unix.dir/checkers.cpp.o.d"
+  "CMakeFiles/gb_unix.dir/rootkits.cpp.o"
+  "CMakeFiles/gb_unix.dir/rootkits.cpp.o.d"
+  "CMakeFiles/gb_unix.dir/unix_machine.cpp.o"
+  "CMakeFiles/gb_unix.dir/unix_machine.cpp.o.d"
+  "CMakeFiles/gb_unix.dir/unixfs.cpp.o"
+  "CMakeFiles/gb_unix.dir/unixfs.cpp.o.d"
+  "libgb_unix.a"
+  "libgb_unix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_unix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_winapi.dir/api_env.cpp.o"
+  "CMakeFiles/gb_winapi.dir/api_env.cpp.o.d"
+  "CMakeFiles/gb_winapi.dir/subsystem.cpp.o"
+  "CMakeFiles/gb_winapi.dir/subsystem.cpp.o.d"
+  "CMakeFiles/gb_winapi.dir/win32_names.cpp.o"
+  "CMakeFiles/gb_winapi.dir/win32_names.cpp.o.d"
+  "libgb_winapi.a"
+  "libgb_winapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_winapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

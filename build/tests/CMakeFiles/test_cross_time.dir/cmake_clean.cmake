@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_time.dir/test_cross_time.cpp.o"
+  "CMakeFiles/test_cross_time.dir/test_cross_time.cpp.o.d"
+  "test_cross_time"
+  "test_cross_time.pdb"
+  "test_cross_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_files.dir/test_detect_files.cpp.o"
+  "CMakeFiles/test_detect_files.dir/test_detect_files.cpp.o.d"
+  "test_detect_files"
+  "test_detect_files.pdb"
+  "test_detect_files[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

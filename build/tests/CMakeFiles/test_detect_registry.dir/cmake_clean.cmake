@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_registry.dir/test_detect_registry.cpp.o"
+  "CMakeFiles/test_detect_registry.dir/test_detect_registry.cpp.o.d"
+  "test_detect_registry"
+  "test_detect_registry.pdb"
+  "test_detect_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_differ.dir/test_differ.cpp.o"
+  "CMakeFiles/test_differ.dir/test_differ.cpp.o.d"
+  "test_differ"
+  "test_differ.pdb"
+  "test_differ[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_differ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

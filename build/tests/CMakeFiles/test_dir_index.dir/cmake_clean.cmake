@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dir_index.dir/test_dir_index.cpp.o"
+  "CMakeFiles/test_dir_index.dir/test_dir_index.cpp.o.d"
+  "test_dir_index"
+  "test_dir_index.pdb"
+  "test_dir_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dir_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

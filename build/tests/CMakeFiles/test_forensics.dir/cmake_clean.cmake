@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forensics.dir/test_forensics.cpp.o"
+  "CMakeFiles/test_forensics.dir/test_forensics.cpp.o.d"
+  "test_forensics"
+  "test_forensics.pdb"
+  "test_forensics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

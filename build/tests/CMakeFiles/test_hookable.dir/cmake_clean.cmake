@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hookable.dir/test_hookable.cpp.o"
+  "CMakeFiles/test_hookable.dir/test_hookable.cpp.o.d"
+  "test_hookable"
+  "test_hookable.pdb"
+  "test_hookable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hookable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mft_record.dir/test_mft_record.cpp.o"
+  "CMakeFiles/test_mft_record.dir/test_mft_record.cpp.o.d"
+  "test_mft_record"
+  "test_mft_record.pdb"
+  "test_mft_record[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mft_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mft_scanner.dir/test_mft_scanner.cpp.o"
+  "CMakeFiles/test_mft_scanner.dir/test_mft_scanner.cpp.o.d"
+  "test_mft_scanner"
+  "test_mft_scanner.pdb"
+  "test_mft_scanner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mft_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

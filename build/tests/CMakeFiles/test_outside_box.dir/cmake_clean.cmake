@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outside_box.dir/test_outside_box.cpp.o"
+  "CMakeFiles/test_outside_box.dir/test_outside_box.cpp.o.d"
+  "test_outside_box"
+  "test_outside_box.pdb"
+  "test_outside_box[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outside_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

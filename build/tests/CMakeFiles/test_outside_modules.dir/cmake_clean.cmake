@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outside_modules.dir/test_outside_modules.cpp.o"
+  "CMakeFiles/test_outside_modules.dir/test_outside_modules.cpp.o.d"
+  "test_outside_modules"
+  "test_outside_modules.pdb"
+  "test_outside_modules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outside_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runlist.dir/test_runlist.cpp.o"
+  "CMakeFiles/test_runlist.dir/test_runlist.cpp.o.d"
+  "test_runlist"
+  "test_runlist.pdb"
+  "test_runlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

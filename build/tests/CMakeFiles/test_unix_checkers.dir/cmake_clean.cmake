@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unix_checkers.dir/test_unix_checkers.cpp.o"
+  "CMakeFiles/test_unix_checkers.dir/test_unix_checkers.cpp.o.d"
+  "test_unix_checkers"
+  "test_unix_checkers.pdb"
+  "test_unix_checkers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unix_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

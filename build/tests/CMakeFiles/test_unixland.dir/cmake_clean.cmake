@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unixland.dir/test_unixland.cpp.o"
+  "CMakeFiles/test_unixland.dir/test_unixland.cpp.o.d"
+  "test_unixland"
+  "test_unixland.pdb"
+  "test_unixland[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unixland.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winapi.dir/test_winapi.cpp.o"
+  "CMakeFiles/test_winapi.dir/test_winapi.cpp.o.d"
+  "test_winapi"
+  "test_winapi.pdb"
+  "test_winapi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
