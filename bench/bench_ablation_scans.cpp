@@ -6,11 +6,16 @@
 //     stack up (why interception is cheap enough that ghostware uses it);
 //   * mechanism (hook) detector vs behaviour (cross-view) detector
 //     coverage of the full malware collection.
+#include <chrono>
+#include <regex>
+#include <thread>
+
 #include "bench/bench_util.h"
 #include "core/file_scans.h"
 #include "core/ghostbuster.h"
 #include "core/hook_detector.h"
 #include "core/registry_scans.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 #include "malware/indexghost.h"
 
@@ -88,7 +93,81 @@ void BM_EnumerationUnderHookChains(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumerationUnderHookChains)->Arg(0)->Arg(4)->Arg(16);
 
+core::ScanConfig engine_config(std::size_t parallelism) {
+  core::ScanConfig cfg;
+  cfg.parallelism = parallelism;
+  // Batches small enough that even the 4-worker engine keeps every
+  // executor busy through the MFT parse.
+  cfg.files.mft_batch_records = 256;
+  return cfg;
+}
+
+void BM_InsideScanWorkers(benchmark::State& state) {
+  machine::Machine m(sized(3200, 400));
+  core::ScanEngine engine(
+      m, engine_config(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto report = engine.inside_scan();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * 3200);
+}
+BENCHMARK(BM_InsideScanWorkers)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// Findings with the wall-clock noise removed, for the byte-identical
+/// comparison between the serial and parallel engines.
+std::string normalized_findings(const core::Report& report) {
+  std::string j = report.to_json();
+  j = std::regex_replace(j, std::regex("\"wall_seconds\":[0-9eE+.\\-]+"),
+                         "\"wall_seconds\":0");
+  j = std::regex_replace(j, std::regex("\"worker_threads\":[0-9]+"),
+                         "\"worker_threads\":0");
+  return j;
+}
+
+void print_parallel_table() {
+  bench::heading("Parallel engine - inside_scan wall time vs executors");
+  std::printf("%-12s %-14s %-10s %s\n", "executors", "seconds", "speedup",
+              "findings");
+
+  std::string baseline_findings;
+  double baseline_seconds = 0;
+  for (const std::size_t p : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    // Best of three one-shot runs on identical machines.
+    double best = 1e9;
+    std::string findings;
+    for (int rep = 0; rep < 3; ++rep) {
+      machine::Machine m(sized(3200, 400));
+      malware::install_ghostware<malware::HackerDefender>(m);
+      core::ScanEngine engine(m, engine_config(p));
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto report = engine.inside_scan();
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (s < best) best = s;
+      findings = normalized_findings(report);
+    }
+    if (p == 1) {
+      baseline_findings = findings;
+      baseline_seconds = best;
+    }
+    std::printf("%-12zu %-14.4f %-10.2f %s\n", p, best,
+                baseline_seconds / best,
+                findings == baseline_findings ? "byte-identical"
+                                              : "MISMATCH");
+  }
+  std::printf(
+      "\n(%u hardware core%s visible: wall speedup is bounded by physical "
+      "cores;\n on a single-core host expect ~1.0x here while the "
+      "BM_InsideScanWorkers\n CPU column shows the per-thread work split)\n",
+      std::thread::hardware_concurrency(),
+      std::thread::hardware_concurrency() == 1 ? "" : "s");
+}
+
 void print_table() {
+  print_parallel_table();
   bench::heading(
       "Ablation B - mechanism detection vs behaviour detection coverage");
   std::printf("%-24s %-28s %-12s %-12s\n", "ghostware", "technique",

@@ -55,12 +55,13 @@ int main() {
               sig_hits);
 
   // Pass 2: inject GhostBuster into InocIT.exe — run the cross-view diff
-  // from the scanner's own context.
-  core::GhostBuster gb(m);
-  core::Options o;
-  o.scanner_image = "inocit.exe";
-  o.scan_processes = o.scan_modules = false;
-  const auto report = gb.inside_scan(o);
+  // from the scanner's own context. Files + ASEP hooks only: the AV
+  // product owns process monitoring already.
+  core::ScanConfig cfg;
+  cfg.scanner_image = "inocit.exe";
+  cfg.resources = core::ResourceMask::kFiles | core::ResourceMask::kAseps;
+  core::ScanEngine engine(m, cfg);
+  const auto report = engine.inside_scan();
   std::printf("[eTrust+GhostBuster DLL] cross-view diff from InocIT.exe:\n");
   for (const auto& f : report.all_hidden()) {
     std::printf("    HIDDEN %s\n", f.resource.display.c_str());
@@ -70,5 +71,8 @@ int main() {
                   ? "hiding exposed by GhostBuster (not hiding would expose "
                     "it to the signatures)"
                   : "undetected?!");
+  // What the product would forward to its management console: the v2
+  // report (adds wall/simulated timing per diff and the worker count).
+  std::printf("[SIEM upload] %s\n", report.to_json().c_str());
   return report.infection_detected() && sig_hits == 0 ? 0 : 1;
 }

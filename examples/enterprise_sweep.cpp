@@ -45,10 +45,14 @@ int main() {
     fleet.push_back(std::move(d));
   }
 
-  std::printf("%-14s %-8s %-7s %-7s %-7s %-9s %s\n", "host", "verdict",
-              "files", "hooks", "procs", "scan(s)", "ground truth");
+  std::printf("%-14s %-8s %-7s %-7s %-7s %-9s %-9s %s\n", "host", "verdict",
+              "files", "hooks", "procs", "scan(s)", "wall(ms)",
+              "ground truth");
   // Machines are independent: scan the fleet concurrently, one thread per
-  // desktop (a management server fanning out to its agents).
+  // desktop (a management server fanning out to its agents). Each agent
+  // runs a single-executor ScanEngine — the fleet fan-out is already the
+  // parallelism; crank ScanConfig::parallelism instead when scanning one
+  // big machine.
   struct Row {
     core::Report report;
     core::AnomalyAssessment assessment;
@@ -59,8 +63,10 @@ int main() {
     workers.reserve(fleet.size());
     for (std::size_t i = 0; i < fleet.size(); ++i) {
       workers.emplace_back([&fleet, &rows, i] {
-        core::GhostBuster gb(*fleet[i].box);
-        rows[i].report = gb.inside_scan();
+        core::ScanConfig cfg;
+        cfg.parallelism = 1;
+        core::ScanEngine engine(*fleet[i].box, cfg);
+        rows[i].report = engine.inside_scan();
         rows[i].assessment = core::assess_anomaly(rows[i].report.diffs);
       });
     }
@@ -73,10 +79,11 @@ int main() {
     const bool verdict = report.infection_detected();
     if (d.infection) ++infected;
     if (verdict) ++detected;
-    std::printf("%-14s %-8s %-7zu %-7zu %-7zu %-9.1f %s\n", d.host.c_str(),
-                verdict ? "INFECTED" : "clean", a.hidden_files,
-                a.hidden_hooks, a.hidden_processes,
-                report.total_simulated_seconds, d.infection_name.c_str());
+    std::printf("%-14s %-8s %-7zu %-7zu %-7zu %-9.1f %-9.1f %s\n",
+                d.host.c_str(), verdict ? "INFECTED" : "clean",
+                a.hidden_files, a.hidden_hooks, a.hidden_processes,
+                report.total_simulated_seconds,
+                report.total_wall_seconds * 1e3, d.infection_name.c_str());
   }
   std::printf("\n%d/%d infections detected, zero false positives on clean"
               " desktops\n",

@@ -1,5 +1,6 @@
 #include "core/differ.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gb::core {
@@ -35,6 +36,100 @@ DiffReport cross_view_diff(const ScanResult& high, const ScanResult& low) {
       ++j;
     }
   }
+  return report;
+}
+
+namespace {
+
+/// FNV-1a: stable across runs and platforms, unlike std::hash — the
+/// shard assignment is part of the deterministic contract.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Below this many combined resources the linear merge is already
+/// cheaper than partitioning + re-sorting.
+constexpr std::size_t kMinShardedResources = 2048;
+
+}  // namespace
+
+DiffReport cross_view_diff(const ScanResult& high, const ScanResult& low,
+                           support::ThreadPool* pool, std::size_t shards) {
+  const std::size_t total = high.resources.size() + low.resources.size();
+  if (!pool || pool->size() == 0 || total < kMinShardedResources) {
+    return cross_view_diff(high, low);
+  }
+  if (high.type != low.type) {
+    throw std::invalid_argument("cross_view_diff: resource type mismatch");
+  }
+  if (shards == 0) shards = pool->size() + 1;
+  shards = std::min<std::size_t>(shards, 64);
+  if (shards <= 1) return cross_view_diff(high, low);
+
+  // Partition each (sorted) snapshot by key hash. Within a shard the
+  // subsequences stay sorted, so each shard runs the same linear merge
+  // as the serial path.
+  std::vector<std::vector<const Resource*>> high_parts(shards);
+  std::vector<std::vector<const Resource*>> low_parts(shards);
+  for (const auto& r : high.resources) {
+    high_parts[fnv1a(r.key) % shards].push_back(&r);
+  }
+  for (const auto& r : low.resources) {
+    low_parts[fnv1a(r.key) % shards].push_back(&r);
+  }
+
+  struct ShardOut {
+    std::vector<Finding> hidden;
+    std::vector<Finding> extra;
+  };
+  std::vector<ShardOut> outs(shards);
+  pool->parallel_for(shards, [&](std::size_t s) {
+    const auto& hs = high_parts[s];
+    const auto& ls = low_parts[s];
+    ShardOut& out = outs[s];
+    std::size_t i = 0, j = 0;
+    while (i < hs.size() || j < ls.size()) {
+      if (j == ls.size() ||
+          (i < hs.size() && hs[i]->key < ls[j]->key)) {
+        out.extra.push_back(
+            Finding{*hs[i], high.type, high.view_name, low.view_name});
+        ++i;
+      } else if (i == hs.size() || ls[j]->key < hs[i]->key) {
+        out.hidden.push_back(
+            Finding{*ls[j], low.type, low.view_name, high.view_name});
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  });
+
+  DiffReport report;
+  report.type = high.type;
+  report.high_view = high.view_name;
+  report.low_view = low.view_name;
+  report.low_trust = low.trust;
+  report.high_count = high.resources.size();
+  report.low_count = low.resources.size();
+  for (auto& o : outs) {
+    std::move(o.hidden.begin(), o.hidden.end(),
+              std::back_inserter(report.hidden));
+    std::move(o.extra.begin(), o.extra.end(),
+              std::back_inserter(report.extra));
+  }
+  // Back into key order: exactly the order the serial merge emits
+  // (normalized inputs have unique keys, so the order is total).
+  auto by_key = [](const Finding& a, const Finding& b) {
+    return a.resource.key < b.resource.key;
+  };
+  std::sort(report.hidden.begin(), report.hidden.end(), by_key);
+  std::sort(report.extra.begin(), report.extra.end(), by_key);
   return report;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/scan_result.h"
+#include "support/thread_pool.h"
 
 namespace gb::core {
 
@@ -38,11 +39,25 @@ struct DiffReport {
   std::size_t low_count = 0;
   double simulated_seconds = 0;  // filled by the orchestrator
 
-  bool clean() const { return hidden.empty() && extra.empty(); }
+  double wall_seconds = 0;       // filled by the orchestrator
+
+  [[nodiscard]] bool clean() const { return hidden.empty() && extra.empty(); }
 };
 
 /// Diffs a high (API) snapshot against a low (trusted) snapshot of the
 /// same resource type. Both inputs must be normalized.
-DiffReport cross_view_diff(const ScanResult& high, const ScanResult& low);
+[[nodiscard]] DiffReport cross_view_diff(const ScanResult& high,
+                                         const ScanResult& low);
+
+/// Sharded variant: partitions both snapshots by a stable hash of the
+/// resource key, set-intersects the shards on the pool, and merges the
+/// shard outputs back into key order — byte-identical to the serial diff
+/// at any worker or shard count. `shards` 0 picks one shard per executor.
+/// Small inputs fall back to the serial merge (sharding would cost more
+/// than it saves).
+[[nodiscard]] DiffReport cross_view_diff(const ScanResult& high,
+                                         const ScanResult& low,
+                                         support::ThreadPool* pool,
+                                         std::size_t shards = 0);
 
 }  // namespace gb::core

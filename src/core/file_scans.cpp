@@ -7,7 +7,8 @@
 
 namespace gb::core {
 
-ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx) {
+ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx,
+                                support::ThreadPool* pool) {
   ScanResult out;
   out.view_name = "Win32 FindFile walk (" + ctx.image_name + ")";
   out.type = ResourceType::kFile;
@@ -16,42 +17,62 @@ ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx) {
   winapi::ApiEnv* env = m.win32().env(ctx.pid);
   if (!env) throw std::invalid_argument("no API environment for context pid");
 
-  std::function<void(const std::string&)> walk = [&](const std::string& dir) {
-    bool ok = false;
-    const auto entries = env->find_files(ctx, dir, &ok);
-    if (!ok) return;  // path beyond Win32: contents invisible to this view
-    for (const auto& e : entries) {
-      const std::string full = join_path(dir, e.name);
-      out.resources.push_back(Resource{file_key(full), printable(full)});
-      ++out.work.records_visited;
-      if (e.is_directory) walk(full);
-    }
+  // Level-parallel breadth-first walk: each frontier directory is listed
+  // by one task, and listings merge in frontier order — so the resource
+  // set, the records_visited count, and the normalized output match the
+  // recursive serial walk exactly at any worker count.
+  struct Listing {
+    std::vector<std::pair<std::string, bool>> entries;  // (path, is_dir)
   };
-  walk("C:");
+  std::vector<std::string> frontier{"C:"};
+  while (!frontier.empty()) {
+    std::vector<Listing> listings(frontier.size());
+    auto list_one = [&](std::size_t i) {
+      bool ok = false;
+      const auto entries = env->find_files(ctx, frontier[i], &ok);
+      if (!ok) return;  // path beyond Win32: contents invisible to this view
+      for (const auto& e : entries) {
+        listings[i].entries.emplace_back(join_path(frontier[i], e.name),
+                                         e.is_directory);
+      }
+    };
+    if (pool && pool->size() > 0 && frontier.size() > 1) {
+      pool->parallel_for(frontier.size(), list_one);
+    } else {
+      for (std::size_t i = 0; i < frontier.size(); ++i) list_one(i);
+    }
+    std::vector<std::string> next;
+    for (const auto& l : listings) {
+      for (const auto& [full, is_dir] : l.entries) {
+        out.resources.push_back(Resource{file_key(full), printable(full)});
+        ++out.work.records_visited;
+        if (is_dir) next.push_back(full);
+      }
+    }
+    frontier = std::move(next);
+  }
   out.normalize();
   return out;
 }
 
-ScanResult low_level_file_scan(machine::Machine& m) {
+ScanResult low_level_file_scan(machine::Machine& m, support::ThreadPool* pool,
+                               std::uint32_t batch_records) {
   ScanResult out;
   out.view_name = "raw MFT scan";
   out.type = ResourceType::kFile;
   out.trust = TrustLevel::kTruthApproximation;
 
-  auto& stats = m.disk().stats();
-  stats.reset();
   ntfs::MftScanner scanner(m.disk());
-  for (const auto& f : scanner.scan()) {
-    ++out.work.records_visited;
+  for (const auto& f : scanner.scan(pool, batch_records)) {
     if (f.is_system) continue;
     const std::string full = "C:\\" + f.path;
     out.resources.push_back(Resource{file_key(full), printable(full)});
   }
   // The scanner also walks every unused MFT record slot; charge them.
   out.work.records_visited = scanner.record_capacity();
-  out.work.bytes_read = stats.bytes_read();
-  out.work.seeks = stats.seeks;
-  stats.reset();
+  const auto& io = scanner.last_scan_stats();
+  out.work.bytes_read = io.bytes_read();
+  out.work.seeks = io.seeks;
   out.normalize();
   return out;
 }

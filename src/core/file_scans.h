@@ -4,23 +4,35 @@
 //           process context ("dir /s /b" equivalent) — may contain the lie
 //   low   — raw MFT parse of the live disk — truth approximation
 //   outside — clean mount of the powered-off disk (WinPE boot) — truth
+//
+// Every scan takes an optional pool; with one it splits its own work
+// (level-parallel directory walk, chunked MFT batches) while producing a
+// result byte-identical to the serial path. A null pool — or a
+// zero-worker pool — is exactly the serial path.
 #pragma once
 
 #include "core/scan_result.h"
 #include "disk/disk.h"
 #include "machine/machine.h"
+#include "support/thread_pool.h"
 
 namespace gb::core {
 
 /// Recursive Win32 enumeration from `ctx`'s process. Directories whose
 /// paths are not Win32-expressible cannot be descended into — their
 /// contents are simply absent from this view, as on real Windows.
-ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx);
+/// With a pool, each directory level's listings run concurrently and
+/// merge in frontier order.
+ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx,
+                                support::ThreadPool* pool = nullptr);
 
 /// Raw MFT scan of the running machine's disk. Bypasses the entire API
 /// stack, filter drivers included. NTFS metadata files are excluded, as
-/// the real tool must exclude $-files.
-ScanResult low_level_file_scan(machine::Machine& m);
+/// the real tool must exclude $-files. With a pool the MFT records parse
+/// in chunked batches (`batch_records` 0 = scanner default).
+ScanResult low_level_file_scan(machine::Machine& m,
+                               support::ThreadPool* pool = nullptr,
+                               std::uint32_t batch_records = 0);
 
 /// Clean-boot scan of a (typically powered-off) disk: fresh volume mount,
 /// full native enumeration — no ghostware code is running.

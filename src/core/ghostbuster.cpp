@@ -1,286 +1,41 @@
 #include "core/ghostbuster.h"
 
-#include <map>
-#include <sstream>
-
-#include "support/strings.h"
-
 namespace gb::core {
 
-bool Report::infection_detected() const {
-  for (const auto& d : diffs) {
-    if (!d.hidden.empty()) return true;
-  }
-  return false;
-}
-
-std::size_t Report::hidden_count(ResourceType type) const {
-  std::size_t n = 0;
-  for (const auto& d : diffs) {
-    if (d.type == type) n += d.hidden.size();
-  }
-  return n;
-}
-
-std::vector<Finding> Report::all_hidden() const {
-  std::vector<Finding> out;
-  for (const auto& d : diffs) {
-    out.insert(out.end(), d.hidden.begin(), d.hidden.end());
-  }
-  return out;
-}
-
-const DiffReport* Report::diff_for(ResourceType type) const {
-  for (const auto& d : diffs) {
-    if (d.type == type) return &d;
-  }
-  return nullptr;
-}
-
-std::string Report::to_string() const {
-  std::ostringstream os;
-  os << "=== Strider GhostBuster report ===\n";
-  for (const auto& d : diffs) {
-    os << "[" << resource_type_name(d.type) << "] " << d.high_view << " ("
-       << d.high_count << ") vs " << d.low_view << " (" << d.low_count
-       << ", " << trust_level_name(d.low_trust) << ")\n";
-    for (const auto& f : d.hidden) {
-      os << "  HIDDEN: " << f.resource.display << "\n";
-    }
-    for (const auto& f : d.extra) {
-      os << "  extra-in-api-view: " << f.resource.display << "\n";
-    }
-    if (d.clean()) os << "  (no discrepancies)\n";
-  }
-  os << (infection_detected() ? ">>> hidden resources detected"
-                              : ">>> machine appears clean")
-     << "\n";
-  return os.str();
-}
-
-namespace {
-
-void json_escape(std::ostringstream& os, std::string_view s) {
-  static constexpr char kHex[] = "0123456789abcdef";
-  os << '"';
-  for (const char c : s) {
-    const auto uc = static_cast<unsigned char>(c);
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      default:
-        if (uc < 0x20) {
-          os << "\\u00" << kHex[uc >> 4] << kHex[uc & 0xf];
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
-
-std::string Report::to_json() const {
-  std::ostringstream os;
-  os << "{\"infected\":" << (infection_detected() ? "true" : "false")
-     << ",\"simulated_seconds\":" << total_simulated_seconds
-     << ",\"diffs\":[";
-  bool first_diff = true;
-  for (const auto& d : diffs) {
-    if (!first_diff) os << ',';
-    first_diff = false;
-    os << "{\"type\":";
-    json_escape(os, resource_type_name(d.type));
-    os << ",\"high_view\":";
-    json_escape(os, d.high_view);
-    os << ",\"low_view\":";
-    json_escape(os, d.low_view);
-    os << ",\"trust\":";
-    json_escape(os, trust_level_name(d.low_trust));
-    os << ",\"high_count\":" << d.high_count
-       << ",\"low_count\":" << d.low_count << ",\"hidden\":[";
-    bool first = true;
-    for (const auto& f : d.hidden) {
-      if (!first) os << ',';
-      first = false;
-      os << "{\"key\":";
-      json_escape(os, f.resource.key);
-      os << ",\"display\":";
-      json_escape(os, f.resource.display);
-      os << '}';
-    }
-    os << "],\"extra_count\":" << d.extra.size() << '}';
-  }
-  os << "]}";
-  return os.str();
-}
-
-winapi::Ctx GhostBuster::scanner_context(const Options& opts) {
-  const std::string image_path =
-      "C:\\windows\\system32\\" + opts.scanner_image;
-  const kernel::Pid pid = machine_.ensure_process(image_path);
-  return machine_.context_for(pid);
-}
-
-void GhostBuster::finalize(Report& report) {
-  const auto& profile = machine_.config().profile;
-  for (auto& d : report.diffs) {
-    report.total_simulated_seconds += d.simulated_seconds;
-  }
-  (void)profile;
-  machine_.clock().advance(
-      VirtualClock::seconds(report.total_simulated_seconds));
+ScanConfig Options::to_config() const {
+  ScanConfig cfg;
+  cfg.resources = ResourceMask::kNone;
+  if (scan_files) cfg.resources = cfg.resources | ResourceMask::kFiles;
+  if (scan_registry) cfg.resources = cfg.resources | ResourceMask::kAseps;
+  if (scan_processes) cfg.resources = cfg.resources | ResourceMask::kProcesses;
+  if (scan_modules) cfg.resources = cfg.resources | ResourceMask::kModules;
+  cfg.parallelism = 1;  // the historical serial path, exactly
+  cfg.processes.scheduler_view = advanced_mode;
+  cfg.scanner_image = scanner_image;
+  cfg.outside_boot = outside_boot;
+  return cfg;
 }
 
 Report GhostBuster::inside_scan(const Options& opts) {
-  Report report;
-  const auto ctx = scanner_context(opts);
-  const auto& profile = machine_.config().profile;
-
-  auto add = [&](const ScanResult& high, const ScanResult& low) {
-    DiffReport d = cross_view_diff(high, low);
-    machine::ScanWork work = high.work;
-    work += low.work;
-    d.simulated_seconds = estimate_seconds(profile, work);
-    report.diffs.push_back(std::move(d));
-  };
-
-  if (opts.scan_files) {
-    add(high_level_file_scan(machine_, ctx), low_level_file_scan(machine_));
-  }
-  if (opts.scan_registry) {
-    add(high_level_registry_scan(machine_, ctx),
-        low_level_registry_scan(machine_));
-  }
-  if (opts.scan_processes) {
-    add(high_level_process_scan(machine_, ctx),
-        opts.advanced_mode ? advanced_process_scan(machine_)
-                           : core::low_level_process_scan(machine_));
-  }
-  if (opts.scan_modules) {
-    add(high_level_module_scan(machine_, ctx),
-        low_level_module_scan(machine_));
-  }
-  finalize(report);
-  return report;
+  return ScanEngine(machine_, opts.to_config()).inside_scan();
 }
 
 Report GhostBuster::injected_scan(const Options& opts) {
-  // Low-level (trusted) snapshots once; high-level snapshots from inside
-  // every process. Union the hidden findings: a resource is reported if
-  // *any* process's view hides it.
-  Report report;
-  const auto& profile = machine_.config().profile;
-
-  struct Slot {
-    std::optional<ScanResult> low;
-    std::map<std::string, Finding> hidden;  // keyed for dedup
-    std::size_t high_count_max = 0;
-    machine::ScanWork work;
-    std::string high_views = "injected scans (all processes)";
-  };
-  Slot files, aseps, procs, mods;
-  if (opts.scan_files) files.low = low_level_file_scan(machine_);
-  if (opts.scan_registry) aseps.low = low_level_registry_scan(machine_);
-  if (opts.scan_processes) {
-    procs.low = opts.advanced_mode ? advanced_process_scan(machine_)
-                                   : core::low_level_process_scan(machine_);
-  }
-  if (opts.scan_modules) mods.low = low_level_module_scan(machine_);
-
-  std::vector<kernel::Pid> pids;
-  for (const auto& [pid, env] : machine_.win32().envs()) pids.push_back(pid);
-
-  for (const kernel::Pid pid : pids) {
-    const auto ctx = machine_.context_for(pid);
-    if (ctx.image_name.empty() || ctx.image_name == "System") continue;
-    auto accumulate = [&](Slot& slot, ScanResult high) {
-      DiffReport d = cross_view_diff(high, *slot.low);
-      for (auto& f : d.hidden) slot.hidden.emplace(f.resource.key, f);
-      slot.high_count_max = std::max(slot.high_count_max, high.resources.size());
-      slot.work += high.work;
-    };
-    if (files.low) accumulate(files, high_level_file_scan(machine_, ctx));
-    if (aseps.low) accumulate(aseps, high_level_registry_scan(machine_, ctx));
-    if (procs.low) accumulate(procs, high_level_process_scan(machine_, ctx));
-    if (mods.low) accumulate(mods, high_level_module_scan(machine_, ctx));
-  }
-
-  auto emit = [&](Slot& slot, ResourceType type) {
-    if (!slot.low) return;
-    DiffReport d;
-    d.type = type;
-    d.high_view = slot.high_views;
-    d.low_view = slot.low->view_name;
-    d.low_trust = slot.low->trust;
-    d.high_count = slot.high_count_max;
-    d.low_count = slot.low->resources.size();
-    for (auto& [key, f] : slot.hidden) d.hidden.push_back(f);
-    machine::ScanWork work = slot.work;
-    work += slot.low->work;
-    d.simulated_seconds = estimate_seconds(profile, work);
-    report.diffs.push_back(std::move(d));
-  };
-  emit(files, ResourceType::kFile);
-  emit(aseps, ResourceType::kAsepHook);
-  emit(procs, ResourceType::kProcess);
-  emit(mods, ResourceType::kModule);
-  finalize(report);
-  return report;
+  return ScanEngine(machine_, opts.to_config()).injected_scan();
 }
 
 GhostBuster::InsideCapture GhostBuster::capture_inside_high(
     const Options& opts) {
-  InsideCapture cap;
-  const auto ctx = scanner_context(opts);
-  if (opts.scan_files) cap.files = high_level_file_scan(machine_, ctx);
-  if (opts.scan_registry) cap.aseps = high_level_registry_scan(machine_, ctx);
-  if (opts.scan_processes) {
-    cap.processes = high_level_process_scan(machine_, ctx);
-  }
-  if (opts.scan_modules) cap.modules = high_level_module_scan(machine_, ctx);
-  if (opts.scan_processes || opts.scan_modules) {
-    cap.dump = kernel::parse_dump(machine_.bluescreen());
-  }
-  return cap;
+  return ScanEngine(machine_, opts.to_config()).capture_inside_high();
 }
 
 Report GhostBuster::outside_diff(const InsideCapture& cap,
-                                 const Options& /*opts*/) {
-  if (machine_.running()) {
-    throw std::logic_error(
-        "outside_diff requires the machine to be powered off");
-  }
-  Report report;
-  const auto& profile = machine_.config().profile;
-
-  auto add = [&](const ScanResult& high, const ScanResult& low) {
-    DiffReport d = cross_view_diff(high, low);
-    machine::ScanWork work = high.work;
-    work += low.work;
-    d.simulated_seconds = estimate_seconds(profile, work);
-    report.diffs.push_back(std::move(d));
-  };
-
-  if (cap.files) add(*cap.files, outside_file_scan(machine_.disk()));
-  if (cap.aseps) add(*cap.aseps, outside_registry_scan(machine_.disk()));
-  if (cap.processes && cap.dump) {
-    add(*cap.processes, dump_process_scan(*cap.dump));
-  }
-  if (cap.modules && cap.dump) add(*cap.modules, dump_module_scan(*cap.dump));
-  finalize(report);
-  return report;
+                                 const Options& opts) {
+  return ScanEngine(machine_, opts.to_config()).outside_diff(cap);
 }
 
 Report GhostBuster::outside_scan(const Options& opts) {
-  InsideCapture cap = capture_inside_high(opts);
-  if (machine_.running()) machine_.shutdown();
-  // WinPE CD boot adds 1.5-3 minutes (Section 2); the RIS network boot of
-  // Section 5's enterprise automation is quicker and needs no media.
-  machine_.clock().advance(VirtualClock::seconds(
-      opts.outside_boot == OutsideBoot::kWinPeCd ? 120.0 : 45.0));
-  return outside_diff(cap, opts);
+  return ScanEngine(machine_, opts.to_config()).outside_scan();
 }
 
 }  // namespace gb::core

@@ -1,35 +1,20 @@
-// GhostBuster: the detection tool.
+// GhostBuster: the original single-threaded entry points.
 //
-// Orchestrates the scanners and the cross-view differ into the paper's
-// workflows:
-//   inside_scan     — Section 2/3/4 inside-the-box detection (files,
-//                     ASEP hooks, processes, modules), optional advanced
-//                     mode for DKOM-hidden processes;
-//   injected_scan   — Section 5's DLL-injection extension: every process
-//                     becomes a GhostBuster, defeating ghostware that
-//                     targets specific utilities or GhostBuster itself;
-//   outside-the-box — capture_inside_high() on the infected machine,
-//                     blue-screen for the dump, power off, then
-//                     outside_diff() against the clean disk views.
+// DEPRECATED — thin shims over core::ScanEngine (core/scan_engine.h),
+// kept so existing callers compile unchanged. Each call builds a
+// single-executor engine (parallelism = 1, no threads spawned), so the
+// behaviour — including the simulated timing and the report contents —
+// is exactly the historical serial path. New code should construct a
+// ScanEngine with a ScanConfig instead: it reuses one worker pool across
+// scans and exposes the typed ResourceMask/policy configuration.
 #pragma once
 
-#include <optional>
-
-#include "core/differ.h"
-#include "core/file_scans.h"
-#include "core/process_scans.h"
-#include "core/registry_scans.h"
-#include "machine/machine.h"
+#include "core/scan_engine.h"
 
 namespace gb::core {
 
-/// How the outside-the-box clean environment is entered (Section 5's
-/// automation extensions: enterprise RIS network boot avoids the CD).
-enum class OutsideBoot {
-  kWinPeCd,       // 1.5-3 minutes of CD boot
-  kRisNetworkBoot // enterprise Remote Installation Service: faster, no media
-};
-
+/// DEPRECATED: use ScanConfig. The four bools map to ResourceMask bits,
+/// advanced_mode to ProcessPolicy::scheduler_view.
 struct Options {
   bool scan_files = true;
   bool scan_registry = true;
@@ -43,23 +28,12 @@ struct Options {
   std::string scanner_image = "ghostbuster.exe";
   /// Boot mechanism for outside_scan().
   OutsideBoot outside_boot = OutsideBoot::kWinPeCd;
+
+  /// The equivalent ScanConfig (always single-executor).
+  [[nodiscard]] ScanConfig to_config() const;
 };
 
-struct Report {
-  std::vector<DiffReport> diffs;
-  double total_simulated_seconds = 0;
-
-  bool infection_detected() const;
-  std::size_t hidden_count(ResourceType type) const;
-  std::vector<Finding> all_hidden() const;
-  const DiffReport* diff_for(ResourceType type) const;
-  /// Human-readable report (what the tool prints for the user).
-  std::string to_string() const;
-  /// Machine-readable report (for SIEM/automation pipelines). Strings are
-  /// JSON-escaped; embedded NULs and control bytes appear as \u00XX.
-  std::string to_json() const;
-};
-
+/// DEPRECATED: use ScanEngine.
 class GhostBuster {
  public:
   explicit GhostBuster(machine::Machine& m) : machine_(m) {}
@@ -69,36 +43,21 @@ class GhostBuster {
   Report inside_scan(const Options& opts = {});
 
   /// DLL-injection mode: runs the high-level scans from within *every*
-  /// running process and unions the findings. A ghostware program that
-  /// hides from any process at all is caught.
+  /// running process and unions the findings.
   Report injected_scan(const Options& opts = {});
 
-  /// Phase 1 of the outside-the-box workflow: high-level (API) snapshots
-  /// taken on the live, infected machine, plus the blue-screen kernel
-  /// dump when process/module scanning is enabled. Leaves the machine
-  /// halted (dump) or running (no dump) — callers shut it down next.
-  struct InsideCapture {
-    std::optional<ScanResult> files;
-    std::optional<ScanResult> aseps;
-    std::optional<ScanResult> processes;
-    std::optional<ScanResult> modules;
-    std::optional<kernel::KernelDump> dump;
-  };
+  using InsideCapture = core::InsideCapture;
+  /// Phase 1 of the outside-the-box workflow.
   InsideCapture capture_inside_high(const Options& opts = {});
 
-  /// Phase 2: diffs the capture against the clean views of the powered-
-  /// off disk (WinPE) and the parsed dump. The machine must not be
-  /// running.
+  /// Phase 2: diffs the capture against the clean views. The machine
+  /// must not be running.
   Report outside_diff(const InsideCapture& capture, const Options& opts = {});
 
-  /// Convenience: full outside-the-box run (capture, blue-screen,
-  /// shutdown, diff). The machine is left powered off.
+  /// Convenience: full outside-the-box run. Leaves the machine off.
   Report outside_scan(const Options& opts = {});
 
  private:
-  winapi::Ctx scanner_context(const Options& opts);
-  void finalize(Report& report);
-
   machine::Machine& machine_;
 };
 

@@ -71,11 +71,14 @@ void extract_asep_hooks(const AsepFetchers& f, ScanResult& out) {
 }
 
 /// Loads the standard hives from raw disk bytes into an offline registry.
+/// All backing files resolve against one pre-scanned listing, so the MFT
+/// is walked once rather than once per hive.
 registry::ConfigurationManager load_offline_registry(
-    ntfs::MftScanner& scanner, machine::ScanWork& work) {
+    ntfs::MftScanner& scanner, const std::vector<ntfs::RawFile>& files,
+    machine::ScanWork& work) {
   registry::ConfigurationManager offline;
   for (const auto& mount : registry::standard_hive_mounts()) {
-    const auto rec = scanner.find(mount.backing_file);
+    const auto rec = ntfs::MftScanner::find_in(files, mount.backing_file);
     if (!rec) continue;
     const auto bytes = scanner.read_file_data(*rec);
     work.bytes_read += bytes.size();
@@ -128,7 +131,9 @@ ScanResult high_level_registry_scan(machine::Machine& m,
   return out;
 }
 
-ScanResult low_level_registry_scan(machine::Machine& m) {
+ScanResult low_level_registry_scan(machine::Machine& m,
+                                   support::ThreadPool* pool,
+                                   bool flush_hives) {
   ScanResult out;
   out.view_name = "raw hive parse";
   out.type = ResourceType::kAsepHook;
@@ -137,26 +142,30 @@ ScanResult low_level_registry_scan(machine::Machine& m) {
   // Make the backing files current, then read them below the API stack.
   // (The flush itself is why this is a truth *approximation*: privileged
   // ghostware could in principle tamper with the copy path.)
-  m.flush_registry();
-  auto& stats = m.disk().stats();
-  stats.reset();
-  ntfs::MftScanner scanner(m.disk());
-  auto offline = load_offline_registry(scanner, out.work);
+  if (flush_hives) m.flush_registry();
+  ntfs::MftScanner lookup(m.disk());
+  const auto files = lookup.scan(pool);
+  // The hive payloads are read serially through a private counter, so the
+  // seek accounting is deterministic at any worker count.
+  disk::CountingDevice hive_dev(m.disk());
+  ntfs::MftScanner scanner(hive_dev);
+  auto offline = load_offline_registry(scanner, files, out.work);
   extract_asep_hooks(offline_fetchers(offline), out);
-  out.work.seeks += stats.seeks;
-  stats.reset();
+  out.work.seeks += lookup.last_scan_stats().seeks + hive_dev.stats().seeks;
   out.normalize();
   return out;
 }
 
-ScanResult outside_registry_scan(disk::SectorDevice& dev) {
+ScanResult outside_registry_scan(disk::SectorDevice& dev,
+                                 support::ThreadPool* pool) {
   ScanResult out;
   out.view_name = "WinPE mounted-hive scan";
   out.type = ResourceType::kAsepHook;
   out.trust = TrustLevel::kTruth;
 
   ntfs::MftScanner scanner(dev);
-  auto offline = load_offline_registry(scanner, out.work);
+  auto offline =
+      load_offline_registry(scanner, scanner.scan(pool), out.work);
   extract_asep_hooks(offline_fetchers(offline), out);
   out.normalize();
   return out;

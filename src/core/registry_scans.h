@@ -11,14 +11,24 @@
 #include "core/scan_result.h"
 #include "disk/disk.h"
 #include "machine/machine.h"
+#include "support/thread_pool.h"
 
 namespace gb::core {
 
 ScanResult high_level_registry_scan(machine::Machine& m,
                                     const winapi::Ctx& ctx);
 
-ScanResult low_level_registry_scan(machine::Machine& m);
+/// Low-level scan of the live disk. `flush_hives` writes the in-memory
+/// hives to their backing files first (the default, and what a standalone
+/// caller wants); the ScanEngine passes false because it performs the
+/// flush itself, serially, before any concurrent task touches the disk.
+/// With a pool the backing-file lookup scan parses the MFT in chunked
+/// batches.
+ScanResult low_level_registry_scan(machine::Machine& m,
+                                   support::ThreadPool* pool = nullptr,
+                                   bool flush_hives = true);
 
-ScanResult outside_registry_scan(disk::SectorDevice& dev);
+ScanResult outside_registry_scan(disk::SectorDevice& dev,
+                                 support::ThreadPool* pool = nullptr);
 
 }  // namespace gb::core

@@ -1,0 +1,443 @@
+#include "core/scan_engine.h"
+
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/file_scans.h"
+#include "core/process_scans.h"
+#include "core/registry_scans.h"
+#include "support/strings.h"
+
+namespace gb::core {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+std::size_t pool_workers(std::size_t parallelism) {
+  if (parallelism == 0) {
+    parallelism =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return parallelism - 1;  // the calling thread is the other executor
+}
+
+/// Diff emission order — fixed, independent of configuration.
+constexpr ResourceType kDiffOrder[] = {
+    ResourceType::kFile, ResourceType::kAsepHook, ResourceType::kProcess,
+    ResourceType::kModule};
+
+std::vector<ResourceType> enabled_types(ResourceMask mask) {
+  std::vector<ResourceType> out;
+  for (const ResourceType t : kDiffOrder) {
+    if (has(mask, mask_for(t))) out.push_back(t);
+  }
+  return out;
+}
+
+void json_escape(std::ostringstream& os, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  os << '"';
+  for (const char c : s) {
+    const auto uc = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      default:
+        if (uc < 0x20) {
+          os << "\\u00" << kHex[uc >> 4] << kHex[uc & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+bool Report::infection_detected() const {
+  for (const auto& d : diffs) {
+    if (!d.hidden.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t Report::hidden_count(ResourceType type) const {
+  std::size_t n = 0;
+  for (const auto& d : diffs) {
+    if (d.type == type) n += d.hidden.size();
+  }
+  return n;
+}
+
+std::vector<Finding> Report::all_hidden() const {
+  std::vector<Finding> out;
+  for (const auto& d : diffs) {
+    out.insert(out.end(), d.hidden.begin(), d.hidden.end());
+  }
+  return out;
+}
+
+const DiffReport* Report::diff_for(ResourceType type) const {
+  for (const auto& d : diffs) {
+    if (d.type == type) return &d;
+  }
+  return nullptr;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  os << "=== Strider GhostBuster report ===\n";
+  for (const auto& d : diffs) {
+    os << "[" << resource_type_name(d.type) << "] " << d.high_view << " ("
+       << d.high_count << ") vs " << d.low_view << " (" << d.low_count
+       << ", " << trust_level_name(d.low_trust) << ")\n";
+    for (const auto& f : d.hidden) {
+      os << "  HIDDEN: " << f.resource.display << "\n";
+    }
+    for (const auto& f : d.extra) {
+      os << "  extra-in-api-view: " << f.resource.display << "\n";
+    }
+    if (d.clean()) os << "  (no discrepancies)\n";
+  }
+  os << (infection_detected() ? ">>> hidden resources detected"
+                              : ">>> machine appears clean")
+     << "\n";
+  return os.str();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema_version\":2"
+     << ",\"infected\":" << (infection_detected() ? "true" : "false")
+     << ",\"simulated_seconds\":" << total_simulated_seconds
+     << ",\"wall_seconds\":" << total_wall_seconds
+     << ",\"worker_threads\":" << worker_threads << ",\"diffs\":[";
+  bool first_diff = true;
+  for (const auto& d : diffs) {
+    if (!first_diff) os << ',';
+    first_diff = false;
+    os << "{\"type\":";
+    json_escape(os, resource_type_name(d.type));
+    os << ",\"high_view\":";
+    json_escape(os, d.high_view);
+    os << ",\"low_view\":";
+    json_escape(os, d.low_view);
+    os << ",\"trust\":";
+    json_escape(os, trust_level_name(d.low_trust));
+    os << ",\"high_count\":" << d.high_count
+       << ",\"low_count\":" << d.low_count
+       << ",\"simulated_seconds\":" << d.simulated_seconds
+       << ",\"wall_seconds\":" << d.wall_seconds << ",\"hidden\":[";
+    bool first = true;
+    for (const auto& f : d.hidden) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"key\":";
+      json_escape(os, f.resource.key);
+      os << ",\"display\":";
+      json_escape(os, f.resource.display);
+      os << '}';
+    }
+    os << "],\"extra_count\":" << d.extra.size() << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+ScanEngine::ScanEngine(machine::Machine& m, ScanConfig cfg)
+    : machine_(m),
+      cfg_(std::move(cfg)),
+      pool_(pool_workers(cfg_.parallelism)) {}
+
+winapi::Ctx ScanEngine::scanner_context() {
+  const std::string image_path =
+      "C:\\windows\\system32\\" + cfg_.scanner_image;
+  const kernel::Pid pid = machine_.ensure_process(image_path);
+  return machine_.context_for(pid);
+}
+
+void ScanEngine::finalize(Report& report, double wall_seconds) {
+  for (auto& d : report.diffs) {
+    report.total_simulated_seconds += d.simulated_seconds;
+  }
+  report.total_wall_seconds = wall_seconds;
+  report.worker_threads = worker_count();
+  machine_.clock().advance(
+      VirtualClock::seconds(report.total_simulated_seconds));
+}
+
+ScanResult ScanEngine::low_scan(ResourceType type) {
+  switch (type) {
+    case ResourceType::kFile:
+      return low_level_file_scan(machine_, &pool_,
+                                 cfg_.files.mft_batch_records);
+    case ResourceType::kAsepHook:
+      // The engine flushed the hives (or was told not to) before any
+      // task started; never flush from inside a concurrent task.
+      return low_level_registry_scan(machine_, &pool_,
+                                     /*flush_hives=*/false);
+    case ResourceType::kProcess:
+      return cfg_.processes.scheduler_view ? advanced_process_scan(machine_)
+                                           : low_level_process_scan(machine_);
+    case ResourceType::kModule:
+      return low_level_module_scan(machine_);
+  }
+  throw std::logic_error("low_scan: unknown resource type");
+}
+
+ScanResult ScanEngine::high_scan(ResourceType type, const winapi::Ctx& ctx) {
+  switch (type) {
+    case ResourceType::kFile:
+      return high_level_file_scan(machine_, ctx, &pool_);
+    case ResourceType::kAsepHook:
+      return high_level_registry_scan(machine_, ctx);
+    case ResourceType::kProcess:
+      return high_level_process_scan(machine_, ctx);
+    case ResourceType::kModule:
+      return high_level_module_scan(machine_, ctx);
+  }
+  throw std::logic_error("high_scan: unknown resource type");
+}
+
+Report ScanEngine::inside_scan() {
+  const auto t0 = SteadyClock::now();
+  Report report;
+  const auto types = enabled_types(cfg_.resources);
+  const auto ctx = scanner_context();
+  if (has(cfg_.resources, ResourceMask::kAseps) &&
+      cfg_.registry.flush_hives_first) {
+    machine_.flush_registry();  // serial pre-phase: no writes mid-scan
+  }
+
+  // Two tasks per resource type — the API view and the trusted view run
+  // independently; the file scans fan out further internally.
+  struct Pair {
+    ScanResult high;
+    ScanResult low;
+    double high_wall = 0;
+    double low_wall = 0;
+  };
+  std::vector<Pair> pairs(types.size());
+  pool_.parallel_for(types.size() * 2, [&](std::size_t i) {
+    const std::size_t slot = i / 2;
+    const auto start = SteadyClock::now();
+    if (i % 2 == 0) {
+      pairs[slot].high = high_scan(types[slot], ctx);
+      pairs[slot].high_wall = seconds_since(start);
+    } else {
+      pairs[slot].low = low_scan(types[slot]);
+      pairs[slot].low_wall = seconds_since(start);
+    }
+  });
+
+  const auto& profile = machine_.config().profile;
+  for (std::size_t s = 0; s < types.size(); ++s) {
+    const auto start = SteadyClock::now();
+    DiffReport d =
+        cross_view_diff(pairs[s].high, pairs[s].low, &pool_, cfg_.diff.shards);
+    machine::ScanWork work = pairs[s].high.work;
+    work += pairs[s].low.work;
+    d.simulated_seconds = estimate_seconds(profile, work);
+    d.wall_seconds =
+        pairs[s].high_wall + pairs[s].low_wall + seconds_since(start);
+    report.diffs.push_back(std::move(d));
+  }
+  finalize(report, seconds_since(t0));
+  return report;
+}
+
+Report ScanEngine::injected_scan() {
+  const auto t0 = SteadyClock::now();
+  Report report;
+  const auto types = enabled_types(cfg_.resources);
+  if (has(cfg_.resources, ResourceMask::kAseps) &&
+      cfg_.registry.flush_hives_first) {
+    machine_.flush_registry();
+  }
+
+  // Trusted snapshots, one per enabled type, taken concurrently.
+  std::vector<ScanResult> lows(types.size());
+  std::vector<double> low_walls(types.size(), 0);
+  pool_.parallel_for(types.size(), [&](std::size_t s) {
+    const auto start = SteadyClock::now();
+    lows[s] = low_scan(types[s]);
+    low_walls[s] = seconds_since(start);
+  });
+
+  // Scan contexts in pid order (envs() is a sorted map) — the order the
+  // deterministic reduction below walks.
+  std::vector<winapi::Ctx> ctxs;
+  for (const auto& [pid, env] : machine_.win32().envs()) {
+    auto ctx = machine_.context_for(pid);
+    if (ctx.image_name.empty() || ctx.image_name == "System") continue;
+    ctxs.push_back(std::move(ctx));
+  }
+
+  // One job per (process, resource type): high-level scan from inside
+  // that process, diffed against the trusted snapshot. Jobs run in any
+  // order; each is internally serial (the fan-out is already one task
+  // per job).
+  struct Job {
+    DiffReport diff;
+    std::size_t high_count = 0;
+    machine::ScanWork work;
+    double wall = 0;
+  };
+  std::vector<Job> jobs(ctxs.size() * types.size());
+  pool_.parallel_for(jobs.size(), [&](std::size_t i) {
+    const winapi::Ctx& ctx = ctxs[i / types.size()];
+    const std::size_t s = i % types.size();
+    const auto start = SteadyClock::now();
+    ScanResult high;
+    switch (types[s]) {
+      case ResourceType::kFile:
+        high = high_level_file_scan(machine_, ctx);
+        break;
+      case ResourceType::kAsepHook:
+        high = high_level_registry_scan(machine_, ctx);
+        break;
+      case ResourceType::kProcess:
+        high = high_level_process_scan(machine_, ctx);
+        break;
+      case ResourceType::kModule:
+        high = high_level_module_scan(machine_, ctx);
+        break;
+    }
+    Job& job = jobs[i];
+    job.diff = cross_view_diff(high, lows[s]);
+    job.high_count = high.resources.size();
+    job.work = high.work;
+    job.wall = seconds_since(start);
+  });
+
+  // Deterministic reduction: pid-major, first finding per key wins —
+  // identical to the serial per-process loop regardless of which worker
+  // ran which job.
+  const auto& profile = machine_.config().profile;
+  for (std::size_t s = 0; s < types.size(); ++s) {
+    std::map<std::string, Finding> hidden;
+    std::size_t high_count_max = 0;
+    machine::ScanWork work;
+    double wall = low_walls[s];
+    for (std::size_t c = 0; c < ctxs.size(); ++c) {
+      Job& job = jobs[c * types.size() + s];
+      for (auto& f : job.diff.hidden) hidden.emplace(f.resource.key, f);
+      high_count_max = std::max(high_count_max, job.high_count);
+      work += job.work;
+      wall += job.wall;
+    }
+    DiffReport d;
+    d.type = types[s];
+    d.high_view = "injected scans (all processes)";
+    d.low_view = lows[s].view_name;
+    d.low_trust = lows[s].trust;
+    d.high_count = high_count_max;
+    d.low_count = lows[s].resources.size();
+    for (auto& [key, f] : hidden) d.hidden.push_back(f);
+    work += lows[s].work;
+    d.simulated_seconds = estimate_seconds(profile, work);
+    d.wall_seconds = wall;
+    report.diffs.push_back(std::move(d));
+  }
+  finalize(report, seconds_since(t0));
+  return report;
+}
+
+InsideCapture ScanEngine::capture_inside_high() {
+  InsideCapture cap;
+  const auto ctx = scanner_context();
+  const auto types = enabled_types(cfg_.resources);
+  std::vector<ScanResult> highs(types.size());
+  pool_.parallel_for(types.size(), [&](std::size_t s) {
+    highs[s] = high_scan(types[s], ctx);
+  });
+  for (std::size_t s = 0; s < types.size(); ++s) {
+    switch (types[s]) {
+      case ResourceType::kFile: cap.files = std::move(highs[s]); break;
+      case ResourceType::kAsepHook: cap.aseps = std::move(highs[s]); break;
+      case ResourceType::kProcess: cap.processes = std::move(highs[s]); break;
+      case ResourceType::kModule: cap.modules = std::move(highs[s]); break;
+    }
+  }
+  if (has(cfg_.resources, ResourceMask::kProcesses) ||
+      has(cfg_.resources, ResourceMask::kModules)) {
+    cap.dump = kernel::parse_dump(machine_.bluescreen());
+  }
+  return cap;
+}
+
+Report ScanEngine::outside_diff(const InsideCapture& cap) {
+  if (machine_.running()) {
+    throw std::logic_error(
+        "outside_diff requires the machine to be powered off");
+  }
+  const auto t0 = SteadyClock::now();
+  Report report;
+
+  std::vector<std::pair<ResourceType, const ScanResult*>> wanted;
+  if (cap.files) wanted.emplace_back(ResourceType::kFile, &*cap.files);
+  if (cap.aseps) wanted.emplace_back(ResourceType::kAsepHook, &*cap.aseps);
+  if (cap.processes && cap.dump) {
+    wanted.emplace_back(ResourceType::kProcess, &*cap.processes);
+  }
+  if (cap.modules && cap.dump) {
+    wanted.emplace_back(ResourceType::kModule, &*cap.modules);
+  }
+
+  // Clean-environment scans of the powered-off disk and the dump.
+  std::vector<ScanResult> lows(wanted.size());
+  std::vector<double> low_walls(wanted.size(), 0);
+  pool_.parallel_for(wanted.size(), [&](std::size_t i) {
+    const auto start = SteadyClock::now();
+    switch (wanted[i].first) {
+      case ResourceType::kFile:
+        lows[i] = outside_file_scan(machine_.disk());
+        break;
+      case ResourceType::kAsepHook:
+        lows[i] = outside_registry_scan(machine_.disk(), &pool_);
+        break;
+      case ResourceType::kProcess:
+        lows[i] = dump_process_scan(*cap.dump);
+        break;
+      case ResourceType::kModule:
+        lows[i] = dump_module_scan(*cap.dump);
+        break;
+    }
+    low_walls[i] = seconds_since(start);
+  });
+
+  const auto& profile = machine_.config().profile;
+  for (std::size_t i = 0; i < wanted.size(); ++i) {
+    const auto start = SteadyClock::now();
+    DiffReport d =
+        cross_view_diff(*wanted[i].second, lows[i], &pool_, cfg_.diff.shards);
+    machine::ScanWork work = wanted[i].second->work;
+    work += lows[i].work;
+    d.simulated_seconds = estimate_seconds(profile, work);
+    d.wall_seconds = low_walls[i] + seconds_since(start);
+    report.diffs.push_back(std::move(d));
+  }
+  finalize(report, seconds_since(t0));
+  return report;
+}
+
+Report ScanEngine::outside_scan() {
+  InsideCapture cap = capture_inside_high();
+  if (machine_.running()) machine_.shutdown();
+  // WinPE CD boot adds 1.5-3 minutes (Section 2); the RIS network boot of
+  // Section 5's enterprise automation is quicker and needs no media.
+  machine_.clock().advance(VirtualClock::seconds(
+      cfg_.outside_boot == OutsideBoot::kWinPeCd ? 120.0 : 45.0));
+  return outside_diff(cap);
+}
+
+}  // namespace gb::core

@@ -1,0 +1,213 @@
+// ScanEngine: the parallel scan session API.
+//
+// A ScanEngine owns a worker pool and a typed ScanConfig, and runs the
+// paper's workflows over them:
+//
+//   inside_scan     — the four resource-type scan+diff pairs run as
+//                     independent tasks; the file scans additionally
+//                     split internally (chunked MFT batches, levelled
+//                     directory walk, sharded diff);
+//   injected_scan   — Section 5's DLL-injection extension fans one
+//                     high-level scan per (process, resource type) across
+//                     the pool and merges findings deterministically;
+//   outside-the-box — capture_inside_high() on the infected machine,
+//                     blue-screen for the dump, power off, then
+//                     outside_diff() against the clean disk views.
+//
+// Every parallel path is deterministic by construction — fixed batch
+// boundaries, ordered reductions, key-ordered shard merges — so a report
+// is byte-identical (wall-clock fields aside) at any parallelism level.
+// The legacy GhostBuster/Options entry points (core/ghostbuster.h) are
+// thin shims over a single-executor engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/differ.h"
+#include "core/file_scans.h"
+#include "core/process_scans.h"
+#include "core/registry_scans.h"
+#include "core/scan_result.h"
+#include "kernel/dump.h"
+#include "machine/machine.h"
+#include "support/thread_pool.h"
+
+namespace gb::core {
+
+/// How the outside-the-box clean environment is entered (Section 5's
+/// automation extensions: enterprise RIS network boot avoids the CD).
+enum class OutsideBoot {
+  kWinPeCd,       // 1.5-3 minutes of CD boot
+  kRisNetworkBoot // enterprise Remote Installation Service: faster, no media
+};
+
+/// Which resource types a scan covers — replaces the four scan_* bools
+/// of the legacy Options struct with a type-safe bitmask.
+enum class ResourceMask : std::uint32_t {
+  kNone = 0,
+  kFiles = 1u << 0,
+  kAseps = 1u << 1,
+  kProcesses = 1u << 2,
+  kModules = 1u << 3,
+  kAll = kFiles | kAseps | kProcesses | kModules,
+};
+
+constexpr ResourceMask operator|(ResourceMask a, ResourceMask b) {
+  return static_cast<ResourceMask>(static_cast<std::uint32_t>(a) |
+                                   static_cast<std::uint32_t>(b));
+}
+constexpr ResourceMask operator&(ResourceMask a, ResourceMask b) {
+  return static_cast<ResourceMask>(static_cast<std::uint32_t>(a) &
+                                   static_cast<std::uint32_t>(b));
+}
+constexpr ResourceMask operator~(ResourceMask a) {
+  return static_cast<ResourceMask>(~static_cast<std::uint32_t>(a) &
+                                   static_cast<std::uint32_t>(
+                                       ResourceMask::kAll));
+}
+constexpr bool has(ResourceMask mask, ResourceMask flag) {
+  return (mask & flag) != ResourceMask::kNone;
+}
+
+/// The mask bit covering one diffed resource type.
+constexpr ResourceMask mask_for(ResourceType type) {
+  switch (type) {
+    case ResourceType::kFile: return ResourceMask::kFiles;
+    case ResourceType::kAsepHook: return ResourceMask::kAseps;
+    case ResourceType::kProcess: return ResourceMask::kProcesses;
+    case ResourceType::kModule: return ResourceMask::kModules;
+  }
+  return ResourceMask::kNone;
+}
+
+// --- per-resource policies -------------------------------------------------
+
+struct FilePolicy {
+  /// Records per MFT parse batch (0 = MftScanner::kDefaultScanBatch).
+  /// Batch boundaries are part of the deterministic contract: they never
+  /// depend on the worker count.
+  std::uint32_t mft_batch_records = 0;
+};
+
+struct RegistryPolicy {
+  /// Flush the live hives to their backing files before the low-level
+  /// scan re-parses them. The engine performs the flush serially, before
+  /// any task runs, so nothing writes the disk mid-scan.
+  bool flush_hives_first = true;
+};
+
+struct ProcessPolicy {
+  /// Use the scheduler thread table instead of the Active Process List
+  /// as the low-level process truth (finds FU's DKOM hiding) — the
+  /// paper's "advanced mode".
+  bool scheduler_view = false;
+};
+
+struct DiffPolicy {
+  /// Shard count for the hash-sharded cross-view diff (0 = one shard
+  /// per executor). Output is identical at any value.
+  std::size_t shards = 0;
+};
+
+/// Typed scan-session configuration; replaces the legacy Options bools.
+struct ScanConfig {
+  ResourceMask resources = ResourceMask::kAll;
+  /// Concurrent executors (pool workers + the calling thread). 1 runs
+  /// everything inline on the caller — the serial reference path.
+  /// 0 picks one executor per hardware core.
+  std::size_t parallelism = 0;
+  FilePolicy files;
+  RegistryPolicy registry;
+  ProcessPolicy processes;
+  DiffPolicy diff;
+  /// Image whose process context runs the high-level scans. Spawned from
+  /// C:\windows\system32\ if not already running.
+  std::string scanner_image = "ghostbuster.exe";
+  /// Boot mechanism for outside_scan().
+  OutsideBoot outside_boot = OutsideBoot::kWinPeCd;
+};
+
+struct Report {
+  std::vector<DiffReport> diffs;
+  double total_simulated_seconds = 0;
+  /// Real elapsed time of the engine call that produced this report
+  /// (per-diff wall times sum the contributing scans' durations, so they
+  /// exceed this when the engine ran them concurrently).
+  double total_wall_seconds = 0;
+  /// Executors the producing engine ran with (workers + caller).
+  std::size_t worker_threads = 1;
+
+  [[nodiscard]] bool infection_detected() const;
+  [[nodiscard]] std::size_t hidden_count(ResourceType type) const;
+  [[nodiscard]] std::vector<Finding> all_hidden() const;
+  [[nodiscard]] const DiffReport* diff_for(ResourceType type) const;
+  /// Human-readable report (what the tool prints for the user).
+  [[nodiscard]] std::string to_string() const;
+  /// Machine-readable report (for SIEM/automation pipelines), schema
+  /// version 2: adds per-diff wall/simulated timing and the worker-thread
+  /// count. Strings are JSON-escaped; embedded NULs and control bytes
+  /// appear as \u00XX.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Phase 1 of the outside-the-box workflow: high-level (API) snapshots
+/// taken on the live, infected machine, plus the blue-screen kernel dump
+/// when process/module scanning is enabled.
+struct InsideCapture {
+  std::optional<ScanResult> files;
+  std::optional<ScanResult> aseps;
+  std::optional<ScanResult> processes;
+  std::optional<ScanResult> modules;
+  std::optional<kernel::KernelDump> dump;
+};
+
+/// One scan session against one machine: owns the worker pool, so
+/// repeated scans amortize thread startup. Not itself thread-safe — use
+/// one engine per thread (engines on *different* machines may run
+/// concurrently, as in a fleet sweep).
+class ScanEngine {
+ public:
+  explicit ScanEngine(machine::Machine& m, ScanConfig cfg = {});
+
+  /// Inside-the-box cross-view diff of all enabled resource types.
+  /// Advances the machine's virtual clock by the simulated scan time.
+  Report inside_scan();
+
+  /// DLL-injection mode: runs the high-level scans from within *every*
+  /// running process and unions the findings. A ghostware program that
+  /// hides from any process at all is caught.
+  Report injected_scan();
+
+  /// Phase 1 of the outside-the-box workflow. Leaves the machine halted
+  /// (dump) or running (no dump) — callers shut it down next.
+  InsideCapture capture_inside_high();
+
+  /// Phase 2: diffs the capture against the clean views of the powered-
+  /// off disk (WinPE) and the parsed dump. The machine must not be
+  /// running.
+  Report outside_diff(const InsideCapture& capture);
+
+  /// Convenience: full outside-the-box run (capture, blue-screen,
+  /// shutdown, diff). The machine is left powered off.
+  Report outside_scan();
+
+  const ScanConfig& config() const { return cfg_; }
+  /// Executors: pool workers + the calling thread.
+  std::size_t worker_count() const { return pool_.size() + 1; }
+  support::ThreadPool& pool() { return pool_; }
+
+ private:
+  winapi::Ctx scanner_context();
+  void finalize(Report& report, double wall_seconds);
+  ScanResult low_scan(ResourceType type);
+  ScanResult high_scan(ResourceType type, const winapi::Ctx& ctx);
+
+  machine::Machine& machine_;
+  ScanConfig cfg_;
+  support::ThreadPool pool_;
+};
+
+}  // namespace gb::core

@@ -40,6 +40,7 @@ void MemDisk::check_range(std::uint64_t lba, std::size_t sectors) const {
 }
 
 void MemDisk::note_access(std::uint64_t lba, std::size_t sectors, bool write) {
+  std::lock_guard<std::mutex> g(stats_mutex_);
   if (lba != last_lba_) ++stats_.seeks;
   last_lba_ = lba + sectors;
   if (write) {
@@ -67,6 +68,28 @@ void MemDisk::write(std::uint64_t lba, std::span<const std::byte> data) {
   check_range(lba, sectors);
   note_access(lba, sectors, /*write=*/true);
   std::memcpy(image_.data() + lba * kSectorSize, data.data(), data.size());
+}
+
+void CountingDevice::note_access(std::uint64_t lba, std::size_t sectors,
+                                 bool write) {
+  if (lba != last_lba_) ++stats_.seeks;
+  last_lba_ = lba + sectors;
+  if (write) {
+    stats_.sectors_written += sectors;
+  } else {
+    stats_.sectors_read += sectors;
+  }
+}
+
+void CountingDevice::read(std::uint64_t lba, std::span<std::byte> out) {
+  inner_.read(lba, out);
+  note_access(lba, out.size() / kSectorSize, /*write=*/false);
+}
+
+void CountingDevice::write(std::uint64_t lba,
+                           std::span<const std::byte> data) {
+  inner_.write(lba, data);
+  note_access(lba, data.size() / kSectorSize, /*write=*/true);
 }
 
 }  // namespace gb::disk

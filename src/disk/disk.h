@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -46,9 +47,21 @@ class SectorDevice {
 /// This object doubles as the "physical drive": the outside-the-box WinPE
 /// scan and the VM host-side scan both operate on the same image after
 /// the machine that owned it has shut down.
+///
+/// Concurrent reads are safe (the access counters are mutex-guarded so
+/// parallel scans race-free); the stats() reference itself should only be
+/// inspected while no other thread is doing I/O. Scans that need
+/// deterministic per-scan accounting wrap the device in a CountingDevice
+/// instead of reading these shared counters.
 class MemDisk final : public SectorDevice {
  public:
   explicit MemDisk(std::uint64_t sector_count);
+  // The stats mutex is not movable; a moved disk starts with a fresh one.
+  MemDisk(MemDisk&& other) noexcept
+      : sector_count_(other.sector_count_),
+        image_(std::move(other.image_)),
+        stats_(other.stats_),
+        last_lba_(other.last_lba_) {}
 
   std::uint64_t sector_count() const override { return sector_count_; }
   void read(std::uint64_t lba, std::span<std::byte> out) override;
@@ -74,8 +87,34 @@ class MemDisk final : public SectorDevice {
 
   std::uint64_t sector_count_;
   std::vector<std::byte> image_;
+  std::mutex stats_mutex_;  // guards stats_ and last_lba_
   IoStats stats_;
   std::uint64_t last_lba_ = ~0ull;  // for seek detection
+};
+
+/// Pass-through device with private I/O accounting.
+///
+/// Each scan task wraps the shared device in its own CountingDevice, so
+/// the work counters that feed the timing model depend only on that
+/// scan's access pattern — never on what other threads read in between.
+/// That is what keeps simulated scan times byte-identical between the
+/// serial and parallel engines. Not thread-safe: one instance per task.
+class CountingDevice final : public SectorDevice {
+ public:
+  explicit CountingDevice(SectorDevice& inner) : inner_(inner) {}
+
+  std::uint64_t sector_count() const override { return inner_.sector_count(); }
+  void read(std::uint64_t lba, std::span<std::byte> out) override;
+  void write(std::uint64_t lba, std::span<const std::byte> data) override;
+
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  void note_access(std::uint64_t lba, std::size_t sectors, bool write);
+
+  SectorDevice& inner_;
+  IoStats stats_;
+  std::uint64_t last_lba_ = ~0ull;
 };
 
 }  // namespace gb::disk

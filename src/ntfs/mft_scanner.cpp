@@ -22,54 +22,108 @@ MftScanner::MftScanner(disk::SectorDevice& dev) : dev_(dev) {
   mft_record_count_ = r.u32();
 }
 
-MftRecord MftScanner::load_record(std::uint64_t number) {
+MftRecord MftScanner::load_record_from(disk::SectorDevice& dev,
+                                       std::uint64_t number) {
   std::vector<std::byte> image(kMftRecordSize);
-  dev_.read(mft_start_cluster_ * kSectorsPerCluster +
-                number * (kMftRecordSize / kSectorSize),
-            image);
+  dev.read(mft_start_cluster_ * kSectorsPerCluster +
+               number * (kMftRecordSize / kSectorSize),
+           image);
   return MftRecord::parse(image);
 }
 
-bool MftScanner::record_live(std::uint64_t number) {
+bool MftScanner::record_live_from(disk::SectorDevice& dev,
+                                  std::uint64_t number) {
   std::vector<std::byte> image(kMftRecordSize);
-  dev_.read(mft_start_cluster_ * kSectorsPerCluster +
-                number * (kMftRecordSize / kSectorSize),
-            image);
+  dev.read(mft_start_cluster_ * kSectorsPerCluster +
+               number * (kMftRecordSize / kSectorSize),
+           image);
   return MftRecord::looks_live(image);
 }
 
-std::vector<RawFile> MftScanner::scan() {
-  struct Node {
-    std::string name;
-    std::uint64_t parent = 0;
-    bool is_directory = false;
-    std::uint64_t size = 0;
-    std::uint32_t attributes = 0;
-    std::vector<std::string> stream_names;
-  };
-  std::map<std::uint64_t, Node> nodes;
+MftRecord MftScanner::load_record(std::uint64_t number) {
+  return load_record_from(dev_, number);
+}
 
+bool MftScanner::record_live(std::uint64_t number) {
+  return record_live_from(dev_, number);
+}
+
+namespace {
+
+struct Node {
+  std::string name;
+  std::uint64_t parent = 0;
+  bool is_directory = false;
+  std::uint64_t size = 0;
+  std::uint32_t attributes = 0;
+  std::vector<std::string> stream_names;
+};
+
+}  // namespace
+
+std::vector<RawFile> MftScanner::scan(support::ThreadPool* pool,
+                                      std::uint32_t batch_records) {
+  if (batch_records == 0) batch_records = kDefaultScanBatch;
+
+  // Phase 1: parse records in fixed-size batches. The batch boundaries
+  // depend only on batch_records, never on the worker count, and each
+  // batch tracks its own I/O — so merging the per-batch outputs in batch
+  // order reproduces the serial walk exactly.
+  struct Batch {
+    std::vector<std::pair<std::uint64_t, Node>> nodes;  // record order
+    std::size_t corrupt = 0;
+    disk::IoStats io;
+  };
+  const std::size_t batch_count =
+      (mft_record_count_ + batch_records - 1) / batch_records;
+  std::vector<Batch> batches(batch_count);
+
+  auto parse_batch = [&](std::size_t b) {
+    disk::CountingDevice dev(dev_);
+    Batch& out = batches[b];
+    const std::uint64_t begin = std::uint64_t{b} * batch_records;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + batch_records, mft_record_count_);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (!record_live_from(dev, i)) continue;
+      MftRecord rec;
+      try {
+        rec = load_record_from(dev, i);
+      } catch (const ParseError&) {
+        ++out.corrupt;  // torn write / corruption: skip, keep scanning
+        continue;
+      }
+      if (!rec.file_name) continue;
+      Node n;
+      n.name = rec.file_name->name;
+      n.parent = rec.file_name->parent_ref;
+      n.is_directory = rec.is_directory();
+      n.size = rec.data ? rec.data->real_size : 0;
+      n.attributes = rec.std_info ? rec.std_info->file_attributes : 0;
+      for (const auto& stream : rec.named_streams) {
+        n.stream_names.push_back(stream.name);
+      }
+      out.nodes.emplace_back(i, std::move(n));
+    }
+    out.io = dev.stats();
+  };
+  if (pool) {
+    pool->parallel_for(batch_count, parse_batch);
+  } else {
+    for (std::size_t b = 0; b < batch_count; ++b) parse_batch(b);
+  }
+
+  std::map<std::uint64_t, Node> nodes;
   corrupt_records_ = 0;
-  for (std::uint64_t i = 0; i < mft_record_count_; ++i) {
-    if (!record_live(i)) continue;
-    MftRecord rec;
-    try {
-      rec = load_record(i);
-    } catch (const ParseError&) {
-      ++corrupt_records_;  // torn write / corruption: skip, keep scanning
-      continue;
+  scan_stats_.reset();
+  for (auto& b : batches) {
+    for (auto& [rec_no, node] : b.nodes) {
+      nodes.emplace(rec_no, std::move(node));
     }
-    if (!rec.file_name) continue;
-    Node n;
-    n.name = rec.file_name->name;
-    n.parent = rec.file_name->parent_ref;
-    n.is_directory = rec.is_directory();
-    n.size = rec.data ? rec.data->real_size : 0;
-    n.attributes = rec.std_info ? rec.std_info->file_attributes : 0;
-    for (const auto& stream : rec.named_streams) {
-      n.stream_names.push_back(stream.name);
-    }
-    nodes.emplace(i, std::move(n));
+    corrupt_records_ += b.corrupt;
+    scan_stats_.sectors_read += b.io.sectors_read;
+    scan_stats_.sectors_written += b.io.sectors_written;
+    scan_stats_.seeks += b.io.seeks;
   }
 
   // Resolve full paths with memoization; cycles/broken chains -> orphan.
@@ -206,8 +260,8 @@ std::vector<RawFile> MftScanner::index_orphans() {
   return out;
 }
 
-std::optional<std::uint64_t> MftScanner::find(std::string_view path) {
-  const auto files = scan();
+std::optional<std::uint64_t> MftScanner::find_in(
+    const std::vector<RawFile>& files, std::string_view path) {
   std::string_view stripped = path;
   if (stripped.size() >= 2 && stripped[1] == ':') stripped.remove_prefix(2);
   while (!stripped.empty() && stripped.front() == '\\') {
@@ -217,6 +271,10 @@ std::optional<std::uint64_t> MftScanner::find(std::string_view path) {
     if (iequals(f.path, stripped)) return f.record;
   }
   return std::nullopt;
+}
+
+std::optional<std::uint64_t> MftScanner::find(std::string_view path) {
+  return find_in(scan(), path);
 }
 
 }  // namespace gb::ntfs

@@ -15,6 +15,7 @@
 
 #include "disk/disk.h"
 #include "ntfs/mft_record.h"
+#include "support/thread_pool.h"
 
 namespace gb::ntfs {
 
@@ -43,7 +44,22 @@ class MftScanner {
   /// (broken or cyclic parent chains) are reported under "<orphan>\".
   /// Records that fail to parse (disk corruption, torn writes) are
   /// skipped and counted — a forensic scanner must survive them.
-  std::vector<RawFile> scan();
+  ///
+  /// Record parsing proceeds in fixed-size batches; with a pool the
+  /// batches run concurrently (each through its own CountingDevice, so
+  /// the I/O accounting in last_scan_stats() is identical at any worker
+  /// count), and batch outputs merge in record order. The result is
+  /// byte-identical to the serial walk.
+  std::vector<RawFile> scan(support::ThreadPool* pool = nullptr,
+                            std::uint32_t batch_records = 0);
+
+  /// Default record-batch granularity for scan(); small enough to
+  /// balance across workers, large enough to amortize task overhead.
+  static constexpr std::uint32_t kDefaultScanBatch = 1024;
+
+  /// Deterministic I/O accounting for the last scan() (bytes and seeks
+  /// accumulated batch-by-batch in record order).
+  const disk::IoStats& last_scan_stats() const { return scan_stats_; }
 
   /// Live-looking records that failed to parse during the last scan().
   std::size_t corrupt_records() const { return corrupt_records_; }
@@ -65,16 +81,24 @@ class MftScanner {
   /// Case-insensitive path lookup over the raw structures.
   std::optional<std::uint64_t> find(std::string_view path);
 
+  /// Case-insensitive lookup in an already-scanned listing (lets callers
+  /// resolve many paths from one scan() instead of rescanning per path).
+  static std::optional<std::uint64_t> find_in(
+      const std::vector<RawFile>& files, std::string_view path);
+
   std::uint32_t record_capacity() const { return mft_record_count_; }
 
  private:
   MftRecord load_record(std::uint64_t number);
   bool record_live(std::uint64_t number);
+  MftRecord load_record_from(disk::SectorDevice& dev, std::uint64_t number);
+  bool record_live_from(disk::SectorDevice& dev, std::uint64_t number);
 
   disk::SectorDevice& dev_;
   std::uint64_t mft_start_cluster_ = 0;
   std::uint32_t mft_record_count_ = 0;
   std::size_t corrupt_records_ = 0;
+  disk::IoStats scan_stats_;
 };
 
 }  // namespace gb::ntfs

@@ -1,0 +1,153 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gb::support {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its index.
+// Lets push() target the local deque and parallel_for() help-drain the
+// right queues when invoked from inside a task.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  {
+    // Serialize with workers between their predicate check and sleep.
+    std::lock_guard<std::mutex> g(sleep_mutex_);
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::push(std::function<void()> task) {
+  std::size_t target;
+  if (tls_pool == this) {
+    target = tls_index;  // worker: keep work local, let others steal
+  } else {
+    target = next_queue_.fetch_add(1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> g(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> g(sleep_mutex_);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_run_one(std::size_t home) {
+  const std::size_t n = queues_.size();
+  std::function<void()> task;
+  // Own deque first, newest-first (the task most likely still in cache).
+  if (home < n) {
+    std::lock_guard<std::mutex> g(queues_[home]->mutex);
+    if (!queues_[home]->tasks.empty()) {
+      task = std::move(queues_[home]->tasks.back());
+      queues_[home]->tasks.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal oldest-first from the other deques.
+    for (std::size_t k = 1; k <= n && !task; ++k) {
+      const std::size_t victim = (home + k) % n;
+      if (victim == home) continue;
+      std::lock_guard<std::mutex> g(queues_[victim]->mutex);
+      if (!queues_[victim]->tasks.empty()) {
+        task = std::move(queues_[victim]->tasks.front());
+        queues_[victim]->tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_pool = this;
+  tls_index = index;
+  for (;;) {
+    if (try_run_one(index)) continue;
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    wake_.wait(lk, [this] {
+      return stop_.load() || pending_.load() > 0;
+    });
+    if (stop_.load() && pending_.load() == 0) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (queues_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto drain = [&] {
+    for (std::size_t i; (i = next.fetch_add(1)) < n;) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      done.fetch_add(1);
+    }
+  };
+
+  // One helper per worker (capped at n-1: the caller takes at least one
+  // index). Helpers that arrive after the caller has drained everything
+  // see the exhausted counter and exit immediately.
+  const std::size_t helpers = std::min(threads_.size(), n - 1);
+  std::atomic<std::size_t> helpers_exited{0};
+  for (std::size_t h = 0; h < helpers; ++h) {
+    push([&] {
+      drain();
+      helpers_exited.fetch_add(1);
+    });
+  }
+
+  drain();
+
+  // Help instead of blocking — ever. A straggler index may be waiting on
+  // tasks queued behind our helpers, and a not-yet-started helper may sit
+  // in the deque of a thread that is itself waiting; blocking on either
+  // deadlocks when every executor reaches this point (nested
+  // parallel_for). So keep executing pool work until every index is done
+  // AND every helper has left this stack frame's captured state.
+  const std::size_t home =
+      tls_pool == this ? tls_index : queues_.size();
+  while (done.load() < n || helpers_exited.load() < helpers) {
+    if (!try_run_one(home)) std::this_thread::yield();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gb::support

@@ -1,0 +1,99 @@
+// Fixed-size work-stealing thread pool — the scan engine's substrate.
+//
+// The paper's cross-view diff is embarrassingly parallel: each resource
+// type is scanned and diffed independently, and the Section 5 injected
+// scan unions one high-level scan per running process. This pool supplies
+// the concurrency those workloads need while keeping the rest of the
+// system deterministic:
+//
+//   * each worker owns a deque; it pops its own work LIFO (cache-warm)
+//     and steals the oldest task FIFO from a victim when empty;
+//   * submit() returns a std::future and may be called from any thread
+//     (external submitters round-robin across worker deques, workers
+//     push to their own);
+//   * parallel_for() runs an index space with the *calling thread
+//     participating*, and while waiting for stragglers the caller helps
+//     drain pool queues — so nested parallel_for calls from inside tasks
+//     cannot deadlock, even on a single-worker pool;
+//   * a pool with zero workers degenerates to inline execution on the
+//     calling thread, which is the serial reference path the
+//     determinism tests compare against.
+//
+// Rule for tasks: never block on a future inside a task (that can wait
+// on work queued behind the blocker); express nested fan-out with
+// parallel_for, which helps instead of blocking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gb::support {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `workers` background threads. Zero is valid and
+  /// makes every submit()/parallel_for() run inline on the caller.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of background worker threads (not counting callers that
+  /// participate through parallel_for).
+  std::size_t size() const { return threads_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. Exceptions
+  /// thrown by `fn` propagate through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    if (queues_.empty()) {
+      (*task)();  // zero-worker pool: inline execution
+    } else {
+      push([task] { (*task)(); });
+    }
+    return fut;
+  }
+
+  /// Runs fn(0..n-1), blocking until all indices complete. The calling
+  /// thread executes indices itself; pool workers join in as they free
+  /// up. The first exception thrown by any index is rethrown here after
+  /// the whole index space has been drained.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void push(std::function<void()> task);
+  /// Runs one task if any queue has one: own deque back-first when
+  /// `home` < size(), then steal the oldest task from the others.
+  bool try_run_one(std::size_t home);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace gb::support

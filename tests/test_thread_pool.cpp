@@ -1,0 +1,108 @@
+// Work-stealing pool semantics: futures, inline zero-worker mode,
+// parallel_for coverage, exception propagation, nested fan-out.
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace gb::support {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsFutureResult) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "no indices to run"; });
+  int x = 0;
+  pool.parallel_for(1, [&](std::size_t i) { x = static_cast<int>(i) + 1; });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsAfterDrainingIndexSpace) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      ++ran;
+      if (i == 13) throw std::runtime_error("bad index");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "bad index");
+  }
+  EXPECT_EQ(ran.load(), 100);  // one failure does not cancel the rest
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Every outer index issues an inner parallel_for on the same pool; the
+  // caller-helps design must keep a small pool making progress.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ManySubmissionsStress) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  futs.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    futs.push_back(pool.submit([i] { return i; }));
+  }
+  long sum = 0;
+  for (auto& f : futs) sum += f.get();
+  EXPECT_EQ(sum, 499L * 500 / 2);
+}
+
+TEST(ThreadPool, SubmitFromInsideATask) {
+  ThreadPool pool(2);
+  // A task may enqueue more work (it must not block on it); the new
+  // future is claimable from outside once the outer task returns it.
+  auto outer = pool.submit([&] { return pool.submit([] { return 7; }); });
+  auto inner = outer.get();
+  EXPECT_EQ(inner.get(), 7);
+}
+
+}  // namespace
+}  // namespace gb::support
