@@ -12,7 +12,7 @@
 #include "core/cross_time.h"
 #include "core/differ.h"
 #include "core/file_scans.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "machine/machine.h"
 #include "support/rng.h"
 
@@ -73,11 +73,12 @@ void print_table() {
   const auto filtered =
       core::filter_noise(ct.changes, core::default_noise_patterns());
 
-  const auto report = core::GhostBuster(m).inside_scan([] {
-    core::Options o;
-    o.scan_registry = o.scan_processes = o.scan_modules = false;
-    return o;
-  }());
+  const auto report = core::ScanEngine(m, [] {
+    core::ScanConfig scan_cfg;
+    scan_cfg.resources = core::ResourceMask::kFiles;
+    scan_cfg.parallelism = 1;
+    return scan_cfg;
+  }()).inside_scan();
   const auto cross_view_noise = report.all_hidden().size();
 
   std::printf("%-46s %zu changes (%zu after noise filtering)\n",

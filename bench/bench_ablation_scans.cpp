@@ -12,7 +12,6 @@
 
 #include "bench/bench_util.h"
 #include "core/file_scans.h"
-#include "core/ghostbuster.h"
 #include "core/hook_detector.h"
 #include "core/registry_scans.h"
 #include "core/scan_engine.h"
@@ -181,9 +180,10 @@ void print_table() {
     for (const auto& h : hooks) {
       if (h.info.owner == owner) hooked = true;
     }
-    core::Options o;
-    o.advanced_mode = true;
-    const auto report = core::GhostBuster(m).inside_scan(o);
+    core::ScanConfig scan_cfg;
+    scan_cfg.processes.scheduler_view = true;
+    scan_cfg.parallelism = 1;
+    const auto report = core::ScanEngine(m, scan_cfg).inside_scan();
     const bool diffed = report.infection_detected();
     ++total;
     hook_caught += hooked;

@@ -4,7 +4,7 @@
 #include "core/ads_scan.h"
 #include "core/anomaly.h"
 #include "core/hook_detector.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/ads_stasher.h"
 #include "malware/indexghost.h"
 #include "malware/collection.h"
@@ -21,10 +21,11 @@ machine::MachineConfig cfgs() {
   return cfg;
 }
 
-core::Options files_only() {
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  return o;
+core::ScanConfig files_only() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kFiles;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 void print_table() {
@@ -37,9 +38,9 @@ void print_table() {
     malware::install_ghostware<malware::HackerDefender>(
         m, std::vector<std::string>{"rcmd*"},
         malware::TargetPolicy::only({"taskmgr.exe", "tlist.exe"}));
-    core::GhostBuster gb(m);
-    const bool plain = gb.inside_scan(files_only()).infection_detected();
-    const bool injected = gb.injected_scan(files_only()).infection_detected();
+    core::ScanEngine gb(m, files_only());
+    const bool plain = gb.inside_scan().infection_detected();
+    const bool injected = gb.injected_scan().infection_detected();
     std::printf("%-52s %-10s %-10s %-22s %s\n",
                 "HxDef hiding only from taskmgr/tlist",
                 plain ? "detected" : "missed",
@@ -50,9 +51,9 @@ void print_table() {
     machine::Machine m(cfgs());
     malware::install_ghostware<malware::Vanquish>(
         m, malware::TargetPolicy::everyone_except({"ghostbuster.exe"}));
-    core::GhostBuster gb(m);
-    const bool plain = gb.inside_scan(files_only()).infection_detected();
-    const bool injected = gb.injected_scan(files_only()).infection_detected();
+    core::ScanEngine gb(m, files_only());
+    const bool plain = gb.inside_scan().infection_detected();
+    const bool injected = gb.injected_scan().infection_detected();
     std::printf("%-52s %-10s %-10s %-22s %s\n",
                 "Vanquish exempting ghostbuster.exe",
                 plain ? "detected" : "missed",
@@ -62,9 +63,9 @@ void print_table() {
   {  // ordinary (untargeted) hiding: both modes catch it
     machine::Machine m(cfgs());
     malware::install_ghostware<malware::HackerDefender>(m);
-    core::GhostBuster gb(m);
-    const bool plain = gb.inside_scan(files_only()).infection_detected();
-    const bool injected = gb.injected_scan(files_only()).infection_detected();
+    core::ScanEngine gb(m, files_only());
+    const bool plain = gb.inside_scan().infection_detected();
+    const bool injected = gb.injected_scan().infection_detected();
     std::printf("%-52s %-10s %-10s %-22s %s\n", "HxDef hiding from everyone",
                 plain ? "detected" : "missed",
                 injected ? "detected" : "missed", "detected / detected",
@@ -73,10 +74,10 @@ void print_table() {
   {  // eTrust dilemma
     machine::Machine m(cfgs());
     malware::install_ghostware<malware::HackerDefender>(m);
-    core::GhostBuster gb(m);
-    core::Options av = files_only();
+    core::ScanConfig av = files_only();
     av.scanner_image = "inocit.exe";
-    const bool from_av = gb.inside_scan(av).infection_detected();
+    const bool from_av =
+        core::ScanEngine(m, av).inside_scan().infection_detected();
     std::printf("%-52s %-10s %-10s %-22s %s\n",
                 "GhostBuster DLL injected into eTrust InocIT.exe", "-",
                 from_av ? "detected" : "missed", "detected",
@@ -90,7 +91,7 @@ void print_table() {
     }
     auto hider = std::make_shared<malware::Aphex>("innocent");
     hider->install(m);
-    const auto report = core::GhostBuster(m).inside_scan(files_only());
+    const auto report = core::ScanEngine(m, files_only()).inside_scan();
     const auto a = core::assess_anomaly(report.diffs);
     std::printf("%-52s %-10zu %-10s %-22s %s\n",
                 "mass hiding (100 innocent files + ghostware)",
@@ -100,8 +101,8 @@ void print_table() {
   {  // directory-index unlinking (data-only persistent file hiding)
     machine::Machine m(cfgs());
     auto ghost = malware::install_ghostware<malware::IndexGhost>(m);
-    core::GhostBuster gb(m);
-    const bool inside = gb.inside_scan(files_only()).infection_detected();
+    core::ScanEngine gb(m, files_only());
+    const bool inside = gb.inside_scan().infection_detected();
     const bool hooks_seen =
         !core::suspicious_hooks(m, {}).empty();
     std::printf("%-52s %-10s %-10s %-22s %s\n",
@@ -114,8 +115,8 @@ void print_table() {
   {  // ADS stashing (Section 6 future work, implemented here)
     machine::Machine m(cfgs());
     auto stasher = malware::install_ghostware<malware::AdsStasher>(m);
-    core::GhostBuster gb(m);
-    const bool classic = gb.inside_scan(files_only()).infection_detected();
+    core::ScanEngine gb(m, files_only());
+    const bool classic = gb.inside_scan().infection_detected();
     const auto ads = core::ads_scan(m);
     std::printf("%-52s %-10s %-10s %-22s %s\n",
                 "payload in alternate data stream",
@@ -129,9 +130,9 @@ void print_table() {
 void BM_InjectedScanAllProcesses(benchmark::State& state) {
   machine::Machine m(cfgs());
   malware::install_ghostware<malware::HackerDefender>(m);
-  core::GhostBuster gb(m);
+  core::ScanEngine gb(m, files_only());
   for (auto _ : state) {
-    auto report = gb.injected_scan(files_only());
+    auto report = gb.injected_scan();
     benchmark::DoNotOptimize(report);
   }
 }
@@ -140,9 +141,9 @@ BENCHMARK(BM_InjectedScanAllProcesses)->Unit(benchmark::kMillisecond);
 void BM_PlainScanForComparison(benchmark::State& state) {
   machine::Machine m(cfgs());
   malware::install_ghostware<malware::HackerDefender>(m);
-  core::GhostBuster gb(m);
+  core::ScanEngine gb(m, files_only());
   for (auto _ : state) {
-    auto report = gb.inside_scan(files_only());
+    auto report = gb.inside_scan();
     benchmark::DoNotOptimize(report);
   }
 }

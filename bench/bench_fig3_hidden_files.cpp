@@ -2,7 +2,8 @@
 // ghostware programs, plus wall-clock cost of the inside-the-box file
 // scan at several machine sizes.
 #include "bench/bench_util.h"
-#include "core/ghostbuster.h"
+#include "core/file_scans.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 #include "support/strings.h"
 
@@ -17,10 +18,11 @@ machine::MachineConfig bench_config(std::size_t files = 200) {
   return cfg;
 }
 
-core::Options files_only() {
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  return o;
+core::ScanConfig files_only() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kFiles;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 /// Paper's expected hidden-file counts per row ("3+" means at least).
@@ -51,7 +53,7 @@ void print_table() {
   for (std::size_t i = 0; i < collection.size(); ++i) {
     machine::Machine m(bench_config());
     const auto ghost = collection[i].install(m);
-    const auto report = core::GhostBuster(m).inside_scan(files_only());
+    const auto report = core::ScanEngine(m, files_only()).inside_scan();
     const auto* diff = report.diff_for(core::ResourceType::kFile);
 
     // Exactness: the findings must be precisely the manifest's hidden set.
@@ -77,9 +79,9 @@ void print_table() {
 void BM_InsideFileScan(benchmark::State& state) {
   machine::Machine m(bench_config(static_cast<std::size_t>(state.range(0))));
   malware::install_ghostware<malware::HackerDefender>(m);
-  core::GhostBuster gb(m);
+  core::ScanEngine gb(m, files_only());
   for (auto _ : state) {
-    auto report = gb.inside_scan(files_only());
+    auto report = gb.inside_scan();
     benchmark::DoNotOptimize(report);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -102,8 +104,8 @@ void BM_CrossViewDiffOnly(benchmark::State& state) {
   machine::Machine m(bench_config(static_cast<std::size_t>(state.range(0))));
   const auto ctx = m.context_for(m.ensure_process(
       "C:\\windows\\system32\\ghostbuster.exe"));
-  const auto high = core::high_level_file_scan(m, ctx);
-  const auto low = core::low_level_file_scan(m);
+  const auto high = core::high_level_file_scan(m, ctx).value();
+  const auto low = core::low_level_file_scan(m).value();
   for (auto _ : state) {
     auto diff = core::cross_view_diff(high, low);
     benchmark::DoNotOptimize(diff);

@@ -1,7 +1,8 @@
 // Figure 4: GhostBuster hidden ASEP hook detection for the six
 // registry-hiding programs; Section 3 reports 18–63 s inside-the-box.
 #include "bench/bench_util.h"
-#include "core/ghostbuster.h"
+#include "core/registry_scans.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 #include "support/strings.h"
 
@@ -16,10 +17,11 @@ machine::MachineConfig bench_config() {
   return cfg;
 }
 
-core::Options registry_only() {
-  core::Options o;
-  o.scan_files = o.scan_processes = o.scan_modules = false;
-  return o;
+core::ScanConfig registry_only() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kAseps;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 /// Expected hidden-hook count per Figure 4 row (Urbin, Mersting,
@@ -36,7 +38,7 @@ void print_table() {
   for (std::size_t i = 0; i < collection.size(); ++i) {
     machine::Machine m(bench_config());
     const auto ghost = collection[i].install(m);
-    const auto report = core::GhostBuster(m).inside_scan(registry_only());
+    const auto report = core::ScanEngine(m, registry_only()).inside_scan();
     const auto* diff = report.diff_for(core::ResourceType::kAsepHook);
 
     std::set<std::string> expected, actual;
@@ -66,9 +68,9 @@ void BM_InsideRegistryScan(benchmark::State& state) {
   cfg.synthetic_registry_keys = static_cast<std::size_t>(state.range(0));
   machine::Machine m(cfg);
   malware::install_ghostware<malware::ProBotSe>(m);
-  core::GhostBuster gb(m);
+  core::ScanEngine gb(m, registry_only());
   for (auto _ : state) {
-    auto report = gb.inside_scan(registry_only());
+    auto report = gb.inside_scan();
     benchmark::DoNotOptimize(report);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));

@@ -3,7 +3,7 @@
 // Vanquish's blanked vanquish.dll in many processes. Section 4 reports
 // 1–5 s for the combined scan.
 #include "bench/bench_util.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 #include "support/strings.h"
 
@@ -18,11 +18,12 @@ machine::MachineConfig bench_config() {
   return cfg;
 }
 
-core::Options proc_only(bool advanced) {
-  core::Options o;
-  o.scan_files = o.scan_registry = o.scan_modules = false;
-  o.advanced_mode = advanced;
-  return o;
+core::ScanConfig proc_only(bool advanced) {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kProcesses;
+  cfg.processes.scheduler_view = advanced;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 std::size_t hidden_matching(const core::Report& r, core::ResourceType type,
@@ -51,13 +52,12 @@ void print_table() {
     const std::string needle = ghost->manifest().hidden_processes.empty()
                                    ? std::string("?")
                                    : ghost->manifest().hidden_processes[0];
-    core::GhostBuster gb(m);
-    const auto basic =
-        hidden_matching(gb.inside_scan(proc_only(false)),
-                        core::ResourceType::kProcess, needle);
-    const auto advanced =
-        hidden_matching(gb.inside_scan(proc_only(true)),
-                        core::ResourceType::kProcess, needle);
+    const auto basic = hidden_matching(
+        core::ScanEngine(m, proc_only(false)).inside_scan(),
+        core::ResourceType::kProcess, needle);
+    const auto advanced = hidden_matching(
+        core::ScanEngine(m, proc_only(true)).inside_scan(),
+        core::ResourceType::kProcess, needle);
     std::printf("%-22s %-30s %-9s %-9s %s\n", entry.display_name.c_str(),
                 needle.c_str(), basic ? "detected" : "missed",
                 advanced ? "detected" : "missed",
@@ -71,13 +71,12 @@ void print_table() {
     const auto victim =
         m.spawn_process("C:\\windows\\system32\\notepad.exe").pid();
     fu->hide_process(m, victim);
-    core::GhostBuster gb(m);
-    const auto basic = hidden_matching(gb.inside_scan(proc_only(false)),
-                                       core::ResourceType::kProcess,
-                                       "notepad.exe");
-    const auto advanced = hidden_matching(gb.inside_scan(proc_only(true)),
-                                          core::ResourceType::kProcess,
-                                          "notepad.exe");
+    const auto basic = hidden_matching(
+        core::ScanEngine(m, proc_only(false)).inside_scan(),
+        core::ResourceType::kProcess, "notepad.exe");
+    const auto advanced = hidden_matching(
+        core::ScanEngine(m, proc_only(true)).inside_scan(),
+        core::ResourceType::kProcess, "notepad.exe");
     std::printf("%-22s %-30s %-9s %-9s %s\n", "FU (fu -ph <pid>)",
                 "notepad.exe (DKOM)", basic ? "detected" : "missed",
                 advanced ? "detected" : "missed",
@@ -88,9 +87,10 @@ void print_table() {
   {
     machine::Machine m(bench_config());
     malware::install_ghostware<malware::Vanquish>(m);
-    core::Options o;
-    o.scan_files = o.scan_registry = o.scan_processes = false;
-    const auto report = core::GhostBuster(m).inside_scan(o);
+    core::ScanConfig mod_cfg;
+    mod_cfg.resources = core::ResourceMask::kModules;
+    mod_cfg.parallelism = 1;
+    const auto report = core::ScanEngine(m, mod_cfg).inside_scan();
     const auto entries = hidden_matching(report, core::ResourceType::kModule,
                                          "vanquish.dll");
     std::printf("%-22s %-30s %-9s %-9s %s  (%zu processes)\n", "Vanquish",
@@ -107,12 +107,13 @@ void print_table() {
 void BM_CombinedProcessModuleScan(benchmark::State& state) {
   machine::Machine m(bench_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  core::GhostBuster gb(m);
-  core::Options o;
-  o.scan_files = o.scan_registry = false;
-  o.advanced_mode = state.range(0) != 0;
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kProcesses | core::ResourceMask::kModules;
+  cfg.processes.scheduler_view = state.range(0) != 0;
+  cfg.parallelism = 1;
+  core::ScanEngine gb(m, cfg);
   for (auto _ : state) {
-    auto report = gb.inside_scan(o);
+    auto report = gb.inside_scan();
     benchmark::DoNotOptimize(report);
   }
 }

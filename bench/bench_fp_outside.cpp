@@ -5,7 +5,7 @@
 //     once CCM was disabled;
 //   * Section 5's VM variant: zero FPs (both scans see the same image).
 #include "bench/bench_util.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "machine/services.h"
 #include "malware/hackerdefender.h"
 
@@ -21,15 +21,16 @@ machine::MachineConfig fp_config(bool ccm) {
   return cfg;
 }
 
-core::Options files_and_registry() {
-  core::Options o;
-  o.scan_processes = o.scan_modules = false;
-  return o;
+core::ScanConfig files_and_registry() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kFiles | core::ResourceMask::kAseps;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 std::size_t outside_file_fps(machine::Machine& m) {
-  core::GhostBuster gb(m);
-  const auto report = gb.outside_scan(files_and_registry());
+  core::ScanEngine gb(m, files_and_registry());
+  const auto report = gb.outside_scan();
   const auto* files = report.diff_for(core::ResourceType::kFile);
   return files ? files->hidden.size() : 0;
 }
@@ -44,7 +45,7 @@ void print_table() {
     machine::Machine m(fp_config(true));
     m.run_for(VirtualClock::seconds(600));
     const auto report =
-        core::GhostBuster(m).inside_scan(files_and_registry());
+        core::ScanEngine(m, files_and_registry()).inside_scan();
     const auto fps = report.all_hidden().size();
     std::printf("%-44s %-9zu %-16s %s\n", "inside-the-box, busy machine",
                 fps, "0", bench::mark(fps == 0));
@@ -75,10 +76,10 @@ void print_table() {
   {  // VM variant: halt (no shutdown-window writes), scan from host.
     machine::Machine vm(fp_config(false));
     malware::install_ghostware<malware::HackerDefender>(vm);
-    core::GhostBuster gb(vm);
-    const auto cap = gb.capture_inside_high(files_and_registry());
+    core::ScanEngine gb(vm, files_and_registry());
+    const auto cap = gb.capture_inside_high();
     vm.bluescreen();  // host powers the VM down; no shutdown activity
-    const auto report = gb.outside_diff(cap, files_and_registry());
+    const auto report = gb.outside_diff(cap);
     const auto* files = report.diff_for(core::ResourceType::kFile);
     std::size_t fps = 0;
     for (const auto& f : files->hidden) {
@@ -100,9 +101,9 @@ void BM_OutsideScanFull(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     machine::Machine m(fp_config(false));
-    core::GhostBuster gb(m);
+    core::ScanEngine gb(m, files_and_registry());
     state.ResumeTiming();
-    auto report = gb.outside_scan(files_and_registry());
+    auto report = gb.outside_scan();
     benchmark::DoNotOptimize(report);
   }
 }

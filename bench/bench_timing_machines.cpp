@@ -16,7 +16,7 @@
 // scaling matches what the real scanners charge), then scaled to sizes
 // that would not fit in a laptop-scale simulation.
 #include "bench/bench_util.h"
-#include "core/ghostbuster.h"
+#include "core/file_scans.h"
 #include "machine/profile.h"
 #include "malware/hackerdefender.h"
 
@@ -82,8 +82,8 @@ void validate_against_simulation() {
   malware::install_ghostware<malware::HackerDefender>(m);
   const auto ctx =
       m.context_for(m.ensure_process("C:\\windows\\system32\\ghostbuster.exe"));
-  const auto high = core::high_level_file_scan(m, ctx);
-  const auto low = core::low_level_file_scan(m);
+  const auto high = core::high_level_file_scan(m, ctx).value();
+  const auto low = core::low_level_file_scan(m).value();
   const double live = static_cast<double>(m.volume().live_record_count());
   std::printf(
       "calibration: %.0f live records; high-level walk charged %.2f visits "

@@ -11,7 +11,7 @@
 //   $ ./examples/av_integration
 #include <cstdio>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/hackerdefender.h"
 #include "support/strings.h"
 

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/anomaly.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 
 int main() {

@@ -9,7 +9,7 @@
 //   $ ./examples/forensics_workflow
 #include <cstdio>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "core/removal.h"
 #include "malware/hackerdefender.h"
 
@@ -17,20 +17,19 @@ int main() {
   using namespace gb;
   machine::Machine m;
   auto hxdef = malware::install_ghostware<malware::HackerDefender>(m);
-  core::GhostBuster gb(m);
 
   // Step 1: quick hidden-process scan — seconds.
-  core::Options quick;
-  quick.scan_files = quick.scan_registry = quick.scan_modules = false;
-  const auto proc_report = gb.inside_scan(quick);
+  core::ScanConfig quick;
+  quick.resources = core::ResourceMask::kProcesses;
+  const auto proc_report = core::ScanEngine(m, quick).inside_scan();
   std::printf("[1] hidden-process scan (%.1f simulated s): %s\n",
               proc_report.total_simulated_seconds,
               proc_report.infection_detected() ? "INFECTED" : "clean");
 
   // Step 2: locate the hidden ASEP hooks — under a minute.
-  core::Options reg;
-  reg.scan_files = reg.scan_processes = reg.scan_modules = false;
-  const auto reg_report = gb.inside_scan(reg);
+  core::ScanConfig reg;
+  reg.resources = core::ResourceMask::kAseps;
+  const auto reg_report = core::ScanEngine(m, reg).inside_scan();
   std::printf("[2] hidden-ASEP scan (%.1f simulated s):\n",
               reg_report.total_simulated_seconds);
   for (const auto& f : reg_report.all_hidden()) {
@@ -39,7 +38,7 @@ int main() {
 
   // Step 3: full scan, then the removal workflow: delete hooks, reboot
   // (auto-start guard fails, rootkit stays down), delete visible files.
-  const auto full = gb.inside_scan();
+  const auto full = core::ScanEngine(m).inside_scan();
   const auto outcome = core::remove_ghostware(m, full);
   std::printf(
       "[3] removal: %zu hooks deleted, rebooted, %zu files deleted\n",

@@ -6,8 +6,12 @@
 // VM down, scan the .img from the host).
 //
 //   ghostbuster_cli [--infect name[,name...]] [--mode inside|injected|outside]
-//                   [--advanced] [--ads] [--attribute] [--remove] [--json]
-//                   [--save-image FILE | --scan-image FILE] [--seed N]
+//                   [--advanced] [--ads] [--attribute] [--remove]
+//                   [--json [FILE]] [--save-image FILE | --scan-image FILE]
+//                   [--seed N]
+//
+//   --json emits the schema-v2.1 machine-readable report on stdout, or
+//   into FILE when one is given (for SIEM/automation pipelines).
 //
 //   names: urbin mersting vanquish aphex hackerdefender probotse
 //          hidefiles berbew fu adsstasher indexghost
@@ -25,7 +29,9 @@
 
 #include "core/ads_scan.h"
 #include "core/attribution.h"
-#include "core/ghostbuster.h"
+#include "core/file_scans.h"
+#include "core/registry_scans.h"
+#include "core/scan_engine.h"
 #include "core/removal.h"
 #include "malware/ads_stasher.h"
 #include "malware/indexghost.h"
@@ -86,6 +92,7 @@ int main(int argc, char** argv) {
   std::string save_image, scan_image;
   bool advanced = false, ads = false, attribute = false, remove = false;
   bool json = false;
+  std::string json_path;
   std::uint64_t seed = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -103,7 +110,10 @@ int main(int argc, char** argv) {
     else if (arg == "--ads") ads = true;
     else if (arg == "--attribute") attribute = true;
     else if (arg == "--remove") remove = true;
-    else if (arg == "--json") json = true;
+    else if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    }
     else if (arg == "--save-image") save_image = need_value();
     else if (arg == "--scan-image") scan_image = need_value();
     else if (arg == "--seed") seed = std::stoull(need_value());
@@ -116,13 +126,25 @@ int main(int argc, char** argv) {
 
   // Offline mode: scan a saved disk image file from "the host".
   if (!scan_image.empty()) {
-    auto disk = disk::MemDisk::load_image(scan_image);
+    auto loaded = disk::MemDisk::load_image_or(scan_image);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", scan_image.c_str(),
+                   loaded.status().to_string().c_str());
+      return 3;
+    }
+    auto& disk = *loaded;
     const auto files = core::outside_file_scan(disk);
     const auto aseps = core::outside_registry_scan(disk);
+    if (!files.ok() || !aseps.ok()) {
+      const auto& bad = files.ok() ? aseps.status() : files.status();
+      std::fprintf(stderr, "image scan failed: %s\n",
+                   bad.to_string().c_str());
+      return 3;
+    }
     std::printf("offline image scan of %s:\n  %zu files, %zu ASEP hooks "
                 "(clean-boot truth view)\n",
-                scan_image.c_str(), files.resources.size(),
-                aseps.resources.size());
+                scan_image.c_str(), files->resources.size(),
+                aseps->resources.size());
     const auto ads_report = core::ads_scan(disk);
     std::printf("  %zu suspicious alternate data stream(s)\n",
                 ads_report.hidden.size());
@@ -139,23 +161,36 @@ int main(int argc, char** argv) {
   std::vector<std::shared_ptr<malware::Ghostware>> installed;
   for (const auto& name : infections) installed.push_back(infect(m, name));
 
-  core::GhostBuster gb(m);
-  core::Options o;
-  o.advanced_mode = advanced;
+  core::ScanConfig scan_cfg;
+  scan_cfg.processes.scheduler_view = advanced;
+  core::ScanEngine gb(m, scan_cfg);
 
   core::Report report;
   if (mode == "inside") {
-    report = gb.inside_scan(o);
+    report = gb.inside_scan();
   } else if (mode == "injected") {
-    report = gb.injected_scan(o);
+    report = gb.injected_scan();
   } else if (mode == "outside") {
-    report = gb.outside_scan(o);
+    report = gb.outside_scan();
   } else {
     std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
     return 2;
   }
   if (json) {
-    std::printf("%s\n", report.to_json().c_str());
+    const auto payload = report.to_json();
+    if (json_path.empty()) {
+      std::printf("%s\n", payload.c_str());
+    } else {
+      std::FILE* out = std::fopen(json_path.c_str(), "w");
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 3;
+      }
+      std::fwrite(payload.data(), 1, payload.size(), out);
+      std::fputc('\n', out);
+      std::fclose(out);
+      std::printf("json report written to %s\n", json_path.c_str());
+    }
   } else {
     std::printf("%s", report.to_string().c_str());
     std::printf("simulated scan time: %.1f s\n",
@@ -175,7 +210,7 @@ int main(int argc, char** argv) {
     std::printf("\n%s", core::attribute_findings(m, report).to_string().c_str());
   }
   if (remove && m.running()) {
-    const auto outcome = core::remove_ghostware(m, report, o);
+    const auto outcome = core::remove_ghostware(m, report, scan_cfg);
     std::printf("\nremoval: %zu hooks deleted, %zu files deleted, %s\n",
                 outcome.hooks_removed, outcome.files_deleted,
                 outcome.clean() ? "machine clean" : "STILL INFECTED");

@@ -5,7 +5,7 @@
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/hackerdefender.h"
 
 int main() {
@@ -32,8 +32,9 @@ int main() {
               listing.size());
 
   // 3. Run GhostBuster: high-level API scan vs raw MFT / raw hive /
-  //    kernel-list scans, then diff.
-  core::GhostBuster gb(m);
+  //    kernel-list scans, then diff — one provider task graph, one
+  //    executor per core.
+  core::ScanEngine gb(m);
   const auto report = gb.inside_scan();
   std::printf("\n%s", report.to_string().c_str());
   std::printf("simulated scan time: %.1f s\n", report.total_simulated_seconds);

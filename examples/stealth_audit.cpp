@@ -13,7 +13,7 @@
 #include "core/anomaly.h"
 #include "core/attribution.h"
 #include "core/cross_time.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/ads_stasher.h"
 #include "malware/collection.h"
 
@@ -34,10 +34,9 @@ int main() {
   malware::install_ghostware<malware::AdsStasher>(m);
 
   // --- 1. cross-view scans, advanced mode ---------------------------------
-  core::GhostBuster gb(m);
-  core::Options o;
-  o.advanced_mode = true;
-  const auto report = gb.inside_scan(o);
+  core::ScanConfig audit;
+  audit.processes.scheduler_view = true;  // advanced mode: DKOM-proof
+  const auto report = core::ScanEngine(m, audit).inside_scan();
   std::printf("%s\n", report.to_string().c_str());
 
   // --- 2. ADS hunt ----------------------------------------------------------

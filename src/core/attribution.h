@@ -10,7 +10,7 @@
 // or clean-view-only artifact".
 #pragma once
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "core/hook_detector.h"
 
 namespace gb::core {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/scan_result.h"
+#include "support/status.h"
 #include "support/thread_pool.h"
 
 namespace gb::core {
@@ -41,6 +42,13 @@ struct DiffReport {
 
   double wall_seconds = 0;       // filled by the orchestrator
 
+  /// OK for a complete diff. Non-OK means one contributing view failed
+  /// (torn hive, scrubbed dump, trashed boot sector) and this diff is a
+  /// degraded placeholder: hidden/extra are empty, counts cover only the
+  /// views that completed, and `status` says what went wrong.
+  support::Status status;
+
+  [[nodiscard]] bool degraded() const { return !status.ok(); }
   [[nodiscard]] bool clean() const { return hidden.empty() && extra.empty(); }
 };
 

@@ -7,15 +7,19 @@
 
 namespace gb::core {
 
-ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx,
-                                support::ThreadPool* pool) {
+support::StatusOr<ScanResult> high_level_file_scan(machine::Machine& m,
+                                                   const winapi::Ctx& ctx,
+                                                   support::ThreadPool* pool) {
   ScanResult out;
   out.view_name = "Win32 FindFile walk (" + ctx.image_name + ")";
   out.type = ResourceType::kFile;
   out.trust = TrustLevel::kApiView;
 
   winapi::ApiEnv* env = m.win32().env(ctx.pid);
-  if (!env) throw std::invalid_argument("no API environment for context pid");
+  if (!env) {
+    return support::Status::failed_precondition(
+        "no API environment for context pid " + std::to_string(ctx.pid));
+  }
 
   // Level-parallel breadth-first walk: each frontier directory is listed
   // by one task, and listings merge in frontier order — so the resource
@@ -55,14 +59,17 @@ ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx,
   return out;
 }
 
-ScanResult low_level_file_scan(machine::Machine& m, support::ThreadPool* pool,
-                               std::uint32_t batch_records) {
+support::StatusOr<ScanResult> low_level_file_scan(machine::Machine& m,
+                                                  support::ThreadPool* pool,
+                                                  std::uint32_t batch_records) {
   ScanResult out;
   out.view_name = "raw MFT scan";
   out.type = ResourceType::kFile;
   out.trust = TrustLevel::kTruthApproximation;
 
-  ntfs::MftScanner scanner(m.disk());
+  auto opened = ntfs::MftScanner::open(m.disk());
+  if (!opened.ok()) return opened.status();
+  ntfs::MftScanner& scanner = *opened;
   for (const auto& f : scanner.scan(pool, batch_records)) {
     if (f.is_system) continue;
     const std::string full = "C:\\" + f.path;
@@ -77,22 +84,27 @@ ScanResult low_level_file_scan(machine::Machine& m, support::ThreadPool* pool,
   return out;
 }
 
-ScanResult outside_file_scan(disk::SectorDevice& dev) {
+support::StatusOr<ScanResult> outside_file_scan(disk::SectorDevice& dev) {
   ScanResult out;
   out.view_name = "WinPE clean-boot scan";
   out.type = ResourceType::kFile;
   out.trust = TrustLevel::kTruth;
 
-  ntfs::NtfsVolume vol(dev);  // fresh mount: no hooks, no filters
-  std::function<void(const std::string&)> walk = [&](const std::string& dir) {
-    for (const auto& e : vol.list_directory(dir)) {
-      const std::string full = join_path(dir, e.name);
-      out.resources.push_back(Resource{file_key(full), printable(full)});
-      ++out.work.records_visited;
-      if (e.is_directory) walk(full);
-    }
-  };
-  walk("C:");
+  try {
+    ntfs::NtfsVolume vol(dev);  // fresh mount: no hooks, no filters
+    std::function<void(const std::string&)> walk =
+        [&](const std::string& dir) {
+          for (const auto& e : vol.list_directory(dir)) {
+            const std::string full = join_path(dir, e.name);
+            out.resources.push_back(Resource{file_key(full), printable(full)});
+            ++out.work.records_visited;
+            if (e.is_directory) walk(full);
+          }
+        };
+    walk("C:");
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(e.what());
+  }
   out.normalize();
   return out;
 }

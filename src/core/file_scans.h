@@ -9,11 +9,17 @@
 // (level-parallel directory walk, chunked MFT batches) while producing a
 // result byte-identical to the serial path. A null pool — or a
 // zero-worker pool — is exactly the serial path.
+//
+// All scans return StatusOr: a dead scanner context is a
+// kFailedPrecondition, a disk whose NTFS structures no longer parse is
+// kCorrupt. The engine turns a non-OK scan into a degraded diff for that
+// one resource type instead of aborting the session.
 #pragma once
 
 #include "core/scan_result.h"
 #include "disk/disk.h"
 #include "machine/machine.h"
+#include "support/status.h"
 #include "support/thread_pool.h"
 
 namespace gb::core {
@@ -23,19 +29,20 @@ namespace gb::core {
 /// contents are simply absent from this view, as on real Windows.
 /// With a pool, each directory level's listings run concurrently and
 /// merge in frontier order.
-ScanResult high_level_file_scan(machine::Machine& m, const winapi::Ctx& ctx,
-                                support::ThreadPool* pool = nullptr);
+support::StatusOr<ScanResult> high_level_file_scan(
+    machine::Machine& m, const winapi::Ctx& ctx,
+    support::ThreadPool* pool = nullptr);
 
 /// Raw MFT scan of the running machine's disk. Bypasses the entire API
 /// stack, filter drivers included. NTFS metadata files are excluded, as
 /// the real tool must exclude $-files. With a pool the MFT records parse
 /// in chunked batches (`batch_records` 0 = scanner default).
-ScanResult low_level_file_scan(machine::Machine& m,
-                               support::ThreadPool* pool = nullptr,
-                               std::uint32_t batch_records = 0);
+support::StatusOr<ScanResult> low_level_file_scan(
+    machine::Machine& m, support::ThreadPool* pool = nullptr,
+    std::uint32_t batch_records = 0);
 
 /// Clean-boot scan of a (typically powered-off) disk: fresh volume mount,
 /// full native enumeration — no ghostware code is running.
-ScanResult outside_file_scan(disk::SectorDevice& dev);
+support::StatusOr<ScanResult> outside_file_scan(disk::SectorDevice& dev);
 
 }  // namespace gb::core

@@ -32,19 +32,22 @@ void from_infos(const std::vector<kernel::ProcessInfo>& infos,
 
 }  // namespace
 
-ScanResult high_level_process_scan(machine::Machine& m,
-                                   const winapi::Ctx& ctx) {
+support::StatusOr<ScanResult> high_level_process_scan(machine::Machine& m,
+                                                      const winapi::Ctx& ctx) {
   ScanResult out;
   out.view_name = "NtQuerySystemInformation (" + ctx.image_name + ")";
   out.type = ResourceType::kProcess;
   out.trust = TrustLevel::kApiView;
   winapi::ApiEnv* env = m.win32().env(ctx.pid);
-  if (!env) throw std::invalid_argument("no API environment for context pid");
+  if (!env) {
+    return support::Status::failed_precondition(
+        "no API environment for context pid " + std::to_string(ctx.pid));
+  }
   from_infos(env->nt_query_system_information(ctx), out);
   return out;
 }
 
-ScanResult low_level_process_scan(machine::Machine& m) {
+support::StatusOr<ScanResult> low_level_process_scan(machine::Machine& m) {
   ScanResult out;
   out.view_name = "driver: Active Process List walk";
   out.type = ResourceType::kProcess;
@@ -53,7 +56,7 @@ ScanResult low_level_process_scan(machine::Machine& m) {
   return out;
 }
 
-ScanResult advanced_process_scan(machine::Machine& m) {
+support::StatusOr<ScanResult> advanced_process_scan(machine::Machine& m) {
   ScanResult out;
   out.view_name = "driver: scheduler thread table walk (advanced mode)";
   out.type = ResourceType::kProcess;
@@ -62,7 +65,8 @@ ScanResult advanced_process_scan(machine::Machine& m) {
   return out;
 }
 
-ScanResult dump_process_scan(const kernel::KernelDump& dump) {
+support::StatusOr<ScanResult> dump_process_scan(
+    const kernel::KernelDump& dump) {
   ScanResult out;
   out.view_name = "kernel dump: thread-table traversal";
   out.type = ResourceType::kProcess;
@@ -71,14 +75,17 @@ ScanResult dump_process_scan(const kernel::KernelDump& dump) {
   return out;
 }
 
-ScanResult high_level_module_scan(machine::Machine& m,
-                                  const winapi::Ctx& ctx) {
+support::StatusOr<ScanResult> high_level_module_scan(machine::Machine& m,
+                                                     const winapi::Ctx& ctx) {
   ScanResult out;
   out.view_name = "toolhelp Module32 walk (" + ctx.image_name + ")";
   out.type = ResourceType::kModule;
   out.trust = TrustLevel::kApiView;
   winapi::ApiEnv* env = m.win32().env(ctx.pid);
-  if (!env) throw std::invalid_argument("no API environment for context pid");
+  if (!env) {
+    return support::Status::failed_precondition(
+        "no API environment for context pid " + std::to_string(ctx.pid));
+  }
 
   // Module enumeration is per process: only processes visible to the
   // toolhelp view can be asked for their modules at all.
@@ -92,7 +99,7 @@ ScanResult high_level_module_scan(machine::Machine& m,
   return out;
 }
 
-ScanResult low_level_module_scan(machine::Machine& m) {
+support::StatusOr<ScanResult> low_level_module_scan(machine::Machine& m) {
   ScanResult out;
   out.view_name = "driver: kernel module-truth walk";
   out.type = ResourceType::kModule;
@@ -107,7 +114,7 @@ ScanResult low_level_module_scan(machine::Machine& m) {
   return out;
 }
 
-ScanResult dump_module_scan(const kernel::KernelDump& dump) {
+support::StatusOr<ScanResult> dump_module_scan(const kernel::KernelDump& dump) {
   ScanResult out;
   out.view_name = "kernel dump: module traversal";
   out.type = ResourceType::kModule;

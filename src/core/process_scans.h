@@ -16,17 +16,20 @@
 #include "core/scan_result.h"
 #include "kernel/dump.h"
 #include "machine/machine.h"
+#include "support/status.h"
 
 namespace gb::core {
 
-ScanResult high_level_process_scan(machine::Machine& m,
-                                   const winapi::Ctx& ctx);
-ScanResult low_level_process_scan(machine::Machine& m);
-ScanResult advanced_process_scan(machine::Machine& m);
-ScanResult dump_process_scan(const kernel::KernelDump& dump);
+support::StatusOr<ScanResult> high_level_process_scan(machine::Machine& m,
+                                                      const winapi::Ctx& ctx);
+support::StatusOr<ScanResult> low_level_process_scan(machine::Machine& m);
+support::StatusOr<ScanResult> advanced_process_scan(machine::Machine& m);
+support::StatusOr<ScanResult> dump_process_scan(
+    const kernel::KernelDump& dump);
 
-ScanResult high_level_module_scan(machine::Machine& m, const winapi::Ctx& ctx);
-ScanResult low_level_module_scan(machine::Machine& m);
-ScanResult dump_module_scan(const kernel::KernelDump& dump);
+support::StatusOr<ScanResult> high_level_module_scan(machine::Machine& m,
+                                                     const winapi::Ctx& ctx);
+support::StatusOr<ScanResult> low_level_module_scan(machine::Machine& m);
+support::StatusOr<ScanResult> dump_module_scan(const kernel::KernelDump& dump);
 
 }  // namespace gb::core

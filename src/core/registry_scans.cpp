@@ -72,18 +72,63 @@ void extract_asep_hooks(const AsepFetchers& f, ScanResult& out) {
 
 /// Loads the standard hives from raw disk bytes into an offline registry.
 /// All backing files resolve against one pre-scanned listing, so the MFT
-/// is walked once rather than once per hive.
-registry::ConfigurationManager load_offline_registry(
-    ntfs::MftScanner& scanner, const std::vector<ntfs::RawFile>& files,
-    machine::ScanWork& work) {
+/// is walked once rather than once per hive. Each mount's payload read
+/// runs as its own task over a private CountingDevice, and the trees,
+/// byte counts, and seek counts merge in standard-mount order — so the
+/// result (and the work accounting) is identical at any worker count.
+/// One unparseable hive fails the whole view with kCorrupt: a partial
+/// ASEP catalogue would silently miss hooks, which is worse than an
+/// honest degraded diff.
+support::StatusOr<registry::ConfigurationManager> load_offline_registry(
+    disk::SectorDevice& base, const std::vector<ntfs::RawFile>& files,
+    support::ThreadPool* pool, machine::ScanWork& work) {
+  const auto& mounts = registry::standard_hive_mounts();
+
+  struct MountRead {
+    std::optional<std::uint64_t> record;
+    support::StatusOr<hive::Key> tree;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t seeks = 0;
+  };
+  std::vector<MountRead> reads(mounts.size());
+  for (std::size_t i = 0; i < mounts.size(); ++i) {
+    reads[i].record =
+        ntfs::MftScanner::find_in(files, mounts[i].backing_file);
+  }
+
+  auto read_one = [&](std::size_t i) {
+    MountRead& r = reads[i];
+    if (!r.record) return;  // hive file absent: skipped, as before
+    disk::CountingDevice dev(base);
+    auto scanner = ntfs::MftScanner::open(dev);
+    if (!scanner.ok()) {
+      r.tree = scanner.status();
+      return;
+    }
+    try {
+      const auto bytes = scanner->read_file_data(*r.record);
+      r.payload_bytes = bytes.size();
+      r.tree = hive::parse_hive_or(bytes);
+    } catch (const ParseError& e) {  // corrupt run list / record
+      r.tree = support::Status::corrupt(e.what());
+    }
+    r.seeks = dev.stats().seeks;
+  };
+  if (pool && pool->size() > 0 && reads.size() > 1) {
+    pool->parallel_for(reads.size(), read_one);
+  } else {
+    for (std::size_t i = 0; i < reads.size(); ++i) read_one(i);
+  }
+
   registry::ConfigurationManager offline;
-  for (const auto& mount : registry::standard_hive_mounts()) {
-    const auto rec = ntfs::MftScanner::find_in(files, mount.backing_file);
-    if (!rec) continue;
-    const auto bytes = scanner.read_file_data(*rec);
-    work.bytes_read += bytes.size();
-    offline.create_hive(mount.mount, mount.backing_file);
-    offline.load_hive(mount.mount, hive::parse_hive(bytes));
+  for (std::size_t i = 0; i < mounts.size(); ++i) {
+    MountRead& r = reads[i];
+    if (!r.record) continue;
+    work.bytes_read += r.payload_bytes;
+    work.seeks += r.seeks;
+    if (!r.tree.ok()) return r.tree.status();
+    offline.create_hive(mounts[i].mount, mounts[i].backing_file);
+    offline.load_hive(mounts[i].mount, std::move(r.tree.value()));
   }
   return offline;
 }
@@ -105,15 +150,18 @@ AsepFetchers offline_fetchers(const registry::ConfigurationManager& reg) {
 
 }  // namespace
 
-ScanResult high_level_registry_scan(machine::Machine& m,
-                                    const winapi::Ctx& ctx) {
+support::StatusOr<ScanResult> high_level_registry_scan(
+    machine::Machine& m, const winapi::Ctx& ctx) {
   ScanResult out;
   out.view_name = "Win32 Reg API scan (" + ctx.image_name + ")";
   out.type = ResourceType::kAsepHook;
   out.trust = TrustLevel::kApiView;
 
   winapi::ApiEnv* env = m.win32().env(ctx.pid);
-  if (!env) throw std::invalid_argument("no API environment for context pid");
+  if (!env) {
+    return support::Status::failed_precondition(
+        "no API environment for context pid " + std::to_string(ctx.pid));
+  }
 
   AsepFetchers f;
   f.subkeys = [env, &ctx](const std::string& key) {
@@ -131,9 +179,9 @@ ScanResult high_level_registry_scan(machine::Machine& m,
   return out;
 }
 
-ScanResult low_level_registry_scan(machine::Machine& m,
-                                   support::ThreadPool* pool,
-                                   bool flush_hives) {
+support::StatusOr<ScanResult> low_level_registry_scan(machine::Machine& m,
+                                                      support::ThreadPool* pool,
+                                                      bool flush_hives) {
   ScanResult out;
   out.view_name = "raw hive parse";
   out.type = ResourceType::kAsepHook;
@@ -143,30 +191,30 @@ ScanResult low_level_registry_scan(machine::Machine& m,
   // (The flush itself is why this is a truth *approximation*: privileged
   // ghostware could in principle tamper with the copy path.)
   if (flush_hives) m.flush_registry();
-  ntfs::MftScanner lookup(m.disk());
-  const auto files = lookup.scan(pool);
-  // The hive payloads are read serially through a private counter, so the
-  // seek accounting is deterministic at any worker count.
-  disk::CountingDevice hive_dev(m.disk());
-  ntfs::MftScanner scanner(hive_dev);
-  auto offline = load_offline_registry(scanner, files, out.work);
-  extract_asep_hooks(offline_fetchers(offline), out);
-  out.work.seeks += lookup.last_scan_stats().seeks + hive_dev.stats().seeks;
+  auto lookup = ntfs::MftScanner::open(m.disk());
+  if (!lookup.ok()) return lookup.status();
+  const auto files = lookup->scan(pool);
+  auto offline = load_offline_registry(m.disk(), files, pool, out.work);
+  if (!offline.ok()) return offline.status();
+  extract_asep_hooks(offline_fetchers(*offline), out);
+  out.work.seeks += lookup->last_scan_stats().seeks;
   out.normalize();
   return out;
 }
 
-ScanResult outside_registry_scan(disk::SectorDevice& dev,
-                                 support::ThreadPool* pool) {
+support::StatusOr<ScanResult> outside_registry_scan(
+    disk::SectorDevice& dev, support::ThreadPool* pool) {
   ScanResult out;
   out.view_name = "WinPE mounted-hive scan";
   out.type = ResourceType::kAsepHook;
   out.trust = TrustLevel::kTruth;
 
-  ntfs::MftScanner scanner(dev);
+  auto scanner = ntfs::MftScanner::open(dev);
+  if (!scanner.ok()) return scanner.status();
   auto offline =
-      load_offline_registry(scanner, scanner.scan(pool), out.work);
-  extract_asep_hooks(offline_fetchers(offline), out);
+      load_offline_registry(dev, scanner->scan(pool), pool, out.work);
+  if (!offline.ok()) return offline.status();
+  extract_asep_hooks(offline_fetchers(*offline), out);
   out.normalize();
   return out;
 }

@@ -6,29 +6,35 @@
 //            from the MFT below every API layer — truth approximation
 //   outside — hive files parsed from the powered-off disk (the paper
 //            mounts them under the WinPE registry) — truth
+//
+// All scans return StatusOr: a torn or scrubbed hive is kCorrupt and
+// degrades the registry diff instead of aborting the session.
 #pragma once
 
 #include "core/scan_result.h"
 #include "disk/disk.h"
 #include "machine/machine.h"
+#include "support/status.h"
 #include "support/thread_pool.h"
 
 namespace gb::core {
 
-ScanResult high_level_registry_scan(machine::Machine& m,
-                                    const winapi::Ctx& ctx);
+support::StatusOr<ScanResult> high_level_registry_scan(machine::Machine& m,
+                                                       const winapi::Ctx& ctx);
 
 /// Low-level scan of the live disk. `flush_hives` writes the in-memory
 /// hives to their backing files first (the default, and what a standalone
 /// caller wants); the ScanEngine passes false because it performs the
 /// flush itself, serially, before any concurrent task touches the disk.
 /// With a pool the backing-file lookup scan parses the MFT in chunked
-/// batches.
-ScanResult low_level_registry_scan(machine::Machine& m,
-                                   support::ThreadPool* pool = nullptr,
-                                   bool flush_hives = true);
+/// batches and the hive payload reads run one task per mount, each
+/// through its own CountingDevice — accounting merges in mount order, so
+/// the report is byte-identical at any worker count.
+support::StatusOr<ScanResult> low_level_registry_scan(
+    machine::Machine& m, support::ThreadPool* pool = nullptr,
+    bool flush_hives = true);
 
-ScanResult outside_registry_scan(disk::SectorDevice& dev,
-                                 support::ThreadPool* pool = nullptr);
+support::StatusOr<ScanResult> outside_registry_scan(
+    disk::SectorDevice& dev, support::ThreadPool* pool = nullptr);
 
 }  // namespace gb::core

@@ -16,7 +16,7 @@ std::vector<std::string> split_asep_key(const std::string& key) {
 }  // namespace
 
 RemovalOutcome remove_ghostware(machine::Machine& m, const Report& report,
-                                const Options& opts) {
+                                const ScanConfig& cfg) {
   RemovalOutcome outcome;
   auto& reg = m.registry();
 
@@ -80,8 +80,7 @@ RemovalOutcome remove_ghostware(machine::Machine& m, const Report& report,
   }
 
   // 4. Verify.
-  GhostBuster gb(m);
-  outcome.verification = gb.inside_scan(opts);
+  outcome.verification = ScanEngine(m, cfg).inside_scan();
   return outcome;
 }
 

@@ -8,7 +8,7 @@
 // detect (seconds) -> delete hooks -> reboot -> delete now-visible files.
 #pragma once
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 
 namespace gb::core {
 
@@ -24,8 +24,8 @@ struct RemovalOutcome {
 /// Deletes the hidden ASEP hooks named in `report`, reboots (disabling
 /// the ghostware, whose auto-start guard no longer holds), deletes the
 /// previously hidden files (now visible), and re-runs an inside scan to
-/// verify. `opts` controls the verification scan.
+/// verify. `cfg` controls the verification scan.
 RemovalOutcome remove_ghostware(machine::Machine& m, const Report& report,
-                                const Options& opts = {});
+                                const ScanConfig& cfg = {});
 
 }  // namespace gb::core

@@ -1,0 +1,135 @@
+#include "core/resource_scanner.h"
+
+#include "core/file_scans.h"
+#include "core/process_scans.h"
+#include "core/registry_scans.h"
+#include "core/scan_engine.h"
+
+namespace gb::core {
+
+namespace {
+
+class FileScanner final : public ResourceScanner {
+ public:
+  ResourceType type() const override { return ResourceType::kFile; }
+
+  support::StatusOr<ScanResult> high_scan(
+      const ScanTaskContext& t, const winapi::Ctx& ctx) const override {
+    return high_level_file_scan(t.machine, ctx, t.pool);
+  }
+
+  support::StatusOr<ScanResult> low_scan(
+      const ScanTaskContext& t) const override {
+    return low_level_file_scan(t.machine, t.pool,
+                               t.config.files.mft_batch_records);
+  }
+
+  support::StatusOr<ScanResult> outside_scan(
+      const ScanTaskContext&, const OutsideSources& src) const override {
+    return outside_file_scan(src.disk);
+  }
+};
+
+class AsepScanner final : public ResourceScanner {
+ public:
+  ResourceType type() const override { return ResourceType::kAsepHook; }
+
+  support::StatusOr<ScanResult> high_scan(
+      const ScanTaskContext& t, const winapi::Ctx& ctx) const override {
+    return high_level_registry_scan(t.machine, ctx);
+  }
+
+  support::StatusOr<ScanResult> low_scan(
+      const ScanTaskContext& t) const override {
+    // The engine flushed the hives (or was told not to) before any task
+    // started; never flush from inside a concurrent task.
+    return low_level_registry_scan(t.machine, t.pool, /*flush_hives=*/false);
+  }
+
+  support::StatusOr<ScanResult> outside_scan(
+      const ScanTaskContext& t, const OutsideSources& src) const override {
+    return outside_registry_scan(src.disk, t.pool);
+  }
+};
+
+class ProcessScanner final : public ResourceScanner {
+ public:
+  ResourceType type() const override { return ResourceType::kProcess; }
+
+  support::StatusOr<ScanResult> high_scan(
+      const ScanTaskContext& t, const winapi::Ctx& ctx) const override {
+    return high_level_process_scan(t.machine, ctx);
+  }
+
+  support::StatusOr<ScanResult> low_scan(
+      const ScanTaskContext& t) const override {
+    return t.config.processes.scheduler_view
+               ? advanced_process_scan(t.machine)
+               : low_level_process_scan(t.machine);
+  }
+
+  support::StatusOr<ScanResult> outside_scan(
+      const ScanTaskContext&, const OutsideSources& src) const override {
+    if (!src.dump) {
+      return support::Status::unavailable(
+          "no kernel dump in capture: process truth unavailable");
+    }
+    return dump_process_scan(*src.dump);
+  }
+
+  bool needs_dump() const override { return true; }
+};
+
+class ModuleScanner final : public ResourceScanner {
+ public:
+  ResourceType type() const override { return ResourceType::kModule; }
+
+  support::StatusOr<ScanResult> high_scan(
+      const ScanTaskContext& t, const winapi::Ctx& ctx) const override {
+    return high_level_module_scan(t.machine, ctx);
+  }
+
+  support::StatusOr<ScanResult> low_scan(
+      const ScanTaskContext& t) const override {
+    return low_level_module_scan(t.machine);
+  }
+
+  support::StatusOr<ScanResult> outside_scan(
+      const ScanTaskContext&, const OutsideSources& src) const override {
+    if (!src.dump) {
+      return support::Status::unavailable(
+          "no kernel dump in capture: module truth unavailable");
+    }
+    return dump_module_scan(*src.dump);
+  }
+
+  bool needs_dump() const override { return true; }
+};
+
+}  // namespace
+
+DiffReport ResourceScanner::diff(const ScanTaskContext& t,
+                                 const ScanResult& high,
+                                 const ScanResult& low) const {
+  return cross_view_diff(high, low, t.pool, t.config.diff.shards);
+}
+
+std::vector<std::unique_ptr<ResourceScanner>> default_scanners(
+    ResourceMask mask) {
+  std::vector<std::unique_ptr<ResourceScanner>> out;
+  if (has(mask, ResourceMask::kFiles)) {
+    out.push_back(std::make_unique<FileScanner>());
+  }
+  if (has(mask, ResourceMask::kAseps)) {
+    out.push_back(std::make_unique<AsepScanner>());
+  }
+  if (has(mask, ResourceMask::kProcesses)) {
+    out.push_back(std::make_unique<ProcessScanner>());
+  }
+  if (has(mask, ResourceMask::kModules)) {
+    out.push_back(std::make_unique<ModuleScanner>());
+  }
+  return out;
+}
+
+}  // namespace gb::core

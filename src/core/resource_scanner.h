@@ -1,0 +1,85 @@
+// ResourceScanner: the uniform provider interface behind ScanEngine.
+//
+// Each scan family (files, ASEP hooks, processes, modules) supplies the
+// same three views — the untrusted API view, the trusted low-level view
+// of the live machine, and the clean-environment truth view — plus its
+// diff policy. The engine is then one generic task graph over registered
+// providers: it knows nothing about resource types beyond this
+// interface, so future passes (deleted-MFT sweep, ADS sweep, a second
+// dump traversal) plug in by registering a provider rather than by
+// growing per-type switches.
+//
+// Every view returns StatusOr<ScanResult>: a failed scan degrades that
+// provider's diff (DiffReport::status) instead of aborting the session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/differ.h"
+#include "core/scan_result.h"
+#include "disk/disk.h"
+#include "kernel/dump.h"
+#include "machine/machine.h"
+#include "support/status.h"
+#include "support/thread_pool.h"
+
+namespace gb::core {
+
+struct ScanConfig;                            // scan_engine.h
+enum class ResourceMask : std::uint32_t;      // scan_engine.h
+
+/// Everything a provider needs to run one view: the machine under scan,
+/// the pool for internal fan-out (null = run serially), and the session
+/// configuration with the per-resource policies.
+struct ScanTaskContext {
+  machine::Machine& machine;
+  support::ThreadPool* pool = nullptr;
+  const ScanConfig& config;
+};
+
+/// Inputs available to the outside-the-box (clean environment) scan:
+/// the powered-off disk, and the parsed blue-screen dump when the
+/// capture produced one.
+struct OutsideSources {
+  disk::SectorDevice& disk;
+  const kernel::KernelDump* dump = nullptr;
+};
+
+class ResourceScanner {
+ public:
+  virtual ~ResourceScanner() = default;
+
+  [[nodiscard]] virtual ResourceType type() const = 0;
+
+  /// The untrusted API view, taken from `ctx`'s process.
+  virtual support::StatusOr<ScanResult> high_scan(
+      const ScanTaskContext& t, const winapi::Ctx& ctx) const = 0;
+
+  /// The trusted low-level view of the live machine.
+  virtual support::StatusOr<ScanResult> low_scan(
+      const ScanTaskContext& t) const = 0;
+
+  /// The clean-environment truth view. Providers whose truth lives in
+  /// the dump return kUnavailable when `src.dump` is null.
+  virtual support::StatusOr<ScanResult> outside_scan(
+      const ScanTaskContext& t, const OutsideSources& src) const = 0;
+
+  /// Whether the outside view needs the blue-screen kernel dump (the
+  /// engine only induces the crash when some provider does).
+  [[nodiscard]] virtual bool needs_dump() const { return false; }
+
+  /// Diff policy: how this provider's two views compare. The default is
+  /// the hash-sharded cross-view diff with the session's shard policy.
+  [[nodiscard]] virtual DiffReport diff(const ScanTaskContext& t,
+                                        const ScanResult& high,
+                                        const ScanResult& low) const;
+};
+
+/// The four built-in scan families, in fixed report order (files, ASEPs,
+/// processes, modules), filtered by `mask`.
+std::vector<std::unique_ptr<ResourceScanner>> default_scanners(
+    ResourceMask mask);
+
+}  // namespace gb::core

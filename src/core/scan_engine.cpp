@@ -6,9 +6,6 @@
 #include <stdexcept>
 #include <thread>
 
-#include "core/file_scans.h"
-#include "core/process_scans.h"
-#include "core/registry_scans.h"
 #include "support/strings.h"
 
 namespace gb::core {
@@ -27,19 +24,6 @@ std::size_t pool_workers(std::size_t parallelism) {
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   return parallelism - 1;  // the calling thread is the other executor
-}
-
-/// Diff emission order — fixed, independent of configuration.
-constexpr ResourceType kDiffOrder[] = {
-    ResourceType::kFile, ResourceType::kAsepHook, ResourceType::kProcess,
-    ResourceType::kModule};
-
-std::vector<ResourceType> enabled_types(ResourceMask mask) {
-  std::vector<ResourceType> out;
-  for (const ResourceType t : kDiffOrder) {
-    if (has(mask, mask_for(t))) out.push_back(t);
-  }
-  return out;
 }
 
 void json_escape(std::ostringstream& os, std::string_view s) {
@@ -61,11 +45,66 @@ void json_escape(std::ostringstream& os, std::string_view s) {
   os << '"';
 }
 
+/// Runs one provider view, converting any stray exception into an
+/// internal-error Status: a buggy provider degrades its own diff, it
+/// does not take down the worker or the session.
+template <typename F>
+support::StatusOr<ScanResult> guarded_scan(F&& f) {
+  try {
+    return f();
+  } catch (const std::exception& e) {
+    return support::Status::internal(e.what());
+  }
+}
+
+/// Builds the diff for one provider from its two view outcomes. Both OK
+/// runs the provider's diff policy; any failure yields a degraded
+/// placeholder carrying the failing view's status (the low/trusted
+/// view's error wins when both failed — it is the one that decides
+/// detection).
+DiffReport diff_views(const ResourceScanner& scanner,
+                      const ScanTaskContext& t,
+                      const support::StatusOr<ScanResult>& high,
+                      const support::StatusOr<ScanResult>& low,
+                      const machine::MachineProfile& profile) {
+  machine::ScanWork work;
+  if (high.ok()) work += high->work;
+  if (low.ok()) work += low->work;
+
+  if (high.ok() && low.ok()) {
+    DiffReport d = scanner.diff(t, *high, *low);
+    d.simulated_seconds = estimate_seconds(profile, work);
+    return d;
+  }
+
+  DiffReport d;
+  d.type = scanner.type();
+  d.high_view = high.ok() ? high->view_name : "(scan failed)";
+  if (high.ok()) d.high_count = high->resources.size();
+  if (low.ok()) {
+    d.low_view = low->view_name;
+    d.low_trust = low->trust;
+    d.low_count = low->resources.size();
+  } else {
+    d.low_view = "(scan failed)";
+  }
+  d.status = low.ok() ? high.status() : low.status();
+  d.simulated_seconds = estimate_seconds(profile, work);
+  return d;
+}
+
 }  // namespace
 
 bool Report::infection_detected() const {
   for (const auto& d : diffs) {
     if (!d.hidden.empty()) return true;
+  }
+  return false;
+}
+
+bool Report::degraded() const {
+  for (const auto& d : diffs) {
+    if (d.degraded()) return true;
   }
   return false;
 }
@@ -100,6 +139,10 @@ std::string Report::to_string() const {
     os << "[" << resource_type_name(d.type) << "] " << d.high_view << " ("
        << d.high_count << ") vs " << d.low_view << " (" << d.low_count
        << ", " << trust_level_name(d.low_trust) << ")\n";
+    if (d.degraded()) {
+      os << "  DEGRADED: " << d.status.to_string() << "\n";
+      continue;
+    }
     for (const auto& f : d.hidden) {
       os << "  HIDDEN: " << f.resource.display << "\n";
     }
@@ -109,15 +152,17 @@ std::string Report::to_string() const {
     if (d.clean()) os << "  (no discrepancies)\n";
   }
   os << (infection_detected() ? ">>> hidden resources detected"
-                              : ">>> machine appears clean")
-     << "\n";
+                              : ">>> machine appears clean");
+  if (degraded()) os << " (PARTIAL: some resource types degraded)";
+  os << "\n";
   return os.str();
 }
 
 std::string Report::to_json() const {
   std::ostringstream os;
-  os << "{\"schema_version\":2"
+  os << "{\"schema_version\":\"2.1\""
      << ",\"infected\":" << (infection_detected() ? "true" : "false")
+     << ",\"degraded\":" << (degraded() ? "true" : "false")
      << ",\"simulated_seconds\":" << total_simulated_seconds
      << ",\"wall_seconds\":" << total_wall_seconds
      << ",\"worker_threads\":" << worker_threads << ",\"diffs\":[";
@@ -127,6 +172,10 @@ std::string Report::to_json() const {
     first_diff = false;
     os << "{\"type\":";
     json_escape(os, resource_type_name(d.type));
+    os << ",\"status\":" << (d.degraded() ? "\"degraded\"" : "\"ok\"")
+       << ",\"degraded\":" << (d.degraded() ? "true" : "false")
+       << ",\"error\":";
+    json_escape(os, d.degraded() ? d.status.to_string() : "");
     os << ",\"high_view\":";
     json_escape(os, d.high_view);
     os << ",\"low_view\":";
@@ -156,7 +205,12 @@ std::string Report::to_json() const {
 ScanEngine::ScanEngine(machine::Machine& m, ScanConfig cfg)
     : machine_(m),
       cfg_(std::move(cfg)),
-      pool_(pool_workers(cfg_.parallelism)) {}
+      pool_(pool_workers(cfg_.parallelism)),
+      scanners_(default_scanners(cfg_.resources)) {}
+
+void ScanEngine::register_scanner(std::unique_ptr<ResourceScanner> scanner) {
+  scanners_.push_back(std::move(scanner));
+}
 
 winapi::Ctx ScanEngine::scanner_context() {
   const std::string image_path =
@@ -175,78 +229,55 @@ void ScanEngine::finalize(Report& report, double wall_seconds) {
       VirtualClock::seconds(report.total_simulated_seconds));
 }
 
-ScanResult ScanEngine::low_scan(ResourceType type) {
-  switch (type) {
-    case ResourceType::kFile:
-      return low_level_file_scan(machine_, &pool_,
-                                 cfg_.files.mft_batch_records);
-    case ResourceType::kAsepHook:
-      // The engine flushed the hives (or was told not to) before any
-      // task started; never flush from inside a concurrent task.
-      return low_level_registry_scan(machine_, &pool_,
-                                     /*flush_hives=*/false);
-    case ResourceType::kProcess:
-      return cfg_.processes.scheduler_view ? advanced_process_scan(machine_)
-                                           : low_level_process_scan(machine_);
-    case ResourceType::kModule:
-      return low_level_module_scan(machine_);
-  }
-  throw std::logic_error("low_scan: unknown resource type");
+ScanTaskContext ScanEngine::task_context() {
+  return ScanTaskContext{machine_, &pool_, cfg_};
 }
 
-ScanResult ScanEngine::high_scan(ResourceType type, const winapi::Ctx& ctx) {
-  switch (type) {
-    case ResourceType::kFile:
-      return high_level_file_scan(machine_, ctx, &pool_);
-    case ResourceType::kAsepHook:
-      return high_level_registry_scan(machine_, ctx);
-    case ResourceType::kProcess:
-      return high_level_process_scan(machine_, ctx);
-    case ResourceType::kModule:
-      return high_level_module_scan(machine_, ctx);
+void ScanEngine::flush_hives_if_needed() {
+  if (!cfg_.registry.flush_hives_first) return;
+  for (const auto& s : scanners_) {
+    if (s->type() == ResourceType::kAsepHook) {
+      machine_.flush_registry();  // serial pre-phase: no writes mid-scan
+      return;
+    }
   }
-  throw std::logic_error("high_scan: unknown resource type");
 }
 
 Report ScanEngine::inside_scan() {
   const auto t0 = SteadyClock::now();
   Report report;
-  const auto types = enabled_types(cfg_.resources);
   const auto ctx = scanner_context();
-  if (has(cfg_.resources, ResourceMask::kAseps) &&
-      cfg_.registry.flush_hives_first) {
-    machine_.flush_registry();  // serial pre-phase: no writes mid-scan
-  }
+  flush_hives_if_needed();
+  const ScanTaskContext tctx = task_context();
 
-  // Two tasks per resource type — the API view and the trusted view run
+  // Two tasks per provider — the API view and the trusted view run
   // independently; the file scans fan out further internally.
   struct Pair {
-    ScanResult high;
-    ScanResult low;
+    support::StatusOr<ScanResult> high;
+    support::StatusOr<ScanResult> low;
     double high_wall = 0;
     double low_wall = 0;
   };
-  std::vector<Pair> pairs(types.size());
-  pool_.parallel_for(types.size() * 2, [&](std::size_t i) {
+  std::vector<Pair> pairs(scanners_.size());
+  pool_.parallel_for(scanners_.size() * 2, [&](std::size_t i) {
     const std::size_t slot = i / 2;
+    const ResourceScanner& scanner = *scanners_[slot];
     const auto start = SteadyClock::now();
     if (i % 2 == 0) {
-      pairs[slot].high = high_scan(types[slot], ctx);
+      pairs[slot].high =
+          guarded_scan([&] { return scanner.high_scan(tctx, ctx); });
       pairs[slot].high_wall = seconds_since(start);
     } else {
-      pairs[slot].low = low_scan(types[slot]);
+      pairs[slot].low = guarded_scan([&] { return scanner.low_scan(tctx); });
       pairs[slot].low_wall = seconds_since(start);
     }
   });
 
   const auto& profile = machine_.config().profile;
-  for (std::size_t s = 0; s < types.size(); ++s) {
+  for (std::size_t s = 0; s < scanners_.size(); ++s) {
     const auto start = SteadyClock::now();
-    DiffReport d =
-        cross_view_diff(pairs[s].high, pairs[s].low, &pool_, cfg_.diff.shards);
-    machine::ScanWork work = pairs[s].high.work;
-    work += pairs[s].low.work;
-    d.simulated_seconds = estimate_seconds(profile, work);
+    DiffReport d = diff_views(*scanners_[s], tctx, pairs[s].high,
+                              pairs[s].low, profile);
     d.wall_seconds =
         pairs[s].high_wall + pairs[s].low_wall + seconds_since(start);
     report.diffs.push_back(std::move(d));
@@ -258,18 +289,18 @@ Report ScanEngine::inside_scan() {
 Report ScanEngine::injected_scan() {
   const auto t0 = SteadyClock::now();
   Report report;
-  const auto types = enabled_types(cfg_.resources);
-  if (has(cfg_.resources, ResourceMask::kAseps) &&
-      cfg_.registry.flush_hives_first) {
-    machine_.flush_registry();
-  }
+  flush_hives_if_needed();
+  const ScanTaskContext tctx = task_context();
+  // Per-job scans stay internally serial — the fan-out is already one
+  // task per (process, provider) job.
+  const ScanTaskContext serial_ctx{machine_, nullptr, cfg_};
 
-  // Trusted snapshots, one per enabled type, taken concurrently.
-  std::vector<ScanResult> lows(types.size());
-  std::vector<double> low_walls(types.size(), 0);
-  pool_.parallel_for(types.size(), [&](std::size_t s) {
+  // Trusted snapshots, one per provider, taken concurrently.
+  std::vector<support::StatusOr<ScanResult>> lows(scanners_.size());
+  std::vector<double> low_walls(scanners_.size(), 0);
+  pool_.parallel_for(scanners_.size(), [&](std::size_t s) {
     const auto start = SteadyClock::now();
-    lows[s] = low_scan(types[s]);
+    lows[s] = guarded_scan([&] { return scanners_[s]->low_scan(tctx); });
     low_walls[s] = seconds_since(start);
   });
 
@@ -282,68 +313,72 @@ Report ScanEngine::injected_scan() {
     ctxs.push_back(std::move(ctx));
   }
 
-  // One job per (process, resource type): high-level scan from inside
-  // that process, diffed against the trusted snapshot. Jobs run in any
-  // order; each is internally serial (the fan-out is already one task
-  // per job).
+  // One job per (process, provider): high-level scan from inside that
+  // process, diffed against the trusted snapshot. Jobs run in any order.
+  // Providers whose trusted snapshot failed skip their jobs entirely —
+  // there is nothing sound to diff against.
   struct Job {
     DiffReport diff;
+    support::Status status;
     std::size_t high_count = 0;
     machine::ScanWork work;
     double wall = 0;
   };
-  std::vector<Job> jobs(ctxs.size() * types.size());
+  std::vector<Job> jobs(ctxs.size() * scanners_.size());
   pool_.parallel_for(jobs.size(), [&](std::size_t i) {
-    const winapi::Ctx& ctx = ctxs[i / types.size()];
-    const std::size_t s = i % types.size();
+    const winapi::Ctx& ctx = ctxs[i / scanners_.size()];
+    const std::size_t s = i % scanners_.size();
+    if (!lows[s].ok()) return;
     const auto start = SteadyClock::now();
-    ScanResult high;
-    switch (types[s]) {
-      case ResourceType::kFile:
-        high = high_level_file_scan(machine_, ctx);
-        break;
-      case ResourceType::kAsepHook:
-        high = high_level_registry_scan(machine_, ctx);
-        break;
-      case ResourceType::kProcess:
-        high = high_level_process_scan(machine_, ctx);
-        break;
-      case ResourceType::kModule:
-        high = high_level_module_scan(machine_, ctx);
-        break;
-    }
+    const auto high = guarded_scan(
+        [&] { return scanners_[s]->high_scan(serial_ctx, ctx); });
     Job& job = jobs[i];
-    job.diff = cross_view_diff(high, lows[s]);
-    job.high_count = high.resources.size();
-    job.work = high.work;
+    if (!high.ok()) {
+      job.status = high.status();
+    } else {
+      job.diff = cross_view_diff(*high, *lows[s]);
+      job.high_count = high->resources.size();
+      job.work = high->work;
+    }
     job.wall = seconds_since(start);
   });
 
   // Deterministic reduction: pid-major, first finding per key wins —
   // identical to the serial per-process loop regardless of which worker
-  // ran which job.
+  // ran which job. A failed per-process scan marks the diff degraded
+  // (first failure in pid order) but the successes still merge.
   const auto& profile = machine_.config().profile;
-  for (std::size_t s = 0; s < types.size(); ++s) {
+  for (std::size_t s = 0; s < scanners_.size(); ++s) {
+    DiffReport d;
+    d.type = scanners_[s]->type();
+    d.high_view = "injected scans (all processes)";
+    if (!lows[s].ok()) {
+      d.low_view = "(scan failed)";
+      d.status = lows[s].status();
+      d.wall_seconds = low_walls[s];
+      report.diffs.push_back(std::move(d));
+      continue;
+    }
     std::map<std::string, Finding> hidden;
     std::size_t high_count_max = 0;
     machine::ScanWork work;
     double wall = low_walls[s];
+    support::Status first_failure;
     for (std::size_t c = 0; c < ctxs.size(); ++c) {
-      Job& job = jobs[c * types.size() + s];
+      Job& job = jobs[c * scanners_.size() + s];
+      if (!job.status.ok() && first_failure.ok()) first_failure = job.status;
       for (auto& f : job.diff.hidden) hidden.emplace(f.resource.key, f);
       high_count_max = std::max(high_count_max, job.high_count);
       work += job.work;
       wall += job.wall;
     }
-    DiffReport d;
-    d.type = types[s];
-    d.high_view = "injected scans (all processes)";
-    d.low_view = lows[s].view_name;
-    d.low_trust = lows[s].trust;
+    d.low_view = lows[s]->view_name;
+    d.low_trust = lows[s]->trust;
     d.high_count = high_count_max;
-    d.low_count = lows[s].resources.size();
+    d.low_count = lows[s]->resources.size();
+    d.status = first_failure;
     for (auto& [key, f] : hidden) d.hidden.push_back(f);
-    work += lows[s].work;
+    work += lows[s]->work;
     d.simulated_seconds = estimate_seconds(profile, work);
     d.wall_seconds = wall;
     report.diffs.push_back(std::move(d));
@@ -355,22 +390,25 @@ Report ScanEngine::injected_scan() {
 InsideCapture ScanEngine::capture_inside_high() {
   InsideCapture cap;
   const auto ctx = scanner_context();
-  const auto types = enabled_types(cfg_.resources);
-  std::vector<ScanResult> highs(types.size());
-  pool_.parallel_for(types.size(), [&](std::size_t s) {
-    highs[s] = high_scan(types[s], ctx);
-  });
-  for (std::size_t s = 0; s < types.size(); ++s) {
-    switch (types[s]) {
-      case ResourceType::kFile: cap.files = std::move(highs[s]); break;
-      case ResourceType::kAsepHook: cap.aseps = std::move(highs[s]); break;
-      case ResourceType::kProcess: cap.processes = std::move(highs[s]); break;
-      case ResourceType::kModule: cap.modules = std::move(highs[s]); break;
-    }
+  const ScanTaskContext tctx = task_context();
+  cap.entries.resize(scanners_.size());
+  for (std::size_t s = 0; s < scanners_.size(); ++s) {
+    cap.entries[s].type = scanners_[s]->type();
   }
-  if (has(cfg_.resources, ResourceMask::kProcesses) ||
-      has(cfg_.resources, ResourceMask::kModules)) {
-    cap.dump = kernel::parse_dump(machine_.bluescreen());
+  pool_.parallel_for(scanners_.size(), [&](std::size_t s) {
+    cap.entries[s].high =
+        guarded_scan([&] { return scanners_[s]->high_scan(tctx, ctx); });
+  });
+
+  bool want_dump = false;
+  for (const auto& s : scanners_) want_dump = want_dump || s->needs_dump();
+  if (want_dump) {
+    auto parsed = kernel::parse_dump_or(machine_.bluescreen());
+    if (parsed.ok()) {
+      cap.dump = std::move(parsed.value());
+    } else {
+      cap.dump_status = parsed.status();
+    }
   }
   return cap;
 }
@@ -382,35 +420,36 @@ Report ScanEngine::outside_diff(const InsideCapture& cap) {
   }
   const auto t0 = SteadyClock::now();
   Report report;
+  const ScanTaskContext tctx = task_context();
+  const OutsideSources sources{machine_.disk(),
+                               cap.dump ? &*cap.dump : nullptr};
 
-  std::vector<std::pair<ResourceType, const ScanResult*>> wanted;
-  if (cap.files) wanted.emplace_back(ResourceType::kFile, &*cap.files);
-  if (cap.aseps) wanted.emplace_back(ResourceType::kAsepHook, &*cap.aseps);
-  if (cap.processes && cap.dump) {
-    wanted.emplace_back(ResourceType::kProcess, &*cap.processes);
-  }
-  if (cap.modules && cap.dump) {
-    wanted.emplace_back(ResourceType::kModule, &*cap.modules);
+  // Match capture entries to providers by type (the capture may come
+  // from a different engine whose provider set differs).
+  std::vector<std::pair<const ResourceScanner*, const InsideCapture::Entry*>>
+      wanted;
+  for (const auto& entry : cap.entries) {
+    for (const auto& s : scanners_) {
+      if (s->type() == entry.type) {
+        wanted.emplace_back(s.get(), &entry);
+        break;
+      }
+    }
   }
 
   // Clean-environment scans of the powered-off disk and the dump.
-  std::vector<ScanResult> lows(wanted.size());
+  std::vector<support::StatusOr<ScanResult>> lows(wanted.size());
   std::vector<double> low_walls(wanted.size(), 0);
   pool_.parallel_for(wanted.size(), [&](std::size_t i) {
     const auto start = SteadyClock::now();
-    switch (wanted[i].first) {
-      case ResourceType::kFile:
-        lows[i] = outside_file_scan(machine_.disk());
-        break;
-      case ResourceType::kAsepHook:
-        lows[i] = outside_registry_scan(machine_.disk(), &pool_);
-        break;
-      case ResourceType::kProcess:
-        lows[i] = dump_process_scan(*cap.dump);
-        break;
-      case ResourceType::kModule:
-        lows[i] = dump_module_scan(*cap.dump);
-        break;
+    const ResourceScanner& scanner = *wanted[i].first;
+    if (scanner.needs_dump() && !sources.dump && !cap.dump_status.ok()) {
+      // The capture tried to take a dump and failed (scrubbed write,
+      // truncation): surface that cause rather than a generic absence.
+      lows[i] = cap.dump_status;
+    } else {
+      lows[i] =
+          guarded_scan([&] { return scanner.outside_scan(tctx, sources); });
     }
     low_walls[i] = seconds_since(start);
   });
@@ -418,11 +457,8 @@ Report ScanEngine::outside_diff(const InsideCapture& cap) {
   const auto& profile = machine_.config().profile;
   for (std::size_t i = 0; i < wanted.size(); ++i) {
     const auto start = SteadyClock::now();
-    DiffReport d =
-        cross_view_diff(*wanted[i].second, lows[i], &pool_, cfg_.diff.shards);
-    machine::ScanWork work = wanted[i].second->work;
-    work += lows[i].work;
-    d.simulated_seconds = estimate_seconds(profile, work);
+    DiffReport d = diff_views(*wanted[i].first, tctx, wanted[i].second->high,
+                              lows[i], profile);
     d.wall_seconds = low_walls[i] + seconds_since(start);
     report.diffs.push_back(std::move(d));
   }

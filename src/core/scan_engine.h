@@ -1,15 +1,16 @@
 // ScanEngine: the parallel scan session API.
 //
-// A ScanEngine owns a worker pool and a typed ScanConfig, and runs the
-// paper's workflows over them:
+// A ScanEngine owns a worker pool, a typed ScanConfig, and a set of
+// ResourceScanner providers (core/resource_scanner.h), and runs the
+// paper's workflows as one generic task graph over them:
 //
-//   inside_scan     — the four resource-type scan+diff pairs run as
-//                     independent tasks; the file scans additionally
-//                     split internally (chunked MFT batches, levelled
+//   inside_scan     — each provider's high (API) and low (trusted) views
+//                     run as independent tasks; the file scans split
+//                     further internally (chunked MFT batches, levelled
 //                     directory walk, sharded diff);
 //   injected_scan   — Section 5's DLL-injection extension fans one
-//                     high-level scan per (process, resource type) across
-//                     the pool and merges findings deterministically;
+//                     high-level scan per (process, provider) across the
+//                     pool and merges findings deterministically;
 //   outside-the-box — capture_inside_high() on the infected machine,
 //                     blue-screen for the dump, power off, then
 //                     outside_diff() against the clean disk views.
@@ -17,22 +18,26 @@
 // Every parallel path is deterministic by construction — fixed batch
 // boundaries, ordered reductions, key-ordered shard merges — so a report
 // is byte-identical (wall-clock fields aside) at any parallelism level.
-// The legacy GhostBuster/Options entry points (core/ghostbuster.h) are
-// thin shims over a single-executor engine.
+//
+// Failures are data, not exceptions: a view that returns a non-OK Status
+// (torn hive, scrubbed dump, trashed boot sector, dead scanner context)
+// yields a *degraded* DiffReport for that one resource type while every
+// other provider's diff is unaffected — the report says what it could
+// not see instead of the session aborting.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/differ.h"
-#include "core/file_scans.h"
-#include "core/process_scans.h"
-#include "core/registry_scans.h"
+#include "core/resource_scanner.h"
 #include "core/scan_result.h"
 #include "kernel/dump.h"
 #include "machine/machine.h"
+#include "support/status.h"
 #include "support/thread_pool.h"
 
 namespace gb::core {
@@ -44,8 +49,7 @@ enum class OutsideBoot {
   kRisNetworkBoot // enterprise Remote Installation Service: faster, no media
 };
 
-/// Which resource types a scan covers — replaces the four scan_* bools
-/// of the legacy Options struct with a type-safe bitmask.
+/// Which resource types a scan covers.
 enum class ResourceMask : std::uint32_t {
   kNone = 0,
   kFiles = 1u << 0,
@@ -112,7 +116,7 @@ struct DiffPolicy {
   std::size_t shards = 0;
 };
 
-/// Typed scan-session configuration; replaces the legacy Options bools.
+/// Typed scan-session configuration.
 struct ScanConfig {
   ResourceMask resources = ResourceMask::kAll;
   /// Concurrent executors (pool workers + the calling thread). 1 runs
@@ -141,27 +145,36 @@ struct Report {
   std::size_t worker_threads = 1;
 
   [[nodiscard]] bool infection_detected() const;
+  /// True when any per-resource diff is degraded (partial report).
+  [[nodiscard]] bool degraded() const;
   [[nodiscard]] std::size_t hidden_count(ResourceType type) const;
   [[nodiscard]] std::vector<Finding> all_hidden() const;
   [[nodiscard]] const DiffReport* diff_for(ResourceType type) const;
   /// Human-readable report (what the tool prints for the user).
   [[nodiscard]] std::string to_string() const;
   /// Machine-readable report (for SIEM/automation pipelines), schema
-  /// version 2: adds per-diff wall/simulated timing and the worker-thread
-  /// count. Strings are JSON-escaped; embedded NULs and control bytes
-  /// appear as \u00XX.
+  /// version 2.1: per-diff wall/simulated timing, the worker-thread
+  /// count, and per-resource scan status (`status`, `degraded`, `error`)
+  /// so partial results are first-class. Strings are JSON-escaped;
+  /// embedded NULs and control bytes appear as \u00XX.
   [[nodiscard]] std::string to_json() const;
 };
 
 /// Phase 1 of the outside-the-box workflow: high-level (API) snapshots
 /// taken on the live, infected machine, plus the blue-screen kernel dump
-/// when process/module scanning is enabled.
+/// when some enabled provider needs it. Per-entry scans can individually
+/// fail; outside_diff() turns those into degraded diffs.
 struct InsideCapture {
-  std::optional<ScanResult> files;
-  std::optional<ScanResult> aseps;
-  std::optional<ScanResult> processes;
-  std::optional<ScanResult> modules;
+  struct Entry {
+    ResourceType type = ResourceType::kFile;
+    support::StatusOr<ScanResult> high;
+  };
+  std::vector<Entry> entries;  // in provider registration order
   std::optional<kernel::KernelDump> dump;
+  /// Why `dump` is absent when a provider wanted it (e.g. a scrubber
+  /// corrupted the blue-screen write). OK when the dump is present or
+  /// no enabled provider needs one.
+  support::Status dump_status;
 };
 
 /// One scan session against one machine: owns the worker pool, so
@@ -172,7 +185,7 @@ class ScanEngine {
  public:
   explicit ScanEngine(machine::Machine& m, ScanConfig cfg = {});
 
-  /// Inside-the-box cross-view diff of all enabled resource types.
+  /// Inside-the-box cross-view diff of all registered providers.
   /// Advances the machine's virtual clock by the simulated scan time.
   Report inside_scan();
 
@@ -194,7 +207,14 @@ class ScanEngine {
   /// shutdown, diff). The machine is left powered off.
   Report outside_scan();
 
+  /// Adds a provider after the defaults chosen by the config's resource
+  /// mask. Its diff is appended to reports in registration order.
+  void register_scanner(std::unique_ptr<ResourceScanner> scanner);
+
   const ScanConfig& config() const { return cfg_; }
+  const std::vector<std::unique_ptr<ResourceScanner>>& scanners() const {
+    return scanners_;
+  }
   /// Executors: pool workers + the calling thread.
   std::size_t worker_count() const { return pool_.size() + 1; }
   support::ThreadPool& pool() { return pool_; }
@@ -202,12 +222,13 @@ class ScanEngine {
  private:
   winapi::Ctx scanner_context();
   void finalize(Report& report, double wall_seconds);
-  ScanResult low_scan(ResourceType type);
-  ScanResult high_scan(ResourceType type, const winapi::Ctx& ctx);
+  ScanTaskContext task_context();
+  void flush_hives_if_needed();
 
   machine::Machine& machine_;
   ScanConfig cfg_;
   support::ThreadPool pool_;
+  std::vector<std::unique_ptr<ResourceScanner>> scanners_;
 };
 
 }  // namespace gb::core

@@ -28,6 +28,17 @@ MemDisk MemDisk::load_image(const std::string& host_path) {
   return disk;
 }
 
+support::StatusOr<MemDisk> MemDisk::load_image_or(
+    const std::string& host_path) {
+  std::ifstream in(host_path, std::ios::binary | std::ios::ate);
+  if (!in) return support::Status::not_found("cannot open " + host_path);
+  try {
+    return load_image(host_path);
+  } catch (const std::runtime_error& e) {
+    return support::Status::corrupt(e.what());
+  }
+}
+
 MemDisk::MemDisk(std::uint64_t sector_count)
     : sector_count_(sector_count), image_(sector_count * kSectorSize) {}
 

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "support/status.h"
+
 namespace gb::disk {
 
 inline constexpr std::size_t kSectorSize = 512;
@@ -80,6 +82,11 @@ class MemDisk final : public SectorDevice {
   /// Loads a previously saved image; the file size must be a whole number
   /// of sectors.
   static MemDisk load_image(const std::string& host_path);
+  /// Non-throwing variant: a missing file is kNotFound, a short or
+  /// unaligned one kCorrupt — what a host-side image-scan tool reports
+  /// instead of crashing.
+  static support::StatusOr<MemDisk> load_image_or(
+      const std::string& host_path);
 
  private:
   void check_range(std::uint64_t lba, std::size_t sectors) const;

@@ -417,6 +417,14 @@ Key parse_hive(std::span<const std::byte> image) {
   return parse_key(area, root_cell, 0);
 }
 
+support::StatusOr<Key> parse_hive_or(std::span<const std::byte> image) {
+  try {
+    return parse_hive(image);
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(e.what());
+  }
+}
+
 std::string hive_name(std::span<const std::byte> image) {
   if (image.size() < kBaseBlockSize) throw ParseError("hive too small");
   ByteReader r(image);

@@ -15,6 +15,7 @@
 
 #include "hive/hive_format.h"
 #include "support/bytes.h"
+#include "support/status.h"
 
 namespace gb::hive {
 
@@ -69,6 +70,11 @@ std::vector<std::byte> serialize_hive(const Key& root,
 /// Parses regf bytes back into a tree. Throws gb::ParseError on corrupt
 /// input. Unknown cell types are an error (the format is closed here).
 Key parse_hive(std::span<const std::byte> image);
+
+/// Non-throwing variant: corrupt input becomes a kCorrupt Status. The
+/// scan stack uses this so one torn hive degrades the registry diff
+/// instead of aborting the session.
+support::StatusOr<Key> parse_hive_or(std::span<const std::byte> image);
 
 /// Reads the hive name from the base block without a full parse.
 std::string hive_name(std::span<const std::byte> image);

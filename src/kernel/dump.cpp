@@ -162,4 +162,12 @@ KernelDump parse_dump(std::span<const std::byte> image) {
   return dump;
 }
 
+support::StatusOr<KernelDump> parse_dump_or(std::span<const std::byte> image) {
+  try {
+    return parse_dump(image);
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(e.what());
+  }
+}
+
 }  // namespace gb::kernel

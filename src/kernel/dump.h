@@ -19,6 +19,7 @@
 
 #include "kernel/kernel.h"
 #include "support/bytes.h"
+#include "support/status.h"
 
 namespace gb::kernel {
 
@@ -51,6 +52,11 @@ std::vector<std::byte> write_dump(const Kernel& kernel);
 
 /// Parses dump bytes. Throws gb::ParseError on malformed input.
 KernelDump parse_dump(std::span<const std::byte> image);
+
+/// Non-throwing variant: a truncated or scrubbed-to-garbage dump becomes
+/// a kCorrupt Status, degrading the process/module diffs instead of
+/// aborting the outside-the-box workflow.
+support::StatusOr<KernelDump> parse_dump_or(std::span<const std::byte> image);
 
 /// Re-serializes a (possibly edited) parsed dump. parse_dump and
 /// serialize_dump are exact inverses; this is what a dump-scrubbing

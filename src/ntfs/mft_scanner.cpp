@@ -22,6 +22,14 @@ MftScanner::MftScanner(disk::SectorDevice& dev) : dev_(dev) {
   mft_record_count_ = r.u32();
 }
 
+support::StatusOr<MftScanner> MftScanner::open(disk::SectorDevice& dev) {
+  try {
+    return MftScanner(dev);
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(e.what());
+  }
+}
+
 MftRecord MftScanner::load_record_from(disk::SectorDevice& dev,
                                        std::uint64_t number) {
   std::vector<std::byte> image(kMftRecordSize);

@@ -15,6 +15,7 @@
 
 #include "disk/disk.h"
 #include "ntfs/mft_record.h"
+#include "support/status.h"
 #include "support/thread_pool.h"
 
 namespace gb::ntfs {
@@ -39,6 +40,11 @@ class MftScanner {
  public:
   /// Parses the boot sector; throws gb::ParseError if not NTFS.
   explicit MftScanner(disk::SectorDevice& dev);
+
+  /// Status-returning factory: a device without a valid NTFS boot sector
+  /// yields kCorrupt instead of a throw, so a trashed disk degrades the
+  /// file scan rather than aborting the session.
+  static support::StatusOr<MftScanner> open(disk::SectorDevice& dev);
 
   /// Walks every MFT record and reconstructs paths. Orphaned records
   /// (broken or cyclic parent chains) are reported under "<orphan>\".

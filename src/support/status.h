@@ -1,0 +1,151 @@
+// Status / StatusOr<T>: recoverable-error propagation for the scan stack.
+//
+// A forensic scanner meets damaged state by design — torn hive writes,
+// scrubbed dumps, trashed MFT records. Those must degrade the one
+// resource type they affect, not abort the whole session, so the scan
+// stack (disk -> ntfs/hive/kernel parsers -> core scan functions)
+// returns Status values instead of throwing. Exceptions remain the
+// mechanism *inside* the byte-decoding layer (gb::ParseError) and for
+// true programming errors; each parser's public `_or` entry point is
+// the boundary where they become data.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gb::support {
+
+enum class StatusCode {
+  kOk,
+  /// Input bytes violate the on-disk format (torn write, scrubbed dump).
+  kCorrupt,
+  /// A required object (backing file, record, process) does not exist.
+  kNotFound,
+  /// The subsystem cannot serve the request right now (machine off...).
+  kUnavailable,
+  /// The call was made in a state it does not support (dead context).
+  kFailedPrecondition,
+  /// Invariant violation inside the scanner itself.
+  kInternal,
+};
+
+constexpr std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kCorrupt: return "CORRUPT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A success/error outcome with a code and a human-readable message.
+/// Default-constructed Status is success; error states come from the
+/// named factories.
+class Status {
+ public:
+  Status() = default;
+
+  static Status corrupt(std::string msg) {
+    return Status(StatusCode::kCorrupt, std::move(msg));
+  }
+  static Status not_found(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status failed_precondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "CORRUPT: bad dump magic" — what reports and logs print.
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "OK";
+    std::string out(status_code_name(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status&) const = default;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Thrown by StatusOr<T>::value() when the caller insists on a value
+/// that is not there. Carries the original Status.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Either a T or the non-ok Status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  /// Default state is an error, so a default-constructed slot in a task
+  /// array reads as "never produced" rather than as a phantom value.
+  StatusOr() : status_(Status::internal("StatusOr never assigned")) {}
+
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(*-explicit-*)
+
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::internal("StatusOr constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  /// OK when a value is present, the carried error otherwise.
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & { ensure(); return *value_; }
+  [[nodiscard]] const T& value() const& { ensure(); return *value_; }
+  [[nodiscard]] T&& value() && { ensure(); return *std::move(value_); }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// The value, or `fallback` if this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void ensure() const {
+    if (!value_) throw StatusError(status_);
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is engaged
+};
+
+}  // namespace gb::support

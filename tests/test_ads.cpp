@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/ads_scan.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "registry/aseps.h"
 #include "malware/ads_stasher.h"
 #include "ntfs/mft_scanner.h"
@@ -114,10 +114,10 @@ TEST(AdsScan, StasherDetectedOnlyByAdsScan) {
 
   // Every classic file view agrees — the payload is invisible to all of
   // them (it hides in a namespace they cannot express).
-  core::GhostBuster gb(m);
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  EXPECT_FALSE(gb.inside_scan(o).infection_detected());
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kFiles;
+  cfg.parallelism = 1;
+  EXPECT_FALSE(core::ScanEngine(m, cfg).inside_scan().infection_detected());
 
   // The ADS scan finds it and names the stream.
   const auto report = core::ads_scan(m);

@@ -4,7 +4,7 @@
 
 #include "core/cross_time.h"
 #include "registry/aseps.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/hackerdefender.h"
 #include "support/strings.h"
 
@@ -15,6 +15,12 @@ machine::MachineConfig small_config() {
   machine::MachineConfig cfg;
   cfg.synthetic_files = 15;
   cfg.synthetic_registry_keys = 8;
+  return cfg;
+}
+
+ScanConfig serial_scan() {
+  ScanConfig cfg;
+  cfg.parallelism = 1;
   return cfg;
 }
 
@@ -74,7 +80,7 @@ TEST(CrossTime, CatchesNonHidingMalwareThatCrossViewMisses) {
   m.registry().set_value(registry::kRunKey,
                          hive::Value::string("backdoor", "backdoor.exe"));
 
-  const auto cross_view = GhostBuster(m).inside_scan();
+  const auto cross_view = ScanEngine(m, serial_scan()).inside_scan();
   EXPECT_FALSE(cross_view.infection_detected());
 
   const auto diff = cross_time_diff(before, take_checkpoint(m));
@@ -103,7 +109,7 @@ TEST(CrossTime, RoutineActivityIsNoiseUntilFiltered) {
       << "unexpected surviving change: " << filtered[0].what;
 
   // Meanwhile cross-view on the same machine: zero findings, no filter.
-  EXPECT_FALSE(GhostBuster(m).inside_scan().infection_detected());
+  EXPECT_FALSE(ScanEngine(m, serial_scan()).inside_scan().infection_detected());
 }
 
 TEST(CrossTime, HidingMalwareCaughtByBothApproaches) {
@@ -117,7 +123,7 @@ TEST(CrossTime, HidingMalwareCaughtByBothApproaches) {
     if (icontains(c.what, "hxdef")) hxdef_change = true;
   }
   EXPECT_TRUE(hxdef_change);
-  EXPECT_TRUE(GhostBuster(m).inside_scan().infection_detected());
+  EXPECT_TRUE(ScanEngine(m, serial_scan()).inside_scan().infection_detected());
 }
 
 TEST(CrossTime, NoiseFilterIsADoubleEdgedSword) {

@@ -2,13 +2,13 @@
 // file-hiding ghostware programs.
 #include <gtest/gtest.h>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 
 namespace gb {
 namespace {
 
-using core::GhostBuster;
+using core::ScanEngine;
 using core::ResourceType;
 
 machine::MachineConfig small_config() {
@@ -18,10 +18,11 @@ machine::MachineConfig small_config() {
   return cfg;
 }
 
-core::Options files_only() {
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  return o;
+core::ScanConfig files_only() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kFiles;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 /// The report must list every manifest-hidden file and nothing else.
@@ -40,7 +41,7 @@ void expect_exact_hidden_files(const core::Report& report,
 
 TEST(DetectFiles, CleanMachineHasZeroFindings) {
   machine::Machine m(small_config());
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kFile);
   ASSERT_NE(diff, nullptr);
   EXPECT_TRUE(diff->hidden.empty()) << report.to_string();
@@ -60,8 +61,7 @@ TEST_P(Figure3Test, HiddenFilesDetectedExactly) {
   const auto ghost = entry.install(m);
 
   // Sanity: the high-level view really is lying (hidden file invisible).
-  GhostBuster gb(m);
-  const auto report = gb.inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   EXPECT_TRUE(report.infection_detected())
       << entry.display_name << "\n"
       << report.to_string();
@@ -78,7 +78,7 @@ TEST(DetectFiles, HackerDefenderIniPatternsHonored) {
   // A file matching a user pattern, created after install, is hidden from
   // the API view but caught by the raw MFT scan.
   m.volume().write_file("C:\\secret-stash.dat", "loot");
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kFile);
   ASSERT_NE(diff, nullptr);
   bool found = false;
@@ -95,7 +95,7 @@ TEST(DetectFiles, NativeOnlyNamesAreDetected) {
   machine::Machine m(small_config());
   m.volume().write_file("C:\\windows\\payload.", "trailing dot");
   m.volume().write_file("C:\\windows\\aux", "reserved name");
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kFile);
   ASSERT_NE(diff, nullptr);
   std::set<std::string> keys;
@@ -110,7 +110,7 @@ TEST(DetectFiles, DeepPathBeyondMaxPathDetected) {
   while (deep.size() < 300) deep += "\\sub";
   m.volume().create_directories(deep);
   m.volume().write_file(deep + "\\buried.exe", "MZ");
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kFile);
   bool found = false;
   for (const auto& f : diff->hidden) {
@@ -123,7 +123,7 @@ TEST(DetectFiles, MultipleGhostwareDetectedSimultaneously) {
   machine::Machine m(small_config());
   const auto hxdef = malware::install_ghostware<malware::HackerDefender>(m);
   const auto vanquish = malware::install_ghostware<malware::Vanquish>(m);
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kFile);
   ASSERT_NE(diff, nullptr);
   EXPECT_GE(diff->hidden.size(), hxdef->manifest().hidden_files.size() +
@@ -140,20 +140,19 @@ TEST(DetectFiles, FilterDriverScopingStillCaught) {
       malware::TargetPolicy::only({"explorer.exe"}));
   hider->install(m);
 
-  GhostBuster gb(m);
-  auto opts = files_only();
-  const auto plain = gb.inside_scan(opts);
+  auto cfg = files_only();
+  const auto plain = ScanEngine(m, cfg).inside_scan();
   EXPECT_FALSE(plain.infection_detected());
 
-  opts.scanner_image = "explorer.exe";
-  const auto targeted = gb.inside_scan(opts);
+  cfg.scanner_image = "explorer.exe";
+  const auto targeted = ScanEngine(m, cfg).inside_scan();
   EXPECT_TRUE(targeted.infection_detected());
 }
 
 TEST(DetectFiles, ReportRendersDisplayStrings) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::Vanquish>(m);
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const std::string text = report.to_string();
   EXPECT_NE(text.find("HIDDEN"), std::string::npos);
   EXPECT_NE(text.find("vanquish"), std::string::npos);

@@ -2,14 +2,14 @@
 // FU's DKOM (advanced mode required) and Vanquish's PEB-blanked module.
 #include <gtest/gtest.h>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 #include "support/strings.h"
 
 namespace gb {
 namespace {
 
-using core::GhostBuster;
+using core::ScanEngine;
 using core::ResourceType;
 
 machine::MachineConfig small_config() {
@@ -19,17 +19,19 @@ machine::MachineConfig small_config() {
   return cfg;
 }
 
-core::Options proc_only(bool advanced = false) {
-  core::Options o;
-  o.scan_files = o.scan_registry = o.scan_modules = false;
-  o.advanced_mode = advanced;
-  return o;
+core::ScanConfig proc_only(bool advanced = false) {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kProcesses;
+  cfg.processes.scheduler_view = advanced;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
-core::Options mod_only() {
-  core::Options o;
-  o.scan_files = o.scan_registry = o.scan_processes = false;
-  return o;
+core::ScanConfig mod_only() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kModules;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 bool hidden_process_named(const core::Report& r, std::string_view image) {
@@ -46,7 +48,7 @@ bool hidden_process_named(const core::Report& r, std::string_view image) {
 TEST(DetectProcesses, CleanMachineHasZeroFindings) {
   machine::Machine m(small_config());
   for (const bool advanced : {false, true}) {
-    const auto report = GhostBuster(m).inside_scan(proc_only(advanced));
+    const auto report = ScanEngine(m, proc_only(advanced)).inside_scan();
     const auto* diff = report.diff_for(ResourceType::kProcess);
     ASSERT_NE(diff, nullptr);
     EXPECT_TRUE(diff->hidden.empty()) << report.to_string();
@@ -57,7 +59,7 @@ TEST(DetectProcesses, CleanMachineHasZeroFindings) {
 TEST(DetectProcesses, AphexIatHidingDetected) {
   machine::Machine m(small_config());
   const auto aphex = malware::install_ghostware<malware::Aphex>(m);
-  const auto report = GhostBuster(m).inside_scan(proc_only());
+  const auto report = ScanEngine(m, proc_only()).inside_scan();
   EXPECT_TRUE(hidden_process_named(report, "~aphex.exe"))
       << report.to_string();
 }
@@ -68,14 +70,14 @@ TEST(DetectProcesses, HackerDefenderDetectedWithinBasicMode) {
   // suffices because it hooks APIs rather than unlinking.
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  const auto report = GhostBuster(m).inside_scan(proc_only());
+  const auto report = ScanEngine(m, proc_only()).inside_scan();
   EXPECT_TRUE(hidden_process_named(report, "hxdef100.exe"));
 }
 
 TEST(DetectProcesses, BerbewJmpPatchDetected) {
   machine::Machine m(small_config());
   const auto berbew = malware::install_ghostware<malware::Berbew>(m);
-  const auto report = GhostBuster(m).inside_scan(proc_only());
+  const auto report = ScanEngine(m, proc_only()).inside_scan();
   EXPECT_TRUE(hidden_process_named(report, berbew->process_name()))
       << report.to_string();
 }
@@ -86,15 +88,14 @@ TEST(DetectProcesses, FuRequiresAdvancedMode) {
   const auto victim = m.spawn_process("C:\\windows\\system32\\notepad.exe").pid();
   ASSERT_TRUE(fu->hide_process(m, victim));
 
-  GhostBuster gb(m);
   // Basic mode: the low-level scan walks the same (doctored) list, so the
   // diff is silent — the low-level scan no longer contains the truth.
-  const auto basic = gb.inside_scan(proc_only(false));
+  const auto basic = ScanEngine(m, proc_only(false)).inside_scan();
   EXPECT_FALSE(hidden_process_named(basic, "notepad.exe"))
       << basic.to_string();
 
   // Advanced mode walks the scheduler thread table and finds it.
-  const auto advanced = gb.inside_scan(proc_only(true));
+  const auto advanced = ScanEngine(m, proc_only(true)).inside_scan();
   EXPECT_TRUE(hidden_process_named(advanced, "notepad.exe"))
       << advanced.to_string();
 }
@@ -109,7 +110,7 @@ TEST(DetectProcesses, FuHidingApiHookedGhostware) {
   ASSERT_NE(hxdef_pid, 0u);
   ASSERT_TRUE(fu->hide_process(m, hxdef_pid));
 
-  const auto advanced = GhostBuster(m).inside_scan(proc_only(true));
+  const auto advanced = ScanEngine(m, proc_only(true)).inside_scan();
   EXPECT_TRUE(hidden_process_named(advanced, "hxdef100.exe"));
 }
 
@@ -119,14 +120,14 @@ TEST(DetectProcesses, FuUnhideRestoresCleanDiff) {
   const auto victim = m.spawn_process("C:\\windows\\system32\\cmd.exe").pid();
   fu->hide_process(m, victim);
   fu->unhide_process(m, victim);
-  const auto report = GhostBuster(m).inside_scan(proc_only(true));
+  const auto report = ScanEngine(m, proc_only(true)).inside_scan();
   EXPECT_FALSE(report.infection_detected()) << report.to_string();
 }
 
 TEST(DetectModules, VanquishBlankedPebEntryDetected) {
   machine::Machine m(small_config());
   const auto vanquish = malware::install_ghostware<malware::Vanquish>(m);
-  const auto report = GhostBuster(m).inside_scan(mod_only());
+  const auto report = ScanEngine(m, mod_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kModule);
   ASSERT_NE(diff, nullptr);
   // vanquish.dll is injected into many processes; Figure 6 notes the
@@ -143,7 +144,7 @@ TEST(DetectModules, VanquishBlankedPebEntryDetected) {
 
 TEST(DetectModules, CleanMachineHasZeroFindings) {
   machine::Machine m(small_config());
-  const auto report = GhostBuster(m).inside_scan(mod_only());
+  const auto report = ScanEngine(m, mod_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kModule);
   ASSERT_NE(diff, nullptr);
   EXPECT_TRUE(diff->hidden.empty()) << report.to_string();
@@ -154,7 +155,7 @@ TEST(DetectModules, HiddenProcessModulesSurfaceInModuleDiff) {
   // all of its modules show up as hidden too.
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  const auto report = GhostBuster(m).inside_scan(mod_only());
+  const auto report = ScanEngine(m, mod_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kModule);
   std::size_t hxdef_mods = 0;
   for (const auto& f : diff->hidden) {
@@ -172,9 +173,10 @@ TEST(DetectProcesses, CombinedScanMatchesPaperHeadline) {
   // scan, simulated time must be single-digit seconds.
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  core::Options o;
-  o.scan_files = o.scan_registry = false;
-  const auto report = GhostBuster(m).inside_scan(o);
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kProcesses | core::ResourceMask::kModules;
+  cfg.parallelism = 1;
+  const auto report = ScanEngine(m, cfg).inside_scan();
   EXPECT_TRUE(report.infection_detected());
   EXPECT_LT(report.total_simulated_seconds, 10.0);
   EXPECT_GT(report.total_simulated_seconds, 0.0);

@@ -3,7 +3,7 @@
 // forms of Section 3.
 #include <gtest/gtest.h>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "core/removal.h"
 #include "malware/collection.h"
 #include "registry/aseps.h"
@@ -11,7 +11,7 @@
 namespace gb {
 namespace {
 
-using core::GhostBuster;
+using core::ScanEngine;
 using core::ResourceType;
 
 machine::MachineConfig small_config() {
@@ -21,15 +21,16 @@ machine::MachineConfig small_config() {
   return cfg;
 }
 
-core::Options registry_only() {
-  core::Options o;
-  o.scan_files = o.scan_processes = o.scan_modules = false;
-  return o;
+core::ScanConfig registry_only() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kAseps;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 TEST(DetectRegistry, CleanMachineHasZeroFindings) {
   machine::Machine m(small_config());
-  const auto report = GhostBuster(m).inside_scan(registry_only());
+  const auto report = ScanEngine(m, registry_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kAsepHook);
   ASSERT_NE(diff, nullptr);
   EXPECT_TRUE(diff->hidden.empty()) << report.to_string();
@@ -47,7 +48,7 @@ TEST_P(Figure4Test, HiddenAsepHooksDetectedExactly) {
   machine::Machine m(small_config());
   const auto ghost = entry.install(m);
 
-  const auto report = GhostBuster(m).inside_scan(registry_only());
+  const auto report = ScanEngine(m, registry_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kAsepHook);
   ASSERT_NE(diff, nullptr) << entry.display_name;
 
@@ -74,7 +75,7 @@ TEST(DetectRegistry, EmbeddedNulValueNameDetected) {
   const std::string sneaky("Updater\0Svc", 11);
   m.registry().set_value(registry::kRunKey,
                          hive::Value::string(sneaky, "C:\\evil.exe"));
-  const auto report = GhostBuster(m).inside_scan(registry_only());
+  const auto report = ScanEngine(m, registry_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kAsepHook);
   ASSERT_NE(diff, nullptr);
   bool found = false;
@@ -95,7 +96,7 @@ TEST(DetectRegistry, OverlongValueNameDetected) {
   const std::string long_name(300, 'q');
   m.registry().set_value(registry::kRunKey,
                          hive::Value::string(long_name, "C:\\evil.exe"));
-  const auto report = GhostBuster(m).inside_scan(registry_only());
+  const auto report = ScanEngine(m, registry_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kAsepHook);
   bool found = false;
   for (const auto& f : diff->hidden) {
@@ -121,7 +122,7 @@ TEST(DetectRegistry, RegistryCallbackHidingDetected) {
   };
   m.registry().register_callback(std::move(cb));
 
-  const auto report = GhostBuster(m).inside_scan(registry_only());
+  const auto report = ScanEngine(m, registry_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kAsepHook);
   bool found = false;
   for (const auto& f : diff->hidden) {
@@ -139,7 +140,7 @@ TEST(DetectRegistry, AppInitDataItemGranularity) {
       hive::Value::string(registry::kAppInitDllsValue, "legit.dll"));
   const auto urbin = malware::install_ghostware<malware::Urbin>(m);
 
-  const auto report = GhostBuster(m).inside_scan(registry_only());
+  const auto report = ScanEngine(m, registry_only()).inside_scan();
   const auto* diff = report.diff_for(ResourceType::kAsepHook);
   ASSERT_EQ(diff->hidden.size(), 1u) << report.to_string();
   EXPECT_EQ(diff->hidden[0].resource.key,
@@ -153,9 +154,9 @@ TEST(DetectRegistry, RemovalWorkflowDisablesGhostware) {
   machine::Machine m(small_config());
   const auto hxdef = malware::install_ghostware<malware::HackerDefender>(m);
 
-  GhostBuster gb(m);
-  core::Options all;
-  const auto report = gb.inside_scan(all);
+  core::ScanConfig all;
+  all.parallelism = 1;
+  const auto report = ScanEngine(m, all).inside_scan();
   ASSERT_TRUE(report.infection_detected());
 
   const auto outcome = core::remove_ghostware(m, report, all);
@@ -171,8 +172,9 @@ TEST(DetectRegistry, RemovalWorkflowDisablesGhostware) {
 TEST(DetectRegistry, RemovalOfAppInitTrojan) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::Mersting>(m);
-  GhostBuster gb(m);
-  const auto report = gb.inside_scan();
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  const auto report = ScanEngine(m, cfg).inside_scan();
   ASSERT_TRUE(report.infection_detected());
   const auto outcome = core::remove_ghostware(m, report);
   EXPECT_TRUE(outcome.clean()) << outcome.verification.to_string();

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/file_scans.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "core/removal.h"
 #include "malware/indexghost.h"
 #include "ntfs/dir_index.h"
@@ -108,9 +108,10 @@ TEST(IndexGhostTest, CaughtByInsideCrossViewDiff) {
   // walk cannot enumerate the file, the raw MFT scan can.
   machine::Machine m(small_config());
   const auto ghost = malware::install_ghostware<malware::IndexGhost>(m);
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  const auto report = core::GhostBuster(m).inside_scan(o);
+  core::ScanConfig o;
+  o.resources = core::ResourceMask::kFiles;
+  o.parallelism = 1;
+  const auto report = core::ScanEngine(m, o).inside_scan();
   ASSERT_TRUE(report.infection_detected());
   EXPECT_EQ(report.all_hidden()[0].resource.key,
             core::file_key(ghost->payload_path()));
@@ -124,9 +125,10 @@ TEST(IndexGhostTest, SurvivesRebootUnlikeHookBasedHiding) {
   m.reboot();
   // Still hidden after reboot with no code running at all.
   EXPECT_FALSE(m.volume().exists("C:\\windows\\system32\\ighost.dat"));
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  EXPECT_TRUE(core::GhostBuster(m).inside_scan(o).infection_detected());
+  core::ScanConfig o;
+  o.resources = core::ResourceMask::kFiles;
+  o.parallelism = 1;
+  EXPECT_TRUE(core::ScanEngine(m, o).inside_scan().infection_detected());
 }
 
 TEST(IndexGhostTest, DefeatsEnumerationBasedOutsideScanButNotRawScan) {
@@ -135,10 +137,10 @@ TEST(IndexGhostTest, DefeatsEnumerationBasedOutsideScanButNotRawScan) {
   // The raw MFT walk over the same powered-off disk is not fooled.
   machine::Machine m(small_config());
   const auto ghost = malware::install_ghostware<malware::IndexGhost>(m);
-  core::GhostBuster gb(m);
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  const auto outside = gb.outside_scan(o);  // enumeration-based
+  core::ScanConfig o;
+  o.resources = core::ResourceMask::kFiles;
+  o.parallelism = 1;
+  const auto outside = core::ScanEngine(m, o).outside_scan();  // enumeration-based
   // Only the usual shutdown-window service FPs appear; the payload is
   // missing from the enumerated clean view too.
   for (const auto& f : outside.all_hidden()) {
@@ -164,9 +166,10 @@ TEST(IndexGhostTest, RemovalWorkflowRelinksAndDeletes) {
   // deletes. The machine ends up genuinely clean.
   machine::Machine m(small_config());
   const auto ghost = malware::install_ghostware<malware::IndexGhost>(m);
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  const auto report = core::GhostBuster(m).inside_scan(o);
+  core::ScanConfig o;
+  o.resources = core::ResourceMask::kFiles;
+  o.parallelism = 1;
+  const auto report = core::ScanEngine(m, o).inside_scan();
   ASSERT_TRUE(report.infection_detected());
   const auto outcome = core::remove_ghostware(m, report, o);
   EXPECT_EQ(outcome.files_deleted, 1u);
@@ -181,9 +184,10 @@ TEST(IndexGhostTest, RestoreMakesFileVisibleAgain) {
   auto ghost = malware::install_ghostware<malware::IndexGhost>(m);
   EXPECT_TRUE(ghost->restore(m));
   EXPECT_TRUE(m.volume().exists(ghost->payload_path()));
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  EXPECT_FALSE(core::GhostBuster(m).inside_scan(o).infection_detected());
+  core::ScanConfig o;
+  o.resources = core::ResourceMask::kFiles;
+  o.parallelism = 1;
+  EXPECT_FALSE(core::ScanEngine(m, o).inside_scan().infection_detected());
 }
 
 }  // namespace

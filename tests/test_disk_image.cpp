@@ -59,7 +59,7 @@ TEST(DiskImage, InfectedImageScannedFromHost) {
   vm.disk().save_image(path);
 
   auto host_view = disk::MemDisk::load_image(path);
-  const auto scan = core::outside_file_scan(host_view);
+  const auto scan = core::outside_file_scan(host_view).value();
   EXPECT_TRUE(scan.contains(core::file_key("C:\\hxdef100.exe")));
   EXPECT_TRUE(scan.contains(core::file_key("C:\\hxdefdrv.sys")));
   std::remove(path.c_str());

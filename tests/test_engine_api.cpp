@@ -1,9 +1,9 @@
-// GhostBuster orchestrator API behaviour: options, report accessors,
+// ScanEngine API behaviour: configuration, report accessors,
 // attribution, timing accumulation, error handling.
 #include <gtest/gtest.h>
 
 #include "core/attribution.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 #include "registry/aseps.h"
 #include "support/strings.h"
@@ -18,10 +18,16 @@ machine::MachineConfig small_config() {
   return cfg;
 }
 
+ScanConfig serial_scan() {
+  ScanConfig cfg;
+  cfg.parallelism = 1;
+  return cfg;
+}
+
 TEST(Report, AccessorsAndRendering) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  const auto report = GhostBuster(m).inside_scan();
+  const auto report = ScanEngine(m, serial_scan()).inside_scan();
 
   EXPECT_TRUE(report.infection_detected());
   EXPECT_EQ(report.diffs.size(), 4u);  // one per resource type
@@ -43,7 +49,7 @@ TEST(Report, AccessorsAndRendering) {
 
 TEST(Report, CleanRendering) {
   machine::Machine m(small_config());
-  const auto report = GhostBuster(m).inside_scan();
+  const auto report = ScanEngine(m, serial_scan()).inside_scan();
   EXPECT_NE(report.to_string().find("machine appears clean"),
             std::string::npos);
   EXPECT_EQ(report.diff_for(ResourceType::kFile)->simulated_seconds > 0,
@@ -57,7 +63,7 @@ TEST(Report, JsonOutputIsWellFormedAndEscaped) {
   const std::string sneaky(std::string("Upd") + '\0' + "Svc");
   m.registry().set_value(registry::kRunKey,
                          hive::Value::string(sneaky, "C:\\evil.exe"));
-  const auto report = GhostBuster(m).inside_scan();
+  const auto report = ScanEngine(m, serial_scan()).inside_scan();
   const auto json = report.to_json();
   EXPECT_NE(json.find("\"infected\":true"), std::string::npos);
   EXPECT_NE(json.find("\"type\":\"file\""), std::string::npos);
@@ -71,32 +77,30 @@ TEST(Report, JsonOutputIsWellFormedAndEscaped) {
             std::count(json.begin(), json.end(), ']'));
 }
 
-TEST(Options, SelectiveScansProduceSelectiveDiffs) {
+TEST(EngineConfig, SelectiveScansProduceSelectiveDiffs) {
   machine::Machine m(small_config());
-  GhostBuster gb(m);
-  Options o;
-  o.scan_files = false;
-  o.scan_modules = false;
-  const auto report = gb.inside_scan(o);
+  ScanConfig o = serial_scan();
+  o.resources = ResourceMask::kAseps | ResourceMask::kProcesses;
+  const auto report = ScanEngine(m, o).inside_scan();
   EXPECT_EQ(report.diffs.size(), 2u);
   EXPECT_EQ(report.diff_for(ResourceType::kFile), nullptr);
   EXPECT_NE(report.diff_for(ResourceType::kAsepHook), nullptr);
 }
 
-TEST(Options, ScannerImageSpawnsProcess) {
+TEST(EngineConfig, ScannerImageSpawnsProcess) {
   machine::Machine m(small_config());
   EXPECT_EQ(m.find_pid("gbscan.exe"), 0u);
-  Options o;
+  ScanConfig o = serial_scan();
   o.scanner_image = "gbscan.exe";
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  GhostBuster(m).inside_scan(o);
+  o.resources = ResourceMask::kFiles;
+  ScanEngine(m, o).inside_scan();
   EXPECT_NE(m.find_pid("gbscan.exe"), 0u);
 }
 
 TEST(Timing, ClockAdvancesBySimulatedScanTime) {
   machine::Machine m(small_config());
   const auto t0 = m.clock().now();
-  const auto report = GhostBuster(m).inside_scan();
+  const auto report = ScanEngine(m, serial_scan()).inside_scan();
   EXPECT_GT(report.total_simulated_seconds, 0.0);
   const double elapsed = VirtualClock::to_seconds(m.clock().now() - t0);
   EXPECT_NEAR(elapsed, report.total_simulated_seconds, 1e-6);
@@ -104,20 +108,20 @@ TEST(Timing, ClockAdvancesBySimulatedScanTime) {
 
 TEST(OutsideDiff, RequiresPoweredOffMachine) {
   machine::Machine m(small_config());
-  GhostBuster gb(m);
-  Options o;
-  o.scan_processes = o.scan_modules = false;
-  const auto cap = gb.capture_inside_high(o);
+  ScanConfig o = serial_scan();
+  o.resources = ResourceMask::kFiles | ResourceMask::kAseps;
+  ScanEngine gb(m, o);
+  const auto cap = gb.capture_inside_high();
   EXPECT_TRUE(m.running());  // no dump requested: machine still up
-  EXPECT_THROW(gb.outside_diff(cap, o), std::logic_error);
+  EXPECT_THROW(gb.outside_diff(cap), std::logic_error);
   m.shutdown();
-  EXPECT_NO_THROW(gb.outside_diff(cap, o));
+  EXPECT_NO_THROW(gb.outside_diff(cap));
 }
 
 TEST(Attribution, MapsFindingsToHookOwners) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  const auto report = GhostBuster(m).inside_scan();
+  const auto report = ScanEngine(m, serial_scan()).inside_scan();
   const auto attr = attribute_findings(m, report);
 
   ASSERT_FALSE(attr.findings.empty());
@@ -143,10 +147,10 @@ TEST(Attribution, DkomFindingHasNoSuspects) {
   const auto victim =
       m.spawn_process("C:\\windows\\system32\\notepad.exe").pid();
   fu->hide_process(m, victim);
-  Options o;
-  o.scan_files = o.scan_registry = o.scan_modules = false;
-  o.advanced_mode = true;
-  const auto report = GhostBuster(m).inside_scan(o);
+  ScanConfig o = serial_scan();
+  o.resources = ResourceMask::kProcesses;
+  o.processes.scheduler_view = true;
+  const auto report = ScanEngine(m, o).inside_scan();
   const auto attr = attribute_findings(m, report);
   ASSERT_EQ(attr.findings.size(), 1u);
   EXPECT_TRUE(attr.findings[0].suspected_owners.empty());
@@ -161,7 +165,7 @@ TEST(Attribution, AllowlistSuppressesBenignOwners) {
   benign.name = "av-onaccess";
   m.kernel().filter_chain().attach(std::move(benign));
 
-  const auto report = GhostBuster(m).inside_scan();
+  const auto report = ScanEngine(m, serial_scan()).inside_scan();
   const auto attr = attribute_findings(m, report, {"av-onaccess"});
   for (const auto& h : attr.interceptions) {
     EXPECT_NE(h.info.owner, "av-onaccess");
@@ -177,13 +181,13 @@ TEST(InjectedScan, UnionsFindingsAcrossContexts) {
   malware::install_ghostware<malware::Vanquish>(
       m, malware::TargetPolicy::only({"explorer.exe"}));
 
-  GhostBuster gb(m);
-  Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  const auto plain = gb.inside_scan(o);
+  ScanConfig o = serial_scan();
+  o.resources = ResourceMask::kFiles;
+  ScanEngine gb(m, o);
+  const auto plain = gb.inside_scan();
   EXPECT_FALSE(plain.infection_detected());
 
-  const auto injected = gb.injected_scan(o);
+  const auto injected = gb.injected_scan();
   const auto* diff = injected.diff_for(ResourceType::kFile);
   bool saw_aphex = false, saw_vanquish = false;
   for (const auto& f : diff->hidden) {

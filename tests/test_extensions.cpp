@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/anomaly.h"
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "core/hook_detector.h"
 #include "malware/collection.h"
 #include "support/strings.h"
@@ -12,7 +12,7 @@
 namespace gb {
 namespace {
 
-using core::GhostBuster;
+using core::ScanEngine;
 using core::ResourceType;
 
 machine::MachineConfig small_config() {
@@ -22,10 +22,11 @@ machine::MachineConfig small_config() {
   return cfg;
 }
 
-core::Options files_only() {
-  core::Options o;
-  o.scan_registry = o.scan_processes = o.scan_modules = false;
-  return o;
+core::ScanConfig files_only() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kFiles;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 TEST(Targeting, UtilityOnlyHidingEvadesPlainScanButNotInjection) {
@@ -36,11 +37,11 @@ TEST(Targeting, UtilityOnlyHidingEvadesPlainScanButNotInjection) {
       m, std::vector<std::string>{"rcmd*"},
       malware::TargetPolicy::only({"taskmgr.exe", "tlist.exe"}));
 
-  GhostBuster gb(m);
-  const auto plain = gb.inside_scan(files_only());
+  ScanEngine gb(m, files_only());
+  const auto plain = gb.inside_scan();
   EXPECT_FALSE(plain.infection_detected()) << plain.to_string();
 
-  const auto injected = gb.injected_scan(files_only());
+  const auto injected = gb.injected_scan();
   EXPECT_TRUE(injected.infection_detected()) << injected.to_string();
   const auto* diff = injected.diff_for(ResourceType::kFile);
   bool hxdef_found = false;
@@ -58,17 +59,19 @@ TEST(Targeting, GhostBusterExemptionEvadesPlainScanButNotInjection) {
   malware::install_ghostware<malware::Vanquish>(
       m, malware::TargetPolicy::everyone_except({"ghostbuster.exe"}));
 
-  GhostBuster gb(m);
-  const auto plain = gb.inside_scan(files_only());
+  ScanEngine gb(m, files_only());
+  const auto plain = gb.inside_scan();
   EXPECT_FALSE(plain.infection_detected()) << plain.to_string();
 
-  const auto injected = gb.injected_scan(files_only());
+  const auto injected = gb.injected_scan();
   EXPECT_TRUE(injected.infection_detected());
 }
 
 TEST(Targeting, InjectedScanStillCleanOnCleanMachine) {
   machine::Machine m(small_config());
-  const auto report = GhostBuster(m).injected_scan();
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  const auto report = ScanEngine(m, cfg).injected_scan();
   EXPECT_FALSE(report.infection_detected()) << report.to_string();
 }
 
@@ -93,10 +96,9 @@ TEST(ETrustDemo, SignatureScannerDilemma) {
   }
 
   // Inject GhostBuster into the scanner process: scan from its context.
-  GhostBuster gb(m);
-  auto opts = files_only();
-  opts.scanner_image = "inocit.exe";
-  const auto report = gb.inside_scan(opts);
+  auto cfg = files_only();
+  cfg.scanner_image = "inocit.exe";
+  const auto report = ScanEngine(m, cfg).inside_scan();
   EXPECT_TRUE(report.infection_detected());
   const auto* diff = report.diff_for(ResourceType::kFile);
   bool found = false;
@@ -118,7 +120,7 @@ TEST(Anomaly, MassHidingIsItselfAnAnomaly) {
   auto hider = std::make_shared<malware::Aphex>("doc");  // hide doc*
   hider->install(m);
 
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const auto assessment = core::assess_anomaly(report.diffs);
   EXPECT_GE(assessment.hidden_files, 80u);
   EXPECT_TRUE(assessment.mass_hiding);
@@ -128,7 +130,7 @@ TEST(Anomaly, MassHidingIsItselfAnAnomaly) {
 TEST(Anomaly, NormalInfectionBelowMassThreshold) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const auto assessment = core::assess_anomaly(report.diffs);
   EXPECT_FALSE(assessment.mass_hiding);
   EXPECT_GT(assessment.hidden_files, 0u);
@@ -136,7 +138,7 @@ TEST(Anomaly, NormalInfectionBelowMassThreshold) {
 
 TEST(Anomaly, CleanMachineSummary) {
   machine::Machine m(small_config());
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   const auto assessment = core::assess_anomaly(report.diffs);
   EXPECT_EQ(assessment.summary, "no hiding detected");
 }
@@ -173,10 +175,11 @@ TEST(HookDetector, MissesDataOnlyHiding) {
   const auto hooks = core::detect_hooks(m);
   for (const auto& h : hooks) EXPECT_NE(h.info.owner, "fu");
 
-  core::Options o;
-  o.scan_files = o.scan_registry = o.scan_modules = false;
-  o.advanced_mode = true;
-  const auto report = GhostBuster(m).inside_scan(o);
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kProcesses;
+  cfg.processes.scheduler_view = true;
+  cfg.parallelism = 1;
+  const auto report = ScanEngine(m, cfg).inside_scan();
   EXPECT_TRUE(report.infection_detected());
 }
 
@@ -197,7 +200,7 @@ TEST(HookDetector, LegitimateHooksAreFalsePositives) {
   }
   EXPECT_TRUE(flagged);  // mechanism detector: false positive
 
-  const auto report = GhostBuster(m).inside_scan(files_only());
+  const auto report = ScanEngine(m, files_only()).inside_scan();
   EXPECT_FALSE(report.infection_detected());  // cross-view diff: clean
 
   // Allowlisting fixes the mechanism detector's FP, at the cost of a

@@ -2,7 +2,7 @@
 // and a long soak across infect/scan/remove cycles.
 #include <gtest/gtest.h>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "core/removal.h"
 #include "hive/hive.h"
 #include "malware/collection.h"
@@ -59,8 +59,10 @@ TEST(DeletedRecovery, MalwareRemovalLeavesAuditTrail) {
   // response.
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  const auto report = core::GhostBuster(m).inside_scan();
-  core::remove_ghostware(m, report);
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  const auto report = core::ScanEngine(m, cfg).inside_scan();
+  core::remove_ghostware(m, report, cfg);
 
   ntfs::MftScanner scanner(m.disk());
   bool hxdef_tombstone = false;
@@ -107,11 +109,12 @@ TEST(HiveRi, RegistryScanHandlesHugeServicesKey) {
         std::string(registry::kServicesKey) + "\\svc" + std::to_string(i),
         hive::Value::string("ImagePath", "System32\\svc.exe"));
   }
-  const auto report = core::GhostBuster(m).inside_scan([] {
-    core::Options o;
-    o.scan_files = o.scan_processes = o.scan_modules = false;
-    return o;
-  }());
+  const auto report = core::ScanEngine(m, [] {
+    core::ScanConfig cfg;
+    cfg.resources = core::ResourceMask::kAseps;
+    cfg.parallelism = 1;
+    return cfg;
+  }()).inside_scan();
   EXPECT_FALSE(report.infection_detected()) << report.to_string();
   const auto* diff = report.diff_for(core::ResourceType::kAsepHook);
   EXPECT_GT(diff->high_count, 600u);
@@ -122,8 +125,9 @@ TEST(Soak, RepeatedInfectScanRemoveCyclesStayConsistent) {
   machine::MachineConfig cfg = small_config();
   cfg.mft_records = 32768;
   machine::Machine m(cfg);
-  core::Options o;
-  o.advanced_mode = true;
+  core::ScanConfig o;
+  o.processes.scheduler_view = true;
+  o.parallelism = 1;
 
   for (int round = 0; round < 3; ++round) {
     // Infect with two programs.
@@ -131,8 +135,7 @@ TEST(Soak, RepeatedInfectScanRemoveCyclesStayConsistent) {
     malware::install_ghostware<malware::Vanquish>(m);
     m.run_for(VirtualClock::seconds(120));
 
-    core::GhostBuster gb(m);
-    const auto report = gb.inside_scan(o);
+    const auto report = core::ScanEngine(m, o).inside_scan();
     EXPECT_TRUE(report.infection_detected()) << "round " << round;
     EXPECT_GE(report.hidden_count(core::ResourceType::kFile), 8u);
 
@@ -141,7 +144,7 @@ TEST(Soak, RepeatedInfectScanRemoveCyclesStayConsistent) {
         << "round " << round << "\n"
         << outcome.verification.to_string();
     m.reboot();
-    EXPECT_FALSE(core::GhostBuster(m).inside_scan(o).infection_detected())
+    EXPECT_FALSE(core::ScanEngine(m, o).inside_scan().infection_detected())
         << "round " << round;
   }
 }

@@ -1,7 +1,7 @@
 // Outside-the-box detection (Sections 2–4) and the false-positive study.
 #include <gtest/gtest.h>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "machine/services.h"
 #include "malware/collection.h"
 #include "support/strings.h"
@@ -9,7 +9,7 @@
 namespace gb {
 namespace {
 
-using core::GhostBuster;
+using core::ScanEngine;
 using core::ResourceType;
 
 machine::MachineConfig small_config(bool ccm = false) {
@@ -20,10 +20,11 @@ machine::MachineConfig small_config(bool ccm = false) {
   return cfg;
 }
 
-core::Options files_and_registry() {
-  core::Options o;
-  o.scan_processes = o.scan_modules = false;
-  return o;
+core::ScanConfig files_and_registry() {
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kFiles | core::ResourceMask::kAseps;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 std::size_t hidden_named(const core::DiffReport& d, std::string_view needle) {
@@ -37,8 +38,7 @@ std::size_t hidden_named(const core::DiffReport& d, std::string_view needle) {
 TEST(OutsideBox, HackerDefenderFilesAndHooksDetected) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  GhostBuster gb(m);
-  const auto report = gb.outside_scan(files_and_registry());
+  const auto report = ScanEngine(m, files_and_registry()).outside_scan();
   EXPECT_FALSE(m.running());
 
   const auto* files = report.diff_for(ResourceType::kFile);
@@ -55,7 +55,7 @@ TEST(OutsideBox, SsdtHookerCannotHideFromCleanBoot) {
   // is taken with the machine off.
   machine::Machine m(small_config());
   const auto probot = malware::install_ghostware<malware::ProBotSe>(m);
-  const auto report = GhostBuster(m).outside_scan(files_and_registry());
+  const auto report = ScanEngine(m, files_and_registry()).outside_scan();
   const auto* files = report.diff_for(ResourceType::kFile);
   std::size_t found = 0;
   for (const auto& path : probot->manifest().hidden_files) {
@@ -72,7 +72,7 @@ TEST(OutsideBox, FalsePositivesComeFromServices) {
   // paper's "two or less".
   machine::Machine m(small_config(/*ccm=*/false));
   m.run_for(VirtualClock::seconds(120));
-  const auto report = GhostBuster(m).outside_scan(files_and_registry());
+  const auto report = ScanEngine(m, files_and_registry()).outside_scan();
   const auto* files = report.diff_for(ResourceType::kFile);
   ASSERT_NE(files, nullptr);
   EXPECT_LE(files->hidden.size(), 2u) << report.to_string();
@@ -95,7 +95,7 @@ TEST(OutsideBox, CcmServiceRaisesFalsePositivesTo7) {
   machine::Machine with_ccm(small_config(/*ccm=*/true));
   with_ccm.run_for(VirtualClock::seconds(120));
   const auto report =
-      GhostBuster(with_ccm).outside_scan(files_and_registry());
+      ScanEngine(with_ccm, files_and_registry()).outside_scan();
   const auto* files = report.diff_for(ResourceType::kFile);
   EXPECT_EQ(files->hidden.size(), 7u) << report.to_string();
 
@@ -104,7 +104,7 @@ TEST(OutsideBox, CcmServiceRaisesFalsePositivesTo7) {
   with_ccm.services().set_enabled(machine::Services::kCcm, false);
   with_ccm.run_for(VirtualClock::seconds(60));
   const auto rescan =
-      GhostBuster(with_ccm).outside_scan(files_and_registry());
+      ScanEngine(with_ccm, files_and_registry()).outside_scan();
   EXPECT_LE(rescan.diff_for(ResourceType::kFile)->hidden.size(), 2u);
 }
 
@@ -113,7 +113,7 @@ TEST(OutsideBox, InsideScanStaysFpFreeOnBusyMachine) {
   // (which only appends) cannot create presence diffs.
   machine::Machine m(small_config(true));
   m.run_for(VirtualClock::seconds(600));
-  const auto report = GhostBuster(m).inside_scan(files_and_registry());
+  const auto report = ScanEngine(m, files_and_registry()).inside_scan();
   EXPECT_FALSE(report.infection_detected()) << report.to_string();
 }
 
@@ -126,10 +126,10 @@ TEST(OutsideBox, DumpBasedProcessScanFindsDkom) {
       m.spawn_process("C:\\windows\\system32\\notepad.exe").pid();
   fu->hide_process(m, victim);
 
-  GhostBuster gb(m);
-  core::Options o;
-  o.scan_files = o.scan_registry = o.scan_modules = false;
-  const auto report = gb.outside_scan(o);
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kProcesses;
+  cfg.parallelism = 1;
+  const auto report = ScanEngine(m, cfg).outside_scan();
   const auto* procs = report.diff_for(ResourceType::kProcess);
   ASSERT_NE(procs, nullptr);
   EXPECT_EQ(hidden_named(*procs, "notepad.exe"), 1u) << report.to_string();
@@ -153,10 +153,10 @@ TEST(OutsideBox, DumpScrubberDefeatsDumpScan) {
     bytes = kernel::serialize_dump(dump);
   });
 
-  GhostBuster gb(m);
-  core::Options o;
-  o.scan_files = o.scan_registry = o.scan_modules = false;
-  const auto report = gb.outside_scan(o);
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kProcesses;
+  cfg.parallelism = 1;
+  const auto report = ScanEngine(m, cfg).outside_scan();
   // The scrubbed dump hides the rootkit even from the outside scan —
   // the motivation for DMA-based acquisition (Copilot / Backdoors).
   const auto* procs = report.diff_for(ResourceType::kProcess);
@@ -170,13 +170,12 @@ TEST(OutsideBox, VmHostScanHasZeroFalsePositives) {
   // diff contains the hidden files and nothing else.
   machine::Machine vm(small_config());
   malware::install_ghostware<malware::HackerDefender>(vm);
-  GhostBuster gb(vm);
-  auto opts = files_and_registry();
-  const auto cap = gb.capture_inside_high(opts);
+  ScanEngine engine(vm, files_and_registry());
+  const auto cap = engine.capture_inside_high();
   // "Power down" without the shutdown-window service writes (the VM is
   // halted by the host, not shut down from inside).
   vm.bluescreen();
-  const auto report = gb.outside_diff(cap, opts);
+  const auto report = engine.outside_diff(cap);
   const auto* files = report.diff_for(ResourceType::kFile);
   ASSERT_NE(files, nullptr);
   for (const auto& f : files->hidden) {

@@ -2,14 +2,14 @@
 // the missing half of the dump story — module truth travels with it.
 #include <gtest/gtest.h>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "malware/collection.h"
 #include "support/strings.h"
 
 namespace gb {
 namespace {
 
-using core::GhostBuster;
+using core::ScanEngine;
 using core::ResourceType;
 
 machine::MachineConfig small_config() {
@@ -19,17 +19,18 @@ machine::MachineConfig small_config() {
   return cfg;
 }
 
-core::Options proc_and_modules() {
-  core::Options o;
-  o.scan_files = o.scan_registry = false;
-  return o;
+core::ScanConfig proc_and_modules() {
+  core::ScanConfig cfg;
+  cfg.resources =
+      core::ResourceMask::kProcesses | core::ResourceMask::kModules;
+  cfg.parallelism = 1;
+  return cfg;
 }
 
 TEST(OutsideModules, VanquishBlankedPebFoundInDump) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::Vanquish>(m);
-  GhostBuster gb(m);
-  const auto report = gb.outside_scan(proc_and_modules());
+  const auto report = ScanEngine(m, proc_and_modules()).outside_scan();
   const auto* mods = report.diff_for(ResourceType::kModule);
   ASSERT_NE(mods, nullptr);
   std::size_t vanquish_hits = 0;
@@ -41,16 +42,14 @@ TEST(OutsideModules, VanquishBlankedPebFoundInDump) {
 
 TEST(OutsideModules, CleanMachineDumpDiffIsQuiet) {
   machine::Machine m(small_config());
-  GhostBuster gb(m);
-  const auto report = gb.outside_scan(proc_and_modules());
+  const auto report = ScanEngine(m, proc_and_modules()).outside_scan();
   EXPECT_FALSE(report.infection_detected()) << report.to_string();
 }
 
 TEST(OutsideModules, HiddenProcessModulesInDumpDiff) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::Berbew>(m);
-  GhostBuster gb(m);
-  const auto report = gb.outside_scan(proc_and_modules());
+  const auto report = ScanEngine(m, proc_and_modules()).outside_scan();
   const auto* procs = report.diff_for(ResourceType::kProcess);
   const auto* mods = report.diff_for(ResourceType::kModule);
   ASSERT_NE(procs, nullptr);
@@ -65,12 +64,11 @@ TEST(OutsideModules, TwoPhaseApiAllowsCustomBootEnvironment) {
   // pieces compose without the convenience wrapper.
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
-  GhostBuster gb(m);
-  const auto opts = proc_and_modules();
-  const auto cap = gb.capture_inside_high(opts);
+  ScanEngine gb(m, proc_and_modules());
+  const auto cap = gb.capture_inside_high();
   ASSERT_TRUE(cap.dump.has_value());
   EXPECT_FALSE(m.running());  // bluescreen halted it
-  const auto report = gb.outside_diff(cap, opts);
+  const auto report = gb.outside_diff(cap);
   EXPECT_TRUE(report.infection_detected());
   // Dumps can be re-serialized for archival and parsed again.
   const auto archived = kernel::serialize_dump(*cap.dump);

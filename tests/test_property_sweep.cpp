@@ -3,14 +3,14 @@
 // scan mode, not just for the hand-picked cases.
 #include <gtest/gtest.h>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "core/removal.h"
 #include "malware/collection.h"
 
 namespace gb {
 namespace {
 
-using core::GhostBuster;
+using core::ScanEngine;
 using core::ResourceType;
 
 machine::MachineConfig small_config(std::uint64_t seed = 1) {
@@ -36,10 +36,10 @@ TEST_P(FileHiderSweep, InvariantsHoldForEveryProgramAndSeed) {
   machine::Machine m(small_config(seed));
   const auto ghost = entries[index].install(m);
 
-  GhostBuster gb(m);
-  core::Options o;
-  o.advanced_mode = true;
-  const auto report = gb.inside_scan(o);
+  core::ScanConfig o;
+  o.processes.scheduler_view = true;
+  o.parallelism = 1;
+  const auto report = ScanEngine(m, o).inside_scan();
 
   // Invariant 1: every manifest-hidden file is found.
   const auto* files = report.diff_for(ResourceType::kFile);
@@ -127,11 +127,12 @@ TEST_P(TargetingSweep, UtilityTargetedHidingBeatenByInjection) {
   machine::Machine m(small_config());
   maker.make(m, malware::TargetPolicy::only({"explorer.exe"}));
 
-  GhostBuster gb(m);
-  core::Options o;
-  o.scan_processes = o.scan_modules = false;
-  EXPECT_FALSE(gb.inside_scan(o).infection_detected()) << maker.label;
-  EXPECT_TRUE(gb.injected_scan(o).infection_detected()) << maker.label;
+  core::ScanConfig cfg;
+  cfg.resources = core::ResourceMask::kFiles | core::ResourceMask::kAseps;
+  cfg.parallelism = 1;
+  ScanEngine gb(m, cfg);
+  EXPECT_FALSE(gb.inside_scan().infection_detected()) << maker.label;
+  EXPECT_TRUE(gb.injected_scan().infection_detected()) << maker.label;
 }
 
 INSTANTIATE_TEST_SUITE_P(SixTechniques, TargetingSweep,
@@ -143,9 +144,10 @@ TEST(CleanSweep, ManySeedsNeverFalsePositive) {
   for (const std::uint64_t seed : {2u, 77u, 555u, 31337u}) {
     machine::Machine m(small_config(seed));
     m.run_for(VirtualClock::seconds(120));
-    core::Options o;
-    o.advanced_mode = true;
-    const auto report = GhostBuster(m).inside_scan(o);
+    core::ScanConfig o;
+    o.processes.scheduler_view = true;
+    o.parallelism = 1;
+    const auto report = ScanEngine(m, o).inside_scan();
     EXPECT_FALSE(report.infection_detected())
         << "seed " << seed << "\n"
         << report.to_string();

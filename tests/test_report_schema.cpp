@@ -1,0 +1,82 @@
+// Golden-file compatibility: pins the schema-v2.1 report JSON shape so
+// schema changes are deliberate, not accidental. Regenerate the golden
+// with GB_UPDATE_GOLDEN=1 after an intentional schema bump.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+#include "core/scan_engine.h"
+#include "malware/hackerdefender.h"
+
+namespace gb {
+namespace {
+
+/// Zeroes the wall-clock fields — the only nondeterministic bytes in a
+/// report — exactly as the determinism suite does.
+std::string normalize(std::string j) {
+  j = std::regex_replace(j, std::regex(R"(\"wall_seconds\":[0-9eE+.\-]+)"),
+                         "\"wall_seconds\":0");
+  j = std::regex_replace(j, std::regex(R"(\"worker_threads\":[0-9]+)"),
+                         "\"worker_threads\":0");
+  return j;
+}
+
+std::string golden_path() {
+  return std::string(GB_GOLDEN_DIR) + "/report_v2_1.json";
+}
+
+/// The pinned scenario: a seeded small machine with Hacker Defender,
+/// scanned serially. Every byte of the normalized JSON is reproducible.
+std::string reference_report_json() {
+  machine::MachineConfig cfg;
+  cfg.synthetic_files = 20;
+  cfg.synthetic_registry_keys = 10;
+  machine::Machine m(cfg);
+  malware::install_ghostware<malware::HackerDefender>(m);
+  core::ScanConfig scan_cfg;
+  scan_cfg.parallelism = 1;
+  return normalize(core::ScanEngine(m, scan_cfg).inside_scan().to_json());
+}
+
+TEST(ReportSchemaGolden, JsonMatchesPinnedGolden) {
+  const std::string actual = reference_report_json();
+  if (std::getenv("GB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    out << actual << '\n';
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path()
+                  << " (regenerate with GB_UPDATE_GOLDEN=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string expected = buf.str();
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+  EXPECT_EQ(actual, expected)
+      << "report JSON changed; if the schema bump is deliberate, rerun "
+         "with GB_UPDATE_GOLDEN=1 and review the golden diff";
+}
+
+TEST(ReportSchemaGolden, RequiredKeysAppearInOrder) {
+  const std::string j = reference_report_json();
+  const char* keys[] = {
+      "\"schema_version\":\"2.1\"", "\"infected\":",      "\"degraded\":",
+      "\"simulated_seconds\":",     "\"wall_seconds\":",  "\"worker_threads\":",
+      "\"diffs\":[",                "\"type\":",          "\"status\":",
+      "\"error\":",                 "\"high_view\":",     "\"low_view\":",
+      "\"trust\":",                 "\"high_count\":",    "\"low_count\":",
+      "\"hidden\":[",               "\"extra_count\":"};
+  std::size_t pos = 0;
+  for (const char* key : keys) {
+    const auto found = j.find(key, pos);
+    ASSERT_NE(found, std::string::npos) << "missing or out of order: " << key;
+    pos = found;
+  }
+}
+
+}  // namespace
+}  // namespace gb

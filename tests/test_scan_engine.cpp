@@ -1,11 +1,10 @@
 // ScanEngine: parallel scans must be byte-identical to the serial path
 // at any worker count, the sharded differ must match the serial differ,
-// and the v2 report schema must carry the new timing fields.
+// and the v2.1 report schema must carry the timing and status fields.
 #include <gtest/gtest.h>
 
 #include <regex>
 
-#include "core/ghostbuster.h"
 #include "core/scan_engine.h"
 #include "malware/collection.h"
 
@@ -119,20 +118,6 @@ TEST(ScanEngineDeterminism, OutsideScanIdenticalAcrossWorkerCounts) {
   }
 }
 
-TEST(ScanEngineDeterminism, LegacyShimMatchesSingleExecutorEngine) {
-  machine::Machine m1(small_config());
-  malware::install_ghostware<malware::HackerDefender>(m1);
-  const auto legacy = GhostBuster(m1).inside_scan();
-
-  machine::Machine m2(small_config());
-  malware::install_ghostware<malware::HackerDefender>(m2);
-  ScanConfig cfg;
-  cfg.parallelism = 1;
-  const auto engine = ScanEngine(m2, cfg).inside_scan();
-
-  EXPECT_EQ(normalized(legacy), normalized(engine));
-}
-
 TEST(ShardedDiff, MatchesSerialDiffOnLargeInputs) {
   // Large synthetic snapshots with hidden, extra, and common resources —
   // past the sharding threshold so the parallel path actually shards.
@@ -165,13 +150,14 @@ TEST(ShardedDiff, MatchesSerialDiffOnLargeInputs) {
   }
 }
 
-TEST(ReportJson, SchemaV2CarriesTimingAndWorkerFields) {
+TEST(ReportJson, SchemaV21CarriesTimingWorkerAndStatusFields) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
   ScanEngine engine(m, parallel_config(2));
   const auto report = engine.inside_scan();
   const auto json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":\"2.1\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);
   EXPECT_NE(json.find("\"wall_seconds\":"), std::string::npos);
   EXPECT_NE(json.find("\"worker_threads\":2"), std::string::npos);
   EXPECT_NE(json.find("\"simulated_seconds\":"), std::string::npos);
@@ -182,22 +168,24 @@ TEST(ReportJson, SchemaV2CarriesTimingAndWorkerFields) {
   EXPECT_EQ(std::distance(std::sregex_iterator(json.begin(), json.end(), wall),
                           std::sregex_iterator()),
             diff_count + 1);  // one per diff + the report total
+  // Healthy scans: every diff carries an OK status and an empty error.
+  const std::regex ok_status("\"status\":\"ok\"");
+  EXPECT_EQ(std::distance(
+                std::sregex_iterator(json.begin(), json.end(), ok_status),
+                std::sregex_iterator()),
+            diff_count);
+  EXPECT_EQ(json.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_FALSE(report.degraded());
 }
 
-TEST(ResourceMaskOps, BitmaskAlgebraAndOptionMapping) {
+TEST(ResourceMaskOps, BitmaskAlgebra) {
   constexpr auto fp = ResourceMask::kFiles | ResourceMask::kProcesses;
   static_assert(has(fp, ResourceMask::kFiles));
   static_assert(!has(fp, ResourceMask::kAseps));
   static_assert((~fp & fp) == ResourceMask::kNone);
   static_assert(has(~fp, ResourceMask::kModules));
   static_assert((ResourceMask::kAll & fp) == fp);
-
-  Options o;
-  o.scan_files = false;
-  o.scan_modules = false;
-  const auto cfg = o.to_config();
-  EXPECT_EQ(cfg.resources, ResourceMask::kAseps | ResourceMask::kProcesses);
-  EXPECT_EQ(cfg.parallelism, 1u);
+  EXPECT_EQ(mask_for(ResourceType::kAsepHook), ResourceMask::kAseps);
 }
 
 TEST(ScanEngineConfig, SelectiveMaskProducesSelectiveDiffs) {

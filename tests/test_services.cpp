@@ -1,7 +1,7 @@
 // Background-service behaviour (the FP model of Section 2).
 #include <gtest/gtest.h>
 
-#include "core/ghostbuster.h"
+#include "core/scan_engine.h"
 #include "machine/services.h"
 
 namespace gb::machine {
@@ -82,17 +82,18 @@ TEST(Services, RisNetworkBootIsFasterThanCd) {
   // Section 5: enterprise RIS network boot replaces the CD.
   Machine cd_machine(small_config(false));
   Machine ris_machine(small_config(false));
-  core::Options cd;
-  cd.scan_processes = cd.scan_modules = false;
-  core::Options ris = cd;
+  core::ScanConfig cd;
+  cd.resources = core::ResourceMask::kFiles | core::ResourceMask::kAseps;
+  cd.parallelism = 1;
+  core::ScanConfig ris = cd;
   ris.outside_boot = core::OutsideBoot::kRisNetworkBoot;
 
   const auto t_cd0 = cd_machine.clock().now();
-  core::GhostBuster(cd_machine).outside_scan(cd);
+  core::ScanEngine(cd_machine, cd).outside_scan();
   const auto cd_elapsed = cd_machine.clock().now() - t_cd0;
 
   const auto t_ris0 = ris_machine.clock().now();
-  core::GhostBuster(ris_machine).outside_scan(ris);
+  core::ScanEngine(ris_machine, ris).outside_scan();
   const auto ris_elapsed = ris_machine.clock().now() - t_ris0;
 
   EXPECT_LT(ris_elapsed, cd_elapsed);
