@@ -2,18 +2,21 @@
 // IT organizations can remotely deploy the solution on a large number of
 // desktops without requiring user cooperation" and scan them on schedule.
 //
-// Builds a small fleet, infects a subset with different ghostware, runs
-// the inside-the-box scan on every box and prints a triage table.
+// Builds a small multi-tenant fleet, infects a subset with different
+// ghostware, and serves every box through one ScanScheduler: ten
+// desktops multiplexed over three shared workers (not a thread per
+// desktop), with weighted fair queuing between tenants, mixed
+// priorities, and one lab job cancelled mid-sweep through its ScanJob
+// handle.
 //
 //   $ ./examples/enterprise_sweep
 #include <cstdio>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "core/anomaly.h"
-#include "core/scan_engine.h"
+#include "core/scan_scheduler.h"
 #include "malware/collection.h"
 
 int main() {
@@ -21,20 +24,33 @@ int main() {
 
   struct Desktop {
     std::string host;
+    std::string tenant;
+    int priority = 0;
     std::unique_ptr<machine::Machine> box;
     std::shared_ptr<malware::Ghostware> infection;  // may be null
     std::string infection_name = "-";
+    core::ScanJob job;
   };
 
+  // Three tenants share the scan service: headquarters carries double
+  // weight, the branch office and the malware lab one each.
   std::vector<Desktop> fleet;
   const auto catalogue = malware::file_hiding_collection();
-  for (int i = 0; i < 8; ++i) {
+  const char* tenants[] = {"hq", "hq", "hq", "hq",          // 0-3
+                           "branch", "branch", "branch",    // 4-6
+                           "lab", "lab", "lab"};            // 7-9
+  for (int i = 0; i < 10; ++i) {
     Desktop d;
     d.host = "DESKTOP-" + std::to_string(100 + i);
+    d.tenant = tenants[i];
+    // The lab's soak boxes run at low priority; one HQ box is a VIP.
+    d.priority = (d.tenant == std::string("lab")) ? -1 : (i == 1 ? 5 : 0);
     machine::MachineConfig cfg;
     cfg.seed = 1000 + static_cast<std::uint64_t>(i);
-    cfg.synthetic_files = 120;
-    cfg.synthetic_registry_keys = 60;
+    cfg.disk_sectors = 64 * 1024;  // 32 MiB: ten boxes fit in RAM
+    cfg.mft_records = 4096;
+    cfg.synthetic_files = 80;
+    cfg.synthetic_registry_keys = 40;
     d.box = std::make_unique<machine::Machine>(cfg);
     // Infect desktops 2, 4 and 7 with different programs.
     if (i == 2 || i == 4 || i == 7) {
@@ -45,48 +61,77 @@ int main() {
     fleet.push_back(std::move(d));
   }
 
-  std::printf("%-14s %-8s %-7s %-7s %-7s %-9s %-9s %s\n", "host", "verdict",
-              "files", "hooks", "procs", "scan(s)", "wall(ms)",
-              "ground truth");
-  // Machines are independent: scan the fleet concurrently, one thread per
-  // desktop (a management server fanning out to its agents). Each agent
-  // runs a single-executor ScanEngine — the fleet fan-out is already the
-  // parallelism; crank ScanConfig::parallelism instead when scanning one
-  // big machine.
-  struct Row {
-    core::Report report;
-    core::AnomalyAssessment assessment;
-  };
-  std::vector<Row> rows(fleet.size());
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(fleet.size());
-    for (std::size_t i = 0; i < fleet.size(); ++i) {
-      workers.emplace_back([&fleet, &rows, i] {
-        core::ScanConfig cfg;
-        cfg.parallelism = 1;
-        core::ScanEngine engine(*fleet[i].box, cfg);
-        rows[i].report = engine.inside_scan();
-        rows[i].assessment = core::assess_anomaly(rows[i].report.diffs);
-      });
+  // One shared pool, narrower than the fleet: the scheduler multiplexes
+  // ten machines over three workers. Each dispatched job runs a
+  // single-executor engine — the fleet fan-out is the parallelism.
+  core::ScanScheduler::Options opts;
+  opts.workers = 3;
+  opts.start_paused = true;  // queue the whole wave, then dispatch
+  core::ScanScheduler sched(opts);
+  sched.set_tenant_weight("hq", 2);
+  sched.set_tenant_weight("branch", 1);
+  sched.set_tenant_weight("lab", 1);
+
+  for (auto& d : fleet) {
+    core::JobSpec spec;
+    spec.machine = d.box.get();
+    spec.tenant = d.tenant;
+    spec.priority = d.priority;
+    spec.kind = core::ScanKind::kInside;
+    d.job = sched.submit(std::move(spec)).value();
+  }
+
+  // Ops pulls one lab soak box out of the wave before it runs — the
+  // session handle cancels it cleanly; it completes as CANCELLED
+  // without the machine ever being touched.
+  Desktop& pulled = fleet.back();
+  const auto pulled_clock_before = pulled.box->clock().now();
+  pulled.job.cancel();
+
+  sched.resume();
+  sched.wait_idle();
+
+  std::printf("%-14s %-7s %-4s %-10s %-7s %-7s %-7s %-8s %s\n", "host",
+              "tenant", "prio", "verdict", "files", "hooks", "procs",
+              "queue(ms)", "ground truth");
+  int detected = 0, infected = 0, cancelled = 0;
+  for (auto& d : fleet) {
+    auto& result = d.job.wait();
+    if (!result.ok()) {
+      const bool was_cancelled =
+          result.status().code() == support::StatusCode::kCancelled;
+      if (was_cancelled) ++cancelled;
+      std::printf("%-14s %-7s %-4d %-10s %-7s %-7s %-7s %-8s %s\n",
+                  d.host.c_str(), d.tenant.c_str(), d.priority,
+                  was_cancelled ? "CANCELLED" : "ERROR", "-", "-", "-", "-",
+                  d.infection_name.c_str());
+      continue;
     }
-  }  // jthreads join here
-  int detected = 0, infected = 0;
-  for (std::size_t i = 0; i < fleet.size(); ++i) {
-    const auto& d = fleet[i];
-    const auto& report = rows[i].report;
-    const auto& a = rows[i].assessment;
+    const core::Report& report = result.value();
+    const auto a = core::assess_anomaly(report.diffs);
     const bool verdict = report.infection_detected();
     if (d.infection) ++infected;
     if (verdict) ++detected;
-    std::printf("%-14s %-8s %-7zu %-7zu %-7zu %-9.1f %-9.1f %s\n",
-                d.host.c_str(), verdict ? "INFECTED" : "clean",
-                a.hidden_files, a.hidden_hooks, a.hidden_processes,
-                report.total_simulated_seconds,
-                report.total_wall_seconds * 1e3, d.infection_name.c_str());
+    std::printf("%-14s %-7s %-4d %-10s %-7zu %-7zu %-7zu %-8.1f %s\n",
+                d.host.c_str(), d.tenant.c_str(), d.priority,
+                verdict ? "INFECTED" : "clean", a.hidden_files,
+                a.hidden_hooks, a.hidden_processes,
+                report.scheduler->queue_seconds * 1e3,
+                d.infection_name.c_str());
   }
-  std::printf("\n%d/%d infections detected, zero false positives on clean"
-              " desktops\n",
-              detected, infected);
-  return detected == infected ? 0 : 1;
+
+  const core::SchedulerStats stats = sched.stats();
+  std::printf("\n%s", stats.to_string().c_str());
+  std::printf("\n%d/%d infections detected, zero false positives, "
+              "%d job cancelled mid-sweep\n",
+              detected, infected, cancelled);
+
+  // The pulled box was never scanned (clock untouched), everything else
+  // completed, and the one live infection on the pulled box's tenant
+  // still surfaced on the boxes that did run.
+  const bool pulled_clean =
+      !pulled.job.wait().ok() &&
+      pulled.job.wait().status().code() == support::StatusCode::kCancelled &&
+      pulled.box->clock().now() == pulled_clock_before;
+  return (detected == infected && cancelled == 1 && pulled_clean) ? 0 : 1;
 }

@@ -8,10 +8,16 @@
 //   ghostbuster_cli [--infect name[,name...]] [--mode inside|injected|outside]
 //                   [--advanced] [--ads] [--attribute] [--remove]
 //                   [--json [FILE]] [--save-image FILE | --scan-image FILE]
-//                   [--seed N]
+//                   [--seed N] [--fleet N [--workers N]]
 //
-//   --json emits the schema-v2.1 machine-readable report on stdout, or
+//   --json emits the schema-v2.2 machine-readable report on stdout, or
 //   into FILE when one is given (for SIEM/automation pipelines).
+//
+//   --fleet N scans N desktops (every third one infected from the
+//   file-hiding catalogue) through the ScanScheduler: tenants corp /
+//   branch / lab share --workers pool slots under weighted fair queuing.
+//   With --json the output is one envelope: {"schema_version":"2.2",
+//   "fleet":[report...],"stats":{...}}.
 //
 //   names: urbin mersting vanquish aphex hackerdefender probotse
 //          hidefiles berbew fu adsstasher indexghost
@@ -24,6 +30,7 @@
 //   ghostbuster_cli --scan-image /tmp/infected.img
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,7 +38,7 @@
 #include "core/attribution.h"
 #include "core/file_scans.h"
 #include "core/registry_scans.h"
-#include "core/scan_engine.h"
+#include "core/scan_scheduler.h"
 #include "core/removal.h"
 #include "malware/ads_stasher.h"
 #include "malware/indexghost.h"
@@ -94,6 +101,8 @@ int main(int argc, char** argv) {
   bool json = false;
   std::string json_path;
   std::uint64_t seed = 1;
+  std::size_t fleet_size = 0;
+  std::size_t fleet_workers = 2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,6 +126,8 @@ int main(int argc, char** argv) {
     else if (arg == "--save-image") save_image = need_value();
     else if (arg == "--scan-image") scan_image = need_value();
     else if (arg == "--seed") seed = std::stoull(need_value());
+    else if (arg == "--fleet") fleet_size = std::stoull(need_value());
+    else if (arg == "--workers") fleet_workers = std::stoull(need_value());
     else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n",
                    arg.c_str());
@@ -153,6 +164,113 @@ int main(int argc, char** argv) {
     }
     std::printf("(diff this against an inside capture to expose hiding)\n");
     return 0;
+  }
+
+  // Fleet mode: N desktops multiplexed over a fixed worker pool by the
+  // ScanScheduler, tenants served under weighted fair queuing.
+  if (fleet_size > 0) {
+    core::ScanKind kind = core::ScanKind::kInside;
+    if (mode == "injected") kind = core::ScanKind::kInjected;
+    else if (mode == "outside") kind = core::ScanKind::kOutside;
+    else if (mode != "inside") {
+      std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+      return 2;
+    }
+
+    const auto catalogue = malware::file_hiding_collection();
+    const char* tenant_of[] = {"corp", "branch", "lab"};
+    struct FleetBox {
+      std::string host;
+      std::string tenant;
+      std::unique_ptr<machine::Machine> box;
+      std::string infection_name = "-";
+      core::ScanJob job;
+    };
+    std::vector<FleetBox> fleet;
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+      FleetBox b;
+      b.host = "DESKTOP-" + std::to_string(100 + i);
+      b.tenant = tenant_of[i % 3];
+      machine::MachineConfig mc;
+      mc.seed = seed + i;
+      mc.disk_sectors = 64 * 1024;  // 32 MiB each, so big fleets fit
+      mc.mft_records = 4096;
+      mc.synthetic_files = 60;
+      mc.synthetic_registry_keys = 30;
+      b.box = std::make_unique<machine::Machine>(mc);
+      if (i % 3 == 2) {  // every third desktop carries an infection
+        const auto& entry = catalogue[i % catalogue.size()];
+        entry.install(*b.box);
+        b.infection_name = entry.display_name;
+      }
+      fleet.push_back(std::move(b));
+    }
+
+    core::ScanScheduler::Options opts;
+    opts.workers = fleet_workers;
+    core::ScanScheduler sched(opts);
+    sched.set_tenant_weight("corp", 2);
+    for (auto& b : fleet) {
+      core::JobSpec spec;
+      spec.machine = b.box.get();
+      spec.tenant = b.tenant;
+      spec.kind = kind;
+      spec.config.processes.scheduler_view = advanced;
+      b.job = sched.submit(std::move(spec)).value();
+    }
+    sched.wait_idle();
+
+    int detected = 0, infected = 0, failed = 0;
+    for (auto& b : fleet) {
+      auto& result = b.job.wait();
+      if (!result.ok()) ++failed;
+      if (b.infection_name != "-") ++infected;
+      if (result.ok() && result.value().infection_detected()) ++detected;
+    }
+    if (json) {
+      std::string payload = "{\"schema_version\":\"2.2\",\"fleet\":[";
+      bool first = true;
+      for (auto& b : fleet) {
+        if (!first) payload += ",";
+        first = false;
+        auto& result = b.job.wait();
+        payload += result.ok() ? result.value().to_json() : "null";
+      }
+      payload += "],\"stats\":" + sched.stats().to_json() + "}";
+      if (json_path.empty()) {
+        std::printf("%s\n", payload.c_str());
+      } else {
+        std::FILE* out = std::fopen(json_path.c_str(), "w");
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+          return 3;
+        }
+        std::fwrite(payload.data(), 1, payload.size(), out);
+        std::fputc('\n', out);
+        std::fclose(out);
+        std::printf("json fleet report written to %s\n", json_path.c_str());
+      }
+    } else {
+      std::printf("%-14s %-7s %-10s %-9s %s\n", "host", "tenant", "verdict",
+                  "queue(ms)", "ground truth");
+      for (auto& b : fleet) {
+        auto& result = b.job.wait();
+        if (!result.ok()) {
+          std::printf("%-14s %-7s %-10s %-9s %s\n", b.host.c_str(),
+                      b.tenant.c_str(), "ERROR", "-",
+                      result.status().to_string().c_str());
+          continue;
+        }
+        const core::Report& r = result.value();
+        std::printf("%-14s %-7s %-10s %-9.1f %s\n", b.host.c_str(),
+                    b.tenant.c_str(),
+                    r.infection_detected() ? "INFECTED" : "clean",
+                    r.scheduler->queue_seconds * 1e3,
+                    b.infection_name.c_str());
+      }
+      std::printf("\n%s", sched.stats().to_string().c_str());
+    }
+    return (failed == 0 && detected == infected) ? 0 : 1;
   }
 
   machine::MachineConfig cfg;

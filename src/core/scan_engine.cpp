@@ -27,22 +27,7 @@ std::size_t pool_workers(std::size_t parallelism) {
 }
 
 void json_escape(std::ostringstream& os, std::string_view s) {
-  static constexpr char kHex[] = "0123456789abcdef";
-  os << '"';
-  for (const char c : s) {
-    const auto uc = static_cast<unsigned char>(c);
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      default:
-        if (uc < 0x20) {
-          os << "\\u00" << kHex[uc >> 4] << kHex[uc & 0xf];
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  os << json_quote(s);
 }
 
 /// Runs one provider view, converting any stray exception into an
@@ -94,6 +79,15 @@ DiffReport diff_views(const ResourceScanner& scanner,
 }
 
 }  // namespace
+
+const char* scan_kind_name(ScanKind kind) {
+  switch (kind) {
+    case ScanKind::kInside: return "inside";
+    case ScanKind::kInjected: return "injected";
+    case ScanKind::kOutside: return "outside";
+  }
+  return "unknown";
+}
 
 bool Report::infection_detected() const {
   for (const auto& d : diffs) {
@@ -160,12 +154,22 @@ std::string Report::to_string() const {
 
 std::string Report::to_json() const {
   std::ostringstream os;
-  os << "{\"schema_version\":\"2.1\""
+  os << "{\"schema_version\":\"2.2\""
      << ",\"infected\":" << (infection_detected() ? "true" : "false")
      << ",\"degraded\":" << (degraded() ? "true" : "false")
      << ",\"simulated_seconds\":" << total_simulated_seconds
      << ",\"wall_seconds\":" << total_wall_seconds
-     << ",\"worker_threads\":" << worker_threads << ",\"diffs\":[";
+     << ",\"worker_threads\":" << worker_threads << ",\"scheduler\":";
+  if (scheduler) {
+    os << "{\"tenant\":";
+    json_escape(os, scheduler->tenant);
+    os << ",\"job_id\":" << scheduler->job_id
+       << ",\"priority\":" << scheduler->priority
+       << ",\"queue_seconds\":" << scheduler->queue_seconds << '}';
+  } else {
+    os << "null";
+  }
+  os << ",\"diffs\":[";
   bool first_diff = true;
   for (const auto& d : diffs) {
     if (!first_diff) os << ',';
@@ -243,7 +247,40 @@ void ScanEngine::flush_hives_if_needed() {
   }
 }
 
+support::StatusOr<Report> ScanEngine::run(const JobSpec& spec) {
+  const RunCtl ctl{spec.cancel, spec.progress};
+  switch (spec.kind) {
+    case ScanKind::kInside: return inside_scan_impl(ctl);
+    case ScanKind::kInjected: return injected_scan_impl(ctl);
+    case ScanKind::kOutside: return outside_scan_impl(ctl);
+  }
+  return support::Status::internal("unknown scan kind");
+}
+
 Report ScanEngine::inside_scan() {
+  return std::move(inside_scan_impl(RunCtl{})).value();
+}
+
+Report ScanEngine::injected_scan() {
+  return std::move(injected_scan_impl(RunCtl{})).value();
+}
+
+InsideCapture ScanEngine::capture_inside_high() {
+  return capture_inside_high_impl(RunCtl{});
+}
+
+Report ScanEngine::outside_diff(const InsideCapture& capture) {
+  return std::move(outside_diff_impl(capture, RunCtl{})).value();
+}
+
+Report ScanEngine::outside_scan() {
+  return std::move(outside_scan_impl(RunCtl{})).value();
+}
+
+support::StatusOr<Report> ScanEngine::inside_scan_impl(const RunCtl& ctl) {
+  if (ctl.cancelled()) {
+    return support::Status::cancelled("inside scan cancelled before start");
+  }
   const auto t0 = SteadyClock::now();
   Report report;
   const auto ctx = scanner_context();
@@ -259,22 +296,36 @@ Report ScanEngine::inside_scan() {
     double low_wall = 0;
   };
   std::vector<Pair> pairs(scanners_.size());
-  pool_.parallel_for(scanners_.size() * 2, [&](std::size_t i) {
-    const std::size_t slot = i / 2;
-    const ResourceScanner& scanner = *scanners_[slot];
-    const auto start = SteadyClock::now();
-    if (i % 2 == 0) {
-      pairs[slot].high =
-          guarded_scan([&] { return scanner.high_scan(tctx, ctx); });
-      pairs[slot].high_wall = seconds_since(start);
-    } else {
-      pairs[slot].low = guarded_scan([&] { return scanner.low_scan(tctx); });
-      pairs[slot].low_wall = seconds_since(start);
-    }
-  });
+  ctl.add_total(static_cast<std::uint32_t>(scanners_.size() * 2));
+  pool_.parallel_for(
+      scanners_.size() * 2,
+      [&](std::size_t i) {
+        const std::size_t slot = i / 2;
+        const ResourceScanner& scanner = *scanners_[slot];
+        const auto start = SteadyClock::now();
+        if (i % 2 == 0) {
+          pairs[slot].high =
+              guarded_scan([&] { return scanner.high_scan(tctx, ctx); });
+          pairs[slot].high_wall = seconds_since(start);
+        } else {
+          pairs[slot].low =
+              guarded_scan([&] { return scanner.low_scan(tctx); });
+          pairs[slot].low_wall = seconds_since(start);
+        }
+        ctl.add_done();
+      },
+      ctl.cancel);
+  if (ctl.cancelled()) {
+    // Some views may be missing or half-collected: discard the lot
+    // rather than emit a report that looks degraded but is really torn.
+    return support::Status::cancelled("inside scan cancelled");
+  }
 
   const auto& profile = machine_.config().profile;
   for (std::size_t s = 0; s < scanners_.size(); ++s) {
+    if (ctl.cancelled()) {
+      return support::Status::cancelled("inside scan cancelled during diff");
+    }
     const auto start = SteadyClock::now();
     DiffReport d = diff_views(*scanners_[s], tctx, pairs[s].high,
                               pairs[s].low, profile);
@@ -286,7 +337,10 @@ Report ScanEngine::inside_scan() {
   return report;
 }
 
-Report ScanEngine::injected_scan() {
+support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
+  if (ctl.cancelled()) {
+    return support::Status::cancelled("injected scan cancelled before start");
+  }
   const auto t0 = SteadyClock::now();
   Report report;
   flush_hives_if_needed();
@@ -298,11 +352,19 @@ Report ScanEngine::injected_scan() {
   // Trusted snapshots, one per provider, taken concurrently.
   std::vector<support::StatusOr<ScanResult>> lows(scanners_.size());
   std::vector<double> low_walls(scanners_.size(), 0);
-  pool_.parallel_for(scanners_.size(), [&](std::size_t s) {
-    const auto start = SteadyClock::now();
-    lows[s] = guarded_scan([&] { return scanners_[s]->low_scan(tctx); });
-    low_walls[s] = seconds_since(start);
-  });
+  ctl.add_total(static_cast<std::uint32_t>(scanners_.size()));
+  pool_.parallel_for(
+      scanners_.size(),
+      [&](std::size_t s) {
+        const auto start = SteadyClock::now();
+        lows[s] = guarded_scan([&] { return scanners_[s]->low_scan(tctx); });
+        low_walls[s] = seconds_since(start);
+        ctl.add_done();
+      },
+      ctl.cancel);
+  if (ctl.cancelled()) {
+    return support::Status::cancelled("injected scan cancelled");
+  }
 
   // Scan contexts in pid order (envs() is a sorted map) — the order the
   // deterministic reduction below walks.
@@ -325,23 +387,31 @@ Report ScanEngine::injected_scan() {
     double wall = 0;
   };
   std::vector<Job> jobs(ctxs.size() * scanners_.size());
-  pool_.parallel_for(jobs.size(), [&](std::size_t i) {
-    const winapi::Ctx& ctx = ctxs[i / scanners_.size()];
-    const std::size_t s = i % scanners_.size();
-    if (!lows[s].ok()) return;
-    const auto start = SteadyClock::now();
-    const auto high = guarded_scan(
-        [&] { return scanners_[s]->high_scan(serial_ctx, ctx); });
-    Job& job = jobs[i];
-    if (!high.ok()) {
-      job.status = high.status();
-    } else {
-      job.diff = cross_view_diff(*high, *lows[s]);
-      job.high_count = high->resources.size();
-      job.work = high->work;
-    }
-    job.wall = seconds_since(start);
-  });
+  ctl.add_total(static_cast<std::uint32_t>(jobs.size()));
+  pool_.parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        const winapi::Ctx& ctx = ctxs[i / scanners_.size()];
+        const std::size_t s = i % scanners_.size();
+        ctl.add_done();
+        if (!lows[s].ok()) return;
+        const auto start = SteadyClock::now();
+        const auto high = guarded_scan(
+            [&] { return scanners_[s]->high_scan(serial_ctx, ctx); });
+        Job& job = jobs[i];
+        if (!high.ok()) {
+          job.status = high.status();
+        } else {
+          job.diff = cross_view_diff(*high, *lows[s]);
+          job.high_count = high->resources.size();
+          job.work = high->work;
+        }
+        job.wall = seconds_since(start);
+      },
+      ctl.cancel);
+  if (ctl.cancelled()) {
+    return support::Status::cancelled("injected scan cancelled");
+  }
 
   // Deterministic reduction: pid-major, first finding per key wins —
   // identical to the serial per-process loop regardless of which worker
@@ -387,7 +457,7 @@ Report ScanEngine::injected_scan() {
   return report;
 }
 
-InsideCapture ScanEngine::capture_inside_high() {
+InsideCapture ScanEngine::capture_inside_high_impl(const RunCtl& ctl) {
   InsideCapture cap;
   const auto ctx = scanner_context();
   const ScanTaskContext tctx = task_context();
@@ -395,15 +465,23 @@ InsideCapture ScanEngine::capture_inside_high() {
   for (std::size_t s = 0; s < scanners_.size(); ++s) {
     cap.entries[s].type = scanners_[s]->type();
   }
-  pool_.parallel_for(scanners_.size(), [&](std::size_t s) {
-    cap.entries[s].high =
-        guarded_scan([&] { return scanners_[s]->high_scan(tctx, ctx); });
-  });
+  ctl.add_total(static_cast<std::uint32_t>(scanners_.size()));
+  pool_.parallel_for(
+      scanners_.size(),
+      [&](std::size_t s) {
+        cap.entries[s].high =
+            guarded_scan([&] { return scanners_[s]->high_scan(tctx, ctx); });
+        ctl.add_done();
+      },
+      ctl.cancel);
 
   bool want_dump = false;
   for (const auto& s : scanners_) want_dump = want_dump || s->needs_dump();
-  if (want_dump) {
-    auto parsed = kernel::parse_dump_or(machine_.bluescreen());
+  // A cancelled capture never blue-screens the machine: the job is being
+  // abandoned, so we leave the box running instead of halting it for a
+  // dump nobody will diff.
+  if (want_dump && !ctl.cancelled()) {
+    auto parsed = kernel::parse_dump_or(machine_.bluescreen(), &pool_);
     if (parsed.ok()) {
       cap.dump = std::move(parsed.value());
     } else {
@@ -413,10 +491,14 @@ InsideCapture ScanEngine::capture_inside_high() {
   return cap;
 }
 
-Report ScanEngine::outside_diff(const InsideCapture& cap) {
+support::StatusOr<Report> ScanEngine::outside_diff_impl(
+    const InsideCapture& cap, const RunCtl& ctl) {
   if (machine_.running()) {
     throw std::logic_error(
         "outside_diff requires the machine to be powered off");
+  }
+  if (ctl.cancelled()) {
+    return support::Status::cancelled("outside diff cancelled before start");
   }
   const auto t0 = SteadyClock::now();
   Report report;
@@ -440,19 +522,27 @@ Report ScanEngine::outside_diff(const InsideCapture& cap) {
   // Clean-environment scans of the powered-off disk and the dump.
   std::vector<support::StatusOr<ScanResult>> lows(wanted.size());
   std::vector<double> low_walls(wanted.size(), 0);
-  pool_.parallel_for(wanted.size(), [&](std::size_t i) {
-    const auto start = SteadyClock::now();
-    const ResourceScanner& scanner = *wanted[i].first;
-    if (scanner.needs_dump() && !sources.dump && !cap.dump_status.ok()) {
-      // The capture tried to take a dump and failed (scrubbed write,
-      // truncation): surface that cause rather than a generic absence.
-      lows[i] = cap.dump_status;
-    } else {
-      lows[i] =
-          guarded_scan([&] { return scanner.outside_scan(tctx, sources); });
-    }
-    low_walls[i] = seconds_since(start);
-  });
+  ctl.add_total(static_cast<std::uint32_t>(wanted.size()));
+  pool_.parallel_for(
+      wanted.size(),
+      [&](std::size_t i) {
+        const auto start = SteadyClock::now();
+        const ResourceScanner& scanner = *wanted[i].first;
+        if (scanner.needs_dump() && !sources.dump && !cap.dump_status.ok()) {
+          // The capture tried to take a dump and failed (scrubbed write,
+          // truncation): surface that cause rather than a generic absence.
+          lows[i] = cap.dump_status;
+        } else {
+          lows[i] = guarded_scan(
+              [&] { return scanner.outside_scan(tctx, sources); });
+        }
+        low_walls[i] = seconds_since(start);
+        ctl.add_done();
+      },
+      ctl.cancel);
+  if (ctl.cancelled()) {
+    return support::Status::cancelled("outside diff cancelled");
+  }
 
   const auto& profile = machine_.config().profile;
   for (std::size_t i = 0; i < wanted.size(); ++i) {
@@ -466,14 +556,23 @@ Report ScanEngine::outside_diff(const InsideCapture& cap) {
   return report;
 }
 
-Report ScanEngine::outside_scan() {
-  InsideCapture cap = capture_inside_high();
+support::StatusOr<Report> ScanEngine::outside_scan_impl(const RunCtl& ctl) {
+  if (ctl.cancelled()) {
+    return support::Status::cancelled("outside scan cancelled before start");
+  }
+  InsideCapture cap = capture_inside_high_impl(ctl);
+  if (ctl.cancelled()) {
+    // The capture saw the token in time to skip the blue-screen, so the
+    // machine is still running; a cancelled outside job leaves the box in
+    // whatever lifecycle phase it reached (cooperative, not transactional).
+    return support::Status::cancelled("outside scan cancelled after capture");
+  }
   if (machine_.running()) machine_.shutdown();
   // WinPE CD boot adds 1.5-3 minutes (Section 2); the RIS network boot of
   // Section 5's enterprise automation is quicker and needs no media.
   machine_.clock().advance(VirtualClock::seconds(
       cfg_.outside_boot == OutsideBoot::kWinPeCd ? 120.0 : 45.0));
-  return outside_diff(cap);
+  return outside_diff_impl(cap, ctl);
 }
 
 }  // namespace gb::core

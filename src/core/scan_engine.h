@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,10 +38,13 @@
 #include "core/scan_result.h"
 #include "kernel/dump.h"
 #include "machine/machine.h"
+#include "support/cancel.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
 namespace gb::core {
+
+class ScanEngine;
 
 /// How the outside-the-box clean environment is entered (Section 5's
 /// automation extensions: enterprise RIS network boot avoids the CD).
@@ -134,6 +138,50 @@ struct ScanConfig {
   OutsideBoot outside_boot = OutsideBoot::kWinPeCd;
 };
 
+/// Which of the paper's workflows a job runs — the shared vocabulary of
+/// ScanEngine::run and ScanScheduler::submit.
+enum class ScanKind {
+  kInside,    // inside-the-box cross-view diff (Section 2)
+  kInjected,  // Section 5's DLL-injection sweep over every process
+  kOutside,   // full outside-the-box run (capture, blue-screen, diff)
+};
+
+const char* scan_kind_name(ScanKind kind);
+
+/// One scan job, described machine-readably: what to scan (machine +
+/// resource mask via `config`), how (kind + per-resource policies), and
+/// for whom (tenant + priority, which drive the scheduler's weighted
+/// fair queuing). Direct ScanEngine::run callers use kind/cancel/
+/// progress and may leave the rest defaulted; ScanScheduler::submit
+/// requires `machine` and reads every field.
+struct JobSpec {
+  /// Machine to scan. Required by ScanScheduler::submit; ignored by
+  /// ScanEngine::run (an engine is already bound to its machine).
+  machine::Machine* machine = nullptr;
+  /// Fair-queuing key: jobs are served round-robin across tenants in
+  /// proportion to per-tenant weights, so one flooding tenant cannot
+  /// starve the rest of the fleet.
+  std::string tenant = "default";
+  /// Within-tenant ordering: higher priorities dispatch first; equal
+  /// priorities dispatch in submission order.
+  int priority = 0;
+  ScanKind kind = ScanKind::kInside;
+  /// Session configuration (resource mask, policies). The scheduler
+  /// builds each job's engine from this; it forces parallelism to 1 —
+  /// the fleet fan-out is the parallelism, a per-job pool would
+  /// oversubscribe the shared workers.
+  ScanConfig config;
+  /// Cooperative cancellation: checked at provider-task boundaries. A
+  /// cancelled run returns Status kCancelled, never a torn report.
+  /// ScanScheduler wires this to the ScanJob handle's token.
+  const support::CancelToken* cancel = nullptr;
+  /// Optional progress sink (tasks completed / discovered).
+  support::TaskCounter* progress = nullptr;
+  /// Hook run on the freshly built engine before the scan (register
+  /// extra providers, tweak instrumentation). Scheduler-only.
+  std::function<void(ScanEngine&)> configure_engine;
+};
+
 struct Report {
   std::vector<DiffReport> diffs;
   double total_simulated_seconds = 0;
@@ -144,6 +192,18 @@ struct Report {
   /// Executors the producing engine ran with (workers + caller).
   std::size_t worker_threads = 1;
 
+  /// Fleet-scheduling provenance, set by ScanScheduler on reports it
+  /// produced (absent for direct engine runs). Serialized under the
+  /// "scheduler" key in schema v2.2.
+  struct SchedulerTag {
+    std::string tenant;
+    std::uint64_t job_id = 0;
+    int priority = 0;
+    /// Wall time the job spent queued (submit -> dispatch).
+    double queue_seconds = 0;
+  };
+  std::optional<SchedulerTag> scheduler;
+
   [[nodiscard]] bool infection_detected() const;
   /// True when any per-resource diff is degraded (partial report).
   [[nodiscard]] bool degraded() const;
@@ -153,10 +213,12 @@ struct Report {
   /// Human-readable report (what the tool prints for the user).
   [[nodiscard]] std::string to_string() const;
   /// Machine-readable report (for SIEM/automation pipelines), schema
-  /// version 2.1: per-diff wall/simulated timing, the worker-thread
-  /// count, and per-resource scan status (`status`, `degraded`, `error`)
-  /// so partial results are first-class. Strings are JSON-escaped;
-  /// embedded NULs and control bytes appear as \u00XX.
+  /// version 2.2: per-diff wall/simulated timing, the worker-thread
+  /// count, per-resource scan status (`status`, `degraded`, `error`) so
+  /// partial results are first-class, and a top-level "scheduler" object
+  /// (null for direct engine runs) carrying fleet provenance — tenant,
+  /// job id, priority, queue latency. Strings are JSON-escaped; embedded
+  /// NULs and control bytes appear as \u00XX.
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -184,6 +246,15 @@ struct InsideCapture {
 class ScanEngine {
  public:
   explicit ScanEngine(machine::Machine& m, ScanConfig cfg = {});
+
+  /// The unified entry point: dispatches on spec.kind and honors
+  /// spec.cancel / spec.progress. Returns the report, or Status
+  /// kCancelled when the token was raised before the scan completed (the
+  /// partial work is discarded whole — no torn report, no clock
+  /// advance). spec.machine/tenant/priority/config/configure_engine
+  /// describe the job to a scheduler; an already-constructed engine
+  /// ignores them. The named methods below are thin wrappers.
+  support::StatusOr<Report> run(const JobSpec& spec);
 
   /// Inside-the-box cross-view diff of all registered providers.
   /// Advances the machine's virtual clock by the simulated scan time.
@@ -220,6 +291,30 @@ class ScanEngine {
   support::ThreadPool& pool() { return pool_; }
 
  private:
+  /// Cancellation/progress plumbing for one run. Default-constructed =
+  /// uncancellable, unobserved (the named public methods' path).
+  struct RunCtl {
+    const support::CancelToken* cancel = nullptr;
+    support::TaskCounter* progress = nullptr;
+
+    [[nodiscard]] bool cancelled() const {
+      return cancel != nullptr && cancel->cancelled();
+    }
+    void add_total(std::uint32_t n) const {
+      if (progress != nullptr) progress->total.fetch_add(n);
+    }
+    void add_done(std::uint32_t n = 1) const {
+      if (progress != nullptr) progress->done.fetch_add(n);
+    }
+  };
+
+  support::StatusOr<Report> inside_scan_impl(const RunCtl& ctl);
+  support::StatusOr<Report> injected_scan_impl(const RunCtl& ctl);
+  support::StatusOr<Report> outside_scan_impl(const RunCtl& ctl);
+  InsideCapture capture_inside_high_impl(const RunCtl& ctl);
+  support::StatusOr<Report> outside_diff_impl(const InsideCapture& capture,
+                                              const RunCtl& ctl);
+
   winapi::Ctx scanner_context();
   void finalize(Report& report, double wall_seconds);
   ScanTaskContext task_context();

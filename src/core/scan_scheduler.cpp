@@ -1,0 +1,487 @@
+#include "core/scan_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+
+#include "machine/machine.h"
+#include "support/strings.h"
+
+namespace gb::core {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
+
+const char* job_phase_name(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::kQueued: return "queued";
+    case JobPhase::kRunning: return "running";
+    case JobPhase::kDone: return "done";
+  }
+  return "?";
+}
+
+namespace internal {
+
+/// Everything one submitted job carries through its life. Result, phase
+/// transitions and the queue bookkeeping are guarded by the owning
+/// SchedulerCore's mutex (lock order: core mutex only — JobState has no
+/// lock of its own); `phase` is additionally atomic so progress() can
+/// snapshot it without contending with dispatch.
+struct JobState {
+  std::uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;
+  JobSpec spec;
+  support::CancelToken token;
+  support::TaskCounter counter;
+  SteadyClock::time_point submit_time{};
+  double queue_seconds = 0;  // set at dispatch
+
+  std::shared_ptr<SchedulerCore> core;
+  std::condition_variable cv;  // waits on core->mu
+  std::atomic<JobPhase> phase{JobPhase::kQueued};
+  support::StatusOr<Report> result;
+};
+
+/// Shared scheduler state. Held by shared_ptr from the scheduler and
+/// from every JobState, so a ScanJob handle that outlives its scheduler
+/// can still lock the mutex and read its (by then completed) result.
+struct SchedulerCore {
+  struct Tenant {
+    std::uint32_t weight = 1;
+    std::uint32_t deficit = 0;  // DRR credit left in the current round
+    /// Higher priority first; each deque is submission order. Entries
+    /// cancelled while queued complete immediately and are dropped
+    /// lazily at pop time.
+    std::map<int, std::deque<std::shared_ptr<JobState>>, std::greater<int>>
+        queues;
+    std::size_t queued = 0;  // live (not-yet-cancelled) queued jobs
+    bool in_ring = false;
+    std::uint64_t submitted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t cancelled = 0;
+  };
+
+  mutable std::mutex mu;
+  std::condition_variable idle_cv;
+  bool paused = false;
+  bool shutdown = false;
+  std::uint64_t next_id = 1;
+  std::size_t max_dispatchers = 1;
+  std::size_t dispatchers = 0;  // drain tasks currently alive
+  std::size_t running = 0;      // jobs currently on a worker
+  std::size_t queued_total = 0;
+
+  std::map<std::string, Tenant> tenants;
+  /// Round-robin ring of tenant ids with queued work; cursor_ points at
+  /// the tenant currently spending its deficit.
+  std::vector<std::string> ring;
+  std::size_t cursor = 0;
+
+  /// Jobs not yet complete, so shutdown can cancel them. Keyed by id.
+  std::map<std::uint64_t, std::shared_ptr<JobState>> live;
+
+  double total_queue_seconds = 0;
+  double total_run_seconds = 0;
+  double max_latency_seconds = 0;
+};
+
+namespace {
+
+using Tenant = SchedulerCore::Tenant;
+
+void enter_ring_locked(SchedulerCore& core, const std::string& tenant) {
+  Tenant& t = core.tenants[tenant];
+  if (!t.in_ring) {
+    t.in_ring = true;
+    core.ring.push_back(tenant);
+  }
+}
+
+/// Completes `st` as kCancelled without it ever reaching a worker.
+/// Requires core.mu held and st.phase == kQueued; the queue entry stays
+/// behind and is skipped when dispatch reaches it.
+void complete_cancelled_locked(SchedulerCore& core, JobState& st,
+                               const char* why) {
+  st.token.cancel();
+  st.result = support::Status::cancelled(why);
+  st.phase.store(JobPhase::kDone, std::memory_order_release);
+  Tenant& t = core.tenants[st.tenant];
+  ++t.cancelled;
+  if (t.queued > 0) --t.queued;
+  if (core.queued_total > 0) --core.queued_total;
+  core.live.erase(st.id);
+  st.cv.notify_all();
+  core.idle_cv.notify_all();
+}
+
+/// Deficit-round-robin pop: serves the tenant under the cursor while it
+/// has credit and work, then moves on. One call pops one job (already
+/// transitioned to kRunning, with queue latency stamped) or returns
+/// nullptr when nothing is dispatchable. Requires core.mu held.
+std::shared_ptr<JobState> pop_locked(SchedulerCore& core) {
+  while (!core.ring.empty()) {
+    if (core.cursor >= core.ring.size()) core.cursor = 0;
+    Tenant& t = core.tenants[core.ring[core.cursor]];
+    if (t.queued == 0) {
+      // Only lazily-dropped cancelled entries left: retire the tenant
+      // from the ring (erasing shifts the next tenant under the cursor).
+      t.queues.clear();
+      t.deficit = 0;
+      t.in_ring = false;
+      core.ring.erase(core.ring.begin() +
+                      static_cast<std::ptrdiff_t>(core.cursor));
+      continue;
+    }
+    if (t.deficit == 0) t.deficit = std::max<std::uint32_t>(1, t.weight);
+
+    std::shared_ptr<JobState> job;
+    while (!t.queues.empty()) {
+      auto it = t.queues.begin();  // highest priority
+      job = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) t.queues.erase(it);
+      if (job->phase.load(std::memory_order_acquire) == JobPhase::kQueued) {
+        break;  // live job; cancelled-while-queued entries are skipped
+      }
+      job = nullptr;
+    }
+    if (!job) {
+      // Defensive: the counter said live jobs existed but the queues
+      // drained dry. Resynchronize instead of spinning; the tenant is
+      // retired on the next visit.
+      core.queued_total -= std::min(core.queued_total, t.queued);
+      t.queued = 0;
+      continue;
+    }
+
+    --t.deficit;
+    --t.queued;
+    --core.queued_total;
+    if (t.deficit == 0 || t.queued == 0) {
+      // Credit spent (or queue drained): advance to the next tenant.
+      // An emptied tenant is retired on the next visit.
+      ++core.cursor;
+    }
+    job->phase.store(JobPhase::kRunning, std::memory_order_release);
+    job->queue_seconds = seconds_since(job->submit_time);
+    ++core.running;
+    return job;
+  }
+  return nullptr;
+}
+
+/// Runs one dispatched job to completion on the calling worker. The
+/// engine is built fresh per job with parallelism forced to 1 — the
+/// fleet fan-out is the parallelism; a per-job pool would oversubscribe
+/// the shared workers.
+void run_job(SchedulerCore& core, JobState& st) {
+  const auto run_start = SteadyClock::now();
+  support::StatusOr<Report> result =
+      support::Status::internal("scan job never produced a result");
+  try {
+    ScanConfig cfg = st.spec.config;
+    cfg.parallelism = 1;
+    ScanEngine engine(*st.spec.machine, cfg);
+    if (st.spec.configure_engine) st.spec.configure_engine(engine);
+    JobSpec run_spec;
+    run_spec.kind = st.spec.kind;
+    run_spec.cancel = &st.token;
+    run_spec.progress = &st.counter;
+    result = engine.run(run_spec);
+  } catch (const std::exception& e) {
+    // A scan that throws (misconfigured machine, logic error in a
+    // custom provider) fails its own job, not the dispatcher.
+    result = support::Status::internal(std::string("scan job threw: ") +
+                                       e.what());
+  }
+  const double run_seconds = seconds_since(run_start);
+
+  std::lock_guard<std::mutex> lk(core.mu);
+  if (result.ok()) {
+    result.value().scheduler = Report::SchedulerTag{
+        st.tenant, st.id, st.priority, st.queue_seconds};
+  }
+  Tenant& t = core.tenants[st.tenant];
+  if (!result.ok() &&
+      result.status().code() == support::StatusCode::kCancelled) {
+    ++t.cancelled;
+  } else {
+    ++t.served;
+  }
+  core.total_queue_seconds += st.queue_seconds;
+  core.total_run_seconds += run_seconds;
+  core.max_latency_seconds =
+      std::max(core.max_latency_seconds, st.queue_seconds + run_seconds);
+  st.result = std::move(result);
+  st.phase.store(JobPhase::kDone, std::memory_order_release);
+  core.live.erase(st.id);
+  --core.running;
+  st.cv.notify_all();
+  core.idle_cv.notify_all();
+}
+
+/// Dispatcher loop, run as a pool task: pop-and-run until the queue is
+/// empty (or dispatch pauses / shuts down), then retire. submit() and
+/// resume() spawn replacements as work and capacity allow.
+void drain(const std::shared_ptr<SchedulerCore>& core) {
+  for (;;) {
+    std::shared_ptr<JobState> job;
+    {
+      std::unique_lock<std::mutex> lk(core->mu);
+      if (!core->paused && !core->shutdown) job = pop_locked(*core);
+      if (!job) {
+        --core->dispatchers;
+        core->idle_cv.notify_all();
+        return;
+      }
+    }
+    run_job(*core, *job);
+  }
+}
+
+}  // namespace
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// ScanJob
+
+std::uint64_t ScanJob::id() const { return state_->id; }
+
+const std::string& ScanJob::tenant() const { return state_->tenant; }
+
+support::StatusOr<Report>& ScanJob::wait() {
+  internal::JobState& st = *state_;
+  std::unique_lock<std::mutex> lk(st.core->mu);
+  st.cv.wait(lk, [&] {
+    return st.phase.load(std::memory_order_acquire) == JobPhase::kDone;
+  });
+  return st.result;
+}
+
+support::StatusOr<Report>* ScanJob::try_result() {
+  internal::JobState& st = *state_;
+  std::lock_guard<std::mutex> lk(st.core->mu);
+  return st.phase.load(std::memory_order_acquire) == JobPhase::kDone
+             ? &st.result
+             : nullptr;
+}
+
+bool ScanJob::cancel() {
+  if (!state_) return false;
+  internal::JobState& st = *state_;
+  std::lock_guard<std::mutex> lk(st.core->mu);
+  const JobPhase phase = st.phase.load(std::memory_order_acquire);
+  if (phase == JobPhase::kDone || st.token.cancelled()) return false;
+  if (phase == JobPhase::kQueued) {
+    internal::complete_cancelled_locked(*st.core, st,
+                                        "job cancelled while queued");
+  } else {
+    st.token.cancel();  // the running engine sees it at the next boundary
+  }
+  return true;
+}
+
+JobProgress ScanJob::progress() const {
+  JobProgress p;
+  if (!state_) return p;
+  p.phase = state_->phase.load(std::memory_order_acquire);
+  p.tasks_done = state_->counter.done.load(std::memory_order_relaxed);
+  p.tasks_total = state_->counter.total.load(std::memory_order_relaxed);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerStats
+
+std::string SchedulerStats::to_string() const {
+  std::ostringstream os;
+  os << "scheduler: " << queue_depth << " queued, " << running
+     << " running; " << submitted << " submitted / " << served
+     << " served / " << cancelled << " cancelled\n";
+  for (const auto& t : tenants) {
+    os << "  tenant " << t.id << " (w=" << t.weight << "): " << t.submitted
+       << " submitted, " << t.served << " served, " << t.cancelled
+       << " cancelled, " << t.queued << " queued\n";
+  }
+  if (served > 0) {
+    os << "  mean queue wait " << total_queue_seconds / double(served)
+       << "s, mean run " << total_run_seconds / double(served)
+       << "s, max latency " << max_latency_seconds << "s\n";
+  }
+  return os.str();
+}
+
+std::string SchedulerStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema_version\":\"2.2\""
+     << ",\"queue_depth\":" << queue_depth << ",\"running\":" << running
+     << ",\"submitted\":" << submitted << ",\"served\":" << served
+     << ",\"cancelled\":" << cancelled
+     << ",\"total_queue_seconds\":" << total_queue_seconds
+     << ",\"total_run_seconds\":" << total_run_seconds
+     << ",\"max_latency_seconds\":" << max_latency_seconds
+     << ",\"tenants\":[";
+  bool first = true;
+  for (const auto& t : tenants) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << json_quote(t.id)
+       << ",\"weight\":" << t.weight << ",\"submitted\":" << t.submitted
+       << ",\"served\":" << t.served << ",\"cancelled\":" << t.cancelled
+       << ",\"queued\":" << t.queued << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ScanScheduler
+
+ScanScheduler::ScanScheduler() : ScanScheduler(Options{}) {}
+
+ScanScheduler::ScanScheduler(Options opts)
+    : core_(std::make_shared<internal::SchedulerCore>()),
+      pool_(opts.workers) {
+  core_->paused = opts.start_paused;
+  core_->max_dispatchers = std::max<std::size_t>(1, pool_.size());
+}
+
+ScanScheduler::~ScanScheduler() {
+  {
+    std::lock_guard<std::mutex> lk(core_->mu);
+    core_->shutdown = true;
+    // Complete everything still queued as cancelled (it never ran) and
+    // raise the token of everything running so it bails out at the next
+    // provider-task boundary.
+    std::vector<internal::JobState*> queued;
+    for (auto& [id, job] : core_->live) {
+      if (job->phase.load(std::memory_order_acquire) == JobPhase::kQueued) {
+        queued.push_back(job.get());
+      } else {
+        job->token.cancel();
+      }
+    }
+    for (internal::JobState* st : queued) {
+      internal::complete_cancelled_locked(*core_, *st,
+                                          "scheduler shut down");
+    }
+    core_->ring.clear();
+    for (auto& [name, t] : core_->tenants) {
+      t.queues.clear();
+      t.in_ring = false;
+    }
+  }
+  wait_idle();
+  // pool_ (declared after core_) is destroyed first, joining any worker
+  // still unwinding its drain task.
+}
+
+void ScanScheduler::set_tenant_weight(const std::string& tenant,
+                                      std::uint32_t weight) {
+  std::lock_guard<std::mutex> lk(core_->mu);
+  core_->tenants[tenant].weight = std::max<std::uint32_t>(1, weight);
+}
+
+support::StatusOr<ScanJob> ScanScheduler::submit(JobSpec spec) {
+  if (spec.machine == nullptr) {
+    return support::Status::failed_precondition(
+        "JobSpec.machine is required by ScanScheduler::submit");
+  }
+  auto st = std::make_shared<internal::JobState>();
+  st->tenant = spec.tenant;
+  st->priority = spec.priority;
+  st->spec = std::move(spec);
+  st->core = core_;
+  st->submit_time = SteadyClock::now();
+  {
+    std::lock_guard<std::mutex> lk(core_->mu);
+    if (core_->shutdown) {
+      return support::Status::unavailable("scheduler is shutting down");
+    }
+    st->id = core_->next_id++;
+    internal::SchedulerCore::Tenant& t = core_->tenants[st->tenant];
+    ++t.submitted;
+    t.queues[st->priority].push_back(st);
+    ++t.queued;
+    ++core_->queued_total;
+    internal::enter_ring_locked(*core_, st->tenant);
+    core_->live.emplace(st->id, st);
+  }
+  maybe_spawn_dispatchers();
+  return ScanJob(st);
+}
+
+void ScanScheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lk(core_->mu);
+    core_->paused = false;
+  }
+  maybe_spawn_dispatchers();
+}
+
+void ScanScheduler::maybe_spawn_dispatchers() {
+  std::size_t to_spawn = 0;
+  {
+    std::lock_guard<std::mutex> lk(core_->mu);
+    if (core_->paused || core_->shutdown) return;
+    // Each running job pins its dispatcher, so the demand is running +
+    // queued — a submit arriving while every dispatcher is mid-job must
+    // still be able to claim an idle pool slot.
+    const std::size_t want = std::min(
+        core_->max_dispatchers, core_->running + core_->queued_total);
+    if (want > core_->dispatchers) to_spawn = want - core_->dispatchers;
+    core_->dispatchers += to_spawn;
+  }
+  // Submitted OUTSIDE the lock: on a 0-worker pool submit() runs the
+  // drain inline, and drain locks the same mutex.
+  for (std::size_t i = 0; i < to_spawn; ++i) {
+    auto core = core_;
+    pool_.submit([core] { internal::drain(core); });
+  }
+}
+
+void ScanScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lk(core_->mu);
+  core_->idle_cv.wait(lk, [&] {
+    return core_->queued_total == 0 && core_->running == 0 &&
+           core_->dispatchers == 0;
+  });
+}
+
+SchedulerStats ScanScheduler::stats() const {
+  SchedulerStats s;
+  std::lock_guard<std::mutex> lk(core_->mu);
+  s.queue_depth = core_->queued_total;
+  s.running = core_->running;
+  s.total_queue_seconds = core_->total_queue_seconds;
+  s.total_run_seconds = core_->total_run_seconds;
+  s.max_latency_seconds = core_->max_latency_seconds;
+  for (const auto& [name, t] : core_->tenants) {  // map: sorted by id
+    SchedulerStats::Tenant out;
+    out.id = name;
+    out.weight = t.weight;
+    out.submitted = t.submitted;
+    out.served = t.served;
+    out.cancelled = t.cancelled;
+    out.queued = t.queued;
+    s.submitted += t.submitted;
+    s.served += t.served;
+    s.cancelled += t.cancelled;
+    s.tenants.push_back(std::move(out));
+  }
+  return s;
+}
+
+}  // namespace gb::core

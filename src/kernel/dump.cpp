@@ -18,6 +18,55 @@ std::string read_str(ByteReader& r) {
   return r.str(len);
 }
 
+void skip_str(ByteReader& r) {
+  const std::uint16_t len = r.u16();
+  r.skip(len);
+}
+
+/// Advances past one serialized ProcessImage without building strings —
+/// the cheap structural skim that finds record extents for the parallel
+/// parse. Bounds violations throw exactly where a full parse would.
+void skim_process(ByteReader& r) {
+  r.skip(8);  // pid, parent_pid
+  skip_str(r);
+  skip_str(r);
+  const std::uint32_t n_peb = r.u32();
+  for (std::uint32_t j = 0; j < n_peb; ++j) {
+    skip_str(r);
+    skip_str(r);
+  }
+  const std::uint32_t n_kmod = r.u32();
+  for (std::uint32_t j = 0; j < n_kmod; ++j) {
+    skip_str(r);
+    skip_str(r);
+  }
+}
+
+KernelDump::ProcessImage parse_process(ByteReader& r) {
+  KernelDump::ProcessImage p;
+  p.pid = r.u32();
+  p.parent_pid = r.u32();
+  p.image_name = read_str(r);
+  p.image_path = read_str(r);
+  const std::uint32_t n_peb = r.u32();
+  p.peb_modules.reserve(n_peb);
+  for (std::uint32_t j = 0; j < n_peb; ++j) {
+    PebModuleEntry m;
+    m.path = read_str(r);
+    m.name = read_str(r);
+    p.peb_modules.push_back(std::move(m));
+  }
+  const std::uint32_t n_kmod = r.u32();
+  p.kernel_modules.reserve(n_kmod);
+  for (std::uint32_t j = 0; j < n_kmod; ++j) {
+    KernelModule m;
+    m.path = read_str(r);
+    m.name = read_str(r);
+    p.kernel_modules.push_back(std::move(m));
+  }
+  return p;
+}
+
 }  // namespace
 
 std::vector<ProcessInfo> KernelDump::active_view() const {
@@ -110,34 +159,38 @@ std::vector<std::byte> write_dump(const Kernel& kernel) {
   return serialize_dump(dump);
 }
 
-KernelDump parse_dump(std::span<const std::byte> image) {
+KernelDump parse_dump(std::span<const std::byte> image,
+                      support::ThreadPool* pool) {
   ByteReader r(image);
   if (r.u64() != kDumpMagic) throw ParseError("bad dump magic");
 
   KernelDump dump;
   const std::uint32_t n_proc = r.u32();
-  dump.processes.reserve(n_proc);
+
+  // Serial skim: locate each process record's byte extent. This walks
+  // only length fields, so it is cheap relative to the string-building
+  // parse — and it performs the same bounds checks, so a truncated dump
+  // fails here with the same ParseError the serial parser raised.
+  std::vector<std::pair<std::size_t, std::size_t>> extents;  // [begin, end)
+  extents.reserve(n_proc);
   for (std::uint32_t i = 0; i < n_proc; ++i) {
-    KernelDump::ProcessImage p;
-    p.pid = r.u32();
-    p.parent_pid = r.u32();
-    p.image_name = read_str(r);
-    p.image_path = read_str(r);
-    const std::uint32_t n_peb = r.u32();
-    for (std::uint32_t j = 0; j < n_peb; ++j) {
-      PebModuleEntry m;
-      m.path = read_str(r);
-      m.name = read_str(r);
-      p.peb_modules.push_back(std::move(m));
-    }
-    const std::uint32_t n_kmod = r.u32();
-    for (std::uint32_t j = 0; j < n_kmod; ++j) {
-      KernelModule m;
-      m.path = read_str(r);
-      m.name = read_str(r);
-      p.kernel_modules.push_back(std::move(m));
-    }
-    dump.processes.push_back(std::move(p));
+    const std::size_t begin = r.pos();
+    skim_process(r);
+    extents.emplace_back(begin, r.pos());
+  }
+
+  // Parse the records into pre-sized slots — record order, and with it
+  // every downstream view and report, is independent of the worker count.
+  dump.processes.resize(n_proc);
+  auto parse_one = [&](std::size_t i) {
+    ByteReader pr(
+        r.subspan(extents[i].first, extents[i].second - extents[i].first));
+    dump.processes[i] = parse_process(pr);
+  };
+  if (pool) {
+    pool->parallel_for(n_proc, parse_one);
+  } else {
+    for (std::uint32_t i = 0; i < n_proc; ++i) parse_one(i);
   }
 
   const std::uint32_t n_active = r.u32();
@@ -162,9 +215,10 @@ KernelDump parse_dump(std::span<const std::byte> image) {
   return dump;
 }
 
-support::StatusOr<KernelDump> parse_dump_or(std::span<const std::byte> image) {
+support::StatusOr<KernelDump> parse_dump_or(std::span<const std::byte> image,
+                                            support::ThreadPool* pool) {
   try {
-    return parse_dump(image);
+    return parse_dump(image, pool);
   } catch (const ParseError& e) {
     return support::Status::corrupt(e.what());
   }

@@ -20,6 +20,7 @@
 #include "kernel/kernel.h"
 #include "support/bytes.h"
 #include "support/status.h"
+#include "support/thread_pool.h"
 
 namespace gb::kernel {
 
@@ -51,12 +52,20 @@ struct KernelDump {
 std::vector<std::byte> write_dump(const Kernel& kernel);
 
 /// Parses dump bytes. Throws gb::ParseError on malformed input.
-KernelDump parse_dump(std::span<const std::byte> image);
+///
+/// With a pool, the per-process records (the bulk of a dump: module
+/// lists, path strings) are parsed concurrently after a serial
+/// structural skim locates each record's byte extent; record order — and
+/// therefore the parsed dump, and every report derived from it — is
+/// identical at any worker count.
+KernelDump parse_dump(std::span<const std::byte> image,
+                      support::ThreadPool* pool = nullptr);
 
 /// Non-throwing variant: a truncated or scrubbed-to-garbage dump becomes
 /// a kCorrupt Status, degrading the process/module diffs instead of
 /// aborting the outside-the-box workflow.
-support::StatusOr<KernelDump> parse_dump_or(std::span<const std::byte> image);
+support::StatusOr<KernelDump> parse_dump_or(std::span<const std::byte> image,
+                                            support::ThreadPool* pool = nullptr);
 
 /// Re-serializes a (possibly edited) parsed dump. parse_dump and
 /// serialize_dump are exact inverses; this is what a dump-scrubbing

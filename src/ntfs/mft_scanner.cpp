@@ -173,31 +173,60 @@ std::vector<RawFile> MftScanner::scan(support::ThreadPool* pool,
   return out;
 }
 
-std::vector<RawFile> MftScanner::scan_deleted() {
-  std::vector<RawFile> out;
-  std::vector<std::byte> image(kMftRecordSize);
-  for (std::uint64_t i = kFirstUserRecord; i < mft_record_count_; ++i) {
-    dev_.read(mft_start_cluster_ * kSectorsPerCluster +
-                  i * (kMftRecordSize / kSectorSize),
-              image);
-    ByteReader r(image);
-    if (r.u32() != kFileRecordMagic) continue;  // never used
-    r.skip(2);
-    if (r.u16() & kRecordInUse) continue;  // live, not deleted
-    MftRecord rec;
-    try {
-      rec = MftRecord::parse(image);
-    } catch (const ParseError&) {
-      continue;  // tombstone too damaged to recover
+std::vector<RawFile> MftScanner::scan_deleted(support::ThreadPool* pool,
+                                              std::uint32_t batch_records) {
+  if (batch_records == 0) batch_records = kDefaultScanBatch;
+  if (mft_record_count_ <= kFirstUserRecord) return {};
+
+  // Fixed-size record batches, like scan(): boundaries depend only on
+  // batch_records, and per-batch outputs merge in record order, so the
+  // listing is identical at any worker count. The tombstone sweep feeds
+  // no timing model, so batches read dev_ directly (MemDisk guards its
+  // shared counters; see disk.h).
+  const std::uint64_t span = mft_record_count_ - kFirstUserRecord;
+  const std::size_t batch_count = (span + batch_records - 1) / batch_records;
+  std::vector<std::vector<RawFile>> batches(batch_count);
+
+  auto sweep_batch = [&](std::size_t b) {
+    std::vector<std::byte> image(kMftRecordSize);
+    const std::uint64_t begin =
+        kFirstUserRecord + std::uint64_t{b} * batch_records;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + batch_records, mft_record_count_);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      dev_.read(mft_start_cluster_ * kSectorsPerCluster +
+                    i * (kMftRecordSize / kSectorSize),
+                image);
+      ByteReader r(image);
+      if (r.u32() != kFileRecordMagic) continue;  // never used
+      r.skip(2);
+      if (r.u16() & kRecordInUse) continue;  // live, not deleted
+      MftRecord rec;
+      try {
+        rec = MftRecord::parse(image);
+      } catch (const ParseError&) {
+        continue;  // tombstone too damaged to recover
+      }
+      if (!rec.file_name) continue;
+      RawFile f;
+      f.record = i;
+      f.path = "<deleted>\\" + rec.file_name->name;
+      f.is_directory = (rec.flags & kRecordIsDirectory) != 0;
+      f.size = rec.data ? rec.data->real_size : 0;
+      f.attributes = rec.std_info ? rec.std_info->file_attributes : 0;
+      batches[b].push_back(std::move(f));
     }
-    if (!rec.file_name) continue;
-    RawFile f;
-    f.record = i;
-    f.path = "<deleted>\\" + rec.file_name->name;
-    f.is_directory = (rec.flags & kRecordIsDirectory) != 0;
-    f.size = rec.data ? rec.data->real_size : 0;
-    f.attributes = rec.std_info ? rec.std_info->file_attributes : 0;
-    out.push_back(std::move(f));
+  };
+  if (pool) {
+    pool->parallel_for(batch_count, sweep_batch);
+  } else {
+    for (std::size_t b = 0; b < batch_count; ++b) sweep_batch(b);
+  }
+
+  std::vector<RawFile> out;
+  for (auto& b : batches) {
+    out.insert(out.end(), std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()));
   }
   return out;
 }

@@ -73,7 +73,13 @@ class MftScanner {
   /// Forensic recovery: tombstoned records (valid FILE magic, in-use flag
   /// cleared) whose metadata is still intact — recently deleted files.
   /// Names are best-effort; parent paths may themselves be gone.
-  std::vector<RawFile> scan_deleted();
+  ///
+  /// Like scan(), the record space is processed in fixed-size batches
+  /// (boundaries depend only on batch_records) that run concurrently on a
+  /// pool and merge in record order, so the listing is byte-identical at
+  /// any worker count.
+  std::vector<RawFile> scan_deleted(support::ThreadPool* pool = nullptr,
+                                    std::uint32_t batch_records = 0);
 
   /// chkdsk-style consistency check: live records whose parent directory
   /// carries an index that does NOT list them. A benign volume has none;

@@ -1,0 +1,48 @@
+// Cooperative cancellation and progress primitives.
+//
+// A fleet scheduler cannot preempt a scan task that is half-way through a
+// hive parse without leaving a torn report behind, so cancellation here is
+// cooperative: the job's owner raises a CancelToken, and the code running
+// the job polls it at task boundaries (between provider views, between
+// MFT batches fanned out through ThreadPool::parallel_for) and bails out
+// cleanly. A cancelled job reports Status kCancelled — never a partial
+// result dressed up as a complete one.
+//
+// TaskCounter is the matching progress side-channel: the job increments
+// it as tasks finish, the owner snapshots it lock-free from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gb::support {
+
+/// One-way cancellation flag shared between a job's owner and the
+/// workers running it. cancel() is idempotent and may be called from any
+/// thread; there is no way to un-cancel.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Monotonic task-completion counters for one job. `total` grows as the
+/// job discovers work (one increment per fan-out phase), `done` as tasks
+/// retire; a snapshot of the two is the job's progress.
+struct TaskCounter {
+  std::atomic<std::uint32_t> done{0};
+  std::atomic<std::uint32_t> total{0};
+};
+
+}  // namespace gb::support

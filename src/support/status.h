@@ -30,6 +30,9 @@ enum class StatusCode {
   kFailedPrecondition,
   /// Invariant violation inside the scanner itself.
   kInternal,
+  /// The caller cancelled the operation before it completed. The result
+  /// was discarded whole — never a torn partial report.
+  kCancelled,
 };
 
 constexpr std::string_view status_code_name(StatusCode code) {
@@ -40,6 +43,7 @@ constexpr std::string_view status_code_name(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -65,6 +69,9 @@ class Status {
   }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

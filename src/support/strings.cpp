@@ -116,6 +116,30 @@ std::string printable(std::string_view s) {
   return out;
 }
 
+std::string json_quote(std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    const auto uc = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (uc < 0x20) {
+          out += "\\u00";
+          out.push_back(kHex[uc >> 4]);
+          out.push_back(kHex[uc & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
 std::string_view truncate_at_nul(std::string_view s) {
   const auto pos = s.find('\0');
   return pos == std::string_view::npos ? s : s.substr(0, pos);

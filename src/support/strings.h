@@ -46,6 +46,12 @@ bool glob_match(std::string_view pattern, std::string_view text);
 /// non-printable bytes as "\xNN" so hidden-name tricks are visible.
 std::string printable(std::string_view s);
 
+/// Renders `s` as a JSON string literal, surrounding quotes included:
+/// quote and backslash are backslash-escaped, control bytes (embedded
+/// NULs and the registry's counted-string tricks) become \u00XX. Shared
+/// by the report and scheduler-stats JSON emitters.
+std::string json_quote(std::string_view s);
+
 /// Truncates a counted string at its first NUL, mimicking Win32
 /// NUL-terminated string semantics (vs. the Native API's counted strings).
 std::string_view truncate_at_nul(std::string_view s);

@@ -97,10 +97,14 @@ void ThreadPool::worker_loop(std::size_t index) {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const CancelToken* cancel) {
   if (n == 0) return;
   if (queues_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel && cancel->cancelled()) return;
+      fn(i);
+    }
     return;
   }
 
@@ -111,11 +115,16 @@ void ThreadPool::parallel_for(std::size_t n,
 
   auto drain = [&] {
     for (std::size_t i; (i = next.fetch_add(1)) < n;) {
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> g(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+      // A raised token fast-forwards the remaining indices: they are
+      // claimed and counted (so every waiter still terminates) but fn is
+      // not entered for them.
+      if (!(cancel && cancel->cancelled())) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> g(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
       }
       done.fetch_add(1);
     }

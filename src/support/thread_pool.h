@@ -36,6 +36,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/cancel.h"
+
 namespace gb::support {
 
 class ThreadPool {
@@ -72,8 +74,16 @@ class ThreadPool {
   /// thread executes indices itself; pool workers join in as they free
   /// up. The first exception thrown by any index is rethrown here after
   /// the whole index space has been drained.
+  ///
+  /// With a cancel token, indices claimed after the token is raised are
+  /// skipped (indices already running finish normally) and the call still
+  /// returns only once the index space is drained — cancellation is a
+  /// fast-forward, not an abort, so no task is torn mid-flight. The
+  /// caller decides what a partially-run index space means; the scan
+  /// engine discards it and reports Status kCancelled.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    const CancelToken* cancel = nullptr);
 
  private:
   struct Queue {

@@ -53,6 +53,36 @@ TEST(DeletedRecovery, ReusedRecordNoLongerDeleted) {
   }
 }
 
+TEST(DeletedRecovery, PooledScanDeletedMatchesSerialAtAnyWorkerCount) {
+  machine::Machine m(small_config());
+  // Write everything first, then delete: a later write would reuse a
+  // freed record slot and erase its tombstone.
+  for (int i = 0; i < 30; ++i) {
+    m.volume().write_file("C:\\temp" + std::to_string(i) + ".dat",
+                          std::string(std::size_t(i + 1), 'x'));
+  }
+  for (int i = 0; i < 30; i += 2) {
+    m.volume().remove("C:\\temp" + std::to_string(i) + ".dat");
+  }
+  ntfs::MftScanner scanner(m.disk());
+  const auto serial = scanner.scan_deleted();
+  EXPECT_FALSE(serial.empty());
+  auto listing = [](const std::vector<ntfs::RawFile>& files) {
+    std::string s;
+    for (const auto& f : files) {
+      s += std::to_string(f.record) + "|" + f.path + "|" +
+           std::to_string(f.size) + "\n";
+    }
+    return s;
+  };
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    support::ThreadPool pool(workers);
+    // Tiny batches so even this small volume spans many of them.
+    const auto pooled = scanner.scan_deleted(&pool, /*batch_records=*/64);
+    EXPECT_EQ(listing(pooled), listing(serial)) << "workers=" << workers;
+  }
+}
+
 TEST(DeletedRecovery, MalwareRemovalLeavesAuditTrail) {
   // After the removal workflow, the rootkit's files are deleted but
   // their tombstones still witness what was there — useful for incident

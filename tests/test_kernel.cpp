@@ -156,6 +156,29 @@ TEST(KernelDump, RoundTripAllTables) {
   EXPECT_EQ(pb->kernel_modules[1].path, "C:\\windows\\vanquish.dll");
 }
 
+TEST(KernelDump, PooledParseMatchesSerialByteForByte) {
+  Kernel k;
+  // Enough processes/modules that the parallel skim spans real work.
+  for (int i = 0; i < 24; ++i) {
+    Process& p =
+        k.create_process("C:\\proc" + std::to_string(i) + ".exe", 4, 2);
+    p.load_module("C:\\windows\\mod" + std::to_string(i) + ".dll");
+    if (i % 5 == 0) k.dkom_unlink(p.pid());
+  }
+  k.load_driver("drv", "C:\\drv.sys");
+  const auto dump_bytes = write_dump(k);
+
+  const KernelDump serial = parse_dump(dump_bytes);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    support::ThreadPool pool(workers);
+    const KernelDump pooled = parse_dump(dump_bytes, &pool);
+    // serialize_dump is parse_dump's exact inverse, so byte equality of
+    // the re-serialized dumps is equality of every parsed field.
+    EXPECT_EQ(serialize_dump(pooled), serialize_dump(serial))
+        << "workers=" << workers;
+  }
+}
+
 TEST(KernelDump, ParseRejectsGarbage) {
   std::vector<std::byte> junk(64, std::byte{0x55});
   EXPECT_THROW(parse_dump(junk), ParseError);

@@ -1,4 +1,4 @@
-// Golden-file compatibility: pins the schema-v2.1 report JSON shape so
+// Golden-file compatibility: pins the schema-v2.2 report JSON shape so
 // schema changes are deliberate, not accidental. Regenerate the golden
 // with GB_UPDATE_GOLDEN=1 after an intentional schema bump.
 #include <gtest/gtest.h>
@@ -25,7 +25,7 @@ std::string normalize(std::string j) {
 }
 
 std::string golden_path() {
-  return std::string(GB_GOLDEN_DIR) + "/report_v2_1.json";
+  return std::string(GB_GOLDEN_DIR) + "/report_v2_2.json";
 }
 
 /// The pinned scenario: a seeded small machine with Hacker Defender,
@@ -64,9 +64,10 @@ TEST(ReportSchemaGolden, JsonMatchesPinnedGolden) {
 TEST(ReportSchemaGolden, RequiredKeysAppearInOrder) {
   const std::string j = reference_report_json();
   const char* keys[] = {
-      "\"schema_version\":\"2.1\"", "\"infected\":",      "\"degraded\":",
+      "\"schema_version\":\"2.2\"", "\"infected\":",      "\"degraded\":",
       "\"simulated_seconds\":",     "\"wall_seconds\":",  "\"worker_threads\":",
-      "\"diffs\":[",                "\"type\":",          "\"status\":",
+      "\"scheduler\":",             "\"diffs\":[",        "\"type\":",
+      "\"status\":",
       "\"error\":",                 "\"high_view\":",     "\"low_view\":",
       "\"trust\":",                 "\"high_count\":",    "\"low_count\":",
       "\"hidden\":[",               "\"extra_count\":"};

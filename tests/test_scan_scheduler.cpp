@@ -1,0 +1,415 @@
+// ScanScheduler: weighted fair queuing across tenants, cooperative
+// cancellation (queued and in-flight), per-job report determinism at any
+// pool width, and the stats/JSON surface. Also covers the unified
+// ScanEngine::run(JobSpec) entry point the scheduler dispatches through.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <regex>
+#include <vector>
+
+#include "core/scan_scheduler.h"
+#include "malware/collection.h"
+
+namespace gb::core {
+namespace {
+
+/// Small enough that a fleet of them fits comfortably in RAM (the
+/// default machine carries a dense 128 MiB disk image).
+machine::MachineConfig tiny_config(std::uint64_t seed = 1) {
+  machine::MachineConfig cfg;
+  cfg.seed = seed;
+  cfg.disk_sectors = 32 * 1024;  // 16 MiB image
+  cfg.mft_records = 2048;
+  cfg.synthetic_files = 12;
+  cfg.synthetic_registry_keys = 8;
+  return cfg;
+}
+
+std::string normalized(const Report& r) {
+  std::string j = r.to_json();
+  j = std::regex_replace(j, std::regex(R"("wall_seconds":[0-9eE+.\-]+)"),
+                         "\"wall_seconds\":0");
+  j = std::regex_replace(j, std::regex(R"("worker_threads":[0-9]+)"),
+                         "\"worker_threads\":0");
+  j = std::regex_replace(j, std::regex(R"("queue_seconds":[0-9eE+.\-]+)"),
+                         "\"queue_seconds\":0");
+  return j;
+}
+
+/// Appends each dispatched job's tenant to `order` (mutex-guarded) via
+/// the configure_engine hook, which the scheduler runs at dispatch time.
+JobSpec traced_job(machine::Machine& m, const std::string& tenant,
+                   std::mutex& mu, std::vector<std::string>& order,
+                   int priority = 0) {
+  JobSpec spec;
+  spec.machine = &m;
+  spec.tenant = tenant;
+  spec.priority = priority;
+  spec.config.resources = ResourceMask::kNone;  // dispatch order is the
+                                                // point, not scan work
+  spec.configure_engine = [&mu, &order, tenant](ScanEngine&) {
+    std::lock_guard<std::mutex> lk(mu);
+    order.push_back(tenant);
+  };
+  return spec;
+}
+
+TEST(SchedulerFairness, DeficitRoundRobinHonorsWeights) {
+  machine::Machine ma(tiny_config(1));
+  machine::Machine mb(tiny_config(2));
+
+  ScanScheduler::Options opts;
+  opts.workers = 1;
+  opts.start_paused = true;  // build the backlog, then observe dispatch
+  ScanScheduler sched(opts);
+  sched.set_tenant_weight("heavy", 3);
+  sched.set_tenant_weight("light", 1);
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  std::vector<ScanJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(
+        sched.submit(traced_job(ma, "heavy", mu, order)).value());
+  }
+  for (int i = 0; i < 2; ++i) {
+    jobs.push_back(
+        sched.submit(traced_job(mb, "light", mu, order)).value());
+  }
+  sched.resume();
+  sched.wait_idle();
+
+  // DRR with weights 3:1 serves heavy,heavy,heavy,light repeating —
+  // the flooding tenant gets exactly its weighted share, no more.
+  const std::vector<std::string> want = {"heavy", "heavy", "heavy", "light",
+                                         "heavy", "heavy", "heavy", "light"};
+  EXPECT_EQ(order, want);
+  for (auto& j : jobs) EXPECT_TRUE(j.wait().ok());
+
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.served, 8u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].id, "heavy");
+  EXPECT_EQ(stats.tenants[0].served, 6u);
+  EXPECT_EQ(stats.tenants[1].id, "light");
+  EXPECT_EQ(stats.tenants[1].served, 2u);
+}
+
+TEST(SchedulerPriority, HigherPriorityDispatchesFirstWithinTenant) {
+  machine::Machine m(tiny_config());
+  ScanScheduler::Options opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  ScanScheduler sched(opts);
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto submit = [&](const char* label, int priority) {
+    JobSpec spec = traced_job(m, "t", mu, order, priority);
+    spec.configure_engine = [&mu, &order, label](ScanEngine&) {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(label);
+    };
+    return sched.submit(std::move(spec)).value();
+  };
+  auto j0 = submit("routine", 0);
+  auto j5 = submit("urgent", 5);
+  auto j1 = submit("elevated", 1);
+  sched.resume();
+  sched.wait_idle();
+
+  const std::vector<std::string> want = {"urgent", "elevated", "routine"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(SchedulerCancel, QueuedJobCompletesImmediatelyWithoutRunning) {
+  machine::Machine m(tiny_config());
+  const auto clock_before = m.clock().now();
+
+  ScanScheduler::Options opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  ScanScheduler sched(opts);
+
+  JobSpec spec;
+  spec.machine = &m;
+  spec.tenant = "lab";
+  auto job = sched.submit(std::move(spec)).value();
+  EXPECT_EQ(job.progress().phase, JobPhase::kQueued);
+
+  EXPECT_TRUE(job.cancel());
+  EXPECT_FALSE(job.cancel());  // idempotent: second call is a no-op
+
+  // The result is available before dispatch ever resumes.
+  auto* result = job.try_result();
+  ASSERT_NE(result, nullptr);
+  ASSERT_FALSE(result->ok());
+  EXPECT_EQ(result->status().code(), support::StatusCode::kCancelled);
+  EXPECT_EQ(job.progress().phase, JobPhase::kDone);
+  // Never dispatched: the machine was not scanned at all.
+  EXPECT_EQ(m.clock().now(), clock_before);
+
+  sched.resume();
+  sched.wait_idle();
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+/// A provider whose API view parks on a latch: the test cancels the job
+/// while the view is mid-flight, then releases the latch and expects the
+/// engine to bail out at the next task boundary.
+class BlockingScanner : public ResourceScanner {
+ public:
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool started = false;
+    bool release = false;
+  };
+
+  explicit BlockingScanner(std::shared_ptr<Gate> gate)
+      : gate_(std::move(gate)) {}
+
+  [[nodiscard]] ResourceType type() const override {
+    return ResourceType::kProcess;
+  }
+
+  support::StatusOr<ScanResult> high_scan(
+      const ScanTaskContext&, const winapi::Ctx&) const override {
+    std::unique_lock<std::mutex> lk(gate_->mu);
+    gate_->started = true;
+    gate_->cv.notify_all();
+    gate_->cv.wait(lk, [&] { return gate_->release; });
+    return ScanResult{};
+  }
+
+  support::StatusOr<ScanResult> low_scan(
+      const ScanTaskContext&) const override {
+    return ScanResult{};
+  }
+
+  support::StatusOr<ScanResult> outside_scan(
+      const ScanTaskContext&, const OutsideSources&) const override {
+    return ScanResult{};
+  }
+
+ private:
+  std::shared_ptr<Gate> gate_;
+};
+
+TEST(SchedulerCancel, InFlightJobStopsAtTaskBoundaryWithCleanStatus) {
+  machine::Machine m(tiny_config());
+  const auto clock_before = m.clock().now();
+  auto gate = std::make_shared<BlockingScanner::Gate>();
+
+  ScanScheduler::Options opts;
+  opts.workers = 1;  // the job must run off the test thread
+  ScanScheduler sched(opts);
+
+  JobSpec spec;
+  spec.machine = &m;
+  spec.tenant = "ops";
+  spec.config.resources = ResourceMask::kNone;  // only the custom provider
+  spec.configure_engine = [gate](ScanEngine& engine) {
+    engine.register_scanner(std::make_unique<BlockingScanner>(gate));
+  };
+  auto job = sched.submit(std::move(spec)).value();
+
+  {
+    std::unique_lock<std::mutex> lk(gate->mu);
+    gate->cv.wait(lk, [&] { return gate->started; });
+  }
+  EXPECT_EQ(job.progress().phase, JobPhase::kRunning);
+  EXPECT_TRUE(job.cancel());
+  {
+    std::lock_guard<std::mutex> lk(gate->mu);
+    gate->release = true;
+  }
+  gate->cv.notify_all();
+
+  auto& result = job.wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), support::StatusCode::kCancelled);
+  // The torn scan was discarded whole: no report, no clock advance.
+  EXPECT_EQ(m.clock().now(), clock_before);
+
+  sched.wait_idle();
+  EXPECT_EQ(sched.stats().cancelled, 1u);
+}
+
+TEST(SchedulerDeterminism, PerJobReportsIdenticalAtWorkers_1_2_8) {
+  constexpr std::size_t kMachines = 3;
+  std::vector<std::string> baseline;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    std::vector<std::unique_ptr<machine::Machine>> fleet;
+    for (std::size_t i = 0; i < kMachines; ++i) {
+      fleet.push_back(
+          std::make_unique<machine::Machine>(tiny_config(10 + i)));
+      malware::install_ghostware<malware::HackerDefender>(*fleet[i]);
+    }
+    ScanScheduler::Options opts;
+    opts.workers = workers;
+    ScanScheduler sched(opts);
+    std::vector<ScanJob> jobs;
+    for (auto& m : fleet) {
+      JobSpec spec;
+      spec.machine = m.get();
+      spec.config.files.mft_batch_records = 64;
+      jobs.push_back(sched.submit(std::move(spec)).value());
+    }
+    std::vector<std::string> normals;
+    for (auto& job : jobs) {
+      auto& result = job.wait();
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(result.value().infection_detected());
+      ASSERT_TRUE(result.value().scheduler.has_value());
+      normals.push_back(normalized(result.value()));
+    }
+    if (baseline.empty()) {
+      baseline = normals;
+    } else {
+      EXPECT_EQ(normals, baseline) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(SchedulerReport, CarriesProvenanceTagInSchemaV22Json) {
+  machine::Machine m(tiny_config());
+  ScanScheduler::Options opts;
+  opts.workers = 0;  // inline dispatch
+  ScanScheduler sched(opts);
+  JobSpec spec;
+  spec.machine = &m;
+  spec.tenant = "hq";
+  spec.priority = 7;
+  auto job = sched.submit(std::move(spec)).value();
+  auto& result = job.wait();
+  ASSERT_TRUE(result.ok());
+  const Report& report = result.value();
+  ASSERT_TRUE(report.scheduler.has_value());
+  EXPECT_EQ(report.scheduler->tenant, "hq");
+  EXPECT_EQ(report.scheduler->priority, 7);
+  EXPECT_EQ(report.scheduler->job_id, job.id());
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema_version\":\"2.2\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\":{\"tenant\":\"hq\""),
+            std::string::npos);
+}
+
+TEST(SchedulerStatsApi, JsonAndErrorPaths) {
+  ScanScheduler sched;
+  // machine is mandatory at submit, not at dispatch.
+  JobSpec bad;
+  auto status_or = sched.submit(std::move(bad));
+  ASSERT_FALSE(status_or.ok());
+  EXPECT_EQ(status_or.status().code(),
+            support::StatusCode::kFailedPrecondition);
+
+  const std::string json = sched.stats().to_json();
+  EXPECT_NE(json.find("\"schema_version\":\"2.2\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tenants\":[]"), std::string::npos);
+}
+
+TEST(SchedulerShutdown, DestructorCancelsQueuedJobsCleanly) {
+  machine::Machine m(tiny_config());
+  ScanJob job;
+  {
+    ScanScheduler::Options opts;
+    opts.workers = 1;
+    opts.start_paused = true;  // never dispatched
+    ScanScheduler sched(opts);
+    JobSpec spec;
+    spec.machine = &m;
+    job = sched.submit(std::move(spec)).value();
+  }
+  // The handle outlives the scheduler; the job completed as cancelled.
+  auto& result = job.wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), support::StatusCode::kCancelled);
+}
+
+TEST(EngineRunJobSpec, DispatchesOnKindAndHonorsPreRaisedToken) {
+  machine::Machine m(tiny_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  ScanEngine engine(m);
+
+  JobSpec inside;
+  inside.kind = ScanKind::kInside;
+  auto inside_result = engine.run(inside);
+  ASSERT_TRUE(inside_result.ok());
+  EXPECT_TRUE(inside_result.value().infection_detected());
+
+  support::CancelToken token;
+  token.cancel();
+  JobSpec cancelled;
+  cancelled.kind = ScanKind::kOutside;
+  cancelled.cancel = &token;
+  const auto clock_before = m.clock().now();
+  auto cancelled_result = engine.run(cancelled);
+  ASSERT_FALSE(cancelled_result.ok());
+  EXPECT_EQ(cancelled_result.status().code(),
+            support::StatusCode::kCancelled);
+  EXPECT_EQ(m.clock().now(), clock_before);  // no boot cycle ran
+
+  support::TaskCounter progress;
+  JobSpec tracked;
+  tracked.kind = ScanKind::kInside;
+  tracked.progress = &progress;
+  ASSERT_TRUE(engine.run(tracked).ok());
+  EXPECT_GT(progress.total.load(), 0u);
+  EXPECT_EQ(progress.done.load(), progress.total.load());
+}
+
+TEST(SchedulerStress, ManyTenantsRandomCancelsUnderSharedPool) {
+  constexpr std::size_t kJobs = 10;
+  std::vector<std::unique_ptr<machine::Machine>> fleet;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    fleet.push_back(std::make_unique<machine::Machine>(tiny_config(50 + i)));
+  }
+  ScanScheduler::Options opts;
+  opts.workers = 4;
+  ScanScheduler sched(opts);
+  sched.set_tenant_weight("even", 2);
+
+  std::vector<ScanJob> jobs;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    JobSpec spec;
+    spec.machine = fleet[i].get();
+    spec.tenant = (i % 2 == 0) ? "even" : "odd";
+    spec.priority = static_cast<int>(i % 3);
+    spec.config.resources =
+        (i % 2 == 0) ? ResourceMask::kProcesses
+                     : (ResourceMask::kAseps | ResourceMask::kModules);
+    jobs.push_back(sched.submit(std::move(spec)).value());
+  }
+  // Cancel a third of the fleet while the pool is busy serving it.
+  for (std::size_t i = 0; i < kJobs; i += 3) jobs[i].cancel();
+
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  for (auto& job : jobs) {
+    auto& result = job.wait();
+    if (result.ok()) {
+      ++completed;
+      EXPECT_TRUE(result.value().scheduler.has_value());
+    } else {
+      ASSERT_EQ(result.status().code(), support::StatusCode::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, kJobs);
+  sched.wait_idle();
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.served + stats.cancelled, kJobs);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
+}  // namespace
+}  // namespace gb::core

@@ -95,6 +95,44 @@ TEST(ThreadPool, ManySubmissionsStress) {
   EXPECT_EQ(sum, 499L * 500 / 2);
 }
 
+TEST(ThreadPool, ParallelForStopsEnteringWorkAfterCancel) {
+  // Serial path (0 workers): the token is checked before every index, so
+  // raising it from inside a task stops the loop at the next boundary.
+  ThreadPool serial(0);
+  CancelToken token;
+  std::atomic<int> ran{0};
+  serial.parallel_for(
+      100,
+      [&](std::size_t i) {
+        ++ran;
+        if (i == 4) token.cancel();
+      },
+      &token);
+  EXPECT_EQ(ran.load(), 5);  // indices 0..4 ran, 5..99 skipped
+}
+
+TEST(ThreadPool, ParallelForCancelTerminatesOnWorkers) {
+  // Threaded path: a pre-raised token means no index body runs, and the
+  // call still returns (claimed indices are retired, not executed).
+  ThreadPool pool(2);
+  CancelToken token;
+  token.cancel();
+  std::atomic<int> ran{0};
+  pool.parallel_for(1000, [&](std::size_t) { ++ran; }, &token);
+  EXPECT_EQ(ran.load(), 0);
+
+  // Cancelling mid-flight stops promptly; every entered body finishes.
+  CancelToken midway;
+  std::atomic<int> entered{0};
+  pool.parallel_for(
+      10'000,
+      [&](std::size_t) {
+        if (entered.fetch_add(1) == 16) midway.cancel();
+      },
+      &midway);
+  EXPECT_LT(entered.load(), 10'000);
+}
+
 TEST(ThreadPool, SubmitFromInsideATask) {
   ThreadPool pool(2);
   // A task may enqueue more work (it must not block on it); the new
