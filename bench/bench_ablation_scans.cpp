@@ -17,6 +17,7 @@
 #include "core/scan_engine.h"
 #include "malware/collection.h"
 #include "malware/indexghost.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -124,7 +125,10 @@ std::string normalized_findings(const core::Report& report) {
   return j;
 }
 
-void print_parallel_table() {
+/// Runs the executor sweep; appends one JSON row per executor count to
+/// *rows when rows is non-null.
+void print_parallel_table(obs::MetricsRegistry* registry,
+                          std::string* rows) {
   bench::heading("Parallel engine - inside_scan wall time vs executors");
   std::printf("%-12s %-14s %-10s %s\n", "executors", "seconds", "speedup",
               "findings");
@@ -139,7 +143,9 @@ void print_parallel_table() {
     for (int rep = 0; rep < 3; ++rep) {
       machine::Machine m(sized(3200, 400));
       malware::install_ghostware<malware::HackerDefender>(m);
-      core::ScanEngine engine(m, engine_config(p));
+      core::ScanConfig cfg = engine_config(p);
+      cfg.metrics = registry;
+      core::ScanEngine engine(m, cfg);
       const auto t0 = std::chrono::steady_clock::now();
       const auto report = engine.inside_scan();
       const double s =
@@ -152,10 +158,17 @@ void print_parallel_table() {
       baseline_findings = findings;
       baseline_seconds = best;
     }
+    const bool identical = findings == baseline_findings;
     std::printf("%-12zu %-14.4f %-10.2f %s\n", p, best,
                 baseline_seconds / best,
-                findings == baseline_findings ? "byte-identical"
-                                              : "MISMATCH");
+                identical ? "byte-identical" : "MISMATCH");
+    if (rows != nullptr) {
+      if (!rows->empty()) *rows += ",";
+      *rows += "{\"executors\":" + std::to_string(p) +
+               ",\"seconds\":" + std::to_string(best) +
+               ",\"speedup\":" + std::to_string(baseline_seconds / best) +
+               ",\"byte_identical\":" + (identical ? "true" : "false") + "}";
+    }
   }
   std::printf(
       "\n(%u hardware core%s visible: wall speedup is bounded by physical "
@@ -165,8 +178,11 @@ void print_parallel_table() {
       std::thread::hardware_concurrency() == 1 ? "" : "s");
 }
 
-void print_table() {
-  print_parallel_table();
+void print_table(const std::string& json_path) {
+  obs::MetricsRegistry registry;
+  std::string parallel_rows;
+  print_parallel_table(json_path.empty() ? nullptr : &registry,
+                       json_path.empty() ? nullptr : &parallel_rows);
   bench::heading(
       "Ablation B - mechanism detection vs behaviour detection coverage");
   std::printf("%-24s %-28s %-12s %-12s\n", "ghostware", "technique",
@@ -216,8 +232,33 @@ void print_table() {
       "\ncoverage: hook detector %zu/%zu, cross-view diff %zu/%zu "
       "(the two data-only cases are why behaviour beats mechanism)\n",
       hook_caught, total, diff_caught, total);
+
+  if (!json_path.empty()) {
+    // Executor sweep rows plus the engines' metric registry (provider
+    // scan counts, pool task latency histogram), machine-readable.
+    std::string payload = "{\"bench\":\"bench_ablation_scans\"";
+    payload += ",\"parallel\":[" + parallel_rows + "]";
+    payload += ",\"coverage\":{\"hook_detector\":" +
+               std::to_string(hook_caught) +
+               ",\"cross_view\":" + std::to_string(diff_caught) +
+               ",\"total\":" + std::to_string(total) + "}";
+    payload += ",\"metrics\":" + registry.to_json() + "}";
+    if (bench::write_json_file(json_path, payload)) {
+      std::printf("json results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+  }
 }
 
 }  // namespace
 
-GB_BENCH_MAIN(print_table)
+int main(int argc, char** argv) {
+  const std::string json_path = gb::bench::take_json_flag(argc, argv);
+  print_table(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

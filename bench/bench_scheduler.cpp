@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "core/scan_scheduler.h"
 #include "malware/collection.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -86,16 +87,18 @@ void BM_SchedulerDispatchOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerDispatchOverhead)->Unit(benchmark::kMillisecond);
 
-void print_table() {
+void print_table(const std::string& json_path) {
   bench::heading("Fleet scheduler - weighted fairness under a flood");
 
   // A heavy tenant floods 12 jobs; a light tenant submits 4. With
   // weights 2:1 the light tenant's jobs must interleave at one per
   // three dispatches rather than waiting behind the whole flood.
   auto fleet = build_fleet(2);
+  obs::MetricsRegistry registry;
   core::ScanScheduler::Options opts;
   opts.workers = 1;
   opts.start_paused = true;
+  opts.metrics = &registry;
   core::ScanScheduler sched(opts);
   sched.set_tenant_weight("heavy", 2);
   sched.set_tenant_weight("light", 1);
@@ -140,8 +143,35 @@ void print_table() {
               bench::mark(fair));
   std::printf("(single-core CI note: widen-the-pool speedups need real "
               "cores; fairness ratios hold at any width)\n");
+
+  if (!json_path.empty()) {
+    // Machine-readable result: the fairness verdict plus the scheduler's
+    // whole registry (per-tenant counters, queue-wait histogram, pool
+    // task latencies), so CI can trend any series without new plumbing.
+    std::string payload = "{\"bench\":\"bench_scheduler\"";
+    payload += ",\"fair\":" + std::string(fair ? "true" : "false");
+    payload +=
+        ",\"heavy_maxq_seconds\":" + std::to_string(heavy_queue_max);
+    payload +=
+        ",\"light_maxq_seconds\":" + std::to_string(light_queue_max);
+    payload += ",\"stats\":" + stats.to_json();
+    payload += ",\"metrics\":" + registry.to_json() + "}";
+    if (bench::write_json_file(json_path, payload)) {
+      std::printf("json results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+  }
 }
 
 }  // namespace
 
-GB_BENCH_MAIN(print_table)
+int main(int argc, char** argv) {
+  const std::string json_path = gb::bench::take_json_flag(argc, argv);
+  print_table(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

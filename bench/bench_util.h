@@ -20,6 +20,32 @@ inline void heading(const std::string& title) {
 
 inline const char* mark(bool ok) { return ok ? "OK " : "FAIL"; }
 
+/// Extracts `--json FILE` from the command line (removing both tokens so
+/// google-benchmark never sees them) and returns FILE, or "" if absent.
+/// Benches use it to emit a machine-readable result document alongside
+/// the human table.
+inline std::string take_json_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      const std::string path = argv[i + 1];
+      for (int j = i + 2; j < argc; ++j) argv[j - 2] = argv[j];
+      argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
+
+inline bool write_json_file(const std::string& path,
+                            const std::string& payload) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
 /// Standard main body: print table via `print_table()`, then run any
 /// registered google-benchmark cases.
 #define GB_BENCH_MAIN(print_table)                       \

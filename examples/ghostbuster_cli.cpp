@@ -9,14 +9,24 @@
 //                   [--advanced] [--ads] [--attribute] [--remove]
 //                   [--json [FILE]] [--save-image FILE | --scan-image FILE]
 //                   [--seed N] [--fleet N [--workers N]]
+//                   [--metrics [FILE]] [--trace FILE] [--corrupt-hive]
 //
-//   --json emits the schema-v2.2 machine-readable report on stdout, or
+//   --json emits the schema-v2.3 machine-readable report on stdout, or
 //   into FILE when one is given (for SIEM/automation pipelines).
+//
+//   --metrics dumps the process-wide obs::MetricsRegistry in Prometheus
+//   text exposition format after the scan (stdout, or FILE). --trace
+//   FILE enables span tracing and writes Chrome trace_event JSON —
+//   load it in chrome://tracing or https://ui.perfetto.dev to see the
+//   scheduler dispatch / engine / provider / diff-shard nesting.
+//   --corrupt-hive zeroes the first byte of the SOFTWARE hive's backing
+//   file before the scan (and suppresses the engine's re-flush), forcing
+//   the degraded-registry-diff path for demos and metrics checks.
 //
 //   --fleet N scans N desktops (every third one infected from the
 //   file-hiding catalogue) through the ScanScheduler: tenants corp /
 //   branch / lab share --workers pool slots under weighted fair queuing.
-//   With --json the output is one envelope: {"schema_version":"2.2",
+//   With --json the output is one envelope: {"schema_version":"2.3",
 //   "fleet":[report...],"stats":{...}}.
 //
 //   names: urbin mersting vanquish aphex hackerdefender probotse
@@ -43,6 +53,8 @@
 #include "malware/ads_stasher.h"
 #include "malware/indexghost.h"
 #include "malware/collection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -76,6 +88,41 @@ std::shared_ptr<malware::Ghostware> infect(machine::Machine& m,
   std::exit(2);
 }
 
+bool write_text(const std::string& path, const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) return false;
+  std::fwrite(text.data(), 1, text.size(), out);
+  if (text.empty() || text.back() != '\n') std::fputc('\n', out);
+  std::fclose(out);
+  return true;
+}
+
+/// Dumps --metrics / --trace output after the scan work is done. Returns
+/// an exit code: 0, or 3 when a requested file cannot be written.
+int emit_telemetry(bool metrics, const std::string& metrics_path,
+                   const std::string& trace_path) {
+  if (metrics) {
+    const std::string text = gb::obs::default_registry().to_prometheus_text();
+    if (metrics_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else if (write_text(metrics_path, text)) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 3;
+    }
+  }
+  if (!trace_path.empty()) {
+    if (write_text(trace_path, gb::obs::default_tracer().to_chrome_json())) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 3;
+    }
+  }
+  return 0;
+}
+
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
   std::string cur;
@@ -100,6 +147,10 @@ int main(int argc, char** argv) {
   bool advanced = false, ads = false, attribute = false, remove = false;
   bool json = false;
   std::string json_path;
+  bool metrics = false;
+  std::string metrics_path;
+  std::string trace_path;
+  bool corrupt_hive = false;
   std::uint64_t seed = 1;
   std::size_t fleet_size = 0;
   std::size_t fleet_workers = 2;
@@ -123,6 +174,12 @@ int main(int argc, char** argv) {
       json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
     }
+    else if (arg == "--metrics") {
+      metrics = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') metrics_path = argv[++i];
+    }
+    else if (arg == "--trace") trace_path = need_value();
+    else if (arg == "--corrupt-hive") corrupt_hive = true;
     else if (arg == "--save-image") save_image = need_value();
     else if (arg == "--scan-image") scan_image = need_value();
     else if (arg == "--seed") seed = std::stoull(need_value());
@@ -134,6 +191,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (!trace_path.empty()) obs::default_tracer().enable();
 
   // Offline mode: scan a saved disk image file from "the host".
   if (!scan_image.empty()) {
@@ -163,7 +222,7 @@ int main(int argc, char** argv) {
       std::printf("    ADS %s\n", f.resource.display.c_str());
     }
     std::printf("(diff this against an inside capture to expose hiding)\n");
-    return 0;
+    return emit_telemetry(metrics, metrics_path, trace_path);
   }
 
   // Fleet mode: N desktops multiplexed over a fixed worker pool by the
@@ -208,6 +267,8 @@ int main(int argc, char** argv) {
 
     core::ScanScheduler::Options opts;
     opts.workers = fleet_workers;
+    opts.metrics = &obs::default_registry();  // one --metrics dump covers
+                                              // scheduler + pool + engines
     core::ScanScheduler sched(opts);
     sched.set_tenant_weight("corp", 2);
     for (auto& b : fleet) {
@@ -228,7 +289,7 @@ int main(int argc, char** argv) {
       if (result.ok() && result.value().infection_detected()) ++detected;
     }
     if (json) {
-      std::string payload = "{\"schema_version\":\"2.2\",\"fleet\":[";
+      std::string payload = "{\"schema_version\":\"2.3\",\"fleet\":[";
       bool first = true;
       for (auto& b : fleet) {
         if (!first) payload += ",";
@@ -270,6 +331,8 @@ int main(int argc, char** argv) {
       }
       std::printf("\n%s", sched.stats().to_string().c_str());
     }
+    const int telemetry_rc = emit_telemetry(metrics, metrics_path, trace_path);
+    if (telemetry_rc != 0) return telemetry_rc;
     return (failed == 0 && detected == infected) ? 0 : 1;
   }
 
@@ -281,6 +344,20 @@ int main(int argc, char** argv) {
 
   core::ScanConfig scan_cfg;
   scan_cfg.processes.scheduler_view = advanced;
+  if (corrupt_hive) {
+    // Flush once so the backing file is current, smash the REGF magic,
+    // and keep the engine from re-flushing a good copy over it. The
+    // low-level registry scan then reports kCorrupt and the registry
+    // diff degrades instead of the session failing.
+    m.flush_registry();
+    const char* hive = "C:\\windows\\system32\\config\\software";
+    auto bytes = m.volume().read_file(hive);
+    if (!bytes.empty()) {
+      bytes[0] = std::byte{0};
+      m.volume().write_file(hive, bytes);
+    }
+    scan_cfg.registry.flush_hives_first = false;
+  }
   core::ScanEngine gb(m, scan_cfg);
 
   core::Report report;
@@ -339,5 +416,7 @@ int main(int argc, char** argv) {
     std::printf("\ndisk image saved to %s (scan it with --scan-image)\n",
                 save_image.c_str());
   }
+  const int telemetry_rc = emit_telemetry(metrics, metrics_path, trace_path);
+  if (telemetry_rc != 0) return telemetry_rc;
   return anything_found || infections.empty() ? 0 : 1;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace gb::core {
 
@@ -9,6 +12,9 @@ DiffReport cross_view_diff(const ScanResult& high, const ScanResult& low) {
   if (high.type != low.type) {
     throw std::invalid_argument("cross_view_diff: resource type mismatch");
   }
+  auto span = obs::default_tracer().span("diff.merge", "diff");
+  span.arg("high", std::to_string(high.resources.size()));
+  span.arg("low", std::to_string(low.resources.size()));
   DiffReport report;
   report.type = high.type;
   report.high_view = high.view_name;
@@ -89,6 +95,8 @@ DiffReport cross_view_diff(const ScanResult& high, const ScanResult& low,
   };
   std::vector<ShardOut> outs(shards);
   pool->parallel_for(shards, [&](std::size_t s) {
+    auto span = obs::default_tracer().span("diff.shard", "diff");
+    span.arg("shard", std::to_string(s));
     const auto& hs = high_parts[s];
     const auto& ls = low_parts[s];
     ShardOut& out = outs[s];

@@ -4,6 +4,7 @@
 
 #include "hive/hive.h"
 #include "ntfs/mft_scanner.h"
+#include "obs/trace.h"
 #include "registry/aseps.h"
 #include "support/strings.h"
 
@@ -99,6 +100,8 @@ support::StatusOr<registry::ConfigurationManager> load_offline_registry(
   auto read_one = [&](std::size_t i) {
     MountRead& r = reads[i];
     if (!r.record) return;  // hive file absent: skipped, as before
+    auto span = obs::default_tracer().span("hive.read", "parse");
+    span.arg("file", mounts[i].backing_file);
     disk::CountingDevice dev(base);
     auto scanner = ntfs::MftScanner::open(dev);
     if (!scanner.ok()) {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
 #include "support/strings.h"
 
 namespace gb::core {
@@ -154,7 +155,7 @@ std::string Report::to_string() const {
 
 std::string Report::to_json() const {
   std::ostringstream os;
-  os << "{\"schema_version\":\"2.2\""
+  os << "{\"schema_version\":\"2.3\""
      << ",\"infected\":" << (infection_detected() ? "true" : "false")
      << ",\"degraded\":" << (degraded() ? "true" : "false")
      << ",\"simulated_seconds\":" << total_simulated_seconds
@@ -166,6 +167,16 @@ std::string Report::to_json() const {
     os << ",\"job_id\":" << scheduler->job_id
        << ",\"priority\":" << scheduler->priority
        << ",\"queue_seconds\":" << scheduler->queue_seconds << '}';
+  } else {
+    os << "null";
+  }
+  os << ",\"metrics\":";
+  if (metrics) {
+    os << "{\"provider_scans\":" << metrics->provider_scans
+       << ",\"scan_failures\":" << metrics->scan_failures
+       << ",\"degraded_diffs\":" << metrics->degraded_diffs
+       << ",\"hidden_resources\":" << metrics->hidden_resources
+       << ",\"extra_resources\":" << metrics->extra_resources << '}';
   } else {
     os << "null";
   }
@@ -210,7 +221,13 @@ ScanEngine::ScanEngine(machine::Machine& m, ScanConfig cfg)
     : machine_(m),
       cfg_(std::move(cfg)),
       pool_(pool_workers(cfg_.parallelism)),
-      scanners_(default_scanners(cfg_.resources)) {}
+      scanners_(default_scanners(cfg_.resources)) {
+  if (cfg_.collect_metrics) {
+    registry_ = cfg_.metrics != nullptr ? cfg_.metrics
+                                        : &obs::default_registry();
+    pool_.instrument(*registry_);
+  }
+}
 
 void ScanEngine::register_scanner(std::unique_ptr<ResourceScanner> scanner) {
   scanners_.push_back(std::move(scanner));
@@ -223,7 +240,8 @@ winapi::Ctx ScanEngine::scanner_context() {
   return machine_.context_for(pid);
 }
 
-void ScanEngine::finalize(Report& report, double wall_seconds) {
+void ScanEngine::finalize(Report& report, double wall_seconds,
+                          const char* kind, const ScanTally& tally) {
   for (auto& d : report.diffs) {
     report.total_simulated_seconds += d.simulated_seconds;
   }
@@ -231,6 +249,35 @@ void ScanEngine::finalize(Report& report, double wall_seconds) {
   report.worker_threads = worker_count();
   machine_.clock().advance(
       VirtualClock::seconds(report.total_simulated_seconds));
+
+  if (registry_ == nullptr) return;
+  // The report block holds only deterministic quantities (counts and
+  // simulated time); wall-clock observations go to the registry, which
+  // never feeds back into report bytes.
+  Report::Metrics m;
+  m.provider_scans = tally.provider_scans;
+  m.scan_failures = tally.scan_failures;
+  for (const auto& d : report.diffs) {
+    if (d.degraded()) ++m.degraded_diffs;
+    m.hidden_resources += d.hidden.size();
+    m.extra_resources += d.extra.size();
+  }
+  report.metrics = m;
+
+  obs::MetricsRegistry& reg = *registry_;
+  reg.counter("gb_engine_runs_total", {{"kind", kind}}).inc();
+  reg.counter("gb_engine_provider_scans_total")
+      .add(static_cast<double>(m.provider_scans));
+  reg.counter("gb_engine_scan_failures_total")
+      .add(static_cast<double>(m.scan_failures));
+  reg.counter("gb_engine_degraded_diffs_total")
+      .add(static_cast<double>(m.degraded_diffs));
+  reg.counter("gb_engine_hidden_resources_total")
+      .add(static_cast<double>(m.hidden_resources));
+  reg.counter("gb_engine_simulated_seconds_total")
+      .add(report.total_simulated_seconds);
+  reg.histogram("gb_engine_run_seconds", obs::default_latency_buckets())
+      .observe(wall_seconds);
 }
 
 ScanTaskContext ScanEngine::task_context() {
@@ -282,6 +329,7 @@ support::StatusOr<Report> ScanEngine::inside_scan_impl(const RunCtl& ctl) {
     return support::Status::cancelled("inside scan cancelled before start");
   }
   const auto t0 = SteadyClock::now();
+  auto run_span = obs::default_tracer().span("engine.inside", "engine");
   Report report;
   const auto ctx = scanner_context();
   flush_hives_if_needed();
@@ -302,6 +350,10 @@ support::StatusOr<Report> ScanEngine::inside_scan_impl(const RunCtl& ctl) {
       [&](std::size_t i) {
         const std::size_t slot = i / 2;
         const ResourceScanner& scanner = *scanners_[slot];
+        auto span = obs::default_tracer().span(
+            std::string("scan.") + resource_type_name(scanner.type()) +
+                (i % 2 == 0 ? ".high" : ".low"),
+            "provider");
         const auto start = SteadyClock::now();
         if (i % 2 == 0) {
           pairs[slot].high =
@@ -321,11 +373,18 @@ support::StatusOr<Report> ScanEngine::inside_scan_impl(const RunCtl& ctl) {
     return support::Status::cancelled("inside scan cancelled");
   }
 
+  ScanTally tally;
   const auto& profile = machine_.config().profile;
   for (std::size_t s = 0; s < scanners_.size(); ++s) {
     if (ctl.cancelled()) {
       return support::Status::cancelled("inside scan cancelled during diff");
     }
+    tally.provider_scans += 2;
+    if (!pairs[s].high.ok()) ++tally.scan_failures;
+    if (!pairs[s].low.ok()) ++tally.scan_failures;
+    auto span = obs::default_tracer().span(
+        std::string("diff.") + resource_type_name(scanners_[s]->type()),
+        "diff");
     const auto start = SteadyClock::now();
     DiffReport d = diff_views(*scanners_[s], tctx, pairs[s].high,
                               pairs[s].low, profile);
@@ -333,7 +392,7 @@ support::StatusOr<Report> ScanEngine::inside_scan_impl(const RunCtl& ctl) {
         pairs[s].high_wall + pairs[s].low_wall + seconds_since(start);
     report.diffs.push_back(std::move(d));
   }
-  finalize(report, seconds_since(t0));
+  finalize(report, seconds_since(t0), "inside", tally);
   return report;
 }
 
@@ -342,6 +401,7 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
     return support::Status::cancelled("injected scan cancelled before start");
   }
   const auto t0 = SteadyClock::now();
+  auto run_span = obs::default_tracer().span("engine.injected", "engine");
   Report report;
   flush_hives_if_needed();
   const ScanTaskContext tctx = task_context();
@@ -356,6 +416,10 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
   pool_.parallel_for(
       scanners_.size(),
       [&](std::size_t s) {
+        auto span = obs::default_tracer().span(
+            std::string("scan.") + resource_type_name(scanners_[s]->type()) +
+                ".low",
+            "provider");
         const auto start = SteadyClock::now();
         lows[s] = guarded_scan([&] { return scanners_[s]->low_scan(tctx); });
         low_walls[s] = seconds_since(start);
@@ -395,6 +459,11 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
         const std::size_t s = i % scanners_.size();
         ctl.add_done();
         if (!lows[s].ok()) return;
+        auto span = obs::default_tracer().span(
+            std::string("scan.") + resource_type_name(scanners_[s]->type()) +
+                ".injected",
+            "provider");
+        span.arg("image", ctx.image_name);
         const auto start = SteadyClock::now();
         const auto high = guarded_scan(
             [&] { return scanners_[s]->high_scan(serial_ctx, ctx); });
@@ -417,18 +486,22 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
   // identical to the serial per-process loop regardless of which worker
   // ran which job. A failed per-process scan marks the diff degraded
   // (first failure in pid order) but the successes still merge.
+  ScanTally tally;
   const auto& profile = machine_.config().profile;
   for (std::size_t s = 0; s < scanners_.size(); ++s) {
     DiffReport d;
     d.type = scanners_[s]->type();
     d.high_view = "injected scans (all processes)";
+    ++tally.provider_scans;  // the trusted snapshot
     if (!lows[s].ok()) {
+      ++tally.scan_failures;
       d.low_view = "(scan failed)";
       d.status = lows[s].status();
       d.wall_seconds = low_walls[s];
       report.diffs.push_back(std::move(d));
       continue;
     }
+    tally.provider_scans += ctxs.size();  // one injected high per process
     std::map<std::string, Finding> hidden;
     std::size_t high_count_max = 0;
     machine::ScanWork work;
@@ -436,7 +509,10 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
     support::Status first_failure;
     for (std::size_t c = 0; c < ctxs.size(); ++c) {
       Job& job = jobs[c * scanners_.size() + s];
-      if (!job.status.ok() && first_failure.ok()) first_failure = job.status;
+      if (!job.status.ok()) {
+        ++tally.scan_failures;
+        if (first_failure.ok()) first_failure = job.status;
+      }
       for (auto& f : job.diff.hidden) hidden.emplace(f.resource.key, f);
       high_count_max = std::max(high_count_max, job.high_count);
       work += job.work;
@@ -453,11 +529,12 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
     d.wall_seconds = wall;
     report.diffs.push_back(std::move(d));
   }
-  finalize(report, seconds_since(t0));
+  finalize(report, seconds_since(t0), "injected", tally);
   return report;
 }
 
 InsideCapture ScanEngine::capture_inside_high_impl(const RunCtl& ctl) {
+  auto run_span = obs::default_tracer().span("engine.capture", "engine");
   InsideCapture cap;
   const auto ctx = scanner_context();
   const ScanTaskContext tctx = task_context();
@@ -469,6 +546,10 @@ InsideCapture ScanEngine::capture_inside_high_impl(const RunCtl& ctl) {
   pool_.parallel_for(
       scanners_.size(),
       [&](std::size_t s) {
+        auto span = obs::default_tracer().span(
+            std::string("scan.") + resource_type_name(scanners_[s]->type()) +
+                ".high",
+            "provider");
         cap.entries[s].high =
             guarded_scan([&] { return scanners_[s]->high_scan(tctx, ctx); });
         ctl.add_done();
@@ -501,6 +582,7 @@ support::StatusOr<Report> ScanEngine::outside_diff_impl(
     return support::Status::cancelled("outside diff cancelled before start");
   }
   const auto t0 = SteadyClock::now();
+  auto run_span = obs::default_tracer().span("engine.outside_diff", "engine");
   Report report;
   const ScanTaskContext tctx = task_context();
   const OutsideSources sources{machine_.disk(),
@@ -526,8 +608,12 @@ support::StatusOr<Report> ScanEngine::outside_diff_impl(
   pool_.parallel_for(
       wanted.size(),
       [&](std::size_t i) {
-        const auto start = SteadyClock::now();
         const ResourceScanner& scanner = *wanted[i].first;
+        auto span = obs::default_tracer().span(
+            std::string("scan.") + resource_type_name(scanner.type()) +
+                ".outside",
+            "provider");
+        const auto start = SteadyClock::now();
         if (scanner.needs_dump() && !sources.dump && !cap.dump_status.ok()) {
           // The capture tried to take a dump and failed (scrubbed write,
           // truncation): surface that cause rather than a generic absence.
@@ -544,15 +630,22 @@ support::StatusOr<Report> ScanEngine::outside_diff_impl(
     return support::Status::cancelled("outside diff cancelled");
   }
 
+  ScanTally tally;
   const auto& profile = machine_.config().profile;
   for (std::size_t i = 0; i < wanted.size(); ++i) {
+    tally.provider_scans += 2;  // the inside capture + the clean view
+    if (!wanted[i].second->high.ok()) ++tally.scan_failures;
+    if (!lows[i].ok()) ++tally.scan_failures;
+    auto span = obs::default_tracer().span(
+        std::string("diff.") + resource_type_name(wanted[i].first->type()),
+        "diff");
     const auto start = SteadyClock::now();
     DiffReport d = diff_views(*wanted[i].first, tctx, wanted[i].second->high,
                               lows[i], profile);
     d.wall_seconds = low_walls[i] + seconds_since(start);
     report.diffs.push_back(std::move(d));
   }
-  finalize(report, seconds_since(t0));
+  finalize(report, seconds_since(t0), "outside", tally);
   return report;
 }
 

@@ -38,6 +38,7 @@
 #include "core/scan_result.h"
 #include "kernel/dump.h"
 #include "machine/machine.h"
+#include "obs/metrics.h"
 #include "support/cancel.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
@@ -136,6 +137,15 @@ struct ScanConfig {
   std::string scanner_image = "ghostbuster.exe";
   /// Boot mechanism for outside_scan().
   OutsideBoot outside_boot = OutsideBoot::kWinPeCd;
+  /// Collect run telemetry: the deterministic "metrics" block in report
+  /// JSON (schema v2.3) plus engine/pool counters in the registry below.
+  /// Off, reports carry "metrics":null and the engine touches no
+  /// registry — the scan output bytes are identical either way.
+  bool collect_metrics = true;
+  /// Registry receiving engine + pool telemetry when collect_metrics is
+  /// on. Null uses obs::default_registry() (what the CLI's --metrics
+  /// flag exports); tests and schedulers pass their own for isolation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Which of the paper's workflows a job runs — the shared vocabulary of
@@ -199,10 +209,25 @@ struct Report {
     std::string tenant;
     std::uint64_t job_id = 0;
     int priority = 0;
-    /// Wall time the job spent queued (submit -> dispatch).
+    /// Time the job spent queued (submit -> dispatch), measured on the
+    /// steady clock — never negative, immune to wall-clock adjustment.
     double queue_seconds = 0;
   };
   std::optional<SchedulerTag> scheduler;
+
+  /// Deterministic run telemetry, serialized under the "metrics" key in
+  /// schema v2.3 (null when ScanConfig::collect_metrics is false). Every
+  /// field depends only on scan content and the simulated cost model —
+  /// never on worker count or wall clock — so the block survives the
+  /// byte-identical-at-any-parallelism contract.
+  struct Metrics {
+    std::uint64_t provider_scans = 0;    // view scans attempted
+    std::uint64_t scan_failures = 0;     // views that returned non-OK
+    std::uint64_t degraded_diffs = 0;    // diffs carrying a failure
+    std::uint64_t hidden_resources = 0;  // findings across all diffs
+    std::uint64_t extra_resources = 0;   // extra-in-API-view entries
+  };
+  std::optional<Metrics> metrics;
 
   [[nodiscard]] bool infection_detected() const;
   /// True when any per-resource diff is degraded (partial report).
@@ -213,12 +238,14 @@ struct Report {
   /// Human-readable report (what the tool prints for the user).
   [[nodiscard]] std::string to_string() const;
   /// Machine-readable report (for SIEM/automation pipelines), schema
-  /// version 2.2: per-diff wall/simulated timing, the worker-thread
+  /// version 2.3: per-diff wall/simulated timing, the worker-thread
   /// count, per-resource scan status (`status`, `degraded`, `error`) so
-  /// partial results are first-class, and a top-level "scheduler" object
+  /// partial results are first-class, a top-level "scheduler" object
   /// (null for direct engine runs) carrying fleet provenance — tenant,
-  /// job id, priority, queue latency. Strings are JSON-escaped; embedded
-  /// NULs and control bytes appear as \u00XX.
+  /// job id, priority, queue latency — and a top-level "metrics" object
+  /// (null when collection is off) with the deterministic run telemetry
+  /// above. Strings are JSON-escaped; embedded NULs and control bytes
+  /// appear as \u00XX.
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -315,8 +342,16 @@ class ScanEngine {
   support::StatusOr<Report> outside_diff_impl(const InsideCapture& capture,
                                               const RunCtl& ctl);
 
+  /// Per-run deterministic scan tally, filled serially by each impl and
+  /// folded into Report::Metrics by finalize().
+  struct ScanTally {
+    std::uint64_t provider_scans = 0;
+    std::uint64_t scan_failures = 0;
+  };
+
   winapi::Ctx scanner_context();
-  void finalize(Report& report, double wall_seconds);
+  void finalize(Report& report, double wall_seconds, const char* kind,
+                const ScanTally& tally);
   ScanTaskContext task_context();
   void flush_hives_if_needed();
 
@@ -324,6 +359,8 @@ class ScanEngine {
   ScanConfig cfg_;
   support::ThreadPool pool_;
   std::vector<std::unique_ptr<ResourceScanner>> scanners_;
+  /// Telemetry sink; null when cfg_.collect_metrics is false.
+  obs::MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace gb::core

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "machine/machine.h"
+#include "obs/trace.h"
 #include "support/strings.h"
 
 namespace gb::core {
@@ -67,9 +68,13 @@ struct SchedulerCore {
         queues;
     std::size_t queued = 0;  // live (not-yet-cancelled) queued jobs
     bool in_ring = false;
-    std::uint64_t submitted = 0;
-    std::uint64_t served = 0;
-    std::uint64_t cancelled = 0;
+    /// Registry-backed lifecycle counters (labels: tenant=<id>), created
+    /// on first touch. SchedulerStats reads these back rather than
+    /// keeping a parallel set of integers.
+    obs::Counter* submitted = nullptr;
+    obs::Counter* served = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Gauge* deficit_gauge = nullptr;
   };
 
   mutable std::mutex mu;
@@ -91,17 +96,43 @@ struct SchedulerCore {
   /// Jobs not yet complete, so shutdown can cancel them. Keyed by id.
   std::map<std::uint64_t, std::shared_ptr<JobState>> live;
 
-  double total_queue_seconds = 0;
-  double total_run_seconds = 0;
-  double max_latency_seconds = 0;
+  /// Telemetry sink (see ScanScheduler::Options::metrics). `owned` is
+  /// set when the options left metrics null; `metrics` always points at
+  /// the registry in use. Handles below are created once at
+  /// construction; all updates happen under `mu`.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Histogram* queue_wait = nullptr;
+  obs::Histogram* run_seconds = nullptr;
+  obs::Counter* queue_seconds_total = nullptr;
+  obs::Counter* run_seconds_total = nullptr;
+  obs::Counter* dispatched = nullptr;
+  obs::Gauge* max_latency = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* running_gauge = nullptr;
 };
 
 namespace {
 
 using Tenant = SchedulerCore::Tenant;
 
+/// Looks up (creating if absent) a tenant and lazily mints its registry
+/// handles, so every Tenant in the map has non-null counters. Requires
+/// core.mu held.
+Tenant& tenant_locked(SchedulerCore& core, const std::string& name) {
+  Tenant& t = core.tenants[name];
+  if (t.submitted == nullptr) {
+    const obs::Labels labels{{"tenant", name}};
+    t.submitted = &core.metrics->counter("gb_sched_submitted_total", labels);
+    t.served = &core.metrics->counter("gb_sched_served_total", labels);
+    t.cancelled = &core.metrics->counter("gb_sched_cancelled_total", labels);
+    t.deficit_gauge = &core.metrics->gauge("gb_sched_tenant_deficit", labels);
+  }
+  return t;
+}
+
 void enter_ring_locked(SchedulerCore& core, const std::string& tenant) {
-  Tenant& t = core.tenants[tenant];
+  Tenant& t = tenant_locked(core, tenant);
   if (!t.in_ring) {
     t.in_ring = true;
     core.ring.push_back(tenant);
@@ -116,10 +147,11 @@ void complete_cancelled_locked(SchedulerCore& core, JobState& st,
   st.token.cancel();
   st.result = support::Status::cancelled(why);
   st.phase.store(JobPhase::kDone, std::memory_order_release);
-  Tenant& t = core.tenants[st.tenant];
-  ++t.cancelled;
+  Tenant& t = tenant_locked(core, st.tenant);
+  t.cancelled->inc();
   if (t.queued > 0) --t.queued;
   if (core.queued_total > 0) --core.queued_total;
+  core.queue_depth->set(static_cast<double>(core.queued_total));
   core.live.erase(st.id);
   st.cv.notify_all();
   core.idle_cv.notify_all();
@@ -132,7 +164,7 @@ void complete_cancelled_locked(SchedulerCore& core, JobState& st,
 std::shared_ptr<JobState> pop_locked(SchedulerCore& core) {
   while (!core.ring.empty()) {
     if (core.cursor >= core.ring.size()) core.cursor = 0;
-    Tenant& t = core.tenants[core.ring[core.cursor]];
+    Tenant& t = tenant_locked(core, core.ring[core.cursor]);
     if (t.queued == 0) {
       // Only lazily-dropped cancelled entries left: retire the tenant
       // from the ring (erasing shifts the next tenant under the cursor).
@@ -168,14 +200,22 @@ std::shared_ptr<JobState> pop_locked(SchedulerCore& core) {
     --t.deficit;
     --t.queued;
     --core.queued_total;
+    t.deficit_gauge->set(static_cast<double>(t.deficit));
     if (t.deficit == 0 || t.queued == 0) {
       // Credit spent (or queue drained): advance to the next tenant.
       // An emptied tenant is retired on the next visit.
       ++core.cursor;
     }
     job->phase.store(JobPhase::kRunning, std::memory_order_release);
-    job->queue_seconds = seconds_since(job->submit_time);
+    // Steady clock is monotonic so the wait can't be negative; clamp
+    // anyway so a queue_seconds consumer never sees -0.0 from rounding.
+    job->queue_seconds =
+        std::max(0.0, seconds_since(job->submit_time));
+    core.queue_wait->observe(job->queue_seconds);
+    core.dispatched->inc();
     ++core.running;
+    core.queue_depth->set(static_cast<double>(core.queued_total));
+    core.running_gauge->set(static_cast<double>(core.running));
     return job;
   }
   return nullptr;
@@ -189,21 +229,29 @@ void run_job(SchedulerCore& core, JobState& st) {
   const auto run_start = SteadyClock::now();
   support::StatusOr<Report> result =
       support::Status::internal("scan job never produced a result");
-  try {
-    ScanConfig cfg = st.spec.config;
-    cfg.parallelism = 1;
-    ScanEngine engine(*st.spec.machine, cfg);
-    if (st.spec.configure_engine) st.spec.configure_engine(engine);
-    JobSpec run_spec;
-    run_spec.kind = st.spec.kind;
-    run_spec.cancel = &st.token;
-    run_spec.progress = &st.counter;
-    result = engine.run(run_spec);
-  } catch (const std::exception& e) {
-    // A scan that throws (misconfigured machine, logic error in a
-    // custom provider) fails its own job, not the dispatcher.
-    result = support::Status::internal(std::string("scan job threw: ") +
-                                       e.what());
+  {
+    auto span = obs::default_tracer().span("sched.job", "sched");
+    span.arg("tenant", st.tenant);
+    span.arg("job", std::to_string(st.id));
+    try {
+      ScanConfig cfg = st.spec.config;
+      cfg.parallelism = 1;
+      // Job engines report into the scheduler's registry unless the
+      // submitter routed theirs elsewhere.
+      if (cfg.metrics == nullptr) cfg.metrics = core.metrics;
+      ScanEngine engine(*st.spec.machine, cfg);
+      if (st.spec.configure_engine) st.spec.configure_engine(engine);
+      JobSpec run_spec;
+      run_spec.kind = st.spec.kind;
+      run_spec.cancel = &st.token;
+      run_spec.progress = &st.counter;
+      result = engine.run(run_spec);
+    } catch (const std::exception& e) {
+      // A scan that throws (misconfigured machine, logic error in a
+      // custom provider) fails its own job, not the dispatcher.
+      result = support::Status::internal(std::string("scan job threw: ") +
+                                         e.what());
+    }
   }
   const double run_seconds = seconds_since(run_start);
 
@@ -212,21 +260,22 @@ void run_job(SchedulerCore& core, JobState& st) {
     result.value().scheduler = Report::SchedulerTag{
         st.tenant, st.id, st.priority, st.queue_seconds};
   }
-  Tenant& t = core.tenants[st.tenant];
+  Tenant& t = tenant_locked(core, st.tenant);
   if (!result.ok() &&
       result.status().code() == support::StatusCode::kCancelled) {
-    ++t.cancelled;
+    t.cancelled->inc();
   } else {
-    ++t.served;
+    t.served->inc();
   }
-  core.total_queue_seconds += st.queue_seconds;
-  core.total_run_seconds += run_seconds;
-  core.max_latency_seconds =
-      std::max(core.max_latency_seconds, st.queue_seconds + run_seconds);
+  core.queue_seconds_total->add(st.queue_seconds);
+  core.run_seconds_total->add(run_seconds);
+  core.run_seconds->observe(run_seconds);
+  core.max_latency->max_of(st.queue_seconds + run_seconds);
   st.result = std::move(result);
   st.phase.store(JobPhase::kDone, std::memory_order_release);
   core.live.erase(st.id);
   --core.running;
+  core.running_gauge->set(static_cast<double>(core.running));
   st.cv.notify_all();
   core.idle_cv.notify_all();
 }
@@ -325,7 +374,7 @@ std::string SchedulerStats::to_string() const {
 
 std::string SchedulerStats::to_json() const {
   std::ostringstream os;
-  os << "{\"schema_version\":\"2.2\""
+  os << "{\"schema_version\":\"2.3\""
      << ",\"queue_depth\":" << queue_depth << ",\"running\":" << running
      << ",\"submitted\":" << submitted << ",\"served\":" << served
      << ",\"cancelled\":" << cancelled
@@ -356,6 +405,24 @@ ScanScheduler::ScanScheduler(Options opts)
       pool_(opts.workers) {
   core_->paused = opts.start_paused;
   core_->max_dispatchers = std::max<std::size_t>(1, pool_.size());
+  if (opts.metrics != nullptr) {
+    core_->metrics = opts.metrics;
+  } else {
+    core_->owned_metrics = std::make_unique<obs::MetricsRegistry>();
+    core_->metrics = core_->owned_metrics.get();
+  }
+  obs::MetricsRegistry& reg = *core_->metrics;
+  core_->queue_wait = &reg.histogram("gb_sched_queue_wait_seconds",
+                                     obs::default_latency_buckets());
+  core_->run_seconds = &reg.histogram("gb_sched_run_seconds",
+                                      obs::default_latency_buckets());
+  core_->queue_seconds_total = &reg.counter("gb_sched_queue_seconds_total");
+  core_->run_seconds_total = &reg.counter("gb_sched_run_seconds_total");
+  core_->dispatched = &reg.counter("gb_sched_dispatched_total");
+  core_->max_latency = &reg.gauge("gb_sched_max_latency_seconds");
+  core_->queue_depth = &reg.gauge("gb_sched_queue_depth");
+  core_->running_gauge = &reg.gauge("gb_sched_running_jobs");
+  pool_.instrument(reg);
 }
 
 ScanScheduler::~ScanScheduler() {
@@ -391,7 +458,8 @@ ScanScheduler::~ScanScheduler() {
 void ScanScheduler::set_tenant_weight(const std::string& tenant,
                                       std::uint32_t weight) {
   std::lock_guard<std::mutex> lk(core_->mu);
-  core_->tenants[tenant].weight = std::max<std::uint32_t>(1, weight);
+  internal::tenant_locked(*core_, tenant).weight =
+      std::max<std::uint32_t>(1, weight);
 }
 
 support::StatusOr<ScanJob> ScanScheduler::submit(JobSpec spec) {
@@ -411,11 +479,13 @@ support::StatusOr<ScanJob> ScanScheduler::submit(JobSpec spec) {
       return support::Status::unavailable("scheduler is shutting down");
     }
     st->id = core_->next_id++;
-    internal::SchedulerCore::Tenant& t = core_->tenants[st->tenant];
-    ++t.submitted;
+    internal::SchedulerCore::Tenant& t =
+        internal::tenant_locked(*core_, st->tenant);
+    t.submitted->inc();
     t.queues[st->priority].push_back(st);
     ++t.queued;
     ++core_->queued_total;
+    core_->queue_depth->set(static_cast<double>(core_->queued_total));
     internal::enter_ring_locked(*core_, st->tenant);
     core_->live.emplace(st->id, st);
   }
@@ -461,24 +531,29 @@ void ScanScheduler::wait_idle() {
 }
 
 SchedulerStats ScanScheduler::stats() const {
+  // Counts are whole numbers accumulated one inc() at a time, so the
+  // double->uint64 cast below is exact (doubles hold integers to 2^53).
+  const auto count = [](const obs::Counter* c) {
+    return static_cast<std::uint64_t>(c->value());
+  };
   SchedulerStats s;
   std::lock_guard<std::mutex> lk(core_->mu);
   s.queue_depth = core_->queued_total;
   s.running = core_->running;
-  s.total_queue_seconds = core_->total_queue_seconds;
-  s.total_run_seconds = core_->total_run_seconds;
-  s.max_latency_seconds = core_->max_latency_seconds;
+  s.total_queue_seconds = core_->queue_seconds_total->value();
+  s.total_run_seconds = core_->run_seconds_total->value();
+  s.max_latency_seconds = core_->max_latency->value();
   for (const auto& [name, t] : core_->tenants) {  // map: sorted by id
     SchedulerStats::Tenant out;
     out.id = name;
     out.weight = t.weight;
-    out.submitted = t.submitted;
-    out.served = t.served;
-    out.cancelled = t.cancelled;
+    out.submitted = count(t.submitted);
+    out.served = count(t.served);
+    out.cancelled = count(t.cancelled);
     out.queued = t.queued;
-    s.submitted += t.submitted;
-    s.served += t.served;
-    s.cancelled += t.cancelled;
+    s.submitted += out.submitted;
+    s.served += out.served;
+    s.cancelled += out.cancelled;
     s.tenants.push_back(std::move(out));
   }
   return s;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/scan_engine.h"
+#include "obs/metrics.h"
 #include "support/cancel.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
@@ -138,7 +139,7 @@ struct SchedulerStats {
   std::vector<Tenant> tenants;  // sorted by tenant id
 
   [[nodiscard]] std::string to_string() const;
-  /// Machine-readable counters (schema_version 2.2).
+  /// Machine-readable counters (schema_version 2.3).
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -158,6 +159,14 @@ class ScanScheduler {
     /// resume(). Lets tests (and staged rollouts) build a backlog and
     /// then observe the exact dispatch order.
     bool start_paused = false;
+    /// Registry receiving scheduler telemetry (per-tenant submit/serve/
+    /// cancel counters, the gb_sched_queue_wait_seconds histogram,
+    /// queue-depth and deficit gauges) and each dispatched job's engine
+    /// metrics. SchedulerStats is built by reading it back. Null gives
+    /// the scheduler a private registry, so stats from concurrent
+    /// schedulers never mix; the CLI passes obs::default_registry() so
+    /// one --metrics dump covers the whole process.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   ScanScheduler();  // default Options

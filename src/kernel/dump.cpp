@@ -1,6 +1,9 @@
 #include "kernel/dump.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace gb::kernel {
 
@@ -161,6 +164,8 @@ std::vector<std::byte> write_dump(const Kernel& kernel) {
 
 KernelDump parse_dump(std::span<const std::byte> image,
                       support::ThreadPool* pool) {
+  auto span = obs::default_tracer().span("parse.dump", "parse");
+  span.arg("bytes", std::to_string(image.size()));
   ByteReader r(image);
   if (r.u64() != kDumpMagic) throw ParseError("bad dump magic");
 

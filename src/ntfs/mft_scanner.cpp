@@ -2,9 +2,11 @@
 
 #include <map>
 #include <set>
+#include <string>
 
 #include "ntfs/dir_index.h"
 #include "ntfs/ntfs_format.h"
+#include "obs/trace.h"
 #include "support/strings.h"
 
 namespace gb::ntfs {
@@ -72,6 +74,8 @@ struct Node {
 std::vector<RawFile> MftScanner::scan(support::ThreadPool* pool,
                                       std::uint32_t batch_records) {
   if (batch_records == 0) batch_records = kDefaultScanBatch;
+  auto whole = obs::default_tracer().span("mft.scan", "parse");
+  whole.arg("records", std::to_string(mft_record_count_));
 
   // Phase 1: parse records in fixed-size batches. The batch boundaries
   // depend only on batch_records, never on the worker count, and each
@@ -87,6 +91,8 @@ std::vector<RawFile> MftScanner::scan(support::ThreadPool* pool,
   std::vector<Batch> batches(batch_count);
 
   auto parse_batch = [&](std::size_t b) {
+    auto span = obs::default_tracer().span("mft.parse_batch", "parse");
+    span.arg("batch", std::to_string(b));
     disk::CountingDevice dev(dev_);
     Batch& out = batches[b];
     const std::uint64_t begin = std::uint64_t{b} * batch_records;
@@ -177,6 +183,7 @@ std::vector<RawFile> MftScanner::scan_deleted(support::ThreadPool* pool,
                                               std::uint32_t batch_records) {
   if (batch_records == 0) batch_records = kDefaultScanBatch;
   if (mft_record_count_ <= kFirstUserRecord) return {};
+  auto whole = obs::default_tracer().span("mft.scan_deleted", "parse");
 
   // Fixed-size record batches, like scan(): boundaries depend only on
   // batch_records, and per-batch outputs merge in record order, so the
@@ -260,39 +267,106 @@ std::vector<std::byte> MftScanner::read_file_data(std::uint64_t record) {
   return read_attr_payload(dev_, *rec.data);
 }
 
-std::vector<RawFile> MftScanner::index_orphans() {
-  // Pass 1: collect each directory's indexed child-record set.
+std::vector<RawFile> MftScanner::index_orphans(support::ThreadPool* pool,
+                                               std::uint32_t batch_records) {
+  if (batch_records == 0) batch_records = kDefaultScanBatch;
+  auto whole = obs::default_tracer().span("mft.index_orphans", "parse");
+
+  // Pass 1: collect each directory's indexed child-record set. Fixed
+  // record batches (boundaries depend only on batch_records, never the
+  // worker count); each directory lands in exactly one batch, so the
+  // per-batch maps merge disjointly and the merged result matches the
+  // serial walk exactly. Like scan_deleted(), batches read dev_ directly
+  // (MemDisk guards its shared counters; no timing model consumes this
+  // walk).
+  struct IndexBatch {
+    std::map<std::uint64_t, std::set<std::uint64_t>> indexed;
+    std::vector<std::uint64_t> has_index;
+  };
+  const std::size_t batch_count =
+      (mft_record_count_ + batch_records - 1) / batch_records;
+  std::vector<IndexBatch> parts(batch_count);
+  auto index_batch = [&](std::size_t b) {
+    auto span = obs::default_tracer().span("mft.index_batch", "parse");
+    span.arg("batch", std::to_string(b));
+    IndexBatch& out = parts[b];
+    const std::uint64_t begin = std::uint64_t{b} * batch_records;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + batch_records, mft_record_count_);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (!record_live(i)) continue;
+      MftRecord rec;
+      try {
+        rec = load_record(i);
+      } catch (const ParseError&) {
+        continue;
+      }
+      if (!rec.is_directory() || !rec.index) continue;
+      out.has_index.push_back(i);
+      auto& children = out.indexed[i];  // present even when the index
+                                        // holds zero entries
+      const auto blob = read_attr_payload(dev_, *rec.index);
+      for (const auto& e : decode_index_entries(blob)) {
+        children.insert(e.record);
+      }
+    }
+  };
+  if (pool) {
+    pool->parallel_for(batch_count, index_batch);
+  } else {
+    for (std::size_t b = 0; b < batch_count; ++b) index_batch(b);
+  }
+
   std::map<std::uint64_t, std::set<std::uint64_t>> indexed;
   std::set<std::uint64_t> has_index;
-  for (std::uint64_t i = 0; i < mft_record_count_; ++i) {
-    if (!record_live(i)) continue;
-    MftRecord rec;
-    try {
-      rec = load_record(i);
-    } catch (const ParseError&) {
-      continue;
-    }
-    if (!rec.is_directory() || !rec.index) continue;
-    has_index.insert(i);
-    const auto blob = read_attr_payload(dev_, *rec.index);
-    for (const auto& e : decode_index_entries(blob)) {
-      indexed[i].insert(e.record);
+  for (auto& p : parts) {
+    has_index.insert(p.has_index.begin(), p.has_index.end());
+    for (auto& [dir, children] : p.indexed) {
+      indexed.insert_or_assign(dir, std::move(children));
     }
   }
-  // Pass 2: live records absent from their (indexed) parent.
-  std::vector<RawFile> out;
-  for (const auto& f : scan()) {
-    if (f.is_system) continue;
-    MftRecord rec;
-    try {
-      rec = load_record(f.record);
-    } catch (const ParseError&) {
-      continue;
+
+  // Pass 2: live records absent from their (indexed) parent, checked in
+  // fixed batches over the scan listing. The lookups into `indexed` and
+  // `has_index` are read-only, so batches share them without locking.
+  const std::vector<RawFile> files = scan(pool, batch_records);
+  const std::size_t check_count =
+      (files.size() + batch_records - 1) / batch_records;
+  std::vector<std::vector<RawFile>> found(check_count);
+  auto check_batch = [&](std::size_t b) {
+    auto span = obs::default_tracer().span("mft.orphan_check", "parse");
+    span.arg("batch", std::to_string(b));
+    const std::size_t begin = std::size_t{b} * batch_records;
+    const std::size_t end =
+        std::min<std::size_t>(begin + batch_records, files.size());
+    for (std::size_t k = begin; k < end; ++k) {
+      const RawFile& f = files[k];
+      if (f.is_system) continue;
+      MftRecord rec;
+      try {
+        rec = load_record(f.record);
+      } catch (const ParseError&) {
+        continue;
+      }
+      if (!rec.file_name) continue;
+      const auto parent = rec.file_name->parent_ref;
+      if (!has_index.contains(parent)) continue;  // legacy/unindexed parent
+      const auto it = indexed.find(parent);
+      if (it == indexed.end() || !it->second.contains(f.record)) {
+        found[b].push_back(f);
+      }
     }
-    if (!rec.file_name) continue;
-    const auto parent = rec.file_name->parent_ref;
-    if (!has_index.contains(parent)) continue;  // legacy/unindexed parent
-    if (!indexed[parent].contains(f.record)) out.push_back(f);
+  };
+  if (pool) {
+    pool->parallel_for(check_count, check_batch);
+  } else {
+    for (std::size_t b = 0; b < check_count; ++b) check_batch(b);
+  }
+
+  std::vector<RawFile> out;
+  for (auto& b : found) {
+    out.insert(out.end(), std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()));
   }
   return out;
 }

@@ -85,7 +85,13 @@ class MftScanner {
   /// carries an index that does NOT list them. A benign volume has none;
   /// an entry deleted from the index (data-only hiding) shows up here —
   /// and in the cross-view diff, since enumeration cannot see it either.
-  std::vector<RawFile> index_orphans();
+  ///
+  /// Both passes (directory-index collection, then the per-file
+  /// membership check) run in fixed-size record batches like scan():
+  /// boundaries depend only on batch_records and outputs merge in record
+  /// order, so the listing is byte-identical at any worker count.
+  std::vector<RawFile> index_orphans(support::ThreadPool* pool = nullptr,
+                                     std::uint32_t batch_records = 0);
 
   /// Reads the full data payload of a record (resident or via run list).
   std::vector<std::byte> read_file_data(std::uint64_t record);

@@ -1,0 +1,185 @@
+// gb::obs — the telemetry substrate for the scan stack.
+//
+// GhostBuster's value is a *diff between views*, so an operator has to be
+// able to tell "the scan is slow or degraded" apart from "the machine is
+// hiding things". This registry gives every layer (pool, engine,
+// scheduler, parsers) named counters, gauges and fixed-bucket histograms
+// with two design rules:
+//
+//   * the hot path pays one relaxed atomic add. Counters and histograms
+//     are sharded into cache-line-aligned per-thread slots; aggregation
+//     happens at read time (to_prometheus_text / to_json / value()),
+//     which is rare and may be slow.
+//   * telemetry never alters scan output. Reports remain byte-identical
+//     at any worker count whether or not a registry is attached; only
+//     deterministic quantities (resource counts, simulated seconds,
+//     failure counts) are ever copied into report JSON.
+//
+// Metric naming convention: gb_<area>_<name>, with the Prometheus-style
+// suffixes `_total` for monotonic counters and `_seconds` for time
+// (histograms and duration sums). Examples: gb_pool_steals_total,
+// gb_sched_queue_wait_seconds, gb_engine_degraded_diffs_total.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gb::obs {
+
+/// Label set attached to one metric instance, e.g. {{"tenant","corp"}}.
+/// Order is preserved in the export output.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+
+/// Shard count for per-thread striping. A power of two; threads hash to
+/// a stable slot, so contention is rare without unbounded memory.
+inline constexpr std::size_t kSlots = 16;
+
+/// Stable slot index of the calling thread.
+std::size_t thread_slot();
+
+}  // namespace internal
+
+/// Monotonically increasing value. add() is wait-free: one relaxed
+/// fetch_add on this thread's slot.
+class Counter {
+ public:
+  void add(double n = 1.0) {
+    slots_[internal::thread_slot()].v.fetch_add(n,
+                                                std::memory_order_relaxed);
+  }
+  void inc() { add(1.0); }
+
+  /// Aggregated value (sums the shards; approximate while writers race).
+  [[nodiscard]] double value() const {
+    double total = 0;
+    for (const auto& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<double> v{0};
+  };
+  std::array<Slot, internal::kSlots> slots_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, busy workers).
+/// add() supports up/down adjustment; max_of ratchets upward.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Sets the gauge to max(current, v) — for high-water marks.
+  void max_of(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Fixed-bucket histogram: upper bounds are set at creation and never
+/// change, so observe() is a binary search plus two relaxed adds on this
+/// thread's shard.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) counts; the last entry is the overflow
+  /// (+Inf) bucket, so the size is upper_bounds().size() + 1.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] std::uint64_t count() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<double> sum{0};
+  };
+  std::vector<double> bounds_;
+  std::array<Slot, internal::kSlots> slots_;
+};
+
+/// Exponentially spaced bucket bounds: start, start*factor, ... (n of
+/// them). The conventional shape for latency histograms.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t n);
+
+/// Default bounds for task/scan latency histograms: 10us .. ~100s.
+const std::vector<double>& default_latency_buckets();
+
+/// Named-metric registry. Creation (counter()/gauge()/histogram()) takes
+/// a mutex and is expected at setup time; the returned references are
+/// stable for the registry's lifetime, so hot paths hold the handle and
+/// never touch the registry again. Requesting an existing name+labels
+/// returns the same instance; requesting it as a different kind (or a
+/// histogram with different buckets) throws std::logic_error.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds,
+                       Labels labels = {});
+
+  /// Prometheus text exposition format: one `# TYPE` line per family,
+  /// histogram expanded into cumulative `_bucket{le=...}` series plus
+  /// `_sum` / `_count`. Families appear in first-registration order.
+  [[nodiscard]] std::string to_prometheus_text() const;
+
+  /// JSON array of every metric with kind, labels and aggregated value
+  /// (histograms carry bounds/counts/sum/count).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Number of registered metric instances (for tests).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, Labels& labels, Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+  std::map<std::string, std::size_t> index_;     // name+labels -> entry
+};
+
+/// Process-wide registry: what the CLI's --metrics flag exports, and the
+/// default sink for engines whose config does not name one.
+MetricsRegistry& default_registry();
+
+}  // namespace gb::obs

@@ -1,0 +1,173 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"  // internal::thread_slot / kSlots
+
+namespace gb::obs {
+
+namespace {
+
+/// Stable, human-friendly thread id for trace tracks: the order in which
+/// threads first record an event.
+std::uint32_t thread_track_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void escape_into(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+
+void ScopedSpan::arg(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(std::string(key), std::string(value));
+}
+
+void ScopedSpan::finish() {
+  if (tracer_ == nullptr) return;
+  Tracer::Event e;
+  e.name = std::move(name_);
+  e.cat = std::move(cat_);
+  e.ts_us = start_us_;
+  e.dur_us = tracer_->now_us() - start_us_;
+  e.tid = thread_track_id();
+  e.ph = 'X';
+  e.args = std::move(args_);
+  tracer_->record(std::move(e));
+  tracer_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  buffers_.reserve(internal::kSlots);
+  for (std::size_t i = 0; i < internal::kSlots; ++i) {
+    buffers_.push_back(std::make_unique<Buffer>());
+  }
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+ScopedSpan Tracer::span(std::string_view name, std::string_view cat) {
+  if (!enabled()) return ScopedSpan();
+  return ScopedSpan(this, name, cat, now_us());
+}
+
+void Tracer::instant(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  Event e;
+  e.name = std::string(name);
+  e.cat = std::string(cat);
+  e.ts_us = now_us();
+  e.tid = thread_track_id();
+  e.ph = 'i';
+  record(std::move(e));
+}
+
+void Tracer::record(Event e) {
+  Buffer& buf = *buffers_[internal::thread_slot()];
+  std::lock_guard<std::mutex> lk(buf.mu);
+  buf.events.push_back(std::move(e));
+}
+
+void Tracer::clear() {
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<Event> events;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    events.insert(events.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;  // parents before children
+                   });
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    escape_into(os, e.name);
+    os << ",\"cat\":";
+    escape_into(os, e.cat);
+    os << ",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts_us;
+    if (e.ph == 'X') os << ",\"dur\":" << e.dur_us;
+    if (e.ph == 'i') os << ",\"s\":\"t\"";
+    os << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      bool fa = true;
+      for (const auto& [k, v] : e.args) {
+        if (!fa) os << ',';
+        fa = false;
+        escape_into(os, k);
+        os << ':';
+        escape_into(os, v);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+Tracer& default_tracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace gb::obs

@@ -1,0 +1,151 @@
+// Scan-span tracing: nested, steady-clock-timed spans recorded into
+// per-thread buffers and exported as Chrome trace_event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev.
+//
+// Usage:
+//
+//   auto span = obs::default_tracer().span("scan.file.low", "engine");
+//   span.arg("batch", "12");
+//   ... work ...            // span closes (and is timed) on destruction
+//
+// Spans nest by containment: each is a complete event ("ph":"X") with a
+// start timestamp and duration on one thread track, which is exactly the
+// nesting model Perfetto renders. A disabled tracer (the default) makes
+// span() return an inert handle — the cost is one relaxed atomic load,
+// so instrumentation points can stay in release builds and hot paths.
+//
+// Determinism: tracing records wall-time observations on the side; it
+// never feeds back into scan output. Reports are byte-identical with
+// tracing on or off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gb::obs {
+
+class Tracer;
+
+/// RAII span handle. Movable; records its event (duration = construction
+/// to destruction) into the owning tracer when it goes out of scope.
+/// A default-constructed or disabled-tracer span is inert.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(ScopedSpan&& o) noexcept
+      : tracer_(o.tracer_),
+        name_(std::move(o.name_)),
+        cat_(std::move(o.cat_)),
+        start_us_(o.start_us_),
+        args_(std::move(o.args_)) {
+    o.tracer_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&& o) noexcept {
+    if (this != &o) {
+      finish();
+      tracer_ = o.tracer_;
+      name_ = std::move(o.name_);
+      cat_ = std::move(o.cat_);
+      start_us_ = o.start_us_;
+      args_ = std::move(o.args_);
+      o.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { finish(); }
+
+  /// Attaches a key/value argument shown in the trace viewer's detail
+  /// pane. No-op on an inert span.
+  void arg(std::string_view key, std::string_view value);
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  ScopedSpan(Tracer* tracer, std::string_view name, std::string_view cat,
+             std::uint64_t start_us)
+      : tracer_(tracer), name_(name), cat_(cat), start_us_(start_us) {}
+
+  void finish();
+
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  std::string cat_;
+  std::uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Collects span events into per-thread-slot buffers (mutex per slot,
+/// effectively uncontended) and serializes them as Chrome trace JSON.
+/// enable()/disable() may be called at any time; spans opened while
+/// enabled record even if the tracer is disabled before they close.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Opens a span; inert (and allocation-free beyond the name/category
+  /// strings the caller already built) when the tracer is disabled.
+  [[nodiscard]] ScopedSpan span(std::string_view name,
+                                std::string_view cat = "scan");
+
+  /// Zero-duration marker event.
+  void instant(std::string_view name, std::string_view cat = "scan");
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} of complete events
+  /// ("ph":"X") sorted by start time. Loadable in chrome://tracing and
+  /// Perfetto; nesting is inferred from containment per thread track.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Drops every recorded event (the enabled flag is unchanged).
+  void clear();
+
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  friend class ScopedSpan;
+
+  struct Event {
+    std::string name;
+    std::string cat;
+    std::uint64_t ts_us = 0;   // since tracer epoch
+    std::uint64_t dur_us = 0;  // 0 for instants
+    std::uint32_t tid = 0;
+    char ph = 'X';
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  struct Buffer {
+    std::mutex mu;
+    std::vector<Event> events;
+  };
+
+  [[nodiscard]] std::uint64_t now_us() const;
+  void record(Event e);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  // Sized like the metrics shards; see obs::internal::kSlots.
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// Process-wide tracer, enabled by the CLI's --trace flag. Library code
+/// records through this by default so one flag captures every layer.
+Tracer& default_tracer();
+
+}  // namespace gb::obs

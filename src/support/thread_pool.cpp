@@ -36,6 +36,15 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::instrument(obs::MetricsRegistry& registry) {
+  m_tasks_ = &registry.counter("gb_pool_tasks_total");
+  m_steals_ = &registry.counter("gb_pool_steals_total");
+  m_task_seconds_ = &registry.histogram("gb_pool_task_seconds",
+                                        obs::default_latency_buckets());
+  m_busy_ = &registry.gauge("gb_pool_busy_workers");
+  m_queue_depth_ = &registry.gauge("gb_pool_queue_depth_peak");
+}
+
 void ThreadPool::push(std::function<void()> task) {
   std::size_t target;
   if (tls_pool == this) {
@@ -47,7 +56,10 @@ void ThreadPool::push(std::function<void()> task) {
     std::lock_guard<std::mutex> g(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
-  pending_.fetch_add(1);
+  const std::size_t depth = pending_.fetch_add(1) + 1;
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->max_of(static_cast<double>(depth));
+  }
   {
     std::lock_guard<std::mutex> g(sleep_mutex_);
   }
@@ -65,6 +77,7 @@ bool ThreadPool::try_run_one(std::size_t home) {
       queues_[home]->tasks.pop_back();
     }
   }
+  bool stolen = false;
   if (!task) {
     // Steal oldest-first from the other deques.
     for (std::size_t k = 1; k <= n && !task; ++k) {
@@ -74,12 +87,26 @@ bool ThreadPool::try_run_one(std::size_t home) {
       if (!queues_[victim]->tasks.empty()) {
         task = std::move(queues_[victim]->tasks.front());
         queues_[victim]->tasks.pop_front();
+        stolen = home < n;  // a caller draining in parallel_for owns no
+                            // deque, so its pops are not steals
       }
     }
   }
   if (!task) return false;
   pending_.fetch_sub(1);
-  task();
+  if (m_task_seconds_ != nullptr) {
+    if (stolen && m_steals_ != nullptr) m_steals_->inc();
+    if (m_busy_ != nullptr) m_busy_->add(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    m_task_seconds_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    if (m_tasks_ != nullptr) m_tasks_->inc();
+    if (m_busy_ != nullptr) m_busy_->add(-1);
+  } else {
+    task();
+  }
   return true;
 }
 

@@ -36,6 +36,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "support/cancel.h"
 
 namespace gb::support {
@@ -46,6 +47,16 @@ class ThreadPool {
   /// makes every submit()/parallel_for() run inline on the caller.
   explicit ThreadPool(std::size_t workers);
   ~ThreadPool();
+
+  /// Attaches pool telemetry to `registry` (idempotent for the same
+  /// registry): gb_pool_tasks_total, gb_pool_steals_total, the
+  /// gb_pool_task_seconds latency histogram, and busy-worker /
+  /// queue-depth gauges. Call before submitting work — the handles are
+  /// read by workers only after they dequeue a task pushed afterwards,
+  /// so no synchronization beyond the queue mutex is needed. Metrics are
+  /// observations on the side; task execution order and results are
+  /// unaffected.
+  void instrument(obs::MetricsRegistry& registry);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -99,6 +110,13 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
+  // Telemetry handles (null until instrument()). Stable addresses into
+  // the registry; hot paths null-check and pay one relaxed add each.
+  obs::Counter* m_tasks_ = nullptr;
+  obs::Counter* m_steals_ = nullptr;
+  obs::Histogram* m_task_seconds_ = nullptr;
+  obs::Gauge* m_busy_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
   std::mutex sleep_mutex_;
   std::condition_variable wake_;
   std::atomic<std::size_t> pending_{0};

@@ -9,6 +9,7 @@
 #include "ntfs/dir_index.h"
 #include "ntfs/mft_scanner.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 
 namespace gb {
 namespace {
@@ -95,6 +96,33 @@ TEST(DirIndex, RelinkRestoresVisibility) {
   EXPECT_FALSE(m.volume().index_relink(rec));  // already linked
   ntfs::MftScanner scanner(m.disk());
   EXPECT_TRUE(scanner.index_orphans().empty());
+}
+
+TEST(DirIndex, ParallelOrphanIndexingMatchesSerial) {
+  // Several unlinked files plus an untouched population: the pooled,
+  // batched index_orphans must return byte-identical results to the
+  // serial walk at any worker count and batch granularity.
+  machine::Machine m(small_config());
+  for (const char* path : {"C:\\windows\\loot1.bin", "C:\\windows\\loot2.bin",
+                           "C:\\windows\\system32\\loot3.bin"}) {
+    m.volume().write_file(path, "x");
+    m.volume().index_unlink(path);
+  }
+  ntfs::MftScanner scanner(m.disk());
+  const auto serial = scanner.index_orphans();
+  ASSERT_EQ(serial.size(), 3u);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    support::ThreadPool pool(workers);
+    for (const std::uint32_t batch : {0u, 4u, 7u, 512u}) {
+      const auto parallel = scanner.index_orphans(&pool, batch);
+      ASSERT_EQ(parallel.size(), serial.size())
+          << "workers=" << workers << " batch=" << batch;
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].path, serial[i].path);
+        EXPECT_EQ(parallel[i].record, serial[i].record);
+      }
+    }
+  }
 }
 
 TEST(DirIndex, CleanMachineHasNoOrphans) {

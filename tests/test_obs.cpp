@@ -1,0 +1,374 @@
+// gb::obs telemetry layer: metric primitives, the registry and its
+// exports, span tracing, and the engine/scheduler integration — plus
+// the determinism contract: telemetry never changes report bytes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <regex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/scan_engine.h"
+#include "core/scan_scheduler.h"
+#include "machine/machine.h"
+#include "malware/hackerdefender.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/thread_pool.h"
+
+namespace gb {
+namespace {
+
+machine::MachineConfig small_config() {
+  machine::MachineConfig cfg;
+  cfg.synthetic_files = 20;
+  cfg.synthetic_registry_keys = 10;
+  return cfg;
+}
+
+std::string normalize(std::string j) {
+  j = std::regex_replace(j, std::regex(R"(\"wall_seconds\":[0-9eE+.\-]+)"),
+                         "\"wall_seconds\":0");
+  j = std::regex_replace(j, std::regex(R"(\"worker_threads\":[0-9]+)"),
+                         "\"worker_threads\":0");
+  return j;
+}
+
+TEST(MetricsCounter, ShardedAddsSumAcrossThreads) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), double(kThreads) * kAdds);
+}
+
+TEST(MetricsGauge, SetAddAndHighWaterMark) {
+  obs::Gauge g;
+  g.set(4);
+  g.add(2);
+  EXPECT_EQ(g.value(), 6.0);
+  g.max_of(3);  // below: no change
+  EXPECT_EQ(g.value(), 6.0);
+  g.max_of(9);
+  EXPECT_EQ(g.value(), 9.0);
+  g.add(-9);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsHistogram, BucketAssignmentAndAggregates) {
+  obs::Histogram h({0.1, 1.0, 10.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);  // overflow bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.55);
+}
+
+TEST(MetricsHistogram, ExponentialBucketsShape) {
+  const auto b = obs::exponential_buckets(1e-5, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1e-5);
+  EXPECT_DOUBLE_EQ(b[3], 1e-2);
+  EXPECT_FALSE(obs::default_latency_buckets().empty());
+}
+
+// The TSan target: every primitive hammered from many threads at once.
+// Failure mode is a data-race report, not an assertion.
+TEST(MetricsConcurrency, PrimitivesAreRaceFreeUnderContention) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("gb_test_hammer_total");
+  auto& g = reg.gauge("gb_test_hammer_depth");
+  auto& h = reg.histogram("gb_test_hammer_seconds", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        c.inc();
+        g.max_of(double(t * kOps + i));
+        h.observe(i % 2 == 0 ? 0.1 : 1.0);
+      }
+    });
+  }
+  // Concurrent readers against the writers.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)reg.to_prometheus_text();
+      (void)h.bucket_counts();
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(c.value(), double(kThreads) * kOps);
+  EXPECT_EQ(h.count(), std::uint64_t{kThreads} * kOps);
+  EXPECT_EQ(g.value(), double(kThreads) * kOps - 1);
+}
+
+// Regression: lazy payload creation used to happen outside the registry
+// mutex, so two threads minting the same metric raced on the pointer.
+TEST(MetricsConcurrency, ConcurrentMintOfSameMetricYieldsOneInstance) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<obs::Counter*> minted(kThreads, nullptr);
+  std::vector<obs::Histogram*> hists(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      minted[t] = &reg.counter("gb_test_mint_total");
+      hists[t] = &reg.histogram("gb_test_mint_seconds", {0.1, 1.0});
+      minted[t]->inc();
+      hists[t]->observe(0.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(minted[t], minted[0]);
+    EXPECT_EQ(hists[t], hists[0]);
+  }
+  EXPECT_EQ(minted[0]->value(), double(kThreads));
+  EXPECT_EQ(hists[0]->count(), std::uint64_t{kThreads});
+}
+
+TEST(MetricsRegistry, IdentityAndKindChecks) {
+  obs::MetricsRegistry reg;
+  auto& a = reg.counter("gb_test_x_total");
+  auto& b = reg.counter("gb_test_x_total");
+  EXPECT_EQ(&a, &b);
+  auto& labelled = reg.counter("gb_test_x_total", {{"tenant", "corp"}});
+  EXPECT_NE(&a, &labelled);
+  EXPECT_THROW((void)reg.gauge("gb_test_x_total"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("gb_test_x_total", {1.0}),
+               std::logic_error);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, PrometheusTextAndJsonExports) {
+  obs::MetricsRegistry reg;
+  reg.counter("gb_test_ops_total", {{"tenant", "corp"}}).add(3);
+  reg.gauge("gb_test_depth").set(2);
+  auto& h = reg.histogram("gb_test_latency_seconds", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(5.0);
+
+  const std::string text = reg.to_prometheus_text();
+  EXPECT_NE(text.find("# TYPE gb_test_ops_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gb_test_ops_total{tenant=\"corp\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gb_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gb_test_latency_seconds histogram"),
+            std::string::npos);
+  // Cumulative buckets: le="1" carries the le="0.1" observation too.
+  EXPECT_NE(text.find("gb_test_latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gb_test_latency_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gb_test_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gb_test_latency_seconds_count 2"),
+            std::string::npos);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"name\":\"gb_test_ops_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"corp\""), std::string::npos);
+}
+
+TEST(Tracer, DisabledSpansAreInertAndEnabledSpansRecord) {
+  obs::Tracer tracer;
+  {
+    auto off = tracer.span("never");
+    off.arg("k", "v");
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+
+  tracer.enable();
+  {
+    auto outer = tracer.span("outer", "test");
+    outer.arg("key", "va\"lue");  // quote must be escaped in the export
+    auto inner = tracer.span("inner", "test");
+  }
+  tracer.instant("mark", "test");
+  EXPECT_EQ(tracer.event_count(), 3u);
+
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"va\\\"lue\""), std::string::npos);
+  // Parents sort before children: outer opened first.
+  EXPECT_LT(json.find("\"name\":\"outer\""), json.find("\"name\":\"inner\""));
+
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_TRUE(tracer.enabled());
+}
+
+TEST(PoolInstrumentation, TaskAndLatencyMetricsAccumulate) {
+  obs::MetricsRegistry reg;
+  support::ThreadPool pool(2);
+  pool.instrument(reg);
+  std::atomic<int> ran{0};
+  pool.parallel_for(64, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+  // The caller drains some indices itself, so not all 64 land in the
+  // task counter — but the helper tasks do.
+  EXPECT_GT(reg.counter("gb_pool_tasks_total").value(), 0.0);
+  EXPECT_NE(reg.to_prometheus_text().find("gb_pool_task_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST(EngineMetrics, ReportCarriesDeterministicTalliesAndMirrorsRegistry) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  obs::MetricsRegistry reg;
+  core::ScanConfig cfg;
+  cfg.parallelism = 2;
+  cfg.metrics = &reg;
+  const auto report = core::ScanEngine(m, cfg).inside_scan();
+
+  ASSERT_TRUE(report.metrics.has_value());
+  EXPECT_GT(report.metrics->provider_scans, 0u);
+  EXPECT_EQ(report.metrics->scan_failures, 0u);
+  EXPECT_EQ(report.metrics->degraded_diffs, 0u);
+  EXPECT_GT(report.metrics->hidden_resources, 0u);  // HackerDefender hides
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"metrics\":{\"provider_scans\":"),
+            std::string::npos);
+
+  EXPECT_EQ(reg.counter("gb_engine_provider_scans_total").value(),
+            double(report.metrics->provider_scans));
+  EXPECT_EQ(reg.counter("gb_engine_hidden_resources_total").value(),
+            double(report.metrics->hidden_resources));
+  EXPECT_EQ(reg.counter("gb_engine_runs_total", {{"kind", "inside"}}).value(),
+            1.0);
+}
+
+TEST(EngineMetrics, CollectMetricsOffYieldsNullBlock) {
+  machine::Machine m(small_config());
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  cfg.collect_metrics = false;
+  const auto report = core::ScanEngine(m, cfg).inside_scan();
+  EXPECT_FALSE(report.metrics.has_value());
+  EXPECT_NE(report.to_json().find("\"metrics\":null"), std::string::npos);
+}
+
+TEST(EngineMetrics, CorruptHiveCountsDegradedDiff) {
+  machine::Machine m(small_config());
+  // Smash the REGF magic of the flushed SOFTWARE hive and keep the
+  // engine from re-flushing a good copy — the registry diff degrades.
+  m.flush_registry();
+  const char* hive = "C:\\windows\\system32\\config\\software";
+  auto bytes = m.volume().read_file(hive);
+  ASSERT_FALSE(bytes.empty());
+  bytes[0] = std::byte{0};
+  m.volume().write_file(hive, bytes);
+
+  obs::MetricsRegistry reg;
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  cfg.registry.flush_hives_first = false;
+  cfg.metrics = &reg;
+  const auto report = core::ScanEngine(m, cfg).inside_scan();
+
+  EXPECT_TRUE(report.degraded());
+  ASSERT_TRUE(report.metrics.has_value());
+  EXPECT_GT(report.metrics->degraded_diffs, 0u);
+  EXPECT_GT(report.metrics->scan_failures, 0u);
+  EXPECT_GT(reg.counter("gb_engine_degraded_diffs_total").value(), 0.0);
+  EXPECT_GT(reg.counter("gb_engine_scan_failures_total").value(), 0.0);
+}
+
+TEST(SchedulerMetrics, StatsReadBackFromRegistry) {
+  machine::Machine m(small_config());
+  obs::MetricsRegistry reg;
+  core::ScanScheduler::Options opts;
+  opts.workers = 0;  // inline dispatch: fully ordered
+  opts.metrics = &reg;
+  core::ScanScheduler sched(opts);
+  for (const char* tenant : {"a", "a", "b"}) {
+    core::JobSpec spec;
+    spec.machine = &m;
+    spec.tenant = tenant;
+    spec.config.resources = core::ResourceMask::kProcesses;
+    ASSERT_TRUE(sched.submit(std::move(spec)).ok());
+  }
+  sched.wait_idle();
+
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.served, 3u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].id, "a");
+  EXPECT_EQ(stats.tenants[0].served, 2u);
+  EXPECT_EQ(stats.tenants[1].served, 1u);
+  EXPECT_GE(stats.max_latency_seconds, 0.0);
+
+  const std::string text = reg.to_prometheus_text();
+  EXPECT_NE(text.find("gb_sched_served_total{tenant=\"a\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gb_sched_dispatched_total 3"), std::string::npos);
+  EXPECT_NE(text.find("gb_sched_queue_wait_seconds_count 3"),
+            std::string::npos);
+}
+
+TEST(Determinism, ReportBytesIdenticalAcrossWorkersAndTracing) {
+  auto run = [](std::size_t parallelism, bool tracing) {
+    if (tracing) {
+      obs::default_tracer().enable();
+    } else {
+      obs::default_tracer().disable();
+    }
+    machine::Machine m(small_config());
+    malware::install_ghostware<malware::HackerDefender>(m);
+    core::ScanConfig cfg;
+    cfg.parallelism = parallelism;
+    const auto json = normalize(core::ScanEngine(m, cfg).inside_scan().to_json());
+    obs::default_tracer().disable();
+    obs::default_tracer().clear();
+    return json;
+  };
+  const std::string baseline = run(1, false);
+  for (const std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    EXPECT_EQ(run(p, false), baseline) << "workers=" << p << " tracing=off";
+    EXPECT_EQ(run(p, true), baseline) << "workers=" << p << " tracing=on";
+  }
+}
+
+TEST(Determinism, MetricsOffReportsMatchMetricsOnMinusTheBlock) {
+  // collect_metrics only toggles the metrics block between an object and
+  // null — every other report byte is identical.
+  auto run = [](bool collect) {
+    machine::Machine m(small_config());
+    malware::install_ghostware<malware::HackerDefender>(m);
+    core::ScanConfig cfg;
+    cfg.parallelism = 2;
+    cfg.collect_metrics = collect;
+    return normalize(core::ScanEngine(m, cfg).inside_scan().to_json());
+  };
+  const std::regex block(R"(\"metrics\":(\{[^}]*\}|null))");
+  EXPECT_EQ(std::regex_replace(run(true), block, "\"metrics\":X"),
+            std::regex_replace(run(false), block, "\"metrics\":X"));
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,8 +1,9 @@
-// Golden-file compatibility: pins the schema-v2.2 report JSON shape so
+// Golden-file compatibility: pins the schema-v2.3 report JSON shape so
 // schema changes are deliberate, not accidental. Regenerate the golden
 // with GB_UPDATE_GOLDEN=1 after an intentional schema bump.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <regex>
@@ -25,7 +26,7 @@ std::string normalize(std::string j) {
 }
 
 std::string golden_path() {
-  return std::string(GB_GOLDEN_DIR) + "/report_v2_2.json";
+  return std::string(GB_GOLDEN_DIR) + "/report_v2_3.json";
 }
 
 /// The pinned scenario: a seeded small machine with Hacker Defender,
@@ -61,12 +62,119 @@ TEST(ReportSchemaGolden, JsonMatchesPinnedGolden) {
          "with GB_UPDATE_GOLDEN=1 and review the golden diff";
 }
 
+/// Minimal recursive-descent JSON validator. The reports are emitted by
+/// hand-rolled serializers, so the cheapest way to catch an unbalanced
+/// brace or a bare NaN is to actually parse the bytes.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& s) : s_(s) {}
+
+  /// Parses one complete JSON document; true iff the whole string is
+  /// one valid value with nothing trailing.
+  bool parse_document() { return value() && (skip_ws(), pos_ == s_.size()); }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    skip_ws();
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+  bool string_lit() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return eat('"');
+  }
+  bool number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': {
+        ++pos_;
+        if (eat('}')) return true;
+        do {
+          if (!string_lit() || !eat(':') || !value()) return false;
+        } while (eat(','));
+        return eat('}');
+      }
+      case '[': {
+        ++pos_;
+        if (eat(']')) return true;
+        do {
+          if (!value()) return false;
+        } while (eat(','));
+        return eat(']');
+      }
+      case '"': return string_lit();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ReportSchemaGolden, GoldenRoundTripsThroughJsonParser) {
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path()
+                  << " (regenerate with GB_UPDATE_GOLDEN=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string golden = buf.str();
+  if (!golden.empty() && golden.back() == '\n') golden.pop_back();
+  EXPECT_TRUE(JsonCursor(golden).parse_document())
+      << "golden report is not valid JSON";
+  // And the live serializer, with the metrics block populated.
+  const std::string actual = reference_report_json();
+  EXPECT_TRUE(JsonCursor(actual).parse_document())
+      << "report serializer emitted invalid JSON";
+  EXPECT_NE(actual.find("\"metrics\":{"), std::string::npos)
+      << "metrics block missing from a collect_metrics=true report";
+}
+
 TEST(ReportSchemaGolden, RequiredKeysAppearInOrder) {
   const std::string j = reference_report_json();
   const char* keys[] = {
-      "\"schema_version\":\"2.2\"", "\"infected\":",      "\"degraded\":",
+      "\"schema_version\":\"2.3\"", "\"infected\":",      "\"degraded\":",
       "\"simulated_seconds\":",     "\"wall_seconds\":",  "\"worker_threads\":",
-      "\"scheduler\":",             "\"diffs\":[",        "\"type\":",
+      "\"scheduler\":",             "\"metrics\":",       "\"provider_scans\":",
+      "\"diffs\":[",                "\"type\":",
       "\"status\":",
       "\"error\":",                 "\"high_view\":",     "\"low_view\":",
       "\"trust\":",                 "\"high_count\":",    "\"low_count\":",
