@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# The one-shot pre-PR hygiene gate. Configures a warning-clean build
+# (GB_WERROR=ON, plus clang-tidy via GB_TIDY=1 in the environment when
+# installed), builds everything, and runs the full ctest suite — which
+# includes `ctest -L lint`: the gb-lint fixture self-tests plus the
+# zero-findings sweep over the real tree. Exits nonzero on any finding.
+#
+#   scripts/check.sh                 # the documented pre-PR command
+#   GB_TIDY=1 scripts/check.sh      # also run the clang-tidy profile
+#   GB_SANITIZE=undefined scripts/check.sh   # one sanitizer-matrix entry
+#
+# The full matrix CI runs: (default), GB_SANITIZE=thread with
+# -L concurrency, GB_SANITIZE=undefined, GB_SANITIZE=address,undefined.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-werror}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+CMAKE_ARGS=(-DGB_WERROR=ON)
+if [[ -n "${GB_TIDY:-}" ]]; then
+  CMAKE_ARGS+=(-DGB_TIDY=ON)
+fi
+if [[ -n "${GB_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=(-DGB_SANITIZE="${GB_SANITIZE}")
+  BUILD_DIR="${BUILD_DIR}-${GB_SANITIZE//,/-}"
+fi
+
+echo "== configure (${CMAKE_ARGS[*]}) -> ${BUILD_DIR}"
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+
+echo "== build"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== gb_lint sweep (also enforced by ctest -L lint)"
+"${BUILD_DIR}/tools/gb_lint" src tests bench examples tools
+
+echo "== ctest (full suite, includes -L lint)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== check.sh: all green"

@@ -29,7 +29,7 @@ namespace gb::core {
 /// contents are simply absent from this view, as on real Windows.
 /// With a pool, each directory level's listings run concurrently and
 /// merge in frontier order.
-support::StatusOr<ScanResult> high_level_file_scan(
+[[nodiscard]] support::StatusOr<ScanResult> high_level_file_scan(
     machine::Machine& m, const winapi::Ctx& ctx,
     support::ThreadPool* pool = nullptr);
 
@@ -37,12 +37,12 @@ support::StatusOr<ScanResult> high_level_file_scan(
 /// stack, filter drivers included. NTFS metadata files are excluded, as
 /// the real tool must exclude $-files. With a pool the MFT records parse
 /// in chunked batches (`batch_records` 0 = scanner default).
-support::StatusOr<ScanResult> low_level_file_scan(
+[[nodiscard]] support::StatusOr<ScanResult> low_level_file_scan(
     machine::Machine& m, support::ThreadPool* pool = nullptr,
     std::uint32_t batch_records = 0);
 
 /// Clean-boot scan of a (typically powered-off) disk: fresh volume mount,
 /// full native enumeration — no ghostware code is running.
-support::StatusOr<ScanResult> outside_file_scan(disk::SectorDevice& dev);
+[[nodiscard]] support::StatusOr<ScanResult> outside_file_scan(disk::SectorDevice& dev);
 
 }  // namespace gb::core

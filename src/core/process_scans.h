@@ -20,16 +20,17 @@
 
 namespace gb::core {
 
-support::StatusOr<ScanResult> high_level_process_scan(machine::Machine& m,
-                                                      const winapi::Ctx& ctx);
-support::StatusOr<ScanResult> low_level_process_scan(machine::Machine& m);
-support::StatusOr<ScanResult> advanced_process_scan(machine::Machine& m);
-support::StatusOr<ScanResult> dump_process_scan(
+[[nodiscard]] support::StatusOr<ScanResult> high_level_process_scan(
+    machine::Machine& m, const winapi::Ctx& ctx);
+[[nodiscard]] support::StatusOr<ScanResult> low_level_process_scan(machine::Machine& m);
+[[nodiscard]] support::StatusOr<ScanResult> advanced_process_scan(machine::Machine& m);
+[[nodiscard]] support::StatusOr<ScanResult> dump_process_scan(
     const kernel::KernelDump& dump);
 
-support::StatusOr<ScanResult> high_level_module_scan(machine::Machine& m,
-                                                     const winapi::Ctx& ctx);
-support::StatusOr<ScanResult> low_level_module_scan(machine::Machine& m);
-support::StatusOr<ScanResult> dump_module_scan(const kernel::KernelDump& dump);
+[[nodiscard]] support::StatusOr<ScanResult> high_level_module_scan(
+    machine::Machine& m, const winapi::Ctx& ctx);
+[[nodiscard]] support::StatusOr<ScanResult> low_level_module_scan(machine::Machine& m);
+[[nodiscard]] support::StatusOr<ScanResult> dump_module_scan(
+    const kernel::KernelDump& dump);
 
 }  // namespace gb::core

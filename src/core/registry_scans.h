@@ -19,8 +19,8 @@
 
 namespace gb::core {
 
-support::StatusOr<ScanResult> high_level_registry_scan(machine::Machine& m,
-                                                       const winapi::Ctx& ctx);
+[[nodiscard]] support::StatusOr<ScanResult> high_level_registry_scan(
+    machine::Machine& m, const winapi::Ctx& ctx);
 
 /// Low-level scan of the live disk. `flush_hives` writes the in-memory
 /// hives to their backing files first (the default, and what a standalone
@@ -30,11 +30,11 @@ support::StatusOr<ScanResult> high_level_registry_scan(machine::Machine& m,
 /// batches and the hive payload reads run one task per mount, each
 /// through its own CountingDevice — accounting merges in mount order, so
 /// the report is byte-identical at any worker count.
-support::StatusOr<ScanResult> low_level_registry_scan(
+[[nodiscard]] support::StatusOr<ScanResult> low_level_registry_scan(
     machine::Machine& m, support::ThreadPool* pool = nullptr,
     bool flush_hives = true);
 
-support::StatusOr<ScanResult> outside_registry_scan(
+[[nodiscard]] support::StatusOr<ScanResult> outside_registry_scan(
     disk::SectorDevice& dev, support::ThreadPool* pool = nullptr);
 
 }  // namespace gb::core

@@ -54,16 +54,16 @@ class ResourceScanner {
   [[nodiscard]] virtual ResourceType type() const = 0;
 
   /// The untrusted API view, taken from `ctx`'s process.
-  virtual support::StatusOr<ScanResult> high_scan(
+  [[nodiscard]] virtual support::StatusOr<ScanResult> high_scan(
       const ScanTaskContext& t, const winapi::Ctx& ctx) const = 0;
 
   /// The trusted low-level view of the live machine.
-  virtual support::StatusOr<ScanResult> low_scan(
+  [[nodiscard]] virtual support::StatusOr<ScanResult> low_scan(
       const ScanTaskContext& t) const = 0;
 
   /// The clean-environment truth view. Providers whose truth lives in
   /// the dump return kUnavailable when `src.dump` is null.
-  virtual support::StatusOr<ScanResult> outside_scan(
+  [[nodiscard]] virtual support::StatusOr<ScanResult> outside_scan(
       const ScanTaskContext& t, const OutsideSources& src) const = 0;
 
   /// Whether the outside view needs the blue-screen kernel dump (the

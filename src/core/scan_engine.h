@@ -281,7 +281,7 @@ class ScanEngine {
   /// advance). spec.machine/tenant/priority/config/configure_engine
   /// describe the job to a scheduler; an already-constructed engine
   /// ignores them. The named methods below are thin wrappers.
-  support::StatusOr<Report> run(const JobSpec& spec);
+  [[nodiscard]] support::StatusOr<Report> run(const JobSpec& spec);
 
   /// Inside-the-box cross-view diff of all registered providers.
   /// Advances the machine's virtual clock by the simulated scan time.
@@ -335,12 +335,12 @@ class ScanEngine {
     }
   };
 
-  support::StatusOr<Report> inside_scan_impl(const RunCtl& ctl);
-  support::StatusOr<Report> injected_scan_impl(const RunCtl& ctl);
-  support::StatusOr<Report> outside_scan_impl(const RunCtl& ctl);
+  [[nodiscard]] support::StatusOr<Report> inside_scan_impl(const RunCtl& ctl);
+  [[nodiscard]] support::StatusOr<Report> injected_scan_impl(const RunCtl& ctl);
+  [[nodiscard]] support::StatusOr<Report> outside_scan_impl(const RunCtl& ctl);
   InsideCapture capture_inside_high_impl(const RunCtl& ctl);
-  support::StatusOr<Report> outside_diff_impl(const InsideCapture& capture,
-                                              const RunCtl& ctl);
+  [[nodiscard]] support::StatusOr<Report> outside_diff_impl(
+      const InsideCapture& capture, const RunCtl& ctl);
 
   /// Per-run deterministic scan tally, filled serially by each impl and
   /// folded into Report::Metrics by finalize().

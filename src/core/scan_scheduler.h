@@ -185,7 +185,7 @@ class ScanScheduler {
   /// otherwise — checked here, not at dispatch). The spec's cancel and
   /// progress pointers are scheduler-owned on this path; caller-supplied
   /// values are ignored in favor of the handle's own token and counter.
-  support::StatusOr<ScanJob> submit(JobSpec spec);
+  [[nodiscard]] support::StatusOr<ScanJob> submit(JobSpec spec);
 
   /// Begins (or resumes) dispatch after Options::start_paused.
   void resume();

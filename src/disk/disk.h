@@ -85,7 +85,7 @@ class MemDisk final : public SectorDevice {
   /// Non-throwing variant: a missing file is kNotFound, a short or
   /// unaligned one kCorrupt — what a host-side image-scan tool reports
   /// instead of crashing.
-  static support::StatusOr<MemDisk> load_image_or(
+  [[nodiscard]] static support::StatusOr<MemDisk> load_image_or(
       const std::string& host_path);
 
  private:
@@ -94,7 +94,7 @@ class MemDisk final : public SectorDevice {
 
   std::uint64_t sector_count_;
   std::vector<std::byte> image_;
-  std::mutex stats_mutex_;  // guards stats_ and last_lba_
+  std::mutex stats_mu_;  // guards stats_ and last_lba_
   IoStats stats_;
   std::uint64_t last_lba_ = ~0ull;  // for seek detection
 };

@@ -74,7 +74,7 @@ Key parse_hive(std::span<const std::byte> image);
 /// Non-throwing variant: corrupt input becomes a kCorrupt Status. The
 /// scan stack uses this so one torn hive degrades the registry diff
 /// instead of aborting the session.
-support::StatusOr<Key> parse_hive_or(std::span<const std::byte> image);
+[[nodiscard]] support::StatusOr<Key> parse_hive_or(std::span<const std::byte> image);
 
 /// Reads the hive name from the base block without a full parse.
 std::string hive_name(std::span<const std::byte> image);

@@ -64,8 +64,8 @@ KernelDump parse_dump(std::span<const std::byte> image,
 /// Non-throwing variant: a truncated or scrubbed-to-garbage dump becomes
 /// a kCorrupt Status, degrading the process/module diffs instead of
 /// aborting the outside-the-box workflow.
-support::StatusOr<KernelDump> parse_dump_or(std::span<const std::byte> image,
-                                            support::ThreadPool* pool = nullptr);
+[[nodiscard]] support::StatusOr<KernelDump> parse_dump_or(
+    std::span<const std::byte> image, support::ThreadPool* pool = nullptr);
 
 /// Re-serializes a (possibly edited) parsed dump. parse_dump and
 /// serialize_dump are exact inverses; this is what a dump-scrubbing

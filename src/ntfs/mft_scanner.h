@@ -44,7 +44,8 @@ class MftScanner {
   /// Status-returning factory: a device without a valid NTFS boot sector
   /// yields kCorrupt instead of a throw, so a trashed disk degrades the
   /// file scan rather than aborting the session.
-  static support::StatusOr<MftScanner> open(disk::SectorDevice& dev);
+  [[nodiscard]] static support::StatusOr<MftScanner> open(
+      disk::SectorDevice& dev);
 
   /// Walks every MFT record and reconstructs paths. Orphaned records
   /// (broken or cyclic parent chains) are reported under "<orphan>\".

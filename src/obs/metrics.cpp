@@ -354,6 +354,8 @@ std::string MetricsRegistry::to_json() const {
 }
 
 MetricsRegistry& default_registry() {
+  // Leaked on purpose: counters outlive every static destructor that
+  // might still tick them at exit.  gb-lint: allow(naked-new)
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

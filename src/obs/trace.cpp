@@ -166,6 +166,8 @@ std::string Tracer::to_chrome_json() const {
 }
 
 Tracer& default_tracer() {
+  // Leaked on purpose: spans may close during static destruction.
+  // gb-lint: allow(naked-new)
   static Tracer* tracer = new Tracer();
   return *tracer;
 }

@@ -115,13 +115,15 @@ std::span<const std::byte> ByteReader::subspan(std::size_t offset,
 
 std::vector<std::byte> to_bytes(std::string_view s) {
   std::vector<std::byte> out(s.size());
-  std::memcpy(out.data(), s.data(), s.size());
+  // An empty string_view may carry a null data(); memcpy's arguments are
+  // declared nonnull even for size 0.
+  if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
   return out;
 }
 
 std::string to_string(std::span<const std::byte> data) {
   std::string out(data.size(), '\0');
-  std::memcpy(out.data(), data.data(), data.size());
+  if (!data.empty()) std::memcpy(out.data(), data.data(), data.size());
   return out;
 }
 

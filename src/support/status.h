@@ -55,22 +55,22 @@ class Status {
  public:
   Status() = default;
 
-  static Status corrupt(std::string msg) {
+  [[nodiscard]] static Status corrupt(std::string msg) {
     return Status(StatusCode::kCorrupt, std::move(msg));
   }
-  static Status not_found(std::string msg) {
+  [[nodiscard]] static Status not_found(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status unavailable(std::string msg) {
+  [[nodiscard]] static Status unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status failed_precondition(std::string msg) {
+  [[nodiscard]] static Status failed_precondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status internal(std::string msg) {
+  [[nodiscard]] static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status cancelled(std::string msg) {
+  [[nodiscard]] static Status cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
 

@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
   stop_.store(true);
   {
     // Serialize with workers between their predicate check and sleep.
-    std::lock_guard<std::mutex> g(sleep_mutex_);
+    std::lock_guard<std::mutex> g(sleep_mu_);
   }
   wake_.notify_all();
   for (auto& t : threads_) t.join();
@@ -53,7 +53,7 @@ void ThreadPool::push(std::function<void()> task) {
     target = next_queue_.fetch_add(1) % queues_.size();
   }
   {
-    std::lock_guard<std::mutex> g(queues_[target]->mutex);
+    std::lock_guard<std::mutex> g(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   const std::size_t depth = pending_.fetch_add(1) + 1;
@@ -61,7 +61,7 @@ void ThreadPool::push(std::function<void()> task) {
     m_queue_depth_->max_of(static_cast<double>(depth));
   }
   {
-    std::lock_guard<std::mutex> g(sleep_mutex_);
+    std::lock_guard<std::mutex> g(sleep_mu_);
   }
   wake_.notify_one();
 }
@@ -71,7 +71,7 @@ bool ThreadPool::try_run_one(std::size_t home) {
   std::function<void()> task;
   // Own deque first, newest-first (the task most likely still in cache).
   if (home < n) {
-    std::lock_guard<std::mutex> g(queues_[home]->mutex);
+    std::lock_guard<std::mutex> g(queues_[home]->mu);
     if (!queues_[home]->tasks.empty()) {
       task = std::move(queues_[home]->tasks.back());
       queues_[home]->tasks.pop_back();
@@ -83,7 +83,7 @@ bool ThreadPool::try_run_one(std::size_t home) {
     for (std::size_t k = 1; k <= n && !task; ++k) {
       const std::size_t victim = (home + k) % n;
       if (victim == home) continue;
-      std::lock_guard<std::mutex> g(queues_[victim]->mutex);
+      std::lock_guard<std::mutex> g(queues_[victim]->mu);
       if (!queues_[victim]->tasks.empty()) {
         task = std::move(queues_[victim]->tasks.front());
         queues_[victim]->tasks.pop_front();
@@ -115,7 +115,7 @@ void ThreadPool::worker_loop(std::size_t index) {
   tls_index = index;
   for (;;) {
     if (try_run_one(index)) continue;
-    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    std::unique_lock<std::mutex> lk(sleep_mu_);
     wake_.wait(lk, [this] {
       return stop_.load() || pending_.load() > 0;
     });
@@ -137,7 +137,7 @@ void ThreadPool::parallel_for(std::size_t n,
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex error_mutex;
+  std::mutex error_mu;
   std::exception_ptr first_error;
 
   auto drain = [&] {
@@ -148,8 +148,11 @@ void ThreadPool::parallel_for(std::size_t n,
       if (!(cancel && cancel->cancelled())) {
         try {
           fn(i);
+          // Not a swallow: the first exception is captured whole and
+          // rethrown to the caller once the index space has drained.
+          // gb-lint: allow(catch-all)
         } catch (...) {
-          std::lock_guard<std::mutex> g(error_mutex);
+          std::lock_guard<std::mutex> g(error_mu);
           if (!first_error) first_error = std::current_exception();
         }
       }

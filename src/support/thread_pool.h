@@ -98,7 +98,7 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex mutex;
+    std::mutex mu;
     std::deque<std::function<void()>> tasks;
   };
 
@@ -117,7 +117,7 @@ class ThreadPool {
   obs::Histogram* m_task_seconds_ = nullptr;
   obs::Gauge* m_busy_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
-  std::mutex sleep_mutex_;
+  std::mutex sleep_mu_;
   std::condition_variable wake_;
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> next_queue_{0};

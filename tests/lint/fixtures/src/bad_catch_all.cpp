@@ -1,0 +1,12 @@
+// MUST-FIRE fixture for [catch-all]: a blanket handler outside the
+// documented _or parser boundaries turns programming errors into
+// silence.
+#include <vector>
+
+int count_safe(const std::vector<int>& v) {
+  try {
+    return static_cast<int>(v.at(3));
+  } catch (...) {
+    return 0;  // swallows std::bad_alloc, logic_error, everything
+  }
+}

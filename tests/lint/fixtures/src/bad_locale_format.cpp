@@ -1,0 +1,13 @@
+// MUST-FIRE fixture for [locale-format]: report bytes that vary with the
+// host locale are not byte-identical across machines.
+#include <clocale>
+#include <locale>
+#include <sstream>
+
+std::string format_count(double v) {
+  setlocale(LC_ALL, "");
+  std::ostringstream os;
+  os.imbue(std::locale(""));
+  os << v;
+  return os.str();
+}

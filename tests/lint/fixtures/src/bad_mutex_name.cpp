@@ -1,0 +1,14 @@
+// MUST-FIRE fixture for [mutex-name]: a mutex whose name does not end in
+// mu/_mu hides which state it guards from reviewers.
+#include <mutex>
+
+struct Stats {
+  std::mutex stats_lock;  // guards count
+  std::mutex mutex;       // says nothing at all
+  int count = 0;
+};
+
+void bump(Stats& s) {
+  std::lock_guard<std::mutex> g(s.stats_lock);
+  ++s.count;
+}

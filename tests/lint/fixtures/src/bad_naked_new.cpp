@@ -1,0 +1,15 @@
+// MUST-FIRE fixture for [naked-new]: raw allocations with hand-managed
+// lifetime, the leak-and-double-free factory.
+#include <cstddef>
+
+struct Buffer {
+  std::byte* data = nullptr;
+  std::size_t size = 0;
+};
+
+Buffer make_buffer(std::size_t n) {
+  Buffer b;
+  b.data = new std::byte[n];
+  b.size = n;
+  return b;
+}

@@ -1,0 +1,10 @@
+// MUST-FIRE fixture for [nondet-random]: unseeded host randomness in
+// library code would make every run produce different machines.
+#include <cstdlib>
+#include <random>
+
+int pick_sample() {
+  std::random_device rd;
+  srand(rd());
+  return rand() % 100;
+}

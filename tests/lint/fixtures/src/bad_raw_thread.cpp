@@ -1,0 +1,8 @@
+// MUST-FIRE fixture for [raw-thread]: a hand-rolled thread bypasses the
+// pool — no work stealing, no instrumentation, no determinism argument.
+#include <thread>
+
+void scan_async(void (*fn)()) {
+  std::thread worker(fn);
+  worker.detach();
+}

@@ -1,0 +1,24 @@
+// MUST-FIRE fixture for [status-nodiscard]: by-value Status/StatusOr
+// returns without [[nodiscard]] let a caller drop a degraded-scan signal
+// on the floor.
+#pragma once
+
+#include <string>
+
+namespace gb::support {
+class Status;
+template <typename T>
+class StatusOr;
+}  // namespace gb::support
+
+namespace fixture {
+
+support::Status flush_hive(const std::string& path);
+
+class Parser {
+ public:
+  static support::StatusOr<int> parse_or(const std::string& bytes);
+  support::Status validate() const;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// MUST-FIRE fixture for [unordered-report]: this file serializes report
+// JSON (it defines to_json) and iterates a hash-ordered container, so
+// the report bytes depend on the hash function and insertion history.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+std::string to_json(const std::unordered_map<std::string, int>& counts) {
+  std::ostringstream os;
+  os << '{';
+  for (const auto& [key, value] : counts) {  // hash order leaks here
+    os << '"' << key << "\":" << value << ',';
+  }
+  os << '}';
+  return os.str();
+}

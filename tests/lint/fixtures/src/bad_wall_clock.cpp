@@ -1,0 +1,14 @@
+// MUST-FIRE fixture for [wall-clock]: report timing pulled from the host
+// clock instead of the VirtualClock cost model.
+#include <chrono>
+#include <ctime>
+
+double report_timestamp() {
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<double>(time(nullptr));
+}
+
+const char* report_local_day(const std::time_t* t) {
+  return localtime(t) != nullptr ? "ok" : "bad";
+}

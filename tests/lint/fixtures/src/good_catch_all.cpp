@@ -1,0 +1,19 @@
+// MUST-PASS fixture for [catch-all]: the _or parser-boundary idiom —
+// catch the specific decoding exception, return it as data. The token
+// catch (...) may appear in comments and strings.
+#include <stdexcept>
+#include <string>
+
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+int parse_or(const std::string& bytes) {
+  try {
+    if (bytes.empty()) throw ParseError("empty image");
+    return static_cast<int>(bytes.size());
+    // Never catch (...) here: only the decoding error becomes data.
+  } catch (const ParseError&) {
+    return -1;
+  }
+}

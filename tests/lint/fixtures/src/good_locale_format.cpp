@@ -1,0 +1,10 @@
+// MUST-PASS fixture for [locale-format]: classic-locale-free formatting
+// (digits via to_string; the word locale only in comments/strings).
+#include <string>
+
+// Report numbers never pass through the host locale.
+std::string format_count(std::uint64_t v) {
+  const char* doc = "locale-independent by construction";
+  (void)doc;
+  return std::to_string(v);
+}

@@ -1,0 +1,21 @@
+// MUST-PASS fixture for [mutex-name]: the mu/_mu convention, lock guards
+// and references (which are uses, not declarations), and a conforming
+// local.
+#include <mutex>
+
+struct Stats {
+  mutable std::mutex stats_mu_;  // guards count
+  std::mutex mu;
+  int count = 0;
+};
+
+void bump(Stats& s, std::mutex& extern_mu) {
+  std::lock_guard<std::mutex> g(s.stats_mu_);
+  std::unique_lock<std::mutex> lk(extern_mu);
+  ++s.count;
+}
+
+void local_guard() {
+  std::mutex error_mu;
+  std::lock_guard<std::mutex> g(error_mu);
+}

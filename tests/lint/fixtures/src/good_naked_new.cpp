@@ -1,0 +1,16 @@
+// MUST-PASS fixture for [naked-new]: ownership flows through
+// make_unique and containers; words like new_size and renewal are plain
+// identifiers, and "new" may appear in comments/strings.
+#include <memory>
+#include <vector>
+
+struct Buffer {
+  std::vector<std::byte> data;
+};
+
+// Builds a new buffer (the noun, not the operator).
+std::unique_ptr<Buffer> make_buffer(std::size_t new_size) {
+  auto b = std::make_unique<Buffer>();
+  b->data.resize(new_size);
+  return b;
+}

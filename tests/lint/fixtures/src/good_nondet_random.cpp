@@ -1,0 +1,15 @@
+// MUST-PASS fixture for [nondet-random]: the seeded project RNG, plus
+// identifiers that merely contain the banned words (operand, randomize
+// as a name fragment) and a comment mentioning rand().
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() { return state += 0x9E3779B97F4A7C15ull; }
+};
+
+// Never rand() here; gb::Rng keeps runs reproducible.
+std::uint64_t random_name_length(Rng& rng) {
+  const std::uint64_t operand = rng.next();
+  return operand % 12;
+}

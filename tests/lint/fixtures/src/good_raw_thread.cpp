@@ -1,0 +1,14 @@
+// MUST-PASS fixture for [raw-thread]: querying the core count is fine
+// (it sizes the pool), and this_thread/thread-like identifiers are not
+// std::thread.
+#include <cstddef>
+#include <thread>
+
+std::size_t default_parallelism() {
+  const std::size_t cores = std::thread::hardware_concurrency();
+  return cores == 0 ? 1 : cores;
+}
+
+struct thread_stats {  // an identifier, not std::thread
+  std::size_t spawned = 0;
+};

@@ -1,0 +1,35 @@
+// MUST-PASS fixture for [status-nodiscard]: every by-value Status return
+// is annotated; reference/pointer getters, members, parameters, and
+// qualified factory calls are legitimately attribute-free.
+#pragma once
+
+#include <string>
+
+namespace gb::support {
+class Status;
+template <typename T>
+class StatusOr;
+}  // namespace gb::support
+
+namespace fixture {
+
+[[nodiscard]] support::Status flush_hive(const std::string& path);
+
+class Parser {
+ public:
+  [[nodiscard]] static support::StatusOr<int> parse_or(
+      const std::string& bytes);
+  [[nodiscard]] support::Status validate() const;
+
+  // Getters returning references/pointers may be ignored freely.
+  const support::Status& status() const;
+  support::StatusOr<int>* try_result();
+
+  // A member and a parameter are declarations, not returns.
+  void set_status(support::Status status);
+
+ private:
+  support::Status status_;
+};
+
+}  // namespace fixture

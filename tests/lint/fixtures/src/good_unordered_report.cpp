@@ -1,0 +1,16 @@
+// MUST-PASS fixture for [unordered-report]: a to_json file that keeps to
+// ordered containers (std::map iterates in key order — deterministic
+// bytes; the phrase unordered_map appears only in this comment).
+#include <map>
+#include <sstream>
+#include <string>
+
+std::string to_json(const std::map<std::string, int>& counts) {
+  std::ostringstream os;
+  os << '{';
+  for (const auto& [key, value] : counts) {
+    os << '"' << key << "\":" << value << ',';
+  }
+  os << '}';
+  return os.str();
+}

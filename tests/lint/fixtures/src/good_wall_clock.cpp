@@ -1,0 +1,18 @@
+// MUST-PASS fixture for [wall-clock]: virtual/steady time only, with the
+// banned identifiers appearing in comments and strings where they are
+// documentation, not behavior (system_clock, time(), localtime).
+#include <chrono>
+#include <cstdint>
+
+// The report never reads system_clock; wall fields use steady_clock.
+double report_elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const char* doc = "never call time() or localtime() here";
+  (void)doc;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t simulated_time_micros(std::uint64_t clock_us) {
+  return clock_us;  // the VirtualClock value, data not wall time
+}

@@ -1,0 +1,19 @@
+// MUST-PASS fixture for the inline-suppression path: each violation
+// below carries a `gb-lint: allow(...)` waiver, on the same line or the
+// line above, including a multi-rule allow.
+#include <mutex>
+#include <thread>
+
+struct Leaky {
+  int* block = new int[4];  // gb-lint: allow(naked-new)
+};
+
+// The registry singleton pattern: leaked on purpose.
+// gb-lint: allow(naked-new)
+int* leak_registry() { return new int(7); }
+
+void hammer(void (*fn)()) {
+  // gb-lint: allow(raw-thread, mutex-name)
+  std::thread t(fn);
+  t.join();
+}

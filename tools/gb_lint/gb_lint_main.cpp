@@ -1,0 +1,102 @@
+// gb_lint CLI — the pre-PR invariant sweep.
+//
+//   gb_lint [options] [path...]
+//
+// Paths may be directories (recursed, build trees and fixture corpora
+// skipped) or files (linted as-is). With no paths it sweeps src/, tests/,
+// bench/, examples/, and tools/ under the current directory. Exit status
+// is the finding count clamped to 1, so `gb_lint && git push` does what
+// it reads as.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gb_lint/lint.h"
+
+namespace {
+
+void usage() {
+  std::puts(
+      "usage: gb_lint [--only RULE]... [--disable RULE]... [--exclude SUB]...\n"
+      "               [--list-rules] [--quiet] [path...]\n"
+      "\n"
+      "Enforces the GhostBuster correctness invariants over the source\n"
+      "tree. Suppress a single line with `// gb-lint: allow(rule-id)` on\n"
+      "that line or the one above.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gb::lint::Options opts;
+  std::vector<std::string> paths;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gb_lint: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : gb::lint::rules()) {
+        std::printf("%-18s %s\n", std::string(rule.id).c_str(),
+                    std::string(rule.summary).c_str());
+      }
+      return 0;
+    } else if (arg == "--only") {
+      opts.only.emplace_back(take_value("--only"));
+    } else if (arg == "--disable") {
+      opts.disabled.emplace_back(take_value("--disable"));
+    } else if (arg == "--exclude") {
+      opts.excludes.emplace_back(take_value("--exclude"));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "gb_lint: unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  for (const auto& list : {opts.only, opts.disabled}) {
+    for (const auto& id : list) {
+      if (!gb::lint::known_rule(id)) {
+        std::fprintf(stderr, "gb_lint: unknown rule '%s' (--list-rules)\n",
+                     id.c_str());
+        return 2;
+      }
+    }
+  }
+
+  if (paths.empty()) {
+    for (const char* dir : {"src", "tests", "bench", "examples", "tools"}) {
+      if (std::filesystem::exists(dir)) paths.emplace_back(dir);
+    }
+    if (paths.empty()) {
+      std::fprintf(stderr,
+                   "gb_lint: no src/tests/bench/examples/tools under the "
+                   "current directory; pass paths explicitly\n");
+      return 2;
+    }
+  }
+
+  const gb::lint::TreeReport report = gb::lint::lint_tree(paths, opts);
+  for (const auto& finding : report.findings) {
+    std::printf("%s\n", finding.to_string().c_str());
+  }
+  if (!quiet) {
+    std::printf("gb_lint: %zu finding(s) in %zu file(s) scanned\n",
+                report.findings.size(), report.files_scanned);
+  }
+  return report.findings.empty() ? 0 : 1;
+}

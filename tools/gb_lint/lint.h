@@ -1,0 +1,93 @@
+// gb-lint: the project's invariant checker.
+//
+// GhostBuster's detection signal is a deterministic cross-view diff — a
+// report that is byte-identical at any worker count — and the scanner
+// must hold itself to a higher integrity bar than the APIs it audits.
+// The invariants that keep that true (no wall-clock or unordered
+// iteration in report paths, no silently discarded Status, exception-free
+// parser boundaries, the pool as the only thread owner) used to live in
+// comments and PR review; this tool makes them machine-enforced.
+//
+// It is a deliberately small token/line-level checker, not a compiler
+// plugin: no libclang dependency, a few milliseconds over the whole
+// tree, and rules precise enough for a codebase that already follows
+// the conventions. Comments and string/char literals are stripped before
+// matching, so documentation may name the banned constructs freely.
+//
+// Scoping: a file's strictness comes from the *last* scope component in
+// its path (src, tools, tests, bench, examples). Library code (src/)
+// gets every rule; tools/ gets the hygiene rules; tests/bench/examples
+// only the exception-boundary rule (they may legitimately use wall
+// clocks and raw threads to hammer the library). The self-test fixture
+// corpus mirrors this by living under tests/lint/fixtures/src/.
+//
+// Suppressions: `// gb-lint: allow(rule-id[, rule-id...])` on the
+// offending line or the line above silences the named rules there —
+// every allow is a visible, greppable waiver.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gb::lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  /// "path:12: [rule-id] message" — the compiler-style line editors jump on.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Identity and one-line rationale of one rule.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// Every rule, in fixed report order.
+[[nodiscard]] std::vector<RuleInfo> rules();
+
+/// True if `id` names a known rule.
+[[nodiscard]] bool known_rule(std::string_view id);
+
+struct Options {
+  /// Run only these rule ids (empty = all). Unknown ids are ignored.
+  std::vector<std::string> only;
+  /// Rule ids to skip.
+  std::vector<std::string> disabled;
+  /// Extra path substrings skipped during tree walks. Directory
+  /// components starting with "build" and components named "fixtures"
+  /// are always skipped (build trees and the known-bad lint corpus must
+  /// never count as findings). Explicitly named files bypass excludes.
+  std::vector<std::string> excludes;
+};
+
+/// Lints `content` as if it were the file at `path` (which drives rule
+/// scoping). Lets the self-tests lint buffers and the CLI lint stdin.
+[[nodiscard]] std::vector<Finding> lint_content(const std::string& path,
+                                                std::string_view content,
+                                                const Options& opts = {});
+
+/// Reads and lints one on-disk file. An unreadable file yields a single
+/// finding under the pseudo-rule "io" rather than a throw.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
+                                             const Options& opts = {});
+
+/// Result of a recursive sweep.
+struct TreeReport {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+};
+
+/// Recursively lints every .h/.cpp under each root (a root that is a
+/// regular file is linted directly), honoring Options::excludes.
+[[nodiscard]] TreeReport lint_tree(const std::vector<std::string>& roots,
+                                   const Options& opts = {});
+
+}  // namespace gb::lint
