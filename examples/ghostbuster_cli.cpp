@@ -8,11 +8,23 @@
 //   ghostbuster_cli [--infect name[,name...]] [--mode inside|injected|outside]
 //                   [--advanced] [--ads] [--attribute] [--remove]
 //                   [--json [FILE]] [--save-image FILE | --scan-image FILE]
-//                   [--seed N] [--fleet N [--workers N]]
+//                   [--seed N] [--fleet N [--workers N]] [--rescan N]
 //                   [--metrics [FILE]] [--trace FILE] [--corrupt-hive]
+//                   [--diff-reports A.json B.json]
 //
-//   --json emits the schema-v2.3 machine-readable report on stdout, or
+//   --json emits the schema-v2.4 machine-readable report on stdout, or
 //   into FILE when one is given (for SIEM/automation pipelines).
+//
+//   --rescan N (inside mode) scans through an incremental ScanSession:
+//   the first scan primes the snapshot store, then N re-scans splice
+//   unchanged MFT records and hive parses from it, narrating each sync's
+//   journal/splice provenance on stderr. The final report goes to
+//   stdout/--json exactly as a plain scan's would.
+//
+//   --diff-reports A.json B.json loads two saved schema-v2.x reports and
+//   prints the drift in hidden-resource findings (added / removed /
+//   changed, with view provenance). Exit code: 0 = no drift, 1 = drift,
+//   2 = usage error, 3 = unreadable or unparsable report.
 //
 //   --metrics dumps the process-wide obs::MetricsRegistry in Prometheus
 //   text exposition format after the scan (stdout, or FILE). --trace
@@ -26,7 +38,7 @@
 //   --fleet N scans N desktops (every third one infected from the
 //   file-hiding catalogue) through the ScanScheduler: tenants corp /
 //   branch / lab share --workers pool slots under weighted fair queuing.
-//   With --json the output is one envelope: {"schema_version":"2.3",
+//   With --json the output is one envelope: {"schema_version":"2.4",
 //   "fleet":[report...],"stats":{...}}.
 //
 //   names: urbin mersting vanquish aphex hackerdefender probotse
@@ -40,7 +52,10 @@
 //   ghostbuster_cli --scan-image /tmp/infected.img
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -48,6 +63,7 @@
 #include "core/attribution.h"
 #include "core/file_scans.h"
 #include "core/registry_scans.h"
+#include "core/report_diff.h"
 #include "core/scan_scheduler.h"
 #include "core/removal.h"
 #include "malware/ads_stasher.h"
@@ -154,6 +170,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t fleet_size = 0;
   std::size_t fleet_workers = 2;
+  std::size_t rescans = 0;
+  std::string diff_report_a, diff_report_b;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -185,6 +203,11 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = std::stoull(need_value());
     else if (arg == "--fleet") fleet_size = std::stoull(need_value());
     else if (arg == "--workers") fleet_workers = std::stoull(need_value());
+    else if (arg == "--rescan") rescans = std::stoull(need_value());
+    else if (arg == "--diff-reports") {
+      diff_report_a = need_value();
+      diff_report_b = need_value();
+    }
     else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n",
                    arg.c_str());
@@ -193,6 +216,32 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_path.empty()) obs::default_tracer().enable();
+
+  // Report-diff mode: compare two saved reports, no machine involved.
+  if (!diff_report_a.empty()) {
+    auto slurp = [](const std::string& path) -> std::optional<std::string> {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) return std::nullopt;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      return std::move(buf).str();
+    };
+    const auto a = slurp(diff_report_a);
+    const auto b = slurp(diff_report_b);
+    if (!a || !b) {
+      std::fprintf(stderr, "cannot read %s\n",
+                   (!a ? diff_report_a : diff_report_b).c_str());
+      return 3;
+    }
+    const auto delta = core::diff_reports_json(*a, *b);
+    if (!delta.ok()) {
+      std::fprintf(stderr, "report diff failed: %s\n",
+                   delta.status().to_string().c_str());
+      return 3;
+    }
+    std::printf("%s", delta->to_string().c_str());
+    return delta->drift() ? 1 : 0;
+  }
 
   // Offline mode: scan a saved disk image file from "the host".
   if (!scan_image.empty()) {
@@ -289,7 +338,7 @@ int main(int argc, char** argv) {
       if (result.ok() && result.value().infection_detected()) ++detected;
     }
     if (json) {
-      std::string payload = "{\"schema_version\":\"2.3\",\"fleet\":[";
+      std::string payload = "{\"schema_version\":\"2.4\",\"fleet\":[";
       bool first = true;
       for (auto& b : fleet) {
         if (!first) payload += ",";
@@ -361,15 +410,38 @@ int main(int argc, char** argv) {
   core::ScanEngine gb(m, scan_cfg);
 
   core::Report report;
-  if (mode == "inside") {
-    report = gb.inside_scan();
-  } else if (mode == "injected") {
-    report = gb.injected_scan();
-  } else if (mode == "outside") {
-    report = gb.outside_scan();
-  } else {
+  core::JobSpec job;
+  if (mode == "inside") job.kind = core::ScanKind::kInside;
+  else if (mode == "injected") job.kind = core::ScanKind::kInjected;
+  else if (mode == "outside") job.kind = core::ScanKind::kOutside;
+  else {
     std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
     return 2;
+  }
+  if (rescans > 0 && mode == "inside") {
+    // Incremental session: scan 0 primes the snapshot store (full walk),
+    // the rest splice. Narration goes to stderr so --json stays clean.
+    core::ScanSession session = gb.open_session();
+    for (std::size_t r = 0; r <= rescans; ++r) {
+      report = session.rescan();
+      const core::IncrementalStats& inc = session.last_sync();
+      std::fprintf(stderr,
+                   "rescan %zu: %s, journal records %llu, reparsed %llu, "
+                   "spliced %llu\n",
+                   r,
+                   inc.incremental
+                       ? "incremental"
+                       : ("full walk (" + inc.fallback_reason + ")").c_str(),
+                   static_cast<unsigned long long>(inc.journal_records),
+                   static_cast<unsigned long long>(inc.records_reparsed),
+                   static_cast<unsigned long long>(inc.records_spliced));
+    }
+  } else {
+    if (rescans > 0) {
+      std::fprintf(stderr, "--rescan only applies to --mode inside\n");
+      return 2;
+    }
+    report = std::move(gb.run(job)).value();
   }
   if (json) {
     const auto payload = report.to_json();

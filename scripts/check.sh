@@ -35,7 +35,15 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 echo "== gb_lint sweep (also enforced by ctest -L lint)"
 "${BUILD_DIR}/tools/gb_lint" src tests bench examples tools
 
-echo "== ctest (full suite, includes -L lint)"
+echo "== ctest (full suite, includes -L lint and -L incremental)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== bench_incremental smoke (table only; asserts rescan byte-identity)"
+"${BUILD_DIR}/bench/bench_incremental" \
+  --json "${BUILD_DIR}/bench_incremental.json" --benchmark_filter='^$'
+if grep -q '"byte_identical":false' "${BUILD_DIR}/bench_incremental.json"; then
+  echo "bench_incremental: session rescan diverged from the cold scan" >&2
+  exit 1
+fi
 
 echo "== check.sh: all green"

@@ -58,23 +58,24 @@ std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
-/// Below this many combined resources the linear merge is already
-/// cheaper than partitioning + re-sorting.
-constexpr std::size_t kMinShardedResources = 2048;
-
 }  // namespace
+
+std::size_t ShardPlan::shards_for(std::size_t executors,
+                                  std::size_t requested) {
+  const std::size_t n = requested == 0 ? executors + 1 : requested;
+  return std::min(n, kMaxShards);
+}
 
 DiffReport cross_view_diff(const ScanResult& high, const ScanResult& low,
                            support::ThreadPool* pool, std::size_t shards) {
   const std::size_t total = high.resources.size() + low.resources.size();
-  if (!pool || pool->size() == 0 || total < kMinShardedResources) {
+  if (!pool || pool->size() == 0 || total < ShardPlan::kMinResources) {
     return cross_view_diff(high, low);
   }
   if (high.type != low.type) {
     throw std::invalid_argument("cross_view_diff: resource type mismatch");
   }
-  if (shards == 0) shards = pool->size() + 1;
-  shards = std::min<std::size_t>(shards, 64);
+  shards = ShardPlan::shards_for(pool->size(), shards);
   if (shards <= 1) return cross_view_diff(high, low);
 
   // Partition each (sorted) snapshot by key hash. Within a shard the

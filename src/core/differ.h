@@ -52,6 +52,33 @@ struct DiffReport {
   [[nodiscard]] bool clean() const { return hidden.empty() && extra.empty(); }
 };
 
+/// The one shard cost model for every parallel differ (cross-view and
+/// cross-time). Replaces the old per-session DiffPolicy knob: tuning
+/// shard counts per scan bought nothing measurable, so the policy is now
+/// a documented constant.
+///
+/// Cost model: partitioning costs one hash + pointer push per resource,
+/// and the merge-back costs a sort of the findings. The linear serial
+/// merge costs ~one comparison per resource. Sharding therefore only
+/// pays once the per-resource work is amortized across enough input —
+/// below kMinResources the partition overhead alone exceeds the whole
+/// serial merge. Above it, one shard per executor plus one keeps every
+/// worker busy while the caller participates; past kMaxShards the
+/// per-shard fixed costs (task dispatch, span, output vector) dominate
+/// any remaining parallelism on machines this project targets.
+struct ShardPlan {
+  /// Combined resource count below which the serial path is cheaper.
+  static constexpr std::size_t kMinResources = 2048;
+  /// Hard ceiling on shard fan-out.
+  static constexpr std::size_t kMaxShards = 64;
+
+  /// Shard count for a pool with `executors` workers: `requested` when
+  /// nonzero, else executors + 1 (workers plus the participating
+  /// caller), clamped to kMaxShards.
+  [[nodiscard]] static std::size_t shards_for(std::size_t executors,
+                                              std::size_t requested = 0);
+};
+
 /// Diffs a high (API) snapshot against a low (trusted) snapshot of the
 /// same resource type. Both inputs must be normalized.
 [[nodiscard]] DiffReport cross_view_diff(const ScanResult& high,

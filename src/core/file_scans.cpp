@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "core/scan_session.h"
 #include "ntfs/mft_scanner.h"
 #include "support/strings.h"
 
@@ -78,6 +79,34 @@ support::StatusOr<ScanResult> low_level_file_scan(machine::Machine& m,
   // The scanner also walks every unused MFT record slot; charge them.
   out.work.records_visited = scanner.record_capacity();
   const auto& io = scanner.last_scan_stats();
+  out.work.bytes_read = io.bytes_read();
+  out.work.seeks = io.seeks;
+  out.normalize();
+  return out;
+}
+
+support::StatusOr<ScanResult> spliced_low_level_file_scan(
+    machine::Machine& m, internal::SessionState& s,
+    std::uint32_t batch_records) {
+  if (!s.store.primed) {
+    // Snapshot capture failed at sync time (volume no longer parses):
+    // run the cold path so the corruption is reported identically.
+    return low_level_file_scan(m, nullptr, batch_records);
+  }
+  ScanResult out;
+  out.view_name = "raw MFT scan";
+  out.type = ResourceType::kFile;
+  out.trust = TrustLevel::kTruthApproximation;
+
+  for (const auto& f : s.store.mft.listing()) {
+    if (f.is_system) continue;
+    const std::string full = "C:\\" + f.path;
+    out.resources.push_back(Resource{file_key(full), printable(full)});
+  }
+  // Same charge as the live scan: every record slot visited, and the
+  // batched probe/re-read I/O the scanner would have issued.
+  out.work.records_visited = s.store.mft.record_capacity();
+  const disk::IoStats io = s.store.mft.simulate_scan_io(batch_records);
   out.work.bytes_read = io.bytes_read();
   out.work.seeks = io.seeks;
   out.normalize();

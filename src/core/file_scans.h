@@ -24,6 +24,10 @@
 
 namespace gb::core {
 
+namespace internal {
+struct SessionState;  // core/scan_session.h
+}
+
 /// Recursive Win32 enumeration from `ctx`'s process. Directories whose
 /// paths are not Win32-expressible cannot be descended into — their
 /// contents are simply absent from this view, as on real Windows.
@@ -39,6 +43,16 @@ namespace gb::core {
 /// in chunked batches (`batch_records` 0 = scanner default).
 [[nodiscard]] support::StatusOr<ScanResult> low_level_file_scan(
     machine::Machine& m, support::ThreadPool* pool = nullptr,
+    std::uint32_t batch_records = 0);
+
+/// Incremental variant for session rescans: the listing and the I/O
+/// accounting come from the session's (already-synced) MFT snapshot
+/// instead of a live walk, byte-identical to low_level_file_scan over the
+/// same volume state. An unprimed store (snapshot capture failed) runs
+/// the cold path so corruption is reported exactly as a session-less
+/// scan would report it.
+[[nodiscard]] support::StatusOr<ScanResult> spliced_low_level_file_scan(
+    machine::Machine& m, internal::SessionState& s,
     std::uint32_t batch_records = 0);
 
 /// Clean-boot scan of a (typically powered-off) disk: fresh volume mount,

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "core/scan_session.h"
 #include "hive/hive.h"
 #include "ntfs/mft_scanner.h"
 #include "obs/trace.h"
@@ -136,6 +137,97 @@ support::StatusOr<registry::ConfigurationManager> load_offline_registry(
   return offline;
 }
 
+std::uint64_t fnv1a(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// load_offline_registry with a content-addressed parse cache: every
+/// mount's payload bytes are still read through the device (the work
+/// accounting must match the cold scan), but an unchanged payload's
+/// *parse* is served from `cache` by digest. Tasks only read the cache
+/// concurrently; fresh parses are inserted in the serial merge loop.
+support::StatusOr<registry::ConfigurationManager>
+load_offline_registry_cached(disk::SectorDevice& base,
+                             const std::vector<ntfs::RawFile>& files,
+                             support::ThreadPool* pool,
+                             machine::ScanWork& work,
+                             std::map<std::uint64_t, CachedHiveParse>& cache) {
+  const auto& mounts = registry::standard_hive_mounts();
+
+  struct MountRead {
+    std::optional<std::uint64_t> record;
+    support::StatusOr<hive::Key> tree;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t seeks = 0;
+    std::uint64_t digest = 0;
+    std::string hive_name;
+    bool fresh_parse = false;
+  };
+  std::vector<MountRead> reads(mounts.size());
+  for (std::size_t i = 0; i < mounts.size(); ++i) {
+    reads[i].record =
+        ntfs::MftScanner::find_in(files, mounts[i].backing_file);
+  }
+
+  auto read_one = [&](std::size_t i) {
+    MountRead& r = reads[i];
+    if (!r.record) return;  // hive file absent: skipped, as before
+    auto span = obs::default_tracer().span("hive.read", "parse");
+    span.arg("file", mounts[i].backing_file);
+    disk::CountingDevice dev(base);
+    auto scanner = ntfs::MftScanner::open(dev);
+    if (!scanner.ok()) {
+      r.tree = scanner.status();
+      return;
+    }
+    try {
+      const auto bytes = scanner->read_file_data(*r.record);
+      r.payload_bytes = bytes.size();
+      r.digest = fnv1a(bytes);
+      if (auto it = cache.find(r.digest); it != cache.end()) {
+        span.arg("cached", "1");
+        r.tree = it->second.tree;
+      } else {
+        span.arg("cached", "0");
+        r.tree = hive::parse_hive_or(bytes);
+        if (r.tree.ok()) {
+          r.hive_name = hive::hive_name(bytes);
+          r.fresh_parse = true;
+        }
+      }
+    } catch (const ParseError& e) {  // corrupt run list / record
+      r.tree = support::Status::corrupt(e.what());
+    }
+    r.seeks = dev.stats().seeks;
+  };
+  if (pool && pool->size() > 0 && reads.size() > 1) {
+    pool->parallel_for(reads.size(), read_one);
+  } else {
+    for (std::size_t i = 0; i < reads.size(); ++i) read_one(i);
+  }
+
+  registry::ConfigurationManager offline;
+  for (std::size_t i = 0; i < mounts.size(); ++i) {
+    MountRead& r = reads[i];
+    if (!r.record) continue;
+    work.bytes_read += r.payload_bytes;
+    work.seeks += r.seeks;
+    if (!r.tree.ok()) return r.tree.status();
+    if (r.fresh_parse) {
+      cache.insert_or_assign(r.digest,
+                             CachedHiveParse{r.hive_name, r.tree.value()});
+    }
+    offline.create_hive(mounts[i].mount, mounts[i].backing_file);
+    offline.load_hive(mounts[i].mount, std::move(r.tree.value()));
+  }
+  return offline;
+}
+
 AsepFetchers offline_fetchers(const registry::ConfigurationManager& reg) {
   AsepFetchers f;
   f.subkeys = [&reg](const std::string& key) {
@@ -201,6 +293,32 @@ support::StatusOr<ScanResult> low_level_registry_scan(machine::Machine& m,
   if (!offline.ok()) return offline.status();
   extract_asep_hooks(offline_fetchers(*offline), out);
   out.work.seeks += lookup->last_scan_stats().seeks;
+  out.normalize();
+  return out;
+}
+
+support::StatusOr<ScanResult> spliced_low_level_registry_scan(
+    machine::Machine& m, internal::SessionState& s,
+    support::ThreadPool* pool) {
+  if (!s.store.primed) {
+    // Snapshot capture failed at sync time: cold path, identical report.
+    // The engine already flushed the hives serially; never re-flush here.
+    return low_level_registry_scan(m, pool, /*flush_hives=*/false);
+  }
+  ScanResult out;
+  out.view_name = "raw hive parse";
+  out.type = ResourceType::kAsepHook;
+  out.trust = TrustLevel::kTruthApproximation;
+
+  // The backing-file lookup walk is spliced from the snapshot: same
+  // listing the cold scan's MFT walk would produce (default batch size),
+  // and the same seek charge for it.
+  const auto files = s.store.mft.listing();
+  auto offline = load_offline_registry_cached(m.disk(), files, pool,
+                                              out.work, s.store.hives);
+  if (!offline.ok()) return offline.status();
+  extract_asep_hooks(offline_fetchers(*offline), out);
+  out.work.seeks += s.store.mft.simulate_scan_io(0).seeks;
   out.normalize();
   return out;
 }

@@ -19,6 +19,10 @@
 
 namespace gb::core {
 
+namespace internal {
+struct SessionState;  // core/scan_session.h
+}
+
 [[nodiscard]] support::StatusOr<ScanResult> high_level_registry_scan(
     machine::Machine& m, const winapi::Ctx& ctx);
 
@@ -33,6 +37,17 @@ namespace gb::core {
 [[nodiscard]] support::StatusOr<ScanResult> low_level_registry_scan(
     machine::Machine& m, support::ThreadPool* pool = nullptr,
     bool flush_hives = true);
+
+/// Incremental variant for session rescans: the backing-file lookup walk
+/// is spliced from the session's MFT snapshot (resources + simulated
+/// walk I/O) and each hive's *parse* is served from the content-addressed
+/// cache when the payload bytes are unchanged — but the payload reads
+/// themselves still go through the device, so a hive that did change is
+/// parsed fresh and the work accounting matches the cold scan exactly.
+/// Hives are never flushed here (the engine already did, serially).
+[[nodiscard]] support::StatusOr<ScanResult> spliced_low_level_registry_scan(
+    machine::Machine& m, internal::SessionState& s,
+    support::ThreadPool* pool = nullptr);
 
 [[nodiscard]] support::StatusOr<ScanResult> outside_registry_scan(
     disk::SectorDevice& dev, support::ThreadPool* pool = nullptr);

@@ -80,7 +80,10 @@ RemovalOutcome remove_ghostware(machine::Machine& m, const Report& report,
   }
 
   // 4. Verify.
-  outcome.verification = ScanEngine(m, cfg).inside_scan();
+  JobSpec verify_job;
+  verify_job.kind = ScanKind::kInside;
+  outcome.verification =
+      std::move(ScanEngine(m, cfg).run(std::move(verify_job))).value();
   return outcome;
 }
 

@@ -1,0 +1,314 @@
+#include "core/report_diff.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "support/bytes.h"
+
+namespace gb::core {
+
+namespace {
+
+/// Just enough of a JSON document model to walk a report: objects keep
+/// only the fields a diff reads, but parsing is complete so a malformed
+/// document is rejected rather than half-read.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  [[nodiscard]] const JsonValue* field(const std::string& name) const {
+    const auto it = fields.find(name);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+/// Recursive-descent parser over the whole document. Reports are
+/// machine-emitted, so errors throw ParseError and the caller converts
+/// the lot to one kCorrupt status.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  JsonValue parse_document() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw ParseError("trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw ParseError("unexpected end of JSON");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw ParseError(std::string("expected '") + c + "' in JSON");
+    }
+    ++pos_;
+  }
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) {
+        throw ParseError(std::string("bad literal, expected ") + word);
+      }
+    }
+  }
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) throw ParseError("unterminated JSON string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) throw ParseError("dangling escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) throw ParseError("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else throw ParseError("bad hex digit in \\u escape");
+          }
+          // The report serializer only emits \u00XX; encode anything
+          // larger as UTF-8 for completeness.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default: throw ParseError("unknown escape in JSON string");
+      }
+    }
+  }
+  JsonValue value() {
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kObject;
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          std::string name = string_lit();
+          expect(':');
+          v.fields.insert_or_assign(std::move(name), value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        ++pos_;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kArray;
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          v.items.push_back(value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = string_lit();
+        return v;
+      }
+      case 't': {
+        literal("true");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        literal("false");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        literal("null");
+        return JsonValue{};
+      }
+      default: {
+        skip_ws();
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+          ++pos_;
+        }
+        if (pos_ == start) throw ParseError("unexpected character in JSON");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = std::stod(s_.substr(start, pos_ - start));
+        return v;
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// One hidden finding pulled out of a report, with the provenance the
+/// delta prints.
+struct Hidden {
+  std::string type;
+  std::string display;
+  std::string found_in;      // the trusted view that saw it
+  std::string missing_from;  // the API view it hid from
+};
+
+std::string field_str(const JsonValue& obj, const std::string& name) {
+  const JsonValue* f = obj.field(name);
+  return (f != nullptr && f->kind == JsonValue::Kind::kString) ? f->str
+                                                               : std::string();
+}
+
+/// (type, key) -> finding. Ordered map: the delta lists entries in the
+/// same type-then-key order regardless of input report layout.
+using HiddenMap = std::map<std::pair<std::string, std::string>, Hidden>;
+
+support::StatusOr<std::pair<std::string, HiddenMap>> extract_hidden(
+    const std::string& json) {
+  JsonValue doc;
+  try {
+    doc = JsonParser(json).parse_document();
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(std::string("report is not valid JSON: ") +
+                                    e.what());
+  } catch (const std::exception& e) {
+    return support::Status::corrupt(std::string("report is not valid JSON: ") +
+                                    e.what());
+  }
+  if (doc.kind != JsonValue::Kind::kObject) {
+    return support::Status::corrupt("report JSON is not an object");
+  }
+  const JsonValue* diffs = doc.field("diffs");
+  if (diffs == nullptr || diffs->kind != JsonValue::Kind::kArray) {
+    return support::Status::corrupt("report JSON has no \"diffs\" array");
+  }
+  HiddenMap out;
+  for (const JsonValue& d : diffs->items) {
+    if (d.kind != JsonValue::Kind::kObject) continue;
+    const std::string type = field_str(d, "type");
+    const std::string low_view = field_str(d, "low_view");
+    const std::string high_view = field_str(d, "high_view");
+    const JsonValue* hidden = d.field("hidden");
+    if (hidden == nullptr || hidden->kind != JsonValue::Kind::kArray) continue;
+    for (const JsonValue& h : hidden->items) {
+      if (h.kind != JsonValue::Kind::kObject) continue;
+      Hidden entry{type, field_str(h, "display"), low_view, high_view};
+      out.insert_or_assign({type, field_str(h, "key")}, std::move(entry));
+    }
+  }
+  return std::make_pair(field_str(doc, "schema_version"), std::move(out));
+}
+
+}  // namespace
+
+std::string ReportDelta::to_string() const {
+  std::ostringstream os;
+  os << "report drift (A=v" << version_a << ", B=v" << version_b
+     << "): " << added.size() << " added, " << removed.size() << " removed, "
+     << changed.size() << " changed\n";
+  for (const auto& e : added) {
+    os << "  + [" << e.type << "] " << e.display << " (" << e.detail << ")\n";
+  }
+  for (const auto& e : removed) {
+    os << "  - [" << e.type << "] " << e.display << " (" << e.detail << ")\n";
+  }
+  for (const auto& e : changed) {
+    os << "  ~ [" << e.type << "] " << e.display << " (" << e.detail << ")\n";
+  }
+  if (!drift()) os << "  (no drift in hidden findings)\n";
+  return os.str();
+}
+
+support::StatusOr<ReportDelta> diff_reports_json(const std::string& a_json,
+                                                 const std::string& b_json) {
+  auto a = extract_hidden(a_json);
+  if (!a.ok()) return a.status();
+  auto b = extract_hidden(b_json);
+  if (!b.ok()) return b.status();
+
+  ReportDelta delta;
+  delta.version_a = a->first;
+  delta.version_b = b->first;
+  for (const auto& [id, entry] : b->second) {
+    const auto it = a->second.find(id);
+    if (it == a->second.end()) {
+      delta.added.push_back({entry.type, id.second, entry.display,
+                             "found in " + entry.found_in +
+                                 ", missing from " + entry.missing_from});
+    } else if (it->second.display != entry.display) {
+      delta.changed.push_back(
+          {entry.type, id.second, entry.display, "was: " + it->second.display});
+    }
+  }
+  for (const auto& [id, entry] : a->second) {
+    if (!b->second.contains(id)) {
+      delta.removed.push_back({entry.type, id.second, entry.display,
+                               "was found in " + entry.found_in});
+    }
+  }
+  return delta;
+}
+
+}  // namespace gb::core

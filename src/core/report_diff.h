@@ -1,0 +1,48 @@
+// Cross-run report drift: diffs the hidden-resource findings of two
+// serialized scan reports.
+//
+// A fleet keeps yesterday's --json reports; comparing them against
+// today's answers the operational question "did anything newly hidden
+// appear on this box?" without re-running the expensive scan pipeline.
+// The comparison key is (resource type, canonical key) — the same
+// identity the cross-view differ sorts by — so the delta is stable
+// across worker counts and schema-compatible report versions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace gb::core {
+
+/// Drift between the hidden findings of report A (before) and report B
+/// (after).
+struct ReportDelta {
+  struct Entry {
+    std::string type;     // resource type name ("file", "ASEP hook", ...)
+    std::string key;      // canonical resource key
+    std::string display;  // human-readable form (B's side for changed)
+    std::string detail;   // provenance: views, or the old display
+  };
+
+  std::string version_a;
+  std::string version_b;
+  std::vector<Entry> added;    // hidden in B, absent from A
+  std::vector<Entry> removed;  // hidden in A, absent from B
+  std::vector<Entry> changed;  // same identity, display text differs
+
+  [[nodiscard]] bool drift() const {
+    return !added.empty() || !removed.empty() || !changed.empty();
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses two schema-v2.x single-report JSON documents (the bytes
+/// Report::to_json / `ghostbuster_cli --json` emit) and diffs their
+/// hidden findings. Returns kCorrupt when either document is not valid
+/// JSON or lacks the report shape (no "diffs" array).
+[[nodiscard]] support::StatusOr<ReportDelta> diff_reports_json(
+    const std::string& a_json, const std::string& b_json);
+
+}  // namespace gb::core

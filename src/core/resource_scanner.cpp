@@ -20,6 +20,10 @@ class FileScanner final : public ResourceScanner {
 
   support::StatusOr<ScanResult> low_scan(
       const ScanTaskContext& t) const override {
+    if (t.session) {
+      return spliced_low_level_file_scan(t.machine, *t.session,
+                                         t.config.files.mft_batch_records);
+    }
     return low_level_file_scan(t.machine, t.pool,
                                t.config.files.mft_batch_records);
   }
@@ -43,6 +47,9 @@ class AsepScanner final : public ResourceScanner {
       const ScanTaskContext& t) const override {
     // The engine flushed the hives (or was told not to) before any task
     // started; never flush from inside a concurrent task.
+    if (t.session) {
+      return spliced_low_level_registry_scan(t.machine, *t.session, t.pool);
+    }
     return low_level_registry_scan(t.machine, t.pool, /*flush_hives=*/false);
   }
 
@@ -111,7 +118,7 @@ class ModuleScanner final : public ResourceScanner {
 DiffReport ResourceScanner::diff(const ScanTaskContext& t,
                                  const ScanResult& high,
                                  const ScanResult& low) const {
-  return cross_view_diff(high, low, t.pool, t.config.diff.shards);
+  return cross_view_diff(high, low, t.pool);
 }
 
 std::vector<std::unique_ptr<ResourceScanner>> default_scanners(

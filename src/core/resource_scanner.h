@@ -29,14 +29,20 @@ namespace gb::core {
 
 struct ScanConfig;                            // scan_engine.h
 enum class ResourceMask : std::uint32_t;      // scan_engine.h
+namespace internal {
+struct SessionState;                          // core/scan_session.h
+}
 
 /// Everything a provider needs to run one view: the machine under scan,
-/// the pool for internal fan-out (null = run serially), and the session
-/// configuration with the per-resource policies.
+/// the pool for internal fan-out (null = run serially), the session
+/// configuration with the per-resource policies, and — on an incremental
+/// rescan — the session's snapshot store, which the file and ASEP low
+/// scans splice from instead of re-parsing the volume.
 struct ScanTaskContext {
   machine::Machine& machine;
   support::ThreadPool* pool = nullptr;
   const ScanConfig& config;
+  internal::SessionState* session = nullptr;
 };
 
 /// Inputs available to the outside-the-box (clean environment) scan:
@@ -71,7 +77,7 @@ class ResourceScanner {
   [[nodiscard]] virtual bool needs_dump() const { return false; }
 
   /// Diff policy: how this provider's two views compare. The default is
-  /// the hash-sharded cross-view diff with the session's shard policy.
+  /// the hash-sharded cross-view diff under the ShardPlan cost model.
   [[nodiscard]] virtual DiffReport diff(const ScanTaskContext& t,
                                         const ScanResult& high,
                                         const ScanResult& low) const;

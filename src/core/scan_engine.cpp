@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/scan_session.h"
 #include "obs/trace.h"
 #include "support/strings.h"
 
@@ -155,7 +156,7 @@ std::string Report::to_string() const {
 
 std::string Report::to_json() const {
   std::ostringstream os;
-  os << "{\"schema_version\":\"2.3\""
+  os << "{\"schema_version\":\"2.4\""
      << ",\"infected\":" << (infection_detected() ? "true" : "false")
      << ",\"degraded\":" << (degraded() ? "true" : "false")
      << ",\"simulated_seconds\":" << total_simulated_seconds
@@ -177,6 +178,19 @@ std::string Report::to_json() const {
        << ",\"degraded_diffs\":" << metrics->degraded_diffs
        << ",\"hidden_resources\":" << metrics->hidden_resources
        << ",\"extra_resources\":" << metrics->extra_resources << '}';
+  } else {
+    os << "null";
+  }
+  os << ",\"incremental\":";
+  if (incremental) {
+    os << "{\"incremental\":" << (incremental->incremental ? "true" : "false")
+       << ",\"fallback_reason\":";
+    json_escape(os, incremental->fallback_reason);
+    os << ",\"journal_id\":" << incremental->journal_id
+       << ",\"cursor\":" << incremental->cursor
+       << ",\"journal_records\":" << incremental->journal_records
+       << ",\"records_reparsed\":" << incremental->records_reparsed
+       << ",\"records_spliced\":" << incremental->records_spliced << '}';
   } else {
     os << "null";
   }
@@ -296,12 +310,21 @@ void ScanEngine::flush_hives_if_needed() {
 
 support::StatusOr<Report> ScanEngine::run(const JobSpec& spec) {
   const RunCtl ctl{spec.cancel, spec.progress};
+  if (spec.session != nullptr) {
+    // Incremental re-scan: the session's own engine (and snapshot store)
+    // does the work; this engine's machine/config are not involved.
+    return spec.session->rescan(spec.cancel, spec.progress);
+  }
   switch (spec.kind) {
     case ScanKind::kInside: return inside_scan_impl(ctl);
     case ScanKind::kInjected: return injected_scan_impl(ctl);
     case ScanKind::kOutside: return outside_scan_impl(ctl);
   }
   return support::Status::internal("unknown scan kind");
+}
+
+ScanSession ScanEngine::open_session(SessionSpec spec) {
+  return ScanSession(*this, spec);
 }
 
 Report ScanEngine::inside_scan() {
@@ -324,7 +347,8 @@ Report ScanEngine::outside_scan() {
   return std::move(outside_scan_impl(RunCtl{})).value();
 }
 
-support::StatusOr<Report> ScanEngine::inside_scan_impl(const RunCtl& ctl) {
+support::StatusOr<Report> ScanEngine::inside_scan_impl(
+    const RunCtl& ctl, internal::SessionState* session) {
   if (ctl.cancelled()) {
     return support::Status::cancelled("inside scan cancelled before start");
   }
@@ -333,7 +357,12 @@ support::StatusOr<Report> ScanEngine::inside_scan_impl(const RunCtl& ctl) {
   Report report;
   const auto ctx = scanner_context();
   flush_hives_if_needed();
-  const ScanTaskContext tctx = task_context();
+  // Serial, after the flush (so journal entries from the flush are
+  // replayed into the snapshot) and before any task (so the snapshot
+  // never changes mid-scan).
+  if (session != nullptr) sync_session(machine_, *session);
+  ScanTaskContext tctx = task_context();
+  tctx.session = session;
 
   // Two tasks per provider — the API view and the trusted view run
   // independently; the file scans fan out further internally.
@@ -392,7 +421,20 @@ support::StatusOr<Report> ScanEngine::inside_scan_impl(const RunCtl& ctl) {
         pairs[s].high_wall + pairs[s].low_wall + seconds_since(start);
     report.diffs.push_back(std::move(d));
   }
+  if (session != nullptr) report.incremental = session->last;
   finalize(report, seconds_since(t0), "inside", tally);
+  if (session != nullptr && registry_ != nullptr) {
+    obs::MetricsRegistry& reg = *registry_;
+    const IncrementalStats& inc = session->last;
+    reg.counter("gb_session_rescans_total",
+                {{"mode", inc.incremental ? "incremental" : "full"}})
+        .inc();
+    reg.counter("gb_session_records_spliced_total")
+        .add(static_cast<double>(inc.records_spliced));
+    reg.counter("gb_session_records_reparsed_total")
+        .add(static_cast<double>(inc.records_reparsed));
+    if (!inc.incremental) reg.counter("gb_session_fallbacks_total").inc();
+  }
   return report;
 }
 

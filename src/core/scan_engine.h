@@ -46,6 +46,11 @@
 namespace gb::core {
 
 class ScanEngine;
+class ScanSession;
+
+namespace internal {
+struct SessionState;  // snapshot store + cursor (core/scan_session.h)
+}  // namespace internal
 
 /// How the outside-the-box clean environment is entered (Section 5's
 /// automation extensions: enterprise RIS network boot avoids the CD).
@@ -115,13 +120,9 @@ struct ProcessPolicy {
   bool scheduler_view = false;
 };
 
-struct DiffPolicy {
-  /// Shard count for the hash-sharded cross-view diff (0 = one shard
-  /// per executor). Output is identical at any value.
-  std::size_t shards = 0;
-};
-
-/// Typed scan-session configuration.
+/// Typed scan-session configuration. (Diff sharding is no longer
+/// configurable: the differ picks its shard count from one shared cost
+/// model — see ShardPlan in core/differ.h.)
 struct ScanConfig {
   ResourceMask resources = ResourceMask::kAll;
   /// Concurrent executors (pool workers + the calling thread). 1 runs
@@ -131,7 +132,6 @@ struct ScanConfig {
   FilePolicy files;
   RegistryPolicy registry;
   ProcessPolicy processes;
-  DiffPolicy diff;
   /// Image whose process context runs the high-level scans. Spawned from
   /// C:\windows\system32\ if not already running.
   std::string scanner_image = "ghostbuster.exe";
@@ -190,6 +190,36 @@ struct JobSpec {
   /// Hook run on the freshly built engine before the scan (register
   /// extra providers, tweak instrumentation). Scheduler-only.
   std::function<void(ScanEngine&)> configure_engine;
+  /// Scheduled incremental re-scan: when set, ScanScheduler::submit runs
+  /// session->rescan() — reusing the session's snapshot + journal cursor
+  /// — instead of building a fresh engine, and `machine`/`config`/
+  /// `configure_engine` are ignored (the session's engine already owns
+  /// them). The session (and its engine and machine) must outlive the
+  /// job. kind must be kInside: only the inside scan has an incremental
+  /// form.
+  ScanSession* session = nullptr;
+};
+
+/// Provenance of one incremental re-scan, serialized as the report's
+/// "incremental" block (schema v2.4) and queryable via
+/// ScanSession::last_sync(). Counts describe MFT record *slots*:
+/// `records_reparsed` were freshly read-and-parsed this sync (on a
+/// fallback, that is every slot); `records_spliced` were served from the
+/// snapshot or its content-addressed digest cache without a parse.
+struct IncrementalStats {
+  /// False on the first scan of a session and whenever a fallback forced
+  /// a full walk.
+  bool incremental = false;
+  /// Why the full walk ran ("cold start", "journal wrapped", ...);
+  /// empty when `incremental` is true.
+  std::string fallback_reason;
+  std::uint64_t journal_id = 0;
+  /// Journal cursor after the sync (the next USN to consume).
+  std::uint64_t cursor = 0;
+  /// Journal records consumed by this sync.
+  std::uint64_t journal_records = 0;
+  std::uint64_t records_reparsed = 0;
+  std::uint64_t records_spliced = 0;
 };
 
 struct Report {
@@ -229,6 +259,14 @@ struct Report {
   };
   std::optional<Metrics> metrics;
 
+  /// Incremental-scan provenance, set on reports produced by
+  /// ScanSession::rescan() (absent for cold engine runs). Serialized
+  /// under the "incremental" key in schema v2.4 (null when absent). Like
+  /// "metrics", every field is deterministic — journal cursors and
+  /// splice counts depend only on the mutation history, never on worker
+  /// count — so the block survives the byte-identical contract.
+  std::optional<IncrementalStats> incremental;
+
   [[nodiscard]] bool infection_detected() const;
   /// True when any per-resource diff is degraded (partial report).
   [[nodiscard]] bool degraded() const;
@@ -238,14 +276,15 @@ struct Report {
   /// Human-readable report (what the tool prints for the user).
   [[nodiscard]] std::string to_string() const;
   /// Machine-readable report (for SIEM/automation pipelines), schema
-  /// version 2.3: per-diff wall/simulated timing, the worker-thread
+  /// version 2.4: per-diff wall/simulated timing, the worker-thread
   /// count, per-resource scan status (`status`, `degraded`, `error`) so
   /// partial results are first-class, a top-level "scheduler" object
   /// (null for direct engine runs) carrying fleet provenance — tenant,
-  /// job id, priority, queue latency — and a top-level "metrics" object
+  /// job id, priority, queue latency — a top-level "metrics" object
   /// (null when collection is off) with the deterministic run telemetry
-  /// above. Strings are JSON-escaped; embedded NULs and control bytes
-  /// appear as \u00XX.
+  /// above, and a top-level "incremental" object (null for cold runs)
+  /// with the re-scan provenance. Strings are JSON-escaped; embedded
+  /// NULs and control bytes appear as \u00XX.
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -266,7 +305,71 @@ struct InsideCapture {
   support::Status dump_status;
 };
 
-/// One scan session against one machine: owns the worker pool, so
+/// Spec for ScanEngine::open_session().
+struct SessionSpec {
+  /// Paranoia mode: before splicing cached entries, re-digest every MFT
+  /// record and fall back to a full walk if any slot's device bytes
+  /// diverged from the snapshot (an out-of-band write the journal never
+  /// saw). Costs a full re-read per rescan — it trades away most of the
+  /// parse savings to buy tamper evidence.
+  bool verify_spliced = false;
+};
+
+/// An incremental scanning session: owns the volume snapshot store and
+/// the change-journal cursor between scans of one machine.
+///
+/// rescan() consults the journal for what changed since the previous
+/// scan, re-parses only those MFT records, splices cached parses for the
+/// rest, and returns a Report that is byte-for-byte identical (modulo
+/// wall-clock fields) to a cold ScanEngine inside scan of the same
+/// machine state — at O(changes) low-level cost instead of O(volume).
+/// When the journal cannot vouch for the snapshot (cold start, journal
+/// wrapped/reset, digest mismatch under verify_spliced), rescan() falls
+/// back to a full walk and says so in the report's "incremental" block.
+///
+/// The session borrows its engine (and the engine its machine): both
+/// must outlive it. Like the engine, a session is not thread-safe.
+class ScanSession {
+ public:
+  ~ScanSession();
+  ScanSession(ScanSession&&) noexcept;
+  ScanSession& operator=(ScanSession&&) noexcept;
+
+  /// Incremental inside scan; never fails (no cancel token). Advances
+  /// the machine's virtual clock exactly as a cold inside scan would.
+  Report rescan();
+  /// Cancellable/observable form (what ScanScheduler drives). Returns
+  /// kCancelled when the token was raised before completion; the
+  /// snapshot keeps its pre-scan cursor, so the next rescan simply
+  /// re-syncs the skipped changes.
+  [[nodiscard]] support::StatusOr<Report> rescan(
+      const support::CancelToken* cancel,
+      support::TaskCounter* progress = nullptr);
+
+  /// Provenance of the latest rescan()'s snapshot sync.
+  [[nodiscard]] const IncrementalStats& last_sync() const;
+
+  /// Persists the snapshot store + journal cursor. A later session (same
+  /// machine, same mount) can restore() it and scan incrementally from
+  /// this point.
+  [[nodiscard]] support::Status save(const std::string& path) const;
+  /// Loads a snapshot store saved by save(). A snapshot from a different
+  /// volume or schema version is rejected (kCorrupt) and the session is
+  /// left unchanged.
+  [[nodiscard]] support::Status restore(const std::string& path);
+
+  [[nodiscard]] machine::Machine& machine() const;
+  [[nodiscard]] ScanEngine& engine() const { return *engine_; }
+
+ private:
+  friend class ScanEngine;
+  ScanSession(ScanEngine& engine, SessionSpec spec);
+
+  ScanEngine* engine_;
+  std::unique_ptr<internal::SessionState> state_;
+};
+
+/// One scan engine bound to one machine: owns the worker pool, so
 /// repeated scans amortize thread startup. Not itself thread-safe — use
 /// one engine per thread (engines on *different* machines may run
 /// concurrently, as in a fleet sweep).
@@ -283,24 +386,43 @@ class ScanEngine {
   /// ignores them. The named methods below are thin wrappers.
   [[nodiscard]] support::StatusOr<Report> run(const JobSpec& spec);
 
+  /// Opens an incremental scanning session against this engine's
+  /// machine. The session's first rescan() is a full walk that primes
+  /// the snapshot store; later rescans are O(changes). The engine must
+  /// outlive the session.
+  [[nodiscard]] ScanSession open_session(SessionSpec spec = {});
+
+  // --- DEPRECATED named entry points ---------------------------------------
+  // Thin wrappers kept for existing callers and tests. New code uses
+  // run(JobSpec) — which carries cancellation, progress, and scheduler
+  // provenance — or open_session(SessionSpec) for repeat scans. The
+  // gb_lint rule `legacy-scan-entry` rejects new library-code callers.
+
+  /// DEPRECATED: use run(JobSpec{.kind = ScanKind::kInside}).
   /// Inside-the-box cross-view diff of all registered providers.
   /// Advances the machine's virtual clock by the simulated scan time.
   Report inside_scan();
 
+  /// DEPRECATED: use run(JobSpec{.kind = ScanKind::kInjected}).
   /// DLL-injection mode: runs the high-level scans from within *every*
   /// running process and unions the findings. A ghostware program that
   /// hides from any process at all is caught.
   Report injected_scan();
 
+  /// DEPRECATED: prefer run(JobSpec{.kind = ScanKind::kOutside}) for the
+  /// full workflow; use this pair only when the two phases must be
+  /// driven separately (e.g. examples/outside_box walkthrough).
   /// Phase 1 of the outside-the-box workflow. Leaves the machine halted
   /// (dump) or running (no dump) — callers shut it down next.
   InsideCapture capture_inside_high();
 
+  /// DEPRECATED: see capture_inside_high().
   /// Phase 2: diffs the capture against the clean views of the powered-
   /// off disk (WinPE) and the parsed dump. The machine must not be
   /// running.
   Report outside_diff(const InsideCapture& capture);
 
+  /// DEPRECATED: use run(JobSpec{.kind = ScanKind::kOutside}).
   /// Convenience: full outside-the-box run (capture, blue-screen,
   /// shutdown, diff). The machine is left powered off.
   Report outside_scan();
@@ -310,6 +432,7 @@ class ScanEngine {
   void register_scanner(std::unique_ptr<ResourceScanner> scanner);
 
   const ScanConfig& config() const { return cfg_; }
+  machine::Machine& machine() { return machine_; }
   const std::vector<std::unique_ptr<ResourceScanner>>& scanners() const {
     return scanners_;
   }
@@ -335,7 +458,12 @@ class ScanEngine {
     }
   };
 
-  [[nodiscard]] support::StatusOr<Report> inside_scan_impl(const RunCtl& ctl);
+  /// With a session: syncs the snapshot against the change journal
+  /// (serially, after the hive flush so the flush's own journal records
+  /// are consumed too), lets the file/ASEP low scans splice from it, and
+  /// stamps the report's "incremental" block.
+  [[nodiscard]] support::StatusOr<Report> inside_scan_impl(
+      const RunCtl& ctl, internal::SessionState* session = nullptr);
   [[nodiscard]] support::StatusOr<Report> injected_scan_impl(const RunCtl& ctl);
   [[nodiscard]] support::StatusOr<Report> outside_scan_impl(const RunCtl& ctl);
   InsideCapture capture_inside_high_impl(const RunCtl& ctl);
@@ -354,6 +482,8 @@ class ScanEngine {
                 const ScanTally& tally);
   ScanTaskContext task_context();
   void flush_hives_if_needed();
+
+  friend class ScanSession;  // drives inside_scan_impl with its state
 
   machine::Machine& machine_;
   ScanConfig cfg_;

@@ -234,18 +234,25 @@ void run_job(SchedulerCore& core, JobState& st) {
     span.arg("tenant", st.tenant);
     span.arg("job", std::to_string(st.id));
     try {
-      ScanConfig cfg = st.spec.config;
-      cfg.parallelism = 1;
-      // Job engines report into the scheduler's registry unless the
-      // submitter routed theirs elsewhere.
-      if (cfg.metrics == nullptr) cfg.metrics = core.metrics;
-      ScanEngine engine(*st.spec.machine, cfg);
-      if (st.spec.configure_engine) st.spec.configure_engine(engine);
-      JobSpec run_spec;
-      run_spec.kind = st.spec.kind;
-      run_spec.cancel = &st.token;
-      run_spec.progress = &st.counter;
-      result = engine.run(run_spec);
+      if (st.spec.session != nullptr) {
+        // Scheduled incremental re-scan: drive the caller's session so
+        // the snapshot store and journal cursor carry across jobs. The
+        // session's engine already owns machine and config.
+        result = st.spec.session->rescan(&st.token, &st.counter);
+      } else {
+        ScanConfig cfg = st.spec.config;
+        cfg.parallelism = 1;
+        // Job engines report into the scheduler's registry unless the
+        // submitter routed theirs elsewhere.
+        if (cfg.metrics == nullptr) cfg.metrics = core.metrics;
+        ScanEngine engine(*st.spec.machine, cfg);
+        if (st.spec.configure_engine) st.spec.configure_engine(engine);
+        JobSpec run_spec;
+        run_spec.kind = st.spec.kind;
+        run_spec.cancel = &st.token;
+        run_spec.progress = &st.counter;
+        result = engine.run(run_spec);
+      }
     } catch (const std::exception& e) {
       // A scan that throws (misconfigured machine, logic error in a
       // custom provider) fails its own job, not the dispatcher.
@@ -374,7 +381,7 @@ std::string SchedulerStats::to_string() const {
 
 std::string SchedulerStats::to_json() const {
   std::ostringstream os;
-  os << "{\"schema_version\":\"2.3\""
+  os << "{\"schema_version\":\"2.4\""
      << ",\"queue_depth\":" << queue_depth << ",\"running\":" << running
      << ",\"submitted\":" << submitted << ",\"served\":" << served
      << ",\"cancelled\":" << cancelled
@@ -463,7 +470,14 @@ void ScanScheduler::set_tenant_weight(const std::string& tenant,
 }
 
 support::StatusOr<ScanJob> ScanScheduler::submit(JobSpec spec) {
-  if (spec.machine == nullptr) {
+  if (spec.session != nullptr) {
+    // Session jobs bring their own engine (and machine) and only the
+    // inside scan has an incremental form.
+    if (spec.kind != ScanKind::kInside) {
+      return support::Status::failed_precondition(
+          "JobSpec.session requires kind == kInside");
+    }
+  } else if (spec.machine == nullptr) {
     return support::Status::failed_precondition(
         "JobSpec.machine is required by ScanScheduler::submit");
   }

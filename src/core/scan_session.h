@@ -1,0 +1,76 @@
+// Internals of the incremental ScanSession (public API: scan_engine.h).
+//
+// VolumeSnapshotStore is the persistent state a session carries between
+// scans: the content-addressed MFT snapshot, a content-addressed cache
+// of parsed hive payloads, and the change-journal cursor vouching for
+// them. sync_session() is the serial step at the head of every rescan
+// that brings the store up to date (journal replay or full-walk
+// fallback); the session-aware low scans in file_scans/registry_scans
+// then splice from it instead of re-parsing the volume.
+//
+// This header is internal to gb_core (the engine, the spliced scans and
+// the tests include it); external callers see only ScanSession.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/scan_engine.h"
+#include "hive/hive.h"
+#include "machine/machine.h"
+#include "ntfs/snapshot.h"
+#include "support/status.h"
+
+namespace gb::core {
+
+/// One parsed hive payload, keyed in VolumeSnapshotStore::hives by the
+/// FNV-1a digest of the raw payload bytes. A hive flush that rewrites
+/// identical bytes (the common no-change case) re-uses the parse.
+struct CachedHiveParse {
+  std::string name;  // base-block hive name, kept for serialization
+  hive::Key tree;
+};
+
+/// Everything a session persists between scans. Content-addressed: MFT
+/// slots and hive parses are keyed by digests of the raw bytes they were
+/// parsed from, so splicing is valid exactly when the bytes match.
+struct VolumeSnapshotStore {
+  ntfs::MftSnapshot mft;
+  std::map<std::uint64_t, CachedHiveParse> hives;
+
+  /// Journal incarnation + cursor as of the last sync. Valid only while
+  /// `primed` — a fresh store scans cold.
+  std::uint64_t journal_id = 0;
+  std::uint64_t cursor = 0;
+  bool primed = false;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static support::StatusOr<VolumeSnapshotStore> deserialize(
+      ByteReader& r);
+  [[nodiscard]] support::Status save(const std::string& path) const;
+  [[nodiscard]] static support::StatusOr<VolumeSnapshotStore> load(
+      const std::string& path);
+};
+
+namespace internal {
+
+struct SessionState {
+  SessionSpec spec;
+  VolumeSnapshotStore store;
+  /// Provenance of the most recent sync (what rescan() stamps into the
+  /// report's "incremental" block).
+  IncrementalStats last;
+};
+
+}  // namespace internal
+
+/// Brings `s.store` up to date with the machine's volume, preferring the
+/// journal-guided partial refresh and falling back to a full capture when
+/// the journal cannot vouch for the snapshot (cold start, journal
+/// reset/wrap, digest mismatch under verify_spliced). Fills `s.last`.
+/// Runs serially — the engine calls it after the hive flush and before
+/// any scan task, so the store never changes mid-scan.
+void sync_session(machine::Machine& m, internal::SessionState& s);
+
+}  // namespace gb::core

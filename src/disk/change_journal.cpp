@@ -1,0 +1,17 @@
+#include "disk/change_journal.h"
+
+namespace gb::disk {
+
+const char* usn_reason_name(UsnReason reason) {
+  switch (reason) {
+    case UsnReason::kCreate: return "create";
+    case UsnReason::kDelete: return "delete";
+    case UsnReason::kRename: return "rename";
+    case UsnReason::kDataOverwrite: return "data-overwrite";
+    case UsnReason::kAttrChange: return "attr-change";
+    case UsnReason::kIndexChange: return "index-change";
+  }
+  return "unknown";
+}
+
+}  // namespace gb::disk

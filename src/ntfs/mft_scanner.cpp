@@ -58,88 +58,22 @@ bool MftScanner::record_live(std::uint64_t number) {
   return record_live_from(dev_, number);
 }
 
-namespace {
-
-struct Node {
-  std::string name;
-  std::uint64_t parent = 0;
-  bool is_directory = false;
-  std::uint64_t size = 0;
-  std::uint32_t attributes = 0;
-  std::vector<std::string> stream_names;
-};
-
-}  // namespace
-
-std::vector<RawFile> MftScanner::scan(support::ThreadPool* pool,
-                                      std::uint32_t batch_records) {
-  if (batch_records == 0) batch_records = kDefaultScanBatch;
-  auto whole = obs::default_tracer().span("mft.scan", "parse");
-  whole.arg("records", std::to_string(mft_record_count_));
-
-  // Phase 1: parse records in fixed-size batches. The batch boundaries
-  // depend only on batch_records, never on the worker count, and each
-  // batch tracks its own I/O — so merging the per-batch outputs in batch
-  // order reproduces the serial walk exactly.
-  struct Batch {
-    std::vector<std::pair<std::uint64_t, Node>> nodes;  // record order
-    std::size_t corrupt = 0;
-    disk::IoStats io;
-  };
-  const std::size_t batch_count =
-      (mft_record_count_ + batch_records - 1) / batch_records;
-  std::vector<Batch> batches(batch_count);
-
-  auto parse_batch = [&](std::size_t b) {
-    auto span = obs::default_tracer().span("mft.parse_batch", "parse");
-    span.arg("batch", std::to_string(b));
-    disk::CountingDevice dev(dev_);
-    Batch& out = batches[b];
-    const std::uint64_t begin = std::uint64_t{b} * batch_records;
-    const std::uint64_t end =
-        std::min<std::uint64_t>(begin + batch_records, mft_record_count_);
-    for (std::uint64_t i = begin; i < end; ++i) {
-      if (!record_live_from(dev, i)) continue;
-      MftRecord rec;
-      try {
-        rec = load_record_from(dev, i);
-      } catch (const ParseError&) {
-        ++out.corrupt;  // torn write / corruption: skip, keep scanning
-        continue;
-      }
-      if (!rec.file_name) continue;
-      Node n;
-      n.name = rec.file_name->name;
-      n.parent = rec.file_name->parent_ref;
-      n.is_directory = rec.is_directory();
-      n.size = rec.data ? rec.data->real_size : 0;
-      n.attributes = rec.std_info ? rec.std_info->file_attributes : 0;
-      for (const auto& stream : rec.named_streams) {
-        n.stream_names.push_back(stream.name);
-      }
-      out.nodes.emplace_back(i, std::move(n));
-    }
-    out.io = dev.stats();
-  };
-  if (pool) {
-    pool->parallel_for(batch_count, parse_batch);
-  } else {
-    for (std::size_t b = 0; b < batch_count; ++b) parse_batch(b);
+std::optional<MftNode> node_from(const MftRecord& rec) {
+  if (!rec.file_name) return std::nullopt;
+  MftNode n;
+  n.name = rec.file_name->name;
+  n.parent = rec.file_name->parent_ref;
+  n.is_directory = rec.is_directory();
+  n.size = rec.data ? rec.data->real_size : 0;
+  n.attributes = rec.std_info ? rec.std_info->file_attributes : 0;
+  for (const auto& stream : rec.named_streams) {
+    n.stream_names.push_back(stream.name);
   }
+  return n;
+}
 
-  std::map<std::uint64_t, Node> nodes;
-  corrupt_records_ = 0;
-  scan_stats_.reset();
-  for (auto& b : batches) {
-    for (auto& [rec_no, node] : b.nodes) {
-      nodes.emplace(rec_no, std::move(node));
-    }
-    corrupt_records_ += b.corrupt;
-    scan_stats_.sectors_read += b.io.sectors_read;
-    scan_stats_.sectors_written += b.io.sectors_written;
-    scan_stats_.seeks += b.io.seeks;
-  }
-
+std::vector<RawFile> assemble_listing(
+    const std::map<std::uint64_t, MftNode>& nodes) {
   // Resolve full paths with memoization; cycles/broken chains -> orphan.
   std::map<std::uint64_t, std::string> paths;
   paths[kMftRecordRoot] = "";
@@ -177,6 +111,70 @@ std::vector<RawFile> MftScanner::scan(support::ThreadPool* pool,
     out.push_back(std::move(f));
   }
   return out;
+}
+
+std::vector<RawFile> MftScanner::scan(support::ThreadPool* pool,
+                                      std::uint32_t batch_records) {
+  if (batch_records == 0) batch_records = kDefaultScanBatch;
+  auto whole = obs::default_tracer().span("mft.scan", "parse");
+  whole.arg("records", std::to_string(mft_record_count_));
+
+  // Phase 1: parse records in fixed-size batches. The batch boundaries
+  // depend only on batch_records, never on the worker count, and each
+  // batch tracks its own I/O — so merging the per-batch outputs in batch
+  // order reproduces the serial walk exactly.
+  struct Batch {
+    std::vector<std::pair<std::uint64_t, MftNode>> nodes;  // record order
+    std::size_t corrupt = 0;
+    disk::IoStats io;
+  };
+  const std::size_t batch_count =
+      (mft_record_count_ + batch_records - 1) / batch_records;
+  std::vector<Batch> batches(batch_count);
+
+  auto parse_batch = [&](std::size_t b) {
+    auto span = obs::default_tracer().span("mft.parse_batch", "parse");
+    span.arg("batch", std::to_string(b));
+    disk::CountingDevice dev(dev_);
+    Batch& out = batches[b];
+    const std::uint64_t begin = std::uint64_t{b} * batch_records;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + batch_records, mft_record_count_);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (!record_live_from(dev, i)) continue;
+      MftRecord rec;
+      try {
+        rec = load_record_from(dev, i);
+      } catch (const ParseError&) {
+        ++out.corrupt;  // torn write / corruption: skip, keep scanning
+        continue;
+      }
+      auto n = node_from(rec);
+      if (!n) continue;
+      out.nodes.emplace_back(i, std::move(*n));
+    }
+    out.io = dev.stats();
+  };
+  if (pool) {
+    pool->parallel_for(batch_count, parse_batch);
+  } else {
+    for (std::size_t b = 0; b < batch_count; ++b) parse_batch(b);
+  }
+
+  std::map<std::uint64_t, MftNode> nodes;
+  corrupt_records_ = 0;
+  scan_stats_.reset();
+  for (auto& b : batches) {
+    for (auto& [rec_no, node] : b.nodes) {
+      nodes.emplace(rec_no, std::move(node));
+    }
+    corrupt_records_ += b.corrupt;
+    scan_stats_.sectors_read += b.io.sectors_read;
+    scan_stats_.sectors_written += b.io.sectors_written;
+    scan_stats_.seeks += b.io.seeks;
+  }
+
+  return assemble_listing(nodes);
 }
 
 std::vector<RawFile> MftScanner::scan_deleted(support::ThreadPool* pool,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +36,31 @@ struct RawFile {
   /// view that shows them.
   std::vector<std::string> stream_names;
 };
+
+/// One live MFT record reduced to exactly the fields the listing needs —
+/// the unit the snapshot store caches per record digest. A parsed record
+/// maps to its node deterministically, so two records with identical raw
+/// bytes always produce identical nodes (the content-addressing premise).
+struct MftNode {
+  std::string name;
+  std::uint64_t parent = 0;
+  bool is_directory = false;
+  std::uint64_t size = 0;
+  std::uint32_t attributes = 0;
+  std::vector<std::string> stream_names;
+};
+
+/// Reduces a parsed record to its listing node; nullopt when the record
+/// carries no FILE_NAME attribute and is invisible to the path walk.
+[[nodiscard]] std::optional<MftNode> node_from(const MftRecord& rec);
+
+/// Phase 2 of MftScanner::scan(): resolves full paths over the node map
+/// (memoized parent-chain walk, cycles/broken chains under "<orphan>\")
+/// and emits the listing in record order, skipping the root. Shared with
+/// the snapshot splice path so a cached re-scan produces the same bytes
+/// as a cold walk over the same records.
+[[nodiscard]] std::vector<RawFile> assemble_listing(
+    const std::map<std::uint64_t, MftNode>& nodes);
 
 class MftScanner {
  public:

@@ -1,0 +1,122 @@
+// MftSnapshot: content-addressed cache of one volume's parsed MFT.
+//
+// The incremental re-scan's core data structure. Each MFT record slot is
+// remembered as (classification, digest of the raw 1024-byte record
+// image, parsed listing node), and every digest ever seen maps to its
+// parse result in a content-addressed cache. A re-scan that knows which
+// records were dirtied (from the change journal) re-reads only those
+// slots; a dirtied slot whose new digest was seen before — e.g. a rename
+// chain A→B→A restoring the original bytes — splices the cached parse
+// without re-parsing at all.
+//
+// Byte-identity argument (DESIGN.md "Incremental scanning"): a record's
+// listing node is a pure function of its raw bytes (MftRecord::parse +
+// node_from have no other inputs), and assemble_listing() is a pure
+// function of the node map — so a snapshot whose per-slot bytes match
+// the device reproduces MftScanner::scan()'s listing exactly. The
+// journal guarantees the match: every scan-visible record write goes
+// through NtfsVolume::store_record(), which journals the record number.
+// Out-of-band device writes bypass the journal; verify() exists to
+// detect exactly those, at full re-digest cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "disk/disk.h"
+#include "ntfs/mft_scanner.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace gb::ntfs {
+
+/// What a record slot's raw bytes held when last read. Everything that
+/// "looks live" (valid FILE magic + in-use flag) costs the scanner a
+/// second read, so liveness must be remembered per slot for the I/O
+/// simulation even when the record contributes nothing to the listing.
+enum class MftSlotKind : std::uint8_t {
+  kFree = 0,     // never used, or tombstoned
+  kCorrupt = 1,  // looks live but fails to parse
+  kNoName = 2,   // parses but has no FILE_NAME (invisible to the walk)
+  kLive = 3,     // parses into a listing node
+};
+
+struct MftSlot {
+  MftSlotKind kind = MftSlotKind::kFree;
+  std::uint64_t digest = 0;      // FNV-1a 64 of the raw record image
+  std::optional<MftNode> node;   // engaged iff kind == kLive
+};
+
+class MftSnapshot {
+ public:
+  MftSnapshot() = default;
+
+  /// Full walk: reads and classifies every record on the device.
+  /// kCorrupt if the device has no valid NTFS boot sector.
+  [[nodiscard]] static support::StatusOr<MftSnapshot> capture(
+      disk::SectorDevice& dev);
+
+  struct RefreshStats {
+    std::uint64_t reparsed = 0;       // freshly parsed this refresh
+    std::uint64_t cache_spliced = 0;  // digest seen before; parse reused
+    std::uint64_t unchanged = 0;      // digest identical to the slot's
+  };
+
+  /// Re-reads only `records` (deduplicated; out-of-range numbers are
+  /// ignored), splicing parses from the digest cache where the new bytes
+  /// have been seen before.
+  void refresh(disk::SectorDevice& dev,
+               const std::vector<std::uint64_t>& records,
+               RefreshStats* stats = nullptr);
+
+  /// Re-digests EVERY slot and returns the record numbers whose device
+  /// bytes no longer match the snapshot — writes the journal never saw.
+  /// Empty means the snapshot is exact. Does not mutate the snapshot.
+  [[nodiscard]] std::vector<std::uint64_t> verify(
+      disk::SectorDevice& dev) const;
+
+  /// The listing a fresh MftScanner::scan() over the same bytes returns,
+  /// assembled from cached nodes with zero device I/O.
+  [[nodiscard]] std::vector<RawFile> listing() const;
+
+  /// Reproduces the IoStats MftScanner::scan(pool, batch_records) would
+  /// report for the snapshot's state. Exact, not an estimate: the
+  /// scanner's access pattern is a pure function of per-slot liveness
+  /// and the batch boundaries. Per batch, the first record's probe read
+  /// seeks (fresh CountingDevice), each later probe is contiguous with
+  /// its predecessor, and every live-looking slot costs one extra
+  /// 2-sector read of the same LBA (always a seek) — so
+  ///   seeks        = sum over batches of (1 + live_looking_in_batch)
+  ///   sectors_read = 2 * capacity + 2 * live_looking_total.
+  [[nodiscard]] disk::IoStats simulate_scan_io(
+      std::uint32_t batch_records = 0) const;
+
+  /// Live-looking slots that fail to parse (MftScanner::corrupt_records).
+  [[nodiscard]] std::size_t corrupt_records() const;
+
+  [[nodiscard]] std::uint32_t record_capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  [[nodiscard]] const std::vector<MftSlot>& slots() const { return slots_; }
+
+  /// Persistence (magic + version guarded). The digest cache is rebuilt
+  /// from the slots on load, so digests of states no longer on the
+  /// volume are forgotten across a save/load round trip — strictly a
+  /// performance matter, never a correctness one.
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static support::StatusOr<MftSnapshot> deserialize(
+      ByteReader& r);
+
+ private:
+  void classify_into(std::uint64_t record,
+                     std::span<const std::byte> image);
+
+  std::uint64_t mft_start_cluster_ = 0;
+  std::vector<MftSlot> slots_;
+  /// digest -> parse result, across every state this snapshot has seen.
+  std::map<std::uint64_t, MftSlot> cache_;
+};
+
+}  // namespace gb::ntfs

@@ -139,6 +139,9 @@ NtfsVolume::NtfsVolume(disk::SectorDevice& dev) : dev_(dev) {
   bitmap_start_cluster_ = r.u64();
   bitmap_cluster_count_ = r.u32();
   total_clusters_ = total_sectors / kSectorsPerCluster;
+  // Seed the change journal's identity from the volume serial so it is
+  // deterministic per volume, and start a fresh incarnation per mount.
+  journal_.reset(r.u64());
 
   // Load bitmap.
   std::vector<std::byte> raw_bitmap(
@@ -235,7 +238,7 @@ void NtfsVolume::persist_index(std::uint64_t dir) {
     rec.index->resident_data.clear();
     rec.index->runs = std::move(runs);
   }
-  store_record(dir);
+  store_record(dir, disk::UsnReason::kIndexChange);
 }
 
 void NtfsVolume::free_attr_clusters(DataAttr& attr) {
@@ -366,6 +369,7 @@ void NtfsVolume::write_file(std::string_view path,
   }
 
   std::uint64_t rec_no;
+  bool created = false;
   if (auto existing = child(parent, name)) {
     rec_no = *existing;
     MftRecord& rec = *records_[rec_no];
@@ -374,6 +378,7 @@ void NtfsVolume::write_file(std::string_view path,
     }
     free_file_clusters(rec);
   } else {
+    created = true;
     rec_no = allocate_record();
     MftRecord rec;
     rec.record_number = rec_no;
@@ -402,7 +407,8 @@ void NtfsVolume::write_file(std::string_view path,
     rec.data->resident_data.clear();
     rec.data->runs = std::move(runs);
   }
-  store_record(rec_no);
+  store_record(rec_no, created ? disk::UsnReason::kCreate
+                               : disk::UsnReason::kDataOverwrite);
 }
 
 void NtfsVolume::write_file(std::string_view path, std::string_view text,
@@ -437,7 +443,7 @@ void NtfsVolume::create_directories(std::string_view path) {
     rec.std_info = StandardInfo{now_us(), now_us(), now_us(), kAttrDirectory};
     rec.file_name = FileNameAttr{parent, comp};
     records_[rec_no] = std::move(rec);
-    store_record(rec_no);
+    store_record(rec_no, disk::UsnReason::kCreate);
     link_child(parent, comp, rec_no);
     parent = rec_no;
   }
@@ -463,7 +469,9 @@ void NtfsVolume::remove_one(std::uint64_t rec_no, std::uint64_t parent,
   if (rec.index) free_attr_clusters(*rec.index);
   rec.flags = static_cast<std::uint16_t>(rec.flags & ~kRecordInUse);
   rec.sequence++;
-  store_record(rec_no);
+  // Journaled while the record still exists: the tombstone write IS the
+  // delete event the incremental scan must observe.
+  store_record(rec_no, disk::UsnReason::kDelete);
   records_[rec_no].reset();
   free_records_.push_back(rec_no);
   unlink_child(parent, name);
@@ -504,7 +512,49 @@ void NtfsVolume::set_attributes(std::string_view path,
                                 std::uint32_t attributes) {
   const std::uint64_t rec_no = resolve(path);
   records_[rec_no]->std_info->file_attributes = attributes;
-  store_record(rec_no);
+  store_record(rec_no, disk::UsnReason::kAttrChange);
+}
+
+void NtfsVolume::rename(std::string_view old_path, std::string_view new_path) {
+  const std::uint64_t rec_no = resolve(old_path);
+  if (rec_no < kFirstUserRecord) throw FsError("cannot rename system file");
+
+  const auto comps = components(new_path);
+  if (comps.empty()) throw FsError("empty rename target");
+  const std::string& new_name = comps.back();
+  if (new_name.size() > 255) {
+    throw FsError("name too long: " + printable(new_name));
+  }
+  std::uint64_t new_parent = kMftRecordRoot;
+  for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+    auto next = child(new_parent, comps[i]);
+    if (!next || !records_[*next]->is_directory()) {
+      throw FsError("parent directory missing: " + std::string(new_path));
+    }
+    new_parent = *next;
+  }
+  if (auto clash = child(new_parent, new_name); clash && *clash != rec_no) {
+    throw FsError("rename target exists: " + std::string(new_path));
+  }
+  // A directory must not be moved into its own subtree.
+  for (std::uint64_t cur = new_parent; cur != kMftRecordRoot;) {
+    if (cur == rec_no) {
+      throw FsError("cannot move a directory into itself: " +
+                    std::string(old_path));
+    }
+    if (cur >= records_.size() || !records_[cur] || !records_[cur]->file_name) {
+      break;
+    }
+    cur = records_[cur]->file_name->parent_ref;
+  }
+
+  MftRecord& rec = *records_[rec_no];
+  const std::uint64_t old_parent = rec.file_name->parent_ref;
+  const std::string old_name = rec.file_name->name;
+  unlink_child(old_parent, old_name);
+  rec.file_name = FileNameAttr{new_parent, new_name};
+  store_record(rec_no, disk::UsnReason::kRename);
+  link_child(new_parent, new_name, rec_no);
 }
 
 void NtfsVolume::write_stream(std::string_view path,
@@ -533,7 +583,7 @@ void NtfsVolume::write_stream(std::string_view path,
     s.data.resident_data.clear();
     s.data.runs = std::move(runs);
   }
-  store_record(rec_no);
+  store_record(rec_no, disk::UsnReason::kDataOverwrite);
 }
 
 void NtfsVolume::write_stream(std::string_view path,
@@ -578,7 +628,7 @@ bool NtfsVolume::remove_stream(std::string_view path,
       flush_bitmap();
     }
     rec.named_streams.erase(it);
-    store_record(rec_no);
+    store_record(rec_no, disk::UsnReason::kDataOverwrite);
     return true;
   }
   return false;
@@ -607,16 +657,17 @@ std::uint64_t NtfsVolume::allocate_record() {
   return rec;
 }
 
-void NtfsVolume::store_record(std::uint64_t number) {
+void NtfsVolume::store_record(std::uint64_t number, disk::UsnReason reason) {
   std::vector<std::byte> image;
   if (records_[number]) {
     image = records_[number]->serialize();
   } else {
     // Freed record: keep the (now not-in-use) tombstone already written by
-    // the caller, or zero if never used.
+    // the caller, or zero if never used. No device write, no journal entry.
     return;
   }
   dev_.write(mft_lba(number), image);
+  journal_.append(number, reason);
 }
 
 void NtfsVolume::free_file_clusters(MftRecord& rec) {

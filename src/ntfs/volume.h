@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "disk/change_journal.h"
 #include "disk/disk.h"
 #include "ntfs/mft_record.h"
 #include "ntfs/ntfs_format.h"
@@ -83,6 +84,12 @@ class NtfsVolume {
   void remove(std::string_view path);
   void remove_recursive(std::string_view path);
   void set_attributes(std::string_view path, std::uint32_t attributes);
+  /// Moves/renames a file or directory. The target parent must exist and
+  /// the target name must be free. Deliberately does NOT touch the
+  /// standard-information timestamps (as NTFS does not on rename), so a
+  /// rename chain A→B→A restores the record to byte-identical content —
+  /// the property the content-addressed snapshot cache exploits.
+  void rename(std::string_view old_path, std::string_view new_path);
 
   // --- alternate data streams (named $DATA attributes) --------------------
   // No Win32 enumeration API exists for these (the paper's future-work
@@ -115,12 +122,23 @@ class NtfsVolume {
   std::uint32_t mft_record_capacity() const { return mft_record_count_; }
   disk::SectorDevice& device() { return dev_; }
 
+  /// The volume's USN-style change journal. Every MFT record write goes
+  /// through the store_record() choke point, which appends here — so the
+  /// journal sees exactly the set of records whose on-disk bytes may
+  /// differ from what a previous scan parsed. The journal is in-memory
+  /// per mount (a remount starts a fresh incarnation, forcing consumers
+  /// holding old cursors into their full-walk fallback).
+  disk::ChangeJournal& journal() { return journal_; }
+  const disk::ChangeJournal& journal() const { return journal_; }
+
  private:
   std::uint64_t resolve(std::string_view path) const;  // throws FsError
   std::optional<std::uint64_t> try_resolve(std::string_view path) const;
   std::optional<std::uint64_t> child(std::uint64_t dir, std::string_view name) const;
   std::uint64_t allocate_record();
-  void store_record(std::uint64_t number);
+  /// Serializes records_[number] to the device and journals the write.
+  /// The single choke point for every scan-visible MFT byte change.
+  void store_record(std::uint64_t number, disk::UsnReason reason);
   void free_file_clusters(MftRecord& rec);
   RunList allocate_clusters(std::uint64_t count);
   void write_clusters(const RunList& runs, std::span<const std::byte> data);
@@ -143,6 +161,7 @@ class NtfsVolume {
 
   disk::SectorDevice& dev_;
   VirtualClock* clock_ = nullptr;
+  disk::ChangeJournal journal_;
 
   // Geometry (from boot sector).
   std::uint64_t total_clusters_ = 0;

@@ -1,0 +1,12 @@
+// MUST-FIRE fixture for [legacy-scan-entry]: calling a deprecated named
+// scan entry point instead of run(JobSpec)/open_session().
+struct Engine {
+  int inside_scan();
+  int outside_diff(int other);
+};
+
+int rescan_the_old_way(Engine& gb, Engine* other) {
+  int total = gb.inside_scan();
+  total += other->outside_diff(total);
+  return total;
+}

@@ -1,0 +1,17 @@
+// MUST-PASS fixture for [legacy-scan-entry]: declarations of the
+// same-named methods are fine (inside_scan, outside_scan — the ban is
+// on member-call sites), as are free functions and suffixed names like
+// inside_scan_impl.
+struct Engine {
+  int inside_scan();       // declaring the wrapper is not calling it
+  int run(int job);
+  int inside_scan_impl();  // the _impl worker is a different word
+};
+
+int inside_scan(int seed) { return seed; }  // free function, not a member
+
+int rescan_the_new_way(Engine& gb) {
+  int total = gb.run(0);
+  total += gb.inside_scan_impl();
+  return total + inside_scan(total);
+}

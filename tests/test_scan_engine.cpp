@@ -150,13 +150,13 @@ TEST(ShardedDiff, MatchesSerialDiffOnLargeInputs) {
   }
 }
 
-TEST(ReportJson, SchemaV23CarriesTimingWorkerAndStatusFields) {
+TEST(ReportJson, SchemaV24CarriesTimingWorkerAndStatusFields) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
   ScanEngine engine(m, parallel_config(2));
   const auto report = engine.inside_scan();
   const auto json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\":\"2.3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":\"2.4\""), std::string::npos);
   // A direct engine run has no fleet provenance: scheduler is null.
   EXPECT_NE(json.find("\"scheduler\":null"), std::string::npos);
   EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);

@@ -278,7 +278,7 @@ TEST(SchedulerDeterminism, PerJobReportsIdenticalAtWorkers_1_2_8) {
   }
 }
 
-TEST(SchedulerReport, CarriesProvenanceTagInSchemaV23Json) {
+TEST(SchedulerReport, CarriesProvenanceTagInSchemaV24Json) {
   machine::Machine m(tiny_config());
   ScanScheduler::Options opts;
   opts.workers = 0;  // inline dispatch
@@ -296,7 +296,7 @@ TEST(SchedulerReport, CarriesProvenanceTagInSchemaV23Json) {
   EXPECT_EQ(report.scheduler->priority, 7);
   EXPECT_EQ(report.scheduler->job_id, job.id());
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\":\"2.3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":\"2.4\""), std::string::npos);
   EXPECT_NE(json.find("\"scheduler\":{\"tenant\":\"hq\""),
             std::string::npos);
 }
@@ -311,7 +311,7 @@ TEST(SchedulerStatsApi, JsonAndErrorPaths) {
             support::StatusCode::kFailedPrecondition);
 
   const std::string json = sched.stats().to_json();
-  EXPECT_NE(json.find("\"schema_version\":\"2.3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":\"2.4\""), std::string::npos);
   EXPECT_NE(json.find("\"queue_depth\":0"), std::string::npos);
   EXPECT_NE(json.find("\"tenants\":[]"), std::string::npos);
 }

@@ -1,0 +1,412 @@
+// ScanSession: the incremental re-scan contract. The headline property
+// is byte-identity — a session rescan's report (normalized for wall
+// fields and the "incremental" provenance block) must equal a cold
+// full-scan report at every worker count and every churn rate, including
+// the fallback paths (journal wrap, journal reset, stale cursor, digest
+// mismatch under verify_spliced). Plus the operational surface: store
+// save/restore, scheduler-submitted session jobs, and the report differ
+// the fleet uses on the emitted JSON.
+#include "core/scan_session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "core/report_diff.h"
+#include "core/scan_engine.h"
+#include "core/scan_scheduler.h"
+#include "machine/machine.h"
+#include "malware/hackerdefender.h"
+
+namespace gb {
+namespace {
+
+/// Zeroes wall-clock fields and blanks the "incremental" provenance
+/// block — the only bytes allowed to differ between a session rescan and
+/// a cold scan of the same machine state.
+std::string normalize(std::string j) {
+  j = std::regex_replace(j, std::regex(R"(\"wall_seconds\":[0-9eE+.\-]+)"),
+                         "\"wall_seconds\":0");
+  j = std::regex_replace(j, std::regex(R"(\"worker_threads\":[0-9]+)"),
+                         "\"worker_threads\":0");
+  j = std::regex_replace(j, std::regex(R"(\"incremental\":\{[^{}]*\})"),
+                         "\"incremental\":null");
+  return j;
+}
+
+machine::MachineConfig small_config() {
+  machine::MachineConfig mc;
+  mc.disk_sectors = 64 * 1024;  // 32 MiB
+  mc.mft_records = 4096;
+  mc.synthetic_files = 60;
+  mc.synthetic_registry_keys = 30;
+  return mc;
+}
+
+/// A cold full scan through the one non-deprecated entry point.
+core::Report cold_scan(machine::Machine& m, std::size_t workers) {
+  core::ScanConfig cfg;
+  cfg.parallelism = workers;
+  core::JobSpec job;
+  job.kind = core::ScanKind::kInside;
+  return std::move(core::ScanEngine(m, cfg).run(std::move(job))).value();
+}
+
+/// Deterministic mixed churn: creates, overwrites, delete cycles and
+/// renames, `ops` operations total.
+void apply_churn(machine::Machine& m, int ops) {
+  auto& vol = m.volume();
+  if (ops > 0) vol.create_directories("\\churn");
+  for (int i = 0; i < ops; ++i) {
+    const std::string base = "\\churn\\f" + std::to_string(i);
+    switch (i % 4) {
+      case 0: vol.write_file(base + ".txt", "payload " + std::to_string(i));
+        break;
+      case 1:
+        vol.write_file(base + ".dat", "data");
+        vol.write_file(base + ".dat", "data, second write");
+        break;
+      case 2:
+        vol.write_file(base + ".tmp", "transient");
+        vol.remove(base + ".tmp");
+        break;
+      case 3:
+        vol.write_file(base + ".old", "renamed payload");
+        vol.rename(base + ".old", base + ".new");
+        break;
+    }
+  }
+}
+
+// --- the byte-identity matrix ----------------------------------------------
+
+TEST(ScanSessionDeterminism, RescanMatchesColdScanAcrossWorkersAndChurn) {
+  for (const int ops : {0, 6, 120}) {
+    std::string reference;  // the workers=1 rescan bytes for this churn
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      machine::Machine m(small_config());
+      malware::install_ghostware<malware::HackerDefender>(m);
+      core::ScanConfig cfg;
+      cfg.parallelism = workers;
+      core::ScanEngine engine(m, cfg);
+      core::ScanSession session = engine.open_session();
+      (void)session.rescan();  // prime the snapshot store
+      apply_churn(m, ops);
+
+      const std::string cold = normalize(cold_scan(m, workers).to_json());
+      const std::string inc = normalize(session.rescan().to_json());
+      EXPECT_EQ(inc, cold) << "churn=" << ops << " workers=" << workers;
+      EXPECT_TRUE(session.last_sync().incremental)
+          << session.last_sync().fallback_reason;
+      EXPECT_GT(session.last_sync().records_spliced, 0u);
+
+      if (reference.empty()) reference = inc;
+      EXPECT_EQ(inc, reference)
+          << "rescan bytes vary with worker count at churn=" << ops;
+    }
+  }
+}
+
+TEST(ScanSessionDeterminism, ZeroChurnRescanSplicesAlmostEverything) {
+  machine::Machine m(small_config());
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  core::ScanEngine engine(m, cfg);
+  core::ScanSession session = engine.open_session();
+
+  (void)session.rescan();
+  EXPECT_FALSE(session.last_sync().incremental);
+  EXPECT_EQ(session.last_sync().fallback_reason, "cold start");
+  EXPECT_EQ(session.last_sync().records_reparsed, 4096u);
+
+  (void)session.rescan();
+  EXPECT_TRUE(session.last_sync().incremental);
+  // The engine's own hive flush is the only journal traffic, so the
+  // refresh touches a handful of records and splices the rest.
+  EXPECT_LT(session.last_sync().records_reparsed, 16u);
+  EXPECT_GT(session.last_sync().records_spliced, 4000u);
+}
+
+// --- fallback paths --------------------------------------------------------
+
+TEST(ScanSession, JournalWrapFallsBackToFullWalkThenRecovers) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  core::ScanConfig cfg;
+  cfg.parallelism = 2;
+  core::ScanEngine engine(m, cfg);
+  core::ScanSession session = engine.open_session();
+  (void)session.rescan();
+
+  m.volume().journal().set_capacity(4);
+  apply_churn(m, 24);  // far more journal records than the ring holds
+
+  const std::string cold = normalize(cold_scan(m, 2).to_json());
+  const std::string inc = normalize(session.rescan().to_json());
+  EXPECT_EQ(inc, cold);
+  EXPECT_FALSE(session.last_sync().incremental);
+  EXPECT_EQ(session.last_sync().fallback_reason, "journal wrapped");
+  EXPECT_EQ(session.last_sync().records_reparsed, 4096u);
+
+  // The fallback resynced the cursor: the next quiet rescan is
+  // incremental again.
+  (void)session.rescan();
+  EXPECT_TRUE(session.last_sync().incremental);
+}
+
+TEST(ScanSession, JournalResetAndStaleCursorForceFullWalks) {
+  machine::Machine m(small_config());
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  core::ScanEngine engine(m, cfg);
+  core::ScanSession session = engine.open_session();
+  (void)session.rescan();
+
+  // New incarnation id: the cursor belongs to a dead journal.
+  const std::uint64_t id = m.volume().journal().journal_id();
+  m.volume().journal().reset(id + 1);
+  (void)session.rescan();
+  EXPECT_FALSE(session.last_sync().incremental);
+  EXPECT_EQ(session.last_sync().fallback_reason, "journal reset");
+
+  // Same id but USNs restarted (what a remount does): the cursor is
+  // ahead of the counter.
+  (void)session.rescan();  // resync under the new id
+  m.volume().journal().reset(id + 1);
+  (void)session.rescan();
+  EXPECT_FALSE(session.last_sync().incremental);
+  EXPECT_EQ(session.last_sync().fallback_reason, "stale journal cursor");
+}
+
+TEST(ScanSession, VerifySplicedCatchesOutOfBandDeviceWrites) {
+  machine::Machine m(small_config());
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  // The payload is small enough to live resident in the MFT record, so
+  // tampering with it below is an MFT-byte change the journal never saw.
+  const std::string marker = "TAMPER-SENTINEL-3141592653589793";
+  m.volume().write_file("\\victim.txt", marker);
+
+  core::ScanEngine engine(m, cfg);
+  core::SessionSpec spec;
+  spec.verify_spliced = true;
+  core::ScanSession paranoid = engine.open_session(spec);
+  (void)paranoid.rescan();
+
+  core::ScanEngine engine2(m, cfg);
+  core::ScanSession trusting = engine2.open_session();
+  (void)trusting.rescan();
+
+  // Flip one payload byte straight on the device, behind the driver's
+  // (and therefore the journal's) back.
+  const auto image = m.disk().image();
+  const std::byte* found = std::search(
+      image.data(), image.data() + image.size(),
+      reinterpret_cast<const std::byte*>(marker.data()),
+      reinterpret_cast<const std::byte*>(marker.data() + marker.size()));
+  ASSERT_NE(found, image.data() + image.size());
+  const std::size_t offset = static_cast<std::size_t>(found - image.data());
+  std::vector<std::byte> sector(disk::kSectorSize);
+  m.disk().read(offset / disk::kSectorSize, sector);
+  sector[offset % disk::kSectorSize] ^= std::byte{0xff};
+  m.disk().write(offset / disk::kSectorSize, sector);
+
+  (void)paranoid.rescan();
+  EXPECT_FALSE(paranoid.last_sync().incremental);
+  EXPECT_EQ(paranoid.last_sync().fallback_reason, "digest mismatch");
+
+  // The default session trades that detection away for splice speed —
+  // the documented verify_spliced trade-off.
+  (void)trusting.rescan();
+  EXPECT_TRUE(trusting.last_sync().incremental);
+}
+
+// --- the scenario the feature exists for -----------------------------------
+
+TEST(ScanSession, MalwareInstalledBetweenScansIsCaughtIncrementally) {
+  machine::Machine m(small_config());
+  core::ScanConfig cfg;
+  cfg.parallelism = 2;
+  core::ScanEngine engine(m, cfg);
+  core::ScanSession session = engine.open_session();
+
+  const core::Report clean = session.rescan();
+  EXPECT_FALSE(clean.infection_detected());
+
+  malware::install_ghostware<malware::HackerDefender>(m);
+
+  const core::Report infected = session.rescan();
+  // The install went through the journaled write paths, so the session
+  // did NOT need a full walk to see it.
+  EXPECT_TRUE(session.last_sync().incremental)
+      << session.last_sync().fallback_reason;
+  EXPECT_TRUE(infected.infection_detected());
+  EXPECT_GT(infected.hidden_count(core::ResourceType::kFile), 0u);
+  EXPECT_EQ(normalize(infected.to_json()),
+            normalize(cold_scan(m, 2).to_json()));
+}
+
+// --- persistence -----------------------------------------------------------
+
+TEST(ScanSession, SaveRestoreResumesIncrementallyAcrossSessions) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  const std::string path = ::testing::TempDir() + "/gb_snapshot_store.bin";
+
+  core::ScanEngine engine(m, cfg);
+  {
+    core::ScanSession session = engine.open_session();
+    (void)session.rescan();
+    ASSERT_TRUE(session.save(path).ok());
+  }
+
+  apply_churn(m, 10);
+
+  core::ScanSession resumed = engine.open_session();
+  ASSERT_TRUE(resumed.restore(path).ok());
+  const std::string inc = normalize(resumed.rescan().to_json());
+  EXPECT_TRUE(resumed.last_sync().incremental)
+      << resumed.last_sync().fallback_reason;
+  EXPECT_EQ(inc, normalize(cold_scan(m, 1).to_json()));
+}
+
+TEST(ScanSession, RestoreRejectsStoreFromAnotherVolume) {
+  machine::Machine big(small_config());
+  machine::MachineConfig small_cfg = small_config();
+  small_cfg.mft_records = 1024;
+  machine::Machine little(small_cfg);
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  const std::string path = ::testing::TempDir() + "/gb_foreign_store.bin";
+
+  core::ScanEngine big_engine(big, cfg);
+  core::ScanSession big_session = big_engine.open_session();
+  (void)big_session.rescan();
+  ASSERT_TRUE(big_session.save(path).ok());
+
+  core::ScanEngine little_engine(little, cfg);
+  core::ScanSession little_session = little_engine.open_session();
+  const auto st = little_session.restore(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), support::StatusCode::kCorrupt);
+
+  // And garbage on disk is rejected as garbage, not crashed on.
+  const std::string junk = ::testing::TempDir() + "/gb_junk_store.bin";
+  { std::ofstream(junk, std::ios::binary) << "not a snapshot store"; }
+  EXPECT_FALSE(little_session.restore(junk).ok());
+}
+
+// --- scheduler integration -------------------------------------------------
+
+TEST(ScanSessionScheduler, SubmittedSessionJobsReuseTheSnapshot) {
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  core::ScanEngine engine(m, cfg);
+  core::ScanSession session = engine.open_session();
+  (void)session.rescan();  // prime before handing the session to the fleet
+  apply_churn(m, 8);
+
+  core::ScanScheduler sched;
+  core::JobSpec spec;
+  spec.tenant = "fleet";
+  spec.kind = core::ScanKind::kInside;
+  spec.session = &session;
+  auto job = sched.submit(std::move(spec));
+  ASSERT_TRUE(job.ok()) << job.status().to_string();
+  auto& result = job->wait();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+
+  ASSERT_TRUE(result->incremental.has_value());
+  EXPECT_TRUE(result->incremental->incremental)
+      << result->incremental->fallback_reason;
+  EXPECT_GT(result->incremental->records_spliced, 0u);
+  EXPECT_TRUE(result->scheduler.has_value());
+  EXPECT_EQ(result->scheduler->tenant, "fleet");
+  EXPECT_TRUE(result->infection_detected());
+
+  // Only the inside scan has an incremental form.
+  core::JobSpec bad;
+  bad.kind = core::ScanKind::kOutside;
+  bad.session = &session;
+  EXPECT_FALSE(sched.submit(std::move(bad)).ok());
+}
+
+// --- the report differ the fleet runs on yesterday's JSON ------------------
+
+std::string report_with(const std::string& hidden_entries) {
+  return "{\"schema_version\":\"2.4\",\"diffs\":[{\"type\":\"file\","
+         "\"low_view\":\"raw MFT walk\",\"high_view\":\"Win32 listing\","
+         "\"hidden\":[" + hidden_entries + "]}]}";
+}
+
+TEST(ReportDiff, DetectsAddedRemovedAndChangedFindings) {
+  const std::string a = report_with(
+      "{\"key\":\"c:\\\\old.sys\",\"display\":\"C:\\\\old.sys\"},"
+      "{\"key\":\"c:\\\\same.sys\",\"display\":\"C:\\\\same.sys\"}");
+  const std::string b = report_with(
+      "{\"key\":\"c:\\\\same.sys\",\"display\":\"C:\\\\SAME.sys\"},"
+      "{\"key\":\"c:\\\\new.sys\",\"display\":\"C:\\\\new.sys\"}");
+  const auto delta = core::diff_reports_json(a, b);
+  ASSERT_TRUE(delta.ok()) << delta.status().to_string();
+  EXPECT_TRUE(delta->drift());
+  ASSERT_EQ(delta->added.size(), 1u);
+  EXPECT_EQ(delta->added[0].key, "c:\\new.sys");
+  EXPECT_NE(delta->added[0].detail.find("raw MFT walk"), std::string::npos);
+  ASSERT_EQ(delta->removed.size(), 1u);
+  EXPECT_EQ(delta->removed[0].key, "c:\\old.sys");
+  ASSERT_EQ(delta->changed.size(), 1u);
+  EXPECT_EQ(delta->changed[0].display, "C:\\SAME.sys");
+
+  const auto text = delta->to_string();
+  EXPECT_NE(text.find("+ [file] C:\\new.sys"), std::string::npos);
+  EXPECT_NE(text.find("- [file] C:\\old.sys"), std::string::npos);
+  EXPECT_NE(text.find("~ [file] C:\\SAME.sys"), std::string::npos);
+}
+
+TEST(ReportDiff, IdenticalReportsShowNoDrift) {
+  const std::string a = report_with(
+      "{\"key\":\"c:\\\\x.sys\",\"display\":\"C:\\\\x.sys\"}");
+  const auto delta = core::diff_reports_json(a, a);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_FALSE(delta->drift());
+}
+
+TEST(ReportDiff, RejectsMalformedInput) {
+  const std::string good = report_with("");
+  EXPECT_EQ(core::diff_reports_json("{not json", good).status().code(),
+            support::StatusCode::kCorrupt);
+  EXPECT_EQ(core::diff_reports_json(good, "{\"no_diffs\":1}").status().code(),
+            support::StatusCode::kCorrupt);
+}
+
+TEST(ReportDiff, WorksOnLiveEngineOutput) {
+  machine::Machine clean(small_config());
+  machine::Machine dirty(small_config());
+  malware::install_ghostware<malware::HackerDefender>(dirty);
+  const std::string before = cold_scan(clean, 1).to_json();
+  const std::string after = cold_scan(dirty, 1).to_json();
+
+  const auto delta = core::diff_reports_json(before, after);
+  ASSERT_TRUE(delta.ok()) << delta.status().to_string();
+  EXPECT_TRUE(delta->drift());
+  EXPECT_GT(delta->added.size(), 0u);
+  EXPECT_TRUE(delta->removed.empty());
+
+  const auto self = core::diff_reports_json(after, after);
+  ASSERT_TRUE(self.ok());
+  EXPECT_FALSE(self->drift());
+}
+
+}  // namespace
+}  // namespace gb

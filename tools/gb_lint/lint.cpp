@@ -47,6 +47,11 @@ constexpr RuleInfo kRules[] = {
      "no std::thread outside support::ThreadPool (querying "
      "std::thread::hardware_concurrency is fine): the pool is the only "
      "thread owner the determinism argument covers"},
+    {"legacy-scan-entry",
+     "no new library callers of the deprecated named scan entry points "
+     "(inside_scan/injected_scan/outside_scan/capture_inside_high/"
+     "outside_diff): go through ScanEngine::run(JobSpec), or "
+     "open_session()/rescan() for repeat scans"},
 };
 
 // --- path scoping ----------------------------------------------------------
@@ -530,6 +535,36 @@ struct Linter {
              "allow)");
   }
 
+  void rule_legacy_scan_entry() {
+    if (!enabled("legacy-scan-entry")) return;
+    const std::string base = std::filesystem::path(path).filename().string();
+    // scan_engine.* declares the deprecated wrappers (and calls the
+    // same-named ResourceScanner provider hooks); the ban is on callers.
+    if (base.rfind("scan_engine", 0) == 0) return;
+    for (std::size_t li = 0; li < view.code.size(); ++li) {
+      const std::string& line = view.code[li];
+      for (std::string_view name :
+           {"inside_scan", "injected_scan", "outside_scan",
+            "capture_inside_high", "outside_diff"}) {
+        for (std::size_t pos : find_word(line, name)) {
+          // Only member-call syntax counts: a declaration or a
+          // same-named free function is not a legacy entry-point call.
+          if (pos == 0 || (line[pos - 1] != '.' &&
+                           !preceded_by(line, pos, "->"))) {
+            continue;
+          }
+          const std::size_t next = skip_spaces(line, pos + name.size());
+          if (next >= line.size() || line[next] != '(') continue;
+          report("legacy-scan-entry", li,
+                 "'" + std::string(name) +
+                     "' is a deprecated named scan entry point; use "
+                     "ScanEngine::run(JobSpec) — or open_session()/"
+                     "rescan() when the scan repeats");
+        }
+      }
+    }
+  }
+
   void rule_raw_thread() {
     if (!enabled("raw-thread")) return;
     const std::string base = std::filesystem::path(path).filename().string();
@@ -561,6 +596,7 @@ struct Linter {
     rule_mutex_name();
     rule_naked_new();
     rule_raw_thread();
+    rule_legacy_scan_entry();
   }
 };
 
