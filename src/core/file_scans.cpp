@@ -120,7 +120,9 @@ support::StatusOr<ScanResult> outside_file_scan(disk::SectorDevice& dev) {
   out.trust = TrustLevel::kTruth;
 
   try {
-    ntfs::NtfsVolume vol(dev);  // fresh mount: no hooks, no filters
+    // Fresh read-only mount: no hooks, no filters — and provably no
+    // writes to the evidence disk (not even the mount-sequence bump).
+    ntfs::NtfsVolume vol(dev, ntfs::MountMode::kReadOnly);
     std::function<void(const std::string&)> walk =
         [&](const std::string& dir) {
           for (const auto& e : vol.list_directory(dir)) {

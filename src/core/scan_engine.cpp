@@ -312,7 +312,14 @@ support::StatusOr<Report> ScanEngine::run(const JobSpec& spec) {
   const RunCtl ctl{spec.cancel, spec.progress};
   if (spec.session != nullptr) {
     // Incremental re-scan: the session's own engine (and snapshot store)
-    // does the work; this engine's machine/config are not involved.
+    // does the work; this engine's machine/config are not involved. Same
+    // contract as ScanScheduler::submit — only the inside scan has an
+    // incremental form, so any other kind is a caller error rather than
+    // a silently ignored field.
+    if (spec.kind != ScanKind::kInside) {
+      return support::Status::failed_precondition(
+          "JobSpec.session requires kind == kInside");
+    }
     return spec.session->rescan(spec.cancel, spec.progress);
   }
   switch (spec.kind) {

@@ -195,8 +195,13 @@ struct JobSpec {
   /// — instead of building a fresh engine, and `machine`/`config`/
   /// `configure_engine` are ignored (the session's engine already owns
   /// them). The session (and its engine and machine) must outlive the
-  /// job. kind must be kInside: only the inside scan has an incremental
-  /// form.
+  /// job. kind must be kInside (only the inside scan has an incremental
+  /// form); both ScanEngine::run and ScanScheduler::submit reject any
+  /// other kind with kFailedPrecondition. A session is not thread-safe,
+  /// so at most one job per session may be outstanding at a time:
+  /// submit() rejects a session that already has a job queued or
+  /// running (kFailedPrecondition) — resubmit once that job's handle
+  /// reports completion.
   ScanSession* session = nullptr;
 };
 

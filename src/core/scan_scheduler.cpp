@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <set>
 #include <sstream>
 
 #include "machine/machine.h"
@@ -96,6 +97,13 @@ struct SchedulerCore {
   /// Jobs not yet complete, so shutdown can cancel them. Keyed by id.
   std::map<std::uint64_t, std::shared_ptr<JobState>> live;
 
+  /// Sessions with a job queued or running. ScanSession is not
+  /// thread-safe, so submit() rejects a second job for a session already
+  /// here — two dispatchers must never drive the same snapshot store
+  /// concurrently. Entries leave when their job completes (served,
+  /// cancelled, or shutdown).
+  std::set<ScanSession*> sessions_inflight;
+
   /// Telemetry sink (see ScanScheduler::Options::metrics). `owned` is
   /// set when the options left metrics null; `metrics` always points at
   /// the registry in use. Handles below are created once at
@@ -152,6 +160,7 @@ void complete_cancelled_locked(SchedulerCore& core, JobState& st,
   if (t.queued > 0) --t.queued;
   if (core.queued_total > 0) --core.queued_total;
   core.queue_depth->set(static_cast<double>(core.queued_total));
+  if (st.spec.session != nullptr) core.sessions_inflight.erase(st.spec.session);
   core.live.erase(st.id);
   st.cv.notify_all();
   core.idle_cv.notify_all();
@@ -280,6 +289,9 @@ void run_job(SchedulerCore& core, JobState& st) {
   core.max_latency->max_of(st.queue_seconds + run_seconds);
   st.result = std::move(result);
   st.phase.store(JobPhase::kDone, std::memory_order_release);
+  if (st.spec.session != nullptr) {
+    core.sessions_inflight.erase(st.spec.session);
+  }
   core.live.erase(st.id);
   --core.running;
   core.running_gauge->set(static_cast<double>(core.running));
@@ -491,6 +503,17 @@ support::StatusOr<ScanJob> ScanScheduler::submit(JobSpec spec) {
     std::lock_guard<std::mutex> lk(core_->mu);
     if (core_->shutdown) {
       return support::Status::unavailable("scheduler is shutting down");
+    }
+    if (st->spec.session != nullptr) {
+      // A session is single-threaded state (snapshot store + cursor):
+      // admitting a second job while one is queued or running would let
+      // two dispatchers race on it. Callers resubmit after the first
+      // job's handle reports completion.
+      if (!core_->sessions_inflight.insert(st->spec.session).second) {
+        return support::Status::failed_precondition(
+            "a job for this ScanSession is already queued or running; at "
+            "most one job per session may be outstanding");
+      }
     }
     st->id = core_->next_id++;
     internal::SchedulerCore::Tenant& t =

@@ -1,6 +1,8 @@
 #include "core/scan_session.h"
 
 #include <fstream>
+#include <new>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -68,6 +70,10 @@ support::StatusOr<VolumeSnapshotStore> VolumeSnapshotStore::deserialize(
   } catch (const ParseError& e) {
     return support::Status::corrupt(std::string("truncated snapshot store: ") +
                                     e.what());
+  } catch (const std::bad_alloc&) {
+    return support::Status::corrupt("snapshot store too large for memory");
+  } catch (const std::length_error&) {
+    return support::Status::corrupt("snapshot store length field out of range");
   }
 }
 

@@ -20,10 +20,19 @@
 //     from the old incarnation are invalid (same fallback).
 //
 // Determinism: the journal holds no wall-clock time and draws no random
-// ids — the id is caller-chosen (the volume passes its boot-sector
-// serial) and USNs count from zero. Identical mutation sequences produce
-// byte-identical journals, which is what lets the incremental scan keep
-// the report byte-identical to a cold scan.
+// ids — the id is caller-chosen and USNs count from zero. The volume
+// derives it from its boot-sector serial and an on-device mount-sequence
+// counter, so every mount is a distinct incarnation without sacrificing
+// determinism. Identical mutation sequences produce byte-identical
+// journals, which is what lets the incremental scan keep the report
+// byte-identical to a cold scan.
+//
+// Id uniqueness matters: reset() restarts USNs at zero, so if two
+// incarnations shared an id, a cursor saved under the first could look
+// serveable against the second once it had journaled that many writes —
+// and a consumer would silently miss the second incarnation's earliest
+// changes. Callers of reset() must supply an id never used before on
+// the volume (the mount-sequence scheme above guarantees this).
 #pragma once
 
 #include <cstdint>

@@ -257,6 +257,11 @@ void Machine::boot() {
   }
 }
 
+void Machine::remount_volume() {
+  volume_ = std::make_unique<ntfs::NtfsVolume>(*disk_);
+  volume_->set_clock(&clock_);
+}
+
 std::vector<std::byte> Machine::bluescreen() {
   if (!running_) throw kernel::KernelError("machine is not running");
   auto dump = kernel::write_dump(*kernel_);

@@ -87,6 +87,13 @@ class Machine {
   /// Recreates the kernel and base processes, runs boot-window service
   /// writes, then starts auto-start programs whose guards hold.
   void boot();
+  /// Re-mounts the NTFS volume from the disk image in place — what a
+  /// power cycle does to the file system. Cached driver state is rebuilt
+  /// from disk and the change journal starts a fresh incarnation, so
+  /// every saved scan-session cursor is invalidated (the "journal reset"
+  /// fallback). Volatile kernel/Win32 state is untouched; use reboot()
+  /// for the full lifecycle.
+  void remount_volume();
   void reboot() {
     shutdown();
     boot();

@@ -1,7 +1,9 @@
 #include "ntfs/snapshot.h"
 
 #include <algorithm>
+#include <new>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "ntfs/ntfs_format.h"
@@ -183,7 +185,17 @@ support::StatusOr<MftSnapshot> MftSnapshot::deserialize(ByteReader& r) {
     }
     MftSnapshot snap;
     snap.mft_start_cluster_ = r.u64();
-    snap.slots_.resize(r.u32());
+    const std::uint32_t slot_count = r.u32();
+    // Every serialized slot costs at least 9 bytes (kind + digest), so a
+    // count beyond remaining()/9 cannot be satisfied by the input — fail
+    // as corrupt instead of attempting a gigantic resize (which would
+    // throw bad_alloc past the ParseError handler below).
+    if (slot_count > r.remaining() / 9) {
+      return support::Status::corrupt(
+          "snapshot slot count " + std::to_string(slot_count) +
+          " exceeds input size");
+    }
+    snap.slots_.resize(slot_count);
     for (MftSlot& s : snap.slots_) {
       const std::uint8_t kind = r.u8();
       if (kind > static_cast<std::uint8_t>(MftSlotKind::kLive)) {
@@ -213,6 +225,12 @@ support::StatusOr<MftSnapshot> MftSnapshot::deserialize(ByteReader& r) {
   } catch (const ParseError& e) {
     return support::Status::corrupt(std::string("truncated snapshot: ") +
                                     e.what());
+  } catch (const std::bad_alloc&) {
+    // Belt and braces: no single length field survives the bound above,
+    // but a corrupt store must never crash the restore path.
+    return support::Status::corrupt("snapshot too large for memory");
+  } catch (const std::length_error&) {
+    return support::Status::corrupt("snapshot length field out of range");
   }
 }
 

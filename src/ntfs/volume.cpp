@@ -31,6 +31,22 @@ std::uint64_t clusters_for(std::uint64_t bytes) {
   return (bytes + kClusterSize - 1) / kClusterSize;
 }
 
+/// Journal incarnation id for one (volume, mount) pair: the splitmix64
+/// finalizer over serial and the persisted mount sequence. The sequence
+/// never repeats for a device, so no two mounts ever share an id — the
+/// property that forces a cursor saved under an earlier mount into the
+/// "journal reset" fallback instead of silently splicing stale records.
+std::uint64_t journal_incarnation_id(std::uint64_t serial,
+                                     std::uint64_t mount_seq) {
+  std::uint64_t h = serial ^ (mount_seq * 0x9E3779B97F4A7C15ull);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
 }  // namespace
 
 void NtfsVolume::format(disk::SectorDevice& dev,
@@ -123,7 +139,8 @@ void NtfsVolume::format(disk::SectorDevice& dev,
   write_record(bm);
 }
 
-NtfsVolume::NtfsVolume(disk::SectorDevice& dev) : dev_(dev) {
+NtfsVolume::NtfsVolume(disk::SectorDevice& dev, MountMode mode)
+    : dev_(dev), read_only_(mode == MountMode::kReadOnly) {
   // Parse boot sector.
   std::vector<std::byte> bs(kSectorSize);
   dev_.read(0, bs);
@@ -139,9 +156,24 @@ NtfsVolume::NtfsVolume(disk::SectorDevice& dev) : dev_(dev) {
   bitmap_start_cluster_ = r.u64();
   bitmap_cluster_count_ = r.u32();
   total_clusters_ = total_sectors / kSectorsPerCluster;
-  // Seed the change journal's identity from the volume serial so it is
-  // deterministic per volume, and start a fresh incarnation per mount.
-  journal_.reset(r.u64());
+  const std::uint64_t serial = r.u64();
+  // Bump the on-device mount sequence and derive this incarnation's
+  // journal id from (serial, sequence): deterministic (no wall clock, no
+  // randomness) yet never reused, so a cursor from a previous mount can
+  // only ever hit the "journal reset" fallback — it cannot alias into
+  // this incarnation's USN space and splice stale records. A read-only
+  // mount skips the bump (it must not touch the device); its journal is
+  // inert anyway, since every mutation throws before journaling.
+  r.seek(BootSectorLayout::kJournalSeq);
+  const std::uint64_t mount_seq = r.u64() + 1;
+  if (!read_only_) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      bs[BootSectorLayout::kJournalSeq + i] =
+          static_cast<std::byte>((mount_seq >> (8 * i)) & 0xff);
+    }
+    dev_.write(0, bs);
+  }
+  journal_.reset(journal_incarnation_id(serial, mount_seq));
 
   // Load bitmap.
   std::vector<std::byte> raw_bitmap(
@@ -258,6 +290,7 @@ std::vector<std::byte> NtfsVolume::attr_payload(const DataAttr& attr) const {
 }
 
 std::uint64_t NtfsVolume::index_unlink(std::string_view path) {
+  ensure_writable();
   const std::uint64_t rec_no = resolve(path);
   if (rec_no < kFirstUserRecord) throw FsError("cannot unlink system file");
   const MftRecord& rec = *records_[rec_no];
@@ -266,6 +299,7 @@ std::uint64_t NtfsVolume::index_unlink(std::string_view path) {
 }
 
 bool NtfsVolume::index_relink(std::uint64_t record_number) {
+  ensure_writable();
   if (record_number >= records_.size() || !records_[record_number] ||
       !records_[record_number]->file_name) {
     return false;
@@ -354,6 +388,7 @@ std::vector<std::byte> NtfsVolume::read_file(std::string_view path) const {
 void NtfsVolume::write_file(std::string_view path,
                             std::span<const std::byte> data,
                             std::uint32_t attributes) {
+  ensure_writable();
   const auto comps = components(path);
   if (comps.empty()) throw FsError("empty path");
   const std::string& name = comps.back();
@@ -426,6 +461,7 @@ void NtfsVolume::append_file(std::string_view path, std::string_view text) {
 }
 
 void NtfsVolume::create_directories(std::string_view path) {
+  ensure_writable();
   std::uint64_t parent = kMftRecordRoot;
   for (const auto& comp : components(path)) {
     if (auto next = child(parent, comp)) {
@@ -479,6 +515,7 @@ void NtfsVolume::remove_one(std::uint64_t rec_no, std::uint64_t parent,
 }
 
 void NtfsVolume::remove(std::string_view path) {
+  ensure_writable();
   const std::uint64_t rec_no = resolve(path);
   if (rec_no < kFirstUserRecord) throw FsError("cannot remove system file");
   const MftRecord& rec = *records_[rec_no];
@@ -510,12 +547,14 @@ void NtfsVolume::remove_recursive(std::string_view path) {
 
 void NtfsVolume::set_attributes(std::string_view path,
                                 std::uint32_t attributes) {
+  ensure_writable();
   const std::uint64_t rec_no = resolve(path);
   records_[rec_no]->std_info->file_attributes = attributes;
   store_record(rec_no, disk::UsnReason::kAttrChange);
 }
 
 void NtfsVolume::rename(std::string_view old_path, std::string_view new_path) {
+  ensure_writable();
   const std::uint64_t rec_no = resolve(old_path);
   if (rec_no < kFirstUserRecord) throw FsError("cannot rename system file");
 
@@ -560,6 +599,7 @@ void NtfsVolume::rename(std::string_view old_path, std::string_view new_path) {
 void NtfsVolume::write_stream(std::string_view path,
                               std::string_view stream_name,
                               std::span<const std::byte> data) {
+  ensure_writable();
   if (stream_name.empty()) throw FsError("empty stream name");
   const std::uint64_t rec_no = resolve(path);
   MftRecord& rec = *records_[rec_no];
@@ -614,6 +654,7 @@ std::vector<std::string> NtfsVolume::list_streams(std::string_view path) const {
 
 bool NtfsVolume::remove_stream(std::string_view path,
                                std::string_view stream_name) {
+  ensure_writable();
   const std::uint64_t rec_no = resolve(path);
   MftRecord& rec = *records_[rec_no];
   for (auto it = rec.named_streams.begin(); it != rec.named_streams.end();
@@ -650,6 +691,10 @@ std::uint64_t NtfsVolume::used_data_bytes() const {
   return total;
 }
 
+void NtfsVolume::ensure_writable() const {
+  if (read_only_) throw FsError("volume is mounted read-only");
+}
+
 std::uint64_t NtfsVolume::allocate_record() {
   if (free_records_.empty()) throw FsError("MFT full");
   const std::uint64_t rec = free_records_.back();
@@ -658,6 +703,7 @@ std::uint64_t NtfsVolume::allocate_record() {
 }
 
 void NtfsVolume::store_record(std::uint64_t number, disk::UsnReason reason) {
+  ensure_writable();
   std::vector<std::byte> image;
   if (records_[number]) {
     image = records_[number]->serialize();
@@ -714,6 +760,7 @@ RunList NtfsVolume::allocate_clusters(std::uint64_t count) {
 
 void NtfsVolume::write_clusters(const RunList& runs,
                                 std::span<const std::byte> data) {
+  ensure_writable();
   std::size_t offset = 0;
   std::vector<std::byte> cluster(kClusterSize);
   for (const Run& run : runs) {
@@ -746,6 +793,7 @@ std::vector<std::byte> NtfsVolume::read_clusters(const RunList& runs,
 }
 
 void NtfsVolume::flush_bitmap() {
+  ensure_writable();
   std::vector<std::byte> raw(bitmap_.size());
   std::memcpy(raw.data(), bitmap_.data(), bitmap_.size());
   dev_.write(bitmap_start_cluster_ * kSectorsPerCluster, raw);

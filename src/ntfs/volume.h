@@ -52,6 +52,14 @@ class FsError : public std::runtime_error {
   explicit FsError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// How a mount may touch the device. A kReadWrite mount bumps the
+/// boot-sector mount sequence (journal incarnation) at mount time and
+/// writes metadata through as usual. A kReadOnly mount never writes the
+/// device at all — not even the sequence bump — and every mutation
+/// throws FsError; the outside-the-box scan uses it so examining the
+/// evidence disk provably cannot alter it.
+enum class MountMode { kReadWrite, kReadOnly };
+
 class NtfsVolume {
  public:
   /// Writes a fresh file system onto the device.
@@ -59,7 +67,8 @@ class NtfsVolume {
                      std::uint64_t serial = 0xC0FFEE);
 
   /// Mounts an already formatted device (parses boot sector + full MFT).
-  explicit NtfsVolume(disk::SectorDevice& dev);
+  explicit NtfsVolume(disk::SectorDevice& dev,
+                      MountMode mode = MountMode::kReadWrite);
 
   /// Clock used for file timestamps; optional.
   void set_clock(VirtualClock* clock) { clock_ = clock; }
@@ -121,13 +130,18 @@ class NtfsVolume {
   std::uint64_t used_data_bytes() const;
   std::uint32_t mft_record_capacity() const { return mft_record_count_; }
   disk::SectorDevice& device() { return dev_; }
+  bool read_only() const { return read_only_; }
 
   /// The volume's USN-style change journal. Every MFT record write goes
   /// through the store_record() choke point, which appends here — so the
   /// journal sees exactly the set of records whose on-disk bytes may
   /// differ from what a previous scan parsed. The journal is in-memory
-  /// per mount (a remount starts a fresh incarnation, forcing consumers
-  /// holding old cursors into their full-walk fallback).
+  /// per mount; each mount starts a fresh incarnation whose id is
+  /// derived from the volume serial and a mount-sequence counter
+  /// persisted in the boot sector, so ids are never reused across
+  /// mounts and a cursor from an earlier mount always forces consumers
+  /// into their full-walk fallback (it can never alias into the new
+  /// incarnation's USN space).
   disk::ChangeJournal& journal() { return journal_; }
   const disk::ChangeJournal& journal() const { return journal_; }
 
@@ -136,6 +150,9 @@ class NtfsVolume {
   std::optional<std::uint64_t> try_resolve(std::string_view path) const;
   std::optional<std::uint64_t> child(std::uint64_t dir, std::string_view name) const;
   std::uint64_t allocate_record();
+  /// Throws FsError on a read-only mount. Every device-writing path
+  /// passes through one of the guarded helpers below.
+  void ensure_writable() const;
   /// Serializes records_[number] to the device and journals the write.
   /// The single choke point for every scan-visible MFT byte change.
   void store_record(std::uint64_t number, disk::UsnReason reason);
@@ -161,6 +178,7 @@ class NtfsVolume {
 
   disk::SectorDevice& dev_;
   VirtualClock* clock_ = nullptr;
+  bool read_only_ = false;
   disk::ChangeJournal journal_;
 
   // Geometry (from boot sector).

@@ -1,7 +1,9 @@
 // MUST-PASS fixture for [naked-new]: ownership flows through
 // make_unique and containers; words like new_size and renewal are plain
-// identifiers, and "new" may appear in comments/strings.
+// identifiers, "new" may appear in comments/strings, and including the
+// <new> header (for std::bad_alloc) names the header, not the operator.
 #include <memory>
+#include <new>
 #include <vector>
 
 struct Buffer {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -176,15 +177,37 @@ TEST_F(VolumeJournalTest, RenameAttrStreamAndIndexEmitExpectedReasons) {
 
 TEST_F(VolumeJournalTest, RemountStartsFreshIncarnationInvalidatingCursors) {
   vol_->write_file("\\a.txt", "x");
+  const std::uint64_t old_id = vol_->journal().journal_id();
   const std::uint64_t cursor = vol_->journal().next_usn();
   ASSERT_GT(cursor, 0u);
 
   remount();
-  // Same journal id (the boot-sector serial) but USNs restart from zero,
-  // so the pre-remount cursor is ahead of the counter and unserveable —
-  // exactly the stale-cursor fallback the scan session takes.
+  // New incarnation: the boot-sector mount sequence gives every mount a
+  // fresh id, and USNs restart from zero — the old cursor is doubly
+  // invalid.
+  EXPECT_NE(vol_->journal().journal_id(), old_id);
   EXPECT_EQ(vol_->journal().next_usn(), 0u);
   EXPECT_FALSE(vol_->journal().read_since(cursor).ok());
+
+  // Journal the new mount past the old cursor. The cursor is now
+  // numerically serveable — which is exactly why the id must differ:
+  // consumers (sync_session) compare ids first, and an id collision
+  // here would silently splice over the new mount's earliest writes.
+  while (vol_->journal().next_usn() < cursor) {
+    vol_->write_file("\\churn.txt", "tick");
+  }
+  EXPECT_TRUE(vol_->journal().read_since(cursor).ok());
+  EXPECT_NE(vol_->journal().journal_id(), old_id);
+}
+
+TEST_F(VolumeJournalTest, EveryMountGetsADistinctJournalId) {
+  std::vector<std::uint64_t> ids{vol_->journal().journal_id()};
+  for (int i = 0; i < 3; ++i) {
+    remount();
+    ids.push_back(vol_->journal().journal_id());
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
 }
 
 TEST_F(VolumeJournalTest, RenameChainRestoresByteIdenticalRecords) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -20,6 +23,34 @@ class NtfsVolumeTest : public ::testing::Test {
   disk::MemDisk disk_;
   std::unique_ptr<NtfsVolume> vol_;
 };
+
+TEST_F(NtfsVolumeTest, ReadOnlyMountNeverTouchesTheDevice) {
+  vol_->write_file("\\a.txt", "payload");
+  const auto img = disk_.image();
+  const std::vector<std::byte> before(img.begin(), img.end());
+  {
+    NtfsVolume ro(disk_, MountMode::kReadOnly);
+    EXPECT_TRUE(ro.read_only());
+    EXPECT_EQ(to_string(ro.read_file("\\a.txt")), "payload");
+    EXPECT_THROW(ro.write_file("\\b.txt", "nope"), FsError);
+    EXPECT_THROW(ro.remove("\\a.txt"), FsError);
+    EXPECT_THROW(ro.rename("\\a.txt", "\\c.txt"), FsError);
+    EXPECT_THROW(ro.set_attributes("\\a.txt", kAttrHidden), FsError);
+    EXPECT_THROW(ro.write_stream("\\a.txt", "ads", "nope"), FsError);
+    EXPECT_THROW(ro.index_unlink("\\a.txt"), FsError);
+    EXPECT_THROW(ro.create_directories("\\d"), FsError);
+  }
+  // Not even the mount-sequence bump: the evidence disk is bit-for-bit
+  // untouched, which is what lets the outside scan trust (and preserve)
+  // it. A read-write mount, by contrast, advances the sequence.
+  const auto after = disk_.image();
+  EXPECT_TRUE(std::equal(before.begin(), before.end(), after.begin(),
+                         after.end()));
+  remount();
+  const auto bumped = disk_.image();
+  EXPECT_FALSE(std::equal(before.begin(), before.end(), bumped.begin(),
+                          bumped.end()));
+}
 
 TEST_F(NtfsVolumeTest, FreshVolumeHasEmptyRoot) {
   EXPECT_TRUE(vol_->list_directory("\\").empty());

@@ -23,6 +23,7 @@
 #include "core/scan_scheduler.h"
 #include "machine/machine.h"
 #include "malware/hackerdefender.h"
+#include "support/bytes.h"
 
 namespace gb {
 namespace {
@@ -279,6 +280,75 @@ TEST(ScanSession, SaveRestoreResumesIncrementallyAcrossSessions) {
   EXPECT_EQ(inc, normalize(cold_scan(m, 1).to_json()));
 }
 
+TEST(ScanSession, RestoredCursorFromPreviousMountForcesFullWalk) {
+  machine::Machine m(small_config());
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  core::ScanEngine engine(m, cfg);
+  const std::string path = ::testing::TempDir() + "/gb_cross_mount_store.bin";
+  {
+    core::ScanSession session = engine.open_session();
+    (void)session.rescan();
+    ASSERT_TRUE(session.save(path).ok());
+  }
+  const std::uint64_t saved_cursor = m.volume().journal().next_usn();
+
+  // Power-cycle the volume, then install hidden malware among the new
+  // mount's earliest journaled writes and churn until the new journal
+  // counts past the saved cursor. The cursor is now numerically
+  // serveable against the new incarnation — the trap: a journal id
+  // reused across mounts would splice the pre-remount snapshot over the
+  // malware's records and the rescan would miss the infection.
+  m.remount_volume();
+  malware::install_ghostware<malware::HackerDefender>(m);
+  for (int round = 0; m.volume().journal().next_usn() <= saved_cursor;
+       ++round) {
+    m.volume().write_file("\\wash" + std::to_string(round) + ".txt", "tick");
+  }
+  ASSERT_GE(m.volume().journal().next_usn(), saved_cursor);
+
+  core::ScanSession resumed = engine.open_session();
+  ASSERT_TRUE(resumed.restore(path).ok());
+  const core::Report report = resumed.rescan();
+  EXPECT_FALSE(resumed.last_sync().incremental);
+  EXPECT_EQ(resumed.last_sync().fallback_reason, "journal reset");
+  EXPECT_TRUE(report.infection_detected());
+  EXPECT_GT(report.hidden_count(core::ResourceType::kFile), 0u);
+  EXPECT_EQ(normalize(report.to_json()), normalize(cold_scan(m, 1).to_json()));
+}
+
+TEST(ScanSession, RestoreRejectsHugeSlotCountWithoutCrashing) {
+  // A store whose headers all validate but whose MFT slot count is a
+  // 4-billion lie. restore() must classify it as corrupt — the resize it
+  // implies could never be satisfied by the input — not die in bad_alloc.
+  ByteWriter w;
+  w.u32(0x53534247);  // store magic "GBSS"
+  w.u16(1);           // store version
+  w.u64(0);           // journal_id
+  w.u64(0);           // cursor
+  w.u8(1);            // primed
+  w.u32(0x50414E53);  // snapshot magic "SNAP"
+  w.u16(1);           // snapshot version
+  w.u64(0);           // mft_start_cluster
+  w.u32(0xffffffff);  // slot count far beyond the bytes that follow
+  const std::string path = ::testing::TempDir() + "/gb_huge_count_store.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    const auto view = w.view();
+    os.write(reinterpret_cast<const char*>(view.data()),
+             static_cast<std::streamsize>(view.size()));
+  }
+
+  machine::Machine m(small_config());
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  core::ScanEngine engine(m, cfg);
+  core::ScanSession session = engine.open_session();
+  const auto st = session.restore(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), support::StatusCode::kCorrupt);
+}
+
 TEST(ScanSession, RestoreRejectsStoreFromAnotherVolume) {
   machine::Machine big(small_config());
   machine::MachineConfig small_cfg = small_config();
@@ -335,11 +405,60 @@ TEST(ScanSessionScheduler, SubmittedSessionJobsReuseTheSnapshot) {
   EXPECT_EQ(result->scheduler->tenant, "fleet");
   EXPECT_TRUE(result->infection_detected());
 
-  // Only the inside scan has an incremental form.
+  // Only the inside scan has an incremental form — and the direct run()
+  // path enforces the same contract as submit().
   core::JobSpec bad;
   bad.kind = core::ScanKind::kOutside;
   bad.session = &session;
   EXPECT_FALSE(sched.submit(std::move(bad)).ok());
+  core::JobSpec bad_direct;
+  bad_direct.kind = core::ScanKind::kOutside;
+  bad_direct.session = &session;
+  const auto direct = engine.run(std::move(bad_direct));
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(),
+            support::StatusCode::kFailedPrecondition);
+}
+
+TEST(ScanSessionScheduler, AtMostOneOutstandingJobPerSession) {
+  machine::Machine m(small_config());
+  core::ScanConfig cfg;
+  cfg.parallelism = 1;
+  core::ScanEngine engine(m, cfg);
+  core::ScanSession session = engine.open_session();
+
+  core::ScanScheduler::Options opts;
+  opts.workers = 2;
+  opts.start_paused = true;
+  core::ScanScheduler sched(opts);
+  const auto session_spec = [&] {
+    core::JobSpec spec;
+    spec.kind = core::ScanKind::kInside;
+    spec.session = &session;
+    return spec;
+  };
+
+  // ScanSession is not thread-safe, so a second job for the same session
+  // is rejected while the first is still outstanding...
+  auto first = sched.submit(session_spec());
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  const auto overlapping = sched.submit(session_spec());
+  ASSERT_FALSE(overlapping.ok());
+  EXPECT_EQ(overlapping.status().code(),
+            support::StatusCode::kFailedPrecondition);
+
+  // ...cancelling the queued job releases the session...
+  EXPECT_TRUE(first->cancel());
+  EXPECT_EQ(first->wait().status().code(), support::StatusCode::kCancelled);
+  auto second = sched.submit(session_spec());
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+
+  // ...and so does normal completion.
+  sched.resume();
+  ASSERT_TRUE(second->wait().ok()) << second->wait().status().to_string();
+  auto third = sched.submit(session_spec());
+  ASSERT_TRUE(third.ok()) << third.status().to_string();
+  ASSERT_TRUE(third->wait().ok());
 }
 
 // --- the report differ the fleet runs on yesterday's JSON ------------------

@@ -529,10 +529,20 @@ struct Linter {
 
   void rule_naked_new() {
     if (!enabled("naked-new")) return;
-    ban_word("naked-new", "new", false,
-             "naked new; route ownership through std::make_unique or a "
-             "container (a deliberate leaky singleton carries an inline "
-             "allow)");
+    // Custom loop rather than ban_word: `#include <new>` (for catching
+    // std::bad_alloc) names the header, not the operator, and must not
+    // fire.
+    for (std::size_t li = 0; li < view.code.size(); ++li) {
+      const std::string& line = view.code[li];
+      const std::size_t first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line[first] == '#') continue;
+      for ([[maybe_unused]] std::size_t pos : find_word(line, "new")) {
+        report("naked-new", li,
+               "naked new; route ownership through std::make_unique or a "
+               "container (a deliberate leaky singleton carries an inline "
+               "allow)");
+      }
+    }
   }
 
   void rule_legacy_scan_entry() {
