@@ -1,0 +1,139 @@
+// Signature-carve throughput vs dump size.
+//
+// The carve view (kernel/carve.h) sweeps every byte of the crash dump
+// for process-record signatures, so its cost scales with the dump image
+// — not with the process count the traversal views pay for. This bench
+// measures sweep throughput at workers 1/2/8 over three dump sizes and
+// asserts, per row, that the parallel carve is byte-identical to the
+// serial one (same records, same offsets, same stats): the determinism
+// contract scripts/check.sh enforces.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "kernel/carve.h"
+#include "kernel/dump.h"
+#include "machine/machine.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace gb;
+
+/// A dump image whose size is driven by the live process count.
+std::vector<std::byte> dump_with_processes(int extra_processes) {
+  machine::MachineConfig cfg;
+  cfg.synthetic_files = 50;
+  cfg.synthetic_registry_keys = 20;
+  machine::Machine m(cfg);
+  for (int i = 0; i < extra_processes; ++i) {
+    m.spawn_process("C:\\windows\\system32\\svc" + std::to_string(i) + ".exe");
+  }
+  return kernel::write_dump(m.kernel());
+}
+
+/// Canonical text form of a carve result, for byte-identity compares.
+std::string fingerprint(const kernel::CarveResult& r) {
+  std::string out;
+  for (const auto& p : r.processes) {
+    out += std::to_string(p.offset) + ":" + std::to_string(p.image.pid) + ":" +
+           p.image.image_name + ":" + (p.referenced ? "r" : "o") + "\n";
+  }
+  out += "recovered=" + std::to_string(r.stats.recovered) +
+         " rejected=" + std::to_string(r.stats.rejected) +
+         " candidates=" + std::to_string(r.stats.candidates) +
+         " bytes=" + std::to_string(r.stats.bytes_swept);
+  return out;
+}
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_table(const std::string& json_path) {
+  bench::heading("Signature carve - sweep throughput vs dump size");
+  std::printf("%-11s %-12s %-9s %-12s %-11s %s\n", "processes", "dump (KiB)",
+              "workers", "sweep (s)", "MiB/s", "report");
+
+  std::string rows;
+  for (const int procs : {64, 1024, 8192}) {
+    const auto image = dump_with_processes(procs);
+    const auto serial = kernel::carve_dump(image);
+    if (!serial.ok()) {
+      std::fprintf(stderr, "serial carve failed: %s\n",
+                   serial.status().to_string().c_str());
+      return;
+    }
+    const std::string want = fingerprint(*serial);
+
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      support::ThreadPool pool(workers);
+      double best = 1e9;
+      bool identical = true;
+      for (int rep = 0; rep < 3; ++rep) {
+        support::StatusOr<kernel::CarveResult> carved =
+            support::Status::internal("unset");
+        const double s =
+            seconds_of([&] { carved = kernel::carve_dump(image, &pool); });
+        if (s < best) best = s;
+        identical =
+            identical && carved.ok() && fingerprint(*carved) == want;
+      }
+      const double mib = static_cast<double>(image.size()) / (1024.0 * 1024.0);
+      std::printf("%-11d %-12zu %-9zu %-12.5f %-11.1f %s\n", procs,
+                  image.size() / 1024, workers, best, mib / best,
+                  identical ? "byte-identical" : "MISMATCH");
+
+      if (!rows.empty()) rows += ",";
+      rows += "{\"processes\":" + std::to_string(procs) +
+              ",\"dump_bytes\":" + std::to_string(image.size()) +
+              ",\"workers\":" + std::to_string(workers) +
+              ",\"seconds\":" + std::to_string(best) +
+              ",\"mib_per_second\":" + std::to_string(mib / best) +
+              ",\"byte_identical\":" + (identical ? "true" : "false") + "}";
+    }
+  }
+  std::printf(
+      "\n(sweep = full-image signature scan, chunked across the pool;"
+      "\n byte-identical = parallel result matches the serial carve.)\n");
+
+  if (!json_path.empty()) {
+    const std::string payload =
+        "{\"bench\":\"bench_carve\",\"rows\":[" + rows + "]}";
+    if (bench::write_json_file(json_path, payload)) {
+      std::printf("json results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+  }
+}
+
+void BM_CarveDump(benchmark::State& state) {
+  // Arg = worker count; the image is the 1024-process dump.
+  const auto image = dump_with_processes(1024);
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  support::ThreadPool pool(workers);
+  for (auto _ : state) {
+    auto carved = kernel::carve_dump(image, workers == 1 ? nullptr : &pool);
+    benchmark::DoNotOptimize(carved);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_CarveDump)->Arg(1)->Arg(2)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = gb::bench::take_json_flag(argc, argv);
+  print_table(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -6,14 +6,20 @@
 // VM down, scan the .img from the host).
 //
 //   ghostbuster_cli [--infect name[,name...]] [--mode inside|injected|outside]
-//                   [--advanced] [--ads] [--attribute] [--remove]
+//                   [--advanced] [--carve|--no-carve] [--ads] [--attribute]
+//                   [--remove]
 //                   [--json [FILE]] [--save-image FILE | --scan-image FILE]
 //                   [--seed N] [--fleet N [--workers N]] [--rescan N]
 //                   [--metrics [FILE]] [--trace FILE] [--corrupt-hive]
 //                   [--diff-reports A.json B.json]
 //
-//   --json emits the schema-v2.4 machine-readable report on stdout, or
+//   --json emits the schema-v2.5 machine-readable report on stdout, or
 //   into FILE when one is given (for SIEM/automation pipelines).
+//
+//   --carve / --no-carve control the signature-carving process view.
+//   The default carves the blue-screen dump during outside scans only;
+//   --carve additionally sweeps live kernel memory during inside scans,
+//   --no-carve disables the view entirely.
 //
 //   --rescan N (inside mode) scans through an incremental ScanSession:
 //   the first scan primes the snapshot store, then N re-scans splice
@@ -38,15 +44,16 @@
 //   --fleet N scans N desktops (every third one infected from the
 //   file-hiding catalogue) through the ScanScheduler: tenants corp /
 //   branch / lab share --workers pool slots under weighted fair queuing.
-//   With --json the output is one envelope: {"schema_version":"2.4",
+//   With --json the output is one envelope: {"schema_version":"2.5",
 //   "fleet":[report...],"stats":{...}}.
 //
 //   names: urbin mersting vanquish aphex hackerdefender probotse
-//          hidefiles berbew fu adsstasher indexghost
+//          hidefiles berbew fu doublefu adsstasher indexghost
 //
 // Examples:
 //   ghostbuster_cli --infect hackerdefender,fu --advanced --attribute
 //   ghostbuster_cli --infect hackerdefender --mode outside
+//   ghostbuster_cli --infect doublefu --mode outside --advanced
 //   ghostbuster_cli --infect adsstasher --ads
 //   ghostbuster_cli --infect vanquish --save-image /tmp/infected.img
 //   ghostbuster_cli --scan-image /tmp/infected.img
@@ -67,6 +74,7 @@
 #include "core/scan_scheduler.h"
 #include "core/removal.h"
 #include "malware/ads_stasher.h"
+#include "malware/doublefu.h"
 #include "malware/indexghost.h"
 #include "malware/collection.h"
 #include "obs/metrics.h"
@@ -99,6 +107,13 @@ std::shared_ptr<malware::Ghostware> infect(machine::Machine& m,
         m.spawn_process("C:\\windows\\system32\\svch0st.exe").pid();
     fu->hide_process(m, victim);
     return fu;
+  }
+  if (name == "doublefu") {
+    auto fu2 = install_ghostware<DoubleFu>(m);
+    const auto victim =
+        m.spawn_process("C:\\windows\\system32\\svch1st.exe").pid();
+    fu2->hide_process(m, victim);
+    return fu2;
   }
   std::fprintf(stderr, "unknown ghostware: %s\n", name.c_str());
   std::exit(2);
@@ -161,6 +176,7 @@ int main(int argc, char** argv) {
   std::string mode = "inside";
   std::string save_image, scan_image;
   bool advanced = false, ads = false, attribute = false, remove = false;
+  core::CarveMode carve = core::CarveMode::kOutsideOnly;
   bool json = false;
   std::string json_path;
   bool metrics = false;
@@ -185,6 +201,8 @@ int main(int argc, char** argv) {
     if (arg == "--infect") infections = split_csv(need_value());
     else if (arg == "--mode") mode = need_value();
     else if (arg == "--advanced") advanced = true;
+    else if (arg == "--carve") carve = core::CarveMode::kOn;
+    else if (arg == "--no-carve") carve = core::CarveMode::kOff;
     else if (arg == "--ads") ads = true;
     else if (arg == "--attribute") attribute = true;
     else if (arg == "--remove") remove = true;
@@ -326,6 +344,7 @@ int main(int argc, char** argv) {
       spec.tenant = b.tenant;
       spec.kind = kind;
       spec.config.processes.scheduler_view = advanced;
+      spec.config.processes.carve = carve;
       b.job = sched.submit(std::move(spec)).value();
     }
     sched.wait_idle();
@@ -338,7 +357,7 @@ int main(int argc, char** argv) {
       if (result.ok() && result.value().infection_detected()) ++detected;
     }
     if (json) {
-      std::string payload = "{\"schema_version\":\"2.4\",\"fleet\":[";
+      std::string payload = "{\"schema_version\":\"2.5\",\"fleet\":[";
       bool first = true;
       for (auto& b : fleet) {
         if (!first) payload += ",";
@@ -393,6 +412,7 @@ int main(int argc, char** argv) {
 
   core::ScanConfig scan_cfg;
   scan_cfg.processes.scheduler_view = advanced;
+  scan_cfg.processes.carve = carve;
   if (corrupt_hive) {
     // Flush once so the backing file is current, smash the REGF magic,
     // and keep the engine from re-flushing a good copy over it. The

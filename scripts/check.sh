@@ -46,4 +46,12 @@ if grep -q '"byte_identical":false' "${BUILD_DIR}/bench_incremental.json"; then
   exit 1
 fi
 
+echo "== bench_carve smoke (table only; asserts parallel-sweep byte-identity)"
+"${BUILD_DIR}/bench/bench_carve" \
+  --json "${BUILD_DIR}/bench_carve.json" --benchmark_filter='^$'
+if grep -q '"byte_identical":false' "${BUILD_DIR}/bench_carve.json"; then
+  echo "bench_carve: parallel carve diverged from the serial sweep" >&2
+  exit 1
+fi
+
 echo "== check.sh: all green"

@@ -1,5 +1,6 @@
 #include "core/ads_scan.h"
 
+#include "core/resource_scanner.h"
 #include "ntfs/mft_scanner.h"
 #include "support/strings.h"
 
@@ -30,11 +31,21 @@ DiffReport ads_scan(disk::SectorDevice& dev,
       Finding finding;
       finding.resource = Resource{file_key(full), printable(full)};
       finding.type = ResourceType::kFile;
-      finding.found_in = report.low_view;
-      finding.missing_from = report.high_view;
+      finding.found_in = {"mft-ads"};
+      finding.missing_from = {kApiViewId};
       report.hidden.push_back(std::move(finding));
     }
   }
+  ViewSummary api;
+  api.id = kApiViewId;
+  api.name = report.high_view;
+  api.trust = TrustLevel::kApiView;
+  ViewSummary low;
+  low.id = "mft-ads";
+  low.name = report.low_view;
+  low.trust = report.low_trust;
+  low.count = report.low_count;
+  report.views = {std::move(api), std::move(low)};
   return report;
 }
 

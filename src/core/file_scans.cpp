@@ -1,5 +1,6 @@
 #include "core/file_scans.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "core/scan_session.h"
@@ -107,6 +108,57 @@ support::StatusOr<ScanResult> spliced_low_level_file_scan(
   // batched probe/re-read I/O the scanner would have issued.
   out.work.records_visited = s.store.mft.record_capacity();
   const disk::IoStats io = s.store.mft.simulate_scan_io(batch_records);
+  out.work.bytes_read = io.bytes_read();
+  out.work.seeks = io.seeks;
+  out.normalize();
+  return out;
+}
+
+support::StatusOr<ScanResult> index_file_scan(machine::Machine& m,
+                                              support::ThreadPool* pool,
+                                              std::uint32_t batch_records) {
+  ScanResult out;
+  out.view_name = "raw directory-index walk";
+  out.type = ResourceType::kFile;
+  out.trust = TrustLevel::kTruthApproximation;
+
+  auto opened = ntfs::MftScanner::open(m.disk());
+  if (!opened.ok()) return opened.status();
+  ntfs::MftScanner& scanner = *opened;
+  // Index-visible = full listing minus records no directory index
+  // references — plus everything beneath an unindexed directory, which
+  // no index chain can reach either.
+  const auto orphans = scanner.index_orphans(pool, batch_records);
+  std::vector<std::uint64_t> orphan_records;
+  std::vector<std::string> orphan_subtrees;
+  for (const auto& o : orphans) {
+    orphan_records.push_back(o.record);
+    if (o.is_directory) orphan_subtrees.push_back(o.path + "\\");
+  }
+  std::sort(orphan_records.begin(), orphan_records.end());
+
+  for (const auto& f : scanner.scan(pool, batch_records)) {
+    if (f.is_system) continue;
+    if (std::binary_search(orphan_records.begin(), orphan_records.end(),
+                           f.record)) {
+      continue;
+    }
+    bool unreachable = false;
+    for (const auto& prefix : orphan_subtrees) {
+      if (f.path.starts_with(prefix)) {
+        unreachable = true;
+        break;
+      }
+    }
+    if (unreachable) continue;
+    const std::string full = "C:\\" + f.path;
+    out.resources.push_back(Resource{file_key(full), printable(full)});
+  }
+  // Two record passes (index collection + the listing walk), charged the
+  // same way as the low scan; I/O stats come from the listing walk, the
+  // last scan() this scanner ran.
+  out.work.records_visited = 2ull * scanner.record_capacity();
+  const auto& io = scanner.last_scan_stats();
   out.work.bytes_read = io.bytes_read();
   out.work.seeks = io.seeks;
   out.normalize();

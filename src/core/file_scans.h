@@ -55,6 +55,18 @@ struct SessionState;  // core/scan_session.h
     machine::Machine& m, internal::SessionState& s,
     std::uint32_t batch_records = 0);
 
+/// The directory-index view: what a raw walk of the on-disk directory
+/// indexes ($I30 equivalents) can reach. A live MFT record whose parent
+/// index does not list it — data-only hiding via index unlinking — is
+/// absent here but present in the raw MFT scan, so the matrix diff
+/// pinpoints the lie to the index layer. Built from the same corrupt-
+/// tolerant MftScanner primitives as the low scan (a trashed unrelated
+/// record degrades neither view); batch boundaries depend only on
+/// `batch_records`, never on the worker count.
+[[nodiscard]] support::StatusOr<ScanResult> index_file_scan(
+    machine::Machine& m, support::ThreadPool* pool = nullptr,
+    std::uint32_t batch_records = 0);
+
 /// Clean-boot scan of a (typically powered-off) disk: fresh volume mount,
 /// full native enumeration — no ghostware code is running.
 [[nodiscard]] support::StatusOr<ScanResult> outside_file_scan(disk::SectorDevice& dev);

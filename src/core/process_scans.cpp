@@ -1,5 +1,6 @@
 #include "core/process_scans.h"
 
+#include "kernel/carve.h"
 #include "support/strings.h"
 
 namespace gb::core {
@@ -72,6 +73,48 @@ support::StatusOr<ScanResult> dump_process_scan(
   out.type = ResourceType::kProcess;
   out.trust = TrustLevel::kTruth;
   from_infos(dump.thread_view(), out);
+  return out;
+}
+
+support::StatusOr<ScanResult> carve_process_scan(
+    std::span<const std::byte> dump_bytes, bool live,
+    support::ThreadPool* pool, std::uint32_t chunk_bytes,
+    obs::MetricsRegistry* metrics) {
+  auto carved = kernel::carve_dump(dump_bytes, pool, chunk_bytes);
+  if (metrics != nullptr) {
+    metrics->counter("gb_carve_runs_total", {{"mode", live ? "live" : "dump"}})
+        .inc();
+    if (carved.ok()) {
+      metrics->counter("gb_carve_bytes_swept_total")
+          .add(static_cast<double>(carved->stats.bytes_swept));
+      metrics->counter("gb_carve_candidates_total")
+          .add(static_cast<double>(carved->stats.candidates));
+      metrics->counter("gb_carve_recovered_total")
+          .add(static_cast<double>(carved->stats.recovered));
+      metrics->counter("gb_carve_rejected_total")
+          .add(static_cast<double>(carved->stats.rejected));
+      metrics->counter("gb_carve_orphans_total")
+          .add(static_cast<double>(carved->orphan_count()));
+    } else {
+      metrics->counter("gb_carve_failures_total").inc();
+    }
+  }
+  if (!carved.ok()) return carved.status();
+
+  ScanResult out;
+  out.view_name = live ? "signature carve of kernel memory"
+                       : "signature carve of crash dump";
+  out.type = ResourceType::kProcess;
+  out.trust = live ? TrustLevel::kTruthApproximation : TrustLevel::kTruth;
+  for (const auto& p : carved->processes) {
+    out.resources.push_back(
+        Resource{process_key(p.image.pid, p.image.image_name),
+                 "pid " + std::to_string(p.image.pid) + " " +
+                     printable(p.image.image_name)});
+  }
+  out.work.records_visited = carved->stats.recovered;
+  out.work.bytes_read = carved->stats.bytes_swept;
+  out.normalize();
   return out;
 }
 

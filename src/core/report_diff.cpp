@@ -221,6 +221,20 @@ std::string field_str(const JsonValue& obj, const std::string& name) {
                                                                : std::string();
 }
 
+/// Joins a "found_in"/"missing_from" view-id array (schema v2.5) into
+/// one printable token; empty when the field is absent (older schemas)
+/// or not an array.
+std::string join_ids(const JsonValue* arr) {
+  if (arr == nullptr || arr->kind != JsonValue::Kind::kArray) return {};
+  std::string out;
+  for (const JsonValue& v : arr->items) {
+    if (v.kind != JsonValue::Kind::kString) continue;
+    if (!out.empty()) out += "+";
+    out += v.str;
+  }
+  return out;
+}
+
 /// (type, key) -> finding. Ordered map: the delta lists entries in the
 /// same type-then-key order regardless of input report layout.
 using HiddenMap = std::map<std::pair<std::string, std::string>, Hidden>;
@@ -255,6 +269,13 @@ support::StatusOr<std::pair<std::string, HiddenMap>> extract_hidden(
     for (const JsonValue& h : hidden->items) {
       if (h.kind != JsonValue::Kind::kObject) continue;
       Hidden entry{type, field_str(h, "display"), low_view, high_view};
+      // Schema v2.5 carries per-finding view-id sets; prefer those over
+      // the per-diff pairwise projection (the only provenance v2.4 and
+      // earlier reports have).
+      const std::string in = join_ids(h.field("found_in"));
+      const std::string from = join_ids(h.field("missing_from"));
+      if (!in.empty()) entry.found_in = in;
+      if (!from.empty()) entry.missing_from = from;
       out.insert_or_assign({type, field_str(h, "key")}, std::move(entry));
     }
   }

@@ -4,10 +4,29 @@
 #include "core/process_scans.h"
 #include "core/registry_scans.h"
 #include "core/scan_engine.h"
+#include "obs/metrics.h"
 
 namespace gb::core {
 
 namespace {
+
+/// Registry the carve view records its gb_carve_* counters in — the same
+/// resolution the engine uses for its own telemetry (null = collection
+/// off; counters never feed back into report bytes).
+obs::MetricsRegistry* carve_registry(const ScanConfig& cfg) {
+  if (!cfg.collect_metrics) return nullptr;
+  return cfg.metrics != nullptr ? cfg.metrics : &obs::default_registry();
+}
+
+/// Shared absence handling for views that read captured evidence: a
+/// failed dump capture surfaces its own cause; a capture that never took
+/// a dump is an unavailability.
+support::Status missing_dump(const OutsideSources& src,
+                             const char* what_unavailable) {
+  if (!src.dump_status.ok()) return src.dump_status;
+  return support::Status::unavailable(std::string("no kernel dump in capture: ") +
+                                      what_unavailable);
+}
 
 class FileScanner final : public ResourceScanner {
  public:
@@ -18,19 +37,34 @@ class FileScanner final : public ResourceScanner {
     return high_level_file_scan(t.machine, ctx, t.pool);
   }
 
-  support::StatusOr<ScanResult> low_scan(
-      const ScanTaskContext& t) const override {
-    if (t.session) {
-      return spliced_low_level_file_scan(t.machine, *t.session,
-                                         t.config.files.mft_batch_records);
+  std::vector<ViewDef> trusted_views(ScanPhase phase,
+                                     const ScanConfig& cfg) const override {
+    if (phase == ScanPhase::kOutside) {
+      // The clean-boot view stays enumeration-based on purpose: it
+      // models what a WinPE boot can see, so index-unlinked files stay
+      // invisible to it and only the raw views expose them.
+      return {ViewDef{"disk", TrustLevel::kTruth, false,
+                      [](const ScanTaskContext&, const OutsideSources* src) {
+                        return outside_file_scan(src->disk);
+                      }}};
     }
-    return low_level_file_scan(t.machine, t.pool,
-                               t.config.files.mft_batch_records);
-  }
-
-  support::StatusOr<ScanResult> outside_scan(
-      const ScanTaskContext&, const OutsideSources& src) const override {
-    return outside_file_scan(src.disk);
+    const std::uint32_t batch = cfg.files.mft_batch_records;
+    std::vector<ViewDef> views;
+    views.push_back(
+        ViewDef{"index", TrustLevel::kTruthApproximation, false,
+                [batch](const ScanTaskContext& t, const OutsideSources*) {
+                  return index_file_scan(t.machine, t.pool, batch);
+                }});
+    views.push_back(
+        ViewDef{"mft", TrustLevel::kTruthApproximation, false,
+                [batch](const ScanTaskContext& t, const OutsideSources*) {
+                  if (t.session != nullptr) {
+                    return spliced_low_level_file_scan(t.machine, *t.session,
+                                                       batch);
+                  }
+                  return low_level_file_scan(t.machine, t.pool, batch);
+                }});
+    return views;
   }
 };
 
@@ -43,19 +77,25 @@ class AsepScanner final : public ResourceScanner {
     return high_level_registry_scan(t.machine, ctx);
   }
 
-  support::StatusOr<ScanResult> low_scan(
-      const ScanTaskContext& t) const override {
+  std::vector<ViewDef> trusted_views(ScanPhase phase,
+                                     const ScanConfig&) const override {
+    if (phase == ScanPhase::kOutside) {
+      return {ViewDef{"hive", TrustLevel::kTruth, false,
+                      [](const ScanTaskContext& t, const OutsideSources* src) {
+                        return outside_registry_scan(src->disk, t.pool);
+                      }}};
+    }
     // The engine flushed the hives (or was told not to) before any task
     // started; never flush from inside a concurrent task.
-    if (t.session) {
-      return spliced_low_level_registry_scan(t.machine, *t.session, t.pool);
-    }
-    return low_level_registry_scan(t.machine, t.pool, /*flush_hives=*/false);
-  }
-
-  support::StatusOr<ScanResult> outside_scan(
-      const ScanTaskContext& t, const OutsideSources& src) const override {
-    return outside_registry_scan(src.disk, t.pool);
+    return {ViewDef{"hive", TrustLevel::kTruthApproximation, false,
+                    [](const ScanTaskContext& t, const OutsideSources*) {
+                      if (t.session != nullptr) {
+                        return spliced_low_level_registry_scan(
+                            t.machine, *t.session, t.pool);
+                      }
+                      return low_level_registry_scan(t.machine, t.pool,
+                                                     /*flush_hives=*/false);
+                    }}};
   }
 };
 
@@ -68,23 +108,63 @@ class ProcessScanner final : public ResourceScanner {
     return high_level_process_scan(t.machine, ctx);
   }
 
-  support::StatusOr<ScanResult> low_scan(
-      const ScanTaskContext& t) const override {
-    return t.config.processes.scheduler_view
-               ? advanced_process_scan(t.machine)
-               : low_level_process_scan(t.machine);
-  }
-
-  support::StatusOr<ScanResult> outside_scan(
-      const ScanTaskContext&, const OutsideSources& src) const override {
-    if (!src.dump) {
-      return support::Status::unavailable(
-          "no kernel dump in capture: process truth unavailable");
+  std::vector<ViewDef> trusted_views(ScanPhase phase,
+                                     const ScanConfig& cfg) const override {
+    const std::uint32_t chunk = cfg.processes.carve_chunk_bytes;
+    std::vector<ViewDef> views;
+    if (phase == ScanPhase::kOutside) {
+      views.push_back(
+          ViewDef{"threads", TrustLevel::kTruth, true,
+                  [](const ScanTaskContext&, const OutsideSources* src) {
+                    if (src->dump == nullptr) {
+                      return support::StatusOr<ScanResult>(
+                          missing_dump(*src, "process truth unavailable"));
+                    }
+                    return dump_process_scan(*src->dump);
+                  }});
+      if (cfg.processes.carve != CarveMode::kOff) {
+        // Runs on the raw bytes, not the parsed dump: a scrub that
+        // breaks the parse (or merely unlinks records) does not reach
+        // the bytes this sweep reads.
+        views.push_back(ViewDef{
+            "carve", TrustLevel::kTruth, true,
+            [chunk](const ScanTaskContext& t, const OutsideSources* src) {
+              if (src->dump_bytes.empty()) {
+                return support::StatusOr<ScanResult>(
+                    missing_dump(*src, "nothing to carve"));
+              }
+              return carve_process_scan(src->dump_bytes, /*live=*/false,
+                                        t.pool, chunk,
+                                        carve_registry(t.config));
+            }});
+      }
+      return views;
     }
-    return dump_process_scan(*src.dump);
+    views.push_back(
+        ViewDef{"active-list", TrustLevel::kTruthApproximation, false,
+                [](const ScanTaskContext& t, const OutsideSources*) {
+                  return low_level_process_scan(t.machine);
+                }});
+    if (cfg.processes.scheduler_view) {
+      views.push_back(
+          ViewDef{"threads", TrustLevel::kTruthApproximation, false,
+                  [](const ScanTaskContext& t, const OutsideSources*) {
+                    return advanced_process_scan(t.machine);
+                  }});
+    }
+    if (cfg.processes.carve == CarveMode::kOn) {
+      views.push_back(ViewDef{
+          "carve", TrustLevel::kTruthApproximation, false,
+          [chunk](const ScanTaskContext& t, const OutsideSources*) {
+            // Live-memory sweep: serialize the kernel's memory image
+            // directly (no blue screen, no scrubber hooks run).
+            const auto image = kernel::write_dump(t.machine.kernel());
+            return carve_process_scan(image, /*live=*/true, t.pool, chunk,
+                                      carve_registry(t.config));
+          }});
+    }
+    return views;
   }
-
-  bool needs_dump() const override { return true; }
 };
 
 class ModuleScanner final : public ResourceScanner {
@@ -96,29 +176,30 @@ class ModuleScanner final : public ResourceScanner {
     return high_level_module_scan(t.machine, ctx);
   }
 
-  support::StatusOr<ScanResult> low_scan(
-      const ScanTaskContext& t) const override {
-    return low_level_module_scan(t.machine);
-  }
-
-  support::StatusOr<ScanResult> outside_scan(
-      const ScanTaskContext&, const OutsideSources& src) const override {
-    if (!src.dump) {
-      return support::Status::unavailable(
-          "no kernel dump in capture: module truth unavailable");
+  std::vector<ViewDef> trusted_views(ScanPhase phase,
+                                     const ScanConfig&) const override {
+    if (phase == ScanPhase::kOutside) {
+      return {ViewDef{"dump", TrustLevel::kTruth, true,
+                      [](const ScanTaskContext&, const OutsideSources* src) {
+                        if (src->dump == nullptr) {
+                          return support::StatusOr<ScanResult>(
+                              missing_dump(*src, "module truth unavailable"));
+                        }
+                        return dump_module_scan(*src->dump);
+                      }}};
     }
-    return dump_module_scan(*src.dump);
+    return {ViewDef{"kernel", TrustLevel::kTruthApproximation, false,
+                    [](const ScanTaskContext& t, const OutsideSources*) {
+                      return low_level_module_scan(t.machine);
+                    }}};
   }
-
-  bool needs_dump() const override { return true; }
 };
 
 }  // namespace
 
 DiffReport ResourceScanner::diff(const ScanTaskContext& t,
-                                 const ScanResult& high,
-                                 const ScanResult& low) const {
-  return cross_view_diff(high, low, t.pool);
+                                 const std::vector<ViewInput>& views) const {
+  return cross_view_matrix_diff(type(), views, t.pool);
 }
 
 std::vector<std::unique_ptr<ResourceScanner>> default_scanners(

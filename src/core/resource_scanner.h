@@ -1,20 +1,35 @@
 // ResourceScanner: the uniform provider interface behind ScanEngine.
 //
 // Each scan family (files, ASEP hooks, processes, modules) supplies the
-// same three views — the untrusted API view, the trusted low-level view
-// of the live machine, and the clean-environment truth view — plus its
-// diff policy. The engine is then one generic task graph over registered
-// providers: it knows nothing about resource types beyond this
-// interface, so future passes (deleted-MFT sweep, ADS sweep, a second
-// dump traversal) plug in by registering a provider rather than by
-// growing per-type switches.
+// untrusted API view plus an *ordered list* of trusted views — per scan
+// phase — and its diff policy. The engine is then one generic task graph
+// over registered providers and their registered views: it knows nothing
+// about resource types beyond this interface, so future views (deleted-
+// MFT sweep, ADS sweep, a second dump traversal) plug in by registering
+// a ViewDef rather than by growing per-type switches.
 //
-// Every view returns StatusOr<ScanResult>: a failed scan degrades that
-// provider's diff (DiffReport::status) instead of aborting the session.
+// Registered trusted views per family:
+//
+//   files     live:    index (directory-index walk), mft (raw MFT scan)
+//             outside: disk  (WinPE clean-boot enumeration)
+//   aseps     live:    hive  (low-level hive parse)
+//             outside: hive  (hive files on the powered-off disk)
+//   processes live:    active-list [, threads] [, carve]
+//             outside: threads (dump traversal), carve (signature sweep
+//                      of the raw dump bytes — works even when the dump
+//                      no longer parses)
+//   modules   live:    kernel (module-truth walk)
+//             outside: dump   (module lists from the parsed dump)
+//
+// Every view returns StatusOr<ScanResult>: a failed view degrades that
+// provider's diff (DiffReport::status) per-view instead of aborting the
+// session — the surviving views still produce findings.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/differ.h"
@@ -45,16 +60,44 @@ struct ScanTaskContext {
   internal::SessionState* session = nullptr;
 };
 
-/// Inputs available to the outside-the-box (clean environment) scan:
-/// the powered-off disk, and the parsed blue-screen dump when the
-/// capture produced one.
+/// Inputs available to the outside-the-box (clean environment) views:
+/// the powered-off disk, the parsed blue-screen dump when the capture
+/// produced one, and the dump's *raw bytes* — kept even when parsing
+/// failed, so the signature carve can still sweep a scrubbed image.
 struct OutsideSources {
   disk::SectorDevice& disk;
   const kernel::KernelDump* dump = nullptr;
+  std::span<const std::byte> dump_bytes;
+  /// Why `dump` is absent/unparsed when the capture wanted one; OK when
+  /// the dump parsed or no view needed it.
+  support::Status dump_status;
 };
+
+/// Which task graph a view list is being assembled for: views of the
+/// live machine (inside/injected scans) or of the captured evidence
+/// (outside-the-box diff).
+enum class ScanPhase { kLive, kOutside };
 
 class ResourceScanner {
  public:
+  /// One registered trusted view. `id` is the short stable identifier
+  /// findings reference in found_in/missing_from (the API view is always
+  /// "api"); views run in registration order for report purposes but
+  /// execute concurrently.
+  struct ViewDef {
+    std::string id;
+    TrustLevel trust = TrustLevel::kTruthApproximation;
+    /// Outside views only: the engine induces the blue-screen dump when
+    /// any registered outside view asks for it.
+    bool needs_dump = false;
+    /// Runs the view. `src` is null in the live phase. Views that need
+    /// capture evidence handle its absence themselves (returning the
+    /// capture's dump_status, or kUnavailable when nothing was captured).
+    std::function<support::StatusOr<ScanResult>(const ScanTaskContext&,
+                                                const OutsideSources* src)>
+        run;
+  };
+
   virtual ~ResourceScanner() = default;
 
   [[nodiscard]] virtual ResourceType type() const = 0;
@@ -63,29 +106,26 @@ class ResourceScanner {
   [[nodiscard]] virtual support::StatusOr<ScanResult> high_scan(
       const ScanTaskContext& t, const winapi::Ctx& ctx) const = 0;
 
-  /// The trusted low-level view of the live machine.
-  [[nodiscard]] virtual support::StatusOr<ScanResult> low_scan(
-      const ScanTaskContext& t) const = 0;
+  /// The ordered trusted views for `phase` under `cfg`'s policies. The
+  /// engine runs every returned view as its own task and feeds all
+  /// outcomes — completed or failed — to diff().
+  [[nodiscard]] virtual std::vector<ViewDef> trusted_views(
+      ScanPhase phase, const ScanConfig& cfg) const = 0;
 
-  /// The clean-environment truth view. Providers whose truth lives in
-  /// the dump return kUnavailable when `src.dump` is null.
-  [[nodiscard]] virtual support::StatusOr<ScanResult> outside_scan(
-      const ScanTaskContext& t, const OutsideSources& src) const = 0;
-
-  /// Whether the outside view needs the blue-screen kernel dump (the
-  /// engine only induces the crash when some provider does).
-  [[nodiscard]] virtual bool needs_dump() const { return false; }
-
-  /// Diff policy: how this provider's two views compare. The default is
-  /// the hash-sharded cross-view diff under the ShardPlan cost model.
-  [[nodiscard]] virtual DiffReport diff(const ScanTaskContext& t,
-                                        const ScanResult& high,
-                                        const ScanResult& low) const;
+  /// Diff policy over the assembled view matrix (views[0] is the API
+  /// view). The default is the hash-sharded N-view matrix diff under the
+  /// ShardPlan cost model.
+  [[nodiscard]] virtual DiffReport diff(
+      const ScanTaskContext& t, const std::vector<ViewInput>& views) const;
 };
 
 /// The four built-in scan families, in fixed report order (files, ASEPs,
 /// processes, modules), filtered by `mask`.
 std::vector<std::unique_ptr<ResourceScanner>> default_scanners(
     ResourceMask mask);
+
+/// The view id the engine assigns the untrusted API view in every
+/// matrix diff.
+inline constexpr const char* kApiViewId = "api";
 
 }  // namespace gb::core

@@ -32,6 +32,18 @@ void json_escape(std::ostringstream& os, std::string_view s) {
   os << json_quote(s);
 }
 
+void json_id_array(std::ostringstream& os,
+                   const std::vector<std::string>& ids) {
+  os << '[';
+  bool first = true;
+  for (const auto& id : ids) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, id);
+  }
+  os << ']';
+}
+
 /// Runs one provider view, converting any stray exception into an
 /// internal-error Status: a buggy provider degrades its own diff, it
 /// does not take down the worker or the session.
@@ -44,38 +56,43 @@ support::StatusOr<ScanResult> guarded_scan(F&& f) {
   }
 }
 
-/// Builds the diff for one provider from its two view outcomes. Both OK
-/// runs the provider's diff policy; any failure yields a degraded
-/// placeholder carrying the failing view's status (the low/trusted
-/// view's error wins when both failed — it is the one that decides
-/// detection).
+/// One executed view in an engine task graph: its identity plus the
+/// outcome and the wall time the task took.
+struct ViewOutcome {
+  std::string id;
+  TrustLevel trust = TrustLevel::kTruthApproximation;
+  support::StatusOr<ScanResult> result;
+  double wall = 0;
+};
+
+/// A (non-owning) view handed to the provider's diff policy.
+struct ViewRef {
+  std::string id;
+  TrustLevel trust = TrustLevel::kTruthApproximation;
+  const support::StatusOr<ScanResult>* result = nullptr;
+};
+
+/// Builds one provider's diff from all its view outcomes (refs[0] is
+/// the API view). Failed views pass through as failed ViewInputs — the
+/// matrix differ degrades per-view, so the surviving views still yield
+/// findings. Simulated time charges the work of every completed view.
 DiffReport diff_views(const ResourceScanner& scanner,
                       const ScanTaskContext& t,
-                      const support::StatusOr<ScanResult>& high,
-                      const support::StatusOr<ScanResult>& low,
+                      const std::vector<ViewRef>& refs,
                       const machine::MachineProfile& profile) {
   machine::ScanWork work;
-  if (high.ok()) work += high->work;
-  if (low.ok()) work += low->work;
-
-  if (high.ok() && low.ok()) {
-    DiffReport d = scanner.diff(t, *high, *low);
-    d.simulated_seconds = estimate_seconds(profile, work);
-    return d;
+  std::vector<ViewInput> inputs(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    inputs[i].id = refs[i].id;
+    inputs[i].trust = refs[i].trust;
+    if (refs[i].result->ok()) {
+      inputs[i].result = &**refs[i].result;
+      work += (*refs[i].result)->work;
+    } else {
+      inputs[i].status = refs[i].result->status();
+    }
   }
-
-  DiffReport d;
-  d.type = scanner.type();
-  d.high_view = high.ok() ? high->view_name : "(scan failed)";
-  if (high.ok()) d.high_count = high->resources.size();
-  if (low.ok()) {
-    d.low_view = low->view_name;
-    d.low_trust = low->trust;
-    d.low_count = low->resources.size();
-  } else {
-    d.low_view = "(scan failed)";
-  }
-  d.status = low.ok() ? high.status() : low.status();
+  DiffReport d = scanner.diff(t, inputs);
   d.simulated_seconds = estimate_seconds(profile, work);
   return d;
 }
@@ -135,17 +152,32 @@ std::string Report::to_string() const {
     os << "[" << resource_type_name(d.type) << "] " << d.high_view << " ("
        << d.high_count << ") vs " << d.low_view << " (" << d.low_count
        << ", " << trust_level_name(d.low_trust) << ")\n";
+    // The N-view matrix behind the pairwise line above, when there is
+    // more to it than that pair.
+    if (d.views.size() > 2) {
+      for (const auto& v : d.views) {
+        os << "  view " << v.id << ": " << v.name << " (" << v.count << ")";
+        if (v.degraded()) os << " DEGRADED: " << v.status.to_string();
+        os << "\n";
+      }
+    }
     if (d.degraded()) {
       os << "  DEGRADED: " << d.status.to_string() << "\n";
-      continue;
+      if (d.hidden.empty() && d.extra.empty()) continue;
     }
     for (const auto& f : d.hidden) {
-      os << "  HIDDEN: " << f.resource.display << "\n";
+      os << "  HIDDEN: " << f.resource.display;
+      if (!f.found_in.empty()) {
+        os << " [in:";
+        for (const auto& id : f.found_in) os << ' ' << id;
+        os << "]";
+      }
+      os << "\n";
     }
     for (const auto& f : d.extra) {
       os << "  extra-in-api-view: " << f.resource.display << "\n";
     }
-    if (d.clean()) os << "  (no discrepancies)\n";
+    if (!d.degraded() && d.clean()) os << "  (no discrepancies)\n";
   }
   os << (infection_detected() ? ">>> hidden resources detected"
                               : ">>> machine appears clean");
@@ -156,7 +188,7 @@ std::string Report::to_string() const {
 
 std::string Report::to_json() const {
   std::ostringstream os;
-  os << "{\"schema_version\":\"2.4\""
+  os << "{\"schema_version\":\"2.5\""
      << ",\"infected\":" << (infection_detected() ? "true" : "false")
      << ",\"degraded\":" << (degraded() ? "true" : "false")
      << ",\"simulated_seconds\":" << total_simulated_seconds
@@ -205,7 +237,25 @@ std::string Report::to_json() const {
        << ",\"degraded\":" << (d.degraded() ? "true" : "false")
        << ",\"error\":";
     json_escape(os, d.degraded() ? d.status.to_string() : "");
-    os << ",\"high_view\":";
+    os << ",\"views\":[";
+    bool first_view = true;
+    for (const auto& v : d.views) {
+      if (!first_view) os << ',';
+      first_view = false;
+      os << "{\"id\":";
+      json_escape(os, v.id);
+      os << ",\"name\":";
+      json_escape(os, v.name);
+      os << ",\"trust\":";
+      json_escape(os, trust_level_name(v.trust));
+      os << ",\"count\":" << v.count
+         << ",\"status\":" << (v.degraded() ? "\"degraded\"" : "\"ok\"")
+         << ",\"degraded\":" << (v.degraded() ? "true" : "false")
+         << ",\"error\":";
+      json_escape(os, v.degraded() ? v.status.to_string() : "");
+      os << '}';
+    }
+    os << "],\"high_view\":";
     json_escape(os, d.high_view);
     os << ",\"low_view\":";
     json_escape(os, d.low_view);
@@ -223,6 +273,10 @@ std::string Report::to_json() const {
       json_escape(os, f.resource.key);
       os << ",\"display\":";
       json_escape(os, f.resource.display);
+      os << ",\"found_in\":";
+      json_id_array(os, f.found_in);
+      os << ",\"missing_from\":";
+      json_id_array(os, f.missing_from);
       os << '}';
     }
     os << "],\"extra_count\":" << d.extra.size() << '}';
@@ -371,35 +425,53 @@ support::StatusOr<Report> ScanEngine::inside_scan_impl(
   ScanTaskContext tctx = task_context();
   tctx.session = session;
 
-  // Two tasks per provider — the API view and the trusted view run
-  // independently; the file scans fan out further internally.
-  struct Pair {
-    support::StatusOr<ScanResult> high;
-    support::StatusOr<ScanResult> low;
-    double high_wall = 0;
-    double low_wall = 0;
+  // One task per registered view — the API view plus every trusted view
+  // run independently; the file scans fan out further internally.
+  struct Provider {
+    std::vector<ResourceScanner::ViewDef> defs;  // trusted views
+    std::vector<ViewOutcome> outcomes;           // [0] = API, then defs
   };
-  std::vector<Pair> pairs(scanners_.size());
-  ctl.add_total(static_cast<std::uint32_t>(scanners_.size() * 2));
+  std::vector<Provider> providers(scanners_.size());
+  struct TaskRef {
+    std::size_t slot = 0;
+    std::size_t view = 0;
+  };
+  std::vector<TaskRef> tasks;
+  for (std::size_t s = 0; s < scanners_.size(); ++s) {
+    Provider& p = providers[s];
+    p.defs = scanners_[s]->trusted_views(ScanPhase::kLive, cfg_);
+    p.outcomes.resize(1 + p.defs.size());
+    p.outcomes[0].id = kApiViewId;
+    p.outcomes[0].trust = TrustLevel::kApiView;
+    for (std::size_t v = 0; v < p.defs.size(); ++v) {
+      p.outcomes[v + 1].id = p.defs[v].id;
+      p.outcomes[v + 1].trust = p.defs[v].trust;
+    }
+    for (std::size_t v = 0; v < p.outcomes.size(); ++v) {
+      tasks.push_back(TaskRef{s, v});
+    }
+  }
+  ctl.add_total(static_cast<std::uint32_t>(tasks.size()));
   pool_.parallel_for(
-      scanners_.size() * 2,
+      tasks.size(),
       [&](std::size_t i) {
-        const std::size_t slot = i / 2;
-        const ResourceScanner& scanner = *scanners_[slot];
+        const TaskRef task = tasks[i];
+        const ResourceScanner& scanner = *scanners_[task.slot];
+        Provider& p = providers[task.slot];
+        ViewOutcome& out = p.outcomes[task.view];
         auto span = obs::default_tracer().span(
-            std::string("scan.") + resource_type_name(scanner.type()) +
-                (i % 2 == 0 ? ".high" : ".low"),
+            std::string("scan.") + resource_type_name(scanner.type()) + "." +
+                (task.view == 0 ? "high" : out.id),
             "provider");
         const auto start = SteadyClock::now();
-        if (i % 2 == 0) {
-          pairs[slot].high =
+        if (task.view == 0) {
+          out.result =
               guarded_scan([&] { return scanner.high_scan(tctx, ctx); });
-          pairs[slot].high_wall = seconds_since(start);
         } else {
-          pairs[slot].low =
-              guarded_scan([&] { return scanner.low_scan(tctx); });
-          pairs[slot].low_wall = seconds_since(start);
+          const auto& def = p.defs[task.view - 1];
+          out.result = guarded_scan([&] { return def.run(tctx, nullptr); });
         }
+        out.wall = seconds_since(start);
         ctl.add_done();
       },
       ctl.cancel);
@@ -415,17 +487,22 @@ support::StatusOr<Report> ScanEngine::inside_scan_impl(
     if (ctl.cancelled()) {
       return support::Status::cancelled("inside scan cancelled during diff");
     }
-    tally.provider_scans += 2;
-    if (!pairs[s].high.ok()) ++tally.scan_failures;
-    if (!pairs[s].low.ok()) ++tally.scan_failures;
+    Provider& p = providers[s];
+    tally.provider_scans += p.outcomes.size();
+    double wall = 0;
+    std::vector<ViewRef> refs(p.outcomes.size());
+    for (std::size_t v = 0; v < p.outcomes.size(); ++v) {
+      if (!p.outcomes[v].result.ok()) ++tally.scan_failures;
+      wall += p.outcomes[v].wall;
+      refs[v] = ViewRef{p.outcomes[v].id, p.outcomes[v].trust,
+                        &p.outcomes[v].result};
+    }
     auto span = obs::default_tracer().span(
         std::string("diff.") + resource_type_name(scanners_[s]->type()),
         "diff");
     const auto start = SteadyClock::now();
-    DiffReport d = diff_views(*scanners_[s], tctx, pairs[s].high,
-                              pairs[s].low, profile);
-    d.wall_seconds =
-        pairs[s].high_wall + pairs[s].low_wall + seconds_since(start);
+    DiffReport d = diff_views(*scanners_[s], tctx, refs, profile);
+    d.wall_seconds = wall + seconds_since(start);
     report.diffs.push_back(std::move(d));
   }
   if (session != nullptr) report.incremental = session->last;
@@ -458,20 +535,50 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
   // task per (process, provider) job.
   const ScanTaskContext serial_ctx{machine_, nullptr, cfg_};
 
-  // Trusted snapshots, one per provider, taken concurrently.
-  std::vector<support::StatusOr<ScanResult>> lows(scanners_.size());
-  std::vector<double> low_walls(scanners_.size(), 0);
-  ctl.add_total(static_cast<std::uint32_t>(scanners_.size()));
+  // Trusted snapshots — every registered live view of every provider —
+  // taken concurrently.
+  struct Provider {
+    std::vector<ResourceScanner::ViewDef> defs;
+    std::vector<ViewOutcome> trusted;  // parallel to defs
+
+    [[nodiscard]] bool any_ok() const {
+      for (const auto& o : trusted) {
+        if (o.result.ok()) return true;
+      }
+      return false;
+    }
+  };
+  std::vector<Provider> providers(scanners_.size());
+  struct TaskRef {
+    std::size_t slot = 0;
+    std::size_t view = 0;
+  };
+  std::vector<TaskRef> snapshot_tasks;
+  for (std::size_t s = 0; s < scanners_.size(); ++s) {
+    Provider& p = providers[s];
+    p.defs = scanners_[s]->trusted_views(ScanPhase::kLive, cfg_);
+    p.trusted.resize(p.defs.size());
+    for (std::size_t v = 0; v < p.defs.size(); ++v) {
+      p.trusted[v].id = p.defs[v].id;
+      p.trusted[v].trust = p.defs[v].trust;
+      snapshot_tasks.push_back(TaskRef{s, v});
+    }
+  }
+  ctl.add_total(static_cast<std::uint32_t>(snapshot_tasks.size()));
   pool_.parallel_for(
-      scanners_.size(),
-      [&](std::size_t s) {
+      snapshot_tasks.size(),
+      [&](std::size_t i) {
+        const TaskRef task = snapshot_tasks[i];
+        Provider& p = providers[task.slot];
         auto span = obs::default_tracer().span(
-            std::string("scan.") + resource_type_name(scanners_[s]->type()) +
-                ".low",
+            std::string("scan.") +
+                resource_type_name(scanners_[task.slot]->type()) + "." +
+                p.trusted[task.view].id,
             "provider");
         const auto start = SteadyClock::now();
-        lows[s] = guarded_scan([&] { return scanners_[s]->low_scan(tctx); });
-        low_walls[s] = seconds_since(start);
+        p.trusted[task.view].result = guarded_scan(
+            [&] { return p.defs[task.view].run(tctx, nullptr); });
+        p.trusted[task.view].wall = seconds_since(start);
         ctl.add_done();
       },
       ctl.cancel);
@@ -489,9 +596,9 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
   }
 
   // One job per (process, provider): high-level scan from inside that
-  // process, diffed against the trusted snapshot. Jobs run in any order.
-  // Providers whose trusted snapshot failed skip their jobs entirely —
-  // there is nothing sound to diff against.
+  // process, diffed against the trusted snapshots. Jobs run in any
+  // order. Providers with no sound trusted snapshot at all skip their
+  // jobs entirely — there is nothing to diff against.
   struct Job {
     DiffReport diff;
     support::Status status;
@@ -507,7 +614,8 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
         const winapi::Ctx& ctx = ctxs[i / scanners_.size()];
         const std::size_t s = i % scanners_.size();
         ctl.add_done();
-        if (!lows[s].ok()) return;
+        const Provider& p = providers[s];
+        if (!p.any_ok()) return;
         auto span = obs::default_tracer().span(
             std::string("scan.") + resource_type_name(scanners_[s]->type()) +
                 ".injected",
@@ -520,7 +628,20 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
         if (!high.ok()) {
           job.status = high.status();
         } else {
-          job.diff = cross_view_diff(*high, *lows[s]);
+          std::vector<ViewInput> inputs(1 + p.trusted.size());
+          inputs[0].id = kApiViewId;
+          inputs[0].trust = TrustLevel::kApiView;
+          inputs[0].result = &*high;
+          for (std::size_t v = 0; v < p.trusted.size(); ++v) {
+            inputs[v + 1].id = p.trusted[v].id;
+            inputs[v + 1].trust = p.trusted[v].trust;
+            if (p.trusted[v].result.ok()) {
+              inputs[v + 1].result = &*p.trusted[v].result;
+            } else {
+              inputs[v + 1].status = p.trusted[v].result.status();
+            }
+          }
+          job.diff = cross_view_matrix_diff(scanners_[s]->type(), inputs);
           job.high_count = high->resources.size();
           job.work = high->work;
         }
@@ -538,15 +659,49 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
   ScanTally tally;
   const auto& profile = machine_.config().profile;
   for (std::size_t s = 0; s < scanners_.size(); ++s) {
+    Provider& p = providers[s];
     DiffReport d;
     d.type = scanners_[s]->type();
     d.high_view = "injected scans (all processes)";
-    ++tally.provider_scans;  // the trusted snapshot
-    if (!lows[s].ok()) {
-      ++tally.scan_failures;
+
+    tally.provider_scans += p.trusted.size();
+    support::Status first_trusted_failure;
+    double wall = 0;
+    for (const auto& o : p.trusted) {
+      if (!o.result.ok()) {
+        ++tally.scan_failures;
+        if (first_trusted_failure.ok()) {
+          first_trusted_failure = o.result.status();
+        }
+      }
+      wall += o.wall;
+    }
+
+    ViewSummary api;
+    api.id = kApiViewId;
+    api.name = d.high_view;
+    api.trust = TrustLevel::kApiView;
+    d.views.push_back(api);
+    const ViewOutcome* last_ok = nullptr;
+    for (const auto& o : p.trusted) {
+      ViewSummary v;
+      v.id = o.id;
+      v.trust = o.trust;
+      if (o.result.ok()) {
+        v.name = o.result->view_name;
+        v.count = o.result->resources.size();
+        last_ok = &o;
+      } else {
+        v.name = "(scan failed)";
+        v.status = o.result.status();
+      }
+      d.views.push_back(std::move(v));
+    }
+
+    if (!p.any_ok()) {
       d.low_view = "(scan failed)";
-      d.status = lows[s].status();
-      d.wall_seconds = low_walls[s];
+      d.status = first_trusted_failure;
+      d.wall_seconds = wall;
       report.diffs.push_back(std::move(d));
       continue;
     }
@@ -554,7 +709,6 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
     std::map<std::string, Finding> hidden;
     std::size_t high_count_max = 0;
     machine::ScanWork work;
-    double wall = low_walls[s];
     support::Status first_failure;
     for (std::size_t c = 0; c < ctxs.size(); ++c) {
       Job& job = jobs[c * scanners_.size() + s];
@@ -567,13 +721,18 @@ support::StatusOr<Report> ScanEngine::injected_scan_impl(const RunCtl& ctl) {
       work += job.work;
       wall += job.wall;
     }
-    d.low_view = lows[s]->view_name;
-    d.low_trust = lows[s]->trust;
+    d.views[0].count = high_count_max;
+    d.views[0].status = first_failure;
+    d.low_view = last_ok->result->view_name;
+    d.low_trust = last_ok->trust;
     d.high_count = high_count_max;
-    d.low_count = lows[s]->resources.size();
-    d.status = first_failure;
+    d.low_count = last_ok->result->resources.size();
+    d.status = first_trusted_failure.ok() ? first_failure
+                                          : first_trusted_failure;
     for (auto& [key, f] : hidden) d.hidden.push_back(f);
-    work += lows[s]->work;
+    for (const auto& o : p.trusted) {
+      if (o.result.ok()) work += o.result->work;
+    }
     d.simulated_seconds = estimate_seconds(profile, work);
     d.wall_seconds = wall;
     report.diffs.push_back(std::move(d));
@@ -606,12 +765,19 @@ InsideCapture ScanEngine::capture_inside_high_impl(const RunCtl& ctl) {
       ctl.cancel);
 
   bool want_dump = false;
-  for (const auto& s : scanners_) want_dump = want_dump || s->needs_dump();
+  for (const auto& s : scanners_) {
+    for (const auto& def : s->trusted_views(ScanPhase::kOutside, cfg_)) {
+      want_dump = want_dump || def.needs_dump;
+    }
+  }
   // A cancelled capture never blue-screens the machine: the job is being
   // abandoned, so we leave the box running instead of halting it for a
   // dump nobody will diff.
   if (want_dump && !ctl.cancelled()) {
-    auto parsed = kernel::parse_dump_or(machine_.bluescreen(), &pool_);
+    // Keep the raw image regardless of whether it parses: the signature
+    // carve sweeps bytes, not structures.
+    cap.dump_bytes = machine_.bluescreen();
+    auto parsed = kernel::parse_dump_or(cap.dump_bytes, &pool_);
     if (parsed.ok()) {
       cap.dump = std::move(parsed.value());
     } else {
@@ -635,43 +801,62 @@ support::StatusOr<Report> ScanEngine::outside_diff_impl(
   Report report;
   const ScanTaskContext tctx = task_context();
   const OutsideSources sources{machine_.disk(),
-                               cap.dump ? &*cap.dump : nullptr};
+                               cap.dump ? &*cap.dump : nullptr,
+                               cap.dump_bytes, cap.dump_status};
 
   // Match capture entries to providers by type (the capture may come
   // from a different engine whose provider set differs).
-  std::vector<std::pair<const ResourceScanner*, const InsideCapture::Entry*>>
-      wanted;
+  struct Wanted {
+    const ResourceScanner* scanner = nullptr;
+    const InsideCapture::Entry* entry = nullptr;
+    std::vector<ResourceScanner::ViewDef> defs;
+    std::vector<ViewOutcome> outcomes;  // parallel to defs
+  };
+  std::vector<Wanted> wanted;
   for (const auto& entry : cap.entries) {
     for (const auto& s : scanners_) {
       if (s->type() == entry.type) {
-        wanted.emplace_back(s.get(), &entry);
+        Wanted w;
+        w.scanner = s.get();
+        w.entry = &entry;
+        w.defs = s->trusted_views(ScanPhase::kOutside, cfg_);
+        w.outcomes.resize(w.defs.size());
+        for (std::size_t v = 0; v < w.defs.size(); ++v) {
+          w.outcomes[v].id = w.defs[v].id;
+          w.outcomes[v].trust = w.defs[v].trust;
+        }
+        wanted.push_back(std::move(w));
         break;
       }
     }
   }
 
-  // Clean-environment scans of the powered-off disk and the dump.
-  std::vector<support::StatusOr<ScanResult>> lows(wanted.size());
-  std::vector<double> low_walls(wanted.size(), 0);
-  ctl.add_total(static_cast<std::uint32_t>(wanted.size()));
+  // Clean-environment views of the powered-off disk and the captured
+  // dump (parsed and raw), one task per registered view.
+  struct TaskRef {
+    std::size_t slot = 0;
+    std::size_t view = 0;
+  };
+  std::vector<TaskRef> tasks;
+  for (std::size_t i = 0; i < wanted.size(); ++i) {
+    for (std::size_t v = 0; v < wanted[i].defs.size(); ++v) {
+      tasks.push_back(TaskRef{i, v});
+    }
+  }
+  ctl.add_total(static_cast<std::uint32_t>(tasks.size()));
   pool_.parallel_for(
-      wanted.size(),
+      tasks.size(),
       [&](std::size_t i) {
-        const ResourceScanner& scanner = *wanted[i].first;
+        const TaskRef task = tasks[i];
+        Wanted& w = wanted[task.slot];
         auto span = obs::default_tracer().span(
-            std::string("scan.") + resource_type_name(scanner.type()) +
-                ".outside",
+            std::string("scan.") + resource_type_name(w.scanner->type()) +
+                ".outside." + w.outcomes[task.view].id,
             "provider");
         const auto start = SteadyClock::now();
-        if (scanner.needs_dump() && !sources.dump && !cap.dump_status.ok()) {
-          // The capture tried to take a dump and failed (scrubbed write,
-          // truncation): surface that cause rather than a generic absence.
-          lows[i] = cap.dump_status;
-        } else {
-          lows[i] = guarded_scan(
-              [&] { return scanner.outside_scan(tctx, sources); });
-        }
-        low_walls[i] = seconds_since(start);
+        w.outcomes[task.view].result = guarded_scan(
+            [&] { return w.defs[task.view].run(tctx, &sources); });
+        w.outcomes[task.view].wall = seconds_since(start);
         ctl.add_done();
       },
       ctl.cancel);
@@ -681,17 +866,24 @@ support::StatusOr<Report> ScanEngine::outside_diff_impl(
 
   ScanTally tally;
   const auto& profile = machine_.config().profile;
-  for (std::size_t i = 0; i < wanted.size(); ++i) {
-    tally.provider_scans += 2;  // the inside capture + the clean view
-    if (!wanted[i].second->high.ok()) ++tally.scan_failures;
-    if (!lows[i].ok()) ++tally.scan_failures;
+  for (auto& w : wanted) {
+    tally.provider_scans += 1 + w.outcomes.size();  // capture + clean views
+    if (!w.entry->high.ok()) ++tally.scan_failures;
+    double wall = 0;
+    std::vector<ViewRef> refs(1 + w.outcomes.size());
+    refs[0] = ViewRef{kApiViewId, TrustLevel::kApiView, &w.entry->high};
+    for (std::size_t v = 0; v < w.outcomes.size(); ++v) {
+      if (!w.outcomes[v].result.ok()) ++tally.scan_failures;
+      wall += w.outcomes[v].wall;
+      refs[v + 1] = ViewRef{w.outcomes[v].id, w.outcomes[v].trust,
+                            &w.outcomes[v].result};
+    }
     auto span = obs::default_tracer().span(
-        std::string("diff.") + resource_type_name(wanted[i].first->type()),
+        std::string("diff.") + resource_type_name(w.scanner->type()),
         "diff");
     const auto start = SteadyClock::now();
-    DiffReport d = diff_views(*wanted[i].first, tctx, wanted[i].second->high,
-                              lows[i], profile);
-    d.wall_seconds = low_walls[i] + seconds_since(start);
+    DiffReport d = diff_views(*w.scanner, tctx, refs, profile);
+    d.wall_seconds = wall + seconds_since(start);
     report.diffs.push_back(std::move(d));
   }
   finalize(report, seconds_since(t0), "outside", tally);

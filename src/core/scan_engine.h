@@ -113,11 +113,29 @@ struct RegistryPolicy {
   bool flush_hives_first = true;
 };
 
+/// When the signature-carving process view runs (see kernel/carve.h and
+/// the "carve" ViewDef in core/resource_scanner.cpp).
+enum class CarveMode {
+  /// Default: carve the blue-screen dump's raw bytes during the
+  /// outside-the-box diff — the sweep that survives dump scrubbing.
+  kOutsideOnly,
+  /// Never carve.
+  kOff,
+  /// Additionally sweep a serialization of live kernel memory during
+  /// inside scans (no blue screen; scrubber hooks never run).
+  kOn,
+};
+
 struct ProcessPolicy {
-  /// Use the scheduler thread table instead of the Active Process List
-  /// as the low-level process truth (finds FU's DKOM hiding) — the
+  /// Use the scheduler thread table *in addition to* the Active Process
+  /// List as a low-level process view (finds FU's DKOM hiding) — the
   /// paper's "advanced mode".
   bool scheduler_view = false;
+  /// Signature-carving view registration (--carve / --no-carve).
+  CarveMode carve = CarveMode::kOutsideOnly;
+  /// Carve sweep chunk granularity in bytes (0 = kernel default).
+  /// Chunk boundaries depend only on this value, never on workers.
+  std::uint32_t carve_chunk_bytes = 0;
 };
 
 /// Typed scan-session configuration. (Diff sharding is no longer
@@ -281,15 +299,18 @@ struct Report {
   /// Human-readable report (what the tool prints for the user).
   [[nodiscard]] std::string to_string() const;
   /// Machine-readable report (for SIEM/automation pipelines), schema
-  /// version 2.4: per-diff wall/simulated timing, the worker-thread
+  /// version 2.5: per-diff wall/simulated timing, the worker-thread
   /// count, per-resource scan status (`status`, `degraded`, `error`) so
-  /// partial results are first-class, a top-level "scheduler" object
-  /// (null for direct engine runs) carrying fleet provenance — tenant,
-  /// job id, priority, queue latency — a top-level "metrics" object
-  /// (null when collection is off) with the deterministic run telemetry
-  /// above, and a top-level "incremental" object (null for cold runs)
-  /// with the re-scan provenance. Strings are JSON-escaped; embedded
-  /// NULs and control bytes appear as \u00XX.
+  /// partial results are first-class, a per-diff "views" array (one
+  /// entry per contributing view: id, name, trust, count, status) of
+  /// which the high_view/low_view pair is a projection, per-finding
+  /// "found_in"/"missing_from" view-id arrays, a top-level "scheduler"
+  /// object (null for direct engine runs) carrying fleet provenance —
+  /// tenant, job id, priority, queue latency — a top-level "metrics"
+  /// object (null when collection is off) with the deterministic run
+  /// telemetry above, and a top-level "incremental" object (null for
+  /// cold runs) with the re-scan provenance. Strings are JSON-escaped;
+  /// embedded NULs and control bytes appear as \u00XX.
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -304,9 +325,14 @@ struct InsideCapture {
   };
   std::vector<Entry> entries;  // in provider registration order
   std::optional<kernel::KernelDump> dump;
-  /// Why `dump` is absent when a provider wanted it (e.g. a scrubber
+  /// The raw blue-screen image, kept even when parsing failed: the
+  /// signature-carving view sweeps these bytes directly, so a scrubbed
+  /// or truncated dump still yields evidence. Empty when no view asked
+  /// for a dump.
+  std::vector<std::byte> dump_bytes;
+  /// Why `dump` is absent when a view wanted it (e.g. a scrubber
   /// corrupted the blue-screen write). OK when the dump is present or
-  /// no enabled provider needs one.
+  /// no registered view needs one.
   support::Status dump_status;
 };
 

@@ -393,7 +393,7 @@ std::string SchedulerStats::to_string() const {
 
 std::string SchedulerStats::to_json() const {
   std::ostringstream os;
-  os << "{\"schema_version\":\"2.4\""
+  os << "{\"schema_version\":\"2.5\""
      << ",\"queue_depth\":" << queue_depth << ",\"running\":" << running
      << ",\"submitted\":" << submitted << ",\"served\":" << served
      << ",\"cancelled\":" << cancelled

@@ -67,9 +67,20 @@ KernelDump parse_dump(std::span<const std::byte> image,
 [[nodiscard]] support::StatusOr<KernelDump> parse_dump_or(
     std::span<const std::byte> image, support::ThreadPool* pool = nullptr);
 
-/// Re-serializes a (possibly edited) parsed dump. parse_dump and
-/// serialize_dump are exact inverses; this is what a dump-scrubbing
-/// attack (the paper's anticipated countermeasure) needs.
+/// Re-serializes a (possibly edited) parsed dump. For dumps that
+/// serialize_dump itself produced, parse_dump is an exact inverse; note
+/// that round-tripping a *scrubbed* dump discards its unreferenced slack
+/// records (parse_dump never sees them — that is the scrub's point).
 std::vector<std::byte> serialize_dump(const KernelDump& dump);
+
+/// Surgical dump scrub — the paper's anticipated countermeasure, done
+/// the way a real rootkit must do it: rewrites the linkage sections
+/// (Active Process List, thread table, record directory) to drop the
+/// given pids while copying the record heap verbatim, so each hidden
+/// process's record bytes survive as unreferenced slack. parse_dump and
+/// every traversal-based view lose the process; a signature carve of the
+/// raw bytes (kernel/carve.h) still recovers it. Unknown pids are
+/// ignored; input this scrubber cannot parse is left untouched.
+void scrub_dump(std::vector<std::byte>& bytes, std::span<const Pid> pids);
 
 }  // namespace gb::kernel

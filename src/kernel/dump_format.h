@@ -1,0 +1,49 @@
+// Internal layout of the "GGBDPM02" crash-dump format, shared by the
+// structured parser (dump.cpp) and the signature carver (carve.cpp).
+//
+// v2 layout (all integers little-endian):
+//
+//   magic      u64   "GGBDPM02"
+//   total_len  u64   byte length of the whole image (truncation check)
+//   active     u32 n, then n pids           — Active Process List linkage
+//   threads    u32 n, then n (tid, owner)   — scheduler table linkage
+//   drivers    u32 n, then n (name, path)   — loaded-driver list
+//   directory  u32 n, then n u64 offsets    — absolute offset of each
+//                                             *referenced* process record
+//   heap       tagged records: tag(8) + payload_len u32 + payload
+//
+// The split between the directory (reachability) and the heap (bytes) is
+// the point: a dump scrubber can delete a record's directory entry — and
+// its active/thread linkage — without touching the heap, leaving the
+// record as unreferenced slack that parse_dump never visits but a raw
+// signature sweep still recovers. That is exactly the gap between
+// traversal-based dump analysis and memory carving.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernel/dump.h"
+#include "support/bytes.h"
+
+namespace gb::kernel::internal {
+
+inline constexpr std::uint64_t kDumpMagic = 0x32304d5044424747ull;  // "GGBDPM02"
+
+/// Signature prefixing every process record in the heap (the pool-tag
+/// analogue). The control bytes keep accidental matches inside path
+/// strings vanishingly unlikely; the carver validates candidates anyway.
+inline constexpr std::array<std::byte, 8> kRecordTag = {
+    std::byte{0xC5}, std::byte{'G'}, std::byte{'B'}, std::byte{'p'},
+    std::byte{'r'},  std::byte{'o'}, std::byte{'c'}, std::byte{0xE9}};
+
+/// tag + payload_len prefix.
+inline constexpr std::size_t kRecordHeaderBytes = kRecordTag.size() + 4;
+
+/// Parses one process-record payload (the bytes after the tag + length
+/// prefix). Throws gb::ParseError on malformed input; callers that need
+/// exact-length validation check r.at_end() afterwards.
+KernelDump::ProcessImage parse_process_payload(ByteReader& r);
+
+}  // namespace gb::kernel::internal

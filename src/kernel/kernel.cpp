@@ -42,6 +42,8 @@ void Kernel::terminate_process(Pid pid) {
   if (it == id_table_.end()) throw KernelError("no such process");
   active_list_.remove(pid);
   std::erase_if(threads_, [pid](const Thread& t) { return t.owner_pid == pid; });
+  std::erase_if(unlinked_threads_,
+                [pid](const Thread& t) { return t.owner_pid == pid; });
   id_table_.erase(it);
 }
 
@@ -76,6 +78,26 @@ bool Kernel::dkom_relink(Pid pid) {
     return false;
   }
   active_list_.push_back(pid);
+  return true;
+}
+
+bool Kernel::dkom_unlink_threads(Pid pid) {
+  const auto split = std::stable_partition(
+      threads_.begin(), threads_.end(),
+      [pid](const Thread& t) { return t.owner_pid != pid; });
+  if (split == threads_.end()) return false;
+  unlinked_threads_.insert(unlinked_threads_.end(), split, threads_.end());
+  threads_.erase(split, threads_.end());
+  return true;
+}
+
+bool Kernel::dkom_relink_threads(Pid pid) {
+  const auto split = std::stable_partition(
+      unlinked_threads_.begin(), unlinked_threads_.end(),
+      [pid](const Thread& t) { return t.owner_pid != pid; });
+  if (split == unlinked_threads_.end()) return false;
+  threads_.insert(threads_.end(), split, unlinked_threads_.end());
+  unlinked_threads_.erase(split, unlinked_threads_.end());
   return true;
 }
 

@@ -57,6 +57,15 @@ class Kernel {
 
   /// View 2: scheduler thread table.
   const std::vector<Thread>& scheduler_threads() const { return threads_; }
+  /// Double-DKOM: moves the pid's threads out of the scheduler table
+  /// into a hidden stash, defeating the advanced-mode thread-table walk
+  /// the way dkom_unlink defeats the Active Process List walk. The
+  /// threads keep running conceptually; only the enumerable table lies.
+  /// Returns false if the pid has no scheduled threads.
+  bool dkom_unlink_threads(Pid pid);
+  /// Restores stashed threads to the scheduler table. Returns false if
+  /// nothing was stashed for the pid.
+  bool dkom_relink_threads(Pid pid);
 
   /// View 3: the owning id table.
   const std::map<Pid, std::unique_ptr<Process>>& id_table() const {
@@ -89,6 +98,7 @@ class Kernel {
   std::map<Pid, std::unique_ptr<Process>> id_table_;
   std::list<Pid> active_list_;
   std::vector<Thread> threads_;
+  std::vector<Thread> unlinked_threads_;  // dkom_unlink_threads stash
   std::vector<Driver> drivers_;
   Ssdt ssdt_;
   FileFilterChain filters_;

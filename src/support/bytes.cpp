@@ -46,6 +46,11 @@ void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
   patch_u16(offset + 2, static_cast<std::uint16_t>(v >> 16));
 }
 
+void ByteWriter::patch_u64(std::size_t offset, std::uint64_t v) {
+  patch_u32(offset, static_cast<std::uint32_t>(v & 0xffffffffu));
+  patch_u32(offset + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
 void ByteReader::require(std::size_t count) const {
   if (pos_ + count > data_.size()) {
     throw ParseError("truncated input: need " + std::to_string(count) +

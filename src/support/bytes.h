@@ -47,6 +47,7 @@ class ByteWriter {
   /// sizes and offsets, as real on-disk formats require).
   void patch_u16(std::size_t offset, std::uint16_t v);
   void patch_u32(std::size_t offset, std::uint32_t v);
+  void patch_u64(std::size_t offset, std::uint64_t v);
 
   std::size_t size() const { return buf_.size(); }
   std::span<const std::byte> view() const { return buf_; }

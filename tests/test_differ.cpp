@@ -57,8 +57,8 @@ TEST(Differ, HiddenIsLowMinusHigh) {
   ASSERT_EQ(d.hidden.size(), 2u);
   EXPECT_EQ(d.hidden[0].resource.key, "b");
   EXPECT_EQ(d.hidden[1].resource.key, "d");
-  EXPECT_EQ(d.hidden[0].found_in, "raw");
-  EXPECT_EQ(d.hidden[0].missing_from, "api");
+  EXPECT_EQ(d.hidden[0].found_in, std::vector<std::string>{"raw"});
+  EXPECT_EQ(d.hidden[0].missing_from, std::vector<std::string>{"api"});
   EXPECT_TRUE(d.extra.empty());
 }
 
@@ -112,6 +112,158 @@ TEST_P(DifferPropertyTest, DiffPartitionInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferPropertyTest,
                          ::testing::Range<std::uint64_t>(0, 20));
+
+// --- N-view presence matrix ------------------------------------------------
+
+using Ids = std::vector<std::string>;
+
+ViewInput input(std::string id, TrustLevel trust, const ScanResult& r) {
+  ViewInput v;
+  v.id = std::move(id);
+  v.trust = trust;
+  v.result = &r;
+  return v;
+}
+
+ViewInput failed_input(std::string id, TrustLevel trust,
+                       support::Status status) {
+  ViewInput v;
+  v.id = std::move(id);
+  v.trust = trust;
+  v.status = std::move(status);
+  return v;
+}
+
+TEST(MatrixDiff, PresenceMatrixRecordsWhichViewsSawWhat) {
+  const auto api = snapshot(ResourceType::kProcess, {"a"}, "api view");
+  const auto v1 = snapshot(ResourceType::kProcess, {"a", "b"}, "list walk");
+  const auto v2 = snapshot(ResourceType::kProcess, {"a", "b", "c"}, "carve");
+  const auto d = cross_view_matrix_diff(
+      ResourceType::kProcess,
+      {input("api", TrustLevel::kApiView, api),
+       input("list", TrustLevel::kTruthApproximation, v1),
+       input("carve", TrustLevel::kTruth, v2)});
+  EXPECT_FALSE(d.degraded());
+  ASSERT_EQ(d.views.size(), 3u);
+  EXPECT_EQ(d.views[0].id, "api");
+  EXPECT_EQ(d.views[2].count, 3u);
+  ASSERT_EQ(d.hidden.size(), 2u);
+  EXPECT_EQ(d.hidden[0].resource.key, "b");
+  EXPECT_EQ(d.hidden[0].found_in, (Ids{"list", "carve"}));
+  EXPECT_EQ(d.hidden[0].missing_from, (Ids{"api"}));
+  EXPECT_EQ(d.hidden[1].resource.key, "c");
+  EXPECT_EQ(d.hidden[1].found_in, (Ids{"carve"}));
+  EXPECT_EQ(d.hidden[1].missing_from, (Ids{"api", "list"}));
+  // Pairwise projection: API vs. the last completed trusted view.
+  EXPECT_EQ(d.high_view, "api view");
+  EXPECT_EQ(d.low_view, "carve");
+  EXPECT_EQ(d.low_trust, TrustLevel::kTruth);
+  EXPECT_EQ(d.low_count, 3u);
+}
+
+TEST(MatrixDiff, ExtraNamesTheTrustedViewsThatMissedIt) {
+  const auto api = snapshot(ResourceType::kFile, {"a", "x"}, "api");
+  const auto v1 = snapshot(ResourceType::kFile, {"a"}, "idx");
+  const auto v2 = snapshot(ResourceType::kFile, {"a", "x"}, "mft");
+  const auto d = cross_view_matrix_diff(
+      ResourceType::kFile,
+      {input("api", TrustLevel::kApiView, api),
+       input("index", TrustLevel::kTruthApproximation, v1),
+       input("mft", TrustLevel::kTruthApproximation, v2)});
+  ASSERT_EQ(d.extra.size(), 1u);
+  EXPECT_EQ(d.extra[0].resource.key, "x");
+  EXPECT_EQ(d.extra[0].found_in, (Ids{"api", "mft"}));
+  EXPECT_EQ(d.extra[0].missing_from, (Ids{"index"}));
+  EXPECT_TRUE(d.hidden.empty());
+}
+
+TEST(MatrixDiff, FailedViewDegradesWhileSurvivorsStillFind) {
+  const auto api = snapshot(ResourceType::kProcess, {"a"}, "api");
+  const auto v2 = snapshot(ResourceType::kProcess, {"a", "b"}, "carve");
+  const auto d = cross_view_matrix_diff(
+      ResourceType::kProcess,
+      {input("api", TrustLevel::kApiView, api),
+       failed_input("threads", TrustLevel::kTruth,
+                    support::Status::corrupt("scrubbed dump")),
+       input("carve", TrustLevel::kTruth, v2)});
+  EXPECT_TRUE(d.degraded());
+  EXPECT_EQ(d.status.code(), support::StatusCode::kCorrupt);
+  ASSERT_EQ(d.views.size(), 3u);
+  EXPECT_TRUE(d.views[1].degraded());
+  EXPECT_EQ(d.views[1].name, "(scan failed)");
+  ASSERT_EQ(d.hidden.size(), 1u);
+  EXPECT_EQ(d.hidden[0].resource.key, "b");
+  // The failed view appears in neither set: it never reported.
+  EXPECT_EQ(d.hidden[0].found_in, (Ids{"carve"}));
+  EXPECT_EQ(d.hidden[0].missing_from, (Ids{"api"}));
+  EXPECT_EQ(d.low_view, "carve");
+}
+
+TEST(MatrixDiff, NoCompletedTrustedViewMeansPlaceholders) {
+  const auto api = snapshot(ResourceType::kModule, {"a"}, "api");
+  const auto d = cross_view_matrix_diff(
+      ResourceType::kModule,
+      {input("api", TrustLevel::kApiView, api),
+       failed_input("dump", TrustLevel::kTruth,
+                    support::Status::unavailable("no dump"))});
+  EXPECT_TRUE(d.degraded());
+  EXPECT_TRUE(d.hidden.empty());
+  EXPECT_TRUE(d.extra.empty());
+  EXPECT_EQ(d.low_view, "(scan failed)");
+  EXPECT_EQ(d.high_count, 1u);
+}
+
+TEST(MatrixDiff, EmptyViewListThrows) {
+  EXPECT_THROW(cross_view_matrix_diff(ResourceType::kFile, {}),
+               std::invalid_argument);
+}
+
+TEST(MatrixDiff, TwoViewMatrixMatchesPairwise) {
+  const auto high = snapshot(ResourceType::kFile, {"a", "c"}, "api");
+  const auto low = snapshot(ResourceType::kFile, {"a", "b"}, "raw");
+  const auto pair = cross_view_diff(high, low);
+  const auto matrix = cross_view_matrix_diff(
+      ResourceType::kFile, {input("api", TrustLevel::kApiView, high),
+                            input("raw", high.trust, low)});
+  ASSERT_EQ(matrix.hidden.size(), pair.hidden.size());
+  ASSERT_EQ(matrix.extra.size(), pair.extra.size());
+  EXPECT_EQ(matrix.hidden[0].resource.key, pair.hidden[0].resource.key);
+  EXPECT_EQ(matrix.high_count, pair.high_count);
+  EXPECT_EQ(matrix.low_count, pair.low_count);
+}
+
+TEST(MatrixDiff, ShardedMatchesSerialAcrossWorkerCounts) {
+  Rng rng(0xD1FFu);
+  std::vector<std::string> api_keys, v1_keys, v2_keys;
+  for (int i = 0; i < 6000; ++i) {
+    const std::string key = "k" + std::to_string(rng.below(5000));
+    if (rng.chance(3, 4)) api_keys.push_back(key);
+    if (rng.chance(3, 4)) v1_keys.push_back(key);
+    if (rng.chance(3, 4)) v2_keys.push_back(key);
+  }
+  const auto api = snapshot(ResourceType::kFile, api_keys, "api");
+  const auto v1 = snapshot(ResourceType::kFile, v1_keys, "idx");
+  const auto v2 = snapshot(ResourceType::kFile, v2_keys, "mft");
+  const std::vector<ViewInput> views = {
+      input("api", TrustLevel::kApiView, api),
+      input("index", TrustLevel::kTruthApproximation, v1),
+      input("mft", TrustLevel::kTruthApproximation, v2)};
+  const auto serial = cross_view_matrix_diff(ResourceType::kFile, views);
+  for (const std::size_t workers : {1u, 3u, 7u}) {
+    support::ThreadPool pool(workers);
+    for (const std::size_t shards : {0u, 2u, 16u}) {
+      const auto d =
+          cross_view_matrix_diff(ResourceType::kFile, views, &pool, shards);
+      ASSERT_EQ(d.hidden.size(), serial.hidden.size());
+      ASSERT_EQ(d.extra.size(), serial.extra.size());
+      for (std::size_t i = 0; i < d.hidden.size(); ++i) {
+        EXPECT_EQ(d.hidden[i].resource.key, serial.hidden[i].resource.key);
+        EXPECT_EQ(d.hidden[i].found_in, serial.hidden[i].found_in);
+        EXPECT_EQ(d.hidden[i].missing_from, serial.hidden[i].missing_from);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace gb::core

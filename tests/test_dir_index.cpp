@@ -143,6 +143,13 @@ TEST(IndexGhostTest, CaughtByInsideCrossViewDiff) {
   ASSERT_TRUE(report.infection_detected());
   EXPECT_EQ(report.all_hidden()[0].resource.key,
             core::file_key(ghost->payload_path()));
+  // The presence matrix names the lying layer: the doctored on-disk
+  // index missed the file right alongside the API walk; only the raw
+  // MFT sweep saw it.
+  EXPECT_EQ(report.all_hidden()[0].found_in,
+            (std::vector<std::string>{"mft"}));
+  EXPECT_EQ(report.all_hidden()[0].missing_from,
+            (std::vector<std::string>{"api", "index"}));
   // Mechanism detection sees nothing — data-only hiding.
   EXPECT_TRUE(m.win32().env(m.find_pid("explorer.exe"))->all_hooks().empty());
 }

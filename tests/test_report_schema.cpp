@@ -1,4 +1,4 @@
-// Golden-file compatibility: pins the schema-v2.4 report JSON shape so
+// Golden-file compatibility: pins the schema-v2.5 report JSON shape so
 // schema changes are deliberate, not accidental. Regenerate the golden
 // with GB_UPDATE_GOLDEN=1 after an intentional schema bump.
 #include <gtest/gtest.h>
@@ -26,7 +26,7 @@ std::string normalize(std::string j) {
 }
 
 std::string golden_path() {
-  return std::string(GB_GOLDEN_DIR) + "/report_v2_4.json";
+  return std::string(GB_GOLDEN_DIR) + "/report_v2_5.json";
 }
 
 /// The pinned scenario: a seeded small machine with Hacker Defender,
@@ -171,15 +171,18 @@ TEST(ReportSchemaGolden, GoldenRoundTripsThroughJsonParser) {
 TEST(ReportSchemaGolden, RequiredKeysAppearInOrder) {
   const std::string j = reference_report_json();
   const char* keys[] = {
-      "\"schema_version\":\"2.4\"", "\"infected\":",      "\"degraded\":",
+      "\"schema_version\":\"2.5\"", "\"infected\":",      "\"degraded\":",
       "\"simulated_seconds\":",     "\"wall_seconds\":",  "\"worker_threads\":",
       "\"scheduler\":",             "\"metrics\":",       "\"provider_scans\":",
       "\"incremental\":",
       "\"diffs\":[",                "\"type\":",
       "\"status\":",
-      "\"error\":",                 "\"high_view\":",     "\"low_view\":",
+      "\"error\":",                 "\"views\":[",
+      "\"id\":",                    "\"name\":",
+      "\"high_view\":",             "\"low_view\":",
       "\"trust\":",                 "\"high_count\":",    "\"low_count\":",
-      "\"hidden\":[",               "\"extra_count\":"};
+      "\"hidden\":[",               "\"found_in\":[",
+      "\"missing_from\":[",         "\"extra_count\":"};
   std::size_t pos = 0;
   for (const char* key : keys) {
     const auto found = j.find(key, pos);

@@ -150,13 +150,13 @@ TEST(ShardedDiff, MatchesSerialDiffOnLargeInputs) {
   }
 }
 
-TEST(ReportJson, SchemaV24CarriesTimingWorkerAndStatusFields) {
+TEST(ReportJson, SchemaV25CarriesTimingWorkerAndStatusFields) {
   machine::Machine m(small_config());
   malware::install_ghostware<malware::HackerDefender>(m);
   ScanEngine engine(m, parallel_config(2));
   const auto report = engine.inside_scan();
   const auto json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\":\"2.4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":\"2.5\""), std::string::npos);
   // A direct engine run has no fleet provenance: scheduler is null.
   EXPECT_NE(json.find("\"scheduler\":null"), std::string::npos);
   EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);
@@ -170,12 +170,17 @@ TEST(ReportJson, SchemaV24CarriesTimingWorkerAndStatusFields) {
   EXPECT_EQ(std::distance(std::sregex_iterator(json.begin(), json.end(), wall),
                           std::sregex_iterator()),
             diff_count + 1);  // one per diff + the report total
-  // Healthy scans: every diff carries an OK status and an empty error.
+  // Healthy scans: every diff and every contributing view carries an OK
+  // status and an empty error.
+  long view_count = 0;
+  for (const auto& d : report.diffs) {
+    view_count += static_cast<long>(d.views.size());
+  }
   const std::regex ok_status("\"status\":\"ok\"");
   EXPECT_EQ(std::distance(
                 std::sregex_iterator(json.begin(), json.end(), ok_status),
                 std::sregex_iterator()),
-            diff_count);
+            diff_count + view_count);
   EXPECT_EQ(json.find("\"status\":\"degraded\""), std::string::npos);
   EXPECT_FALSE(report.degraded());
 }

@@ -188,14 +188,12 @@ class BlockingScanner : public ResourceScanner {
     return ScanResult{};
   }
 
-  support::StatusOr<ScanResult> low_scan(
-      const ScanTaskContext&) const override {
-    return ScanResult{};
-  }
-
-  support::StatusOr<ScanResult> outside_scan(
-      const ScanTaskContext&, const OutsideSources&) const override {
-    return ScanResult{};
+  std::vector<ViewDef> trusted_views(ScanPhase,
+                                     const ScanConfig&) const override {
+    return {ViewDef{"block-low", TrustLevel::kTruthApproximation, false,
+                    [](const ScanTaskContext&, const OutsideSources*) {
+                      return support::StatusOr<ScanResult>(ScanResult{});
+                    }}};
   }
 
  private:
@@ -278,7 +276,7 @@ TEST(SchedulerDeterminism, PerJobReportsIdenticalAtWorkers_1_2_8) {
   }
 }
 
-TEST(SchedulerReport, CarriesProvenanceTagInSchemaV24Json) {
+TEST(SchedulerReport, CarriesProvenanceTagInSchemaV25Json) {
   machine::Machine m(tiny_config());
   ScanScheduler::Options opts;
   opts.workers = 0;  // inline dispatch
@@ -296,7 +294,7 @@ TEST(SchedulerReport, CarriesProvenanceTagInSchemaV24Json) {
   EXPECT_EQ(report.scheduler->priority, 7);
   EXPECT_EQ(report.scheduler->job_id, job.id());
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\":\"2.4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":\"2.5\""), std::string::npos);
   EXPECT_NE(json.find("\"scheduler\":{\"tenant\":\"hq\""),
             std::string::npos);
 }
@@ -311,7 +309,7 @@ TEST(SchedulerStatsApi, JsonAndErrorPaths) {
             support::StatusCode::kFailedPrecondition);
 
   const std::string json = sched.stats().to_json();
-  EXPECT_NE(json.find("\"schema_version\":\"2.4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":\"2.5\""), std::string::npos);
   EXPECT_NE(json.find("\"queue_depth\":0"), std::string::npos);
   EXPECT_NE(json.find("\"tenants\":[]"), std::string::npos);
 }

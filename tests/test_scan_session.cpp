@@ -501,6 +501,25 @@ TEST(ReportDiff, IdenticalReportsShowNoDrift) {
   EXPECT_FALSE(delta->drift());
 }
 
+TEST(ReportDiff, PrefersV25ViewProvenanceOverPairwiseProjection) {
+  // A v2.5 finding carries its own found_in/missing_from view-id sets;
+  // the drift detail should name those, not the per-diff projection.
+  const std::string before = report_with("");
+  const std::string after =
+      "{\"schema_version\":\"2.5\",\"diffs\":[{\"type\":\"process\","
+      "\"low_view\":\"signature carve\",\"high_view\":\"process list\","
+      "\"hidden\":[{\"key\":\"pid:77\",\"display\":\"77 evil.exe\","
+      "\"found_in\":[\"carve\"],"
+      "\"missing_from\":[\"api\",\"threads\"]}]}]}";
+  const auto delta = core::diff_reports_json(before, after);
+  ASSERT_TRUE(delta.ok()) << delta.status().to_string();
+  ASSERT_EQ(delta->added.size(), 1u);
+  EXPECT_NE(delta->added[0].detail.find("found in carve"), std::string::npos);
+  EXPECT_NE(delta->added[0].detail.find("missing from api+threads"),
+            std::string::npos);
+  EXPECT_EQ(delta->version_b, "2.5");
+}
+
 TEST(ReportDiff, RejectsMalformedInput) {
   const std::string good = report_with("");
   EXPECT_EQ(core::diff_reports_json("{not json", good).status().code(),
