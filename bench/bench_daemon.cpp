@@ -1,0 +1,291 @@
+// Daemon throughput under churn, with the crash-safety invariants
+// asserted in-line.
+//
+// The paper's endgame is GhostBuster as an always-on fleet service, so
+// the daemon's figure of merit is not one scan's wall time but
+// sustained jobs/s *while the process is being killed and restarted
+// under it*. This bench runs the same fleet twice — once uninterrupted,
+// once through repeated kill()/restart cycles on one journal — and
+// reports throughput for both alongside the two invariants the journal
+// exists to provide: zero lost jobs, and every post-replay report
+// byte-identical (normalized) to the uninterrupted run's.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/transport.h"
+#include "malware/collection.h"
+
+namespace {
+
+using namespace gb;
+
+constexpr std::size_t kFleet = 12;
+constexpr std::size_t kKillEvery = 3;  // crash run: restart per 3 results
+
+machine::MachineConfig bench_box(std::uint64_t seed) {
+  machine::MachineConfig cfg;
+  cfg.seed = seed;
+  cfg.disk_sectors = 32 * 1024;  // 16 MiB image: the fleet is the load
+  cfg.mft_records = 2048;
+  cfg.synthetic_files = 24;
+  cfg.synthetic_registry_keys = 12;
+  return cfg;
+}
+
+/// One machine per job, rebuilt identically for each scenario so the
+/// byte-identity comparison is apples to apples.
+struct Fleet {
+  std::map<std::string, std::unique_ptr<machine::Machine>> boxes;
+
+  static Fleet build() {
+    Fleet fleet;
+    for (std::size_t i = 0; i < kFleet; ++i) {
+      auto m = std::make_unique<machine::Machine>(bench_box(100 + i));
+      if (i % 3 == 2) malware::install_ghostware<malware::HackerDefender>(*m);
+      fleet.boxes["BENCH-" + std::to_string(i)] = std::move(m);
+    }
+    return fleet;
+  }
+
+  std::function<machine::Machine*(const std::string&)> resolver() {
+    return [this](const std::string& id) -> machine::Machine* {
+      auto it = boxes.find(id);
+      return it == boxes.end() ? nullptr : it->second.get();
+    };
+  }
+};
+
+std::string journal_path(const std::string& name) {
+  const auto path = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+std::unique_ptr<daemon::Daemon> start_daemon(const std::string& journal,
+                                             Fleet& fleet) {
+  daemon::DaemonOptions opts;
+  opts.journal_path = journal;
+  opts.shards = 2;
+  opts.workers_per_shard = 2;
+  opts.resolve_machine = fleet.resolver();
+  auto up = daemon::Daemon::start(std::move(opts));
+  if (!up.ok()) {
+    std::fprintf(stderr, "bench_daemon: start failed: %s\n",
+                 up.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(up).value();
+}
+
+std::vector<std::uint64_t> submit_fleet(daemon::Daemon& d) {
+  std::vector<std::uint64_t> ids;
+  daemon::JobRequest req;
+  req.tenant = "bench";
+  for (std::size_t i = 0; i < kFleet; ++i) {
+    req.machine_id = "BENCH-" + std::to_string(i);
+    ids.push_back(d.submit(req).value());
+  }
+  return ids;
+}
+
+struct ScenarioResult {
+  double seconds = 0;
+  std::size_t restarts = 0;
+  std::uint64_t requeued = 0;  // pending jobs the replays re-queued
+  std::size_t lost = 0;        // jobs with no OK result at the end
+  std::vector<std::string> reports;  // normalized, indexed by job order
+};
+
+ScenarioResult run_uninterrupted() {
+  Fleet fleet = Fleet::build();
+  auto daemon = start_daemon(journal_path("gb_bench_daemon_ref.gbj"), fleet);
+  ScenarioResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto ids = submit_fleet(*daemon);
+  for (std::uint64_t id : ids) {
+    auto report = daemon->wait_result(id);
+    if (!report.ok()) {
+      ++out.lost;
+      out.reports.emplace_back();
+      continue;
+    }
+    out.reports.push_back(client::normalized_report_json(*report));
+  }
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+  return out;
+}
+
+ScenarioResult run_crash_churn() {
+  Fleet fleet = Fleet::build();
+  const std::string journal = journal_path("gb_bench_daemon_churn.gbj");
+  auto daemon = start_daemon(journal, fleet);
+  ScenarioResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto ids = submit_fleet(*daemon);
+  // Harvest results in submit order; every kKillEvery results, crash
+  // the daemon and restart it on the same journal. Replay must serve
+  // what finished and re-run what the crash stole.
+  out.reports.resize(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto report = daemon->wait_result(ids[i]);
+    if (report.ok()) {
+      out.reports[i] = client::normalized_report_json(*report);
+    } else {
+      ++out.lost;
+    }
+    const bool more = i + 1 < ids.size();
+    if (more && (i + 1) % kKillEvery == 0) {
+      daemon->kill();
+      daemon.reset();
+      daemon = start_daemon(journal, fleet);
+      ++out.restarts;
+      out.requeued += daemon->stats().requeued;
+    }
+  }
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+  return out;
+}
+
+void print_table(const std::string& json_path) {
+  bench::heading(
+      "Fleet daemon - sustained jobs/s under kill/restart churn");
+  std::printf("%-15s %-6s %-10s %-9s %-9s %-6s %s\n", "scenario", "jobs",
+              "wall (s)", "jobs/s", "restarts", "lost", "reports");
+
+  const ScenarioResult ref = run_uninterrupted();
+  const ScenarioResult churn = run_crash_churn();
+
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < ref.reports.size(); ++i) {
+    if (churn.reports[i] != ref.reports[i]) ++mismatched;
+  }
+  const bool identical = mismatched == 0 && churn.lost == 0 && ref.lost == 0;
+
+  auto row = [&](const char* name, const ScenarioResult& r,
+                 const std::string& verdict) {
+    std::printf("%-15s %-6zu %-10.3f %-9.1f %-9zu %-6zu %s\n", name, kFleet,
+                r.seconds, static_cast<double>(kFleet) / r.seconds,
+                r.restarts, r.lost, verdict.c_str());
+  };
+  row("uninterrupted", ref, "(baseline)");
+  row("crash-churn", churn,
+      identical ? "byte-identical" :
+                  "MISMATCH (" + std::to_string(mismatched) + " reports, " +
+                      std::to_string(churn.lost) + " lost)");
+  std::printf(
+      "\n(crash-churn kills the daemon after every %zu results and restarts"
+      "\n it on the same journal; %llu interrupted jobs were re-queued and"
+      "\n re-run from the replay image.)\n",
+      kKillEvery, static_cast<unsigned long long>(churn.requeued));
+
+  if (!json_path.empty()) {
+    auto row_json = [&](const char* name, const ScenarioResult& r,
+                        bool byte_identical) {
+      return std::string("{\"scenario\":\"") + name +
+             "\",\"jobs\":" + std::to_string(kFleet) +
+             ",\"seconds\":" + std::to_string(r.seconds) +
+             ",\"jobs_per_second\":" +
+             std::to_string(static_cast<double>(kFleet) / r.seconds) +
+             ",\"restarts\":" + std::to_string(r.restarts) +
+             ",\"requeued\":" + std::to_string(r.requeued) +
+             ",\"lost_jobs\":" + std::to_string(r.lost) +
+             ",\"byte_identical\":" + (byte_identical ? "true" : "false") +
+             "}";
+    };
+    const std::string payload =
+        "{\"bench\":\"bench_daemon\",\"rows\":[" +
+        row_json("uninterrupted", ref, ref.lost == 0) + "," +
+        row_json("crash_churn", churn, identical) + "]}";
+    if (bench::write_json_file(json_path, payload)) {
+      std::printf("json results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+  }
+}
+
+void BM_JournalAppendSubmit(benchmark::State& state) {
+  const std::string path = journal_path("gb_bench_daemon_journal.gbj");
+  auto journal = daemon::JobJournal::open(path).value();
+  daemon::JobRequest req;
+  req.machine_id = "BENCH-0";
+  req.tenant = "bench";
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(journal.append_submit(id++, req));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(id - 1));
+}
+BENCHMARK(BM_JournalAppendSubmit);
+
+void BM_DaemonSubmitWait(benchmark::State& state) {
+  // Arg = scheduler shards. One job per iteration, round-robin over the
+  // fleet, result awaited inline — the end-to-end serving latency.
+  Fleet fleet = Fleet::build();
+  daemon::DaemonOptions opts;
+  opts.journal_path = journal_path("gb_bench_daemon_bm.gbj");
+  opts.shards = static_cast<std::size_t>(state.range(0));
+  opts.workers_per_shard = 2;
+  opts.resolve_machine = fleet.resolver();
+  auto daemon = daemon::Daemon::start(std::move(opts)).value();
+  daemon::JobRequest req;
+  req.tenant = "bench";
+  std::size_t i = 0;
+  for (auto _ : state) {
+    req.machine_id = "BENCH-" + std::to_string(i++ % kFleet);
+    auto report = daemon->wait_result(daemon->submit(req).value());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_DaemonSubmitWait)->Arg(1)->Arg(2);
+
+void BM_WireSubmitWait(benchmark::State& state) {
+  // Same loop through DaemonClient: adds the framing, CRC and result
+  // chunk streaming on top of BM_DaemonSubmitWait's baseline.
+  Fleet fleet = Fleet::build();
+  daemon::DaemonOptions opts;
+  opts.journal_path = journal_path("gb_bench_daemon_wire.gbj");
+  opts.shards = 1;
+  opts.workers_per_shard = 2;
+  opts.resolve_machine = fleet.resolver();
+  auto daemon = daemon::Daemon::start(std::move(opts)).value();
+  daemon::PipePair pipe = daemon::make_pipe();
+  daemon->serve(pipe.server);
+  auto client = std::make_unique<client::DaemonClient>(pipe.client);
+  client::JobSpec spec;
+  spec.tenant = "bench";
+  std::size_t i = 0;
+  for (auto _ : state) {
+    spec.machine_id = "BENCH-" + std::to_string(i++ % kFleet);
+    auto handle = client->submit(spec);
+    const client::JobResult& result = handle->wait();
+    benchmark::DoNotOptimize(result);
+  }
+  client.reset();  // hang up before the daemon's graceful dtor drains
+}
+BENCHMARK(BM_WireSubmitWait);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = gb::bench::take_json_flag(argc, argv);
+  print_table(json_path);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,51 @@
+# Drives the CLI's daemon workflow across three separate processes, the
+# way an operator would: `gb submit` journals jobs and exits (a daemon
+# that died right after acknowledging), `gb serve` replays the journal
+# and runs everything to completion, `gb poll` reads the stored results
+# back. Run with:
+#   cmake -DCLI=<ghostbuster_cli> -DJOURNAL=<scratch.gbj> -P cli_daemon_flow.cmake
+file(REMOVE "${JOURNAL}")
+
+execute_process(COMMAND "${CLI}" submit --journal "${JOURNAL}" --fleet 4
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gb submit failed (${rc}): ${out}")
+endif()
+if(NOT out MATCHES "submitted job 4")
+  message(FATAL_ERROR "gb submit did not journal 4 jobs: ${out}")
+endif()
+
+# Before serving, the restart image must show all 4 pending.
+execute_process(COMMAND "${CLI}" poll --journal "${JOURNAL}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "0 completed, 4 pending")
+  message(FATAL_ERROR "gb poll pre-serve (${rc}): ${out}")
+endif()
+
+execute_process(COMMAND "${CLI}" serve --journal "${JOURNAL}" --fleet 4
+                        --shards 2
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gb serve failed (${rc}): ${out}")
+endif()
+if(NOT out MATCHES "restart: 0 served from journal, 4 re-queued")
+  message(FATAL_ERROR "gb serve did not re-queue the journaled jobs: ${out}")
+endif()
+
+# After serving, every job is completed — and DESKTOP-102 (the fleet's
+# infected third box) must have a stored INFECTED report.
+execute_process(COMMAND "${CLI}" poll --journal "${JOURNAL}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "4 completed, 0 pending")
+  message(FATAL_ERROR "gb poll post-serve (${rc}): ${out}")
+endif()
+if(NOT out MATCHES "DESKTOP-102 +lab +done: ok \\[INFECTED\\]")
+  message(FATAL_ERROR "stored result for DESKTOP-102 not INFECTED: ${out}")
+endif()
+
+# --job N dumps the stored schema-v2 report JSON verbatim.
+execute_process(COMMAND "${CLI}" poll --journal "${JOURNAL}" --job 3
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"infected\":true")
+  message(FATAL_ERROR "gb poll --job 3 (${rc}): ${out}")
+endif()

@@ -3,21 +3,37 @@
 // desktops without requiring user cooperation" and scan them on schedule.
 //
 // Builds a small multi-tenant fleet, infects a subset with different
-// ghostware, and serves every box through one ScanScheduler: ten
-// desktops multiplexed over three shared workers (not a thread per
+// ghostware, and serves every box through gb::client — the one fleet
+// API. Here the transport is InProcessClient (a ScanScheduler in this
+// process); pointing the same code at a DaemonClient would add the
+// journaled daemon without changing the submit/wait/cancel logic. Ten
+// desktops multiplex over three shared workers (not a thread per
 // desktop), with weighted fair queuing between tenants, mixed
-// priorities, and one lab job cancelled mid-sweep through its ScanJob
-// handle.
+// priorities, and one lab job cancelled mid-sweep through its JobHandle.
 //
 //   $ ./examples/enterprise_sweep
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/anomaly.h"
-#include "core/scan_scheduler.h"
+#include "daemon/client.h"
 #include "malware/collection.h"
+#include "support/status.h"
+
+namespace {
+
+/// Reports cross the client API as schema-v2 JSON (the only form both
+/// transports share), so the table pulls its numbers back out of it.
+double json_number_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+}  // namespace
 
 int main() {
   using namespace gb;
@@ -29,7 +45,7 @@ int main() {
     std::unique_ptr<machine::Machine> box;
     std::shared_ptr<malware::Ghostware> infection;  // may be null
     std::string infection_name = "-";
-    core::ScanJob job;
+    client::JobHandle job;
   };
 
   // Three tenants share the scan service: headquarters carries double
@@ -61,66 +77,71 @@ int main() {
     fleet.push_back(std::move(d));
   }
 
-  // One shared pool, narrower than the fleet: the scheduler multiplexes
-  // ten machines over three workers. Each dispatched job runs a
-  // single-executor engine — the fleet fan-out is the parallelism.
-  core::ScanScheduler::Options opts;
+  // One shared pool, narrower than the fleet: the client's scheduler
+  // multiplexes ten machines over three workers. Each dispatched job
+  // runs a single-executor engine — the fleet fan-out is the
+  // parallelism.
+  client::InProcessClient::Options opts;
   opts.workers = 3;
   opts.start_paused = true;  // queue the whole wave, then dispatch
-  core::ScanScheduler sched(opts);
-  sched.set_tenant_weight("hq", 2);
-  sched.set_tenant_weight("branch", 1);
-  sched.set_tenant_weight("lab", 1);
+  opts.tenant_weights["hq"] = 2;
+  opts.tenant_weights["branch"] = 1;
+  opts.tenant_weights["lab"] = 1;
+  opts.resolve_machine = [&fleet](const std::string& id) {
+    for (Desktop& d : fleet) {
+      if (d.host == id) return d.box.get();
+    }
+    return static_cast<machine::Machine*>(nullptr);
+  };
+  client::InProcessClient service(opts);
 
   for (auto& d : fleet) {
-    core::JobSpec spec;
-    spec.machine = d.box.get();
+    client::JobSpec spec;
+    spec.machine_id = d.host;
     spec.tenant = d.tenant;
     spec.priority = d.priority;
     spec.kind = core::ScanKind::kInside;
-    d.job = sched.submit(std::move(spec)).value();
+    d.job = service.submit(spec).value();
   }
 
   // Ops pulls one lab soak box out of the wave before it runs — the
-  // session handle cancels it cleanly; it completes as CANCELLED
-  // without the machine ever being touched.
+  // job handle cancels it cleanly; it completes as CANCELLED without
+  // the machine ever being touched.
   Desktop& pulled = fleet.back();
   const auto pulled_clock_before = pulled.box->clock().now();
   pulled.job.cancel();
 
-  sched.resume();
-  sched.wait_idle();
+  service.resume();
+  service.wait_idle();
 
-  std::printf("%-14s %-7s %-4s %-10s %-7s %-7s %-7s %-8s %s\n", "host",
-              "tenant", "prio", "verdict", "files", "hooks", "procs",
-              "queue(ms)", "ground truth");
+  std::printf("%-14s %-7s %-4s %-10s %-7s %-8s %s\n", "host", "tenant",
+              "prio", "verdict", "hidden", "queue(ms)", "ground truth");
   int detected = 0, infected = 0, cancelled = 0;
   for (auto& d : fleet) {
-    auto& result = d.job.wait();
-    if (!result.ok()) {
+    const client::JobResult& result = d.job.wait();
+    if (!result.status.ok()) {
       const bool was_cancelled =
-          result.status().code() == support::StatusCode::kCancelled;
+          result.status.code() == support::StatusCode::kCancelled;
       if (was_cancelled) ++cancelled;
-      std::printf("%-14s %-7s %-4d %-10s %-7s %-7s %-7s %-8s %s\n",
-                  d.host.c_str(), d.tenant.c_str(), d.priority,
-                  was_cancelled ? "CANCELLED" : "ERROR", "-", "-", "-", "-",
+      std::printf("%-14s %-7s %-4d %-10s %-7s %-8s %s\n", d.host.c_str(),
+                  d.tenant.c_str(), d.priority,
+                  was_cancelled ? "CANCELLED" : "ERROR", "-", "-",
                   d.infection_name.c_str());
       continue;
     }
-    const core::Report& report = result.value();
-    const auto a = core::assess_anomaly(report.diffs);
-    const bool verdict = report.infection_detected();
+    const std::string& report = result.report_json;
+    const bool verdict = report.find("\"infected\":true") != std::string::npos;
     if (d.infection) ++infected;
     if (verdict) ++detected;
-    std::printf("%-14s %-7s %-4d %-10s %-7zu %-7zu %-7zu %-8.1f %s\n",
-                d.host.c_str(), d.tenant.c_str(), d.priority,
-                verdict ? "INFECTED" : "clean", a.hidden_files,
-                a.hidden_hooks, a.hidden_processes,
-                report.scheduler->queue_seconds * 1e3,
+    std::printf("%-14s %-7s %-4d %-10s %-7.0f %-8.1f %s\n", d.host.c_str(),
+                d.tenant.c_str(), d.priority,
+                verdict ? "INFECTED" : "clean",
+                json_number_field(report, "hidden_resources"),
+                json_number_field(report, "queue_seconds") * 1e3,
                 d.infection_name.c_str());
   }
 
-  const core::SchedulerStats stats = sched.stats();
+  const core::SchedulerStats stats = service.stats();
   std::printf("\n%s", stats.to_string().c_str());
   std::printf("\n%d/%d infections detected, zero false positives, "
               "%d job cancelled mid-sweep\n",
@@ -130,8 +151,7 @@ int main() {
   // completed, and the one live infection on the pulled box's tenant
   // still surfaced on the boxes that did run.
   const bool pulled_clean =
-      !pulled.job.wait().ok() &&
-      pulled.job.wait().status().code() == support::StatusCode::kCancelled &&
+      pulled.job.wait().status.code() == support::StatusCode::kCancelled &&
       pulled.box->clock().now() == pulled_clock_before;
   return (detected == infected && cancelled == 1 && pulled_clean) ? 0 : 1;
 }

@@ -1,17 +1,30 @@
-// ghostbuster_cli — command-line front end over the library.
+// gb — the GhostBuster command line, structured as subcommands.
 //
-// Because the substrate is simulated, the CLI builds the machine it
+// Because the substrate is simulated, the CLI builds the machines it
 // scans: pick infections, pick scan modes, optionally round-trip the
-// disk image through a host file (the Section 5 VM workflow: power the
-// VM down, scan the .img from the host).
+// disk image through a host file (the Section 5 VM workflow), or run a
+// whole simulated fleet through the client API / the crash-safe daemon.
 //
-//   ghostbuster_cli [--infect name[,name...]] [--mode inside|injected|outside]
-//                   [--advanced] [--carve|--no-carve] [--ads] [--attribute]
-//                   [--remove]
-//                   [--json [FILE]] [--save-image FILE | --scan-image FILE]
-//                   [--seed N] [--fleet N [--workers N]] [--rescan N]
-//                   [--metrics [FILE]] [--trace FILE] [--corrupt-hive]
-//                   [--diff-reports A.json B.json]
+//   gb scan    [scan flags]        one machine, or --fleet N through the
+//                                  gb::client API
+//   gb diff    A.json B.json       drift between two saved reports
+//   gb submit  --journal F ...     durably enqueue fleet jobs (no scan)
+//   gb serve   --journal F ...     replay the journal, run every pending
+//                                  job to completion, print stats
+//   gb poll    --journal F ...     inspect a journal's restart image
+//
+// The pre-subcommand flag spelling (`ghostbuster_cli --infect ...`)
+// still works as a deprecated alias for `gb scan` (or `gb diff` for
+// --diff-reports) and prints a one-line warning on stderr.
+//
+// gb scan
+// -------
+//   gb scan [--infect name[,name...]] [--mode inside|injected|outside]
+//           [--advanced] [--carve|--no-carve] [--ads] [--attribute]
+//           [--remove]
+//           [--json [FILE]] [--save-image FILE | --scan-image FILE]
+//           [--seed N] [--fleet N [--workers N]] [--rescan N]
+//           [--metrics [FILE]] [--trace FILE] [--corrupt-hive]
 //
 //   --json emits the schema-v2.5 machine-readable report on stdout, or
 //   into FILE when one is given (for SIEM/automation pipelines).
@@ -27,11 +40,6 @@
 //   journal/splice provenance on stderr. The final report goes to
 //   stdout/--json exactly as a plain scan's would.
 //
-//   --diff-reports A.json B.json loads two saved schema-v2.x reports and
-//   prints the drift in hidden-resource findings (added / removed /
-//   changed, with view provenance). Exit code: 0 = no drift, 1 = drift,
-//   2 = usage error, 3 = unreadable or unparsable report.
-//
 //   --metrics dumps the process-wide obs::MetricsRegistry in Prometheus
 //   text exposition format after the scan (stdout, or FILE). --trace
 //   FILE enables span tracing and writes Chrome trace_event JSON —
@@ -42,22 +50,51 @@
 //   the degraded-registry-diff path for demos and metrics checks.
 //
 //   --fleet N scans N desktops (every third one infected from the
-//   file-hiding catalogue) through the ScanScheduler: tenants corp /
-//   branch / lab share --workers pool slots under weighted fair queuing.
-//   With --json the output is one envelope: {"schema_version":"2.5",
-//   "fleet":[report...],"stats":{...}}.
+//   file-hiding catalogue) through gb::client::InProcessClient: tenants
+//   corp / branch / lab share --workers pool slots under weighted fair
+//   queuing. With --json the output is one envelope:
+//   {"schema_version":"2.5","fleet":[report...],"stats":{...}}.
 //
 //   names: urbin mersting vanquish aphex hackerdefender probotse
 //          hidefiles berbew fu doublefu adsstasher indexghost
 //
+// gb diff
+// -------
+//   gb diff A.json B.json — load two saved schema-v2.x reports and
+//   print the drift in hidden-resource findings (added / removed /
+//   changed, with view provenance). Exit code: 0 = no drift, 1 = drift,
+//   2 = usage error, 3 = unreadable or unparsable report.
+//
+// gb submit / serve / poll — the daemon workflow, one journal shared
+// across processes (the fleet catalog is a pure function of
+// --fleet/--seed, so every process rebuilds identical machines):
+//
+//   gb submit --journal F [--fleet N] [--seed N] [--machine ID]...
+//             [--mode M] [--advanced]
+//     Appends durable submit records for the named machines (default:
+//     the whole fleet) and exits *without* scanning — exactly the state
+//     a daemon that crashed right after acknowledging leaves behind.
+//
+//   gb serve --journal F [--fleet N] [--seed N] [--shards N]
+//            [--workers N] [--json] [--metrics [FILE]]
+//     Starts the daemon on the journal: pending jobs replay, re-queue
+//     and run to completion (journaled), then stats print and it exits.
+//
+//   gb poll --journal F [--job ID]
+//     Prints the journal's restart image — completed jobs with status,
+//     pending jobs with their requeue state; --job ID dumps that job's
+//     stored report JSON. Exit 3 if the job is unknown or has no report.
+//
 // Examples:
-//   ghostbuster_cli --infect hackerdefender,fu --advanced --attribute
-//   ghostbuster_cli --infect hackerdefender --mode outside
-//   ghostbuster_cli --infect doublefu --mode outside --advanced
-//   ghostbuster_cli --infect adsstasher --ads
-//   ghostbuster_cli --infect vanquish --save-image /tmp/infected.img
-//   ghostbuster_cli --scan-image /tmp/infected.img
+//   gb scan --infect hackerdefender,fu --advanced --attribute
+//   gb scan --infect vanquish --save-image /tmp/infected.img
+//   gb scan --scan-image /tmp/infected.img
+//   gb scan --fleet 12 --workers 4 --json
+//   gb submit --journal /tmp/j.gbj --fleet 6
+//   gb serve  --journal /tmp/j.gbj --fleet 6 --shards 2
+//   gb poll   --journal /tmp/j.gbj --job 3
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -73,6 +110,10 @@
 #include "core/report_diff.h"
 #include "core/scan_scheduler.h"
 #include "core/removal.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/job_journal.h"
+#include "gb_daemond/sim_fleet.h"
 #include "malware/ads_stasher.h"
 #include "malware/doublefu.h"
 #include "malware/indexghost.h"
@@ -169,9 +210,264 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-}  // namespace
+/// Pulls a bare numeric field out of report JSON (the CLI consumes its
+/// own reports through the client API, which delivers JSON only).
+double json_number_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
 
-int main(int argc, char** argv) {
+bool json_reports_infected(const std::string& json) {
+  return json.find("\"infected\":true") != std::string::npos;
+}
+
+core::ScanKind parse_kind_or_exit(const std::string& mode) {
+  if (mode == "inside") return core::ScanKind::kInside;
+  if (mode == "injected") return core::ScanKind::kInjected;
+  if (mode == "outside") return core::ScanKind::kOutside;
+  std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+  std::exit(2);
+}
+
+/// `gb diff A.json B.json` (and the legacy --diff-reports alias).
+int run_report_diff(const std::string& path_a, const std::string& path_b) {
+  auto slurp = [](const std::string& path) -> std::optional<std::string> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return std::move(buf).str();
+  };
+  const auto a = slurp(path_a);
+  const auto b = slurp(path_b);
+  if (!a || !b) {
+    std::fprintf(stderr, "cannot read %s\n", (!a ? path_a : path_b).c_str());
+    return 3;
+  }
+  const auto delta = core::diff_reports_json(*a, *b);
+  if (!delta.ok()) {
+    std::fprintf(stderr, "report diff failed: %s\n",
+                 delta.status().to_string().c_str());
+    return 3;
+  }
+  std::printf("%s", delta->to_string().c_str());
+  return delta->drift() ? 1 : 0;
+}
+
+/// Shared by submit/serve/poll: one journal, one deterministic catalog.
+struct DaemonFlags {
+  std::string journal;
+  std::size_t fleet = 6;
+  std::uint64_t seed = 1;
+  std::size_t shards = 1;
+  std::size_t workers = 2;
+  std::vector<std::string> machines;  // submit targets; empty = all
+  core::ScanKind kind = core::ScanKind::kInside;
+  bool advanced = false;
+  bool json = false;
+  bool metrics = false;
+  std::string metrics_path;
+  std::uint64_t job_id = 0;
+  bool have_job_id = false;
+};
+
+DaemonFlags parse_daemon_flags(int argc, char** argv, int first,
+                               const char* cmd) {
+  DaemonFlags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gb %s: %s needs a value\n", cmd, arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--journal") flags.journal = need_value();
+    else if (arg == "--fleet") flags.fleet = std::stoull(need_value());
+    else if (arg == "--seed") flags.seed = std::stoull(need_value());
+    else if (arg == "--shards") flags.shards = std::stoull(need_value());
+    else if (arg == "--workers") flags.workers = std::stoull(need_value());
+    else if (arg == "--machine") flags.machines.push_back(need_value());
+    else if (arg == "--mode") flags.kind = parse_kind_or_exit(need_value());
+    else if (arg == "--advanced") flags.advanced = true;
+    else if (arg == "--json") flags.json = true;
+    else if (arg == "--metrics") {
+      flags.metrics = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') flags.metrics_path = argv[++i];
+    }
+    else if (arg == "--job") {
+      flags.job_id = std::stoull(need_value());
+      flags.have_job_id = true;
+    }
+    else {
+      std::fprintf(stderr, "gb %s: unknown argument: %s\n", cmd, arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (flags.journal.empty()) {
+    std::fprintf(stderr, "gb %s: --journal is required\n", cmd);
+    std::exit(2);
+  }
+  return flags;
+}
+
+/// `gb submit` — durably enqueue jobs, scan nothing. The journal then
+/// holds acknowledged-but-unserved submits: the exact state a daemon
+/// crash leaves, which `gb serve` recovers from.
+int cmd_submit(int argc, char** argv, int first) {
+  const DaemonFlags flags = parse_daemon_flags(argc, argv, first, "submit");
+  fleet_sim::SimFleet fleet =
+      fleet_sim::build_sim_fleet(flags.fleet, flags.seed);
+
+  std::vector<const fleet_sim::SimBox*> targets;
+  if (flags.machines.empty()) {
+    for (const auto& box : fleet.boxes) targets.push_back(&box);
+  } else {
+    for (const std::string& id : flags.machines) {
+      const auto* box = [&]() -> const fleet_sim::SimBox* {
+        for (const auto& b : fleet.boxes)
+          if (b.id == id) return &b;
+        return nullptr;
+      }();
+      if (box == nullptr) {
+        std::fprintf(stderr, "gb submit: machine %s is not in a --fleet %zu "
+                     "--seed %llu catalog\n",
+                     id.c_str(), flags.fleet,
+                     static_cast<unsigned long long>(flags.seed));
+        return 2;
+      }
+      targets.push_back(box);
+    }
+  }
+
+  auto journal = daemon::JobJournal::open(flags.journal);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "gb submit: cannot open %s: %s\n",
+                 flags.journal.c_str(),
+                 journal.status().to_string().c_str());
+    return 3;
+  }
+  std::uint64_t next_id = journal->replay().next_job_id;
+  for (const fleet_sim::SimBox* box : targets) {
+    daemon::JobRequest request;
+    request.machine_id = box->id;
+    request.tenant = box->tenant;
+    request.kind = flags.kind;
+    request.advanced = flags.advanced;
+    if (auto s = journal->append_submit(next_id, request); !s.ok()) {
+      std::fprintf(stderr, "gb submit: journal append failed: %s\n",
+                   s.to_string().c_str());
+      return 3;
+    }
+    std::printf("submitted job %llu: %s (%s)\n",
+                static_cast<unsigned long long>(next_id), box->id.c_str(),
+                box->tenant.c_str());
+    next_id += 1;
+  }
+  std::printf("%zu job(s) journaled in %s; run `gb serve --journal %s "
+              "--fleet %zu --seed %llu` to execute them\n",
+              targets.size(), flags.journal.c_str(), flags.journal.c_str(),
+              flags.fleet, static_cast<unsigned long long>(flags.seed));
+  return 0;
+}
+
+/// `gb serve` — start the daemon on the journal, drain, report.
+int cmd_serve(int argc, char** argv, int first) {
+  const DaemonFlags flags = parse_daemon_flags(argc, argv, first, "serve");
+  fleet_sim::SimFleet fleet =
+      fleet_sim::build_sim_fleet(flags.fleet, flags.seed);
+
+  daemon::DaemonOptions opts;
+  opts.journal_path = flags.journal;
+  opts.shards = flags.shards;
+  opts.workers_per_shard = flags.workers;
+  opts.resolve_machine = fleet.resolver();
+  opts.tenant_weights["corp"] = 2;
+  auto daemon = daemon::Daemon::start(std::move(opts));
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "gb serve: %s\n",
+                 daemon.status().to_string().c_str());
+    return 3;
+  }
+  (*daemon)->wait_idle();
+  const daemon::DaemonStats stats = (*daemon)->stats();
+  if (flags.json) {
+    std::printf("%s\n", stats.to_json().c_str());
+  } else {
+    std::printf("%s", stats.to_string().c_str());
+  }
+  if (flags.metrics) {
+    const std::string text = (*daemon)->metrics_text();
+    if (flags.metrics_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else if (!write_text(flags.metrics_path, text)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_path.c_str());
+      return 3;
+    }
+  }
+  return 0;
+}
+
+/// `gb poll` — inspect a journal's restart image without serving.
+int cmd_poll(int argc, char** argv, int first) {
+  const DaemonFlags flags = parse_daemon_flags(argc, argv, first, "poll");
+  auto journal = daemon::JobJournal::open(flags.journal);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "gb poll: cannot open %s: %s\n",
+                 flags.journal.c_str(), journal.status().to_string().c_str());
+    return 3;
+  }
+  const daemon::JournalReplay& replay = journal->replay();
+  if (flags.have_job_id) {
+    const auto it = replay.completed.find(flags.job_id);
+    if (it == replay.completed.end()) {
+      std::fprintf(stderr, "gb poll: job %llu has no stored result\n",
+                   static_cast<unsigned long long>(flags.job_id));
+      return 3;
+    }
+    if (!it->second.status.ok()) {
+      std::fprintf(stderr, "job %llu terminal status: %s\n",
+                   static_cast<unsigned long long>(flags.job_id),
+                   it->second.status.to_string().c_str());
+      return 3;
+    }
+    std::printf("%s\n", it->second.report_json.c_str());
+    return 0;
+  }
+  std::printf("journal %s: %llu record(s), %zu completed, %zu pending",
+              flags.journal.c_str(),
+              static_cast<unsigned long long>(replay.records),
+              replay.completed.size(), replay.pending.size());
+  if (replay.truncated_bytes > 0) {
+    std::printf(", %llu torn byte(s) truncated",
+                static_cast<unsigned long long>(replay.truncated_bytes));
+  }
+  std::printf("\n");
+  for (const auto& [id, done] : replay.completed) {
+    std::printf("  job %5llu  %-14s %-7s done: %s%s\n",
+                static_cast<unsigned long long>(id),
+                done.request.machine_id.c_str(), done.request.tenant.c_str(),
+                done.status.ok() ? "ok" : done.status.to_string().c_str(),
+                done.status.ok() && json_reports_infected(done.report_json)
+                    ? " [INFECTED]"
+                    : "");
+  }
+  for (const auto& pending : replay.pending) {
+    std::printf("  job %5llu  %-14s %-7s pending%s\n",
+                static_cast<unsigned long long>(pending.id),
+                pending.request.machine_id.c_str(),
+                pending.request.tenant.c_str(),
+                pending.started ? " (was mid-scan at crash)" : "");
+  }
+  return 0;
+}
+
+/// `gb scan` — every pre-daemon workflow: single machine, offline
+/// image, incremental sessions, or an in-process fleet sweep.
+int cmd_scan(int argc, char** argv, int first) {
   std::vector<std::string> infections;
   std::string mode = "inside";
   std::string save_image, scan_image;
@@ -189,7 +485,7 @@ int main(int argc, char** argv) {
   std::size_t rescans = 0;
   std::string diff_report_a, diff_report_b;
 
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto need_value = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -235,30 +531,9 @@ int main(int argc, char** argv) {
 
   if (!trace_path.empty()) obs::default_tracer().enable();
 
-  // Report-diff mode: compare two saved reports, no machine involved.
+  // Report-diff alias: compare two saved reports, no machine involved.
   if (!diff_report_a.empty()) {
-    auto slurp = [](const std::string& path) -> std::optional<std::string> {
-      std::ifstream in(path, std::ios::binary);
-      if (!in) return std::nullopt;
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      return std::move(buf).str();
-    };
-    const auto a = slurp(diff_report_a);
-    const auto b = slurp(diff_report_b);
-    if (!a || !b) {
-      std::fprintf(stderr, "cannot read %s\n",
-                   (!a ? diff_report_a : diff_report_b).c_str());
-      return 3;
-    }
-    const auto delta = core::diff_reports_json(*a, *b);
-    if (!delta.ok()) {
-      std::fprintf(stderr, "report diff failed: %s\n",
-                   delta.status().to_string().c_str());
-      return 3;
-    }
-    std::printf("%s", delta->to_string().c_str());
-    return delta->drift() ? 1 : 0;
+    return run_report_diff(diff_report_a, diff_report_b);
   }
 
   // Offline mode: scan a saved disk image file from "the host".
@@ -292,80 +567,52 @@ int main(int argc, char** argv) {
     return emit_telemetry(metrics, metrics_path, trace_path);
   }
 
-  // Fleet mode: N desktops multiplexed over a fixed worker pool by the
-  // ScanScheduler, tenants served under weighted fair queuing.
+  // Fleet mode: N desktops through the client API. The catalog is the
+  // same deterministic one the daemon subcommands use, and the sweep
+  // runs on InProcessClient — swap in a DaemonClient and this code
+  // would not change.
   if (fleet_size > 0) {
-    core::ScanKind kind = core::ScanKind::kInside;
-    if (mode == "injected") kind = core::ScanKind::kInjected;
-    else if (mode == "outside") kind = core::ScanKind::kOutside;
-    else if (mode != "inside") {
-      std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
-      return 2;
-    }
+    const core::ScanKind kind = parse_kind_or_exit(mode);
+    fleet_sim::SimFleet fleet = fleet_sim::build_sim_fleet(fleet_size, seed);
 
-    const auto catalogue = malware::file_hiding_collection();
-    const char* tenant_of[] = {"corp", "branch", "lab"};
-    struct FleetBox {
-      std::string host;
-      std::string tenant;
-      std::unique_ptr<machine::Machine> box;
-      std::string infection_name = "-";
-      core::ScanJob job;
-    };
-    std::vector<FleetBox> fleet;
-    for (std::size_t i = 0; i < fleet_size; ++i) {
-      FleetBox b;
-      b.host = "DESKTOP-" + std::to_string(100 + i);
-      b.tenant = tenant_of[i % 3];
-      machine::MachineConfig mc;
-      mc.seed = seed + i;
-      mc.disk_sectors = 64 * 1024;  // 32 MiB each, so big fleets fit
-      mc.mft_records = 4096;
-      mc.synthetic_files = 60;
-      mc.synthetic_registry_keys = 30;
-      b.box = std::make_unique<machine::Machine>(mc);
-      if (i % 3 == 2) {  // every third desktop carries an infection
-        const auto& entry = catalogue[i % catalogue.size()];
-        entry.install(*b.box);
-        b.infection_name = entry.display_name;
-      }
-      fleet.push_back(std::move(b));
-    }
-
-    core::ScanScheduler::Options opts;
-    opts.workers = fleet_workers;
-    opts.metrics = &obs::default_registry();  // one --metrics dump covers
-                                              // scheduler + pool + engines
-    core::ScanScheduler sched(opts);
-    sched.set_tenant_weight("corp", 2);
-    for (auto& b : fleet) {
-      core::JobSpec spec;
-      spec.machine = b.box.get();
-      spec.tenant = b.tenant;
+    client::InProcessClient::Options copts;
+    copts.workers = fleet_workers;
+    copts.resolve_machine = fleet.resolver();
+    copts.tenant_weights["corp"] = 2;
+    copts.metrics = &obs::default_registry();  // one --metrics dump covers
+                                               // scheduler + pool + engines
+    client::InProcessClient fleet_client(copts);
+    std::vector<client::JobHandle> handles;
+    for (const fleet_sim::SimBox& box : fleet.boxes) {
+      client::JobSpec spec;
+      spec.machine_id = box.id;
+      spec.tenant = box.tenant;
       spec.kind = kind;
-      spec.config.processes.scheduler_view = advanced;
-      spec.config.processes.carve = carve;
-      b.job = sched.submit(std::move(spec)).value();
+      spec.advanced = advanced;
+      spec.carve = carve;
+      handles.push_back(fleet_client.submit(spec).value());
     }
-    sched.wait_idle();
+    fleet_client.wait_idle();
 
     int detected = 0, infected = 0, failed = 0;
-    for (auto& b : fleet) {
-      auto& result = b.job.wait();
-      if (!result.ok()) ++failed;
-      if (b.infection_name != "-") ++infected;
-      if (result.ok() && result.value().infection_detected()) ++detected;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      const client::JobResult& result = handles[i].wait();
+      if (!result.status.ok()) ++failed;
+      if (fleet.boxes[i].infection != "-") ++infected;
+      if (result.status.ok() && json_reports_infected(result.report_json)) {
+        ++detected;
+      }
     }
     if (json) {
       std::string payload = "{\"schema_version\":\"2.5\",\"fleet\":[";
-      bool first = true;
-      for (auto& b : fleet) {
-        if (!first) payload += ",";
-        first = false;
-        auto& result = b.job.wait();
-        payload += result.ok() ? result.value().to_json() : "null";
+      bool first_box = true;
+      for (auto& handle : handles) {
+        if (!first_box) payload += ",";
+        first_box = false;
+        const client::JobResult& result = handle.wait();
+        payload += result.status.ok() ? result.report_json : "null";
       }
-      payload += "],\"stats\":" + sched.stats().to_json() + "}";
+      payload += "],\"stats\":" + fleet_client.stats().to_json() + "}";
       if (json_path.empty()) {
         std::printf("%s\n", payload.c_str());
       } else {
@@ -382,22 +629,24 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%-14s %-7s %-10s %-9s %s\n", "host", "tenant", "verdict",
                   "queue(ms)", "ground truth");
-      for (auto& b : fleet) {
-        auto& result = b.job.wait();
-        if (!result.ok()) {
-          std::printf("%-14s %-7s %-10s %-9s %s\n", b.host.c_str(),
-                      b.tenant.c_str(), "ERROR", "-",
-                      result.status().to_string().c_str());
+      for (std::size_t i = 0; i < handles.size(); ++i) {
+        const fleet_sim::SimBox& box = fleet.boxes[i];
+        const client::JobResult& result = handles[i].wait();
+        if (!result.status.ok()) {
+          std::printf("%-14s %-7s %-10s %-9s %s\n", box.id.c_str(),
+                      box.tenant.c_str(), "ERROR", "-",
+                      result.status.to_string().c_str());
           continue;
         }
-        const core::Report& r = result.value();
-        std::printf("%-14s %-7s %-10s %-9.1f %s\n", b.host.c_str(),
-                    b.tenant.c_str(),
-                    r.infection_detected() ? "INFECTED" : "clean",
-                    r.scheduler->queue_seconds * 1e3,
-                    b.infection_name.c_str());
+        std::printf("%-14s %-7s %-10s %-9.1f %s\n", box.id.c_str(),
+                    box.tenant.c_str(),
+                    json_reports_infected(result.report_json) ? "INFECTED"
+                                                              : "clean",
+                    json_number_field(result.report_json, "queue_seconds") *
+                        1e3,
+                    box.infection.c_str());
       }
-      std::printf("\n%s", sched.stats().to_string().c_str());
+      std::printf("\n%s", fleet_client.stats().to_string().c_str());
     }
     const int telemetry_rc = emit_telemetry(metrics, metrics_path, trace_path);
     if (telemetry_rc != 0) return telemetry_rc;
@@ -431,13 +680,7 @@ int main(int argc, char** argv) {
 
   core::Report report;
   core::JobSpec job;
-  if (mode == "inside") job.kind = core::ScanKind::kInside;
-  else if (mode == "injected") job.kind = core::ScanKind::kInjected;
-  else if (mode == "outside") job.kind = core::ScanKind::kOutside;
-  else {
-    std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
-    return 2;
-  }
+  job.kind = parse_kind_or_exit(mode);
   if (rescans > 0 && mode == "inside") {
     // Incremental session: scan 0 primes the snapshot store (full walk),
     // the rest splice. Narration goes to stderr so --json stays clean.
@@ -511,4 +754,55 @@ int main(int argc, char** argv) {
   const int telemetry_rc = emit_telemetry(metrics, metrics_path, trace_path);
   if (telemetry_rc != 0) return telemetry_rc;
   return anything_found || infections.empty() ? 0 : 1;
+}
+
+int cmd_diff(int argc, char** argv, int first) {
+  if (argc - first != 2) {
+    std::fprintf(stderr, "usage: gb diff A.json B.json\n");
+    return 2;
+  }
+  return run_report_diff(argv[first], argv[first + 1]);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gb <scan|serve|submit|poll|diff> [flags]\n"
+               "       (see the header comment of ghostbuster_cli.cpp)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    // The flag-era CLI with no arguments scanned a pristine machine;
+    // keep that alias alive for scripts.
+    std::fprintf(stderr,
+                 "ghostbuster_cli: flag-style invocation is deprecated; use "
+                 "`gb scan` (running `gb scan`)\n");
+    return cmd_scan(argc, argv, 1);
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "scan") return cmd_scan(argc, argv, 2);
+  if (cmd == "serve") return cmd_serve(argc, argv, 2);
+  if (cmd == "submit") return cmd_submit(argc, argv, 2);
+  if (cmd == "poll") return cmd_poll(argc, argv, 2);
+  if (cmd == "diff") return cmd_diff(argc, argv, 2);
+  if (cmd.size() >= 1 && cmd[0] == '-') {
+    // Deprecated alias: the pre-subcommand flag soup. --diff-reports was
+    // its own mode; everything else was a scan.
+    const bool is_diff = [&] {
+      for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--diff-reports") == 0) return true;
+      }
+      return false;
+    }();
+    std::fprintf(stderr,
+                 "ghostbuster_cli: flag-style invocation is deprecated; use "
+                 "`gb %s %s...`\n",
+                 is_diff ? "diff" : "scan", is_diff ? "" : cmd.c_str());
+    return cmd_scan(argc, argv, 1);
+  }
+  std::fprintf(stderr, "gb: unknown command '%s'\n", cmd.c_str());
+  return usage();
 }

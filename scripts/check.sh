@@ -54,4 +54,19 @@ if grep -q '"byte_identical":false' "${BUILD_DIR}/bench_carve.json"; then
   exit 1
 fi
 
+echo "== bench_daemon smoke (table only; asserts crash-safety invariants)"
+"${BUILD_DIR}/bench/bench_daemon" \
+  --json "${BUILD_DIR}/bench_daemon.json" --benchmark_filter='^$'
+# Every scenario row must report exactly zero lost jobs.
+if ! grep -q '"lost_jobs":0' "${BUILD_DIR}/bench_daemon.json" ||
+   grep -o '"lost_jobs":[0-9]*' "${BUILD_DIR}/bench_daemon.json" |
+     grep -qv '"lost_jobs":0$'; then
+  echo "bench_daemon: a journaled job was lost across kill/restart" >&2
+  exit 1
+fi
+if grep -q '"byte_identical":false' "${BUILD_DIR}/bench_daemon.json"; then
+  echo "bench_daemon: replayed reports diverged from the uninterrupted run" >&2
+  exit 1
+fi
+
 echo "== check.sh: all green"

@@ -47,6 +47,7 @@ namespace gb::core {
 
 class ScanEngine;
 class ScanSession;
+struct Report;
 
 namespace internal {
 struct SessionState;  // snapshot store + cursor (core/scan_session.h)
@@ -208,6 +209,18 @@ struct JobSpec {
   /// Hook run on the freshly built engine before the scan (register
   /// extra providers, tweak instrumentation). Scheduler-only.
   std::function<void(ScanEngine&)> configure_engine;
+  /// Completion hook, scheduler-only: invoked exactly once per submitted
+  /// job — after a dispatched run finishes, when a queued job is
+  /// cancelled, or when scheduler shutdown cancels it — with the
+  /// scheduler-assigned job id and the (mutable) result, always OUTSIDE
+  /// scheduler locks. For dispatched runs it fires before waiters observe
+  /// the job as done, so a serving layer can stamp provenance into the
+  /// report and journal the completion durably before any client reads
+  /// the result; for cancelled-while-queued jobs it fires just after the
+  /// handle completes. ScanEngine::run ignores it. The hook may take its
+  /// own locks but must not re-enter the scheduler.
+  std::function<void(std::uint64_t job_id, support::StatusOr<Report>& result)>
+      on_complete;
   /// Scheduled incremental re-scan: when set, ScanScheduler::submit runs
   /// session->rescan() — reusing the session's snapshot + journal cursor
   /// — instead of building a fresh engine, and `machine`/`config`/

@@ -271,11 +271,17 @@ void run_job(SchedulerCore& core, JobState& st) {
   }
   const double run_seconds = seconds_since(run_start);
 
-  std::lock_guard<std::mutex> lk(core.mu);
+  // Scheduler provenance + the completion hook run BEFORE the result is
+  // published: st's identity fields are immutable after dispatch, and a
+  // serving layer must be able to journal the completion durably before
+  // any waiter can observe the job as done.
   if (result.ok()) {
     result.value().scheduler = Report::SchedulerTag{
         st.tenant, st.id, st.priority, st.queue_seconds};
   }
+  if (st.spec.on_complete) st.spec.on_complete(st.id, result);
+
+  std::lock_guard<std::mutex> lk(core.mu);
   Tenant& t = tenant_locked(core, st.tenant);
   if (!result.ok() &&
       result.status().code() == support::StatusCode::kCancelled) {
@@ -349,14 +355,24 @@ support::StatusOr<Report>* ScanJob::try_result() {
 bool ScanJob::cancel() {
   if (!state_) return false;
   internal::JobState& st = *state_;
-  std::lock_guard<std::mutex> lk(st.core->mu);
-  const JobPhase phase = st.phase.load(std::memory_order_acquire);
-  if (phase == JobPhase::kDone || st.token.cancelled()) return false;
-  if (phase == JobPhase::kQueued) {
-    internal::complete_cancelled_locked(*st.core, st,
-                                        "job cancelled while queued");
-  } else {
-    st.token.cancel();  // the running engine sees it at the next boundary
+  bool completed_here = false;
+  {
+    std::lock_guard<std::mutex> lk(st.core->mu);
+    const JobPhase phase = st.phase.load(std::memory_order_acquire);
+    if (phase == JobPhase::kDone || st.token.cancelled()) return false;
+    if (phase == JobPhase::kQueued) {
+      internal::complete_cancelled_locked(*st.core, st,
+                                          "job cancelled while queued");
+      completed_here = true;
+    } else {
+      st.token.cancel();  // the running engine sees it at the next boundary
+    }
+  }
+  // The completion hook runs outside the scheduler lock (it may take the
+  // caller's own locks). The result is stable: a cancelled-while-queued
+  // job is done and will never be dispatched again.
+  if (completed_here && st.spec.on_complete) {
+    st.spec.on_complete(st.id, st.result);
   }
   return true;
 }
@@ -445,21 +461,24 @@ ScanScheduler::ScanScheduler(Options opts)
 }
 
 ScanScheduler::~ScanScheduler() {
+  // Shared_ptr copies, not raw pointers: complete_cancelled_locked
+  // erases each job from `live`, and an abandoned handle would otherwise
+  // leave these JobStates destroyed before the hook loop below.
+  std::vector<std::shared_ptr<internal::JobState>> queued;
   {
     std::lock_guard<std::mutex> lk(core_->mu);
     core_->shutdown = true;
     // Complete everything still queued as cancelled (it never ran) and
     // raise the token of everything running so it bails out at the next
     // provider-task boundary.
-    std::vector<internal::JobState*> queued;
     for (auto& [id, job] : core_->live) {
       if (job->phase.load(std::memory_order_acquire) == JobPhase::kQueued) {
-        queued.push_back(job.get());
+        queued.push_back(job);
       } else {
         job->token.cancel();
       }
     }
-    for (internal::JobState* st : queued) {
+    for (const auto& st : queued) {
       internal::complete_cancelled_locked(*core_, *st,
                                           "scheduler shut down");
     }
@@ -468,6 +487,10 @@ ScanScheduler::~ScanScheduler() {
       t.queues.clear();
       t.in_ring = false;
     }
+  }
+  // Completion hooks for shutdown-cancelled jobs fire outside the lock.
+  for (const auto& st : queued) {
+    if (st->spec.on_complete) st->spec.on_complete(st->id, st->result);
   }
   wait_idle();
   // pool_ (declared after core_) is destroyed first, joining any worker

@@ -1,0 +1,386 @@
+#include "daemon/client.h"
+
+#include <algorithm>
+#include <mutex>
+#include <regex>
+#include <utility>
+
+#include "daemon/wire.h"
+
+namespace gb::client {
+
+namespace internal {
+
+/// Transport-specific behavior behind JobHandle's shared state.
+class HandleImpl {
+ public:
+  virtual ~HandleImpl() = default;
+  [[nodiscard]] virtual std::uint64_t id() const = 0;
+  virtual const JobResult& wait() = 0;
+  virtual const JobResult* try_result() = 0;
+  virtual bool cancel() = 0;
+  [[nodiscard]] virtual core::JobProgress progress() = 0;
+};
+
+}  // namespace internal
+
+std::uint64_t JobHandle::id() const { return impl_ ? impl_->id() : 0; }
+
+const JobResult& JobHandle::wait() { return impl_->wait(); }
+
+const JobResult* JobHandle::try_result() {
+  return impl_ ? impl_->try_result() : nullptr;
+}
+
+bool JobHandle::cancel() { return impl_ && impl_->cancel(); }
+
+core::JobProgress JobHandle::progress() const {
+  return impl_ ? impl_->progress() : core::JobProgress{};
+}
+
+// --- in-process transport ---------------------------------------------------
+
+namespace {
+
+class InProcessHandle final : public internal::HandleImpl {
+ public:
+  explicit InProcessHandle(core::ScanJob job) : job_(std::move(job)) {}
+
+  [[nodiscard]] std::uint64_t id() const override { return job_.id(); }
+
+  const JobResult& wait() override {
+    support::StatusOr<core::Report>& result = job_.wait();
+    std::lock_guard<std::mutex> lk(mu_);
+    fill_locked(result);
+    return result_;
+  }
+
+  const JobResult* try_result() override {
+    support::StatusOr<core::Report>* result = job_.try_result();
+    if (result == nullptr) return nullptr;
+    std::lock_guard<std::mutex> lk(mu_);
+    fill_locked(*result);
+    return &result_;
+  }
+
+  bool cancel() override { return job_.cancel(); }
+
+  [[nodiscard]] core::JobProgress progress() override {
+    return job_.progress();
+  }
+
+ private:
+  // Serializes the report once; later calls reuse the cached JSON.
+  void fill_locked(support::StatusOr<core::Report>& result) {
+    if (cached_) return;
+    if (result.ok()) {
+      result_.report_json = result->to_json();
+    } else {
+      result_.status = result.status();
+    }
+    cached_ = true;
+  }
+
+  core::ScanJob job_;
+  std::mutex mu_;
+  bool cached_ = false;
+  JobResult result_;
+};
+
+}  // namespace
+
+InProcessClient::InProcessClient(Options opts)
+    : opts_(std::move(opts)),
+      scheduler_([&] {
+        core::ScanScheduler::Options sched;
+        sched.workers = std::max<std::size_t>(opts_.workers, 1);
+        sched.start_paused = opts_.start_paused;
+        sched.metrics = opts_.metrics;
+        return sched;
+      }()) {
+  for (const auto& [tenant, weight] : opts_.tenant_weights) {
+    scheduler_.set_tenant_weight(tenant, weight);
+  }
+}
+
+support::StatusOr<JobHandle> InProcessClient::submit(const JobSpec& spec) {
+  if (!opts_.resolve_machine) {
+    return support::Status::failed_precondition(
+        "client: resolve_machine unset");
+  }
+  machine::Machine* machine = opts_.resolve_machine(spec.machine_id);
+  if (machine == nullptr) {
+    return support::Status::not_found("client: unknown machine '" +
+                                      spec.machine_id + "'");
+  }
+  core::JobSpec job;
+  job.machine = machine;
+  job.tenant = spec.tenant;
+  job.priority = spec.priority;
+  job.kind = spec.kind;
+  job.config = spec.to_scan_config();
+  support::StatusOr<core::ScanJob> handle = scheduler_.submit(std::move(job));
+  if (!handle.ok()) return handle.status();
+  return JobHandle(
+      std::make_shared<InProcessHandle>(std::move(handle).value()));
+}
+
+support::StatusOr<std::string> InProcessClient::stats_json() {
+  return scheduler_.stats().to_json();
+}
+
+// --- wire transport ---------------------------------------------------------
+
+namespace internal {
+
+/// One wire connection, shared by the client and every handle it
+/// issued. RPCs hold `mu` for their whole request/reply exchange (a
+/// result stream included), so frames never interleave.
+struct WireConnection {
+  explicit WireConnection(std::shared_ptr<daemon::Transport> t)
+      : transport(std::move(t)), framer(*transport) {}
+
+  std::mutex mu;
+  std::shared_ptr<daemon::Transport> transport;
+  daemon::Framer framer;
+  /// Set on the first transport/protocol failure; later RPCs fail fast.
+  bool broken = false;
+
+  /// Sends `request` and reads one reply frame. Caller holds mu.
+  [[nodiscard]] support::StatusOr<std::vector<std::byte>> roundtrip_locked(
+      const std::vector<std::byte>& request) {
+    if (broken) {
+      return support::Status::unavailable("client: connection is broken");
+    }
+    if (support::Status s = framer.write_frame(request); !s.ok()) {
+      broken = true;
+      return s;
+    }
+    support::StatusOr<std::vector<std::byte>> reply = framer.read_frame();
+    if (!reply.ok()) broken = true;
+    return reply;
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::WireConnection;
+
+/// Interprets a reply frame: expected verb -> its payload; kErrorReply
+/// -> the server's error as this RPC's status; anything else corrupt.
+support::StatusOr<std::vector<std::byte>> expect_verb(
+    support::StatusOr<std::vector<std::byte>> frame, daemon::Verb want) {
+  if (!frame.ok()) return frame.status();
+  support::StatusOr<daemon::Verb> verb = daemon::decode_verb(*frame);
+  if (!verb.ok()) return verb.status();
+  if (*verb == daemon::Verb::kErrorReply) {
+    support::StatusOr<daemon::ErrorReply> err =
+        daemon::decode_error_reply(*frame);
+    if (!err.ok()) return err.status();
+    return err->error;
+  }
+  if (*verb != want) {
+    return support::Status::corrupt("client: unexpected reply verb");
+  }
+  return frame;
+}
+
+class DaemonHandle final : public internal::HandleImpl {
+ public:
+  DaemonHandle(std::shared_ptr<WireConnection> conn, std::uint64_t id)
+      : conn_(std::move(conn)), id_(id) {}
+
+  [[nodiscard]] std::uint64_t id() const override { return id_; }
+
+  const JobResult& wait() override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cached_) return result_;
+    result_ = fetch_result();
+    cached_ = true;
+    return result_;
+  }
+
+  const JobResult* try_result() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (cached_) return &result_;
+    }
+    support::StatusOr<daemon::PollReply> poll = poll_rpc();
+    if (!poll.ok() || !poll->status.ok() || !poll->view.finished) {
+      return nullptr;
+    }
+    return &wait();  // terminal: the result RPC returns immediately
+  }
+
+  bool cancel() override {
+    std::lock_guard<std::mutex> conn_lk(conn_->mu);
+    support::StatusOr<std::vector<std::byte>> frame = expect_verb(
+        conn_->roundtrip_locked(daemon::encode_cancel(id_)),
+        daemon::Verb::kCancelReply);
+    if (!frame.ok()) return false;
+    support::StatusOr<daemon::CancelReply> reply =
+        daemon::decode_cancel_reply(*frame);
+    return reply.ok() && reply->status.ok() && reply->cancelled;
+  }
+
+  [[nodiscard]] core::JobProgress progress() override {
+    support::StatusOr<daemon::PollReply> poll = poll_rpc();
+    core::JobProgress progress;
+    if (poll.ok() && poll->status.ok()) {
+      progress.phase = poll->view.phase;
+      progress.tasks_done = poll->view.tasks_done;
+      progress.tasks_total = poll->view.tasks_total;
+    }
+    return progress;
+  }
+
+ private:
+  support::StatusOr<daemon::PollReply> poll_rpc() {
+    std::lock_guard<std::mutex> conn_lk(conn_->mu);
+    support::StatusOr<std::vector<std::byte>> frame =
+        expect_verb(conn_->roundtrip_locked(daemon::encode_poll(id_)),
+                    daemon::Verb::kPollReply);
+    if (!frame.ok()) return frame.status();
+    return daemon::decode_poll_reply(*frame);
+  }
+
+  /// The blocking stream-result RPC: header, then chunks until `last`.
+  JobResult fetch_result() {
+    JobResult out;
+    std::lock_guard<std::mutex> conn_lk(conn_->mu);
+    support::StatusOr<std::vector<std::byte>> frame = expect_verb(
+        conn_->roundtrip_locked(daemon::encode_result(id_)),
+        daemon::Verb::kResultReply);
+    if (!frame.ok()) {
+      out.status = frame.status();
+      return out;
+    }
+    support::StatusOr<daemon::ResultReply> header =
+        daemon::decode_result_reply(*frame);
+    if (!header.ok()) {
+      out.status = header.status();
+      conn_->broken = true;
+      return out;
+    }
+    if (!header->status.ok()) {
+      out.status = header->status;
+      return out;
+    }
+    out.report_json.reserve(header->total_bytes);
+    for (std::uint32_t expected_seq = 0;; ++expected_seq) {
+      support::StatusOr<std::vector<std::byte>> chunk_frame =
+          conn_->framer.read_frame();
+      if (!chunk_frame.ok()) {
+        conn_->broken = true;
+        out = JobResult{chunk_frame.status(), ""};
+        return out;
+      }
+      support::StatusOr<daemon::Verb> verb =
+          daemon::decode_verb(*chunk_frame);
+      if (!verb.ok() || *verb != daemon::Verb::kResultChunk) {
+        conn_->broken = true;
+        out = JobResult{
+            support::Status::corrupt("client: expected result chunk"), ""};
+        return out;
+      }
+      support::StatusOr<daemon::ResultChunk> chunk =
+          daemon::decode_result_chunk(*chunk_frame);
+      if (!chunk.ok() || chunk->sequence != expected_seq) {
+        conn_->broken = true;
+        out = JobResult{
+            support::Status::corrupt("client: bad result chunk"), ""};
+        return out;
+      }
+      out.report_json += chunk->data;
+      if (chunk->last) break;
+    }
+    if (out.report_json.size() != header->total_bytes) {
+      conn_->broken = true;
+      out = JobResult{
+          support::Status::corrupt("client: result stream size mismatch"),
+          ""};
+    }
+    return out;
+  }
+
+  std::shared_ptr<WireConnection> conn_;
+  std::uint64_t id_;
+  std::mutex mu_;
+  bool cached_ = false;
+  JobResult result_;
+};
+
+}  // namespace
+
+DaemonClient::DaemonClient(std::shared_ptr<daemon::Transport> connection)
+    : conn_(std::make_shared<internal::WireConnection>(std::move(connection))) {
+}
+
+DaemonClient::~DaemonClient() { conn_->transport->close(); }
+
+support::StatusOr<JobHandle> DaemonClient::submit(const JobSpec& spec) {
+  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::StatusOr<std::vector<std::byte>> frame =
+      expect_verb(conn_->roundtrip_locked(daemon::encode_submit(spec)),
+                  daemon::Verb::kSubmitReply);
+  if (!frame.ok()) return frame.status();
+  support::StatusOr<daemon::SubmitReply> reply =
+      daemon::decode_submit_reply(*frame);
+  if (!reply.ok()) {
+    conn_->broken = true;
+    return reply.status();
+  }
+  if (!reply->status.ok()) return reply->status;
+  return JobHandle(std::make_shared<DaemonHandle>(conn_, reply->job_id));
+}
+
+JobHandle DaemonClient::attach(std::uint64_t job_id) {
+  return JobHandle(std::make_shared<DaemonHandle>(conn_, job_id));
+}
+
+support::StatusOr<std::string> DaemonClient::stats_json() {
+  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::StatusOr<std::vector<std::byte>> frame =
+      expect_verb(conn_->roundtrip_locked(daemon::encode_stats()),
+                  daemon::Verb::kStatsReply);
+  if (!frame.ok()) return frame.status();
+  support::StatusOr<daemon::StatsReply> reply =
+      daemon::decode_stats_reply(*frame);
+  if (!reply.ok()) {
+    conn_->broken = true;
+    return reply.status();
+  }
+  if (!reply->status.ok()) return reply->status;
+  return reply->stats_json;
+}
+
+support::StatusOr<std::string> DaemonClient::metrics_text() {
+  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::StatusOr<std::vector<std::byte>> frame =
+      expect_verb(conn_->roundtrip_locked(daemon::encode_stats()),
+                  daemon::Verb::kStatsReply);
+  if (!frame.ok()) return frame.status();
+  support::StatusOr<daemon::StatsReply> reply =
+      daemon::decode_stats_reply(*frame);
+  if (!reply.ok()) {
+    conn_->broken = true;
+    return reply.status();
+  }
+  if (!reply->status.ok()) return reply->status;
+  return reply->metrics_text;
+}
+
+std::string normalized_report_json(std::string_view report_json) {
+  std::string j(report_json);
+  j = std::regex_replace(j, std::regex("\"wall_seconds\":[0-9eE+.\\-]+"),
+                         "\"wall_seconds\":0");
+  j = std::regex_replace(j, std::regex("\"queue_seconds\":[0-9eE+.\\-]+"),
+                         "\"queue_seconds\":0");
+  j = std::regex_replace(j, std::regex("\"worker_threads\":[0-9]+"),
+                         "\"worker_threads\":0");
+  return j;
+}
+
+}  // namespace gb::client

@@ -1,0 +1,180 @@
+// gb::client — the one fleet-scan client API, over two transports.
+//
+// Before this layer, callers picked their abstraction by picking a
+// process boundary: in-process code drove ScanScheduler/ScanJob
+// directly, and anything out-of-process had no API at all. gb::client
+// unifies them: submit(JobSpec) returns a JobHandle with the same
+// wait / try_result / cancel / progress surface as ScanJob, and the
+// transport is an implementation detail —
+//
+//   * InProcessClient owns a ScanScheduler and runs scans in this
+//     process (what examples/enterprise_sweep and `gb scan --fleet`
+//     use);
+//   * DaemonClient speaks the wire protocol over a daemon::Transport
+//     to a (possibly restarted) Daemon, which adds journals, quotas
+//     and shards without the caller changing a line.
+//
+// Results are delivered as schema-v2 report JSON — the only form that
+// crosses the wire unchanged — so code written against JobResult works
+// identically on both transports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/scan_scheduler.h"
+#include "daemon/job_request.h"
+#include "daemon/transport.h"
+#include "machine/machine.h"
+#include "obs/metrics.h"
+#include "support/status.h"
+
+namespace gb::client {
+
+/// The job description clients submit. One value type for both
+/// transports (it is what the daemon journals and the wire carries).
+using JobSpec = daemon::JobRequest;
+
+/// Terminal outcome of one job.
+struct JobResult {
+  /// OK, the scan's own error, kCancelled, or — DaemonClient only — a
+  /// transport failure (kUnavailable/kCorrupt) if the connection died
+  /// before the result arrived.
+  support::Status status;
+  /// Schema-v2 report JSON; empty unless status is OK.
+  std::string report_json;
+};
+
+namespace internal {
+class HandleImpl;
+struct WireConnection;
+}  // namespace internal
+
+/// Future-like handle to one submitted job, mirroring core::ScanJob.
+/// Cheap to copy (shared state); safe to destroy before completion.
+/// All methods may be called from any thread, though on a DaemonClient
+/// handle a blocked wait() serializes the connection (other RPCs on
+/// the same client wait their turn).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return impl_ != nullptr; }
+  /// Id in the submitting client's domain: the scheduler job id for
+  /// InProcessClient, the daemon's journaled (restart-stable) id for
+  /// DaemonClient.
+  [[nodiscard]] std::uint64_t id() const;
+
+  /// Blocks until the job is terminal; the result is cached, so later
+  /// calls are free. The reference lives as long as this handle.
+  const JobResult& wait();
+
+  /// Non-blocking: the result if terminal, nullptr while running (or,
+  /// for DaemonClient, if the connection failed — poll again or wait()).
+  const JobResult* try_result();
+
+  /// Requests cancellation; true if this call initiated it. Through a
+  /// daemon the cancel is journaled, so it survives a daemon restart.
+  bool cancel();
+
+  /// Progress snapshot. Best-effort over the wire: a failed poll
+  /// reports a default (queued, 0/0) snapshot.
+  [[nodiscard]] core::JobProgress progress() const;
+
+ private:
+  friend class InProcessClient;
+  friend class DaemonClient;
+  explicit JobHandle(std::shared_ptr<internal::HandleImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal::HandleImpl> impl_;
+};
+
+/// The transport-agnostic client surface.
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// Submits one job. Errors mirror the serving side: kNotFound for an
+  /// unknown machine, kResourceExhausted over quota (daemon),
+  /// kUnavailable when the service or connection is down.
+  [[nodiscard]] virtual support::StatusOr<JobHandle> submit(
+      const JobSpec& spec) = 0;
+
+  /// Serving-side stats as JSON (SchedulerStats for InProcessClient,
+  /// DaemonStats for DaemonClient).
+  [[nodiscard]] virtual support::StatusOr<std::string> stats_json() = 0;
+};
+
+/// Runs jobs on a ScanScheduler it owns — the zero-infrastructure
+/// transport.
+class InProcessClient final : public Client {
+ public:
+  struct Options {
+    /// Scheduler worker-pool width (>= 1; the fleet is the parallelism).
+    std::size_t workers = 2;
+    /// Queue jobs but dispatch nothing until resume().
+    bool start_paused = false;
+    /// DRR weights (absent tenant = 1).
+    std::map<std::string, std::uint32_t> tenant_weights;
+    /// Maps JobSpec::machine_id to the Machine to scan. Required.
+    std::function<machine::Machine*(const std::string&)> resolve_machine;
+    /// Scheduler telemetry sink (null = private registry).
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit InProcessClient(Options opts);
+
+  [[nodiscard]] support::StatusOr<JobHandle> submit(
+      const JobSpec& spec) override;
+  [[nodiscard]] support::StatusOr<std::string> stats_json() override;
+
+  // Local-only controls, passed through to the owned scheduler.
+  void resume() { scheduler_.resume(); }
+  void wait_idle() { scheduler_.wait_idle(); }
+  [[nodiscard]] core::SchedulerStats stats() const {
+    return scheduler_.stats();
+  }
+
+ private:
+  Options opts_;
+  core::ScanScheduler scheduler_;
+};
+
+/// Speaks the wire protocol to a Daemon over one connection. RPCs are
+/// serialized on that connection; a corrupt or closed stream fails the
+/// in-flight call with kCorrupt/kUnavailable and poisons the client
+/// (subsequent calls fail fast — reconnect by building a new client).
+class DaemonClient final : public Client {
+ public:
+  explicit DaemonClient(std::shared_ptr<daemon::Transport> connection);
+  ~DaemonClient() override;
+
+  [[nodiscard]] support::StatusOr<JobHandle> submit(
+      const JobSpec& spec) override;
+  [[nodiscard]] support::StatusOr<std::string> stats_json() override;
+
+  /// Re-attaches to a job submitted by an earlier client (the daemon's
+  /// job ids are journaled, so they survive both client and daemon
+  /// restarts). The handle works exactly like one from submit().
+  [[nodiscard]] JobHandle attach(std::uint64_t job_id);
+
+  /// The daemon's Prometheus metrics exposition (kStats verb).
+  [[nodiscard]] support::StatusOr<std::string> metrics_text();
+
+ private:
+  std::shared_ptr<internal::WireConnection> conn_;
+};
+
+/// Report JSON with the wall-clock-derived fields (wall_seconds,
+/// queue_seconds, worker_threads) normalized to 0 — the projection in
+/// which reports are byte-identical across worker counts, restarts and
+/// journal replays. What the kill-and-restart tests and bench_daemon
+/// compare.
+[[nodiscard]] std::string normalized_report_json(std::string_view report_json);
+
+}  // namespace gb::client

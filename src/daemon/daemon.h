@@ -1,0 +1,226 @@
+// gb_daemond's core: a long-lived, crash-safe serving layer over
+// ScanScheduler.
+//
+// The paper's end state is GhostBuster as an always-on enterprise
+// service, not an episodic CLI. This class is that service, minus the
+// OS socket: it owns N ScanScheduler shards partitioned by machine-id
+// hash, admits submits through per-tenant token buckets and quota caps
+// (kResourceExhausted, before DRR fairness ever sees the job), journals
+// every job transition to a JobJournal *before* acknowledging it, and
+// serves the wire protocol over any daemon::Transport.
+//
+// Crash-safety invariants (tested by the journal crash matrix and the
+// kill-and-restart suite; see DESIGN.md):
+//
+//   * No acknowledged job is ever lost. A submit is journaled before
+//     its id is returned; restart re-queues every journaled job that
+//     lacks a terminal record — including jobs that were mid-scan on a
+//     worker when the process died.
+//   * Results are delivered at most once and never torn. A report is
+//     journaled whole (CRC-framed) before any waiter can observe it;
+//     restart serves completed jobs straight from the journal and never
+//     re-runs them.
+//   * Re-running an interrupted job is byte-identical to the run the
+//     crash stole: an interrupted scan never advances the machine's
+//     virtual clock, so the replayed run sees exactly the state the
+//     original saw (wall-clock-derived fields aside — compare with
+//     client::normalized_report_json).
+//
+// kill() simulates the crash: it stops all journaling mid-flight and
+// tears the workers down, exactly as a SIGKILL would at the journal
+// level. A fresh Daemon on the same journal path is the restart.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/scan_scheduler.h"
+#include "daemon/job_journal.h"
+#include "daemon/rate_limiter.h"
+#include "daemon/transport.h"
+#include "daemon/wire.h"
+#include "machine/machine.h"
+#include "obs/metrics.h"
+#include "support/status.h"
+#include "support/thread_pool.h"
+
+namespace gb::daemon {
+
+struct DaemonOptions {
+  /// Journal file backing the job store. Required. Opening an existing
+  /// journal replays it — that IS the restart path.
+  std::string journal_path;
+  /// Scheduler shards; jobs partition by machine_shard_hash(machine_id),
+  /// so one machine's jobs always land on (and replay to) one shard.
+  std::size_t shards = 1;
+  /// Worker pool width of each shard.
+  std::size_t workers_per_shard = 2;
+  /// Wire connections served concurrently; later connections queue.
+  std::size_t max_connections = 4;
+  /// Resolves a machine id to the live Machine to scan, or nullptr for
+  /// an unknown id. Required. Called under the daemon lock — must be
+  /// fast and must not call back into the daemon.
+  std::function<machine::Machine*(const std::string&)> resolve_machine;
+  /// Per-tenant admission limits (absent tenant = unlimited).
+  std::map<std::string, TenantQuota> quotas;
+  /// DRR weights forwarded to every shard (absent tenant = weight 1).
+  std::map<std::string, std::uint32_t> tenant_weights;
+  /// Monotonic seconds for the token buckets. Defaults to the steady
+  /// clock measured from daemon start; tests inject a fake.
+  std::function<double()> clock;
+  /// Telemetry sink shared by shards and the daemon's own counters.
+  /// Null gives the daemon a private registry (what stats() reads).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Point-in-time view of the whole daemon: its own serving counters,
+/// the restart image it replayed from, and scheduler stats both
+/// combined and per shard.
+struct DaemonStats {
+  std::size_t shards = 0;
+  // Serving counters, this incarnation.
+  std::uint64_t submitted = 0;         // admitted + journaled
+  std::uint64_t completed = 0;         // terminal, including errors
+  std::uint64_t cancelled = 0;         // terminal via cancel
+  std::uint64_t rejected_rate = 0;     // kResourceExhausted: token bucket
+  std::uint64_t rejected_quota = 0;    // kResourceExhausted: caps
+  std::uint64_t journal_append_failures = 0;
+  // Restart image (zero for a fresh journal).
+  std::uint64_t replayed_completed = 0;  // served from the journal store
+  std::uint64_t requeued = 0;            // re-queued pending jobs
+  std::uint64_t requeued_started = 0;    // of those, lost mid-scan
+  std::uint64_t journal_truncated_bytes = 0;  // torn tail dropped at open
+  /// Shard scheduler stats summed (tenants merged by id).
+  core::SchedulerStats combined;
+  std::vector<core::SchedulerStats> per_shard;
+
+  [[nodiscard]] std::string to_string() const;
+  /// Machine-readable counters (schema_version 2.6).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The serving daemon. Thread-safe: submits, polls, waits, cancels and
+/// stats may race freely, from direct callers and serve() connections
+/// alike. Destruction is a *graceful* shutdown — stop admitting, drain
+/// every in-flight job (journaling each completion), then exit; kill()
+/// is the crash.
+class Daemon {
+ public:
+  [[nodiscard]] static support::StatusOr<std::unique_ptr<Daemon>> start(
+      DaemonOptions opts);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Admits, journals, and enqueues one job; returns its daemon-assigned
+  /// id (stable across restarts — it lives in the journal). Errors:
+  /// kResourceExhausted (over quota/rate), kNotFound (unknown machine),
+  /// kUnavailable (shutting down or journal write failed).
+  [[nodiscard]] support::StatusOr<std::uint64_t> submit(
+      const JobRequest& request);
+
+  /// Non-blocking job snapshot. kNotFound for an id never issued (this
+  /// incarnation or any journaled predecessor).
+  [[nodiscard]] support::StatusOr<JobView> poll(std::uint64_t job_id) const;
+
+  /// Blocks until the job is terminal, then returns its report JSON
+  /// (schema v2, scheduler provenance carrying the daemon job id).
+  /// Non-OK terminal outcomes return their status; a kill() while
+  /// waiting returns kUnavailable.
+  [[nodiscard]] support::StatusOr<std::string> wait_result(
+      std::uint64_t job_id);
+
+  /// Journals a cancel record, then cancels the underlying job. The
+  /// durable record wins any race with completion: once it is written,
+  /// the job's outcome is kCancelled in this incarnation and every
+  /// later one, even if the scan finished first. Returns true if this
+  /// call initiated the cancellation.
+  [[nodiscard]] support::StatusOr<bool> cancel_job(std::uint64_t job_id);
+
+  /// Blocks until every accepted job is terminal (or the daemon is
+  /// killed). New submits may still arrive while draining; they are
+  /// waited on too.
+  void wait_idle();
+
+  [[nodiscard]] DaemonStats stats() const;
+  /// DaemonStats::to_json() of the current stats.
+  [[nodiscard]] std::string stats_json() const;
+  /// Prometheus exposition of the daemon's metrics registry.
+  [[nodiscard]] std::string metrics_text() const;
+
+  /// Adopts one wire connection: serves request frames on the
+  /// connection pool until the peer closes, a frame is corrupt, or the
+  /// daemon shuts down. Returns immediately.
+  void serve(std::shared_ptr<Transport> connection);
+
+  /// Crash simulation at the journal level: journaling stops instantly
+  /// (in-flight completions are NOT recorded, exactly as if the process
+  /// died), workers are torn down, waiters unblock with kUnavailable.
+  /// The object is unusable afterwards; restart by opening a new Daemon
+  /// on the same journal path.
+  void kill();
+
+ private:
+  struct JobRecord;
+
+  explicit Daemon(DaemonOptions opts);
+
+  [[nodiscard]] support::Status init();
+  [[nodiscard]] double now_seconds() const;
+  /// Resolves the machine, builds the JobSpec, and hands a journaled
+  /// job to its shard; an unresolvable machine or a shard rejection
+  /// becomes an immediate journaled terminal outcome. Caller holds mu_.
+  void dispatch_locked(JobRecord& rec);
+  /// Marks one record terminal: journals the outcome first (unless a
+  /// durable cancel already decided it), then publishes in memory and
+  /// wakes waiters. Caller holds mu_.
+  void finish_locked(JobRecord& rec, const support::Status& status,
+                     std::string report_json);
+  void on_job_complete(std::uint64_t id,
+                       support::StatusOr<core::Report>& result);
+  void serve_connection(const std::shared_ptr<Transport>& connection);
+  void close_connections();
+
+  DaemonOptions opts_;
+  /// Crash flag: once set, on_job_complete records nothing, as if the
+  /// process had died. Checked without mu_ (hooks may run during shard
+  /// teardown while kill() owns other state).
+  std::atomic<bool> dying_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  bool shutting_down_ = false;
+  bool killed_ = false;
+  std::unique_ptr<JobJournal> journal_;
+  std::unique_ptr<RateLimiter> limiter_;
+  std::map<std::uint64_t, std::unique_ptr<JobRecord>> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::string, std::uint64_t> tenant_submitted_;
+  std::map<std::string, std::size_t> tenant_outstanding_;
+  DaemonStats counters_;  // serving + replay counters (shard stats live)
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  std::chrono::steady_clock::time_point clock_epoch_{};
+  // Telemetry handles into the registry (set once in init()).
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_requeued_ = nullptr;
+
+  std::vector<std::unique_ptr<core::ScanScheduler>> shards_;
+
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Transport>> conns_;
+  /// Declared last: destroyed first, joining serve loops (unblocked by
+  /// close_connections()) while everything they touch is still alive.
+  support::ThreadPool serve_pool_;
+};
+
+}  // namespace gb::daemon

@@ -1,0 +1,253 @@
+#include "daemon/job_journal.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "support/bytes.h"
+
+namespace gb::daemon {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'B', 'J', 'L'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+// Backstop against a torn length field decoding as a huge allocation.
+// Reports are a few hundred KB; nothing legitimate approaches this.
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+struct ParseState {
+  std::map<std::uint64_t, JournalReplay::PendingJob> pending;
+  JournalReplay replay;
+};
+
+// Applies one CRC-valid payload to the replay image. A payload that
+// fails here was durably written yet violates journal semantics — that
+// is corruption or a daemon bug, never an ordinary torn tail.
+support::Status apply_record(std::span<const std::byte> payload,
+                             ParseState& st) {
+  ByteReader r(payload);
+  std::uint8_t type = 0;
+  std::uint64_t id = 0;
+  try {
+    type = r.u8();
+    id = r.u64();
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(std::string("journal record: ") +
+                                    e.what());
+  }
+  if (id >= st.replay.next_job_id) st.replay.next_job_id = id + 1;
+  const bool is_pending = st.pending.contains(id);
+  const bool is_completed = st.replay.completed.contains(id);
+  switch (static_cast<JournalRecordType>(type)) {
+    case JournalRecordType::kSubmit: {
+      if (is_pending || is_completed) {
+        return support::Status::corrupt("journal: duplicate submit for job " +
+                                        std::to_string(id));
+      }
+      support::StatusOr<JobRequest> req = JobRequest::deserialize(r);
+      if (!req.ok()) return req.status();
+      st.pending[id] =
+          JournalReplay::PendingJob{id, std::move(req).value(), false};
+      return support::Status();
+    }
+    case JournalRecordType::kStart: {
+      // Shard index follows but replay ignores it: the restarted daemon
+      // re-derives the shard from the machine-id hash.
+      if (!is_pending) {
+        return support::Status::corrupt("journal: start for unknown job " +
+                                        std::to_string(id));
+      }
+      st.pending[id].started = true;
+      return support::Status();
+    }
+    case JournalRecordType::kComplete: {
+      if (!is_pending) {
+        return support::Status::corrupt("journal: complete for unknown job " +
+                                        std::to_string(id));
+      }
+      try {
+        const std::uint8_t code = r.u8();
+        std::string message = r.str(r.u32());
+        std::string report_json = r.str(r.u32());
+        st.replay.completed[id] = JournalReplay::CompletedJob{
+            id, std::move(st.pending[id].request),
+            status_from_wire(code, std::move(message)),
+            std::move(report_json)};
+      } catch (const ParseError& e) {
+        return support::Status::corrupt(std::string("journal complete: ") +
+                                        e.what());
+      }
+      st.pending.erase(id);
+      return support::Status();
+    }
+    case JournalRecordType::kCancel: {
+      if (!is_pending) {
+        return support::Status::corrupt("journal: cancel for unknown job " +
+                                        std::to_string(id));
+      }
+      st.replay.completed[id] = JournalReplay::CompletedJob{
+          id, std::move(st.pending[id].request),
+          support::Status::cancelled("cancelled via daemon"), ""};
+      st.pending.erase(id);
+      return support::Status();
+    }
+  }
+  return support::Status::corrupt("journal: unknown record type " +
+                                  std::to_string(type));
+}
+
+}  // namespace
+
+support::StatusOr<JobJournal> JobJournal::open(const std::string& path) {
+  std::vector<std::byte> data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      in.seekg(0, std::ios::end);
+      const std::streamoff size = in.tellg();
+      in.seekg(0, std::ios::beg);
+      data.resize(static_cast<std::size_t>(size));
+      if (size > 0) {
+        in.read(reinterpret_cast<char*>(data.data()), size);
+        if (!in) {
+          return support::Status::unavailable("journal: read failed: " + path);
+        }
+      }
+    }
+  }
+
+  JobJournal journal;
+  journal.path_ = path;
+
+  bool fresh = data.size() < kHeaderBytes;
+  if (fresh) {
+    // Empty, absent, or torn mid-header-write: start over. Losing a
+    // torn header loses nothing — no record can precede it.
+    journal.replay_.truncated_bytes = data.size();
+  } else {
+    ByteReader header(std::span<const std::byte>(data).subspan(0, 4));
+    if (header.str(4) != std::string_view(kMagic, 4)) {
+      return support::Status::corrupt("journal: bad magic: " + path);
+    }
+    ByteReader ver(std::span<const std::byte>(data).subspan(4, 4));
+    if (const std::uint32_t v = ver.u32(); v != kFormatVersion) {
+      return support::Status::corrupt("journal: unsupported version " +
+                                      std::to_string(v));
+    }
+  }
+
+  // Walk the record stream. The first frame that cannot be proven whole
+  // (short header, length past EOF or past the cap, CRC mismatch) marks
+  // the torn tail; everything from there on is discarded.
+  std::size_t good_end = kHeaderBytes;
+  ParseState st;
+  if (!fresh) {
+    std::size_t pos = kHeaderBytes;
+    while (pos < data.size()) {
+      if (data.size() - pos < 8) break;
+      ByteReader frame(std::span<const std::byte>(data).subspan(pos, 8));
+      const std::uint32_t len = frame.u32();
+      const std::uint32_t crc = frame.u32();
+      if (len > kMaxRecordBytes || len > data.size() - pos - 8) break;
+      const std::span<const std::byte> payload =
+          std::span<const std::byte>(data).subspan(pos + 8, len);
+      if (crc32(payload) != crc) break;
+      if (support::Status s = apply_record(payload, st); !s.ok()) return s;
+      st.replay.records += 1;
+      pos += 8 + len;
+      good_end = pos;
+    }
+    st.replay.truncated_bytes = data.size() - good_end;
+  }
+
+  journal.replay_.records = st.replay.records;
+  journal.replay_.truncated_bytes += st.replay.truncated_bytes;
+  journal.replay_.next_job_id = st.replay.next_job_id;
+  journal.replay_.completed = std::move(st.replay.completed);
+  for (auto& [id, job] : st.pending) {
+    journal.replay_.pending.push_back(std::move(job));  // id order
+  }
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fresh) {
+    std::ofstream create(path, std::ios::binary | std::ios::trunc);
+    ByteWriter w;
+    w.str(std::string_view(kMagic, 4));
+    w.u32(kFormatVersion);
+    create.write(reinterpret_cast<const char*>(w.buffer().data()),
+                 static_cast<std::streamsize>(w.size()));
+    create.flush();
+    if (!create) {
+      return support::Status::unavailable("journal: cannot create " + path);
+    }
+  } else if (good_end < data.size()) {
+    fs::resize_file(path, good_end, ec);
+    if (ec) {
+      return support::Status::unavailable("journal: cannot truncate tail: " +
+                                          ec.message());
+    }
+  }
+
+  journal.out_.open(path, std::ios::binary | std::ios::app);
+  if (!journal.out_) {
+    return support::Status::unavailable("journal: cannot open for append: " +
+                                        path);
+  }
+  return journal;
+}
+
+support::Status JobJournal::append_record(std::span<const std::byte> payload) {
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload));
+  frame.bytes(payload);
+  out_.write(reinterpret_cast<const char*>(frame.buffer().data()),
+             static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    return support::Status::unavailable("journal: append failed: " + path_);
+  }
+  return support::Status();
+}
+
+support::Status JobJournal::append_submit(std::uint64_t id,
+                                          const JobRequest& request) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecordType::kSubmit));
+  w.u64(id);
+  request.serialize(w);
+  return append_record(w.view());
+}
+
+support::Status JobJournal::append_start(std::uint64_t id,
+                                         std::uint32_t shard) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecordType::kStart));
+  w.u64(id);
+  w.u32(shard);
+  return append_record(w.view());
+}
+
+support::Status JobJournal::append_complete(std::uint64_t id,
+                                            const support::Status& result,
+                                            std::string_view report_json) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecordType::kComplete));
+  w.u64(id);
+  w.u8(static_cast<std::uint8_t>(result.code()));
+  w.u32(static_cast<std::uint32_t>(result.message().size()));
+  w.str(result.message());
+  w.u32(static_cast<std::uint32_t>(report_json.size()));
+  w.str(report_json);
+  return append_record(w.view());
+}
+
+support::Status JobJournal::append_cancel(std::uint64_t id) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecordType::kCancel));
+  w.u64(id);
+  return append_record(w.view());
+}
+
+}  // namespace gb::daemon

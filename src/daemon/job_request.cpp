@@ -1,0 +1,105 @@
+#include "daemon/job_request.h"
+
+#include <array>
+
+namespace gb::daemon {
+namespace {
+
+// Table-driven CRC-32 (polynomial 0xEDB88320, the reflected IEEE form).
+// Built once at static-init time; 256 entries, byte-at-a-time update.
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  static const std::array<std::uint32_t, 256> kTable = build_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+support::Status status_from_wire(std::uint8_t code, std::string message) {
+  using support::Status;
+  using support::StatusCode;
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk: return Status();
+    case StatusCode::kCorrupt: return Status::corrupt(std::move(message));
+    case StatusCode::kNotFound: return Status::not_found(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::unavailable(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::failed_precondition(std::move(message));
+    case StatusCode::kInternal: return Status::internal(std::move(message));
+    case StatusCode::kCancelled: return Status::cancelled(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::resource_exhausted(std::move(message));
+  }
+  return Status::internal("unknown status code " + std::to_string(code) +
+                          ": " + std::move(message));
+}
+
+std::uint64_t machine_shard_hash(std::string_view machine_id) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  for (char ch : machine_id) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 0x00000100000001B3ull;  // FNV prime
+  }
+  return h;
+}
+
+void JobRequest::serialize(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(machine_id.size()));
+  w.str(machine_id);
+  w.u32(static_cast<std::uint32_t>(tenant.size()));
+  w.str(tenant);
+  w.u32(static_cast<std::uint32_t>(priority));
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(static_cast<std::uint32_t>(resources));
+  w.u8(advanced ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(carve));
+}
+
+support::StatusOr<JobRequest> JobRequest::deserialize(ByteReader& r) {
+  // ByteReader throws ParseError on truncation; this is the `_or`
+  // boundary where that becomes a Status for journal/wire callers.
+  try {
+    JobRequest req;
+    req.machine_id = r.str(r.u32());
+    req.tenant = r.str(r.u32());
+    req.priority = static_cast<std::int32_t>(r.u32());
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(core::ScanKind::kOutside)) {
+      return support::Status::corrupt("job request: bad scan kind");
+    }
+    req.kind = static_cast<core::ScanKind>(kind);
+    const std::uint32_t resources = r.u32();
+    if ((resources & ~static_cast<std::uint32_t>(core::ResourceMask::kAll)) !=
+        0) {
+      return support::Status::corrupt("job request: bad resource mask");
+    }
+    req.resources = static_cast<core::ResourceMask>(resources);
+    req.advanced = r.u8() != 0;
+    const std::uint8_t carve = r.u8();
+    if (carve > static_cast<std::uint8_t>(core::CarveMode::kOn)) {
+      return support::Status::corrupt("job request: bad carve mode");
+    }
+    req.carve = static_cast<core::CarveMode>(carve);
+    return req;
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(std::string("job request: ") + e.what());
+  }
+}
+
+}  // namespace gb::daemon

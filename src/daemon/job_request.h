@@ -1,0 +1,76 @@
+// The daemon's job vocabulary: a scan job described by value.
+//
+// core::JobSpec carries live pointers (the Machine, a session, engine
+// hooks) because the in-process scheduler can. A serving daemon cannot:
+// a job must survive a daemon crash inside an append-only journal and
+// cross a byte-stream wire protocol, so the fleet-facing description is
+// pure data — the machine is named by id and resolved server-side, and
+// the config is the small deterministic subset a remote caller may
+// choose. JobRequest is that description; it serializes through the same
+// ByteWriter/ByteReader primitives as every other on-disk format here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/scan_engine.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace gb::daemon {
+
+/// CRC-32 (IEEE 802.3, reflected) over raw bytes. The integrity check
+/// framing both the job journal and the wire protocol — a torn journal
+/// tail or a corrupted frame fails its CRC and is rejected instead of
+/// being replayed/served as truth.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Rebuilds a Status from its serialized (code, message) pair, as the
+/// journal's complete records and the wire protocol's replies carry it.
+/// A code outside the StatusCode enum maps to kInternal.
+[[nodiscard]] support::Status status_from_wire(std::uint8_t code,
+                                               std::string message);
+
+/// Stable 64-bit hash of a machine id — the shard-partitioning key.
+/// FNV-1a: deterministic across runs and platforms, so a job re-queued
+/// after a daemon restart lands on the same shard index.
+[[nodiscard]] std::uint64_t machine_shard_hash(std::string_view machine_id);
+
+/// One fleet scan job, by value. Everything here is journal- and
+/// wire-serializable; nothing points at live state.
+struct JobRequest {
+  /// Server-side machine name, resolved through the daemon's machine
+  /// catalog at dispatch (and again at journal replay).
+  std::string machine_id;
+  /// Fair-queuing tenant + within-tenant priority (see ScanScheduler).
+  std::string tenant = "default";
+  std::int32_t priority = 0;
+  core::ScanKind kind = core::ScanKind::kInside;
+  /// Resource coverage and the remotely selectable process-view policy.
+  core::ResourceMask resources = core::ResourceMask::kAll;
+  bool advanced = false;  // scheduler thread-table view (paper's advanced mode)
+  core::CarveMode carve = core::CarveMode::kOutsideOnly;
+
+  bool operator==(const JobRequest&) const = default;
+
+  /// Projects this request onto an engine config (the scheduler forces
+  /// parallelism to 1 itself — the fleet fan-out is the parallelism).
+  [[nodiscard]] core::ScanConfig to_scan_config() const {
+    core::ScanConfig cfg;
+    cfg.resources = resources;
+    cfg.processes.scheduler_view = advanced;
+    cfg.processes.carve = carve;
+    return cfg;
+  }
+
+  /// Appends the canonical little-endian encoding (shared by the journal
+  /// submit record and the wire submit verb).
+  void serialize(ByteWriter& w) const;
+  /// Decodes one serialized JobRequest. kCorrupt on truncated input or
+  /// out-of-range enum values.
+  [[nodiscard]] static support::StatusOr<JobRequest> deserialize(
+      ByteReader& r);
+};
+
+}  // namespace gb::daemon

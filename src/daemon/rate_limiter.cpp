@@ -1,0 +1,47 @@
+#include "daemon/rate_limiter.h"
+
+namespace gb::daemon {
+
+support::Status RateLimiter::admit(const std::string& tenant,
+                                   double now_seconds, std::size_t outstanding,
+                                   std::uint64_t total_submitted) {
+  const auto it = quotas_.find(tenant);
+  if (it == quotas_.end()) return support::Status();  // unconfigured: open
+  const TenantQuota& quota = it->second;
+
+  // Absolute caps first — they are cheaper to check and a rejection must
+  // not drain the bucket.
+  if (quota.max_total != 0 && total_submitted >= quota.max_total) {
+    rejections_[tenant].total += 1;
+    return support::Status::resource_exhausted(
+        "tenant '" + tenant + "' exhausted its total-submit quota (" +
+        std::to_string(quota.max_total) + ")");
+  }
+  if (quota.max_outstanding != 0 && outstanding >= quota.max_outstanding) {
+    rejections_[tenant].outstanding += 1;
+    return support::Status::resource_exhausted(
+        "tenant '" + tenant + "' has " + std::to_string(outstanding) +
+        " outstanding jobs (cap " + std::to_string(quota.max_outstanding) +
+        ")");
+  }
+  if (quota.rate_per_second > 0) {
+    auto bucket = buckets_.find(tenant);
+    if (bucket == buckets_.end()) {
+      const double burst =
+          quota.burst > 0 ? quota.burst : std::max(quota.rate_per_second, 1.0);
+      bucket = buckets_
+                   .emplace(tenant,
+                            TokenBucket(burst, quota.rate_per_second))
+                   .first;
+    }
+    if (!bucket->second.try_take(now_seconds)) {
+      rejections_[tenant].rate += 1;
+      return support::Status::resource_exhausted(
+          "tenant '" + tenant + "' exceeded " +
+          std::to_string(quota.rate_per_second) + " submits/s");
+    }
+  }
+  return support::Status();
+}
+
+}  // namespace gb::daemon

@@ -1,0 +1,108 @@
+// Per-tenant admission control, layered *above* DRR fairness.
+//
+// The scheduler's deficit round-robin decides who dispatches next among
+// admitted jobs; it cannot stop a tenant from flooding the queue itself
+// and bloating every stats view and journal replay. These limits gate
+// admission: a token-bucket rate (sustained submits/s with a burst
+// allowance) plus two absolute caps (outstanding jobs now, total jobs
+// ever). An over-limit submit is rejected with kResourceExhausted
+// before anything is journaled — the request was valid, retry later.
+//
+// Time is a caller-supplied monotonic reading in seconds, not a wall
+// clock: the daemon feeds it from its steady-clock epoch, tests feed a
+// fake, and the math stays deterministic either way.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/status.h"
+
+namespace gb::daemon {
+
+/// Admission limits for one tenant. Zero in any field means "no limit
+/// of that kind" — the all-zero default admits everything, preserving
+/// PR 3's open-admission behavior for callers that configure nothing.
+struct TenantQuota {
+  /// Sustained submit rate (tokens refill at this rate).
+  double rate_per_second = 0;
+  /// Bucket capacity — how far above the sustained rate a burst may go.
+  /// Unset (0) with a rate set defaults to max(rate, 1).
+  double burst = 0;
+  /// Cap on jobs submitted but not yet terminal.
+  std::size_t max_outstanding = 0;
+  /// Lifetime cap on submits across the journal's whole history.
+  std::uint64_t max_total = 0;
+};
+
+/// Classic token bucket, clocked externally.
+class TokenBucket {
+ public:
+  TokenBucket(double capacity, double refill_per_second)
+      : capacity_(capacity), refill_per_second_(refill_per_second),
+        tokens_(capacity) {}
+
+  /// Takes one token if available at time `now_seconds`; false = limit.
+  bool try_take(double now_seconds) {
+    refill(now_seconds);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  [[nodiscard]] double tokens(double now_seconds) {
+    refill(now_seconds);
+    return tokens_;
+  }
+
+ private:
+  void refill(double now_seconds) {
+    if (now_seconds > last_) {
+      tokens_ = std::min(capacity_,
+                         tokens_ + (now_seconds - last_) * refill_per_second_);
+    }
+    last_ = std::max(last_, now_seconds);
+  }
+
+  double capacity_;
+  double refill_per_second_;
+  double tokens_;
+  double last_ = 0;
+};
+
+/// All tenants' admission state. Not internally synchronized — the
+/// daemon calls it under its own lock.
+class RateLimiter {
+ public:
+  explicit RateLimiter(std::map<std::string, TenantQuota> quotas)
+      : quotas_(std::move(quotas)) {}
+
+  /// Admission check for one submit at time `now_seconds`, given the
+  /// tenant's current outstanding and lifetime-submitted counts. OK
+  /// admits and consumes a token; kResourceExhausted names the limit
+  /// that rejected. Rejected submits consume nothing.
+  [[nodiscard]] support::Status admit(const std::string& tenant,
+                                      double now_seconds,
+                                      std::size_t outstanding,
+                                      std::uint64_t total_submitted);
+
+  /// Rejection counters for stats: tenant -> rejects by kind.
+  struct Rejections {
+    std::uint64_t rate = 0;
+    std::uint64_t outstanding = 0;
+    std::uint64_t total = 0;
+  };
+  [[nodiscard]] const std::map<std::string, Rejections>& rejections() const {
+    return rejections_;
+  }
+
+ private:
+  std::map<std::string, TenantQuota> quotas_;
+  std::map<std::string, TokenBucket> buckets_;
+  std::map<std::string, Rejections> rejections_;
+};
+
+}  // namespace gb::daemon

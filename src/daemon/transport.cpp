@@ -1,0 +1,100 @@
+#include "daemon/transport.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace gb::daemon {
+namespace {
+
+// One direction of the stream: a bounded byte queue. `closed` means no
+// further writes will arrive; readers drain what is buffered, then see
+// EOF. Both endpoints share two of these, cross-wired.
+struct Pipe {
+  std::mutex mu;
+  std::condition_variable readable;
+  std::condition_variable writable;
+  std::deque<std::byte> buf;
+  std::size_t capacity = 0;
+  bool closed = false;
+
+  explicit Pipe(std::size_t cap) : capacity(cap == 0 ? 1 : cap) {}
+
+  support::Status write(std::span<const std::byte> data) {
+    std::size_t off = 0;
+    std::unique_lock<std::mutex> lk(mu);
+    while (off < data.size()) {
+      writable.wait(lk, [&] { return closed || buf.size() < capacity; });
+      if (closed) {
+        return support::Status::unavailable("transport: peer closed");
+      }
+      const std::size_t room = capacity - buf.size();
+      const std::size_t n = std::min(room, data.size() - off);
+      buf.insert(buf.end(), data.begin() + static_cast<std::ptrdiff_t>(off),
+                 data.begin() + static_cast<std::ptrdiff_t>(off + n));
+      off += n;
+      readable.notify_all();
+    }
+    return support::Status();
+  }
+
+  std::size_t read(std::span<std::byte> out) {
+    std::unique_lock<std::mutex> lk(mu);
+    readable.wait(lk, [&] { return closed || !buf.empty(); });
+    const std::size_t n = std::min(out.size(), buf.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = buf.front();
+      buf.pop_front();
+    }
+    if (n > 0) writable.notify_all();
+    return n;  // 0 only when closed and drained: EOF
+  }
+
+  void close_side() {
+    std::lock_guard<std::mutex> lk(mu);
+    closed = true;
+    readable.notify_all();
+    writable.notify_all();
+  }
+};
+
+class PipeEndpoint final : public Transport {
+ public:
+  PipeEndpoint(std::shared_ptr<Pipe> rx, std::shared_ptr<Pipe> tx)
+      : rx_(std::move(rx)), tx_(std::move(tx)) {}
+  ~PipeEndpoint() override { close(); }
+
+  support::Status send_bytes(std::span<const std::byte> data) override {
+    return tx_->write(data);
+  }
+
+  support::StatusOr<std::size_t> recv_bytes(std::span<std::byte> out) override {
+    if (out.empty()) return std::size_t{0};
+    return rx_->read(out);
+  }
+
+  void close() override {
+    // Closing tears down both directions: the peer's reads see EOF once
+    // drained, and its writes fail immediately — socket-like semantics.
+    rx_->close_side();
+    tx_->close_side();
+  }
+
+ private:
+  std::shared_ptr<Pipe> rx_;
+  std::shared_ptr<Pipe> tx_;
+};
+
+}  // namespace
+
+PipePair make_pipe(std::size_t capacity_bytes) {
+  auto a_to_b = std::make_shared<Pipe>(capacity_bytes);
+  auto b_to_a = std::make_shared<Pipe>(capacity_bytes);
+  PipePair pair;
+  pair.client = std::make_shared<PipeEndpoint>(b_to_a, a_to_b);
+  pair.server = std::make_shared<PipeEndpoint>(a_to_b, b_to_a);
+  return pair;
+}
+
+}  // namespace gb::daemon

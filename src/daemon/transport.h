@@ -1,0 +1,55 @@
+// Byte-stream transport: the daemon's stand-in for a Unix socket pair.
+//
+// The wire protocol is defined over an abstract full-duplex byte stream
+// so the framing and verb layers never depend on an OS socket API the
+// test environment may not have. make_pipe() builds the in-repo
+// implementation: two bounded in-memory pipes cross-wired into a pair
+// of endpoints. Semantics deliberately mirror a SOCK_STREAM socket —
+// writes block on a full buffer (backpressure), reads block until at
+// least one byte or EOF, close wakes the peer, and nothing preserves
+// message boundaries. Only daemon::Framer may call send_bytes/
+// recv_bytes directly (lint rule raw-transport-io): every frame on the
+// wire carries a CRC, and raw I/O elsewhere would bypass it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "support/status.h"
+
+namespace gb::daemon {
+
+/// A connected full-duplex byte stream endpoint. Thread-safe: one
+/// thread may send while another receives; concurrent senders are
+/// serialized internally.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends every byte of `data`, blocking on backpressure.
+  /// kUnavailable once either side has closed.
+  [[nodiscard]] virtual support::Status send_bytes(
+      std::span<const std::byte> data) = 0;
+
+  /// Blocks until at least one byte is available, then reads up to
+  /// `out.size()` bytes and returns the count. Returns 0 at EOF (peer
+  /// closed and the stream is drained) — the clean-shutdown signal.
+  [[nodiscard]] virtual support::StatusOr<std::size_t> recv_bytes(
+      std::span<std::byte> out) = 0;
+
+  /// Closes both directions and wakes any blocked peer. Idempotent.
+  virtual void close() = 0;
+};
+
+/// The two connected endpoints of one in-memory stream pair.
+struct PipePair {
+  std::shared_ptr<Transport> client;
+  std::shared_ptr<Transport> server;
+};
+
+/// Builds a connected endpoint pair. `capacity_bytes` bounds each
+/// direction's buffer — the backpressure window.
+[[nodiscard]] PipePair make_pipe(std::size_t capacity_bytes = 64 * 1024);
+
+}  // namespace gb::daemon

@@ -1,0 +1,304 @@
+#include "daemon/wire.h"
+
+#include <array>
+#include <utility>
+
+#include "support/bytes.h"
+
+namespace gb::daemon {
+namespace {
+
+constexpr char kFrameMagic[4] = {'G', 'B', 'W', 'F'};
+
+// Reads exactly `out.size()` bytes. Returns the count actually read —
+// short only at EOF — or a transport error.
+support::StatusOr<std::size_t> read_exact(Transport& t,
+                                          std::span<std::byte> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    support::StatusOr<std::size_t> n = t.recv_bytes(out.subspan(off));
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;  // EOF
+    off += *n;
+  }
+  return off;
+}
+
+void put_status(ByteWriter& w, const support::Status& status) {
+  w.u8(static_cast<std::uint8_t>(status.code()));
+  w.u32(static_cast<std::uint32_t>(status.message().size()));
+  w.str(status.message());
+}
+
+support::Status get_status(ByteReader& r) {
+  const std::uint8_t code = r.u8();
+  std::string message = r.str(r.u32());
+  return status_from_wire(code, std::move(message));
+}
+
+void put_string(ByteWriter& w, std::string_view s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  w.str(s);
+}
+
+std::vector<std::byte> finish(ByteWriter&& w) { return std::move(w).take(); }
+
+ByteWriter begin(Verb verb) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(verb));
+  return w;
+}
+
+// The one `_or` boundary for all payload decoders: runs `fn(reader)`
+// over the post-verb payload bytes and converts ParseError to kCorrupt.
+template <typename Fn>
+auto decode_body(std::span<const std::byte> payload, const char* what,
+                 Fn&& fn) -> support::StatusOr<decltype(fn(
+                   std::declval<ByteReader&>()))> {
+  ByteReader r(payload.subspan(1));
+  try {
+    auto value = fn(r);
+    if (!r.at_end()) {
+      return support::Status::corrupt(std::string("wire: trailing bytes in ") +
+                                      what);
+    }
+    return value;
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(std::string("wire: bad ") + what + ": " +
+                                    e.what());
+  }
+}
+
+}  // namespace
+
+support::Status Framer::write_frame(std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return support::Status::internal("wire: frame payload too large");
+  }
+  ByteWriter w;
+  w.str(std::string_view(kFrameMagic, 4));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  w.bytes(payload);
+  return transport_.send_bytes(w.view());
+}
+
+support::StatusOr<std::vector<std::byte>> Framer::read_frame() {
+  std::array<std::byte, 12> header{};
+  support::StatusOr<std::size_t> got = read_exact(transport_, header);
+  if (!got.ok()) return got.status();
+  if (*got == 0) {
+    return support::Status::unavailable("wire: peer closed");
+  }
+  if (*got < header.size()) {
+    return support::Status::corrupt("wire: truncated frame header");
+  }
+  ByteReader r(header);
+  if (r.str(4) != std::string_view(kFrameMagic, 4)) {
+    return support::Status::corrupt("wire: bad frame magic");
+  }
+  const std::uint32_t len = r.u32();
+  const std::uint32_t crc = r.u32();
+  if (len > kMaxFramePayload) {
+    return support::Status::corrupt("wire: oversized frame length " +
+                                    std::to_string(len));
+  }
+  std::vector<std::byte> payload(len);
+  got = read_exact(transport_, payload);
+  if (!got.ok()) return got.status();
+  if (*got < payload.size()) {
+    return support::Status::corrupt("wire: truncated frame payload");
+  }
+  if (crc32(payload) != crc) {
+    return support::Status::corrupt("wire: frame checksum mismatch");
+  }
+  return payload;
+}
+
+std::vector<std::byte> encode_submit(const JobRequest& request) {
+  ByteWriter w = begin(Verb::kSubmit);
+  request.serialize(w);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_poll(std::uint64_t job_id) {
+  ByteWriter w = begin(Verb::kPoll);
+  w.u64(job_id);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_cancel(std::uint64_t job_id) {
+  ByteWriter w = begin(Verb::kCancel);
+  w.u64(job_id);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_stats() { return finish(begin(Verb::kStats)); }
+
+std::vector<std::byte> encode_result(std::uint64_t job_id) {
+  ByteWriter w = begin(Verb::kResult);
+  w.u64(job_id);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_submit_reply(const SubmitReply& reply) {
+  ByteWriter w = begin(Verb::kSubmitReply);
+  put_status(w, reply.status);
+  w.u64(reply.job_id);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_poll_reply(const PollReply& reply) {
+  ByteWriter w = begin(Verb::kPollReply);
+  put_status(w, reply.status);
+  w.u64(reply.view.id);
+  w.u8(static_cast<std::uint8_t>(reply.view.phase));
+  w.u32(reply.view.tasks_done);
+  w.u32(reply.view.tasks_total);
+  w.u8(reply.view.finished ? 1 : 0);
+  put_status(w, reply.view.result);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_cancel_reply(const CancelReply& reply) {
+  ByteWriter w = begin(Verb::kCancelReply);
+  put_status(w, reply.status);
+  w.u8(reply.cancelled ? 1 : 0);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_stats_reply(const StatsReply& reply) {
+  ByteWriter w = begin(Verb::kStatsReply);
+  put_status(w, reply.status);
+  put_string(w, reply.stats_json);
+  put_string(w, reply.metrics_text);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_result_reply(const ResultReply& reply) {
+  ByteWriter w = begin(Verb::kResultReply);
+  put_status(w, reply.status);
+  w.u64(reply.total_bytes);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_result_chunk(const ResultChunk& chunk) {
+  ByteWriter w = begin(Verb::kResultChunk);
+  w.u32(chunk.sequence);
+  w.u8(chunk.last ? 1 : 0);
+  put_string(w, chunk.data);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_error_reply(const support::Status& status) {
+  ByteWriter w = begin(Verb::kErrorReply);
+  put_status(w, status);
+  return finish(std::move(w));
+}
+
+support::StatusOr<Verb> decode_verb(std::span<const std::byte> payload) {
+  if (payload.empty()) {
+    return support::Status::corrupt("wire: empty frame payload");
+  }
+  const auto v = static_cast<std::uint8_t>(payload[0]);
+  if (v < static_cast<std::uint8_t>(Verb::kSubmit) ||
+      v > static_cast<std::uint8_t>(Verb::kErrorReply)) {
+    return support::Status::corrupt("wire: unknown verb " + std::to_string(v));
+  }
+  return static_cast<Verb>(v);
+}
+
+support::StatusOr<JobRequest> decode_submit(
+    std::span<const std::byte> payload) {
+  ByteReader r(payload.subspan(1));
+  support::StatusOr<JobRequest> req = JobRequest::deserialize(r);
+  if (req.ok() && !r.at_end()) {
+    return support::Status::corrupt("wire: trailing bytes in submit");
+  }
+  return req;
+}
+
+support::StatusOr<std::uint64_t> decode_job_id(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "job id", [](ByteReader& r) { return r.u64(); });
+}
+
+support::StatusOr<SubmitReply> decode_submit_reply(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "submit reply", [](ByteReader& r) {
+    SubmitReply reply;
+    reply.status = get_status(r);
+    reply.job_id = r.u64();
+    return reply;
+  });
+}
+
+support::StatusOr<PollReply> decode_poll_reply(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "poll reply", [](ByteReader& r) {
+    PollReply reply;
+    reply.status = get_status(r);
+    reply.view.id = r.u64();
+    const std::uint8_t phase = r.u8();
+    if (phase > static_cast<std::uint8_t>(core::JobPhase::kDone)) {
+      throw ParseError("bad job phase");
+    }
+    reply.view.phase = static_cast<core::JobPhase>(phase);
+    reply.view.tasks_done = r.u32();
+    reply.view.tasks_total = r.u32();
+    reply.view.finished = r.u8() != 0;
+    reply.view.result = get_status(r);
+    return reply;
+  });
+}
+
+support::StatusOr<CancelReply> decode_cancel_reply(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "cancel reply", [](ByteReader& r) {
+    CancelReply reply;
+    reply.status = get_status(r);
+    reply.cancelled = r.u8() != 0;
+    return reply;
+  });
+}
+
+support::StatusOr<StatsReply> decode_stats_reply(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "stats reply", [](ByteReader& r) {
+    StatsReply reply;
+    reply.status = get_status(r);
+    reply.stats_json = r.str(r.u32());
+    reply.metrics_text = r.str(r.u32());
+    return reply;
+  });
+}
+
+support::StatusOr<ResultReply> decode_result_reply(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "result reply", [](ByteReader& r) {
+    ResultReply reply;
+    reply.status = get_status(r);
+    reply.total_bytes = r.u64();
+    return reply;
+  });
+}
+
+support::StatusOr<ResultChunk> decode_result_chunk(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "result chunk", [](ByteReader& r) {
+    ResultChunk chunk;
+    chunk.sequence = r.u32();
+    chunk.last = r.u8() != 0;
+    chunk.data = r.str(r.u32());
+    return chunk;
+  });
+}
+
+support::StatusOr<ErrorReply> decode_error_reply(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "error reply", [](ByteReader& r) {
+    return ErrorReply{get_status(r)};
+  });
+}
+
+}  // namespace gb::daemon

@@ -33,6 +33,9 @@ enum class StatusCode {
   /// The caller cancelled the operation before it completed. The result
   /// was discarded whole — never a torn partial report.
   kCancelled,
+  /// The caller exhausted a quota or rate limit (per-tenant token bucket,
+  /// outstanding-job cap). Retry later; the request itself was valid.
+  kResourceExhausted,
 };
 
 constexpr std::string_view status_code_name(StatusCode code) {
@@ -44,6 +47,7 @@ constexpr std::string_view status_code_name(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -72,6 +76,9 @@ class Status {
   }
   [[nodiscard]] static Status cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

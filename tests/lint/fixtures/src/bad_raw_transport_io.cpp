@@ -1,0 +1,14 @@
+// MUST-FIRE fixture for [raw-transport-io]: pushing bytes straight at
+// the transport from outside the transport/wire layer, skipping the
+// CRC-framed wire protocol.
+struct Transport {
+  int send_bytes(const char* data, int n);
+  int recv_bytes(char* data, int n);
+};
+
+int leak_unframed_bytes(Transport& conn, Transport* peer) {
+  char buf[16] = {};
+  int sent = conn.send_bytes(buf, 16);
+  sent += peer->recv_bytes(buf, 16);
+  return sent;
+}

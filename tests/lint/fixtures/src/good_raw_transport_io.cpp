@@ -1,0 +1,19 @@
+// MUST-PASS fixture for [raw-transport-io]: declaring the Transport
+// overrides is fine (the ban is on member-call sites), as are
+// same-named free functions and non-call mentions of the identifiers.
+struct Transport {
+  int send_bytes(const char* data, int n);  // declaration, not a call
+  int recv_bytes(char* data, int n);
+};
+
+int send_bytes(int n) { return n; }  // free function, not a member call
+
+struct Framer {
+  Transport* transport;
+  int write_frame(const char* data, int n);  // the sanctioned path
+};
+
+int speak_the_protocol(Framer& framer) {
+  int total = framer.write_frame("x", 1);
+  return total + send_bytes(total);
+}

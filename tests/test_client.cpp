@@ -1,0 +1,246 @@
+// gb::client — one API, two transports. InProcessClient over its owned
+// scheduler, DaemonClient over the wire to a journaled daemon, and the
+// property that makes the abstraction honest: the same machine scanned
+// through either transport yields the same normalized report bytes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/transport.h"
+#include "malware/collection.h"
+
+namespace gb::client {
+namespace {
+
+machine::MachineConfig tiny_config(std::uint64_t seed) {
+  machine::MachineConfig cfg;
+  cfg.seed = seed;
+  cfg.disk_sectors = 32 * 1024;
+  cfg.mft_records = 2048;
+  cfg.synthetic_files = 12;
+  cfg.synthetic_registry_keys = 8;
+  return cfg;
+}
+
+std::string temp_journal(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  (void)std::remove(path.c_str());
+  return path;
+}
+
+/// Single-box resolver over one owned machine.
+struct OneBox {
+  std::unique_ptr<machine::Machine> machine;
+  explicit OneBox(std::uint64_t seed, bool infected = false)
+      : machine(std::make_unique<machine::Machine>(tiny_config(seed))) {
+    if (infected) malware::install_ghostware<malware::HackerDefender>(*machine);
+  }
+  std::function<machine::Machine*(const std::string&)> resolver() {
+    return [this](const std::string& id) -> machine::Machine* {
+      return id == "BOX" ? machine.get() : nullptr;
+    };
+  }
+};
+
+JobSpec spec_for(const std::string& machine_id,
+                 const std::string& tenant = "corp") {
+  JobSpec spec;
+  spec.machine_id = machine_id;
+  spec.tenant = tenant;
+  return spec;
+}
+
+TEST(InProcess, SubmitWaitAndTryResult) {
+  OneBox box(7, /*infected=*/true);
+  InProcessClient::Options opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  opts.resolve_machine = box.resolver();
+  InProcessClient client(opts);
+
+  auto handle = client.submit(spec_for("BOX"));
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  EXPECT_TRUE(handle->valid());
+  EXPECT_EQ(handle->id(), 1u);
+  // Paused scheduler: queued, no result yet.
+  EXPECT_EQ(handle->progress().phase, core::JobPhase::kQueued);
+  EXPECT_EQ(handle->try_result(), nullptr);
+
+  client.resume();
+  const JobResult& result = handle->wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  EXPECT_NE(result.report_json.find("\"infected\":true"), std::string::npos);
+  // Terminal results are cached: try_result now agrees with wait().
+  ASSERT_NE(handle->try_result(), nullptr);
+  EXPECT_EQ(handle->try_result(), &result);
+  EXPECT_EQ(handle->progress().phase, core::JobPhase::kDone);
+
+  auto stats = client.stats_json();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"served\":1"), std::string::npos);
+}
+
+TEST(InProcess, CancelQueuedJob) {
+  OneBox box(8);
+  InProcessClient::Options opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  opts.resolve_machine = box.resolver();
+  InProcessClient client(opts);
+
+  auto handle = client.submit(spec_for("BOX"));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(handle->cancel());
+  EXPECT_FALSE(handle->cancel());  // second call did not initiate it
+  client.resume();
+  EXPECT_EQ(handle->wait().status.code(), support::StatusCode::kCancelled);
+  EXPECT_TRUE(handle->wait().report_json.empty());
+}
+
+TEST(InProcess, UnknownMachineIsNotFound) {
+  OneBox box(9);
+  InProcessClient::Options opts;
+  opts.resolve_machine = box.resolver();
+  InProcessClient client(opts);
+  auto handle = client.submit(spec_for("GHOST"));
+  EXPECT_EQ(handle.status().code(), support::StatusCode::kNotFound);
+}
+
+/// Daemon + DaemonClient over one in-process pipe pair.
+struct WiredDaemon {
+  std::unique_ptr<daemon::Daemon> daemon;
+  std::unique_ptr<DaemonClient> client;
+
+  static WiredDaemon start(daemon::DaemonOptions opts) {
+    WiredDaemon up;
+    auto daemon = daemon::Daemon::start(std::move(opts));
+    EXPECT_TRUE(daemon.ok()) << daemon.status().to_string();
+    up.daemon = std::move(daemon).value();
+    up.connect();
+    return up;
+  }
+
+  /// A fresh connection to the same daemon (reconnect / second console).
+  void connect() {
+    daemon::PipePair pipe = daemon::make_pipe();
+    daemon->serve(pipe.server);
+    client = std::make_unique<DaemonClient>(pipe.client);
+  }
+};
+
+TEST(OverWire, SubmitWaitCancelAndStats) {
+  OneBox box(21, /*infected=*/true);
+  daemon::DaemonOptions opts;
+  opts.journal_path = temp_journal("client_wire.gbj");
+  opts.resolve_machine = box.resolver();
+  WiredDaemon up = WiredDaemon::start(std::move(opts));
+
+  auto handle = up.client->submit(spec_for("BOX"));
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  const JobResult& result = handle->wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  EXPECT_NE(result.report_json.find("\"infected\":true"), std::string::npos);
+  ASSERT_NE(handle->try_result(), nullptr);
+  EXPECT_EQ(handle->progress().phase, core::JobPhase::kDone);
+
+  // Errors cross the wire as themselves, not as transport failures.
+  EXPECT_EQ(up.client->submit(spec_for("GHOST")).status().code(),
+            support::StatusCode::kNotFound);
+
+  auto stats = up.client->stats_json();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"schema_version\":\"2.6\""), std::string::npos);
+  auto metrics = up.client->metrics_text();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("gb_daemon_completed_total"), std::string::npos);
+}
+
+TEST(OverWire, AttachSurvivesReconnect) {
+  OneBox box(22, /*infected=*/true);
+  daemon::DaemonOptions opts;
+  opts.journal_path = temp_journal("client_attach.gbj");
+  opts.resolve_machine = box.resolver();
+  WiredDaemon up = WiredDaemon::start(std::move(opts));
+
+  auto handle = up.client->submit(spec_for("BOX"));
+  ASSERT_TRUE(handle.ok());
+  const std::uint64_t id = handle->id();
+  const std::string first = handle->wait().report_json;
+  ASSERT_FALSE(first.empty());
+
+  // Hang up, reconnect, re-attach by the journaled id: same bytes.
+  up.connect();
+  JobHandle attached = up.client->attach(id);
+  EXPECT_TRUE(attached.valid());
+  EXPECT_EQ(attached.id(), id);
+  const JobResult& again = attached.wait();
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.report_json, first);
+
+  // Attaching to an id the daemon never issued fails on first use.
+  JobHandle bogus = up.client->attach(404);
+  EXPECT_EQ(bogus.wait().status.code(), support::StatusCode::kNotFound);
+}
+
+TEST(OverWire, QuotaRejectionReachesTheClient) {
+  OneBox box(23);
+  daemon::DaemonOptions opts;
+  opts.journal_path = temp_journal("client_quota.gbj");
+  opts.resolve_machine = box.resolver();
+  opts.quotas["corp"].max_total = 1;
+  WiredDaemon up = WiredDaemon::start(std::move(opts));
+
+  ASSERT_TRUE(up.client->submit(spec_for("BOX")).ok());
+  auto rejected = up.client->submit(spec_for("BOX"));
+  EXPECT_EQ(rejected.status().code(),
+            support::StatusCode::kResourceExhausted);
+  up.daemon->wait_idle();
+}
+
+// The point of the shared API: a caller cannot tell the transports
+// apart by the reports they deliver.
+TEST(CrossTransport, SameMachineYieldsIdenticalNormalizedReports) {
+  OneBox in_process_box(31, /*infected=*/true);
+  OneBox wire_box(31, /*infected=*/true);  // same seed, fresh machine
+
+  InProcessClient::Options local_opts;
+  local_opts.workers = 1;
+  local_opts.resolve_machine = in_process_box.resolver();
+  InProcessClient local(local_opts);
+  auto local_handle = local.submit(spec_for("BOX"));
+  ASSERT_TRUE(local_handle.ok());
+  const JobResult& local_result = local_handle->wait();
+  ASSERT_TRUE(local_result.status.ok());
+
+  daemon::DaemonOptions opts;
+  opts.journal_path = temp_journal("client_cross.gbj");
+  opts.resolve_machine = wire_box.resolver();
+  WiredDaemon up = WiredDaemon::start(std::move(opts));
+  auto wire_handle = up.client->submit(spec_for("BOX"));
+  ASSERT_TRUE(wire_handle.ok());
+  const JobResult& wire_result = wire_handle->wait();
+  ASSERT_TRUE(wire_result.status.ok());
+
+  EXPECT_EQ(normalized_report_json(local_result.report_json),
+            normalized_report_json(wire_result.report_json));
+}
+
+TEST(Normalization, ZeroesExactlyTheWallClockFields) {
+  const std::string report =
+      "{\"wall_seconds\":1.25,\"queue_seconds\":3e-05,"
+      "\"worker_threads\":8,\"hidden_resources\":4}";
+  const std::string normalized = normalized_report_json(report);
+  EXPECT_NE(normalized.find("\"wall_seconds\":0"), std::string::npos);
+  EXPECT_NE(normalized.find("\"queue_seconds\":0"), std::string::npos);
+  EXPECT_NE(normalized.find("\"worker_threads\":0"), std::string::npos);
+  // Everything else is untouched.
+  EXPECT_NE(normalized.find("\"hidden_resources\":4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gb::client

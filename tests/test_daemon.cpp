@@ -1,0 +1,401 @@
+// Daemon end-to-end: crash-safe restart byte-identity, at-most-once
+// result delivery from the journal store, token-bucket and quota
+// admission (with an injected fake clock), shard partitioning, and the
+// stats/metrics surface. The wire protocol has its own suite
+// (test_wire_protocol); here every call goes straight into the Daemon.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "malware/collection.h"
+
+namespace gb::daemon {
+namespace {
+
+machine::MachineConfig tiny_config(std::uint64_t seed) {
+  machine::MachineConfig cfg;
+  cfg.seed = seed;
+  cfg.disk_sectors = 32 * 1024;  // 16 MiB image
+  cfg.mft_records = 2048;
+  cfg.synthetic_files = 12;
+  cfg.synthetic_registry_keys = 8;
+  return cfg;
+}
+
+/// One machine per box so a replayed job re-reads exactly the state the
+/// crashed run saw (no cross-job clock interaction).
+struct TestFleet {
+  std::map<std::string, std::unique_ptr<machine::Machine>> boxes;
+
+  static TestFleet build(std::size_t size, std::uint64_t seed = 1) {
+    TestFleet fleet;
+    for (std::size_t i = 0; i < size; ++i) {
+      const std::string id = "BOX-" + std::to_string(i);
+      auto m = std::make_unique<machine::Machine>(tiny_config(seed + i));
+      if (i % 2 == 1) malware::install_ghostware<malware::HackerDefender>(*m);
+      fleet.boxes[id] = std::move(m);
+    }
+    return fleet;
+  }
+
+  std::function<machine::Machine*(const std::string&)> resolver() {
+    return [this](const std::string& id) -> machine::Machine* {
+      auto it = boxes.find(id);
+      return it == boxes.end() ? nullptr : it->second.get();
+    };
+  }
+};
+
+std::string temp_journal(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  (void)std::remove(path.c_str());
+  return path;
+}
+
+JobRequest request_for(const std::string& machine_id,
+                       const std::string& tenant = "corp") {
+  JobRequest req;
+  req.machine_id = machine_id;
+  req.tenant = tenant;
+  return req;
+}
+
+std::unique_ptr<Daemon> start_daemon(DaemonOptions opts) {
+  auto daemon = Daemon::start(std::move(opts));
+  EXPECT_TRUE(daemon.ok()) << daemon.status().to_string();
+  return std::move(daemon).value();
+}
+
+TEST(Daemon, SubmitWaitAndStats) {
+  TestFleet fleet = TestFleet::build(2);
+  DaemonOptions opts;
+  opts.journal_path = temp_journal("daemon_basic.gbj");
+  opts.resolve_machine = fleet.resolver();
+  auto daemon = start_daemon(std::move(opts));
+
+  auto clean = daemon->submit(request_for("BOX-0"));
+  auto infected = daemon->submit(request_for("BOX-1", "lab"));
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(infected.ok());
+
+  auto clean_report = daemon->wait_result(*clean);
+  auto infected_report = daemon->wait_result(*infected);
+  ASSERT_TRUE(clean_report.ok()) << clean_report.status().to_string();
+  ASSERT_TRUE(infected_report.ok());
+  EXPECT_NE(clean_report->find("\"infected\":false"), std::string::npos);
+  EXPECT_NE(infected_report->find("\"infected\":true"), std::string::npos);
+  // Scheduler provenance in the report carries the daemon job id.
+  EXPECT_NE(infected_report->find("\"job_id\":" + std::to_string(*infected)),
+            std::string::npos);
+
+  DaemonStats stats = daemon->stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.replayed_completed, 0u);
+  EXPECT_NE(stats.to_json().find("\"schema_version\":\"2.6\""),
+            std::string::npos);
+  EXPECT_NE(daemon->metrics_text().find("gb_daemon_submitted_total"),
+            std::string::npos);
+}
+
+TEST(Daemon, UnknownMachineIsRejectedBeforeJournaling) {
+  TestFleet fleet = TestFleet::build(1);
+  DaemonOptions opts;
+  opts.journal_path = temp_journal("daemon_unknown.gbj");
+  opts.resolve_machine = fleet.resolver();
+  auto daemon = start_daemon(std::move(opts));
+
+  auto id = daemon->submit(request_for("NO-SUCH-BOX"));
+  EXPECT_EQ(id.status().code(), support::StatusCode::kNotFound);
+  EXPECT_EQ(daemon->stats().submitted, 0u);
+  EXPECT_EQ(daemon->poll(1).status().code(), support::StatusCode::kNotFound);
+}
+
+// The headline invariant: kill the daemon mid-fleet, restart on the
+// same journal, and every job's report is byte-identical (modulo wall
+// clock) to an uninterrupted run over an identical fleet.
+TEST(DaemonCrash, KillAndRestartIsByteIdenticalToUninterruptedRun) {
+  constexpr std::size_t kFleet = 4;
+
+  // Reference run: same seeds, never interrupted.
+  std::vector<std::string> expected;
+  {
+    TestFleet fleet = TestFleet::build(kFleet);
+    DaemonOptions opts;
+    opts.journal_path = temp_journal("daemon_reference.gbj");
+    opts.shards = 1;
+    opts.workers_per_shard = 1;  // serial, so the crash run has a backlog
+    opts.resolve_machine = fleet.resolver();
+    auto daemon = start_daemon(std::move(opts));
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < kFleet; ++i) {
+      ids.push_back(daemon->submit(request_for("BOX-" + std::to_string(i)))
+                        .value());
+    }
+    for (std::uint64_t id : ids) {
+      auto report = daemon->wait_result(id);
+      ASSERT_TRUE(report.ok()) << report.status().to_string();
+      expected.push_back(client::normalized_report_json(*report));
+    }
+  }
+
+  // Crash run: identical fleet, killed after the first result lands.
+  TestFleet fleet = TestFleet::build(kFleet);
+  const std::string journal = temp_journal("daemon_crash.gbj");
+  std::vector<std::uint64_t> ids;
+  {
+    DaemonOptions opts;
+    opts.journal_path = journal;
+    opts.shards = 1;
+    opts.workers_per_shard = 1;
+    opts.resolve_machine = fleet.resolver();
+    auto daemon = start_daemon(std::move(opts));
+    for (std::size_t i = 0; i < kFleet; ++i) {
+      ids.push_back(daemon->submit(request_for("BOX-" + std::to_string(i)))
+                        .value());
+    }
+    auto first = daemon->wait_result(ids[0]);
+    ASSERT_TRUE(first.ok());
+    daemon->kill();  // jobs 1..3 are queued or mid-scan: gone with us
+  }
+
+  DaemonOptions opts;
+  opts.journal_path = journal;
+  opts.shards = 1;
+  opts.workers_per_shard = 1;
+  TestFleet* live = &fleet;
+  opts.resolve_machine = [live](const std::string& id) {
+    auto it = live->boxes.find(id);
+    return it == live->boxes.end() ? nullptr : it->second.get();
+  };
+  auto restarted = start_daemon(std::move(opts));
+
+  DaemonStats stats = restarted->stats();
+  EXPECT_GE(stats.replayed_completed, 1u);
+  EXPECT_EQ(stats.replayed_completed + stats.requeued, kFleet);
+
+  for (std::size_t i = 0; i < kFleet; ++i) {
+    auto report = restarted->wait_result(ids[i]);
+    ASSERT_TRUE(report.ok()) << "job " << ids[i] << ": "
+                             << report.status().to_string();
+    EXPECT_EQ(client::normalized_report_json(*report), expected[i])
+        << "job " << ids[i] << " diverged after replay";
+  }
+}
+
+// At-most-once: a job completed before the restart is served straight
+// from the journal store — the machine is never resolved (let alone
+// re-scanned) for it.
+TEST(DaemonCrash, ReplayedCompletionsAreServedWithoutRescanning) {
+  TestFleet fleet = TestFleet::build(1);
+  const std::string journal = temp_journal("daemon_store.gbj");
+  std::uint64_t id = 0;
+  std::string first_report;
+  {
+    DaemonOptions opts;
+    opts.journal_path = journal;
+    opts.resolve_machine = fleet.resolver();
+    auto daemon = start_daemon(std::move(opts));
+    id = daemon->submit(request_for("BOX-0")).value();
+    first_report = daemon->wait_result(id).value();
+  }  // graceful shutdown: the completion is journaled
+
+  std::atomic<int> resolves{0};
+  DaemonOptions opts;
+  opts.journal_path = journal;
+  opts.resolve_machine = [&fleet, &resolves](const std::string& box) {
+    ++resolves;
+    auto it = fleet.boxes.find(box);
+    return it == fleet.boxes.end() ? nullptr : it->second.get();
+  };
+  auto restarted = start_daemon(std::move(opts));
+
+  auto replayed = restarted->wait_result(id);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, first_report);  // byte-exact, not merely equivalent
+  EXPECT_EQ(resolves.load(), 0);       // never dispatched again
+
+  auto view = restarted->poll(id);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->finished);
+  EXPECT_TRUE(view->result.ok());
+}
+
+TEST(DaemonAdmission, TokenBucketRejectsAtTheInjectedClockRate) {
+  TestFleet fleet = TestFleet::build(1);
+  DaemonOptions opts;
+  opts.journal_path = temp_journal("daemon_rate.gbj");
+  opts.resolve_machine = fleet.resolver();
+  opts.quotas["corp"].rate_per_second = 1.0;
+  opts.quotas["corp"].burst = 2.0;
+  auto fake_now = std::make_shared<double>(0.0);
+  opts.clock = [fake_now] { return *fake_now; };
+  auto daemon = start_daemon(std::move(opts));
+
+  // Burst capacity admits two back-to-back submits at t=0...
+  ASSERT_TRUE(daemon->submit(request_for("BOX-0")).ok());
+  ASSERT_TRUE(daemon->submit(request_for("BOX-0")).ok());
+  // ...then the bucket is dry until the clock moves.
+  auto rejected = daemon->submit(request_for("BOX-0"));
+  EXPECT_EQ(rejected.status().code(),
+            support::StatusCode::kResourceExhausted);
+
+  *fake_now = 1.0;  // refills exactly one token
+  ASSERT_TRUE(daemon->submit(request_for("BOX-0")).ok());
+  EXPECT_EQ(daemon->submit(request_for("BOX-0")).status().code(),
+            support::StatusCode::kResourceExhausted);
+
+  // Unlimited tenants are untouched by corp's limits.
+  ASSERT_TRUE(daemon->submit(request_for("BOX-0", "lab")).ok());
+
+  DaemonStats stats = daemon->stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.rejected_rate, 2u);
+  EXPECT_EQ(stats.rejected_quota, 0u);
+  daemon->wait_idle();
+}
+
+TEST(DaemonAdmission, MaxTotalQuotaIsEnforcedAcrossRestarts) {
+  TestFleet fleet = TestFleet::build(1);
+  const std::string journal = temp_journal("daemon_quota.gbj");
+  auto make_opts = [&] {
+    DaemonOptions opts;
+    opts.journal_path = journal;
+    opts.resolve_machine = fleet.resolver();
+    opts.quotas["corp"].max_total = 2;
+    return opts;
+  };
+  {
+    auto daemon = start_daemon(make_opts());
+    ASSERT_TRUE(daemon->submit(request_for("BOX-0")).ok());
+    ASSERT_TRUE(daemon->submit(request_for("BOX-0")).ok());
+    auto third = daemon->submit(request_for("BOX-0"));
+    EXPECT_EQ(third.status().code(),
+              support::StatusCode::kResourceExhausted);
+    EXPECT_EQ(daemon->stats().rejected_quota, 1u);
+    daemon->wait_idle();  // both jobs terminal — the cap is lifetime,
+                          // not outstanding, so it must still reject
+    EXPECT_EQ(daemon->submit(request_for("BOX-0")).status().code(),
+              support::StatusCode::kResourceExhausted);
+  }
+
+  // The lifetime count is rebuilt from the journal: a restart must not
+  // grant corp a fresh allowance.
+  auto restarted = start_daemon(make_opts());
+  EXPECT_EQ(restarted->stats().replayed_completed, 2u);
+  EXPECT_EQ(restarted->submit(request_for("BOX-0")).status().code(),
+            support::StatusCode::kResourceExhausted);
+}
+
+TEST(DaemonAdmission, MaxOutstandingCapReleasesOnCompletion) {
+  TestFleet fleet = TestFleet::build(1);
+  DaemonOptions opts;
+  opts.journal_path = temp_journal("daemon_outstanding.gbj");
+  opts.resolve_machine = fleet.resolver();
+  opts.quotas["corp"].max_outstanding = 1;
+  auto daemon = start_daemon(std::move(opts));
+
+  auto first = daemon->submit(request_for("BOX-0"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(daemon->submit(request_for("BOX-0")).status().code(),
+            support::StatusCode::kResourceExhausted);
+  ASSERT_TRUE(daemon->wait_result(*first).ok());
+  EXPECT_TRUE(daemon->submit(request_for("BOX-0")).ok());
+  daemon->wait_idle();
+}
+
+TEST(Daemon, CancelledJobReplaysAsCancelled) {
+  TestFleet fleet = TestFleet::build(2);
+  const std::string journal = temp_journal("daemon_cancel.gbj");
+  std::uint64_t running = 0, queued = 0;
+  {
+    DaemonOptions opts;
+    opts.journal_path = journal;
+    opts.shards = 1;
+    opts.workers_per_shard = 1;  // the second job stays queued
+    opts.resolve_machine = fleet.resolver();
+    auto daemon = start_daemon(std::move(opts));
+    running = daemon->submit(request_for("BOX-0")).value();
+    queued = daemon->submit(request_for("BOX-1")).value();
+    auto cancelled = daemon->cancel_job(queued);
+    ASSERT_TRUE(cancelled.ok());
+    EXPECT_TRUE(*cancelled);
+    EXPECT_EQ(daemon->wait_result(queued).status().code(),
+              support::StatusCode::kCancelled);
+    EXPECT_FALSE(daemon->cancel_job(queued).value());  // already terminal
+    EXPECT_EQ(daemon->cancel_job(99).status().code(),
+              support::StatusCode::kNotFound);
+    ASSERT_TRUE(daemon->wait_result(running).ok());
+    EXPECT_EQ(daemon->stats().cancelled, 1u);
+  }
+
+  // The cancel record is durable: the restart image has the job as
+  // terminal-cancelled, nothing to re-run.
+  DaemonOptions opts;
+  opts.journal_path = journal;
+  opts.resolve_machine = fleet.resolver();
+  auto restarted = start_daemon(std::move(opts));
+  EXPECT_EQ(restarted->stats().requeued, 0u);
+  EXPECT_EQ(restarted->wait_result(queued).status().code(),
+            support::StatusCode::kCancelled);
+  auto view = restarted->poll(queued);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->finished);
+  EXPECT_EQ(view->result.code(), support::StatusCode::kCancelled);
+}
+
+TEST(DaemonShards, MachineHashPartitioningSumsIntoCombinedStats) {
+  constexpr std::size_t kFleet = 6;
+  TestFleet fleet = TestFleet::build(kFleet);
+  DaemonOptions opts;
+  opts.journal_path = temp_journal("daemon_shards.gbj");
+  opts.shards = 3;
+  opts.workers_per_shard = 1;
+  opts.resolve_machine = fleet.resolver();
+  opts.tenant_weights["corp"] = 2;
+  auto daemon = start_daemon(std::move(opts));
+
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < kFleet; ++i) {
+    ids.push_back(daemon->submit(request_for("BOX-" + std::to_string(i),
+                                             i % 2 ? "lab" : "corp"))
+                      .value());
+  }
+  daemon->wait_idle();
+
+  DaemonStats stats = daemon->stats();
+  EXPECT_EQ(stats.shards, 3u);
+  ASSERT_EQ(stats.per_shard.size(), 3u);
+  std::uint64_t shard_served = 0, shard_submitted = 0;
+  for (const core::SchedulerStats& shard : stats.per_shard) {
+    shard_served += shard.served;
+    shard_submitted += shard.submitted;
+  }
+  EXPECT_EQ(shard_served, kFleet);
+  EXPECT_EQ(stats.combined.served, shard_served);
+  EXPECT_EQ(stats.combined.submitted, shard_submitted);
+  // Tenants merge by id in the combined view.
+  ASSERT_EQ(stats.combined.tenants.size(), 2u);
+  EXPECT_EQ(stats.combined.tenants[0].id, "corp");
+  EXPECT_EQ(stats.combined.tenants[0].served +
+                stats.combined.tenants[1].served,
+            kFleet);
+
+  // Every job landed somewhere and finished, whatever its shard.
+  for (std::uint64_t id : ids) {
+    auto view = daemon->poll(id);
+    ASSERT_TRUE(view.ok());
+    EXPECT_TRUE(view->finished);
+    EXPECT_TRUE(view->result.ok());
+  }
+}
+
+}  // namespace
+}  // namespace gb::daemon

@@ -48,6 +48,8 @@ constexpr Fixtures kFixtures[] = {
     {"mutex-name", "bad_mutex_name.cpp", "good_mutex_name.cpp"},
     {"naked-new", "bad_naked_new.cpp", "good_naked_new.cpp"},
     {"raw-thread", "bad_raw_thread.cpp", "good_raw_thread.cpp"},
+    {"raw-transport-io", "bad_raw_transport_io.cpp",
+     "good_raw_transport_io.cpp"},
     {"legacy-scan-entry", "bad_legacy_scan_entry.cpp",
      "good_legacy_scan_entry.cpp"},
 };

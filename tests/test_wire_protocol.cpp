@@ -1,0 +1,319 @@
+// Wire protocol robustness: every verb round-trips byte-exactly, and a
+// hostile or broken peer — truncated frames, oversized lengths, garbage
+// bytes, checksum damage — produces kCorrupt (or a clean kUnavailable
+// close), never a crash, a hang, or a half-parsed message. The daemon
+// must survive a poisoned connection and keep serving the next one.
+#include "daemon/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "daemon/job_request.h"
+#include "daemon/transport.h"
+#include "machine/machine.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace gb {
+namespace {
+
+using namespace daemon;
+
+std::vector<std::byte> as_bytes(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+// --- payload round-trips ---------------------------------------------------
+
+TEST(WireCodec, SubmitRoundTripsEveryField) {
+  JobRequest request;
+  request.machine_id = "DESKTOP-104";
+  request.tenant = "lab";
+  request.priority = -7;
+  request.kind = core::ScanKind::kOutside;
+  request.resources = core::ResourceMask::kFiles;
+  request.advanced = true;
+  request.carve = core::CarveMode::kOn;
+
+  const auto frame = encode_submit(request);
+  const auto verb = decode_verb(frame);
+  ASSERT_TRUE(verb.ok());
+  EXPECT_EQ(*verb, Verb::kSubmit);
+  const auto decoded = decode_submit(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, request);
+}
+
+TEST(WireCodec, JobIdVerbsRoundTrip) {
+  for (const auto& frame :
+       {encode_poll(0xDEADBEEFCAFEull), encode_cancel(0xDEADBEEFCAFEull),
+        encode_result(0xDEADBEEFCAFEull)}) {
+    const auto id = decode_job_id(frame);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, 0xDEADBEEFCAFEull);
+  }
+}
+
+TEST(WireCodec, RepliesRoundTripStatusAndFields) {
+  SubmitReply submit;
+  submit.status = support::Status::resource_exhausted("tenant lab over quota");
+  submit.job_id = 42;
+  const auto submit_back = decode_submit_reply(encode_submit_reply(submit));
+  ASSERT_TRUE(submit_back.ok());
+  EXPECT_EQ(submit_back->status.code(),
+            support::StatusCode::kResourceExhausted);
+  EXPECT_EQ(submit_back->status.message(), "tenant lab over quota");
+  EXPECT_EQ(submit_back->job_id, 42u);
+
+  PollReply poll;
+  poll.view.id = 9;
+  poll.view.phase = core::JobPhase::kRunning;
+  poll.view.tasks_done = 3;
+  poll.view.tasks_total = 8;
+  poll.view.finished = true;
+  poll.view.result = support::Status::cancelled("pulled");
+  const auto poll_back = decode_poll_reply(encode_poll_reply(poll));
+  ASSERT_TRUE(poll_back.ok());
+  EXPECT_EQ(poll_back->view.id, 9u);
+  EXPECT_EQ(poll_back->view.phase, core::JobPhase::kRunning);
+  EXPECT_EQ(poll_back->view.tasks_done, 3u);
+  EXPECT_EQ(poll_back->view.tasks_total, 8u);
+  EXPECT_TRUE(poll_back->view.finished);
+  EXPECT_EQ(poll_back->view.result.code(), support::StatusCode::kCancelled);
+
+  CancelReply cancel;
+  cancel.cancelled = true;
+  const auto cancel_back = decode_cancel_reply(encode_cancel_reply(cancel));
+  ASSERT_TRUE(cancel_back.ok());
+  EXPECT_TRUE(cancel_back->cancelled);
+
+  StatsReply stats;
+  stats.stats_json = "{\"schema_version\":\"2.6\"}";
+  stats.metrics_text = "# TYPE gb_daemon_submitted_total counter\n";
+  const auto stats_back = decode_stats_reply(encode_stats_reply(stats));
+  ASSERT_TRUE(stats_back.ok());
+  EXPECT_EQ(stats_back->stats_json, stats.stats_json);
+  EXPECT_EQ(stats_back->metrics_text, stats.metrics_text);
+
+  ResultReply result;
+  result.total_bytes = 1u << 20;
+  const auto result_back = decode_result_reply(encode_result_reply(result));
+  ASSERT_TRUE(result_back.ok());
+  EXPECT_EQ(result_back->total_bytes, 1u << 20);
+
+  const auto error_back = decode_error_reply(
+      encode_error_reply(support::Status::corrupt("bad frame")));
+  ASSERT_TRUE(error_back.ok());
+  EXPECT_EQ(error_back->error.code(), support::StatusCode::kCorrupt);
+  EXPECT_EQ(error_back->error.message(), "bad frame");
+}
+
+TEST(WireCodec, ResultChunkCarriesBinaryDataByteExact) {
+  ResultChunk chunk;
+  chunk.sequence = 7;
+  chunk.last = true;
+  chunk.data = std::string("abc\0\xFF\x01" "def", 9);
+  const auto back = decode_result_chunk(encode_result_chunk(chunk));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->sequence, 7u);
+  EXPECT_TRUE(back->last);
+  EXPECT_EQ(back->data, chunk.data);
+}
+
+TEST(WireCodec, MalformedPayloadsAreCorruptNotUB) {
+  // Wrong decoder for the verb's layout → kCorrupt via the ParseError
+  // boundary or the trailing-bytes check, never an exception escape.
+  const auto poll_frame = encode_poll(1);
+  EXPECT_EQ(decode_submit(poll_frame).status().code(),
+            support::StatusCode::kCorrupt);
+
+  EXPECT_EQ(decode_verb({}).status().code(), support::StatusCode::kCorrupt);
+
+  const auto junk = as_bytes("\x63junkjunkjunk");  // verb 99: unknown
+  EXPECT_EQ(decode_verb(junk).status().code(), support::StatusCode::kCorrupt);
+
+  // Truncated submit payload.
+  auto frame = encode_submit(JobRequest{});
+  frame.resize(frame.size() / 2);
+  EXPECT_EQ(decode_submit(frame).status().code(),
+            support::StatusCode::kCorrupt);
+
+  // Trailing bytes after a complete payload.
+  auto padded = encode_cancel(1);
+  padded.push_back(std::byte{0});
+  EXPECT_EQ(decode_job_id(padded).status().code(),
+            support::StatusCode::kCorrupt);
+}
+
+// --- framing over the pipe transport ---------------------------------------
+
+TEST(WireFramer, FramesRoundTripInOrder) {
+  PipePair pipe = make_pipe();
+  Framer client(*pipe.client);
+  Framer server(*pipe.server);
+
+  ASSERT_TRUE(client.write_frame(encode_poll(1)).ok());
+  ASSERT_TRUE(client.write_frame(encode_stats()).ok());
+  ASSERT_TRUE(client.write_frame(encode_cancel(2)).ok());
+
+  const auto first = server.read_frame();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*decode_verb(*first), Verb::kPoll);
+  const auto second = server.read_frame();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*decode_verb(*second), Verb::kStats);
+  const auto third = server.read_frame();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*decode_verb(*third), Verb::kCancel);
+}
+
+TEST(WireFramer, LargeFrameCrossesASmallPipe) {
+  // Frame far larger than the pipe buffer: the writer must chunk through
+  // backpressure while the reader drains, with the bytes intact.
+  PipePair pipe = make_pipe(/*capacity=*/1024);
+  StatsReply reply;
+  reply.stats_json.assign(200000, 'x');
+  reply.stats_json += "end";
+  std::thread writer([&] {
+    Framer framer(*pipe.client);
+    ASSERT_TRUE(framer.write_frame(encode_stats_reply(reply)).ok());
+  });
+  Framer server(*pipe.server);
+  const auto frame = server.read_frame();
+  writer.join();
+  ASSERT_TRUE(frame.ok());
+  const auto back = decode_stats_reply(*frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->stats_json, reply.stats_json);
+}
+
+TEST(WireFramer, PeerCloseAtFrameBoundaryIsUnavailable) {
+  PipePair pipe = make_pipe();
+  pipe.client->close();
+  Framer server(*pipe.server);
+  const auto frame = server.read_frame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), support::StatusCode::kUnavailable);
+}
+
+TEST(WireFramer, TruncatedHeaderIsCorrupt) {
+  PipePair pipe = make_pipe();
+  ASSERT_TRUE(pipe.client->send_bytes(as_bytes("GBWF\x08")).ok());
+  pipe.client->close();
+  Framer server(*pipe.server);
+  const auto frame = server.read_frame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), support::StatusCode::kCorrupt);
+}
+
+TEST(WireFramer, TruncatedPayloadIsCorrupt) {
+  PipePair pipe = make_pipe();
+  ByteWriter w;
+  w.str("GBWF");
+  w.u32(100);  // promises 100 payload bytes
+  w.u32(0);
+  w.str("only-these");
+  ASSERT_TRUE(pipe.client->send_bytes(w.view()).ok());
+  pipe.client->close();
+  Framer server(*pipe.server);
+  const auto frame = server.read_frame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), support::StatusCode::kCorrupt);
+}
+
+TEST(WireFramer, OversizedLengthIsRejectedBeforeAllocation) {
+  PipePair pipe = make_pipe();
+  ByteWriter w;
+  w.str("GBWF");
+  w.u32(kMaxFramePayload + 1);
+  w.u32(0);
+  ASSERT_TRUE(pipe.client->send_bytes(w.view()).ok());
+  Framer server(*pipe.server);
+  const auto frame = server.read_frame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), support::StatusCode::kCorrupt);
+}
+
+TEST(WireFramer, GarbageBytesAreCorrupt) {
+  PipePair pipe = make_pipe();
+  ASSERT_TRUE(
+      pipe.client->send_bytes(as_bytes("this is not a GBWF frame....")).ok());
+  Framer server(*pipe.server);
+  const auto frame = server.read_frame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), support::StatusCode::kCorrupt);
+}
+
+TEST(WireFramer, ChecksumMismatchIsCorrupt) {
+  PipePair pipe = make_pipe();
+  const auto payload = encode_poll(1);
+  ByteWriter w;
+  w.str("GBWF");
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload) ^ 0xBADF00D);
+  w.bytes(payload);
+  ASSERT_TRUE(pipe.client->send_bytes(w.view()).ok());
+  Framer server(*pipe.server);
+  const auto frame = server.read_frame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), support::StatusCode::kCorrupt);
+}
+
+// --- the daemon survives hostile connections -------------------------------
+
+TEST(WireFramer, DaemonSurvivesAPoisonedConnection) {
+  machine::MachineConfig cfg;
+  cfg.seed = 11;
+  machine::Machine box(cfg);
+
+  DaemonOptions opts;
+  opts.journal_path = ::testing::TempDir() + "/gb_wire_daemon.gbj";
+  std::filesystem::remove(opts.journal_path);
+  opts.resolve_machine = [&box](const std::string& id) {
+    return id == "BOX" ? &box : nullptr;
+  };
+  auto daemon = Daemon::start(std::move(opts));
+  ASSERT_TRUE(daemon.ok());
+
+  // Connection 1 sends garbage: it gets an error reply (kCorrupt) and a
+  // closed stream — and only that connection dies.
+  PipePair bad = make_pipe();
+  (*daemon)->serve(bad.server);
+  ASSERT_TRUE(bad.client->send_bytes(as_bytes("GARBAGEGARBAGEGARBAGE")).ok());
+  Framer bad_framer(*bad.client);
+  const auto error_frame = bad_framer.read_frame();
+  ASSERT_TRUE(error_frame.ok());
+  ASSERT_EQ(*decode_verb(*error_frame), Verb::kErrorReply);
+  EXPECT_EQ(decode_error_reply(*error_frame)->error.code(),
+            support::StatusCode::kCorrupt);
+  const auto after = bad_framer.read_frame();
+  EXPECT_FALSE(after.ok());
+
+  // Connection 2, opened after the poisoning, serves normally.
+  PipePair good = make_pipe();
+  (*daemon)->serve(good.server);
+  Framer good_framer(*good.client);
+  JobRequest request;
+  request.machine_id = "BOX";
+  ASSERT_TRUE(good_framer.write_frame(encode_submit(request)).ok());
+  const auto reply_frame = good_framer.read_frame();
+  ASSERT_TRUE(reply_frame.ok());
+  ASSERT_EQ(*decode_verb(*reply_frame), Verb::kSubmitReply);
+  const auto reply = decode_submit_reply(*reply_frame);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply->status.ok());
+  EXPECT_EQ(reply->job_id, 1u);
+  good.client->close();
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,219 @@
+// gb_daemond — the fleet-serving daemon, end to end in one process.
+//
+// Builds a deterministic simulated fleet (see sim_fleet.h), starts the
+// crash-safe gb::daemon::Daemon over it, and drives the full client
+// path: every request travels the length-prefixed wire protocol over an
+// in-process pipe pair into DaemonClient, exactly as a remote console
+// would speak to a real daemon socket.
+//
+//   gb_daemond --journal FILE [--fleet N] [--seed N] [--shards N]
+//              [--workers N] [--mode inside|injected|outside]
+//              [--advanced] [--kill-after N] [--json] [--metrics]
+//              [--fresh]
+//
+//   --journal FILE   job journal path (required; reused across runs —
+//                    an existing journal is replayed, that IS restart)
+//   --fleet N        desktops to scan, one job each (default 6)
+//   --shards N       scheduler shards, machine-id hash partitioned
+//   --workers N      workers per shard (default 2)
+//   --kill-after N   crash drill: SIGKILL-equivalent after N results,
+//                    then restart on the same journal and finish the
+//                    rest from the replay image
+//   --json           machine-readable daemon stats on stdout
+//   --metrics        Prometheus exposition after the run
+//   --fresh          delete the journal first (repeatable demo runs)
+//
+// Exit code: 0 when every job produced a report and detection matched
+// ground truth, 1 otherwise, 2 on usage error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/transport.h"
+#include "gb_daemond/sim_fleet.h"
+
+namespace {
+
+using namespace gb;
+
+struct RunFlags {
+  std::string journal;
+  std::size_t fleet = 6;
+  std::uint64_t seed = 1;
+  std::size_t shards = 2;
+  std::size_t workers = 2;
+  core::ScanKind kind = core::ScanKind::kInside;
+  bool advanced = false;
+  std::size_t kill_after = 0;  // 0 = no crash drill
+  bool json = false;
+  bool metrics = false;
+  bool fresh = false;  // delete the journal first (for repeatable runs)
+};
+
+/// Daemon + wire client over one in-process pipe pair. Scoped so the
+/// crash drill can tear one incarnation down and start the next.
+struct Incarnation {
+  std::unique_ptr<daemon::Daemon> daemon;
+  std::unique_ptr<client::DaemonClient> client;
+
+  static support::StatusOr<Incarnation> start(const RunFlags& flags,
+                                              fleet_sim::SimFleet& fleet) {
+    daemon::DaemonOptions opts;
+    opts.journal_path = flags.journal;
+    opts.shards = flags.shards;
+    opts.workers_per_shard = flags.workers;
+    opts.resolve_machine = fleet.resolver();
+    opts.tenant_weights["corp"] = 2;  // same DRR bias as `gb scan --fleet`
+    auto daemon = daemon::Daemon::start(std::move(opts));
+    if (!daemon.ok()) return daemon.status();
+    Incarnation up;
+    up.daemon = std::move(daemon).value();
+    daemon::PipePair pipe = daemon::make_pipe();
+    up.daemon->serve(pipe.server);
+    up.client = std::make_unique<client::DaemonClient>(pipe.client);
+    return up;
+  }
+};
+
+int usage(const char* what) {
+  std::fprintf(stderr, "gb_daemond: %s (see header comment)\n", what);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gb_daemond: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--journal") flags.journal = need_value();
+    else if (arg == "--fleet") flags.fleet = std::stoull(need_value());
+    else if (arg == "--seed") flags.seed = std::stoull(need_value());
+    else if (arg == "--shards") flags.shards = std::stoull(need_value());
+    else if (arg == "--workers") flags.workers = std::stoull(need_value());
+    else if (arg == "--advanced") flags.advanced = true;
+    else if (arg == "--kill-after") flags.kill_after = std::stoull(need_value());
+    else if (arg == "--json") flags.json = true;
+    else if (arg == "--metrics") flags.metrics = true;
+    else if (arg == "--fresh") flags.fresh = true;
+    else if (arg == "--mode") {
+      const std::string mode = need_value();
+      if (mode == "inside") flags.kind = core::ScanKind::kInside;
+      else if (mode == "injected") flags.kind = core::ScanKind::kInjected;
+      else if (mode == "outside") flags.kind = core::ScanKind::kOutside;
+      else return usage(("unknown mode: " + mode).c_str());
+    } else {
+      return usage(("unknown argument: " + arg).c_str());
+    }
+  }
+  if (flags.journal.empty()) return usage("--journal is required");
+  if (flags.fleet == 0) return usage("--fleet must be positive");
+  if (flags.fresh) (void)std::remove(flags.journal.c_str());
+
+  fleet_sim::SimFleet fleet = fleet_sim::build_sim_fleet(flags.fleet, flags.seed);
+
+  auto up = Incarnation::start(flags, fleet);
+  if (!up.ok()) {
+    std::fprintf(stderr, "gb_daemond: start failed: %s\n",
+                 up.status().to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "gb_daemond: fleet of %zu over %zu shard(s) x %zu worker(s), "
+               "journal %s\n",
+               flags.fleet, flags.shards, flags.workers, flags.journal.c_str());
+
+  // One job per desktop, submitted over the wire.
+  std::vector<std::uint64_t> job_ids;
+  for (const fleet_sim::SimBox& box : fleet.boxes) {
+    client::JobSpec spec;
+    spec.machine_id = box.id;
+    spec.tenant = box.tenant;
+    spec.kind = flags.kind;
+    spec.advanced = flags.advanced;
+    auto handle = up->client->submit(spec);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "gb_daemond: submit %s failed: %s\n",
+                   box.id.c_str(), handle.status().to_string().c_str());
+      return 1;
+    }
+    job_ids.push_back(handle->id());
+  }
+
+  // Crash drill: collect the first N results, then kill the daemon the
+  // way a SIGKILL looks to the journal, restart on the same path, and
+  // let the replay image finish the rest.
+  if (flags.kill_after > 0) {
+    const std::size_t n = std::min(flags.kill_after, job_ids.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      auto handle = up->client->attach(job_ids[i]);
+      (void)handle.wait();
+    }
+    up->client.reset();  // hang up before the daemon dies
+    up->daemon->kill();
+    up->daemon.reset();
+    std::fprintf(stderr,
+                 "gb_daemond: [crash drill] killed after %zu result(s); "
+                 "restarting from %s\n",
+                 n, flags.journal.c_str());
+    up = Incarnation::start(flags, fleet);
+    if (!up.ok()) {
+      std::fprintf(stderr, "gb_daemond: restart failed: %s\n",
+                   up.status().to_string().c_str());
+      return 1;
+    }
+  }
+
+  // Collect every result — re-attaching by id, which survives restarts
+  // because ids live in the journal.
+  int failed = 0, infected = 0, detected = 0;
+  std::printf("%-14s %-7s %5s %-10s %s\n", "host", "tenant", "job", "verdict",
+              "ground truth");
+  for (std::size_t i = 0; i < fleet.boxes.size(); ++i) {
+    const fleet_sim::SimBox& box = fleet.boxes[i];
+    client::JobHandle handle = up->client->attach(job_ids[i]);
+    const client::JobResult& result = handle.wait();
+    if (box.infection != "-") ++infected;
+    if (!result.status.ok()) {
+      ++failed;
+      std::printf("%-14s %-7s %5llu %-10s %s\n", box.id.c_str(),
+                  box.tenant.c_str(),
+                  static_cast<unsigned long long>(job_ids[i]), "ERROR",
+                  result.status.to_string().c_str());
+      continue;
+    }
+    const bool hit =
+        result.report_json.find("\"infected\":true") != std::string::npos;
+    if (hit) ++detected;
+    std::printf("%-14s %-7s %5llu %-10s %s\n", box.id.c_str(),
+                box.tenant.c_str(),
+                static_cast<unsigned long long>(job_ids[i]),
+                hit ? "INFECTED" : "clean", box.infection.c_str());
+  }
+
+  auto stats = up->client->stats_json();
+  if (flags.json) {
+    std::printf("%s\n", stats.ok() ? stats->c_str() : "{}");
+  } else {
+    std::printf("\n%s", up->daemon->stats().to_string().c_str());
+  }
+  if (flags.metrics) {
+    auto text = up->client->metrics_text();
+    if (text.ok()) std::fputs(text->c_str(), stdout);
+  }
+  up->client.reset();  // hang up so the graceful dtor below can drain
+  up->daemon.reset();
+  return (failed == 0 && detected == infected) ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Deterministic simulated fleet shared by gb_daemond and the CLI's
+// fleet-facing subcommands.
+//
+// The daemon resolves machines by id, and a journal outlives any one
+// process — so every process that touches one journal must agree on
+// what "DESKTOP-104" is. This helper makes the catalog a pure function
+// of (size, seed): machine i is DESKTOP-<100+i>, tenant corp/branch/lab
+// round-robin, every third desktop carrying an infection from the
+// file-hiding collection. `gb submit` in one process and `gb serve` in
+// a later one rebuild byte-identical machines from the same flags.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "malware/collection.h"
+
+namespace gb::fleet_sim {
+
+struct SimBox {
+  std::string id;
+  std::string tenant;
+  std::string infection = "-";  // ground truth, "-" when clean
+  std::unique_ptr<machine::Machine> machine;
+};
+
+struct SimFleet {
+  std::vector<SimBox> boxes;
+
+  machine::Machine* resolve(const std::string& id) {
+    for (SimBox& box : boxes) {
+      if (box.id == id) return box.machine.get();
+    }
+    return nullptr;
+  }
+
+  /// Resolver closure for DaemonOptions / InProcessClient::Options.
+  /// The fleet must outlive whatever holds it.
+  std::function<machine::Machine*(const std::string&)> resolver() {
+    return [this](const std::string& id) { return resolve(id); };
+  }
+};
+
+inline SimFleet build_sim_fleet(std::size_t size, std::uint64_t seed) {
+  const auto catalogue = malware::file_hiding_collection();
+  const char* tenant_of[] = {"corp", "branch", "lab"};
+  SimFleet fleet;
+  for (std::size_t i = 0; i < size; ++i) {
+    SimBox box;
+    box.id = "DESKTOP-" + std::to_string(100 + i);
+    box.tenant = tenant_of[i % 3];
+    machine::MachineConfig mc;
+    mc.seed = seed + i;
+    mc.disk_sectors = 64 * 1024;  // 32 MiB each, so big fleets fit
+    mc.mft_records = 4096;
+    mc.synthetic_files = 60;
+    mc.synthetic_registry_keys = 30;
+    box.machine = std::make_unique<machine::Machine>(mc);
+    if (i % 3 == 2) {  // every third desktop carries an infection
+      const auto& entry = catalogue[i % catalogue.size()];
+      entry.install(*box.machine);
+      box.infection = entry.display_name;
+    }
+    fleet.boxes.push_back(std::move(box));
+  }
+  return fleet;
+}
+
+}  // namespace gb::fleet_sim

@@ -47,6 +47,10 @@ constexpr RuleInfo kRules[] = {
      "no std::thread outside support::ThreadPool (querying "
      "std::thread::hardware_concurrency is fine): the pool is the only "
      "thread owner the determinism argument covers"},
+    {"raw-transport-io",
+     "no send_bytes/recv_bytes member calls outside the transport/wire "
+     "layer: every daemon byte crosses the CRC-framed wire protocol "
+     "(daemon::Framer), never the raw stream"},
     {"legacy-scan-entry",
      "no new library callers of the deprecated named scan entry points "
      "(inside_scan/injected_scan/outside_scan/capture_inside_high/"
@@ -575,6 +579,34 @@ struct Linter {
     }
   }
 
+  void rule_raw_transport_io() {
+    if (!enabled("raw-transport-io")) return;
+    const std::string base = std::filesystem::path(path).filename().string();
+    // The framing layer and the transports themselves are the whole
+    // point of the exemption: everyone else goes through Framer.
+    if (base.rfind("transport", 0) == 0 || base.rfind("wire", 0) == 0) return;
+    for (std::size_t li = 0; li < view.code.size(); ++li) {
+      const std::string& line = view.code[li];
+      for (std::string_view name : {"send_bytes", "recv_bytes"}) {
+        for (std::size_t pos : find_word(line, name)) {
+          // Member-call syntax only: a Transport subclass declaring the
+          // override is not a raw I/O caller.
+          if (pos == 0 || (line[pos - 1] != '.' &&
+                           !preceded_by(line, pos, "->"))) {
+            continue;
+          }
+          const std::size_t next = skip_spaces(line, pos + name.size());
+          if (next >= line.size() || line[next] != '(') continue;
+          report("raw-transport-io", li,
+                 "'" + std::string(name) +
+                     "' bypasses the CRC-framed wire protocol; go "
+                     "through daemon::Framer (or live in the "
+                     "transport/wire layer)");
+        }
+      }
+    }
+  }
+
   void rule_raw_thread() {
     if (!enabled("raw-thread")) return;
     const std::string base = std::filesystem::path(path).filename().string();
@@ -607,6 +639,7 @@ struct Linter {
     rule_naked_new();
     rule_raw_thread();
     rule_legacy_scan_entry();
+    rule_raw_transport_io();
   }
 };
 
