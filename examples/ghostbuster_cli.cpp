@@ -12,6 +12,9 @@
 //   gb serve   --journal F ...     replay the journal, run every pending
 //                                  job to completion, print stats
 //   gb poll    --journal F ...     inspect a journal's restart image
+//   gb trace   N --journal F ...   one merged cross-process Chrome trace
+//                                  of job N (client+wire+daemon+engine)
+//   gb status  --journal F ...     daemon health/SLO surface (kHealth)
 //
 // The pre-subcommand flag spelling (`ghostbuster_cli --infect ...`)
 // still works as a deprecated alias for `gb scan` (or `gb diff` for
@@ -84,6 +87,19 @@
 //     Prints the journal's restart image — completed jobs with status,
 //     pending jobs with their requeue state; --job ID dumps that job's
 //     stored report JSON. Exit 3 if the job is unknown or has no report.
+//
+//   gb trace JOB --journal F [--fleet N] [--seed N] [--out FILE]
+//     Runs/attaches job JOB through a daemon on the journal, fetches the
+//     daemon's span tree over the kTrace verb, merges it with the
+//     client-side spans recorded in this process, and writes one Chrome
+//     trace_event file (default gb_trace_<JOB>.json) whose every span
+//     shares the job's trace id — client submit/wait, wire exchanges,
+//     shard dispatch, scheduler queue-wait, engine providers.
+//
+//   gb status --journal F [--fleet N] [--seed N] [--json]
+//     Prints the daemon's health surface (kHealth verb): per-subsystem
+//     ok/DEGRADED verdicts with reasons, and p50/p95/p99 of queue-wait
+//     and run latency. --json emits the raw health document.
 //
 // Examples:
 //   gb scan --infect hackerdefender,fu --advanced --attribute
@@ -271,6 +287,7 @@ struct DaemonFlags {
   std::string metrics_path;
   std::uint64_t job_id = 0;
   bool have_job_id = false;
+  std::string out;  // trace: merged Chrome trace output path
 };
 
 DaemonFlags parse_daemon_flags(int argc, char** argv, int first,
@@ -300,6 +317,13 @@ DaemonFlags parse_daemon_flags(int argc, char** argv, int first,
     }
     else if (arg == "--job") {
       flags.job_id = std::stoull(need_value());
+      flags.have_job_id = true;
+    }
+    else if (arg == "--out") flags.out = need_value();
+    else if (!arg.empty() &&
+             arg.find_first_not_of("0123456789") == std::string::npos) {
+      // Bare numeric operand = job id (`gb trace 3` reads naturally).
+      flags.job_id = std::stoull(arg);
       flags.have_job_id = true;
     }
     else {
@@ -461,6 +485,143 @@ int cmd_poll(int argc, char** argv, int first) {
                 pending.request.machine_id.c_str(),
                 pending.request.tenant.c_str(),
                 pending.started ? " (was mid-scan at crash)" : "");
+  }
+  return 0;
+}
+
+/// `gb trace <job-id>` — the cross-process distributed trace. Starts
+/// the daemon on the journal (a pending job runs now; a completed one
+/// is served from the store), drives attach/wait over the wire so the
+/// client-side spans exist, then asks the daemon for its half (kTrace)
+/// and writes ONE merged Chrome/Perfetto trace: client submit/wait,
+/// wire exchanges, daemon shard dispatch, scheduler queue-wait and
+/// engine providers, all under a single trace id derived from the job.
+int cmd_trace(int argc, char** argv, int first) {
+  const DaemonFlags flags = parse_daemon_flags(argc, argv, first, "trace");
+  if (!flags.have_job_id) {
+    std::fprintf(stderr, "usage: gb trace <job-id> --journal FILE "
+                 "[--fleet N] [--seed N] [--out PATH]\n");
+    return 2;
+  }
+  obs::default_tracer().enable();
+
+  fleet_sim::SimFleet fleet =
+      fleet_sim::build_sim_fleet(flags.fleet, flags.seed);
+  daemon::DaemonOptions opts;
+  opts.journal_path = flags.journal;
+  opts.shards = flags.shards;
+  opts.workers_per_shard = flags.workers;
+  opts.resolve_machine = fleet.resolver();
+  opts.tenant_weights["corp"] = 2;
+  auto daemon = daemon::Daemon::start(std::move(opts));
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "gb trace: %s\n",
+                 daemon.status().to_string().c_str());
+    return 3;
+  }
+  daemon::PipePair pipe = daemon::make_pipe();
+  (*daemon)->serve(pipe.server);
+  client::DaemonClient client(pipe.client);
+
+  client::JobHandle handle = client.attach(flags.job_id);
+  const client::JobResult& result = handle.wait();
+  std::fprintf(stderr, "gb trace: job %llu terminal: %s\n",
+               static_cast<unsigned long long>(flags.job_id),
+               result.status.to_string().c_str());
+
+  auto daemon_events = client.trace(flags.job_id);
+  if (!daemon_events.ok()) {
+    std::fprintf(stderr, "gb trace: kTrace failed: %s\n",
+                 daemon_events.status().to_string().c_str());
+    return 3;
+  }
+  const obs::TraceContext ctx = obs::TraceContext::for_job(flags.job_id);
+  std::vector<obs::TraceEvent> local =
+      obs::default_tracer().snapshot(ctx.trace_id);
+  const std::size_t daemon_count = daemon_events->size();
+  const std::vector<obs::TraceEvent> merged =
+      client::merge_trace_events(std::move(daemon_events).value(),
+                                 std::move(local));
+
+  const std::string path =
+      flags.out.empty()
+          ? "gb_trace_" + std::to_string(flags.job_id) + ".json"
+          : flags.out;
+  if (!write_text(path, obs::chrome_trace_json(merged))) {
+    std::fprintf(stderr, "gb trace: cannot write %s\n", path.c_str());
+    return 3;
+  }
+  std::printf("merged trace: %zu event(s) (%zu daemon-side), trace id "
+              "%016llx -> %s\n",
+              merged.size(), daemon_count,
+              static_cast<unsigned long long>(ctx.trace_id), path.c_str());
+  return result.status.ok() ? 0 : 1;
+}
+
+/// `gb status` — the daemon's health/SLO surface over the kHealth verb:
+/// per-subsystem verdicts plus rolling latency quantiles.
+int cmd_status(int argc, char** argv, int first) {
+  const DaemonFlags flags = parse_daemon_flags(argc, argv, first, "status");
+  fleet_sim::SimFleet fleet =
+      fleet_sim::build_sim_fleet(flags.fleet, flags.seed);
+  daemon::DaemonOptions opts;
+  opts.journal_path = flags.journal;
+  opts.shards = flags.shards;
+  opts.workers_per_shard = flags.workers;
+  opts.resolve_machine = fleet.resolver();
+  opts.tenant_weights["corp"] = 2;
+  auto daemon = daemon::Daemon::start(std::move(opts));
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "gb status: %s\n",
+                 daemon.status().to_string().c_str());
+    return 3;
+  }
+  (*daemon)->wait_idle();  // replayed pending jobs settle first
+  daemon::PipePair pipe = daemon::make_pipe();
+  (*daemon)->serve(pipe.server);
+  client::DaemonClient client(pipe.client);
+  auto health = client.health_json();
+  if (!health.ok()) {
+    std::fprintf(stderr, "gb status: kHealth failed: %s\n",
+                 health.status().to_string().c_str());
+    return 3;
+  }
+  if (flags.json) {
+    std::printf("%s\n", health->c_str());
+    return 0;
+  }
+  // Fixed-shape render: the schema is ours (see docs/observability.md),
+  // so a scan for each subsystem object is enough — no JSON parser.
+  const bool overall = health->find("\"ok\":true") != std::string::npos &&
+                       health->find("\"ok\":true") <
+                           health->find("\"subsystems\"");
+  std::printf("daemon: %s\n", overall ? "healthy" : "DEGRADED");
+  for (const char* name : {"journal", "shards", "pool", "admission",
+                           "flight_recorder"}) {
+    const std::string key = "\"" + std::string(name) + "\":{";
+    const std::size_t at = health->find(key);
+    if (at == std::string::npos) continue;
+    const std::size_t end = health->find('}', at);
+    const std::string body = health->substr(at, end - at);
+    const bool ok = body.find("\"ok\":true") != std::string::npos;
+    std::string reason;
+    const std::size_t r = body.find("\"reason\":\"");
+    if (r != std::string::npos) {
+      const std::size_t rs = r + 10;
+      reason = body.substr(rs, body.find('"', rs) - rs);
+    }
+    std::printf("  %-16s %s%s%s\n", name, ok ? "ok" : "DEGRADED",
+                reason.empty() ? "" : " — ", reason.c_str());
+  }
+  for (const char* window : {"queue_wait", "run"}) {
+    const std::string key = "\"" + std::string(window) + "\":{";
+    const std::size_t at = health->find(key);
+    if (at == std::string::npos) continue;
+    double p50 = 0, p95 = 0, p99 = 0;
+    std::sscanf(health->c_str() + at + key.size(),
+                "\"p50\":%lf,\"p95\":%lf,\"p99\":%lf", &p50, &p95, &p99);
+    std::printf("  %-16s p50 %.3fs  p95 %.3fs  p99 %.3fs\n", window, p50,
+                p95, p99);
   }
   return 0;
 }
@@ -766,7 +927,8 @@ int cmd_diff(int argc, char** argv, int first) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gb <scan|serve|submit|poll|diff> [flags]\n"
+               "usage: gb <scan|serve|submit|poll|trace|status|diff> "
+               "[flags]\n"
                "       (see the header comment of ghostbuster_cli.cpp)\n");
   return 2;
 }
@@ -787,6 +949,8 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return cmd_serve(argc, argv, 2);
   if (cmd == "submit") return cmd_submit(argc, argv, 2);
   if (cmd == "poll") return cmd_poll(argc, argv, 2);
+  if (cmd == "trace") return cmd_trace(argc, argv, 2);
+  if (cmd == "status") return cmd_status(argc, argv, 2);
   if (cmd == "diff") return cmd_diff(argc, argv, 2);
   if (cmd.size() >= 1 && cmd[0] == '-') {
     // Deprecated alias: the pre-subcommand flag soup. --diff-reports was

@@ -69,4 +69,16 @@ if grep -q '"byte_identical":false' "${BUILD_DIR}/bench_daemon.json"; then
   exit 1
 fi
 
+echo "== bench_obs smoke (table only; asserts telemetry overhead + byte-identity)"
+"${BUILD_DIR}/bench/bench_obs" \
+  --json "${BUILD_DIR}/bench_obs.json" --benchmark_filter='^$'
+if grep -q '"byte_identical":false' "${BUILD_DIR}/bench_obs.json"; then
+  echo "bench_obs: telemetry-on report diverged from telemetry-off" >&2
+  exit 1
+fi
+if grep -q '"overhead_ok":false' "${BUILD_DIR}/bench_obs.json"; then
+  echo "bench_obs: telemetry overhead exceeded the 3% budget" >&2
+  exit 1
+fi
+
 echo "== check.sh: all green"

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -333,6 +334,10 @@ void ScanEngine::finalize(Report& report, double wall_seconds,
   report.metrics = m;
 
   obs::MetricsRegistry& reg = *registry_;
+  reg.set_help("gb_engine_runs_total", "Engine runs by scan kind");
+  reg.set_help("gb_engine_hidden_resources_total",
+               "Hidden resources detected across runs");
+  reg.set_help("gb_engine_run_seconds", "Wall-clock time of one engine run");
   reg.counter("gb_engine_runs_total", {{"kind", kind}}).inc();
   reg.counter("gb_engine_provider_scans_total")
       .add(static_cast<double>(m.provider_scans));
@@ -363,6 +368,12 @@ void ScanEngine::flush_hives_if_needed() {
 }
 
 support::StatusOr<Report> ScanEngine::run(const JobSpec& spec) {
+  // Direct engine use joins the caller's trace here. The scheduler path
+  // leaves spec.trace invalid on the inner run spec — its dispatcher
+  // already installed the job context, and re-installing the root here
+  // would detach the engine spans from their sched.job parent.
+  std::optional<obs::TraceContextScope> trace_scope;
+  if (spec.trace.valid()) trace_scope.emplace(spec.trace);
   const RunCtl ctl{spec.cancel, spec.progress};
   if (spec.session != nullptr) {
     // Incremental re-scan: the session's own engine (and snapshot store)

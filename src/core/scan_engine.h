@@ -39,6 +39,7 @@
 #include "kernel/dump.h"
 #include "machine/machine.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/cancel.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
@@ -234,6 +235,13 @@ struct JobSpec {
   /// running (kFailedPrecondition) — resubmit once that job's handle
   /// reports completion.
   ScanSession* session = nullptr;
+  /// Distributed-trace identity for this job. When left invalid (zero),
+  /// ScanScheduler::submit derives a deterministic context from the
+  /// assigned job id (obs::TraceContext::for_job), so a remote client
+  /// that re-derives from the same id joins the very same trace without
+  /// an extra round trip. Spans opened while the job runs — scheduler,
+  /// engine, providers on the dispatching thread — parent under it.
+  obs::TraceContext trace;
 };
 
 /// Provenance of one incremental re-scan, serialized as the report's

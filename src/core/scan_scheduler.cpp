@@ -236,6 +236,15 @@ std::shared_ptr<JobState> pop_locked(SchedulerCore& core) {
 /// the shared workers.
 void run_job(SchedulerCore& core, JobState& st) {
   const auto run_start = SteadyClock::now();
+  // Join the job's trace on this worker thread: the queue wait has no
+  // live scope (the job just sat in a deque), so it is synthesized from
+  // the submit/dispatch stamps; every span below — sched.job, the
+  // engine and provider spans it runs inline — parents under the job's
+  // context installed here.
+  obs::TraceContextScope trace_scope(st.spec.trace);
+  obs::default_tracer().record_span("sched.queue_wait", "sched",
+                                    st.spec.trace, st.submit_time,
+                                    run_start);
   support::StatusOr<Report> result =
       support::Status::internal("scan job never produced a result");
   {
@@ -380,9 +389,23 @@ bool ScanJob::cancel() {
 JobProgress ScanJob::progress() const {
   JobProgress p;
   if (!state_) return p;
-  p.phase = state_->phase.load(std::memory_order_acquire);
-  p.tasks_done = state_->counter.done.load(std::memory_order_relaxed);
-  p.tasks_total = state_->counter.total.load(std::memory_order_relaxed);
+  // Phase and counters are separate atomics, so a raw read pair can be
+  // torn: a job completing (or being cancelled) between the two loads
+  // used to pair kDone with counters from mid-flight — a phase past the
+  // work that actually finished. Snapshot until the phase is stable
+  // around the counter reads, then clamp done to total so the pair is
+  // always internally consistent.
+  for (;;) {
+    const JobPhase before = state_->phase.load(std::memory_order_acquire);
+    p.tasks_done = state_->counter.done.load(std::memory_order_acquire);
+    p.tasks_total = state_->counter.total.load(std::memory_order_acquire);
+    const JobPhase after = state_->phase.load(std::memory_order_acquire);
+    if (before == after) {
+      p.phase = before;
+      break;
+    }
+  }
+  if (p.tasks_done > p.tasks_total) p.tasks_done = p.tasks_total;
   return p;
 }
 
@@ -457,6 +480,12 @@ ScanScheduler::ScanScheduler(Options opts)
   core_->max_latency = &reg.gauge("gb_sched_max_latency_seconds");
   core_->queue_depth = &reg.gauge("gb_sched_queue_depth");
   core_->running_gauge = &reg.gauge("gb_sched_running_jobs");
+  reg.set_help("gb_sched_queue_wait_seconds",
+               "Queue wait from submit to dispatch");
+  reg.set_help("gb_sched_run_seconds", "Job run time on a worker");
+  reg.set_help("gb_sched_dispatched_total", "Jobs dispatched to the pool");
+  reg.set_help("gb_sched_queue_depth", "Jobs waiting in tenant queues");
+  reg.set_help("gb_sched_running_jobs", "Jobs currently on a worker");
   pool_.instrument(reg);
 }
 
@@ -539,6 +568,12 @@ support::StatusOr<ScanJob> ScanScheduler::submit(JobSpec spec) {
       }
     }
     st->id = core_->next_id++;
+    if (!st->spec.trace.valid()) {
+      // No caller-supplied trace: derive one from the job id so any
+      // party that knows the id (a remote client, the daemon shard)
+      // reconstructs the same trace_id/root span without coordination.
+      st->spec.trace = obs::TraceContext::for_job(st->id);
+    }
     internal::SchedulerCore::Tenant& t =
         internal::tenant_locked(*core_, st->tenant);
     t.submitted->inc();
@@ -617,6 +652,26 @@ SchedulerStats ScanScheduler::stats() const {
     s.tenants.push_back(std::move(out));
   }
   return s;
+}
+
+namespace {
+
+LatencyQuantiles quantiles_of(const obs::Histogram& h) {
+  LatencyQuantiles q;
+  q.p50 = h.quantile(0.50);
+  q.p95 = h.quantile(0.95);
+  q.p99 = h.quantile(0.99);
+  return q;
+}
+
+}  // namespace
+
+LatencyQuantiles ScanScheduler::queue_wait_quantiles() const {
+  return quantiles_of(*core_->queue_wait);
+}
+
+LatencyQuantiles ScanScheduler::run_quantiles() const {
+  return quantiles_of(*core_->run_seconds);
 }
 
 }  // namespace gb::core

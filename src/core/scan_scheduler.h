@@ -143,6 +143,15 @@ struct SchedulerStats {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// Rolling latency quantiles read back from one scheduler's histograms
+/// (estimates via obs::Histogram::quantile — linear interpolation
+/// within the containing bucket). Zeros when nothing was observed.
+struct LatencyQuantiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
 /// Multiplexes scan jobs for many machines over one shared worker pool.
 /// Thread-safe: submit/cancel/stats may race freely. Destruction cancels
 /// everything still queued or running and waits for in-flight jobs to
@@ -196,6 +205,11 @@ class ScanScheduler {
   void wait_idle();
 
   [[nodiscard]] SchedulerStats stats() const;
+
+  /// Submit->dispatch wait quantiles (gb_sched_queue_wait_seconds).
+  [[nodiscard]] LatencyQuantiles queue_wait_quantiles() const;
+  /// Dispatch->done run-time quantiles (gb_sched_run_seconds).
+  [[nodiscard]] LatencyQuantiles run_quantiles() const;
 
  private:
   void maybe_spawn_dispatchers();

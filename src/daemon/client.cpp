@@ -119,8 +119,19 @@ support::StatusOr<JobHandle> InProcessClient::submit(const JobSpec& spec) {
   job.priority = spec.priority;
   job.kind = spec.kind;
   job.config = spec.to_scan_config();
+  if (spec.trace_id != 0) {
+    job.trace = obs::TraceContext{spec.trace_id, spec.parent_span_id};
+  }
+  auto span = obs::default_tracer().span("client.submit", "client");
   support::StatusOr<core::ScanJob> handle = scheduler_.submit(std::move(job));
   if (!handle.ok()) return handle.status();
+  // The scheduler derived the job's context from the assigned id (or
+  // took the caller's override) — rejoin it now that the id is known.
+  span.adopt_context(spec.trace_id != 0
+                         ? obs::TraceContext{spec.trace_id,
+                                             spec.parent_span_id}
+                         : obs::TraceContext::for_job(handle->id()));
+  span.arg("job", std::to_string(handle->id()));
   return JobHandle(
       std::make_shared<InProcessHandle>(std::move(handle).value()));
 }
@@ -189,8 +200,9 @@ support::StatusOr<std::vector<std::byte>> expect_verb(
 
 class DaemonHandle final : public internal::HandleImpl {
  public:
-  DaemonHandle(std::shared_ptr<WireConnection> conn, std::uint64_t id)
-      : conn_(std::move(conn)), id_(id) {}
+  DaemonHandle(std::shared_ptr<WireConnection> conn, std::uint64_t id,
+               obs::TraceContext ctx)
+      : conn_(std::move(conn)), id_(id), ctx_(ctx) {}
 
   [[nodiscard]] std::uint64_t id() const override { return id_; }
 
@@ -249,6 +261,11 @@ class DaemonHandle final : public internal::HandleImpl {
   /// The blocking stream-result RPC: header, then chunks until `last`.
   JobResult fetch_result() {
     JobResult out;
+    // The wait is part of the job's story: one client.wait span, under
+    // the job's root context, covering RPC + stream reassembly.
+    obs::TraceContextScope trace_scope(ctx_);
+    auto span = obs::default_tracer().span("client.wait", "client");
+    span.arg("job", std::to_string(id_));
     std::lock_guard<std::mutex> conn_lk(conn_->mu);
     support::StatusOr<std::vector<std::byte>> frame = expect_verb(
         conn_->roundtrip_locked(daemon::encode_result(id_)),
@@ -268,45 +285,20 @@ class DaemonHandle final : public internal::HandleImpl {
       out.status = header->status;
       return out;
     }
-    out.report_json.reserve(header->total_bytes);
-    for (std::uint32_t expected_seq = 0;; ++expected_seq) {
-      support::StatusOr<std::vector<std::byte>> chunk_frame =
-          conn_->framer.read_frame();
-      if (!chunk_frame.ok()) {
-        conn_->broken = true;
-        out = JobResult{chunk_frame.status(), ""};
-        return out;
-      }
-      support::StatusOr<daemon::Verb> verb =
-          daemon::decode_verb(*chunk_frame);
-      if (!verb.ok() || *verb != daemon::Verb::kResultChunk) {
-        conn_->broken = true;
-        out = JobResult{
-            support::Status::corrupt("client: expected result chunk"), ""};
-        return out;
-      }
-      support::StatusOr<daemon::ResultChunk> chunk =
-          daemon::decode_result_chunk(*chunk_frame);
-      if (!chunk.ok() || chunk->sequence != expected_seq) {
-        conn_->broken = true;
-        out = JobResult{
-            support::Status::corrupt("client: bad result chunk"), ""};
-        return out;
-      }
-      out.report_json += chunk->data;
-      if (chunk->last) break;
-    }
-    if (out.report_json.size() != header->total_bytes) {
+    support::StatusOr<std::string> json =
+        daemon::read_chunked(conn_->framer, header->total_bytes);
+    if (!json.ok()) {
       conn_->broken = true;
-      out = JobResult{
-          support::Status::corrupt("client: result stream size mismatch"),
-          ""};
+      out.status = json.status();
+      return out;
     }
+    out.report_json = std::move(json).value();
     return out;
   }
 
   std::shared_ptr<WireConnection> conn_;
   std::uint64_t id_;
+  obs::TraceContext ctx_;
   std::mutex mu_;
   bool cached_ = false;
   JobResult result_;
@@ -321,6 +313,10 @@ DaemonClient::DaemonClient(std::shared_ptr<daemon::Transport> connection)
 DaemonClient::~DaemonClient() { conn_->transport->close(); }
 
 support::StatusOr<JobHandle> DaemonClient::submit(const JobSpec& spec) {
+  // The submit span can only join the job's trace once the reply names
+  // the id (the daemon derives the same context from that id — no ids
+  // cross the wire backwards).
+  auto span = obs::default_tracer().span("client.submit", "client");
   std::lock_guard<std::mutex> lk(conn_->mu);
   support::StatusOr<std::vector<std::byte>> frame =
       expect_verb(conn_->roundtrip_locked(daemon::encode_submit(spec)),
@@ -333,43 +329,127 @@ support::StatusOr<JobHandle> DaemonClient::submit(const JobSpec& spec) {
     return reply.status();
   }
   if (!reply->status.ok()) return reply->status;
-  return JobHandle(std::make_shared<DaemonHandle>(conn_, reply->job_id));
+  const obs::TraceContext ctx =
+      spec.trace_id != 0
+          ? obs::TraceContext{spec.trace_id, spec.parent_span_id}
+          : obs::TraceContext::for_job(reply->job_id);
+  span.adopt_context(ctx);
+  span.arg("job", std::to_string(reply->job_id));
+  return JobHandle(std::make_shared<DaemonHandle>(conn_, reply->job_id, ctx));
 }
 
 JobHandle DaemonClient::attach(std::uint64_t job_id) {
-  return JobHandle(std::make_shared<DaemonHandle>(conn_, job_id));
+  // Re-attachment derives the default context; a submit that overrode
+  // its trace ids keeps them daemon-side (kTrace still finds them).
+  return JobHandle(std::make_shared<DaemonHandle>(
+      conn_, job_id, obs::TraceContext::for_job(job_id)));
+}
+
+support::StatusOr<daemon::StatsReply> DaemonClient::stats_rpc() {
+  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::StatusOr<std::vector<std::byte>> frame =
+      expect_verb(conn_->roundtrip_locked(daemon::encode_stats()),
+                  daemon::Verb::kStatsReply);
+  if (!frame.ok()) return frame.status();
+  support::StatusOr<daemon::StatsReplyHeader> header =
+      daemon::decode_stats_reply(*frame);
+  if (!header.ok()) {
+    conn_->broken = true;
+    return header.status();
+  }
+  if (!header->status.ok()) return header->status;
+  support::StatusOr<std::string> blob = daemon::read_chunked(
+      conn_->framer, header->stats_bytes + header->metrics_bytes);
+  if (!blob.ok()) {
+    conn_->broken = true;
+    return blob.status();
+  }
+  daemon::StatsReply reply;
+  reply.stats_json = blob->substr(0, header->stats_bytes);
+  reply.metrics_text = blob->substr(header->stats_bytes);
+  return reply;
 }
 
 support::StatusOr<std::string> DaemonClient::stats_json() {
-  std::lock_guard<std::mutex> lk(conn_->mu);
-  support::StatusOr<std::vector<std::byte>> frame =
-      expect_verb(conn_->roundtrip_locked(daemon::encode_stats()),
-                  daemon::Verb::kStatsReply);
-  if (!frame.ok()) return frame.status();
-  support::StatusOr<daemon::StatsReply> reply =
-      daemon::decode_stats_reply(*frame);
-  if (!reply.ok()) {
-    conn_->broken = true;
-    return reply.status();
-  }
-  if (!reply->status.ok()) return reply->status;
-  return reply->stats_json;
+  support::StatusOr<daemon::StatsReply> reply = stats_rpc();
+  if (!reply.ok()) return reply.status();
+  return std::move(reply->stats_json);
 }
 
 support::StatusOr<std::string> DaemonClient::metrics_text() {
+  support::StatusOr<daemon::StatsReply> reply = stats_rpc();
+  if (!reply.ok()) return reply.status();
+  return std::move(reply->metrics_text);
+}
+
+support::StatusOr<std::vector<obs::TraceEvent>> DaemonClient::trace(
+    std::uint64_t job_id) {
   std::lock_guard<std::mutex> lk(conn_->mu);
   support::StatusOr<std::vector<std::byte>> frame =
-      expect_verb(conn_->roundtrip_locked(daemon::encode_stats()),
-                  daemon::Verb::kStatsReply);
+      expect_verb(conn_->roundtrip_locked(daemon::encode_trace(job_id)),
+                  daemon::Verb::kTraceReply);
   if (!frame.ok()) return frame.status();
-  support::StatusOr<daemon::StatsReply> reply =
-      daemon::decode_stats_reply(*frame);
+  support::StatusOr<daemon::TraceReply> header =
+      daemon::decode_trace_reply(*frame);
+  if (!header.ok()) {
+    conn_->broken = true;
+    return header.status();
+  }
+  if (!header->status.ok()) return header->status;
+  support::StatusOr<std::string> blob =
+      daemon::read_chunked(conn_->framer, header->total_bytes);
+  if (!blob.ok()) {
+    conn_->broken = true;
+    return blob.status();
+  }
+  support::StatusOr<std::vector<obs::TraceEvent>> events =
+      daemon::decode_trace_events(*blob);
+  if (!events.ok()) conn_->broken = true;
+  return events;
+}
+
+support::StatusOr<std::string> DaemonClient::health_json() {
+  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::StatusOr<std::vector<std::byte>> frame =
+      expect_verb(conn_->roundtrip_locked(daemon::encode_health()),
+                  daemon::Verb::kHealthReply);
+  if (!frame.ok()) return frame.status();
+  support::StatusOr<daemon::HealthReply> reply =
+      daemon::decode_health_reply(*frame);
   if (!reply.ok()) {
     conn_->broken = true;
     return reply.status();
   }
   if (!reply->status.ok()) return reply->status;
-  return reply->metrics_text;
+  return std::move(reply->health_json);
+}
+
+std::vector<obs::TraceEvent> merge_trace_events(
+    std::vector<obs::TraceEvent> daemon_events,
+    std::vector<obs::TraceEvent> local_events) {
+  // Identity key: instants share their parent's span id, so the span id
+  // alone would collapse distinct markers.
+  const auto key = [](const obs::TraceEvent& e) {
+    return std::to_string(e.span_id) + '/' + std::to_string(e.ts_us) + '/' +
+           e.ph + ('/' + e.name);
+  };
+  std::map<std::string, std::size_t> by_span;
+  for (std::size_t i = 0; i < daemon_events.size(); ++i) {
+    by_span.emplace(key(daemon_events[i]), i);
+  }
+  for (obs::TraceEvent& e : local_events) {
+    const auto it = by_span.find(key(e));
+    if (it != by_span.end()) {
+      // Same span both sides: the transport is in-process and the two
+      // "processes" share one tracer — this span was recorded locally,
+      // so it keeps its local pid.
+      daemon_events[it->second].pid = e.pid;
+      continue;
+    }
+    e.pid = 1;
+    daemon_events.push_back(std::move(e));
+  }
+  return daemon_events;
 }
 
 std::string normalized_report_json(std::string_view report_json) {

@@ -29,8 +29,10 @@
 #include "core/scan_scheduler.h"
 #include "daemon/job_request.h"
 #include "daemon/transport.h"
+#include "daemon/wire.h"
 #include "machine/machine.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/status.h"
 
 namespace gb::client {
@@ -166,9 +168,34 @@ class DaemonClient final : public Client {
   /// The daemon's Prometheus metrics exposition (kStats verb).
   [[nodiscard]] support::StatusOr<std::string> metrics_text();
 
+  /// The daemon's span tree for one job (kTrace verb): every event the
+  /// daemon recorded under the job's trace id, pid-stamped 2. Merge
+  /// with the local tracer's events (obs::merge docs in
+  /// docs/observability.md) and render via obs::chrome_trace_json for
+  /// the single cross-process trace `gb trace <job-id>` writes.
+  [[nodiscard]] support::StatusOr<std::vector<obs::TraceEvent>> trace(
+      std::uint64_t job_id);
+
+  /// The daemon's health/SLO surface (kHealth verb): per-subsystem
+  /// verdicts plus rolling latency quantiles, as JSON.
+  [[nodiscard]] support::StatusOr<std::string> health_json();
+
  private:
+  /// One kStats exchange: header + chunk stream, reassembled.
+  [[nodiscard]] support::StatusOr<daemon::StatsReply> stats_rpc();
+
   std::shared_ptr<internal::WireConnection> conn_;
 };
+
+/// Merges daemon-fetched trace events with the local tracer's by span
+/// id: daemon events come first; local events whose span id the daemon
+/// already returned win their pid back (they were recorded in THIS
+/// process — the in-process-transport case, where both sides share one
+/// tracer); local-only events append as pid 1. The result renders as
+/// one multi-process Chrome trace either way.
+[[nodiscard]] std::vector<obs::TraceEvent> merge_trace_events(
+    std::vector<obs::TraceEvent> daemon_events,
+    std::vector<obs::TraceEvent> local_events);
 
 /// Report JSON with the wall-clock-derived fields (wall_seconds,
 /// queue_seconds, worker_threads) normalized to 0 — the projection in

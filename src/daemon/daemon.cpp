@@ -56,6 +56,7 @@ struct Daemon::JobRecord {
 
 Daemon::Daemon(DaemonOptions opts)
     : opts_(std::move(opts)),
+      event_log_(opts_.event_log_capacity),
       clock_epoch_(std::chrono::steady_clock::now()),
       serve_pool_(std::max<std::size_t>(opts_.max_connections, 1)) {}
 
@@ -88,12 +89,29 @@ support::Status Daemon::init() {
   m_completed_ = &registry->counter("gb_daemon_completed_total");
   m_rejected_ = &registry->counter("gb_daemon_rejected_total");
   m_requeued_ = &registry->counter("gb_daemon_requeued_total");
+  registry->set_help("gb_daemon_submitted_total",
+                     "Jobs admitted and journaled by the daemon");
+  registry->set_help("gb_daemon_completed_total",
+                     "Jobs that reached a terminal result");
+  registry->set_help("gb_daemon_rejected_total",
+                     "Submits refused by admission control");
+  registry->set_help("gb_daemon_requeued_total",
+                     "Journaled jobs re-queued at restart");
 
   limiter_ = std::make_unique<RateLimiter>(opts_.quotas);
 
   support::StatusOr<JobJournal> journal = JobJournal::open(opts_.journal_path);
   if (!journal.ok()) return journal.status();
   journal_ = std::make_unique<JobJournal>(std::move(journal).value());
+
+  // The flight recorder rides alongside the journal: same directory,
+  // same crash-recovery story (attach replays the previous incarnation
+  // and truncates its torn tail). A recorder that cannot persist still
+  // records in memory — observability must not take the daemon down.
+  if (opts_.event_log_path.empty()) {
+    opts_.event_log_path = opts_.journal_path + ".events";
+  }
+  event_log_status_ = event_log_.attach(opts_.event_log_path);
 
   // Shards get private metric registries: scheduler stats are read back
   // from the registry, and N shards writing one registry would mix.
@@ -113,6 +131,11 @@ support::Status Daemon::init() {
   std::unique_lock<std::mutex> lk(mu_);
   next_id_ = replay.next_job_id;
   counters_.journal_truncated_bytes = replay.truncated_bytes;
+  if (replay.truncated_bytes > 0) {
+    event_log_.append(obs::EventType::kJournalTruncated, 0,
+                      std::to_string(replay.truncated_bytes) +
+                          " torn byte(s) dropped at open");
+  }
   for (const auto& [id, done] : replay.completed) {
     auto rec = std::make_unique<JobRecord>();
     rec->id = id;
@@ -136,6 +159,8 @@ support::Status Daemon::init() {
     counters_.requeued += 1;
     if (pending.started) counters_.requeued_started += 1;
     m_requeued_->inc();
+    event_log_.append(obs::EventType::kRequeued, pending.id,
+                      pending.started ? "lost mid-scan" : "never started");
     dispatch_locked(r);
   }
   return support::Status();
@@ -151,6 +176,7 @@ Daemon::~Daemon() {
     // Graceful: drain every in-flight job; each completion journals
     // before the journal handle is destroyed below.
     for (const auto& shard : shards_) shard->wait_idle();
+    event_log_.append(obs::EventType::kDrain, 0, "graceful shutdown");
   }
   done_cv_.notify_all();
   // Members unwind in reverse order: serve_pool_ joins the (now
@@ -179,6 +205,8 @@ support::StatusOr<std::uint64_t> Daemon::submit(const JobRequest& request) {
                       tenant_submitted_[request.tenant]);
   if (!admitted.ok()) {
     m_rejected_->inc();
+    event_log_.append(obs::EventType::kRejected, 0,
+                      request.tenant + ": " + admitted.message());
     return admitted;
   }
   const std::uint64_t id = next_id_;
@@ -199,8 +227,18 @@ support::StatusOr<std::uint64_t> Daemon::submit(const JobRequest& request) {
   tenant_outstanding_[request.tenant] += 1;
   counters_.submitted += 1;
   m_submitted_->inc();
+  event_log_.append(obs::EventType::kSubmit, id,
+                    request.tenant + " -> " + request.machine_id);
   dispatch_locked(r);
   return id;
+}
+
+obs::TraceContext Daemon::trace_context_for(const JobRecord& rec) {
+  if (rec.request.trace_id != 0) {
+    return obs::TraceContext{rec.request.trace_id,
+                             rec.request.parent_span_id};
+  }
+  return obs::TraceContext::for_job(rec.id);
 }
 
 void Daemon::dispatch_locked(JobRecord& rec) {
@@ -221,6 +259,11 @@ void Daemon::dispatch_locked(JobRecord& rec) {
   spec.priority = rec.request.priority;
   spec.kind = rec.request.kind;
   spec.config = rec.request.to_scan_config();
+  // The job runs under the daemon's trace identity — client-supplied
+  // ids if the submit carried them, else derived from the journaled job
+  // id (which a remote client re-derives from the submit reply). Either
+  // way both sides of the wire agree without shipping ids back.
+  spec.trace = trace_context_for(rec);
   const std::uint64_t id = rec.id;
   spec.on_complete = [this, id](std::uint64_t,
                                 support::StatusOr<core::Report>& result) {
@@ -237,6 +280,8 @@ void Daemon::dispatch_locked(JobRecord& rec) {
       !s.ok()) {
     counters_.journal_append_failures += 1;
   }
+  event_log_.append(obs::EventType::kStart, rec.id,
+                    "shard " + std::to_string(rec.shard));
 }
 
 void Daemon::finish_locked(JobRecord& rec, const support::Status& status,
@@ -256,6 +301,10 @@ void Daemon::finish_locked(JobRecord& rec, const support::Status& status,
   counters_.completed += 1;
   if (status.code() == support::StatusCode::kCancelled) {
     counters_.cancelled += 1;
+    event_log_.append(obs::EventType::kCancel, rec.id, status.message());
+  } else {
+    event_log_.append(obs::EventType::kComplete, rec.id,
+                      status.ok() ? "ok" : status.to_string());
   }
   m_completed_->inc();
   auto outstanding = tenant_outstanding_.find(rec.request.tenant);
@@ -276,6 +325,15 @@ void Daemon::on_job_complete(std::uint64_t id,
     // daemon's journaled id, which is the one stable across restarts.
     if (result->scheduler) result->scheduler->job_id = id;
     report_json = result->to_json();
+    // One event per degraded diff, so the recorder answers "which view
+    // fell back" without re-parsing the report.
+    for (const auto& d : result->diffs) {
+      if (d.degraded()) {
+        event_log_.append(obs::EventType::kDegraded, id,
+                          std::string(core::resource_type_name(d.type)) +
+                              ": " + d.status.to_string());
+      }
+    }
   }
   std::lock_guard<std::mutex> lk(mu_);
   if (killed_) return;
@@ -406,6 +464,110 @@ std::string Daemon::metrics_text() const {
   return registry->to_prometheus_text();
 }
 
+std::string Daemon::health_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t journal_failures = counters_.journal_append_failures;
+  const std::uint64_t truncated = counters_.journal_truncated_bytes;
+  // Torn bytes mean the last incarnation crashed mid-append; the tail
+  // was repaired, but the operator should know — degraded, not broken.
+  const bool journal_ok = journal_failures == 0 && truncated == 0;
+
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  core::LatencyQuantiles queue_wait;
+  core::LatencyQuantiles run;
+  for (const auto& shard : shards_) {
+    const core::SchedulerStats s = shard->stats();
+    queue_depth += s.queue_depth;
+    running += s.running;
+    // Exact cross-shard quantile merging would need the raw buckets;
+    // the max over shards is the conservative fleet view (no shard is
+    // slower than reported) and is exact for the one-shard case.
+    const core::LatencyQuantiles qw = shard->queue_wait_quantiles();
+    const core::LatencyQuantiles rn = shard->run_quantiles();
+    queue_wait.p50 = std::max(queue_wait.p50, qw.p50);
+    queue_wait.p95 = std::max(queue_wait.p95, qw.p95);
+    queue_wait.p99 = std::max(queue_wait.p99, qw.p99);
+    run.p50 = std::max(run.p50, rn.p50);
+    run.p95 = std::max(run.p95, rn.p95);
+    run.p99 = std::max(run.p99, rn.p99);
+  }
+  const std::size_t workers =
+      shards_.size() * std::max<std::size_t>(opts_.workers_per_shard, 1);
+  const bool pool_saturated = running >= workers && queue_depth > 0;
+
+  std::uint64_t rejected = 0;
+  for (const auto& [tenant, rejections] : limiter_->rejections()) {
+    rejected += rejections.rate + rejections.outstanding + rejections.total;
+  }
+
+  const bool recorder_ok =
+      event_log_status_.ok() && event_log_.write_failures() == 0;
+  const bool ok = journal_ok && !killed_ && recorder_ok;
+
+  const auto verdict = [](bool subsystem_ok) {
+    return subsystem_ok ? "true" : "false";
+  };
+  std::ostringstream os;
+  os << "{\"schema_version\":\"1.0\",\"ok\":" << verdict(ok)
+     << ",\"subsystems\":{";
+  os << "\"journal\":{\"ok\":" << verdict(journal_ok)
+     << ",\"append_failures\":" << journal_failures
+     << ",\"truncated_bytes\":" << truncated << ",\"reason\":\""
+     << (journal_ok ? ""
+         : journal_failures > 0
+             ? "journal appends are failing"
+             : "torn tail repaired after a crash")
+     << "\"}";
+  os << ",\"shards\":{\"ok\":true,\"count\":" << shards_.size()
+     << ",\"queue_depth\":" << queue_depth << ",\"running\":" << running
+     << "}";
+  os << ",\"pool\":{\"ok\":" << verdict(!pool_saturated)
+     << ",\"workers\":" << workers << ",\"reason\":\""
+     << (pool_saturated ? "all workers busy with jobs queued" : "")
+     << "\"}";
+  os << ",\"admission\":{\"ok\":" << verdict(rejected == 0)
+     << ",\"rejected\":" << rejected << ",\"reason\":\""
+     << (rejected == 0 ? "" : "tenants are being rejected") << "\"}";
+  os << ",\"flight_recorder\":{\"ok\":" << verdict(recorder_ok)
+     << ",\"events\":" << event_log_.appended()
+     << ",\"write_failures\":" << event_log_.write_failures()
+     << ",\"reason\":\""
+     << (recorder_ok ? "" : "recorder persistence unavailable") << "\"}";
+  os << "},\"latency_seconds\":{";
+  os << "\"queue_wait\":{\"p50\":" << queue_wait.p50
+     << ",\"p95\":" << queue_wait.p95 << ",\"p99\":" << queue_wait.p99
+     << "}";
+  os << ",\"run\":{\"p50\":" << run.p50 << ",\"p95\":" << run.p95
+     << ",\"p99\":" << run.p99 << "}";
+  os << "}}";
+  return os.str();
+}
+
+support::StatusOr<obs::TraceContext> Daemon::job_trace_context(
+    std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return support::Status::not_found("daemon: no job " +
+                                      std::to_string(job_id));
+  }
+  return trace_context_for(*it->second);
+}
+
+support::StatusOr<std::vector<obs::TraceEvent>> Daemon::trace_events(
+    std::uint64_t job_id) const {
+  support::StatusOr<obs::TraceContext> ctx = job_trace_context(job_id);
+  if (!ctx.ok()) return ctx.status();
+  std::vector<obs::TraceEvent> events =
+      obs::default_tracer().snapshot(ctx->trace_id);
+  // pid 2 marks "recorded daemon-side" in the merged-trace convention.
+  // A client sharing this process (and hence the tracer) re-labels the
+  // spans it recorded itself back to pid 1 by span id.
+  for (obs::TraceEvent& e : events) e.pid = 2;
+  return events;
+}
+
 void Daemon::serve(std::shared_ptr<Transport> connection) {
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
@@ -447,9 +609,19 @@ void Daemon::serve_connection(const std::shared_ptr<Transport>& connection) {
           break;
         }
         SubmitReply reply;
+        // The span's trace identity only exists once the id is
+        // assigned, so it is adopted after the fact — the same move the
+        // remote client makes with the reply.
+        auto span = obs::default_tracer().span("wire.submit", "wire");
         support::StatusOr<std::uint64_t> id = submit(*request);
         if (id.ok()) {
           reply.job_id = *id;
+          span.adopt_context(
+              request->trace_id != 0
+                  ? obs::TraceContext{request->trace_id,
+                                      request->parent_span_id}
+                  : obs::TraceContext::for_job(*id));
+          span.arg("job", std::to_string(*id));
         } else {
           reply.status = id.status();
         }
@@ -491,10 +663,15 @@ void Daemon::serve_connection(const std::shared_ptr<Transport>& connection) {
         break;
       }
       case Verb::kStats: {
-        StatsReply reply;
-        reply.stats_json = stats_json();
-        reply.metrics_text = metrics_text();
-        io = framer.write_frame(encode_stats_reply(reply));
+        // Header names the byte counts, then both texts stream as
+        // chunks — a giant registry dump can never hit the frame cap.
+        const std::string stats = stats_json();
+        const std::string metrics = metrics_text();
+        StatsReplyHeader header;
+        header.stats_bytes = stats.size();
+        header.metrics_bytes = metrics.size();
+        io = framer.write_frame(encode_stats_reply(header));
+        if (io.ok()) io = write_chunked(framer, stats + metrics);
         break;
       }
       case Verb::kResult: {
@@ -503,6 +680,12 @@ void Daemon::serve_connection(const std::shared_ptr<Transport>& connection) {
           io = framer.write_frame(encode_error_reply(id.status()));
           drop = true;
           break;
+        }
+        auto span = obs::default_tracer().span("wire.result", "wire");
+        if (support::StatusOr<obs::TraceContext> ctx = job_trace_context(*id);
+            ctx.ok()) {
+          span.adopt_context(*ctx);
+          span.arg("job", std::to_string(*id));
         }
         support::StatusOr<std::string> result = wait_result(*id);
         ResultReply header;
@@ -513,22 +696,35 @@ void Daemon::serve_connection(const std::shared_ptr<Transport>& connection) {
         }
         io = framer.write_frame(encode_result_reply(header));
         if (!io.ok() || !result.ok()) break;
-        // Stream the report in CRC-framed chunks; always at least one
-        // frame so the client's chunk loop terminates on `last`.
-        const std::string& json = *result;
-        std::uint32_t sequence = 0;
-        std::size_t offset = 0;
-        do {
-          ResultChunk chunk;
-          chunk.sequence = sequence;
-          const std::size_t n =
-              std::min<std::size_t>(kResultChunkBytes, json.size() - offset);
-          chunk.data = json.substr(offset, n);
-          offset += n;
-          chunk.last = offset >= json.size();
-          io = framer.write_frame(encode_result_chunk(chunk));
-          sequence += 1;
-        } while (io.ok() && offset < json.size());
+        io = write_chunked(framer, *result);
+        break;
+      }
+      case Verb::kTrace: {
+        support::StatusOr<std::uint64_t> id = decode_job_id(*frame);
+        if (!id.ok()) {
+          io = framer.write_frame(encode_error_reply(id.status()));
+          drop = true;
+          break;
+        }
+        support::StatusOr<std::vector<obs::TraceEvent>> events =
+            trace_events(*id);
+        TraceReply header;
+        std::string blob;
+        if (events.ok()) {
+          blob = encode_trace_events(*events);
+          header.total_bytes = blob.size();
+        } else {
+          header.status = events.status();
+        }
+        io = framer.write_frame(encode_trace_reply(header));
+        if (!io.ok() || !events.ok()) break;
+        io = write_chunked(framer, blob);
+        break;
+      }
+      case Verb::kHealth: {
+        HealthReply reply;
+        reply.health_json = health_json();
+        io = framer.write_frame(encode_health_reply(reply));
         break;
       }
       default: {
@@ -553,6 +749,11 @@ void Daemon::close_connections() {
 }
 
 void Daemon::kill() {
+  // Recorded (and flushed) before journaling stops: the crash itself is
+  // the last thing a post-mortem `--flight-recorder` dump shows. A real
+  // SIGKILL would leave no such record — the replay then simply ends at
+  // the last lifecycle event, which is the same story one line shorter.
+  event_log_.append(obs::EventType::kKill, 0, "simulated SIGKILL");
   dying_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(mu_);

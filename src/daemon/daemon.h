@@ -48,7 +48,9 @@
 #include "daemon/transport.h"
 #include "daemon/wire.h"
 #include "machine/machine.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
@@ -79,6 +81,12 @@ struct DaemonOptions {
   /// Telemetry sink shared by shards and the daemon's own counters.
   /// Null gives the daemon a private registry (what stats() reads).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Flight-recorder file. Empty derives `journal_path + ".events"`, so
+  /// the recorder is always on and crash-recoverable alongside the
+  /// journal; `gb_daemond --flight-recorder` reads this file back.
+  std::string event_log_path;
+  /// Ring capacity of the in-memory flight recorder.
+  std::size_t event_log_capacity = obs::EventLog::kDefaultCapacity;
 };
 
 /// Point-in-time view of the whole daemon: its own serving counters,
@@ -156,6 +164,29 @@ class Daemon {
   /// Prometheus exposition of the daemon's metrics registry.
   [[nodiscard]] std::string metrics_text() const;
 
+  /// Per-subsystem health plus rolling latency quantiles, as JSON:
+  /// journal (append failures, torn bytes), shards (queue depth,
+  /// running), pool saturation, admission pressure, flight recorder —
+  /// each with an `ok` verdict and a reason when degraded — and
+  /// p50/p95/p99 of queue-wait and run-time (max across shards). The
+  /// kHealth wire verb and `gb status` render this.
+  [[nodiscard]] std::string health_json() const;
+
+  /// The distributed-trace context of one job: the client-supplied ids
+  /// if the submit carried them, else derived from the job id. kNotFound
+  /// for an id this daemon never issued.
+  [[nodiscard]] support::StatusOr<obs::TraceContext> job_trace_context(
+      std::uint64_t job_id) const;
+
+  /// Snapshot of the job's span tree from the process tracer, stamped
+  /// pid 2 (daemon) for the merged-trace convention. What kTrace
+  /// streams back.
+  [[nodiscard]] support::StatusOr<std::vector<obs::TraceEvent>> trace_events(
+      std::uint64_t job_id) const;
+
+  /// The flight recorder (for tests and in-process observers).
+  [[nodiscard]] const obs::EventLog& event_log() const { return event_log_; }
+
   /// Adopts one wire connection: serves request frames on the
   /// connection pool until the peer closes, a frame is corrupt, or the
   /// daemon shuts down. Returns immediately.
@@ -186,6 +217,9 @@ class Daemon {
                      std::string report_json);
   void on_job_complete(std::uint64_t id,
                        support::StatusOr<core::Report>& result);
+  /// Client-supplied trace ids if present, else derived from the job id.
+  [[nodiscard]] static obs::TraceContext trace_context_for(
+      const JobRecord& rec);
   void serve_connection(const std::shared_ptr<Transport>& connection);
   void close_connections();
 
@@ -207,6 +241,13 @@ class Daemon {
   std::map<std::string, std::size_t> tenant_outstanding_;
   DaemonStats counters_;  // serving + replay counters (shard stats live)
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  /// Flight recorder. Has its own mutex and never calls back into the
+  /// daemon, so appending while holding mu_ is safe.
+  obs::EventLog event_log_;
+  /// attach() outcome; a recorder that cannot persist still records in
+  /// memory, and health_json reports the degradation instead of init
+  /// failing — observability must not take the daemon down.
+  support::Status event_log_status_;
   std::chrono::steady_clock::time_point clock_epoch_{};
   // Telemetry handles into the registry (set once in init()).
   obs::Counter* m_submitted_ = nullptr;

@@ -9,7 +9,7 @@ namespace gb::daemon {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'B', 'J', 'L'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;  // v2: JobRequest carries trace ids
 constexpr std::size_t kHeaderBytes = 8;
 // Backstop against a torn length field decoding as a huge allocation.
 // Reports are a few hundred KB; nothing legitimate approaches this.

@@ -1,34 +1,6 @@
 #include "daemon/job_request.h"
 
-#include <array>
-
 namespace gb::daemon {
-namespace {
-
-// Table-driven CRC-32 (polynomial 0xEDB88320, the reflected IEEE form).
-// Built once at static-init time; 256 entries, byte-at-a-time update.
-std::array<std::uint32_t, 256> build_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-}  // namespace
-
-std::uint32_t crc32(std::span<const std::byte> data) {
-  static const std::array<std::uint32_t, 256> kTable = build_crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::byte b : data) {
-    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
 
 support::Status status_from_wire(std::uint8_t code, std::string message) {
   using support::Status;
@@ -69,6 +41,8 @@ void JobRequest::serialize(ByteWriter& w) const {
   w.u32(static_cast<std::uint32_t>(resources));
   w.u8(advanced ? 1 : 0);
   w.u8(static_cast<std::uint8_t>(carve));
+  w.u64(trace_id);
+  w.u64(parent_span_id);
 }
 
 support::StatusOr<JobRequest> JobRequest::deserialize(ByteReader& r) {
@@ -96,6 +70,8 @@ support::StatusOr<JobRequest> JobRequest::deserialize(ByteReader& r) {
       return support::Status::corrupt("job request: bad carve mode");
     }
     req.carve = static_cast<core::CarveMode>(carve);
+    req.trace_id = r.u64();
+    req.parent_span_id = r.u64();
     return req;
   } catch (const ParseError& e) {
     return support::Status::corrupt(std::string("job request: ") + e.what());

@@ -16,6 +16,7 @@
 
 #include "core/scan_engine.h"
 #include "support/bytes.h"
+#include "support/checksum.h"
 #include "support/status.h"
 
 namespace gb::daemon {
@@ -23,8 +24,11 @@ namespace gb::daemon {
 /// CRC-32 (IEEE 802.3, reflected) over raw bytes. The integrity check
 /// framing both the job journal and the wire protocol — a torn journal
 /// tail or a corrupted frame fails its CRC and is rejected instead of
-/// being replayed/served as truth.
-[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data);
+/// being replayed/served as truth. The implementation lives in
+/// support/checksum.h so gb::obs can share the exact same framing.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> data) {
+  return support::crc32(data);
+}
 
 /// Rebuilds a Status from its serialized (code, message) pair, as the
 /// journal's complete records and the wire protocol's replies carry it.
@@ -51,6 +55,14 @@ struct JobRequest {
   core::ResourceMask resources = core::ResourceMask::kAll;
   bool advanced = false;  // scheduler thread-table view (paper's advanced mode)
   core::CarveMode carve = core::CarveMode::kOutsideOnly;
+  /// Cross-process trace propagation (see obs/trace.h). Zero means "no
+  /// caller-supplied context": the daemon derives the canonical ids from
+  /// the assigned job id (obs::TraceContext::for_job), which the client
+  /// re-derives from the submit reply — both sides agree without a
+  /// second round trip. A non-zero trace_id overrides the derivation so
+  /// an outer trace (e.g. a console request id) can adopt the job.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 
   bool operator==(const JobRequest&) const = default;
 

@@ -1,5 +1,6 @@
 #include "daemon/wire.h"
 
+#include <algorithm>
 #include <array>
 #include <utility>
 
@@ -141,6 +142,14 @@ std::vector<std::byte> encode_result(std::uint64_t job_id) {
   return finish(std::move(w));
 }
 
+std::vector<std::byte> encode_trace(std::uint64_t job_id) {
+  ByteWriter w = begin(Verb::kTrace);
+  w.u64(job_id);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_health() { return finish(begin(Verb::kHealth)); }
+
 std::vector<std::byte> encode_submit_reply(const SubmitReply& reply) {
   ByteWriter w = begin(Verb::kSubmitReply);
   put_status(w, reply.status);
@@ -167,11 +176,11 @@ std::vector<std::byte> encode_cancel_reply(const CancelReply& reply) {
   return finish(std::move(w));
 }
 
-std::vector<std::byte> encode_stats_reply(const StatsReply& reply) {
+std::vector<std::byte> encode_stats_reply(const StatsReplyHeader& header) {
   ByteWriter w = begin(Verb::kStatsReply);
-  put_status(w, reply.status);
-  put_string(w, reply.stats_json);
-  put_string(w, reply.metrics_text);
+  put_status(w, header.status);
+  w.u64(header.stats_bytes);
+  w.u64(header.metrics_bytes);
   return finish(std::move(w));
 }
 
@@ -190,10 +199,136 @@ std::vector<std::byte> encode_result_chunk(const ResultChunk& chunk) {
   return finish(std::move(w));
 }
 
+std::vector<std::byte> encode_trace_reply(const TraceReply& reply) {
+  ByteWriter w = begin(Verb::kTraceReply);
+  put_status(w, reply.status);
+  w.u64(reply.total_bytes);
+  return finish(std::move(w));
+}
+
+std::vector<std::byte> encode_health_reply(const HealthReply& reply) {
+  ByteWriter w = begin(Verb::kHealthReply);
+  put_status(w, reply.status);
+  put_string(w, reply.health_json);
+  return finish(std::move(w));
+}
+
 std::vector<std::byte> encode_error_reply(const support::Status& status) {
   ByteWriter w = begin(Verb::kErrorReply);
   put_status(w, status);
   return finish(std::move(w));
+}
+
+support::Status write_chunked(Framer& framer, std::string_view blob) {
+  std::uint32_t sequence = 0;
+  std::size_t offset = 0;
+  support::Status io;
+  do {
+    ResultChunk chunk;
+    chunk.sequence = sequence;
+    const std::size_t n =
+        std::min<std::size_t>(kResultChunkBytes, blob.size() - offset);
+    chunk.data = std::string(blob.substr(offset, n));
+    offset += n;
+    chunk.last = offset >= blob.size();
+    io = framer.write_frame(encode_result_chunk(chunk));
+    sequence += 1;
+  } while (io.ok() && offset < blob.size());
+  return io;
+}
+
+support::StatusOr<std::string> read_chunked(Framer& framer,
+                                            std::uint64_t expected_bytes) {
+  std::string out;
+  out.reserve(expected_bytes);
+  for (std::uint32_t expected_seq = 0;; ++expected_seq) {
+    support::StatusOr<std::vector<std::byte>> frame = framer.read_frame();
+    if (!frame.ok()) return frame.status();
+    support::StatusOr<Verb> verb = decode_verb(*frame);
+    if (!verb.ok()) return verb.status();
+    if (*verb != Verb::kResultChunk) {
+      return support::Status::corrupt("wire: expected chunk frame");
+    }
+    support::StatusOr<ResultChunk> chunk = decode_result_chunk(*frame);
+    if (!chunk.ok()) return chunk.status();
+    if (chunk->sequence != expected_seq) {
+      return support::Status::corrupt("wire: chunk out of sequence");
+    }
+    out += chunk->data;
+    if (chunk->last) break;
+  }
+  if (out.size() != expected_bytes) {
+    return support::Status::corrupt("wire: chunk stream size mismatch");
+  }
+  return out;
+}
+
+std::string encode_trace_events(const std::vector<obs::TraceEvent>& events) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(events.size()));
+  for (const obs::TraceEvent& e : events) {
+    put_string(w, e.name);
+    put_string(w, e.cat);
+    w.u64(e.trace_id);
+    w.u64(e.span_id);
+    w.u64(e.parent_span_id);
+    w.u64(e.ts_us);
+    w.u64(e.dur_us);
+    w.u32(e.pid);
+    w.u32(e.tid);
+    w.u8(static_cast<std::uint8_t>(e.ph));
+    w.u32(static_cast<std::uint32_t>(e.args.size()));
+    for (const auto& [key, value] : e.args) {
+      put_string(w, key);
+      put_string(w, value);
+    }
+  }
+  std::vector<std::byte> bytes = std::move(w).take();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+support::StatusOr<std::vector<obs::TraceEvent>> decode_trace_events(
+    std::string_view blob) {
+  ByteReader r(std::as_bytes(std::span(blob.data(), blob.size())));
+  try {
+    // Counts are bounded by the blob size (every event and every arg
+    // pair costs more than one byte), so a corrupt count can't force a
+    // huge allocation before the reads start failing.
+    const std::uint32_t count = r.u32();
+    if (count > blob.size()) {
+      return support::Status::corrupt("wire: trace blob count too large");
+    }
+    std::vector<obs::TraceEvent> events(count);
+    for (obs::TraceEvent& e : events) {
+      e.name = r.str(r.u32());
+      e.cat = r.str(r.u32());
+      e.trace_id = r.u64();
+      e.span_id = r.u64();
+      e.parent_span_id = r.u64();
+      e.ts_us = r.u64();
+      e.dur_us = r.u64();
+      e.pid = r.u32();
+      e.tid = r.u32();
+      e.ph = static_cast<char>(r.u8());
+      const std::uint32_t nargs = r.u32();
+      if (nargs > blob.size()) {
+        return support::Status::corrupt("wire: trace arg count too large");
+      }
+      e.args.resize(nargs);
+      for (auto& [key, value] : e.args) {
+        key = r.str(r.u32());
+        value = r.str(r.u32());
+      }
+    }
+    if (!r.at_end()) {
+      return support::Status::corrupt("wire: trailing bytes in trace blob");
+    }
+    return events;
+  } catch (const ParseError& e) {
+    return support::Status::corrupt(std::string("wire: bad trace blob: ") +
+                                    e.what());
+  }
 }
 
 support::StatusOr<Verb> decode_verb(std::span<const std::byte> payload) {
@@ -202,7 +337,7 @@ support::StatusOr<Verb> decode_verb(std::span<const std::byte> payload) {
   }
   const auto v = static_cast<std::uint8_t>(payload[0]);
   if (v < static_cast<std::uint8_t>(Verb::kSubmit) ||
-      v > static_cast<std::uint8_t>(Verb::kErrorReply)) {
+      v > static_cast<std::uint8_t>(Verb::kHealthReply)) {
     return support::Status::corrupt("wire: unknown verb " + std::to_string(v));
   }
   return static_cast<Verb>(v);
@@ -262,14 +397,14 @@ support::StatusOr<CancelReply> decode_cancel_reply(
   });
 }
 
-support::StatusOr<StatsReply> decode_stats_reply(
+support::StatusOr<StatsReplyHeader> decode_stats_reply(
     std::span<const std::byte> payload) {
   return decode_body(payload, "stats reply", [](ByteReader& r) {
-    StatsReply reply;
-    reply.status = get_status(r);
-    reply.stats_json = r.str(r.u32());
-    reply.metrics_text = r.str(r.u32());
-    return reply;
+    StatsReplyHeader header;
+    header.status = get_status(r);
+    header.stats_bytes = r.u64();
+    header.metrics_bytes = r.u64();
+    return header;
   });
 }
 
@@ -291,6 +426,26 @@ support::StatusOr<ResultChunk> decode_result_chunk(
     chunk.last = r.u8() != 0;
     chunk.data = r.str(r.u32());
     return chunk;
+  });
+}
+
+support::StatusOr<TraceReply> decode_trace_reply(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "trace reply", [](ByteReader& r) {
+    TraceReply reply;
+    reply.status = get_status(r);
+    reply.total_bytes = r.u64();
+    return reply;
+  });
+}
+
+support::StatusOr<HealthReply> decode_health_reply(
+    std::span<const std::byte> payload) {
+  return decode_body(payload, "health reply", [](ByteReader& r) {
+    HealthReply reply;
+    reply.status = get_status(r);
+    reply.health_json = r.str(r.u32());
+    return reply;
   });
 }
 

@@ -30,6 +30,7 @@
 #include "core/scan_scheduler.h"
 #include "daemon/job_request.h"
 #include "daemon/transport.h"
+#include "obs/trace.h"
 #include "support/status.h"
 
 namespace gb::daemon {
@@ -53,8 +54,12 @@ enum class Verb : std::uint8_t {
   kStatsReply = 8,   // status + stats JSON + Prometheus metrics text
   kResult = 9,       // job id -> kResultReply, then kResultChunk stream
   kResultReply = 10,  // terminal job status + total result byte count
-  kResultChunk = 11,  // sequence number + last flag + raw JSON bytes
+  kResultChunk = 11,  // sequence number + last flag + raw payload bytes
   kErrorReply = 12,   // request could not be decoded; connection closes
+  kTrace = 13,       // job id -> kTraceReply, then kResultChunk stream
+  kTraceReply = 14,  // status + total byte count of the span-tree blob
+  kHealth = 15,      // -> kHealthReply
+  kHealthReply = 16,  // status + health/SLO JSON (small, single frame)
 };
 
 /// Wire snapshot of one job, as kPollReply carries it.
@@ -83,10 +88,36 @@ struct CancelReply {
   bool cancelled = false;
 };
 
+/// The assembled kStats answer, as the client API returns it.
 struct StatsReply {
   support::Status status;
   std::string stats_json;    // DaemonStats::to_json()
   std::string metrics_text;  // gb::obs Prometheus exposition
+};
+
+/// What the kStatsReply frame itself carries. The two texts are NOT in
+/// the header: they stream after it as kResultChunk frames (stats JSON
+/// first, then the Prometheus text, back to back), so a giant registry
+/// dump can never collide with kMaxFramePayload.
+struct StatsReplyHeader {
+  support::Status status;  // non-OK means no chunks follow
+  std::uint64_t stats_bytes = 0;
+  std::uint64_t metrics_bytes = 0;
+};
+
+/// kTraceReply header; OK means `total_bytes` of encode_trace_events
+/// blob follow as kResultChunk frames.
+struct TraceReply {
+  support::Status status;  // kNotFound for an id this daemon never issued
+  std::uint64_t total_bytes = 0;
+};
+
+/// kHealthReply body. Health JSON is a small fixed-shape document
+/// (per-subsystem verdicts + latency quantiles), so unlike stats it
+/// rides in its own frame.
+struct HealthReply {
+  support::Status status;
+  std::string health_json;  // Daemon::health_json()
 };
 
 struct ResultReply {
@@ -133,6 +164,8 @@ class Framer {
 [[nodiscard]] std::vector<std::byte> encode_cancel(std::uint64_t job_id);
 [[nodiscard]] std::vector<std::byte> encode_stats();
 [[nodiscard]] std::vector<std::byte> encode_result(std::uint64_t job_id);
+[[nodiscard]] std::vector<std::byte> encode_trace(std::uint64_t job_id);
+[[nodiscard]] std::vector<std::byte> encode_health();
 
 // Replies (server -> client).
 [[nodiscard]] std::vector<std::byte> encode_submit_reply(
@@ -141,13 +174,37 @@ class Framer {
 [[nodiscard]] std::vector<std::byte> encode_cancel_reply(
     const CancelReply& reply);
 [[nodiscard]] std::vector<std::byte> encode_stats_reply(
-    const StatsReply& reply);
+    const StatsReplyHeader& header);
 [[nodiscard]] std::vector<std::byte> encode_result_reply(
     const ResultReply& reply);
 [[nodiscard]] std::vector<std::byte> encode_result_chunk(
     const ResultChunk& chunk);
+[[nodiscard]] std::vector<std::byte> encode_trace_reply(
+    const TraceReply& reply);
+[[nodiscard]] std::vector<std::byte> encode_health_reply(
+    const HealthReply& reply);
 [[nodiscard]] std::vector<std::byte> encode_error_reply(
     const support::Status& status);
+
+// Chunk streaming. kResultChunk is the generic byte-stream carrier for
+// every verb that answers with a header naming a byte count (kResult,
+// kStats, kTrace): the sender splits `blob` into ≤ kResultChunkBytes
+// frames (always at least one, so the reader's loop terminates on
+// `last` even for an empty blob) and the reader reassembles, checking
+// sequence numbers and the expected total.
+[[nodiscard]] support::Status write_chunked(Framer& framer,
+                                            std::string_view blob);
+[[nodiscard]] support::StatusOr<std::string> read_chunked(
+    Framer& framer, std::uint64_t expected_bytes);
+
+// Span-tree blob codec for kTrace: a flat binary encoding of the
+// events the daemon snapshots for one trace id (obs::Tracer::snapshot).
+// The blob — not JSON — crosses the wire so the client can merge the
+// daemon's events with its own before rendering one Chrome trace.
+[[nodiscard]] std::string encode_trace_events(
+    const std::vector<obs::TraceEvent>& events);
+[[nodiscard]] support::StatusOr<std::vector<obs::TraceEvent>>
+decode_trace_events(std::string_view blob);
 
 /// First byte of a payload, or kCorrupt on an empty frame / unknown verb.
 [[nodiscard]] support::StatusOr<Verb> decode_verb(
@@ -165,11 +222,15 @@ class Framer {
     std::span<const std::byte> payload);
 [[nodiscard]] support::StatusOr<CancelReply> decode_cancel_reply(
     std::span<const std::byte> payload);
-[[nodiscard]] support::StatusOr<StatsReply> decode_stats_reply(
+[[nodiscard]] support::StatusOr<StatsReplyHeader> decode_stats_reply(
     std::span<const std::byte> payload);
 [[nodiscard]] support::StatusOr<ResultReply> decode_result_reply(
     std::span<const std::byte> payload);
 [[nodiscard]] support::StatusOr<ResultChunk> decode_result_chunk(
+    std::span<const std::byte> payload);
+[[nodiscard]] support::StatusOr<TraceReply> decode_trace_reply(
+    std::span<const std::byte> payload);
+[[nodiscard]] support::StatusOr<HealthReply> decode_health_reply(
     std::span<const std::byte> payload);
 [[nodiscard]] support::StatusOr<ErrorReply> decode_error_reply(
     std::span<const std::byte> payload);

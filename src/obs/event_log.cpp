@@ -1,0 +1,281 @@
+#include "obs/event_log.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "support/checksum.h"
+
+namespace gb::obs {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'B', 'E', 'L'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kMaxRecordBytes = 64 * 1024;
+
+// gb::ByteWriter/ByteReader live in gb_support, which links *against*
+// gb_obs (the pool instruments metrics) — so the recorder hand-rolls
+// its little-endian framing to keep obs at the bottom of the stack.
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Bounds-checked little-endian reader; ok flips false on truncation
+/// and every later read returns zero, so callers test once at the end.
+struct Cursor {
+  std::span<const std::byte> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  [[nodiscard]] std::size_t remaining() const { return data.size() - pos; }
+
+  std::uint8_t u8() {
+    if (remaining() < 1) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (std::uint64_t{u32()} << 32);
+  }
+  std::string str(std::size_t n) {
+    if (remaining() < n) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data.data() + pos), n);
+    pos += n;
+    return s;
+  }
+  std::span<const std::byte> bytes(std::size_t n) {
+    if (remaining() < n) {
+      ok = false;
+      return {};
+    }
+    const auto out = data.subspan(pos, n);
+    pos += n;
+    return out;
+  }
+};
+
+struct ParsedFile {
+  std::vector<LogEvent> events;
+  std::uint64_t intact_bytes = 0;  // header + every intact record
+  bool fresh = false;              // missing or sub-header file
+};
+
+/// Reads and walks one event file. A torn tail (truncated record, CRC
+/// mismatch) ends the walk at the last intact record; a bad header or a
+/// CRC-valid record with a bad event type is kCorrupt.
+support::StatusOr<ParsedFile> parse_file(const std::string& path) {
+  ParsedFile out;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    out.fresh = true;
+    return out;
+  }
+  const auto size = static_cast<std::size_t>(in.tellg());
+  if (size < kHeaderBytes) {
+    out.fresh = true;
+    return out;
+  }
+  std::vector<std::byte> bytes(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) return support::Status::internal("event log: short read: " + path);
+
+  Cursor r{bytes};
+  if (r.str(4) != std::string(kMagic, 4)) {
+    return support::Status::corrupt("event log: bad magic: " + path);
+  }
+  if (const std::uint32_t version = r.u32(); version != kFormatVersion) {
+    return support::Status::corrupt("event log: unsupported version " +
+                                    std::to_string(version));
+  }
+  out.intact_bytes = kHeaderBytes;
+  while (r.remaining() > 0) {
+    if (r.remaining() < 8) break;  // torn length/crc prefix
+    const std::uint32_t len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (len == 0 || len > kMaxRecordBytes || r.remaining() < len) break;
+    const auto payload = r.bytes(len);
+    if (support::crc32(payload) != crc) break;
+    Cursor pr{payload};
+    LogEvent e;
+    e.seq = pr.u64();
+    const std::uint8_t type = pr.u8();
+    if (type < static_cast<std::uint8_t>(EventType::kSubmit) ||
+        type > static_cast<std::uint8_t>(EventType::kDrain)) {
+      return support::Status::corrupt("event log: bad event type " +
+                                      std::to_string(type));
+    }
+    e.type = static_cast<EventType>(type);
+    e.job_id = pr.u64();
+    e.ts_us = pr.u64();
+    e.detail = pr.str(pr.u32());
+    if (!pr.ok || pr.remaining() != 0) {
+      return support::Status::corrupt("event log: malformed record payload");
+    }
+    out.events.push_back(std::move(e));
+    out.intact_bytes += 8 + len;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kSubmit: return "submit";
+    case EventType::kStart: return "start";
+    case EventType::kComplete: return "complete";
+    case EventType::kCancel: return "cancel";
+    case EventType::kRejected: return "rejected";
+    case EventType::kDegraded: return "degraded";
+    case EventType::kJournalTruncated: return "journal-truncated";
+    case EventType::kRequeued: return "requeued";
+    case EventType::kKill: return "kill";
+    case EventType::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.resize(capacity_);
+}
+
+support::Status EventLog::attach(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto parsed = parse_file(path);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->fresh) {
+    std::ofstream fresh(path, std::ios::binary | std::ios::trunc);
+    if (!fresh) {
+      return support::Status::internal("event log: cannot create " + path);
+    }
+    std::vector<std::byte> header;
+    header.insert(header.end(),
+                  {std::byte{'G'}, std::byte{'B'}, std::byte{'E'},
+                   std::byte{'L'}});
+    put_u32(header, kFormatVersion);
+    fresh.write(reinterpret_cast<const char*>(header.data()),
+                static_cast<std::streamsize>(header.size()));
+    fresh.flush();
+    if (!fresh) {
+      return support::Status::internal("event log: cannot write " + path);
+    }
+  } else {
+    // Drop any torn tail so this incarnation appends after the last
+    // intact record, then continue its sequence numbering.
+    std::error_code ec;
+    const auto on_disk = std::filesystem::file_size(path, ec);
+    if (!ec && on_disk > parsed->intact_bytes) {
+      std::filesystem::resize_file(path, parsed->intact_bytes, ec);
+      if (ec) {
+        return support::Status::internal(
+            "event log: cannot truncate torn tail of " + path);
+      }
+    }
+    for (const LogEvent& e : parsed->events) {
+      ring_[e.seq % capacity_] = e;
+      next_seq_ = e.seq + 1;
+    }
+  }
+  file_.open(path, std::ios::binary | std::ios::app);
+  if (!file_) {
+    return support::Status::internal("event log: cannot open " + path);
+  }
+  attached_ = true;
+  return support::Status();
+}
+
+void EventLog::append(EventType type, std::uint64_t job_id,
+                      std::string detail) {
+  std::lock_guard<std::mutex> lk(mu_);
+  LogEvent e;
+  e.seq = next_seq_++;
+  e.type = type;
+  e.job_id = job_id;
+  e.ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  e.detail = std::move(detail);
+  if (attached_) {
+    std::vector<std::byte> payload;
+    payload.reserve(29 + e.detail.size());
+    put_u64(payload, e.seq);
+    payload.push_back(static_cast<std::byte>(e.type));
+    put_u64(payload, e.job_id);
+    put_u64(payload, e.ts_us);
+    put_u32(payload, static_cast<std::uint32_t>(e.detail.size()));
+    for (const char c : e.detail) payload.push_back(static_cast<std::byte>(c));
+    std::vector<std::byte> frame;
+    frame.reserve(8 + payload.size());
+    put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+    put_u32(frame, support::crc32(payload));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    file_.write(reinterpret_cast<const char*>(frame.data()),
+                static_cast<std::streamsize>(frame.size()));
+    file_.flush();
+    if (!file_) {
+      ++write_failures_;
+      file_.clear();
+    }
+  }
+  ring_[e.seq % capacity_] = std::move(e);
+}
+
+std::vector<LogEvent> EventLog::recent(std::size_t n) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t held =
+      next_seq_ < capacity_ ? next_seq_ : static_cast<std::uint64_t>(capacity_);
+  const std::uint64_t want = (n == 0 || n > held) ? held : n;
+  std::vector<LogEvent> out;
+  out.reserve(static_cast<std::size_t>(want));
+  for (std::uint64_t seq = next_seq_ - want; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t EventLog::appended() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_seq_;
+}
+
+std::uint64_t EventLog::write_failures() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return write_failures_;
+}
+
+support::StatusOr<std::vector<LogEvent>> EventLog::read_file(
+    const std::string& path) {
+  auto parsed = parse_file(path);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->fresh) {
+    return support::Status::not_found("event log: no such file: " + path);
+  }
+  return std::move(parsed->events);
+}
+
+}  // namespace gb::obs

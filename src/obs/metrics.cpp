@@ -148,6 +148,30 @@ std::uint64_t Histogram::count() const {
   return total;
 }
 
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank || counts[i] == 0) continue;
+    if (i >= bounds_.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double into =
+        rank - static_cast<double>(cumulative - counts[i]);
+    return lower + (upper - lower) * (into / static_cast<double>(counts[i]));
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 std::vector<double> exponential_buckets(double start, double factor,
                                         std::size_t n) {
   std::vector<double> out;
@@ -242,6 +266,12 @@ std::size_t MetricsRegistry::size() const {
   return entries_.size();
 }
 
+void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
+  if (help.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  help_.emplace(std::string(name), std::string(help));  // first text wins
+}
+
 std::string MetricsRegistry::to_prometheus_text() const {
   std::lock_guard<std::mutex> lk(mu_);
   // The exposition format wants every series of a family under one
@@ -259,6 +289,17 @@ std::string MetricsRegistry::to_prometheus_text() const {
   for (const Entry* ep : ordered) {
     const Entry& e = *ep;
     if (e.name != last_family) {
+      if (const auto help = help_.find(e.name); help != help_.end()) {
+        // HELP escaping per the exposition format: backslash and
+        // newline only.
+        os << "# HELP " << e.name << ' ';
+        for (const char c : help->second) {
+          if (c == '\\') os << "\\\\";
+          else if (c == '\n') os << "\\n";
+          else os << c;
+        }
+        os << '\n';
+      }
       const char* type = e.kind == Kind::kCounter   ? "counter"
                          : e.kind == Kind::kGauge   ? "gauge"
                                                     : "histogram";

@@ -113,6 +113,13 @@ class Histogram {
   [[nodiscard]] double sum() const;
   [[nodiscard]] std::uint64_t count() const;
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside
+  /// the bucket containing the rank — the standard histogram_quantile
+  /// estimate, good enough for p50/p95/p99 health surfaces. Returns 0
+  /// with no observations; an answer in the overflow bucket clamps to
+  /// the highest finite bound.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   struct alignas(64) Slot {
     std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
@@ -148,9 +155,15 @@ class MetricsRegistry {
                        std::vector<double> upper_bounds,
                        Labels labels = {});
 
-  /// Prometheus text exposition format: one `# TYPE` line per family,
-  /// histogram expanded into cumulative `_bucket{le=...}` series plus
-  /// `_sum` / `_count`. Families appear in first-registration order.
+  /// Registers the family's `# HELP` text (emitted before `# TYPE` in
+  /// the exposition). Idempotent; the first non-empty text wins so
+  /// every shard minting the same family agrees.
+  void set_help(std::string_view name, std::string_view help);
+
+  /// Prometheus text exposition format: per family an optional `# HELP`
+  /// line, then one `# TYPE` line, then every sample — histograms
+  /// expanded into cumulative `_bucket{le=...}` series plus `_sum` /
+  /// `_count`. Each family appears exactly once.
   [[nodiscard]] std::string to_prometheus_text() const;
 
   /// JSON array of every metric with kind, labels and aggregated value
@@ -176,6 +189,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;  // registration order
   std::map<std::string, std::size_t> index_;     // name+labels -> entry
+  std::map<std::string, std::string> help_;      // family -> # HELP text
 };
 
 /// Process-wide registry: what the CLI's --metrics flag exports, and the

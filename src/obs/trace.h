@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//   auto span = obs::default_tracer().span("scan.file.low", "engine");
+//   auto span = obs::default_tracer().span("engine.inside", "engine");
 //   span.arg("batch", "12");
 //   ... work ...            // span closes (and is timed) on destruction
 //
@@ -13,6 +13,17 @@
 // nesting model Perfetto renders. A disabled tracer (the default) makes
 // span() return an inert handle — the cost is one relaxed atomic load,
 // so instrumentation points can stay in release builds and hot paths.
+//
+// Cross-process propagation: a TraceContext (trace_id + span_id) rides
+// a thread-local slot. Installing one via TraceContextScope makes every
+// span opened on that thread while the scope is live carry the trace_id
+// and parent-link to the enclosing span, so one fleet job's spans —
+// client submit, wire round trips, daemon dispatch, scheduler queue
+// wait, engine providers — share one trace_id and can be carved out of
+// the tracer as a single tree (snapshot()) and merged across the wire
+// (chrome_trace_json()). Ids are derived deterministically from the job
+// id (TraceContext::for_job), so client and daemon agree on the ids
+// without shipping them both ways.
 //
 // Determinism: tracing records wall-time observations on the side; it
 // never feeds back into scan output. Reports are byte-identical with
@@ -33,9 +44,67 @@ namespace gb::obs {
 
 class Tracer;
 
+/// The propagated slice of a trace: which trace this thread is working
+/// for, and which span is the current parent. Valid when trace_id != 0.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+
+  /// Canonical context for a fleet job: both ids are a deterministic
+  /// (splitmix64) function of the job id, so every process that knows
+  /// the job id derives the same trace_id independently.
+  [[nodiscard]] static TraceContext for_job(std::uint64_t job_id);
+};
+
+/// The calling thread's current context (invalid when none installed).
+[[nodiscard]] TraceContext current_trace_context();
+
+/// RAII: installs a context as the calling thread's current one and
+/// restores the previous context on destruction. Place one at every
+/// unit-of-work boundary (scheduler job dispatch, client RPC) so spans
+/// opened downstream on the same thread join the trace automatically.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// One recorded event, public so span trees can cross the wire: the
+/// daemon snapshots a job's events, serializes them, and the client
+/// merges them with its own before rendering. pid distinguishes the
+/// processes in a merged trace (1 = local/client, 2 = daemon).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t ts_us = 0;   // since tracer epoch
+  std::uint64_t dur_us = 0;  // 0 for instants
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+  char ph = 'X';
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Renders events (e.g. a merged client+daemon set) as Chrome
+/// trace_event JSON: complete events sorted by start time, instants with
+/// thread scope, trace/span ids surfaced in the args pane.
+[[nodiscard]] std::string chrome_trace_json(std::vector<TraceEvent> events);
+
 /// RAII span handle. Movable; records its event (duration = construction
 /// to destruction) into the owning tracer when it goes out of scope.
-/// A default-constructed or disabled-tracer span is inert.
+/// A default-constructed or disabled-tracer span is inert. An active
+/// span installs itself as the thread's current context parent, so
+/// same-thread nested spans parent-link to it.
 class ScopedSpan {
  public:
   ScopedSpan() = default;
@@ -43,6 +112,9 @@ class ScopedSpan {
       : tracer_(o.tracer_),
         name_(std::move(o.name_)),
         cat_(std::move(o.cat_)),
+        ctx_(o.ctx_),
+        parent_(o.parent_),
+        prev_(o.prev_),
         start_us_(o.start_us_),
         args_(std::move(o.args_)) {
     o.tracer_ = nullptr;
@@ -53,6 +125,9 @@ class ScopedSpan {
       tracer_ = o.tracer_;
       name_ = std::move(o.name_);
       cat_ = std::move(o.cat_);
+      ctx_ = o.ctx_;
+      parent_ = o.parent_;
+      prev_ = o.prev_;
       start_us_ = o.start_us_;
       args_ = std::move(o.args_);
       o.tracer_ = nullptr;
@@ -67,19 +142,26 @@ class ScopedSpan {
   /// pane. No-op on an inert span.
   void arg(std::string_view key, std::string_view value);
 
+  /// Re-homes the span onto a context learned after it opened (the
+  /// client's submit span: the job id — hence the derived trace_id —
+  /// only arrives with the reply). No-op on an inert span.
+  void adopt_context(const TraceContext& ctx);
+
   [[nodiscard]] bool active() const { return tracer_ != nullptr; }
 
  private:
   friend class Tracer;
   ScopedSpan(Tracer* tracer, std::string_view name, std::string_view cat,
-             std::uint64_t start_us)
-      : tracer_(tracer), name_(name), cat_(cat), start_us_(start_us) {}
+             std::uint64_t start_us);
 
   void finish();
 
   Tracer* tracer_ = nullptr;
   std::string name_;
   std::string cat_;
+  TraceContext ctx_;     // this span's own (trace_id, span_id)
+  std::uint64_t parent_ = 0;
+  TraceContext prev_;    // thread context to restore on finish
   std::uint64_t start_us_ = 0;
   std::vector<std::pair<std::string, std::string>> args_;
 };
@@ -108,10 +190,22 @@ class Tracer {
   /// Zero-duration marker event.
   void instant(std::string_view name, std::string_view cat = "scan");
 
-  /// Chrome trace_event JSON: {"traceEvents":[...]} of complete events
-  /// ("ph":"X") sorted by start time. Loadable in chrome://tracing and
-  /// Perfetto; nesting is inferred from containment per thread track.
+  /// Records a complete event for an interval observed elsewhere — the
+  /// scheduler's queue wait, say, which has no live scope of its own.
+  /// Time points are this tracer's steady clock; no-op when disabled.
+  void record_span(std::string_view name, std::string_view cat,
+                   const TraceContext& ctx,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end);
+
+  /// Chrome trace_event JSON of every recorded event (all traces).
   [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Copies out recorded events, sorted by start time. trace_id == 0
+  /// returns everything; otherwise only that trace's events — the span
+  /// tree the daemon streams back for `gb trace <job-id>`.
+  [[nodiscard]] std::vector<TraceEvent> snapshot(
+      std::uint64_t trace_id = 0) const;
 
   /// Drops every recorded event (the enabled flag is unchanged).
   void clear();
@@ -121,24 +215,19 @@ class Tracer {
  private:
   friend class ScopedSpan;
 
-  struct Event {
-    std::string name;
-    std::string cat;
-    std::uint64_t ts_us = 0;   // since tracer epoch
-    std::uint64_t dur_us = 0;  // 0 for instants
-    std::uint32_t tid = 0;
-    char ph = 'X';
-    std::vector<std::pair<std::string, std::string>> args;
-  };
   struct Buffer {
     std::mutex mu;
-    std::vector<Event> events;
+    std::vector<TraceEvent> events;
   };
 
   [[nodiscard]] std::uint64_t now_us() const;
-  void record(Event e);
+  [[nodiscard]] std::uint64_t to_us(
+      std::chrono::steady_clock::time_point t) const;
+  [[nodiscard]] std::uint64_t next_span_id();
+  void record(TraceEvent e);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_span_{1};
   std::chrono::steady_clock::time_point epoch_;
   // Sized like the metrics shards; see obs::internal::kSlots.
   std::vector<std::unique_ptr<Buffer>> buffers_;

@@ -1,0 +1,46 @@
+// Table-driven CRC-32 (polynomial 0xEDB88320, the reflected IEEE form).
+//
+// The integrity primitive shared by every CRC-framed byte stream in the
+// tree: the daemon's job journal, the wire protocol's frames, and the
+// observability flight recorder. Hoisted into support so layers below
+// gb::daemon (notably gb::obs) can frame their own persistence without
+// a dependency inversion.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gb::support {
+
+namespace internal {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  return kTable;
+}
+
+}  // namespace internal
+
+/// CRC-32 over raw bytes; built once at first use, byte-at-a-time update.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> data) {
+  const auto& table = internal::crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = table[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gb::support

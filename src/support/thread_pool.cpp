@@ -43,6 +43,14 @@ void ThreadPool::instrument(obs::MetricsRegistry& registry) {
                                         obs::default_latency_buckets());
   m_busy_ = &registry.gauge("gb_pool_busy_workers");
   m_queue_depth_ = &registry.gauge("gb_pool_queue_depth_peak");
+  registry.set_help("gb_pool_tasks_total", "Tasks executed by pool workers");
+  registry.set_help("gb_pool_steals_total",
+                    "Tasks stolen from another worker's queue");
+  registry.set_help("gb_pool_task_seconds", "Task execution latency");
+  registry.set_help("gb_pool_busy_workers",
+                    "Workers currently running a task");
+  registry.set_help("gb_pool_queue_depth_peak",
+                    "High-water mark of queued tasks");
 }
 
 void ThreadPool::push(std::function<void()> task) {

@@ -1,0 +1,13 @@
+// Known-bad fixture: every mint below breaks the telemetry naming
+// contract — metrics must be gb_<subsystem>_<name>, spans
+// <subsystem>.<verb>.
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+void mint_bad_names(gb::obs::MetricsRegistry& reg) {
+  reg.counter("scans_total").inc();                     // no gb_ prefix
+  reg.gauge("gb_depth").set(1);                         // missing name segment
+  reg.histogram("gb_Sched_Latency_Seconds", {1.0}).observe(0.5);  // uppercase
+  gb::obs::default_tracer().span("runjob");             // no subsystem.verb
+  gb::obs::default_tracer().instant("sched-queue", "sched");  // dash
+}

@@ -1,0 +1,31 @@
+// Known-good fixture for metric-name-format. Conforming names pass;
+// runtime-built names are unverifiable and must be skipped, not
+// flagged; non-mint uses of the words counter/gauge/span stay legal.
+// Banned shapes like "scans_total" or span "runjob" may appear in
+// comments and plain strings without firing.
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+void mint_good_names(gb::obs::MetricsRegistry& reg, const std::string& kind) {
+  reg.counter("gb_engine_runs_total").inc();
+  reg.counter("gb_sched_submitted_total", {{"tenant", "corp"}}).inc();
+  reg.gauge("gb_pool_busy_workers").set(2);
+  reg.histogram("gb_pool_task_seconds", {0.1, 1.0}).observe(0.2);
+  gb::obs::default_tracer().span("engine.inside", "engine");
+  gb::obs::default_tracer().span("scan.file.mft", "scan");  // 3 segments ok
+  gb::obs::default_tracer().instant("sched.drain", "sched");
+
+  // Runtime-built names cannot be checked statically: skipped.
+  const std::string dynamic = "gb_" + kind + "_runs_total";
+  reg.counter(dynamic).inc();
+  gb::obs::default_tracer().span("diff." + kind, "diff");
+
+  const char* label = "scans_total";  // a string, not a mint: no finding
+  reg.counter("gb_lintdemo_labels_total", {{"name", label}}).inc();
+}
+
+// A same-named free function is not a registry mint.
+int counter(const char* name);
+int free_function_call() { return counter("not_checked_here"); }

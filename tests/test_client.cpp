@@ -4,8 +4,10 @@
 // through either transport yields the same normalized report bytes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "daemon/daemon.h"
 #include "daemon/transport.h"
 #include "malware/collection.h"
+#include "obs/trace.h"
 
 namespace gb::client {
 namespace {
@@ -240,6 +243,111 @@ TEST(Normalization, ZeroesExactlyTheWallClockFields) {
   EXPECT_NE(normalized.find("\"worker_threads\":0"), std::string::npos);
   // Everything else is untouched.
   EXPECT_NE(normalized.find("\"hidden_resources\":4"), std::string::npos);
+}
+
+// The tentpole acceptance test: one job through DaemonClient yields one
+// merged span tree under a single trace_id covering every layer —
+// client API, wire, daemon dispatch, scheduler queue wait, engine
+// providers. Client and daemon share the process-wide tracer here, so
+// the daemon's trace RPC returns events the merge must dedupe rather
+// than duplicate.
+TEST(OverWire, OneJobYieldsOneMergedTraceAcrossEveryLayer) {
+  obs::default_tracer().clear();
+  obs::default_tracer().enable();
+
+  OneBox box(31, /*infected=*/true);
+  daemon::DaemonOptions opts;
+  opts.journal_path = temp_journal("client_trace.gbj");
+  opts.resolve_machine = box.resolver();
+  WiredDaemon up = WiredDaemon::start(std::move(opts));
+
+  auto handle = up.client->submit(spec_for("BOX"));
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  ASSERT_TRUE(handle->wait().status.ok());
+  const std::uint64_t job_id = handle->id();
+
+  auto daemon_events = up.client->trace(job_id);
+  ASSERT_TRUE(daemon_events.ok()) << daemon_events.status().to_string();
+  EXPECT_FALSE(daemon_events->empty());
+
+  const auto ctx = obs::TraceContext::for_job(job_id);
+  std::vector<obs::TraceEvent> local =
+      obs::default_tracer().snapshot(ctx.trace_id);
+  const std::vector<obs::TraceEvent> merged =
+      merge_trace_events(std::move(local), *daemon_events);
+
+  obs::default_tracer().disable();
+  obs::default_tracer().clear();
+
+  ASSERT_FALSE(merged.empty());
+  std::vector<std::string> names;
+  for (const auto& e : merged) {
+    EXPECT_EQ(e.trace_id, ctx.trace_id) << e.name;
+    names.push_back(e.name);
+  }
+  for (const char* expected :
+       {"client.submit", "client.wait", "wire.submit", "wire.result",
+        "sched.job", "sched.queue_wait", "engine.inside"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "merged trace is missing span " << expected;
+  }
+  // Shared in-process tracer: every daemon-side event was already in the
+  // local snapshot, so the merge must not have duplicated any span.
+  std::set<std::uint64_t> span_ids;
+  std::size_t complete_events = 0;
+  for (const auto& e : merged) {
+    if (e.ph != 'X') continue;
+    ++complete_events;
+    span_ids.insert(e.span_id);
+  }
+  EXPECT_EQ(span_ids.size(), complete_events);
+
+  // The rendered Chrome trace stamps the shared trace id on every event.
+  const std::string json = obs::chrome_trace_json(merged);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(ctx.trace_id));
+  const std::string stamp = "\"trace_id\":\"" + std::string(hex) + "\"";
+  std::size_t any = 0, ours = 0;
+  for (std::size_t at = json.find("\"trace_id\":\""); at != std::string::npos;
+       at = json.find("\"trace_id\":\"", at + 1)) {
+    ++any;
+    ours += json.compare(at, stamp.size(), stamp) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(any, merged.size());
+  EXPECT_EQ(ours, any);  // a single trace id across every layer
+}
+
+// An unknown job's trace is a clean error, not a transport failure.
+TEST(OverWire, TraceOfUnknownJobIsNotFound) {
+  OneBox box(32);
+  daemon::DaemonOptions opts;
+  opts.journal_path = temp_journal("client_trace_missing.gbj");
+  opts.resolve_machine = box.resolver();
+  WiredDaemon up = WiredDaemon::start(std::move(opts));
+  EXPECT_EQ(up.client->trace(12345).status().code(),
+            support::StatusCode::kNotFound);
+}
+
+TEST(OverWire, HealthRoundTripsTheDaemonVerdict) {
+  OneBox box(33);
+  daemon::DaemonOptions opts;
+  opts.journal_path = temp_journal("client_health.gbj");
+  opts.resolve_machine = box.resolver();
+  WiredDaemon up = WiredDaemon::start(std::move(opts));
+
+  auto health = up.client->health_json();
+  ASSERT_TRUE(health.ok()) << health.status().to_string();
+  EXPECT_EQ(health->find("{\"schema_version\":\"1.0\",\"ok\":true"), 0u);
+  // The wire copy is the daemon's own verdict, byte for byte (modulo the
+  // rolling latency fields, which move between calls — so compare the
+  // stable prefix).
+  const std::string direct = up.daemon->health_json();
+  const auto cut = std::min(health->find("\"latency_seconds\""),
+                            direct.find("\"latency_seconds\""));
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_EQ(health->substr(0, cut), direct.substr(0, cut));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,9 @@ struct TestFleet {
 std::string temp_journal(const std::string& name) {
   std::string path = ::testing::TempDir() + "/" + name;
   (void)std::remove(path.c_str());
+  // The flight recorder rides alongside the journal; a stale event file
+  // from a previous test run would pollute seq numbering.
+  (void)std::remove((path + ".events").c_str());
   return path;
 }
 
@@ -395,6 +399,190 @@ TEST(DaemonShards, MachineHashPartitioningSumsIntoCombinedStats) {
     EXPECT_TRUE(view->finished);
     EXPECT_TRUE(view->result.ok());
   }
+}
+
+// The flight-recorder crash matrix: kill the daemon mid-fleet, read the
+// persisted event file post-mortem (exactly what `gb_daemond
+// --flight-recorder` does), and check the lifecycle trail ends at the
+// kill — then restart and see every interrupted job's requeue recorded
+// with continued numbering. How far each job got before the kill is a
+// race we do not control, so the per-job invariant is
+// completed-before-the-crash OR requeued-after-it.
+TEST(DaemonFlightRecorder, KillLeavesAReplayableTrailEndingAtTheCrash) {
+  TestFleet fleet = TestFleet::build(2);
+  const std::string journal = temp_journal("daemon_recorder.gbj");
+  std::vector<std::uint64_t> ids;
+  {
+    DaemonOptions opts;
+    opts.journal_path = journal;
+    opts.shards = 1;
+    opts.workers_per_shard = 1;
+    opts.resolve_machine = fleet.resolver();
+    auto daemon = start_daemon(std::move(opts));
+    ids.push_back(daemon->submit(request_for("BOX-0")).value());
+    ids.push_back(daemon->submit(request_for("BOX-1")).value());
+    daemon->kill();  // no waiting: the crash lands wherever it lands
+  }
+
+  auto events = obs::EventLog::read_file(journal + ".events");
+  ASSERT_TRUE(events.ok()) << events.status().to_string();
+  ASSERT_FALSE(events->empty());
+  auto count = [&](obs::EventType type, std::uint64_t job_id) {
+    std::size_t n = 0;
+    for (const auto& e : *events) {
+      if (e.type == type && e.job_id == job_id) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(obs::EventType::kSubmit, ids[0]), 1u);
+  EXPECT_EQ(count(obs::EventType::kSubmit, ids[1]), 1u);
+  // The kill is the last flushed record — nothing after the crash.
+  EXPECT_EQ(events->back().type, obs::EventType::kKill);
+  for (std::size_t i = 1; i < events->size(); ++i) {
+    EXPECT_EQ((*events)[i].seq, (*events)[i - 1].seq + 1);
+  }
+  const std::uint64_t crash_seq = events->back().seq;
+
+  // Restart on the same journal: the recorder continues numbering, every
+  // interrupted job's requeue is recorded, and both jobs finish.
+  {
+    DaemonOptions opts;
+    opts.journal_path = journal;
+    opts.shards = 1;
+    opts.workers_per_shard = 1;
+    opts.resolve_machine = fleet.resolver();
+    auto restarted = start_daemon(std::move(opts));
+    for (std::uint64_t id : ids) {
+      ASSERT_TRUE(restarted->wait_result(id).ok());
+    }
+  }
+  events = obs::EventLog::read_file(journal + ".events");
+  ASSERT_TRUE(events.ok());
+  std::size_t requeued_total = 0;
+  for (std::uint64_t id : ids) {
+    const bool completed_before_crash = [&] {
+      for (const auto& e : *events) {
+        if (e.type == obs::EventType::kComplete && e.job_id == id &&
+            e.seq < crash_seq) {
+          return true;
+        }
+      }
+      return false;
+    }();
+    const bool requeued_after_crash = [&] {
+      for (const auto& e : *events) {
+        if (e.type == obs::EventType::kRequeued && e.job_id == id &&
+            e.seq > crash_seq) {
+          return true;
+        }
+      }
+      return false;
+    }();
+    EXPECT_TRUE(completed_before_crash || requeued_after_crash)
+        << "job " << id << " neither completed before the kill nor "
+        << "requeued after it";
+    EXPECT_GE(count(obs::EventType::kComplete, id), 1u);
+    if (requeued_after_crash) ++requeued_total;
+  }
+  // A serial worker and an immediate kill: at least one job was cut off.
+  EXPECT_GE(requeued_total, 1u);
+  // The second incarnation exited cleanly: a drain, not a kill.
+  EXPECT_EQ(events->back().type, obs::EventType::kDrain);
+}
+
+TEST(DaemonHealth, FreshDaemonIsHealthyAndLatencyPopulatesAfterARun) {
+  TestFleet fleet = TestFleet::build(2);
+  DaemonOptions opts;
+  opts.journal_path = temp_journal("daemon_health.gbj");
+  opts.shards = 1;
+  opts.workers_per_shard = 1;
+  opts.resolve_machine = fleet.resolver();
+  auto daemon = start_daemon(std::move(opts));
+
+  std::string health = daemon->health_json();
+  EXPECT_NE(health.find("\"schema_version\":\"1.0\""), std::string::npos);
+  EXPECT_EQ(health.find("{\"schema_version\":\"1.0\",\"ok\":true"), 0u);
+  EXPECT_NE(health.find("\"journal\":{\"ok\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"admission\":{\"ok\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"flight_recorder\":{\"ok\":true"),
+            std::string::npos);
+
+  auto id = daemon->submit(request_for("BOX-1"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(daemon->wait_result(*id).ok());
+  // wait_result can return the instant the completion hook journals the
+  // job — a hair before the scheduler records the run latency. wait_idle
+  // returns only after the worker finished bookkeeping.
+  daemon->wait_idle();
+  health = daemon->health_json();
+  EXPECT_EQ(health.find("{\"schema_version\":\"1.0\",\"ok\":true"), 0u);
+  // A real scan ran: the run-latency quantiles are now nonzero.
+  double p50 = 0, p95 = 0, p99 = 0;
+  const auto run_at = health.find("\"run\":{");
+  ASSERT_NE(run_at, std::string::npos);
+  ASSERT_EQ(std::sscanf(health.c_str() + run_at,
+                        "\"run\":{\"p50\":%lf,\"p95\":%lf,\"p99\":%lf", &p50,
+                        &p95, &p99),
+            3);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+}
+
+TEST(DaemonHealth, QuotaRejectionsDegradeAdmissionDeterministically) {
+  TestFleet fleet = TestFleet::build(1);
+  DaemonOptions opts;
+  opts.journal_path = temp_journal("daemon_health_adm.gbj");
+  opts.resolve_machine = fleet.resolver();
+  opts.quotas["corp"].max_total = 1;
+  auto daemon = start_daemon(std::move(opts));
+
+  ASSERT_TRUE(daemon->submit(request_for("BOX-0")).ok());
+  EXPECT_FALSE(daemon->submit(request_for("BOX-0")).ok());
+  EXPECT_FALSE(daemon->submit(request_for("BOX-0")).ok());
+  daemon->wait_idle();
+
+  const std::string health = daemon->health_json();
+  EXPECT_NE(health.find("\"admission\":{\"ok\":false,\"rejected\":2,"
+                        "\"reason\":\"tenants are being rejected\""),
+            std::string::npos);
+  // Rejections are back-pressure, not daemon damage: overall ok holds.
+  EXPECT_EQ(health.find("{\"schema_version\":\"1.0\",\"ok\":true"), 0u);
+}
+
+TEST(DaemonHealth, TornJournalTailDegradesJournalAfterRestart) {
+  TestFleet fleet = TestFleet::build(1);
+  const std::string journal = temp_journal("daemon_health_torn.gbj");
+  {
+    DaemonOptions opts;
+    opts.journal_path = journal;
+    opts.resolve_machine = fleet.resolver();
+    auto daemon = start_daemon(std::move(opts));
+    auto id = daemon->submit(request_for("BOX-0"));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(daemon->wait_result(*id).ok());
+  }
+  {
+    // A crash mid-append: garbage where a record frame should be.
+    std::ofstream f(journal, std::ios::binary | std::ios::app);
+    f << "torn";
+  }
+
+  DaemonOptions opts;
+  opts.journal_path = journal;
+  opts.resolve_machine = fleet.resolver();
+  auto restarted = start_daemon(std::move(opts));
+  const std::string health = restarted->health_json();
+  EXPECT_EQ(health.find("{\"schema_version\":\"1.0\",\"ok\":false"), 0u);
+  EXPECT_NE(health.find("\"journal\":{\"ok\":false,\"append_failures\":0,"
+                        "\"truncated_bytes\":4,\"reason\":\"torn tail "
+                        "repaired after a crash\""),
+            std::string::npos);
+  // The repair itself is on the record.
+  bool truncation_recorded = false;
+  for (const auto& e : restarted->event_log().recent()) {
+    truncation_recorded |= e.type == obs::EventType::kJournalTruncated;
+  }
+  EXPECT_TRUE(truncation_recorded);
 }
 
 }  // namespace

@@ -52,6 +52,8 @@ constexpr Fixtures kFixtures[] = {
      "good_raw_transport_io.cpp"},
     {"legacy-scan-entry", "bad_legacy_scan_entry.cpp",
      "good_legacy_scan_entry.cpp"},
+    {"metric-name-format", "bad_metric_name_format.cpp",
+     "good_metric_name_format.cpp"},
 };
 
 TEST(LintRules, EveryRuleFiresOnItsBadFixture) {

@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <regex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -13,6 +17,7 @@
 #include "core/scan_scheduler.h"
 #include "machine/machine.h"
 #include "malware/hackerdefender.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/thread_pool.h"
@@ -352,6 +357,310 @@ TEST(Determinism, ReportBytesIdenticalAcrossWorkersAndTracing) {
     EXPECT_EQ(run(p, false), baseline) << "workers=" << p << " tracing=off";
     EXPECT_EQ(run(p, true), baseline) << "workers=" << p << " tracing=on";
   }
+}
+
+TEST(TraceContext, ForJobIsDeterministicNonZeroAndDistinct) {
+  const auto a = obs::TraceContext::for_job(1);
+  const auto b = obs::TraceContext::for_job(1);
+  const auto c = obs::TraceContext::for_job(2);
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(a.span_id, 0u);
+  EXPECT_NE(a.trace_id, a.span_id);
+  EXPECT_EQ(a, b);  // any process that knows the job id agrees
+  EXPECT_NE(a.trace_id, c.trace_id);
+  EXPECT_NE(a.span_id, c.span_id);
+  EXPECT_FALSE(obs::TraceContext{}.valid());
+}
+
+TEST(TraceContext, ScopeInstallsAndRestores) {
+  const obs::TraceContext before = obs::current_trace_context();
+  const auto ctx = obs::TraceContext::for_job(11);
+  {
+    obs::TraceContextScope scope(ctx);
+    EXPECT_EQ(obs::current_trace_context(), ctx);
+    {
+      obs::TraceContextScope nested(obs::TraceContext::for_job(12));
+      EXPECT_EQ(obs::current_trace_context(), obs::TraceContext::for_job(12));
+    }
+    EXPECT_EQ(obs::current_trace_context(), ctx);
+  }
+  EXPECT_EQ(obs::current_trace_context(), before);
+}
+
+TEST(TraceContext, SpansInheritTheInstalledContext) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const auto ctx = obs::TraceContext::for_job(7);
+  {
+    obs::TraceContextScope scope(ctx);
+    auto outer = tracer.span("fleet.outer", "test");
+    auto inner = tracer.span("fleet.inner", "test");
+  }
+  const auto events = tracer.snapshot(ctx.trace_id);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "fleet.outer");
+  EXPECT_EQ(events[0].trace_id, ctx.trace_id);
+  // The installed context's span is the root parent...
+  EXPECT_EQ(events[0].parent_span_id, ctx.span_id);
+  // ...and same-thread nesting parent-links the inner span to the outer.
+  EXPECT_EQ(events[1].name, "fleet.inner");
+  EXPECT_EQ(events[1].parent_span_id, events[0].span_id);
+  // The filter is real: a different trace id selects nothing.
+  EXPECT_TRUE(tracer.snapshot(ctx.trace_id ^ 1).empty());
+}
+
+TEST(TraceContext, AdoptContextRehomesSpanAndLaterChildren) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const auto job = obs::TraceContext::for_job(42);
+  {
+    // The client-submit shape: the span opens before the job id (hence
+    // the trace id) is known, then adopts the derived context.
+    obs::TraceContextScope clean{obs::TraceContext{}};
+    auto submit = tracer.span("client.submit", "client");
+    submit.adopt_context(job);
+    auto wait = tracer.span("client.wait", "client");
+  }
+  const auto events = tracer.snapshot(job.trace_id);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "client.submit");
+  EXPECT_EQ(events[0].parent_span_id, job.span_id);
+  // Children opened after the adoption inherit the adopted trace.
+  EXPECT_EQ(events[1].name, "client.wait");
+  EXPECT_EQ(events[1].trace_id, job.trace_id);
+  EXPECT_EQ(events[1].parent_span_id, events[0].span_id);
+}
+
+std::string temp_event_path(const std::string& name) {
+  const auto path = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+TEST(EventLog, RingKeepsOnlyTheLastCapacityEvents) {
+  obs::EventLog log(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    log.append(obs::EventType::kSubmit, i, "job " + std::to_string(i));
+  }
+  EXPECT_EQ(log.appended(), 10u);
+  const auto recent = log.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().seq, 6u);
+  EXPECT_EQ(recent.back().seq, 9u);
+  EXPECT_EQ(recent.back().job_id, 9u);
+  EXPECT_EQ(recent.back().detail, "job 9");
+  const auto last_two = log.recent(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two.front().seq, 8u);
+}
+
+TEST(EventLog, AttachPersistsEveryAppendAndContinuesSeqAcrossRuns) {
+  const std::string path = temp_event_path("gb_test_obs_replay.events");
+  {
+    obs::EventLog log;
+    ASSERT_TRUE(log.attach(path).ok());
+    log.append(obs::EventType::kSubmit, 1, "box-1");
+    log.append(obs::EventType::kStart, 1, "");
+    // No clean shutdown: per-append flushing is the whole point.
+  }
+  auto events = obs::EventLog::read_file(path);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].seq, 0u);
+  EXPECT_EQ((*events)[0].type, obs::EventType::kSubmit);
+  EXPECT_EQ((*events)[0].detail, "box-1");
+  EXPECT_EQ((*events)[1].type, obs::EventType::kStart);
+
+  // A second incarnation replays the file and keeps numbering.
+  {
+    obs::EventLog log;
+    ASSERT_TRUE(log.attach(path).ok());
+    EXPECT_EQ(log.appended(), 2u);
+    const auto replayed = log.recent();
+    ASSERT_EQ(replayed.size(), 2u);
+    EXPECT_EQ(replayed[0].detail, "box-1");
+    log.append(obs::EventType::kKill, 0, "crash drill");
+  }
+  events = obs::EventLog::read_file(path);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 3u);
+  EXPECT_EQ(events->back().seq, 2u);
+  EXPECT_EQ(events->back().type, obs::EventType::kKill);
+  std::filesystem::remove(path);
+}
+
+TEST(EventLog, TornTailEndsReplayAtLastIntactRecord) {
+  const std::string path = temp_event_path("gb_test_obs_torn.events");
+  {
+    obs::EventLog log;
+    ASSERT_TRUE(log.attach(path).ok());
+    log.append(obs::EventType::kSubmit, 1, "intact");
+    log.append(obs::EventType::kStart, 1, "intact");
+    log.append(obs::EventType::kComplete, 1, "about to tear");
+  }
+  // Tear mid-record, the shape a kill leaves behind.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+  auto events = obs::EventLog::read_file(path);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ(events->back().type, obs::EventType::kStart);
+
+  // Attach truncates the tear and continues after the intact prefix.
+  {
+    obs::EventLog log;
+    ASSERT_TRUE(log.attach(path).ok());
+    EXPECT_EQ(log.appended(), 2u);
+    log.append(obs::EventType::kRequeued, 1, "after restart");
+  }
+  events = obs::EventLog::read_file(path);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 3u);
+  EXPECT_EQ(events->back().seq, 2u);
+  EXPECT_EQ(events->back().type, obs::EventType::kRequeued);
+  std::filesystem::remove(path);
+}
+
+TEST(EventLog, CorruptPayloadByteEndsReplayBeforeTheBadRecord) {
+  const std::string path = temp_event_path("gb_test_obs_crc.events");
+  {
+    obs::EventLog log;
+    ASSERT_TRUE(log.attach(path).ok());
+    log.append(obs::EventType::kSubmit, 1, "ok");
+    log.append(obs::EventType::kComplete, 1, "will be flipped");
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);  // last payload byte: CRC must catch it
+    f.put('!');
+  }
+  const auto events = obs::EventLog::read_file(path);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ(events->front().detail, "ok");
+  std::filesystem::remove(path);
+}
+
+TEST(EventLog, ReadFileRejectsBadHeaderAndMissingFile) {
+  const std::string path = temp_event_path("gb_test_obs_header.events");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not an event log at all";
+  }
+  EXPECT_FALSE(obs::EventLog::read_file(path).ok());
+  EXPECT_FALSE(obs::EventLog::read_file(path + ".missing").ok());
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition conformance.
+
+/// Builds the adversarial registry the golden fixture pins down: label
+/// values and help text exercising every escape, an unlabelled sibling
+/// series, a family with no help, and a histogram expansion.
+void fill_conformance_registry(obs::MetricsRegistry& reg) {
+  reg.counter("gb_conf_jobs_total", {{"tenant", "a\"b\\c\nd"}}).add(2);
+  reg.counter("gb_conf_jobs_total").inc();
+  reg.set_help("gb_conf_jobs_total", "Jobs with a back\\slash and\nnewline");
+  reg.set_help("gb_conf_jobs_total", "second text must not win");
+  reg.gauge("gb_conf_queue_depth").set(3.5);
+  reg.set_help("gb_conf_queue_depth", "");  // empty: no HELP line
+  auto& h = reg.histogram("gb_conf_wait_seconds", {0.1, 1.0});
+  reg.set_help("gb_conf_wait_seconds", "Queue wait");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+}
+
+TEST(PrometheusConformance, ExpositionMatchesGoldenFixtureByteForByte) {
+  obs::MetricsRegistry reg;
+  fill_conformance_registry(reg);
+  const std::string path =
+      std::string(GB_GOLDEN_DIR) + "/prometheus_conformance.txt";
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  std::ostringstream golden;
+  golden << f.rdbuf();
+  EXPECT_EQ(reg.to_prometheus_text(), golden.str());
+}
+
+/// Structural rules from the exposition format spec, checked line by
+/// line: any HELP line immediately precedes its family's TYPE line, each
+/// family has exactly one TYPE line, every sample belongs to the most
+/// recent TYPE's family, and names follow this repo's gb_* convention.
+void check_exposition_structure(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::map<std::string, int> type_lines;
+  std::string pending_help_family;
+  std::string current_family;
+  const std::regex name_re(R"(^gb(_[a-z0-9]+){2,}$)");
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    std::istringstream ls(line);
+    if (line.rfind("# HELP ", 0) == 0) {
+      EXPECT_TRUE(pending_help_family.empty()) << "two HELP lines in a row";
+      std::string hash, word;
+      ls >> hash >> word >> pending_help_family;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string hash, word, family, kind;
+      ls >> hash >> word >> family >> kind;
+      if (!pending_help_family.empty()) {
+        EXPECT_EQ(pending_help_family, family)
+            << "HELP not immediately followed by its TYPE";
+        pending_help_family.clear();
+      }
+      EXPECT_EQ(++type_lines[family], 1) << "duplicate family " << family;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << kind;
+      EXPECT_TRUE(std::regex_match(family, name_re)) << family;
+      current_family = family;
+      continue;
+    }
+    EXPECT_TRUE(pending_help_family.empty()) << "HELP with no TYPE: " << line;
+    // A sample: name{labels} value. Its family is the name minus the
+    // histogram suffixes.
+    std::string name = line.substr(0, line.find_first_of(" {"));
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string with = current_family + suffix;
+      if (name == with) name = current_family;
+    }
+    EXPECT_EQ(name, current_family) << "sample outside its family: " << line;
+  }
+  EXPECT_TRUE(pending_help_family.empty()) << "trailing HELP line";
+}
+
+TEST(PrometheusConformance, StructureHoldsForConformanceRegistry) {
+  obs::MetricsRegistry reg;
+  fill_conformance_registry(reg);
+  check_exposition_structure(reg.to_prometheus_text());
+}
+
+TEST(PrometheusConformance, StructureHoldsForARealScanExposition) {
+  // The live registry the daemon exports: pool + engine + scheduler
+  // families, with the help texts their call sites register.
+  machine::Machine m(small_config());
+  malware::install_ghostware<malware::HackerDefender>(m);
+  obs::MetricsRegistry reg;
+  core::ScanScheduler::Options opts;
+  opts.workers = 2;
+  opts.metrics = &reg;
+  core::ScanScheduler sched(opts);
+  core::JobSpec spec;
+  spec.machine = &m;
+  spec.config.parallelism = 2;
+  spec.config.metrics = &reg;
+  ASSERT_TRUE(sched.submit(std::move(spec)).ok());
+  sched.wait_idle();
+  const std::string text = reg.to_prometheus_text();
+  check_exposition_structure(text);
+  // The satellite's point: the call sites actually registered help.
+  EXPECT_NE(text.find("# HELP gb_sched_queue_wait_seconds "),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP gb_engine_runs_total "), std::string::npos);
 }
 
 TEST(Determinism, MetricsOffReportsMatchMetricsOnMinusTheBlock) {

@@ -4,10 +4,12 @@
 // ScanEngine::run(JobSpec) entry point the scheduler dispatches through.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <regex>
+#include <thread>
 #include <vector>
 
 #include "core/scan_scheduler.h"
@@ -407,6 +409,93 @@ TEST(SchedulerStress, ManyTenantsRandomCancelsUnderSharedPool) {
   EXPECT_EQ(stats.served + stats.cancelled, kJobs);
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_EQ(stats.running, 0u);
+}
+
+// Regression: progress() reads phase and the two task counters from
+// separate atomics. A job finishing (or cancelling) between those loads
+// used to pair a terminal phase with mid-flight counters — and a
+// cancelled engine run abandons its batch with done < total, so a torn
+// read could even report done > total. The snapshot now re-reads until
+// the phase is stable and clamps, so no interleaving shows an
+// inconsistent pair. This hammers the exact window: a poller racing a
+// mid-scan cancel.
+TEST(SchedulerProgress, SnapshotStaysConsistentThroughAMidScanCancel) {
+  machine::Machine m(tiny_config());
+  auto gate = std::make_shared<BlockingScanner::Gate>();
+
+  ScanScheduler::Options opts;
+  opts.workers = 1;
+  ScanScheduler sched(opts);
+
+  JobSpec spec;
+  spec.machine = &m;
+  spec.tenant = "ops";
+  spec.config.resources = ResourceMask::kProcesses;  // real tasks, plus
+                                                     // the blocking view
+  spec.configure_engine = [gate](ScanEngine& engine) {
+    engine.register_scanner(std::make_unique<BlockingScanner>(gate));
+  };
+  auto job = sched.submit(std::move(spec)).value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> overshoots{0};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const JobProgress p = job.progress();
+      if (p.tasks_done > p.tasks_total) overshoots.fetch_add(1);
+      if (p.phase == JobPhase::kDone && p.tasks_done > p.tasks_total) {
+        overshoots.fetch_add(1);
+      }
+    }
+  });
+
+  {
+    std::unique_lock<std::mutex> lk(gate->mu);
+    gate->cv.wait(lk, [&] { return gate->started; });
+  }
+  EXPECT_TRUE(job.cancel());
+  {
+    std::lock_guard<std::mutex> lk(gate->mu);
+    gate->release = true;
+  }
+  gate->cv.notify_all();
+  EXPECT_EQ(job.wait().status().code(), support::StatusCode::kCancelled);
+  stop.store(true);
+  poller.join();
+
+  EXPECT_EQ(overshoots.load(), 0u);
+  const JobProgress final_view = job.progress();
+  EXPECT_EQ(final_view.phase, JobPhase::kDone);
+  EXPECT_LE(final_view.tasks_done, final_view.tasks_total);
+  sched.wait_idle();
+}
+
+TEST(SchedulerQuantiles, AccessorsReadBackOrderedRollingEstimates) {
+  machine::Machine m(tiny_config());
+  ScanScheduler::Options opts;
+  opts.workers = 0;  // inline dispatch: every job observed by wait_idle
+  ScanScheduler sched(opts);
+
+  // No observations yet: the estimate is zero, not garbage.
+  EXPECT_EQ(sched.queue_wait_quantiles().p50, 0.0);
+  EXPECT_EQ(sched.run_quantiles().p99, 0.0);
+
+  for (int i = 0; i < 3; ++i) {
+    JobSpec spec;
+    spec.machine = &m;
+    spec.tenant = "ops";
+    spec.config.resources = ResourceMask::kProcesses;
+    ASSERT_TRUE(sched.submit(std::move(spec)).ok());
+  }
+  sched.wait_idle();
+
+  const LatencyQuantiles run = sched.run_quantiles();
+  EXPECT_GT(run.p50, 0.0);  // real scans take real time
+  EXPECT_GE(run.p95, run.p50);
+  EXPECT_GE(run.p99, run.p95);
+  const LatencyQuantiles wait = sched.queue_wait_quantiles();
+  EXPECT_GE(wait.p95, wait.p50);
+  EXPECT_GE(wait.p99, wait.p95);
 }
 
 }  // namespace

@@ -96,13 +96,29 @@ TEST(WireCodec, RepliesRoundTripStatusAndFields) {
   ASSERT_TRUE(cancel_back.ok());
   EXPECT_TRUE(cancel_back->cancelled);
 
-  StatsReply stats;
-  stats.stats_json = "{\"schema_version\":\"2.6\"}";
-  stats.metrics_text = "# TYPE gb_daemon_submitted_total counter\n";
+  StatsReplyHeader stats;
+  stats.stats_bytes = 123;
+  stats.metrics_bytes = 456789;
   const auto stats_back = decode_stats_reply(encode_stats_reply(stats));
   ASSERT_TRUE(stats_back.ok());
-  EXPECT_EQ(stats_back->stats_json, stats.stats_json);
-  EXPECT_EQ(stats_back->metrics_text, stats.metrics_text);
+  EXPECT_TRUE(stats_back->status.ok());
+  EXPECT_EQ(stats_back->stats_bytes, 123u);
+  EXPECT_EQ(stats_back->metrics_bytes, 456789u);
+
+  TraceReply trace;
+  trace.status = support::Status::not_found("no such job");
+  trace.total_bytes = 9876;
+  const auto trace_back = decode_trace_reply(encode_trace_reply(trace));
+  ASSERT_TRUE(trace_back.ok());
+  EXPECT_EQ(trace_back->status.code(), support::StatusCode::kNotFound);
+  EXPECT_EQ(trace_back->total_bytes, 9876u);
+
+  HealthReply health;
+  health.health_json = "{\"subsystems\":{\"journal\":{\"ok\":true}}}";
+  const auto health_back = decode_health_reply(encode_health_reply(health));
+  ASSERT_TRUE(health_back.ok());
+  EXPECT_TRUE(health_back->status.ok());
+  EXPECT_EQ(health_back->health_json, health.health_json);
 
   ResultReply result;
   result.total_bytes = 1u << 20;
@@ -180,20 +196,139 @@ TEST(WireFramer, LargeFrameCrossesASmallPipe) {
   // Frame far larger than the pipe buffer: the writer must chunk through
   // backpressure while the reader drains, with the bytes intact.
   PipePair pipe = make_pipe(/*capacity=*/1024);
-  StatsReply reply;
-  reply.stats_json.assign(200000, 'x');
-  reply.stats_json += "end";
+  ResultChunk chunk;
+  chunk.last = true;
+  chunk.data.assign(200000, 'x');
+  chunk.data += "end";
   std::thread writer([&] {
     Framer framer(*pipe.client);
-    ASSERT_TRUE(framer.write_frame(encode_stats_reply(reply)).ok());
+    ASSERT_TRUE(framer.write_frame(encode_result_chunk(chunk)).ok());
   });
   Framer server(*pipe.server);
   const auto frame = server.read_frame();
   writer.join();
   ASSERT_TRUE(frame.ok());
-  const auto back = decode_stats_reply(*frame);
+  const auto back = decode_result_chunk(*frame);
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->stats_json, reply.stats_json);
+  EXPECT_EQ(back->data, chunk.data);
+}
+
+// --- chunk streaming -------------------------------------------------------
+
+TEST(WireChunks, BlobLargerThanOneChunkStreamsAndReassembles) {
+  // Forces multiple kResultChunk frames (blob > kResultChunkBytes) over
+  // a pipe smaller than one chunk: backpressure on the writer, in-order
+  // reassembly on the reader, byte-exact either way. This is the path
+  // that keeps kStats/kTrace replies clear of kMaxFramePayload.
+  PipePair pipe = make_pipe(/*capacity=*/4096);
+  std::string blob;
+  blob.reserve(3 * kResultChunkBytes + 17);
+  while (blob.size() < 3 * kResultChunkBytes + 17) {
+    blob += "stats-or-trace-payload/";
+  }
+  std::thread writer([&] {
+    Framer framer(*pipe.client);
+    ASSERT_TRUE(write_chunked(framer, blob).ok());
+  });
+  Framer server(*pipe.server);
+  const auto back = read_chunked(server, blob.size());
+  writer.join();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, blob);
+}
+
+TEST(WireChunks, EmptyBlobStillSendsOneTerminatingChunk) {
+  PipePair pipe = make_pipe();
+  Framer client(*pipe.client);
+  ASSERT_TRUE(write_chunked(client, "").ok());
+  Framer server(*pipe.server);
+  const auto back = read_chunked(server, 0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(WireChunks, SequenceGapIsCorrupt) {
+  PipePair pipe = make_pipe();
+  Framer client(*pipe.client);
+  ResultChunk chunk;
+  chunk.sequence = 1;  // reader expects 0 first
+  chunk.last = true;
+  chunk.data = "abc";
+  ASSERT_TRUE(client.write_frame(encode_result_chunk(chunk)).ok());
+  Framer server(*pipe.server);
+  const auto back = read_chunked(server, 3);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), support::StatusCode::kCorrupt);
+}
+
+TEST(WireChunks, TotalSizeMismatchIsCorrupt) {
+  PipePair pipe = make_pipe();
+  Framer client(*pipe.client);
+  ResultChunk chunk;
+  chunk.last = true;
+  chunk.data = "abc";
+  ASSERT_TRUE(client.write_frame(encode_result_chunk(chunk)).ok());
+  Framer server(*pipe.server);
+  const auto back = read_chunked(server, 4);  // header promised 4 bytes
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), support::StatusCode::kCorrupt);
+}
+
+// --- trace-event blob codec ------------------------------------------------
+
+TEST(WireCodec, TraceEventsRoundTripByteExact) {
+  std::vector<obs::TraceEvent> events(2);
+  events[0].name = "sched.job";
+  events[0].cat = "sched";
+  events[0].trace_id = 0x1111222233334444ull;
+  events[0].span_id = 7;
+  events[0].parent_span_id = 3;
+  events[0].ts_us = 100;
+  events[0].dur_us = 2500;
+  events[0].pid = 2;
+  events[0].tid = 4;
+  events[0].ph = 'X';
+  events[0].args = {{"job", "42"}, {"shard", "0"}};
+  events[1].name = "engine.inside";
+  events[1].cat = "engine";
+  events[1].trace_id = events[0].trace_id;
+  events[1].span_id = 8;
+  events[1].parent_span_id = 7;
+  events[1].ts_us = 150;
+  events[1].ph = 'i';
+
+  const auto back = decode_trace_events(encode_trace_events(events));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ((*back)[i].name, events[i].name);
+    EXPECT_EQ((*back)[i].cat, events[i].cat);
+    EXPECT_EQ((*back)[i].trace_id, events[i].trace_id);
+    EXPECT_EQ((*back)[i].span_id, events[i].span_id);
+    EXPECT_EQ((*back)[i].parent_span_id, events[i].parent_span_id);
+    EXPECT_EQ((*back)[i].ts_us, events[i].ts_us);
+    EXPECT_EQ((*back)[i].dur_us, events[i].dur_us);
+    EXPECT_EQ((*back)[i].pid, events[i].pid);
+    EXPECT_EQ((*back)[i].tid, events[i].tid);
+    EXPECT_EQ((*back)[i].ph, events[i].ph);
+    EXPECT_EQ((*back)[i].args, events[i].args);
+  }
+}
+
+TEST(WireCodec, CorruptTraceBlobIsCorruptNotAnAllocationBomb) {
+  // A count field claiming 4 billion events must fail cleanly, not
+  // reserve memory for them.
+  const std::string bomb("\xFF\xFF\xFF\xFF", 4);
+  EXPECT_EQ(decode_trace_events(bomb).status().code(),
+            support::StatusCode::kCorrupt);
+  // Truncated mid-event.
+  std::string good = encode_trace_events(
+      std::vector<obs::TraceEvent>(1));
+  good.resize(good.size() / 2);
+  EXPECT_EQ(decode_trace_events(good).status().code(),
+            support::StatusCode::kCorrupt);
+  EXPECT_EQ(decode_trace_events("").status().code(),
+            support::StatusCode::kCorrupt);
 }
 
 TEST(WireFramer, PeerCloseAtFrameBoundaryIsUnavailable) {

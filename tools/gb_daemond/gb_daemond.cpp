@@ -10,6 +10,7 @@
 //              [--workers N] [--mode inside|injected|outside]
 //              [--advanced] [--kill-after N] [--json] [--metrics]
 //              [--fresh]
+//   gb_daemond --journal FILE --flight-recorder [--last N]
 //
 //   --journal FILE   job journal path (required; reused across runs —
 //                    an existing journal is replayed, that IS restart)
@@ -22,6 +23,11 @@
 //   --json           machine-readable daemon stats on stdout
 //   --metrics        Prometheus exposition after the run
 //   --fresh          delete the journal first (repeatable demo runs)
+//   --flight-recorder  don't serve: dump the flight-recorder event file
+//                    (journal + ".events") of a previous — possibly
+//                    crashed — incarnation and exit. A torn tail marks
+//                    the crash point; everything before it replays.
+//   --last N         with --flight-recorder, only the last N events
 //
 // Exit code: 0 when every job produced a report and detection matched
 // ground truth, 1 otherwise, 2 on usage error.
@@ -36,6 +42,7 @@
 #include "daemon/daemon.h"
 #include "daemon/transport.h"
 #include "gb_daemond/sim_fleet.h"
+#include "obs/event_log.h"
 
 namespace {
 
@@ -53,7 +60,36 @@ struct RunFlags {
   bool json = false;
   bool metrics = false;
   bool fresh = false;  // delete the journal first (for repeatable runs)
+  bool flight_recorder = false;  // dump mode: replay the event file
+  std::size_t last = 0;          // 0 = all events
 };
+
+/// `--flight-recorder`: post-mortem dump of the persisted event log.
+int dump_flight_recorder(const RunFlags& flags) {
+  const std::string path = flags.journal + ".events";
+  auto events = obs::EventLog::read_file(path);
+  if (!events.ok()) {
+    std::fprintf(stderr, "gb_daemond: cannot read %s: %s\n", path.c_str(),
+                 events.status().to_string().c_str());
+    return 1;
+  }
+  std::size_t begin = 0;
+  if (flags.last > 0 && events->size() > flags.last) {
+    begin = events->size() - flags.last;
+  }
+  std::printf("flight recorder: %zu event(s) in %s%s\n", events->size(),
+              path.c_str(),
+              begin > 0 ? " (showing the tail)" : "");
+  for (std::size_t i = begin; i < events->size(); ++i) {
+    const obs::LogEvent& e = (*events)[i];
+    std::printf("%6llu  %10.3fms  %-18s job=%-5llu %s\n",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<double>(e.ts_us) / 1000.0,
+                obs::event_type_name(e.type),
+                static_cast<unsigned long long>(e.job_id), e.detail.c_str());
+  }
+  return 0;
+}
 
 /// Daemon + wire client over one in-process pipe pair. Scoped so the
 /// crash drill can tear one incarnation down and start the next.
@@ -108,6 +144,8 @@ int main(int argc, char** argv) {
     else if (arg == "--json") flags.json = true;
     else if (arg == "--metrics") flags.metrics = true;
     else if (arg == "--fresh") flags.fresh = true;
+    else if (arg == "--flight-recorder") flags.flight_recorder = true;
+    else if (arg == "--last") flags.last = std::stoull(need_value());
     else if (arg == "--mode") {
       const std::string mode = need_value();
       if (mode == "inside") flags.kind = core::ScanKind::kInside;
@@ -119,8 +157,12 @@ int main(int argc, char** argv) {
     }
   }
   if (flags.journal.empty()) return usage("--journal is required");
+  if (flags.flight_recorder) return dump_flight_recorder(flags);
   if (flags.fleet == 0) return usage("--fleet must be positive");
-  if (flags.fresh) (void)std::remove(flags.journal.c_str());
+  if (flags.fresh) {
+    (void)std::remove(flags.journal.c_str());
+    (void)std::remove((flags.journal + ".events").c_str());
+  }
 
   fleet_sim::SimFleet fleet = fleet_sim::build_sim_fleet(flags.fleet, flags.seed);
 

@@ -56,6 +56,10 @@ constexpr RuleInfo kRules[] = {
      "(inside_scan/injected_scan/outside_scan/capture_inside_high/"
      "outside_diff): go through ScanEngine::run(JobSpec), or "
      "open_session()/rescan() for repeat scans"},
+    {"metric-name-format",
+     "literal metric names must be gb_<subsystem>_<name> (lowercase "
+     "underscore segments) and literal span names <subsystem>.<verb>: "
+     "the grep-ability contract docs/observability.md indexes"},
 };
 
 // --- path scoping ----------------------------------------------------------
@@ -94,6 +98,8 @@ bool rule_applies(std::string_view rule, Scope scope, bool is_header) {
 
 struct FileView {
   std::vector<std::string> code;  // literals/comments blanked to spaces
+  std::vector<std::string> raw;   // original lines (rules that must read
+                                  // string literals index these)
   // allowed[i] holds rule ids waived for line i (0-based): an allow()
   // covers its own line and the line below it.
   std::vector<std::vector<std::string>> allowed;
@@ -141,6 +147,7 @@ FileView build_view(std::string_view content) {
 
   FileView view;
   view.code.assign(lines.size(), std::string());
+  view.raw = lines;
   view.allowed.assign(lines.size(), {});
 
   enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
@@ -579,6 +586,93 @@ struct Linter {
     }
   }
 
+  void rule_metric_name_format() {
+    if (!enabled("metric-name-format")) return;
+    // The contract is on LITERAL names only: a name built at runtime
+    // ("gb_" + kind + "_total", "scan." + type) can't be checked
+    // statically and is skipped, not flagged.
+    const auto literal_after = [&](std::size_t li, std::size_t open)
+        -> std::pair<bool, std::string> {
+      const std::string& raw = view.raw[li];
+      std::size_t i = skip_spaces(raw, open + 1);
+      if (i >= raw.size() || raw[i] != '"') return {false, {}};
+      std::string lit;
+      for (++i; i < raw.size() && raw[i] != '"'; ++i) {
+        if (raw[i] == '\\') return {false, {}};  // escaped: not a plain name
+        lit.push_back(raw[i]);
+      }
+      if (i >= raw.size()) return {false, {}};  // spans lines: punt
+      // The literal must be the WHOLE argument: `"diff." + kind` is a
+      // runtime-built name whose literal prefix proves nothing.
+      const std::size_t next = skip_spaces(raw, i + 1);
+      if (next < raw.size() && raw[next] != ',' && raw[next] != ')') {
+        return {false, {}};
+      }
+      return {true, lit};
+    };
+    const auto segments_ok = [](std::string_view name, char sep,
+                                std::size_t min_segments) {
+      std::size_t segs = 0, len = 0;
+      for (const char c : name) {
+        if (c == sep) {
+          if (len == 0) return false;  // empty segment
+          ++segs;
+          len = 0;
+        } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                   (sep == '.' && c == '_')) {
+          ++len;
+        } else {
+          return false;
+        }
+      }
+      if (len == 0) return false;
+      return segs + 1 >= min_segments;
+    };
+    for (std::size_t li = 0; li < view.code.size(); ++li) {
+      const std::string& line = view.code[li];
+      struct Mint {
+        std::string_view fn;
+        bool metric;  // false: span name
+      };
+      for (const Mint mint :
+           {Mint{"counter", true}, Mint{"gauge", true},
+            Mint{"histogram", true}, Mint{"span", false},
+            Mint{"instant", false}, Mint{"record_span", false}}) {
+        for (std::size_t pos : find_word(line, mint.fn)) {
+          // Member-call syntax only: definitions and same-named free
+          // functions are not registry/tracer mints.
+          if (pos == 0 ||
+              (line[pos - 1] != '.' && !preceded_by(line, pos, "->"))) {
+            continue;
+          }
+          const std::size_t open = skip_spaces(line, pos + mint.fn.size());
+          if (open >= line.size() || line[open] != '(') continue;
+          const auto [is_literal, name] = literal_after(li, open);
+          if (!is_literal) continue;
+          if (mint.metric) {
+            // gb_<subsystem>_<name>: "gb" plus >= 2 more segments.
+            const bool ok = name.rfind("gb_", 0) == 0 &&
+                            segments_ok(name, '_', 3);
+            if (!ok) {
+              report("metric-name-format", li,
+                     "metric '" + name +
+                         "' does not match gb_<subsystem>_<name> "
+                         "(lowercase [a-z0-9] underscore segments)");
+            }
+          } else {
+            const bool ok = segments_ok(name, '.', 2);
+            if (!ok) {
+              report("metric-name-format", li,
+                     "span '" + name +
+                         "' does not match <subsystem>.<verb> "
+                         "(lowercase dot-separated segments)");
+            }
+          }
+        }
+      }
+    }
+  }
+
   void rule_raw_transport_io() {
     if (!enabled("raw-transport-io")) return;
     const std::string base = std::filesystem::path(path).filename().string();
@@ -640,6 +734,7 @@ struct Linter {
     rule_raw_thread();
     rule_legacy_scan_entry();
     rule_raw_transport_io();
+    rule_metric_name_format();
   }
 };
 
