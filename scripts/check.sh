@@ -33,7 +33,16 @@ echo "== build"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 echo "== gb_lint sweep (also enforced by ctest -L lint)"
-"${BUILD_DIR}/tools/gb_lint" src tests bench examples tools
+"${BUILD_DIR}/tools/gb_lint" --workers "${JOBS}" src tests bench examples tools
+
+echo "== gb_lint lock-graph sweep (cross-TU ordering + hold-and-block)"
+# The concurrency rules alone, as their own gate: a zero here means the
+# whole tree has one global lock order and every blocking-under-lock
+# site carries a reviewed waiver.
+"${BUILD_DIR}/tools/gb_lint" --workers "${JOBS}" \
+  --only lock-order-cycle --only blocking-under-lock \
+  --only unannotated-guarded-member \
+  src tests bench examples tools
 
 echo "== ctest (full suite, includes -L lint and -L incremental)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
@@ -79,6 +88,17 @@ fi
 if grep -q '"overhead_ok":false' "${BUILD_DIR}/bench_obs.json"; then
   echo "bench_obs: telemetry overhead exceeded the 3% budget" >&2
   exit 1
+fi
+
+echo "== thread-safety analysis (Clang -Wthread-safety over the annotations)"
+if command -v clang++ >/dev/null 2>&1; then
+  TS_BUILD_DIR="${BUILD_DIR}-threadsafety"
+  cmake -B "${TS_BUILD_DIR}" -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DGB_THREAD_SAFETY=ON
+  cmake --build "${TS_BUILD_DIR}" -j "${JOBS}"
+else
+  echo "   clang++ not found; skipping (GB_GUARDED_BY/GB_REQUIRES compile"
+  echo "   to no-ops elsewhere — install clang to run the analysis)"
 fi
 
 echo "== check.sh: all green"

@@ -10,6 +10,7 @@
 #include "machine/machine.h"
 #include "obs/trace.h"
 #include "support/strings.h"
+#include "support/thread_annotations.h"
 
 namespace gb::core {
 
@@ -34,30 +35,13 @@ const char* job_phase_name(JobPhase phase) {
 
 namespace internal {
 
-/// Everything one submitted job carries through its life. Result, phase
-/// transitions and the queue bookkeeping are guarded by the owning
-/// SchedulerCore's mutex (lock order: core mutex only — JobState has no
-/// lock of its own); `phase` is additionally atomic so progress() can
-/// snapshot it without contending with dispatch.
-struct JobState {
-  std::uint64_t id = 0;
-  std::string tenant;
-  int priority = 0;
-  JobSpec spec;
-  support::CancelToken token;
-  support::TaskCounter counter;
-  SteadyClock::time_point submit_time{};
-  double queue_seconds = 0;  // set at dispatch
-
-  std::shared_ptr<SchedulerCore> core;
-  std::condition_variable cv;  // waits on core->mu
-  std::atomic<JobPhase> phase{JobPhase::kQueued};
-  support::StatusOr<Report> result;
-};
+struct JobState;
 
 /// Shared scheduler state. Held by shared_ptr from the scheduler and
 /// from every JobState, so a ScanJob handle that outlives its scheduler
 /// can still lock the mutex and read its (by then completed) result.
+/// Defined before JobState so the latter's GB_GUARDED_BY(core->mu)
+/// annotation sees a complete type.
 struct SchedulerCore {
   struct Tenant {
     std::uint32_t weight = 1;
@@ -78,31 +62,31 @@ struct SchedulerCore {
     obs::Gauge* deficit_gauge = nullptr;
   };
 
-  mutable std::mutex mu;
+  mutable support::Mutex mu;
   std::condition_variable idle_cv;
-  bool paused = false;
-  bool shutdown = false;
-  std::uint64_t next_id = 1;
-  std::size_t max_dispatchers = 1;
-  std::size_t dispatchers = 0;  // drain tasks currently alive
-  std::size_t running = 0;      // jobs currently on a worker
-  std::size_t queued_total = 0;
+  bool paused GB_GUARDED_BY(mu) = false;
+  bool shutdown GB_GUARDED_BY(mu) = false;
+  std::uint64_t next_id GB_GUARDED_BY(mu) = 1;
+  std::size_t max_dispatchers = 1;  // set once at construction
+  std::size_t dispatchers GB_GUARDED_BY(mu) = 0;  // drain tasks alive
+  std::size_t running GB_GUARDED_BY(mu) = 0;  // jobs currently on a worker
+  std::size_t queued_total GB_GUARDED_BY(mu) = 0;
 
-  std::map<std::string, Tenant> tenants;
+  std::map<std::string, Tenant> tenants GB_GUARDED_BY(mu);
   /// Round-robin ring of tenant ids with queued work; cursor_ points at
   /// the tenant currently spending its deficit.
-  std::vector<std::string> ring;
-  std::size_t cursor = 0;
+  std::vector<std::string> ring GB_GUARDED_BY(mu);
+  std::size_t cursor GB_GUARDED_BY(mu) = 0;
 
   /// Jobs not yet complete, so shutdown can cancel them. Keyed by id.
-  std::map<std::uint64_t, std::shared_ptr<JobState>> live;
+  std::map<std::uint64_t, std::shared_ptr<JobState>> live GB_GUARDED_BY(mu);
 
   /// Sessions with a job queued or running. ScanSession is not
   /// thread-safe, so submit() rejects a second job for a session already
   /// here — two dispatchers must never drive the same snapshot store
   /// concurrently. Entries leave when their job completes (served,
   /// cancelled, or shutdown).
-  std::set<ScanSession*> sessions_inflight;
+  std::set<ScanSession*> sessions_inflight GB_GUARDED_BY(mu);
 
   /// Telemetry sink (see ScanScheduler::Options::metrics). `owned` is
   /// set when the options left metrics null; `metrics` always points at
@@ -120,6 +104,35 @@ struct SchedulerCore {
   obs::Gauge* running_gauge = nullptr;
 };
 
+/// Everything one submitted job carries through its life. Result, phase
+/// transitions and the queue bookkeeping are guarded by the owning
+/// SchedulerCore's mutex (lock order: core mutex only — JobState has no
+/// lock of its own); `phase` is additionally atomic so progress() can
+/// snapshot it without contending with dispatch.
+struct JobState {
+  std::uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;
+  JobSpec spec;
+  support::CancelToken token;
+  support::TaskCounter counter;
+  SteadyClock::time_point submit_time{};
+  double queue_seconds = 0;  // set at dispatch
+
+  std::shared_ptr<SchedulerCore> core;
+  std::condition_variable cv;  // waits on core->mu
+  std::atomic<JobPhase> phase{JobPhase::kQueued};
+  support::StatusOr<Report> result GB_GUARDED_BY(core->mu);
+};
+
+/// Reads a completed job's result without the core lock. Safe only once
+/// phase == kDone: the result is write-once and the phase store releases
+/// it; Clang cannot see that protocol, so the accessor opts out.
+inline support::StatusOr<Report>& done_result(JobState& st)
+    GB_NO_THREAD_SAFETY_ANALYSIS {
+  return st.result;
+}
+
 namespace {
 
 using Tenant = SchedulerCore::Tenant;
@@ -127,7 +140,8 @@ using Tenant = SchedulerCore::Tenant;
 /// Looks up (creating if absent) a tenant and lazily mints its registry
 /// handles, so every Tenant in the map has non-null counters. Requires
 /// core.mu held.
-Tenant& tenant_locked(SchedulerCore& core, const std::string& name) {
+Tenant& tenant_locked(SchedulerCore& core, const std::string& name)
+    GB_REQUIRES(core.mu) {
   Tenant& t = core.tenants[name];
   if (t.submitted == nullptr) {
     const obs::Labels labels{{"tenant", name}};
@@ -139,7 +153,8 @@ Tenant& tenant_locked(SchedulerCore& core, const std::string& name) {
   return t;
 }
 
-void enter_ring_locked(SchedulerCore& core, const std::string& tenant) {
+void enter_ring_locked(SchedulerCore& core, const std::string& tenant)
+    GB_REQUIRES(core.mu) {
   Tenant& t = tenant_locked(core, tenant);
   if (!t.in_ring) {
     t.in_ring = true;
@@ -151,7 +166,7 @@ void enter_ring_locked(SchedulerCore& core, const std::string& tenant) {
 /// Requires core.mu held and st.phase == kQueued; the queue entry stays
 /// behind and is skipped when dispatch reaches it.
 void complete_cancelled_locked(SchedulerCore& core, JobState& st,
-                               const char* why) {
+                               const char* why) GB_REQUIRES(core.mu) {
   st.token.cancel();
   st.result = support::Status::cancelled(why);
   st.phase.store(JobPhase::kDone, std::memory_order_release);
@@ -170,7 +185,8 @@ void complete_cancelled_locked(SchedulerCore& core, JobState& st,
 /// has credit and work, then moves on. One call pops one job (already
 /// transitioned to kRunning, with queue latency stamped) or returns
 /// nullptr when nothing is dispatchable. Requires core.mu held.
-std::shared_ptr<JobState> pop_locked(SchedulerCore& core) {
+std::shared_ptr<JobState> pop_locked(SchedulerCore& core)
+    GB_REQUIRES(core.mu) {
   while (!core.ring.empty()) {
     if (core.cursor >= core.ring.size()) core.cursor = 0;
     Tenant& t = tenant_locked(core, core.ring[core.cursor]);
@@ -290,7 +306,7 @@ void run_job(SchedulerCore& core, JobState& st) {
   }
   if (st.spec.on_complete) st.spec.on_complete(st.id, result);
 
-  std::lock_guard<std::mutex> lk(core.mu);
+  support::MutexLock lk(core.mu);
   Tenant& t = tenant_locked(core, st.tenant);
   if (!result.ok() &&
       result.status().code() == support::StatusCode::kCancelled) {
@@ -321,7 +337,7 @@ void drain(const std::shared_ptr<SchedulerCore>& core) {
   for (;;) {
     std::shared_ptr<JobState> job;
     {
-      std::unique_lock<std::mutex> lk(core->mu);
+      support::MutexLock lk(core->mu);
       if (!core->paused && !core->shutdown) job = pop_locked(*core);
       if (!job) {
         --core->dispatchers;
@@ -346,8 +362,8 @@ const std::string& ScanJob::tenant() const { return state_->tenant; }
 
 support::StatusOr<Report>& ScanJob::wait() {
   internal::JobState& st = *state_;
-  std::unique_lock<std::mutex> lk(st.core->mu);
-  st.cv.wait(lk, [&] {
+  support::CondLock lk(st.core->mu);
+  st.cv.wait(lk.native(), [&] {
     return st.phase.load(std::memory_order_acquire) == JobPhase::kDone;
   });
   return st.result;
@@ -355,7 +371,7 @@ support::StatusOr<Report>& ScanJob::wait() {
 
 support::StatusOr<Report>* ScanJob::try_result() {
   internal::JobState& st = *state_;
-  std::lock_guard<std::mutex> lk(st.core->mu);
+  support::MutexLock lk(st.core->mu);
   return st.phase.load(std::memory_order_acquire) == JobPhase::kDone
              ? &st.result
              : nullptr;
@@ -366,7 +382,7 @@ bool ScanJob::cancel() {
   internal::JobState& st = *state_;
   bool completed_here = false;
   {
-    std::lock_guard<std::mutex> lk(st.core->mu);
+    support::MutexLock lk(st.core->mu);
     const JobPhase phase = st.phase.load(std::memory_order_acquire);
     if (phase == JobPhase::kDone || st.token.cancelled()) return false;
     if (phase == JobPhase::kQueued) {
@@ -381,7 +397,7 @@ bool ScanJob::cancel() {
   // caller's own locks). The result is stable: a cancelled-while-queued
   // job is done and will never be dispatched again.
   if (completed_here && st.spec.on_complete) {
-    st.spec.on_complete(st.id, st.result);
+    st.spec.on_complete(st.id, internal::done_result(st));
   }
   return true;
 }
@@ -461,7 +477,12 @@ ScanScheduler::ScanScheduler() : ScanScheduler(Options{}) {}
 ScanScheduler::ScanScheduler(Options opts)
     : core_(std::make_shared<internal::SchedulerCore>()),
       pool_(opts.workers) {
-  core_->paused = opts.start_paused;
+  {
+    // No concurrency yet, but `paused` is guarded state and the lock is
+    // uncontended — cheaper than an analysis escape hatch.
+    support::MutexLock lk(core_->mu);
+    core_->paused = opts.start_paused;
+  }
   core_->max_dispatchers = std::max<std::size_t>(1, pool_.size());
   if (opts.metrics != nullptr) {
     core_->metrics = opts.metrics;
@@ -495,7 +516,7 @@ ScanScheduler::~ScanScheduler() {
   // leave these JobStates destroyed before the hook loop below.
   std::vector<std::shared_ptr<internal::JobState>> queued;
   {
-    std::lock_guard<std::mutex> lk(core_->mu);
+    support::MutexLock lk(core_->mu);
     core_->shutdown = true;
     // Complete everything still queued as cancelled (it never ran) and
     // raise the token of everything running so it bails out at the next
@@ -519,7 +540,9 @@ ScanScheduler::~ScanScheduler() {
   }
   // Completion hooks for shutdown-cancelled jobs fire outside the lock.
   for (const auto& st : queued) {
-    if (st->spec.on_complete) st->spec.on_complete(st->id, st->result);
+    if (st->spec.on_complete) {
+      st->spec.on_complete(st->id, internal::done_result(*st));
+    }
   }
   wait_idle();
   // pool_ (declared after core_) is destroyed first, joining any worker
@@ -528,7 +551,7 @@ ScanScheduler::~ScanScheduler() {
 
 void ScanScheduler::set_tenant_weight(const std::string& tenant,
                                       std::uint32_t weight) {
-  std::lock_guard<std::mutex> lk(core_->mu);
+  support::MutexLock lk(core_->mu);
   internal::tenant_locked(*core_, tenant).weight =
       std::max<std::uint32_t>(1, weight);
 }
@@ -552,7 +575,7 @@ support::StatusOr<ScanJob> ScanScheduler::submit(JobSpec spec) {
   st->core = core_;
   st->submit_time = SteadyClock::now();
   {
-    std::lock_guard<std::mutex> lk(core_->mu);
+    support::MutexLock lk(core_->mu);
     if (core_->shutdown) {
       return support::Status::unavailable("scheduler is shutting down");
     }
@@ -590,7 +613,7 @@ support::StatusOr<ScanJob> ScanScheduler::submit(JobSpec spec) {
 
 void ScanScheduler::resume() {
   {
-    std::lock_guard<std::mutex> lk(core_->mu);
+    support::MutexLock lk(core_->mu);
     core_->paused = false;
   }
   maybe_spawn_dispatchers();
@@ -599,7 +622,7 @@ void ScanScheduler::resume() {
 void ScanScheduler::maybe_spawn_dispatchers() {
   std::size_t to_spawn = 0;
   {
-    std::lock_guard<std::mutex> lk(core_->mu);
+    support::MutexLock lk(core_->mu);
     if (core_->paused || core_->shutdown) return;
     // Each running job pins its dispatcher, so the demand is running +
     // queued — a submit arriving while every dispatcher is mid-job must
@@ -610,16 +633,21 @@ void ScanScheduler::maybe_spawn_dispatchers() {
     core_->dispatchers += to_spawn;
   }
   // Submitted OUTSIDE the lock: on a 0-worker pool submit() runs the
-  // drain inline, and drain locks the same mutex.
+  // drain inline, and drain locks the same mutex. Callers (the daemon)
+  // may hold their own lock across ScanScheduler::submit; that is safe
+  // because drain only ever takes core->mu and completion callbacks are
+  // invoked from pool workers, never inline under a caller's lock when
+  // the pool has dedicated workers — the documented deployment shape.
   for (std::size_t i = 0; i < to_spawn; ++i) {
     auto core = core_;
+    // gb-lint: allow(blocking-under-lock)
     pool_.submit([core] { internal::drain(core); });
   }
 }
 
 void ScanScheduler::wait_idle() {
-  std::unique_lock<std::mutex> lk(core_->mu);
-  core_->idle_cv.wait(lk, [&] {
+  support::CondLock lk(core_->mu);
+  core_->idle_cv.wait(lk.native(), [&] {
     return core_->queued_total == 0 && core_->running == 0 &&
            core_->dispatchers == 0;
   });
@@ -632,7 +660,7 @@ SchedulerStats ScanScheduler::stats() const {
     return static_cast<std::uint64_t>(c->value());
   };
   SchedulerStats s;
-  std::lock_guard<std::mutex> lk(core_->mu);
+  support::MutexLock lk(core_->mu);
   s.queue_depth = core_->queued_total;
   s.running = core_->running;
   s.total_queue_seconds = core_->queue_seconds_total->value();

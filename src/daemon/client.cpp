@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "daemon/wire.h"
+#include "support/thread_annotations.h"
 
 namespace gb::client {
 
@@ -50,7 +51,7 @@ class InProcessHandle final : public internal::HandleImpl {
 
   const JobResult& wait() override {
     support::StatusOr<core::Report>& result = job_.wait();
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     fill_locked(result);
     return result_;
   }
@@ -58,7 +59,7 @@ class InProcessHandle final : public internal::HandleImpl {
   const JobResult* try_result() override {
     support::StatusOr<core::Report>* result = job_.try_result();
     if (result == nullptr) return nullptr;
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     fill_locked(*result);
     return &result_;
   }
@@ -71,7 +72,8 @@ class InProcessHandle final : public internal::HandleImpl {
 
  private:
   // Serializes the report once; later calls reuse the cached JSON.
-  void fill_locked(support::StatusOr<core::Report>& result) {
+  void fill_locked(support::StatusOr<core::Report>& result)
+      GB_REQUIRES(mu_) {
     if (cached_) return;
     if (result.ok()) {
       result_.report_json = result->to_json();
@@ -82,9 +84,9 @@ class InProcessHandle final : public internal::HandleImpl {
   }
 
   core::ScanJob job_;
-  std::mutex mu_;
-  bool cached_ = false;
-  JobResult result_;
+  support::Mutex mu_;
+  bool cached_ GB_GUARDED_BY(mu_) = false;
+  JobResult result_ GB_GUARDED_BY(mu_);
 };
 
 }  // namespace
@@ -151,22 +153,27 @@ struct WireConnection {
   explicit WireConnection(std::shared_ptr<daemon::Transport> t)
       : transport(std::move(t)), framer(*transport) {}
 
-  std::mutex mu;
+  support::Mutex mu;
   std::shared_ptr<daemon::Transport> transport;
-  daemon::Framer framer;
+  daemon::Framer framer GB_GUARDED_BY(mu);
   /// Set on the first transport/protocol failure; later RPCs fail fast.
-  bool broken = false;
+  bool broken GB_GUARDED_BY(mu) = false;
 
   /// Sends `request` and reads one reply frame. Caller holds mu.
   [[nodiscard]] support::StatusOr<std::vector<std::byte>> roundtrip_locked(
-      const std::vector<std::byte>& request) {
+      const std::vector<std::byte>& request) GB_REQUIRES(mu) {
     if (broken) {
       return support::Status::unavailable("client: connection is broken");
     }
+    // Frame I/O under mu is the design, not an accident: the connection
+    // lock exists precisely to serialize request/reply pairs on one
+    // socket. Releasing it mid-roundtrip would interleave frames.
+    // gb-lint: allow(blocking-under-lock)
     if (support::Status s = framer.write_frame(request); !s.ok()) {
       broken = true;
       return s;
     }
+    // gb-lint: allow(blocking-under-lock)
     support::StatusOr<std::vector<std::byte>> reply = framer.read_frame();
     if (!reply.ok()) broken = true;
     return reply;
@@ -207,7 +214,7 @@ class DaemonHandle final : public internal::HandleImpl {
   [[nodiscard]] std::uint64_t id() const override { return id_; }
 
   const JobResult& wait() override {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     if (cached_) return result_;
     result_ = fetch_result();
     cached_ = true;
@@ -216,7 +223,7 @@ class DaemonHandle final : public internal::HandleImpl {
 
   const JobResult* try_result() override {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      support::MutexLock lk(mu_);
       if (cached_) return &result_;
     }
     support::StatusOr<daemon::PollReply> poll = poll_rpc();
@@ -227,7 +234,7 @@ class DaemonHandle final : public internal::HandleImpl {
   }
 
   bool cancel() override {
-    std::lock_guard<std::mutex> conn_lk(conn_->mu);
+    support::MutexLock conn_lk(conn_->mu);
     support::StatusOr<std::vector<std::byte>> frame = expect_verb(
         conn_->roundtrip_locked(daemon::encode_cancel(id_)),
         daemon::Verb::kCancelReply);
@@ -250,7 +257,7 @@ class DaemonHandle final : public internal::HandleImpl {
 
  private:
   support::StatusOr<daemon::PollReply> poll_rpc() {
-    std::lock_guard<std::mutex> conn_lk(conn_->mu);
+    support::MutexLock conn_lk(conn_->mu);
     support::StatusOr<std::vector<std::byte>> frame =
         expect_verb(conn_->roundtrip_locked(daemon::encode_poll(id_)),
                     daemon::Verb::kPollReply);
@@ -266,7 +273,7 @@ class DaemonHandle final : public internal::HandleImpl {
     obs::TraceContextScope trace_scope(ctx_);
     auto span = obs::default_tracer().span("client.wait", "client");
     span.arg("job", std::to_string(id_));
-    std::lock_guard<std::mutex> conn_lk(conn_->mu);
+    support::MutexLock conn_lk(conn_->mu);
     support::StatusOr<std::vector<std::byte>> frame = expect_verb(
         conn_->roundtrip_locked(daemon::encode_result(id_)),
         daemon::Verb::kResultReply);
@@ -299,9 +306,9 @@ class DaemonHandle final : public internal::HandleImpl {
   std::shared_ptr<WireConnection> conn_;
   std::uint64_t id_;
   obs::TraceContext ctx_;
-  std::mutex mu_;
-  bool cached_ = false;
-  JobResult result_;
+  support::Mutex mu_;
+  bool cached_ GB_GUARDED_BY(mu_) = false;
+  JobResult result_ GB_GUARDED_BY(mu_);
 };
 
 }  // namespace
@@ -317,7 +324,7 @@ support::StatusOr<JobHandle> DaemonClient::submit(const JobSpec& spec) {
   // the id (the daemon derives the same context from that id — no ids
   // cross the wire backwards).
   auto span = obs::default_tracer().span("client.submit", "client");
-  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::MutexLock lk(conn_->mu);
   support::StatusOr<std::vector<std::byte>> frame =
       expect_verb(conn_->roundtrip_locked(daemon::encode_submit(spec)),
                   daemon::Verb::kSubmitReply);
@@ -346,7 +353,7 @@ JobHandle DaemonClient::attach(std::uint64_t job_id) {
 }
 
 support::StatusOr<daemon::StatsReply> DaemonClient::stats_rpc() {
-  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::MutexLock lk(conn_->mu);
   support::StatusOr<std::vector<std::byte>> frame =
       expect_verb(conn_->roundtrip_locked(daemon::encode_stats()),
                   daemon::Verb::kStatsReply);
@@ -384,7 +391,7 @@ support::StatusOr<std::string> DaemonClient::metrics_text() {
 
 support::StatusOr<std::vector<obs::TraceEvent>> DaemonClient::trace(
     std::uint64_t job_id) {
-  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::MutexLock lk(conn_->mu);
   support::StatusOr<std::vector<std::byte>> frame =
       expect_verb(conn_->roundtrip_locked(daemon::encode_trace(job_id)),
                   daemon::Verb::kTraceReply);
@@ -409,7 +416,7 @@ support::StatusOr<std::vector<obs::TraceEvent>> DaemonClient::trace(
 }
 
 support::StatusOr<std::string> DaemonClient::health_json() {
-  std::lock_guard<std::mutex> lk(conn_->mu);
+  support::MutexLock lk(conn_->mu);
   support::StatusOr<std::vector<std::byte>> frame =
       expect_verb(conn_->roundtrip_locked(daemon::encode_health()),
                   daemon::Verb::kHealthReply);

@@ -128,7 +128,7 @@ support::Status Daemon::init() {
   // at-most-once result store, pending jobs (submitted, maybe started,
   // never terminal) go back on their shards.
   const JournalReplay& replay = journal_->replay();
-  std::unique_lock<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   next_id_ = replay.next_job_id;
   counters_.journal_truncated_bytes = replay.truncated_bytes;
   if (replay.truncated_bytes > 0) {
@@ -168,7 +168,7 @@ support::Status Daemon::init() {
 
 Daemon::~Daemon() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     shutting_down_ = true;
   }
   close_connections();
@@ -191,7 +191,7 @@ double Daemon::now_seconds() const {
 }
 
 support::StatusOr<std::uint64_t> Daemon::submit(const JobRequest& request) {
-  std::unique_lock<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   if (shutting_down_ || killed_) {
     return support::Status::unavailable("daemon: shutting down");
   }
@@ -269,7 +269,12 @@ void Daemon::dispatch_locked(JobRecord& rec) {
                                 support::StatusOr<core::Report>& result) {
     on_job_complete(id, result);
   };
+  // Dispatch under mu is the journal-before-acknowledge invariant: the
+  // job record, shard assignment, and journal entry must be one atomic
+  // step or a crash between them orphans the job. The shard's pool has
+  // dedicated workers, so submit() enqueues without running work inline.
   support::StatusOr<core::ScanJob> handle =
+      // gb-lint: allow(blocking-under-lock)
       shards_[rec.shard]->submit(std::move(spec));
   if (!handle.ok()) {
     finish_locked(rec, handle.status(), "");
@@ -335,7 +340,7 @@ void Daemon::on_job_complete(std::uint64_t id,
       }
     }
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   if (killed_) return;
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return;
@@ -354,7 +359,7 @@ void Daemon::on_job_complete(std::uint64_t id,
 }
 
 support::StatusOr<JobView> Daemon::poll(std::uint64_t job_id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return support::Status::not_found("daemon: no job " +
@@ -378,14 +383,14 @@ support::StatusOr<JobView> Daemon::poll(std::uint64_t job_id) const {
 }
 
 support::StatusOr<std::string> Daemon::wait_result(std::uint64_t job_id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  support::CondLock lk(mu_);
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return support::Status::not_found("daemon: no job " +
                                       std::to_string(job_id));
   }
   JobRecord& rec = *it->second;
-  done_cv_.wait(lk, [&] { return rec.done || killed_; });
+  done_cv_.wait(lk.native(), [&] { return rec.done || killed_; });
   if (!rec.done) {
     return support::Status::unavailable("daemon: killed while waiting");
   }
@@ -396,7 +401,7 @@ support::StatusOr<std::string> Daemon::wait_result(std::uint64_t job_id) {
 support::StatusOr<bool> Daemon::cancel_job(std::uint64_t job_id) {
   JobRecord* rec = nullptr;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     const auto it = jobs_.find(job_id);
     if (it == jobs_.end()) {
       return support::Status::not_found("daemon: no job " +
@@ -423,8 +428,8 @@ support::StatusOr<bool> Daemon::cancel_job(std::uint64_t job_id) {
 
 void Daemon::wait_idle() {
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] {
+    support::CondLock lk(mu_);
+    done_cv_.wait(lk.native(), [&] {
       if (killed_) return true;
       for (const auto& [id, rec] : jobs_) {
         if (!rec->done) return false;
@@ -442,7 +447,7 @@ void Daemon::wait_idle() {
 }
 
 DaemonStats Daemon::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   DaemonStats stats = counters_;
   stats.shards = shards_.empty() ? opts_.shards : shards_.size();
   for (const auto& [tenant, rejections] : limiter_->rejections()) {
@@ -465,7 +470,7 @@ std::string Daemon::metrics_text() const {
 }
 
 std::string Daemon::health_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const std::uint64_t journal_failures = counters_.journal_append_failures;
   const std::uint64_t truncated = counters_.journal_truncated_bytes;
   // Torn bytes mean the last incarnation crashed mid-append; the tail
@@ -546,7 +551,7 @@ std::string Daemon::health_json() const {
 
 support::StatusOr<obs::TraceContext> Daemon::job_trace_context(
     std::uint64_t job_id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return support::Status::not_found("daemon: no job " +
@@ -570,7 +575,7 @@ support::StatusOr<std::vector<obs::TraceEvent>> Daemon::trace_events(
 
 void Daemon::serve(std::shared_ptr<Transport> connection) {
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    support::MutexLock lk(conns_mu_);
     std::erase_if(conns_, [](const std::weak_ptr<Transport>& conn) {
       return conn.expired();
     });
@@ -741,7 +746,7 @@ void Daemon::serve_connection(const std::shared_ptr<Transport>& connection) {
 }
 
 void Daemon::close_connections() {
-  std::lock_guard<std::mutex> lk(conns_mu_);
+  support::MutexLock lk(conns_mu_);
   for (const std::weak_ptr<Transport>& weak : conns_) {
     if (std::shared_ptr<Transport> conn = weak.lock()) conn->close();
   }
@@ -756,7 +761,7 @@ void Daemon::kill() {
   event_log_.append(obs::EventType::kKill, 0, "simulated SIGKILL");
   dying_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     killed_ = true;
     shutting_down_ = true;
   }

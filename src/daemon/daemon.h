@@ -52,6 +52,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/status.h"
+#include "support/thread_annotations.h"
 #include "support/thread_pool.h"
 
 namespace gb::daemon {
@@ -209,12 +210,12 @@ class Daemon {
   /// Resolves the machine, builds the JobSpec, and hands a journaled
   /// job to its shard; an unresolvable machine or a shard rejection
   /// becomes an immediate journaled terminal outcome. Caller holds mu_.
-  void dispatch_locked(JobRecord& rec);
+  void dispatch_locked(JobRecord& rec) GB_REQUIRES(mu_);
   /// Marks one record terminal: journals the outcome first (unless a
   /// durable cancel already decided it), then publishes in memory and
   /// wakes waiters. Caller holds mu_.
   void finish_locked(JobRecord& rec, const support::Status& status,
-                     std::string report_json);
+                     std::string report_json) GB_REQUIRES(mu_);
   void on_job_complete(std::uint64_t id,
                        support::StatusOr<core::Report>& result);
   /// Client-supplied trace ids if present, else derived from the job id.
@@ -229,17 +230,19 @@ class Daemon {
   /// teardown while kill() owns other state).
   std::atomic<bool> dying_{false};
 
-  mutable std::mutex mu_;
+  mutable support::Mutex mu_;
   std::condition_variable done_cv_;
-  bool shutting_down_ = false;
-  bool killed_ = false;
-  std::unique_ptr<JobJournal> journal_;
-  std::unique_ptr<RateLimiter> limiter_;
-  std::map<std::uint64_t, std::unique_ptr<JobRecord>> jobs_;
-  std::uint64_t next_id_ = 1;
-  std::map<std::string, std::uint64_t> tenant_submitted_;
-  std::map<std::string, std::size_t> tenant_outstanding_;
-  DaemonStats counters_;  // serving + replay counters (shard stats live)
+  bool shutting_down_ GB_GUARDED_BY(mu_) = false;
+  bool killed_ GB_GUARDED_BY(mu_) = false;
+  /// Created in init() before any concurrency; appended to under mu_.
+  std::unique_ptr<JobJournal> journal_ GB_PT_GUARDED_BY(mu_);
+  std::unique_ptr<RateLimiter> limiter_ GB_PT_GUARDED_BY(mu_);
+  std::map<std::uint64_t, std::unique_ptr<JobRecord>> jobs_ GB_GUARDED_BY(mu_);
+  std::uint64_t next_id_ GB_GUARDED_BY(mu_) = 1;
+  std::map<std::string, std::uint64_t> tenant_submitted_ GB_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> tenant_outstanding_ GB_GUARDED_BY(mu_);
+  /// Serving + replay counters (shard stats live).
+  DaemonStats counters_ GB_GUARDED_BY(mu_);
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;
   /// Flight recorder. Has its own mutex and never calls back into the
   /// daemon, so appending while holding mu_ is safe.
@@ -257,8 +260,8 @@ class Daemon {
 
   std::vector<std::unique_ptr<core::ScanScheduler>> shards_;
 
-  std::mutex conns_mu_;
-  std::vector<std::weak_ptr<Transport>> conns_;
+  support::Mutex conns_mu_;
+  std::vector<std::weak_ptr<Transport>> conns_ GB_GUARDED_BY(conns_mu_);
   /// Declared last: destroyed first, joining serve loops (unblocked by
   /// close_connections()) while everything they touch is still alive.
   support::ThreadPool serve_pool_;

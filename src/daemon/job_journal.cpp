@@ -204,6 +204,10 @@ support::Status JobJournal::append_record(std::span<const std::byte> payload) {
   frame.bytes(payload);
   out_.write(reinterpret_cast<const char*>(frame.buffer().data()),
              static_cast<std::streamsize>(frame.size()));
+  // Flushing under the daemon's lock is the durability contract: the
+  // journal record must hit the stream before the state change it
+  // describes becomes observable to any other thread.
+  // gb-lint: allow(blocking-under-lock)
   out_.flush();
   if (!out_) {
     return support::Status::unavailable("journal: append failed: " + path_);

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <utility>
 
+#include "support/thread_annotations.h"
+
 namespace gb::daemon {
 namespace {
 
@@ -12,20 +14,21 @@ namespace {
 // further writes will arrive; readers drain what is buffered, then see
 // EOF. Both endpoints share two of these, cross-wired.
 struct Pipe {
-  std::mutex mu;
+  support::Mutex mu;
   std::condition_variable readable;
   std::condition_variable writable;
-  std::deque<std::byte> buf;
-  std::size_t capacity = 0;
-  bool closed = false;
+  std::deque<std::byte> buf GB_GUARDED_BY(mu);
+  std::size_t capacity = 0;  // fixed at construction
+  bool closed GB_GUARDED_BY(mu) = false;
 
   explicit Pipe(std::size_t cap) : capacity(cap == 0 ? 1 : cap) {}
 
   support::Status write(std::span<const std::byte> data) {
     std::size_t off = 0;
-    std::unique_lock<std::mutex> lk(mu);
+    support::CondLock lk(mu);
     while (off < data.size()) {
-      writable.wait(lk, [&] { return closed || buf.size() < capacity; });
+      writable.wait(lk.native(),
+                    [&] { return closed || buf.size() < capacity; });
       if (closed) {
         return support::Status::unavailable("transport: peer closed");
       }
@@ -40,8 +43,8 @@ struct Pipe {
   }
 
   std::size_t read(std::span<std::byte> out) {
-    std::unique_lock<std::mutex> lk(mu);
-    readable.wait(lk, [&] { return closed || !buf.empty(); });
+    support::CondLock lk(mu);
+    readable.wait(lk.native(), [&] { return closed || !buf.empty(); });
     const std::size_t n = std::min(out.size(), buf.size());
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = buf.front();
@@ -52,7 +55,7 @@ struct Pipe {
   }
 
   void close_side() {
-    std::lock_guard<std::mutex> lk(mu);
+    support::MutexLock lk(mu);
     closed = true;
     readable.notify_all();
     writable.notify_all();

@@ -17,6 +17,9 @@ support::StatusOr<std::size_t> read_exact(Transport& t,
                                           std::span<std::byte> out) {
   std::size_t off = 0;
   while (off < out.size()) {
+    // Callers hold the connection lock across whole frames by design —
+    // it is what keeps concurrent requests from interleaving bytes.
+    // gb-lint: allow(blocking-under-lock)
     support::StatusOr<std::size_t> n = t.recv_bytes(out.subspan(off));
     if (!n.ok()) return n.status();
     if (*n == 0) break;  // EOF
@@ -81,6 +84,9 @@ support::Status Framer::write_frame(std::span<const std::byte> payload) {
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.u32(crc32(payload));
   w.bytes(payload);
+  // Same serialized-frame contract as read_exact above: the caller's
+  // connection lock is what makes a frame atomic on the wire.
+  // gb-lint: allow(blocking-under-lock)
   return transport_.send_bytes(w.view());
 }
 
@@ -242,6 +248,9 @@ support::StatusOr<std::string> read_chunked(Framer& framer,
   std::string out;
   out.reserve(expected_bytes);
   for (std::uint32_t expected_seq = 0;; ++expected_seq) {
+    // Chunked results stream over the same locked connection; dropping
+    // the lock between chunks would let another request interleave.
+    // gb-lint: allow(blocking-under-lock)
     support::StatusOr<std::vector<std::byte>> frame = framer.read_frame();
     if (!frame.ok()) return frame.status();
     support::StatusOr<Verb> verb = decode_verb(*frame);

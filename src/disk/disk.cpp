@@ -51,7 +51,7 @@ void MemDisk::check_range(std::uint64_t lba, std::size_t sectors) const {
 }
 
 void MemDisk::note_access(std::uint64_t lba, std::size_t sectors, bool write) {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  support::MutexLock g(stats_mu_);
   if (lba != last_lba_) ++stats_.seeks;
   last_lba_ = lba + sectors;
   if (write) {

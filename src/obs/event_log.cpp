@@ -164,7 +164,7 @@ EventLog::EventLog(std::size_t capacity)
 }
 
 support::Status EventLog::attach(const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   auto parsed = parse_file(path);
   if (!parsed.ok()) return parsed.status();
   if (parsed->fresh) {
@@ -179,6 +179,9 @@ support::Status EventLog::attach(const std::string& path) {
     put_u32(header, kFormatVersion);
     fresh.write(reinterpret_cast<const char*>(header.data()),
                 static_cast<std::streamsize>(header.size()));
+    // One-time file creation: the header must be durable before any
+    // appender can race in, and open() already holds mu for that reason.
+    // gb-lint: allow(blocking-under-lock)
     fresh.flush();
     if (!fresh) {
       return support::Status::internal("event log: cannot write " + path);
@@ -210,7 +213,7 @@ support::Status EventLog::attach(const std::string& path) {
 
 void EventLog::append(EventType type, std::uint64_t job_id,
                       std::string detail) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   LogEvent e;
   e.seq = next_seq_++;
   e.type = type;
@@ -236,6 +239,10 @@ void EventLog::append(EventType type, std::uint64_t job_id,
     frame.insert(frame.end(), payload.begin(), payload.end());
     file_.write(reinterpret_cast<const char*>(frame.data()),
                 static_cast<std::streamsize>(frame.size()));
+    // Flush-per-record under mu is the event log's durability contract:
+    // a record is either fully on disk or never acknowledged, and the
+    // lock is what keeps frames from interleaving mid-write.
+    // gb-lint: allow(blocking-under-lock)
     file_.flush();
     if (!file_) {
       ++write_failures_;
@@ -246,7 +253,7 @@ void EventLog::append(EventType type, std::uint64_t job_id,
 }
 
 std::vector<LogEvent> EventLog::recent(std::size_t n) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const std::uint64_t held =
       next_seq_ < capacity_ ? next_seq_ : static_cast<std::uint64_t>(capacity_);
   const std::uint64_t want = (n == 0 || n > held) ? held : n;
@@ -259,12 +266,12 @@ std::vector<LogEvent> EventLog::recent(std::size_t n) const {
 }
 
 std::uint64_t EventLog::appended() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   return next_seq_;
 }
 
 std::uint64_t EventLog::write_failures() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   return write_failures_;
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "support/status.h"
+#include "support/thread_annotations.h"
 
 namespace gb::obs {
 
@@ -90,14 +91,14 @@ class EventLog {
       const std::string& path);
 
  private:
-  mutable std::mutex mu_;
+  mutable support::Mutex mu_;
   std::size_t capacity_;
-  std::vector<LogEvent> ring_;   // ring_[seq % capacity_]
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t write_failures_ = 0;
+  std::vector<LogEvent> ring_ GB_GUARDED_BY(mu_);  // ring_[seq % capacity_]
+  std::uint64_t next_seq_ GB_GUARDED_BY(mu_) = 0;
+  std::uint64_t write_failures_ GB_GUARDED_BY(mu_) = 0;
   std::chrono::steady_clock::time_point epoch_;
-  std::ofstream file_;
-  bool attached_ = false;
+  std::ofstream file_ GB_GUARDED_BY(mu_);
+  bool attached_ GB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gb::obs

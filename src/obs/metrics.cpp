@@ -226,14 +226,14 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
 }
 
 Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   Entry& e = find_or_create(name, labels, Kind::kCounter);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   Entry& e = find_or_create(name, labels, Kind::kGauge);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -242,7 +242,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> upper_bounds,
                                       Labels labels) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   Entry& e = find_or_create(name, labels, Kind::kHistogram);
   if (!e.histogram) {
     e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
@@ -262,18 +262,18 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   return entries_.size();
 }
 
 void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
   if (help.empty()) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   help_.emplace(std::string(name), std::string(help));  // first text wins
 }
 
 std::string MetricsRegistry::to_prometheus_text() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   // The exposition format wants every series of a family under one
   // # TYPE line, but labelled series are created interleaved with other
   // metrics — so group by name (stable: creation order within a family).
@@ -341,7 +341,7 @@ std::string MetricsRegistry::to_prometheus_text() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   std::ostringstream os;
   os << '[';
   bool first = true;

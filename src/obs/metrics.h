@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/thread_annotations.h"
+
 namespace gb::obs {
 
 /// Label set attached to one metric instance, e.g. {{"tenant","corp"}}.
@@ -184,12 +186,16 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& find_or_create(std::string_view name, Labels& labels, Kind kind);
+  Entry& find_or_create(std::string_view name, Labels& labels, Kind kind)
+      GB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
-  std::map<std::string, std::size_t> index_;     // name+labels -> entry
-  std::map<std::string, std::string> help_;      // family -> # HELP text
+  mutable support::Mutex mu_;
+  /// Registration order.
+  std::vector<std::unique_ptr<Entry>> entries_ GB_GUARDED_BY(mu_);
+  /// name+labels -> entry.
+  std::map<std::string, std::size_t> index_ GB_GUARDED_BY(mu_);
+  /// family -> # HELP text.
+  std::map<std::string, std::string> help_ GB_GUARDED_BY(mu_);
 };
 
 /// Process-wide registry: what the CLI's --metrics flag exports, and the

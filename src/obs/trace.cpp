@@ -199,13 +199,13 @@ void Tracer::record_span(std::string_view name, std::string_view cat,
 
 void Tracer::record(TraceEvent e) {
   Buffer& buf = *buffers_[internal::thread_slot()];
-  std::lock_guard<std::mutex> lk(buf.mu);
+  support::MutexLock lk(buf.mu);
   buf.events.push_back(std::move(e));
 }
 
 void Tracer::clear() {
   for (auto& buf : buffers_) {
-    std::lock_guard<std::mutex> lk(buf->mu);
+    support::MutexLock lk(buf->mu);
     buf->events.clear();
   }
 }
@@ -213,7 +213,7 @@ void Tracer::clear() {
 std::size_t Tracer::event_count() const {
   std::size_t n = 0;
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> lk(buf->mu);
+    support::MutexLock lk(buf->mu);
     n += buf->events.size();
   }
   return n;
@@ -222,7 +222,7 @@ std::size_t Tracer::event_count() const {
 std::vector<TraceEvent> Tracer::snapshot(std::uint64_t trace_id) const {
   std::vector<TraceEvent> events;
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> lk(buf->mu);
+    support::MutexLock lk(buf->mu);
     for (const TraceEvent& e : buf->events) {
       if (trace_id == 0 || e.trace_id == trace_id) events.push_back(e);
     }

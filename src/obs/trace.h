@@ -40,6 +40,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/thread_annotations.h"
+
 namespace gb::obs {
 
 class Tracer;
@@ -216,8 +218,8 @@ class Tracer {
   friend class ScopedSpan;
 
   struct Buffer {
-    std::mutex mu;
-    std::vector<TraceEvent> events;
+    support::Mutex mu;
+    std::vector<TraceEvent> events GB_GUARDED_BY(mu);
   };
 
   [[nodiscard]] std::uint64_t now_us() const;

@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
   stop_.store(true);
   {
     // Serialize with workers between their predicate check and sleep.
-    std::lock_guard<std::mutex> g(sleep_mu_);
+    MutexLock g(sleep_mu_);
   }
   wake_.notify_all();
   for (auto& t : threads_) t.join();
@@ -61,7 +61,7 @@ void ThreadPool::push(std::function<void()> task) {
     target = next_queue_.fetch_add(1) % queues_.size();
   }
   {
-    std::lock_guard<std::mutex> g(queues_[target]->mu);
+    MutexLock g(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   const std::size_t depth = pending_.fetch_add(1) + 1;
@@ -69,7 +69,7 @@ void ThreadPool::push(std::function<void()> task) {
     m_queue_depth_->max_of(static_cast<double>(depth));
   }
   {
-    std::lock_guard<std::mutex> g(sleep_mu_);
+    MutexLock g(sleep_mu_);
   }
   wake_.notify_one();
 }
@@ -79,7 +79,7 @@ bool ThreadPool::try_run_one(std::size_t home) {
   std::function<void()> task;
   // Own deque first, newest-first (the task most likely still in cache).
   if (home < n) {
-    std::lock_guard<std::mutex> g(queues_[home]->mu);
+    MutexLock g(queues_[home]->mu);
     if (!queues_[home]->tasks.empty()) {
       task = std::move(queues_[home]->tasks.back());
       queues_[home]->tasks.pop_back();
@@ -91,7 +91,7 @@ bool ThreadPool::try_run_one(std::size_t home) {
     for (std::size_t k = 1; k <= n && !task; ++k) {
       const std::size_t victim = (home + k) % n;
       if (victim == home) continue;
-      std::lock_guard<std::mutex> g(queues_[victim]->mu);
+      MutexLock g(queues_[victim]->mu);
       if (!queues_[victim]->tasks.empty()) {
         task = std::move(queues_[victim]->tasks.front());
         queues_[victim]->tasks.pop_front();
@@ -123,8 +123,8 @@ void ThreadPool::worker_loop(std::size_t index) {
   tls_index = index;
   for (;;) {
     if (try_run_one(index)) continue;
-    std::unique_lock<std::mutex> lk(sleep_mu_);
-    wake_.wait(lk, [this] {
+    CondLock lk(sleep_mu_);
+    wake_.wait(lk.native(), [this] {
       return stop_.load() || pending_.load() > 0;
     });
     if (stop_.load() && pending_.load() == 0) return;

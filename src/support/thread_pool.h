@@ -38,6 +38,7 @@
 
 #include "obs/metrics.h"
 #include "support/cancel.h"
+#include "support/thread_annotations.h"
 
 namespace gb::support {
 
@@ -98,8 +99,8 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks GB_GUARDED_BY(mu);
   };
 
   void push(std::function<void()> task);
@@ -117,7 +118,10 @@ class ThreadPool {
   obs::Histogram* m_task_seconds_ = nullptr;
   obs::Gauge* m_busy_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
-  std::mutex sleep_mu_;
+  // Pure handshake mutex: it guards the sleep predicate (the atomics
+  // below), not any data member, so nothing is GB_GUARDED_BY it.
+  // gb-lint: allow(unannotated-guarded-member)
+  Mutex sleep_mu_;
   std::condition_variable wake_;
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> next_queue_{0};

@@ -1,0 +1,24 @@
+// MUST-FIRE fixture for [blocking-under-lock]: pool submission while a
+// mutex is held. On a zero-worker pool submit() runs the task inline;
+// if the task (or a completion callback) takes the same mutex, the
+// thread deadlocks against itself — and even with workers, an unbounded
+// queue wait stalls every other user of the lock.
+#include <mutex>
+
+#include "support/thread_annotations.h"
+
+struct Pool {
+  void submit(void (*task)());
+};
+
+struct Runner {
+  std::mutex mu;
+  int pending GB_GUARDED_BY(mu) = 0;
+  Pool pool_;
+
+  void kick(void (*task)()) {
+    std::lock_guard<std::mutex> g(mu);
+    ++pending;
+    pool_.submit(task);
+  }
+};

@@ -1,0 +1,28 @@
+// MUST-FIRE fixture for [lock-order-cycle]: two paths acquire the same
+// pair of mutexes in opposite orders. Thread one parks in transfer()
+// holding a_mu_ while thread two parks in refund() holding b_mu_ —
+// classic ABBA deadlock, invisible to any single-function review.
+#include <mutex>
+
+#include "support/thread_annotations.h"
+
+struct Ledger {
+  std::mutex a_mu_;
+  std::mutex b_mu_;
+  int a GB_GUARDED_BY(a_mu_) = 0;
+  int b GB_GUARDED_BY(b_mu_) = 0;
+
+  void transfer() {
+    std::lock_guard<std::mutex> ga(a_mu_);
+    std::lock_guard<std::mutex> hb(b_mu_);
+    --a;
+    ++b;
+  }
+
+  void refund() {
+    std::lock_guard<std::mutex> hb(b_mu_);
+    std::lock_guard<std::mutex> ga(a_mu_);
+    --b;
+    ++a;
+  }
+};

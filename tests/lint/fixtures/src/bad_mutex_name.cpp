@@ -1,11 +1,16 @@
 // MUST-FIRE fixture for [mutex-name]: a mutex whose name does not end in
-// mu/_mu hides which state it guards from reviewers.
+// mu/_mu hides which state it guards from reviewers. The members are
+// annotated so only the naming rule fires — an annotation cannot rescue
+// a name that says nothing.
 #include <mutex>
+
+#include "support/thread_annotations.h"
 
 struct Stats {
   std::mutex stats_lock;  // guards count
   std::mutex mutex;       // says nothing at all
-  int count = 0;
+  int count GB_GUARDED_BY(stats_lock) = 0;
+  int other GB_GUARDED_BY(mutex) = 0;
 };
 
 void bump(Stats& s) {

@@ -1,0 +1,6 @@
+// MUST-FIRE fixture for [stale-waiver]: an allow() naming a real,
+// enabled rule that suppresses nothing on its line. The violation it
+// once covered was refactored away; the waiver stayed behind, ready to
+// silently absorb the next genuine violation that lands there.
+// gb-lint: allow(naked-new)
+int answer() { return 42; }

@@ -1,0 +1,17 @@
+// MUST-FIRE fixture for [unannotated-guarded-member]: a mutex member
+// that no GB_GUARDED_BY/GB_REQUIRES ever names. The lock exists, state
+// sits next to it, and nothing records which fields it protects — the
+// next writer has to guess, and Clang's -Wthread-safety has nothing to
+// check.
+#include <mutex>
+
+struct Cache {
+  std::mutex mu;
+  int hits = 0;
+  int misses = 0;
+};
+
+void record_hit(Cache& c) {
+  std::lock_guard<std::mutex> g(c.mu);
+  ++c.hits;
+}

@@ -1,0 +1,33 @@
+// MUST-PASS fixture for [blocking-under-lock]: the bookkeeping happens
+// under the mutex, the submission after it is released — the pattern the
+// rule pushes code toward. The condition-variable wait is also fine:
+// cv.wait(lk) RELEASES the lock while blocked, which is the one
+// hold-and-block shape that is correct by construction.
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.h"
+
+struct Pool {
+  void submit(void (*task)());
+};
+
+struct Runner {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending GB_GUARDED_BY(mu) = 0;
+  Pool pool_;
+
+  void kick(void (*task)()) {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      ++pending;
+    }
+    pool_.submit(task);
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [this] { return pending == 0; });
+  }
+};

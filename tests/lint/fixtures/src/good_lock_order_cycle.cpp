@@ -1,0 +1,33 @@
+// MUST-PASS fixture for [lock-order-cycle]: the same two mutexes as the
+// bad fixture, but every path agrees on one global order (a before b) —
+// and std::scoped_lock over both is also fine, because an atomic
+// all-or-nothing acquisition cannot participate in an ordering cycle.
+#include <mutex>
+
+#include "support/thread_annotations.h"
+
+struct Ledger {
+  std::mutex a_mu_;
+  std::mutex b_mu_;
+  int a GB_GUARDED_BY(a_mu_) = 0;
+  int b GB_GUARDED_BY(b_mu_) = 0;
+
+  void transfer() {
+    std::lock_guard<std::mutex> ga(a_mu_);
+    std::lock_guard<std::mutex> hb(b_mu_);
+    --a;
+    ++b;
+  }
+
+  void refund() {
+    std::lock_guard<std::mutex> ga(a_mu_);
+    std::lock_guard<std::mutex> hb(b_mu_);
+    --b;
+    ++a;
+  }
+
+  void audit() {
+    std::scoped_lock both(a_mu_, b_mu_);
+    a = b;
+  }
+};

@@ -3,10 +3,13 @@
 // local.
 #include <mutex>
 
+#include "support/thread_annotations.h"
+
 struct Stats {
   mutable std::mutex stats_mu_;  // guards count
   std::mutex mu;
-  int count = 0;
+  int count GB_GUARDED_BY(stats_mu_) = 0;
+  int other GB_GUARDED_BY(mu) = 0;
 };
 
 void bump(Stats& s, std::mutex& extern_mu) {

@@ -1,0 +1,4 @@
+// MUST-PASS fixture for [stale-waiver]: the waiver below suppresses a
+// real naked-new finding, so it is live, not stale.
+// gb-lint: allow(naked-new)
+int* leak_singleton() { return new int(1); }

@@ -1,0 +1,20 @@
+// MUST-PASS fixture for [unannotated-guarded-member]: every mutex
+// member is named by at least one annotation — GB_GUARDED_BY on the
+// state it protects, or GB_REQUIRES on a method contract.
+#include <mutex>
+
+#include "support/thread_annotations.h"
+
+struct Cache {
+  std::mutex mu;
+  mutable std::mutex stats_mu_;
+  int hits GB_GUARDED_BY(mu) = 0;
+  int misses GB_GUARDED_BY(mu) = 0;
+
+  void flush_stats_locked() GB_REQUIRES(stats_mu_);
+};
+
+void record_hit(Cache& c) {
+  std::lock_guard<std::mutex> g(c.mu);
+  ++c.hits;
+}

@@ -1,6 +1,7 @@
 // MUST-PASS fixture for the inline-suppression path: each violation
 // below carries a `gb-lint: allow(...)` waiver, on the same line or the
-// line above, including a multi-rule allow.
+// line above, including a multi-rule allow — and every waiver earns its
+// keep by suppressing a real finding, so stale-waiver stays quiet too.
 #include <mutex>
 #include <thread>
 
@@ -14,6 +15,7 @@ int* leak_registry() { return new int(7); }
 
 void hammer(void (*fn)()) {
   // gb-lint: allow(raw-thread, mutex-name)
-  std::thread t(fn);
+  std::mutex big_lock; std::thread t(fn);
   t.join();
+  (void)big_lock;
 }

@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "gb_lint/lock_graph.h"
 
 namespace {
 
@@ -54,6 +58,13 @@ constexpr Fixtures kFixtures[] = {
      "good_legacy_scan_entry.cpp"},
     {"metric-name-format", "bad_metric_name_format.cpp",
      "good_metric_name_format.cpp"},
+    {"lock-order-cycle", "bad_lock_order_cycle.cpp",
+     "good_lock_order_cycle.cpp"},
+    {"blocking-under-lock", "bad_blocking_under_lock.cpp",
+     "good_blocking_under_lock.cpp"},
+    {"unannotated-guarded-member", "bad_unannotated_guarded_member.cpp",
+     "good_unannotated_guarded_member.cpp"},
+    {"stale-waiver", "bad_stale_waiver.cpp", "good_stale_waiver.cpp"},
 };
 
 TEST(LintRules, EveryRuleFiresOnItsBadFixture) {
@@ -125,13 +136,17 @@ TEST(LintSuppressions, InlineAllowSilencesNamedRulesOnly) {
   EXPECT_EQ(unsuppressed[0].rule, "naked-new");
   EXPECT_EQ(unsuppressed[1].rule, "raw-thread");
 
-  // An allow() for a different rule does not waive the finding.
+  // An allow() for a different rule does not waive the finding — and is
+  // itself reported stale, because it suppressed nothing.
   const auto wrong_rule = gb::lint::lint_content(
       "src/wrong.cpp",
       "// gb-lint: allow(catch-all)\n"
       "int* leak() { return new int(7); }\n");
-  ASSERT_EQ(wrong_rule.size(), 1u);
-  EXPECT_EQ(wrong_rule[0].rule, "naked-new");
+  ASSERT_EQ(wrong_rule.size(), 2u);
+  EXPECT_EQ(wrong_rule[0].rule, "stale-waiver");
+  EXPECT_EQ(wrong_rule[0].line, 1u);
+  EXPECT_EQ(wrong_rule[1].rule, "naked-new");
+  EXPECT_EQ(wrong_rule[1].line, 2u);
 }
 
 TEST(LintScoping, CommentsAndStringsNeverFire) {
@@ -197,6 +212,120 @@ TEST(LintTree, UnreadableFileIsAFindingNotACrash) {
   const auto findings = gb::lint::lint_file("/no/such/file.cpp");
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "io");
+}
+
+// The determinism contract the Options::workers doc promises: the full
+// tree sweep is byte-identical whether it runs inline or on 8 threads.
+TEST(LintTree, SweepIsByteIdenticalAcrossWorkerCounts) {
+  const std::string root = GB_LINT_REPO_ROOT;
+  const std::vector<std::string> roots = {root + "/src", root + "/tools"};
+  auto render = [&](std::size_t workers) {
+    Options opts;
+    opts.workers = workers;
+    const gb::lint::TreeReport report = gb::lint::lint_tree(roots, opts);
+    std::string out;
+    for (const auto& f : report.findings) out += f.to_string() + "\n";
+    out += std::to_string(report.files_scanned);
+    return out;
+  };
+  const std::string inline_run = render(0);
+  EXPECT_EQ(inline_run, render(1));
+  EXPECT_EQ(inline_run, render(2));
+  EXPECT_EQ(inline_run, render(8));
+}
+
+// --- the cycle detector, in isolation --------------------------------------
+
+using gb::lint::LockEdge;
+
+std::vector<std::vector<std::string>> cycles(
+    const std::vector<LockEdge>& edges) {
+  return gb::lint::detect_lock_cycles(edges);
+}
+
+TEST(LockCycles, TwoNodeInversionIsACycle) {
+  const auto got = cycles({{"A", "B", "f.cpp", 1},
+                           {"B", "A", "g.cpp", 2}});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(LockCycles, ThreeNodeRotationIsACycle) {
+  const auto got = cycles({{"A", "B", "f.cpp", 1},
+                           {"B", "C", "f.cpp", 2},
+                           {"C", "A", "f.cpp", 3}});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(LockCycles, DiamondIsNotACycle) {
+  // A before {B, C} before D: a consistent partial order, two paths to
+  // the same lock, zero deadlocks.
+  EXPECT_TRUE(cycles({{"A", "B", "f.cpp", 1},
+                      {"A", "C", "f.cpp", 2},
+                      {"B", "D", "f.cpp", 3},
+                      {"C", "D", "f.cpp", 4}})
+                  .empty());
+}
+
+TEST(LockCycles, SelfEdgeIsACycle) {
+  // Re-entrant acquisition (recursion under a non-recursive mutex).
+  const auto got = cycles({{"A", "A", "f.cpp", 1}});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (std::vector<std::string>{"A"}));
+}
+
+TEST(LockCycles, DisjointCyclesAreBothReported) {
+  const auto got = cycles({{"A", "B", "f.cpp", 1},
+                           {"B", "A", "f.cpp", 2},
+                           {"C", "D", "g.cpp", 3},
+                           {"D", "C", "g.cpp", 4}});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(got[1], (std::vector<std::string>{"C", "D"}));
+}
+
+// --- SARIF export ----------------------------------------------------------
+
+// The golden fixture pins the exact bytes: SARIF consumers (code-scanning
+// upload, diff-based CI gates) depend on the serialization not drifting.
+TEST(LintSarif, MatchesGoldenFixture) {
+  gb::lint::TreeReport report;
+  report.findings = gb::lint::lint_content(
+      "src/pool.cpp",
+      "#include <thread>\n"
+      "void spin() { std::thread t([] {}); t.join(); }\n");
+  report.files_scanned = 1;
+  const std::string got = gb::lint::to_sarif(report);
+
+  const std::string golden_path =
+      std::string(GB_LINT_REPO_ROOT) + "/tests/lint/golden/report.sarif";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << golden_path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(got, ss.str());
+}
+
+TEST(LintSarif, EveryRuleIsADescriptorAndEveryFindingIndexesOne) {
+  gb::lint::TreeReport report;
+  report.findings.push_back(
+      gb::lint::Finding{"src/a.cpp", 3, "naked-new", "msg with \"quotes\""});
+  report.findings.push_back(gb::lint::Finding{"src/b.cpp", 0, "io", "gone"});
+  const std::string sarif = gb::lint::to_sarif(report);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  for (const auto& rule : gb::lint::rules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  }
+  // Known rule: indexed into the descriptor table. Pseudo-rule "io":
+  // still a result, no ruleIndex, and a line of 0 omits the region.
+  EXPECT_NE(sarif.find("\"ruleId\": \"naked-new\", \"ruleIndex\": "),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"io\", \"level\""), std::string::npos);
+  EXPECT_NE(sarif.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
 }
 
 }  // namespace

@@ -8,7 +8,9 @@
 // is the finding count clamped to 1, so `gb_lint && git push` does what
 // it reads as.
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -19,11 +21,16 @@ namespace {
 void usage() {
   std::puts(
       "usage: gb_lint [--only RULE]... [--disable RULE]... [--exclude SUB]...\n"
-      "               [--list-rules] [--quiet] [path...]\n"
+      "               [--workers N] [--sarif FILE] [--list-rules] [--quiet]\n"
+      "               [path...]\n"
       "\n"
       "Enforces the GhostBuster correctness invariants over the source\n"
-      "tree. Suppress a single line with `// gb-lint: allow(rule-id)` on\n"
-      "that line or the one above.");
+      "tree, including the cross-TU lock-order and blocking-under-lock\n"
+      "analysis. Suppress a single line with `// gb-lint: allow(rule-id)`\n"
+      "on that line or the one above; a waiver that suppresses nothing is\n"
+      "itself a finding. --sarif writes the report as SARIF 2.1.0 for\n"
+      "code-scanning upload; --workers parallelizes the sweep (the\n"
+      "report is byte-identical at any worker count).");
 }
 
 }  // namespace
@@ -31,6 +38,7 @@ void usage() {
 int main(int argc, char** argv) {
   gb::lint::Options opts;
   std::vector<std::string> paths;
+  std::string sarif_path;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -57,6 +65,12 @@ int main(int argc, char** argv) {
       opts.disabled.emplace_back(take_value("--disable"));
     } else if (arg == "--exclude") {
       opts.excludes.emplace_back(take_value("--exclude"));
+    } else if (arg == "--workers") {
+      opts.workers =
+          static_cast<std::size_t>(std::strtoul(take_value("--workers"),
+                                                nullptr, 10));
+    } else if (arg == "--sarif") {
+      sarif_path = take_value("--sarif");
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -93,6 +107,14 @@ int main(int argc, char** argv) {
   const gb::lint::TreeReport report = gb::lint::lint_tree(paths, opts);
   for (const auto& finding : report.findings) {
     std::printf("%s\n", finding.to_string().c_str());
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "gb_lint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    out << gb::lint::to_sarif(report);
   }
   if (!quiet) {
     std::printf("gb_lint: %zu finding(s) in %zu file(s) scanned\n",

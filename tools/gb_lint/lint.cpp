@@ -7,9 +7,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <tuple>
+
+#include "gb_lint/lock_graph.h"
+#include "support/thread_pool.h"
 
 namespace gb::lint {
 
@@ -60,7 +66,31 @@ constexpr RuleInfo kRules[] = {
      "literal metric names must be gb_<subsystem>_<name> (lowercase "
      "underscore segments) and literal span names <subsystem>.<verb>: "
      "the grep-ability contract docs/observability.md indexes"},
+    {"lock-order-cycle",
+     "every thread acquires mutexes in one global order: the cross-TU "
+     "lock graph (acquired-while-held edges, calls resolved to a "
+     "fixpoint) must be cycle-free"},
+    {"blocking-under-lock",
+     "no pool submit, wait, join, frame/transport I/O, flush, or sleep "
+     "while a mutex is held (condition-variable waits release the lock "
+     "and are exempt); durability-ordered sites carry documented "
+     "waivers"},
+    {"unannotated-guarded-member",
+     "every mutex data member is referenced by a GB_GUARDED_BY/"
+     "GB_REQUIRES annotation in its file, keeping the Clang "
+     "-Wthread-safety contract (support/thread_annotations.h) complete "
+     "as code grows"},
+    {"stale-waiver",
+     "every gb-lint allow() must suppress at least one live finding: a "
+     "waiver that outlives its violation is deleted, not inherited by "
+     "the next unrelated bug on that line"},
 };
+
+bool graph_rule(std::string_view rule) {
+  // Judged only against the whole-tree lock graph: a single file rarely
+  // shows both halves of an inversion or a caller's held set.
+  return rule == "lock-order-cycle" || rule == "blocking-under-lock";
+}
 
 // --- path scoping ----------------------------------------------------------
 
@@ -82,7 +112,8 @@ Scope classify(const std::filesystem::path& path) {
 }
 
 bool rule_applies(std::string_view rule, Scope scope, bool is_header) {
-  if (rule == "catch-all") return true;  // every scope
+  // Every scope: swallowed exceptions and dead waivers mislead anywhere.
+  if (rule == "catch-all" || rule == "stale-waiver") return true;
   if (scope == Scope::kTests || scope == Scope::kBench ||
       scope == Scope::kExamples) {
     return false;  // harness code may use clocks/threads/news freely
@@ -91,18 +122,40 @@ bool rule_applies(std::string_view rule, Scope scope, bool is_header) {
                        rule == "raw-thread" || rule == "status-nodiscard";
   if (scope == Scope::kTools) return hygiene && rule != "status-nodiscard";
   if (rule == "status-nodiscard") return is_header;
-  return true;  // library scope: everything
+  return true;  // library scope: everything (incl. the lock rules)
+}
+
+bool rule_enabled(std::string_view rule, Scope scope, bool is_header,
+                  const Options& opts) {
+  if (!rule_applies(rule, scope, is_header)) return false;
+  if (!opts.only.empty() &&
+      std::find(opts.only.begin(), opts.only.end(), rule) ==
+          opts.only.end()) {
+    return false;
+  }
+  return std::find(opts.disabled.begin(), opts.disabled.end(), rule) ==
+         opts.disabled.end();
 }
 
 // --- code view: strip comments/strings, harvest allow() waivers ------------
+
+/// One `allow(rule)` entry from a waiver comment. `used` flips when the
+/// waiver actually suppresses a finding — the stale-waiver rule reports
+/// any that never flip.
+struct Allow {
+  std::string rule;
+  std::size_t line = 0;  // 0-based line of the comment
+  bool used = false;
+};
 
 struct FileView {
   std::vector<std::string> code;  // literals/comments blanked to spaces
   std::vector<std::string> raw;   // original lines (rules that must read
                                   // string literals index these)
-  // allowed[i] holds rule ids waived for line i (0-based): an allow()
-  // covers its own line and the line below it.
-  std::vector<std::vector<std::string>> allowed;
+  std::vector<Allow> allows;      // every waiver entry, in source order
+  // allowed[i] holds indices into `allows` covering line i (0-based):
+  // an allow() covers its own line and the line below it.
+  std::vector<std::vector<std::size_t>> allowed;
 };
 
 bool ident_char(char c) {
@@ -125,8 +178,20 @@ void harvest_allows(const std::string& comment, std::size_t line,
     const auto e = id.find_last_not_of(" \t");
     if (b == std::string::npos) continue;
     id = id.substr(b, e - b + 1);
-    view.allowed[line].push_back(id);
-    if (line + 1 < view.allowed.size()) view.allowed[line + 1].push_back(id);
+    // Rule ids are lowercase words and hyphens. Anything else here is
+    // documentation quoting the waiver syntax (`allow(rule-id[, ...])`),
+    // not a waiver — recording it would make the stale-waiver rule flag
+    // its own manual.
+    const bool id_like = !id.empty() &&
+                         std::all_of(id.begin(), id.end(), [](char c) {
+                           return (c >= 'a' && c <= 'z') ||
+                                  (c >= '0' && c <= '9') || c == '-';
+                         });
+    if (!id_like) continue;
+    const std::size_t idx = view.allows.size();
+    view.allows.push_back(Allow{std::move(id), line, false});
+    view.allowed[line].push_back(idx);
+    if (line + 1 < view.allowed.size()) view.allowed[line + 1].push_back(idx);
   }
 }
 
@@ -302,24 +367,25 @@ struct Linter {
   const std::string& path;
   Scope scope;
   bool is_header;
-  const FileView& view;
+  FileView& view;  // non-const: waived() marks the allow as used
   const Options& opts;
   std::vector<Finding>& out;
 
   [[nodiscard]] bool enabled(std::string_view rule) const {
-    if (!rule_applies(rule, scope, is_header)) return false;
-    if (!opts.only.empty() &&
-        std::find(opts.only.begin(), opts.only.end(), rule) ==
-            opts.only.end()) {
-      return false;
-    }
-    return std::find(opts.disabled.begin(), opts.disabled.end(), rule) ==
-           opts.disabled.end();
+    return rule_enabled(rule, scope, is_header, opts);
   }
 
-  [[nodiscard]] bool waived(std::string_view rule, std::size_t li) const {
-    const auto& ids = view.allowed[li];
-    return std::find(ids.begin(), ids.end(), rule) != ids.end();
+  // Marks every covering allow used, even after the first match — a
+  // duplicate waiver for the same rule must not read as stale.
+  [[nodiscard]] bool waived(std::string_view rule, std::size_t li) {
+    bool hit = false;
+    for (std::size_t idx : view.allowed[li]) {
+      if (view.allows[idx].rule == rule) {
+        view.allows[idx].used = true;
+        hit = true;
+      }
+    }
+    return hit;
   }
 
   void report(std::string_view rule, std::size_t li, std::string message) {
@@ -576,11 +642,13 @@ struct Linter {
           }
           const std::size_t next = skip_spaces(line, pos + name.size());
           if (next >= line.size() || line[next] != '(') continue;
-          report("legacy-scan-entry", li,
-                 "'" + std::string(name) +
-                     "' is a deprecated named scan entry point; use "
-                     "ScanEngine::run(JobSpec) — or open_session()/"
-                     "rescan() when the scan repeats");
+          std::string msg = "'";
+          msg += name;
+          msg +=
+              "' is a deprecated named scan entry point; use "
+              "ScanEngine::run(JobSpec) — or open_session()/"
+              "rescan() when the scan repeats";
+          report("legacy-scan-entry", li, msg);
         }
       }
     }
@@ -691,11 +759,13 @@ struct Linter {
           }
           const std::size_t next = skip_spaces(line, pos + name.size());
           if (next >= line.size() || line[next] != '(') continue;
-          report("raw-transport-io", li,
-                 "'" + std::string(name) +
-                     "' bypasses the CRC-framed wire protocol; go "
-                     "through daemon::Framer (or live in the "
-                     "transport/wire layer)");
+          std::string msg = "'";
+          msg += name;
+          msg +=
+              "' bypasses the CRC-framed wire protocol; go "
+              "through daemon::Framer (or live in the "
+              "transport/wire layer)";
+          report("raw-transport-io", li, msg);
         }
       }
     }
@@ -755,6 +825,133 @@ bool excluded(const std::filesystem::path& p, const Options& opts) {
   return false;
 }
 
+bool finding_less(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.rule, a.message) <
+         std::tie(b.file, b.line, b.rule, b.message);
+}
+
+/// Everything one file contributes to a sweep: its line-rule findings
+/// plus the inputs the cross-file passes need (the waiver table with
+/// usage marks, and the lock index).
+struct FileResult {
+  std::string path;
+  Scope scope = Scope::kLibrary;
+  bool is_header = false;
+  bool io_error = false;
+  FileView view;
+  LockIndexFile index;
+  std::vector<Finding> findings;
+};
+
+FileResult lint_one(const std::string& path, std::string_view content,
+                    const Options& opts) {
+  FileResult r;
+  r.path = path;
+  const std::filesystem::path p(path);
+  r.scope = classify(p);
+  r.is_header = p.extension() != ".cpp" && p.extension() != ".cc";
+  r.view = build_view(content);
+  Linter linter{path, r.scope, r.is_header, r.view, opts, r.findings};
+  linter.run();
+  const bool lock_pass =
+      r.scope == Scope::kLibrary &&
+      (rule_enabled("lock-order-cycle", r.scope, r.is_header, opts) ||
+       rule_enabled("blocking-under-lock", r.scope, r.is_header, opts) ||
+       rule_enabled("unannotated-guarded-member", r.scope, r.is_header,
+                    opts));
+  if (lock_pass) r.index = index_lock_file(path, r.view.code);
+  return r;
+}
+
+/// The passes that need more than one file: lock-graph findings and
+/// waiver staleness. `tree_mode` is false when linting a single buffer,
+/// in which case waivers for the two whole-graph rules are not judged —
+/// one file rarely shows both halves of an inversion or a caller's
+/// held set, and a waiver must not read as stale just because the sweep
+/// was narrow.
+void apply_cross_file(std::vector<FileResult*>& files, const Options& opts,
+                      bool tree_mode, std::vector<Finding>& out) {
+  std::map<std::string, FileResult*> by_path;
+  std::vector<LockIndexFile> indexes;
+  for (FileResult* r : files) {
+    by_path[r->path] = r;
+    if (!r->index.path.empty()) indexes.push_back(std::move(r->index));
+  }
+  for (const LockFinding& lf : analyze_lock_graph(indexes)) {
+    const auto it = by_path.find(lf.file);
+    if (it == by_path.end()) continue;
+    if (!rule_enabled(lf.rule, it->second->scope, it->second->is_header,
+                      opts)) {
+      continue;
+    }
+    // Any waived site suppresses the finding (for a cycle, waiving one
+    // edge acknowledges the whole ordering decision) — and every
+    // matching allow is marked used, keeping it off the stale list.
+    bool waived = false;
+    for (const auto& [file, line] : lf.sites) {
+      const auto st = by_path.find(file);
+      if (st == by_path.end()) continue;
+      FileView& view = st->second->view;
+      if (line >= view.allowed.size()) continue;
+      for (std::size_t idx : view.allowed[line]) {
+        if (view.allows[idx].rule == lf.rule) {
+          view.allows[idx].used = true;
+          waived = true;
+        }
+      }
+    }
+    if (waived) continue;
+    out.push_back(Finding{lf.file, lf.line + 1, lf.rule, lf.message});
+  }
+  // Waiver staleness, judged only after every rule — line-level and
+  // cross-file — has had its chance to mark allows used.
+  for (FileResult* r : files) {
+    if (!rule_enabled("stale-waiver", r->scope, r->is_header, opts)) {
+      continue;
+    }
+    for (const Allow& allow : r->view.allows) {
+      if (allow.used) continue;
+      if (!known_rule(allow.rule)) {
+        out.push_back(Finding{r->path, allow.line + 1, "stale-waiver",
+                              "allow(" + allow.rule +
+                                  ") names an unknown rule and can never "
+                                  "suppress anything (--list-rules)"});
+        continue;
+      }
+      if (graph_rule(allow.rule) && !tree_mode) continue;
+      if (!rule_enabled(allow.rule, r->scope, r->is_header, opts)) continue;
+      out.push_back(Finding{r->path, allow.line + 1, "stale-waiver",
+                            "allow(" + allow.rule +
+                                ") suppresses no finding; delete the "
+                                "waiver — a dead allow() silently absorbs "
+                                "the next real violation on its line"});
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string Finding::to_string() const {
@@ -773,17 +970,11 @@ bool known_rule(std::string_view id) {
 std::vector<Finding> lint_content(const std::string& path,
                                   std::string_view content,
                                   const Options& opts) {
-  const std::filesystem::path p(path);
-  const FileView view = build_view(content);
-  std::vector<Finding> findings;
-  Linter linter{path, classify(p), p.extension() != ".cpp" &&
-                                       p.extension() != ".cc",
-                view, opts, findings};
-  linter.run();
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return a.line < b.line || (a.line == b.line && a.rule < b.rule);
-            });
+  FileResult r = lint_one(path, content, opts);
+  std::vector<Finding> findings = std::move(r.findings);
+  std::vector<FileResult*> files{&r};
+  apply_cross_file(files, opts, /*tree_mode=*/false, findings);
+  std::sort(findings.begin(), findings.end(), finding_less);
   return findings;
 }
 
@@ -822,14 +1013,82 @@ TreeReport lint_tree(const std::vector<std::string>& roots,
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
-  for (const auto& f : files) {
-    auto found = lint_file(f, opts);
+  report.files_scanned = files.size();
+
+  // Per-file passes run concurrently into pre-sized slots; everything
+  // after the merge is serial, so the report is byte-identical at any
+  // worker count.
+  std::vector<FileResult> results(files.size());
+  support::ThreadPool pool(opts.workers);
+  pool.parallel_for(files.size(), [&](std::size_t i) {
+    std::ifstream in(files[i], std::ios::binary);
+    if (!in) {
+      results[i].path = files[i];
+      results[i].io_error = true;
+      return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    results[i] = lint_one(files[i], ss.str(), opts);
+  });
+
+  std::vector<FileResult*> ok;
+  ok.reserve(results.size());
+  for (FileResult& r : results) {
+    if (r.io_error) {
+      report.findings.push_back(Finding{r.path, 0, "io", "cannot open file"});
+      continue;
+    }
     report.findings.insert(report.findings.end(),
-                           std::make_move_iterator(found.begin()),
-                           std::make_move_iterator(found.end()));
-    ++report.files_scanned;
+                           std::make_move_iterator(r.findings.begin()),
+                           std::make_move_iterator(r.findings.end()));
+    ok.push_back(&r);
   }
+  apply_cross_file(ok, opts, /*tree_mode=*/true, report.findings);
+  std::sort(report.findings.begin(), report.findings.end(), finding_less);
   return report;
+}
+
+std::string to_sarif(const TreeReport& report) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\n"
+     << "      \"name\": \"gb_lint\",\n"
+     << "      \"version\": \"2.0.0\",\n"
+     << "      \"rules\": [\n";
+  const auto all = rules();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    os << "        {\"id\": \"" << all[i].id
+       << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(all[i].summary) << "\"}}"
+       << (i + 1 < all.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }},\n"
+     << "    \"results\": [\n";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    std::ptrdiff_t rule_index = -1;
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      if (all[r].id == f.rule) rule_index = static_cast<std::ptrdiff_t>(r);
+    }
+    os << "      {\"ruleId\": \"" << json_escape(f.rule) << "\", ";
+    if (rule_index >= 0) os << "\"ruleIndex\": " << rule_index << ", ";
+    os << "\"level\": \"error\", \"message\": {\"text\": \""
+       << json_escape(f.message)
+       << "\"}, \"locations\": [{\"physicalLocation\": "
+          "{\"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"}";
+    if (f.line > 0) os << ", \"region\": {\"startLine\": " << f.line << "}";
+    os << "}}]}" << (i + 1 < report.findings.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n"
+     << "  }]\n"
+     << "}\n";
+  return os.str();
 }
 
 }  // namespace gb::lint

@@ -66,6 +66,12 @@ struct Options {
   /// are always skipped (build trees and the known-bad lint corpus must
   /// never count as findings). Explicitly named files bypass excludes.
   std::vector<std::string> excludes;
+  /// Worker threads for tree sweeps (0 = inline on the caller). The
+  /// report is byte-identical at any worker count: per-file passes run
+  /// concurrently into pre-sized slots, and everything cross-file (the
+  /// lock graph, waiver staleness, the final sort) runs serially after
+  /// an index-ordered merge.
+  std::size_t workers = 0;
 };
 
 /// Lints `content` as if it were the file at `path` (which drives rule
@@ -86,8 +92,17 @@ struct TreeReport {
 };
 
 /// Recursively lints every .h/.cpp under each root (a root that is a
-/// regular file is linted directly), honoring Options::excludes.
+/// regular file is linted directly), honoring Options::excludes. Tree
+/// sweeps are where the cross-TU rules live: the lock-order /
+/// blocking-under-lock graph spans every library file swept together,
+/// and waivers for those rules are judged stale against the whole
+/// graph, not any single file.
 [[nodiscard]] TreeReport lint_tree(const std::vector<std::string>& roots,
                                    const Options& opts = {});
+
+/// Serializes a report as SARIF 2.1.0 (one run, every rule as a
+/// reportingDescriptor, findings with start-line regions) for code
+/// scanning upload. Deterministic: same report, same bytes.
+[[nodiscard]] std::string to_sarif(const TreeReport& report);
 
 }  // namespace gb::lint

@@ -1,0 +1,138 @@
+// Cross-translation-unit lock-order analysis for gb-lint.
+//
+// The line rules in lint.cpp are local: each looks at one line of one
+// file. The concurrency invariants they cannot see — "every thread
+// acquires mutexes in one global order" and "no blocking call runs
+// inside a critical section" — are exactly the ones that take down a
+// fleet daemon in production, so this pass builds the whole-tree view:
+//
+//   1. index every function definition in library code (src/), with a
+//      brace-level scanner over the same blanked code view the line
+//      rules use — no libclang, same philosophy;
+//   2. attribute every lock_guard/unique_lock/scoped_lock/MutexLock/
+//      CondLock/.lock() site to its enclosing function and a normalized
+//      mutex identity (the *_mu/mu_ naming convention the mutex-name
+//      rule enforces is what makes this tractable);
+//   3. resolve call sites (same class, then same file, then a unique
+//      name tree-wide; member calls also resolve through declared field
+//      types) and propagate both *acquired* and *held-on-entry* sets to
+//      a fixpoint;
+//   4. report inversion cycles over the acquired-while-held edge set
+//      and direct blocking operations (pool submit, condition-less
+//      waits, transport and file I/O) whose held set is non-empty.
+//
+// Resolution is a deliberate under-approximation: an ambiguous callee
+// contributes no edges. A missed edge costs a missed finding; an
+// invented edge costs a false deadlock report that trains people to
+// waive without reading — the first failure mode is the one we accept.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gb::lint {
+
+/// "Mutex `to` was acquired while `from` was held", at file:line
+/// (0-based line; callers convert when printing).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// Strongly-connected components of the acquired-while-held graph that
+/// contain a deadlock-capable cycle (two or more mutexes, or a single
+/// mutex re-acquired while held). Each component's members are sorted,
+/// and the list itself is sorted — output is deterministic for any edge
+/// ordering. Exposed separately from the tree analysis so the detector
+/// can be unit-tested on synthetic graphs.
+[[nodiscard]] std::vector<std::vector<std::string>> detect_lock_cycles(
+    const std::vector<LockEdge>& edges);
+
+/// A call made while `held` mutexes were held locally.
+struct LockCallSite {
+  std::string callee;    // unqualified name
+  std::string receiver;  // `x` in x.f()/x->f(); empty for bare calls
+  bool member_call = false;
+  std::size_t line = 0;
+  std::vector<std::string> held;
+};
+
+/// A direct blocking operation (pool submit, wait, frame/file I/O).
+struct LockBlockOp {
+  std::string op;
+  std::size_t line = 0;
+  std::vector<std::string> held;  // locally held; entry set added later
+};
+
+/// One indexed function (or lambda) definition.
+struct LockFunction {
+  std::string cls;   // enclosing class; empty for free functions
+  std::string name;  // unqualified; "<lambda>" for lambda bodies
+  std::string file;
+  std::size_t line = 0;
+  bool anonymous = false;  // lambdas/operators: never a resolution target
+  std::vector<std::string> acquires;       // mutex keys directly acquired
+  std::vector<LockEdge> edges;             // intra-function order edges
+  std::vector<LockCallSite> calls;
+  std::vector<LockBlockOp> blocking;
+  std::vector<std::string> requires_held;  // GB_REQUIRES on the definition
+};
+
+/// A mutex data member declaration (class scope).
+struct LockMutexMember {
+  std::string cls;
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// Everything the lock pass needs from one file. Built per file (cheap,
+/// parallelizable); the cross-TU analysis runs once over all of them.
+struct LockIndexFile {
+  std::string path;
+  std::vector<LockFunction> functions;
+  std::vector<LockMutexMember> mutex_members;
+  /// Identifier tokens appearing inside any GB_*(...) annotation
+  /// argument list — the evidence the unannotated-guarded-member rule
+  /// accepts.
+  std::vector<std::string> annotation_refs;
+  /// GB_REQUIRES harvested from body-less declarations, keyed by
+  /// (class, function name); merged into definitions during analysis.
+  std::vector<std::pair<std::pair<std::string, std::string>,
+                        std::vector<std::string>>>
+      requires_decls;
+  /// (class, field) -> declared class type, for member-call resolution
+  /// through unique_ptr/shared_ptr/pointer/reference fields.
+  std::map<std::pair<std::string, std::string>, std::string> field_types;
+};
+
+/// Indexes one file's blanked code view (comments and literals already
+/// spaces — build_view output). `path` drives the one exemption: the
+/// annotation macros' own header defines the capability wrappers and is
+/// not indexed.
+[[nodiscard]] LockIndexFile index_lock_file(
+    const std::string& path, const std::vector<std::string>& code);
+
+/// One cross-TU finding, pre-waiver. `sites` lists every (file, 0-based
+/// line) whose allow() waiver suppresses the finding — for a cycle,
+/// every edge in the cycle; for the others, the reported line itself.
+struct LockFinding {
+  std::string rule;  // lock-order-cycle | blocking-under-lock |
+                     // unannotated-guarded-member
+  std::string file;
+  std::size_t line = 0;  // 0-based
+  std::string message;
+  std::vector<std::pair<std::string, std::size_t>> sites;
+};
+
+/// The cross-TU pass: call resolution, acquires/entry-held fixpoints,
+/// cycle detection, blocking-op and unannotated-member checks. Output
+/// is sorted by (file, line, rule, message) and deterministic.
+[[nodiscard]] std::vector<LockFinding> analyze_lock_graph(
+    const std::vector<LockIndexFile>& files);
+
+}  // namespace gb::lint
